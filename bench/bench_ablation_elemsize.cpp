@@ -1,0 +1,27 @@
+// Ablation A2: element-size sweep. Small elements are positioning-bound
+// (seek/rotation dominate; balance matters less), large elements are
+// transfer-bound (max per-disk element count dominates — EC-FRM's regime,
+// cf. the paper's 'block size is large' motivation in Section III-B).
+#include "harness.h"
+
+int main() {
+    using namespace ecfrm;
+    using namespace ecfrm::bench;
+
+    std::printf("=== Ablation A2: EC-FRM-RS(6,3) gain vs element size (normal reads) ===\n");
+    std::printf("%-12s %12s %12s %14s\n", "elem size", "RS", "EC-FRM-RS", "EC-FRM gain");
+
+    for (std::int64_t bytes : {std::int64_t{64} << 10, std::int64_t{256} << 10, std::int64_t{1} << 20,
+                               std::int64_t{4} << 20, std::int64_t{16} << 20}) {
+        Protocol proto;
+        proto.element_bytes = bytes;
+        proto.normal_trials = 1500;
+        const double std_speed = run_normal(make_scheme("rs:6,3", layout::LayoutKind::standard), proto);
+        const double frm_speed = run_normal(make_scheme("rs:6,3", layout::LayoutKind::ecfrm), proto);
+        std::printf("%9lld KB %12.2f %12.2f %+13.1f%%\n",
+                    static_cast<long long>(bytes >> 10), std_speed, frm_speed,
+                    (frm_speed / std_speed - 1.0) * 100.0);
+    }
+    std::printf("(expect: relative gain rises with element size as transfer dominates)\n");
+    return 0;
+}

@@ -1,0 +1,38 @@
+// Ablation A8: speed DISTRIBUTION, not just the mean. Balancing the
+// per-disk load doesn't only raise average throughput — it cuts the share
+// of requests that stall on one hot disk, tightening the tail. Reports
+// p10 / median / p90 normal-read speeds per form.
+#include "harness.h"
+
+#include "common/stats.h"
+
+int main() {
+    using namespace ecfrm;
+    using namespace ecfrm::bench;
+
+    Protocol proto;
+    std::printf("=== Ablation A8: normal read speed distribution, LRC(6,2,2), %d trials ===\n",
+                proto.normal_trials);
+    std::printf("%-16s %10s %10s %10s %10s %12s\n", "form", "p10", "median", "p90", "mean", "stddev");
+
+    for (auto kind : all_forms()) {
+        core::Scheme scheme = make_scheme("lrc:6,2,2", kind);
+        const std::int64_t elements =
+            static_cast<std::int64_t>(proto.stripes_stored) * scheme.layout().data_per_stripe();
+        sim::DiskModel model(sim::DiskProfile::savvio_10k3(), proto.element_bytes);
+        Rng rng(proto.seed);
+
+        SampleSet speeds;
+        for (int t = 0; t < proto.normal_trials; ++t) {
+            const auto req = workload::random_read(rng, elements, proto.max_request_elements);
+            const auto plan = core::plan_normal_read(scheme, req.start, req.count);
+            speeds.add(sim::simulate_read(plan, model, rng).mb_per_s());
+        }
+        std::printf("%-16s %10.1f %10.1f %10.1f %10.1f %12.1f\n", scheme.name().c_str(),
+                    speeds.percentile(0.10), speeds.percentile(0.50), speeds.percentile(0.90),
+                    speeds.stats().mean(), speeds.stats().stddev());
+    }
+    std::printf("(expect: EC-FRM lifts the low percentiles most — fewer requests\n");
+    std::printf(" serialise behind a two-element disk batch)\n");
+    return 0;
+}

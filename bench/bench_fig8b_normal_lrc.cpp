@@ -1,0 +1,31 @@
+// Figure 8(b): normal read speed for LRC / R-LRC / EC-FRM-LRC at the
+// Table I parameters (6,2,2), (8,2,3), (10,2,4).
+#include "harness.h"
+
+int main() {
+    using namespace ecfrm;
+    using namespace ecfrm::bench;
+
+    Protocol proto;
+    const std::vector<std::string> specs{"lrc:6,2,2", "lrc:8,2,3", "lrc:10,2,4"};
+    const std::vector<std::string> labels{"(6,2,2)", "(8,2,3)", "(10,2,4)"};
+
+    FigureTable table;
+    table.title = "Figure 8(b): normal read speed, LRC family";
+    table.params = labels;
+    for (auto kind : all_forms()) {
+        std::vector<double> row;
+        std::string name;
+        for (const auto& spec : specs) {
+            core::Scheme scheme = make_scheme(spec, kind);
+            name = scheme.name().substr(0, scheme.name().find('('));
+            row.push_back(run_normal(scheme, proto));
+        }
+        table.form_names.push_back(name);
+        table.values.push_back(std::move(row));
+    }
+    print_table(table, "MB/s");
+    print_improvements(table, 0, 2);  // vs standard (paper: +23.5% .. +46.9%)
+    print_improvements(table, 1, 2);  // vs rotated  (paper: +19.6% .. +29.3%)
+    return 0;
+}

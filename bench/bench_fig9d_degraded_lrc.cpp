@@ -1,0 +1,30 @@
+// Figure 9(d): degraded read speed for the LRC family (5000 trials).
+#include "harness.h"
+
+int main() {
+    using namespace ecfrm;
+    using namespace ecfrm::bench;
+
+    Protocol proto;
+    const std::vector<std::string> specs{"lrc:6,2,2", "lrc:8,2,3", "lrc:10,2,4"};
+    const std::vector<std::string> labels{"(6,2,2)", "(8,2,3)", "(10,2,4)"};
+
+    FigureTable table;
+    table.title = "Figure 9(d): degraded read speed, LRC family";
+    table.params = labels;
+    for (auto kind : all_forms()) {
+        std::vector<double> row;
+        std::string name;
+        for (const auto& spec : specs) {
+            core::Scheme scheme = make_scheme(spec, kind);
+            name = scheme.name().substr(0, scheme.name().find('('));
+            row.push_back(run_degraded(scheme, proto).speed_mb_s);
+        }
+        table.form_names.push_back(name);
+        table.values.push_back(std::move(row));
+    }
+    print_table(table, "MB/s");
+    print_improvements(table, 0, 2);  // vs standard (paper: +3.3% .. +12.8%)
+    print_improvements(table, 1, 2);  // vs rotated  (paper: +2.6% .. +5.7%)
+    return 0;
+}

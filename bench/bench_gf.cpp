@@ -1,0 +1,72 @@
+// Micro-benchmarks for the GF(2^8) region kernels (google-benchmark).
+// Supports the paper's premise (Section II-D): with table-driven Galois
+// arithmetic, coding compute is far faster than disk I/O, so read
+// performance is layout-bound.
+#include <benchmark/benchmark.h>
+
+#include "common/aligned_buffer.h"
+#include "common/rng.h"
+#include "gf/gf256.h"
+#include "gf/region.h"
+
+namespace {
+
+using namespace ecfrm;
+
+void fill_random(AlignedBuffer& buf, std::uint64_t seed) {
+    Rng rng(seed);
+    for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<std::uint8_t>(rng.next_below(256));
+}
+
+void BM_XorRegion(benchmark::State& state) {
+    const auto size = static_cast<std::size_t>(state.range(0));
+    AlignedBuffer dst(size), src(size);
+    fill_random(dst, 1);
+    fill_random(src, 2);
+    for (auto _ : state) {
+        gf::xor_region(dst.span(), src.span());
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_XorRegion)->Arg(4 << 10)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_MulRegion(benchmark::State& state) {
+    const auto size = static_cast<std::size_t>(state.range(0));
+    AlignedBuffer dst(size), src(size);
+    fill_random(src, 3);
+    for (auto _ : state) {
+        gf::mul_region(dst.span(), src.span(), 0x57);
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_MulRegion)->Arg(4 << 10)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_AddmulRegion(benchmark::State& state) {
+    const auto size = static_cast<std::size_t>(state.range(0));
+    AlignedBuffer dst(size), src(size);
+    fill_random(dst, 4);
+    fill_random(src, 5);
+    for (auto _ : state) {
+        gf::addmul_region(dst.span(), src.span(), 0x57);
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_AddmulRegion)->Arg(4 << 10)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_ScalarMul(benchmark::State& state) {
+    Rng rng(6);
+    std::uint8_t a = static_cast<std::uint8_t>(1 + rng.next_below(255));
+    std::uint8_t b = static_cast<std::uint8_t>(1 + rng.next_below(255));
+    for (auto _ : state) {
+        a = gf::Gf256::mul(a, b);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_ScalarMul);
+
+}  // namespace
+
+BENCHMARK_MAIN();

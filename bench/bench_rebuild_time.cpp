@@ -1,0 +1,59 @@
+// Ablation A6: simulated wall-clock of a full single-disk rebuild.
+//
+// The rebuild reads every repair source in one offline batch; the read
+// phase completes when the slowest source disk finishes, and the rebuilt
+// elements stream onto the replacement disk as one sequential write.
+// Standard layouts concentrate rebuild reads on the k data / local-group
+// disks, EC-FRM spreads them over all surviving disks — same total I/O
+// (A3), lower wall-clock.
+#include "harness.h"
+
+int main() {
+    using namespace ecfrm;
+    using namespace ecfrm::bench;
+
+    constexpr StripeId kDataElements = 1080;  // whole stripes for every form
+    const sim::DiskModel model(sim::DiskProfile::savvio_10k3(), 1 << 20);
+
+    std::printf("=== Ablation A6: single-disk rebuild wall-clock (1080 x 1 MB elements) ===\n");
+    std::printf("%-18s %12s %14s %14s %12s\n", "form", "reads", "read max/disk", "read time (s)",
+                "total (s)");
+
+    for (const char* spec : {"rs:6,3", "lrc:6,2,2"}) {
+        for (auto kind : all_forms()) {
+            core::Scheme scheme = make_scheme(spec, kind);
+            const StripeId stripes = kDataElements / scheme.layout().data_per_stripe();
+
+            // Average the simulated time over every failed-disk choice.
+            double read_time = 0.0;
+            double total_time = 0.0;
+            double max_per_disk = 0.0;
+            std::int64_t reads = 0;
+            Rng rng(3);
+            for (DiskId failed = 0; failed < scheme.disks(); ++failed) {
+                auto plan = core::plan_reconstruction(scheme, failed, stripes);
+                if (!plan.ok()) {
+                    std::fprintf(stderr, "plan failed: %s\n", plan.error().message.c_str());
+                    return 1;
+                }
+                const auto timing = sim::simulate_read(plan.value(), model, rng);
+                // Sequential write of the rebuilt elements onto the fresh disk.
+                const double write_time =
+                    4.1e-3 + static_cast<double>(plan->requested()) * model.transfer_seconds();
+                read_time += timing.seconds;
+                total_time += std::max(timing.seconds, write_time);
+                max_per_disk += plan->max_load();
+                reads += plan->total_fetched();
+            }
+            const double inv = 1.0 / scheme.disks();
+            std::printf("%-18s %12lld %14.1f %14.2f %12.2f\n", scheme.name().c_str(),
+                        static_cast<long long>(reads / scheme.disks()), max_per_disk * inv,
+                        read_time * inv, total_time * inv);
+        }
+    }
+    std::printf("(expect: identical read totals per code. RS rebuilds balance under every\n");
+    std::printf(" form (any-k freedom); LRC local sets concentrate reads under the standard\n");
+    std::printf(" layout while rotation/EC-FRM spread them. Rebuild turns write-bound on the\n");
+    std::printf(" single replacement disk once reads are spread thin.)\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+// Reliability extension: MTTDL per code and form. The paper motivates
+// erasure coding with availability (its reference [1]); this bench closes
+// the loop by turning the simulated rebuild throughput into a repair time
+// for a 300 GB disk and feeding the classic Markov approximation
+//
+//     MTTDL = MTTF^(t+1) / ( n*(n-1)*...*(n-t) * MTTR^t )
+//
+// for a group of n disks tolerating t concurrent failures. The code's
+// tolerance dominates (orders of magnitude per extra parity); the layout
+// form only moves MTTR through its rebuild read balance.
+#include "harness.h"
+
+#include <cmath>
+
+int main() {
+    using namespace ecfrm;
+    using namespace ecfrm::bench;
+
+    constexpr double kMttfHours = 500000.0;                 // enterprise-disk class
+    constexpr double kDiskBytes = 300.0 * 1e9;              // the paper's ST9300603SS
+    const sim::DiskModel model(sim::DiskProfile::savvio_10k3(), 1 << 20);
+    constexpr StripeId kElements = 1080;
+
+    std::printf("=== Reliability: rebuild-rate-driven MTTDL (disk MTTF %.0f h, 300 GB disks) ===\n",
+                kMttfHours);
+    std::printf("%-18s %6s %4s %16s %14s %16s\n", "form", "disks", "t", "rebuild (MB/s)", "MTTR (h)",
+                "MTTDL (years)");
+
+    for (const char* spec : {"rs:6,3", "lrc:6,2,2", "rs:10,5", "lrc:10,2,4"}) {
+        for (auto kind : all_forms()) {
+            core::Scheme scheme = make_scheme(spec, kind);
+            const int n = scheme.disks();
+            const int t = scheme.code().fault_tolerance();
+            const StripeId stripes = kElements / scheme.layout().data_per_stripe();
+
+            // Average rebuild throughput over every failed-disk choice.
+            Rng rng(9);
+            double rate_sum = 0.0;
+            for (DiskId failed = 0; failed < n; ++failed) {
+                auto plan = core::plan_reconstruction(scheme, failed, stripes);
+                if (!plan.ok()) return 1;
+                const auto timing = sim::simulate_read(plan.value(), model, rng);
+                const double write_time =
+                    4.1e-3 + static_cast<double>(plan->requested()) * model.transfer_seconds();
+                const double wall = std::max(timing.seconds, write_time);
+                const double bytes = static_cast<double>(plan->requested()) * (1 << 20);
+                rate_sum += bytes / wall;
+            }
+            const double rebuild_rate = rate_sum / n;          // bytes/s
+            const double mttr_hours = kDiskBytes / rebuild_rate / 3600.0;
+
+            // Markov chain approximation for t-fault tolerance.
+            double numerator = std::pow(kMttfHours, t + 1);
+            double denominator = std::pow(mttr_hours, t);
+            for (int i = 0; i <= t; ++i) denominator *= static_cast<double>(n - i);
+            const double mttdl_years = numerator / denominator / (24.0 * 365.0);
+
+            std::printf("%-18s %6d %4d %16.1f %14.2f %16.3g\n", scheme.name().c_str(), n, t,
+                        rebuild_rate / 1e6, mttr_hours, mttdl_years);
+        }
+    }
+    std::printf("(tolerance dominates — each extra parity buys ~MTTF/MTTR more MTTDL;\n");
+    std::printf(" the layout form only nudges MTTR through rebuild read balance)\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+// Motivation bench (paper Sections II-B / III-A): vertical codes already
+// spread normal reads over all disks — X-Code's max load equals
+// EC-FRM's — but they buy it with fixed fault tolerance (2) and prime-only
+// disk counts. EC-FRM delivers the same read spread on top of codes with
+// arbitrary tolerance and arbitrary n.
+#include <cstdio>
+
+#include "codes/factory.h"
+#include "core/analysis.h"
+#include "core/scheme.h"
+#include "vertical/weaver.h"
+#include "vertical/xcode.h"
+
+namespace {
+
+/// Mean ceil(E/n) over E in [1, 20] — the exact E[max load] of any layout
+/// whose data is n-disk sequential (vertical codes, EC-FRM).
+double sequential_mean_max_load(int n) {
+    double mean = 0.0;
+    for (int e = 1; e <= 20; ++e) mean += (e + n - 1) / n;
+    return mean / 20.0;
+}
+
+}  // namespace
+
+int main() {
+    using namespace ecfrm;
+
+    std::printf("=== Vertical baseline: X-Code / WEAVER vs horizontal codes (+/- EC-FRM) ===\n");
+    std::printf("%-18s %6s %10s %12s %10s %16s\n", "code", "disks", "tolerance", "E[max load]", "storage",
+                "arbitrary n?");
+
+    // X-Code on 7 and 11 disks (prime widths only), MDS storage.
+    for (int p : {7, 11}) {
+        auto xcode = vertical::XCode::make(p);
+        if (!xcode.ok()) return 1;
+        std::printf("%-18s %6d %10d %12.3f %9.0f%% %16s\n", ("X-Code(" + std::to_string(p) + ")").c_str(),
+                    p, xcode.value()->fault_tolerance(), sequential_mean_max_load(p),
+                    100.0 * p / (p - 2), "no (prime)");
+    }
+    // WEAVER works for any n but always burns 50% on parity.
+    for (auto [n, t] : {std::pair{10, 2}, std::pair{11, 3}}) {
+        auto weaver = vertical::WeaverCode::make(n, t);
+        if (!weaver.ok()) return 1;
+        std::printf("%-18s %6d %10d %12.3f %9.0f%% %16s\n",
+                    ("WEAVER(" + std::to_string(n) + "," + std::to_string(t) + ")").c_str(), n,
+                    weaver.value()->fault_tolerance(), sequential_mean_max_load(n),
+                    100.0 / weaver.value()->storage_efficiency(), "yes (50% eff)");
+    }
+
+    for (const char* spec : {"rs:9,2", "rs:6,3", "lrc:6,2,2"}) {
+        auto code = codes::make_code(spec);
+        if (!code.ok()) return 1;
+        for (auto kind : {layout::LayoutKind::standard, layout::LayoutKind::ecfrm}) {
+            core::Scheme scheme(code.value(), kind);
+            const auto loads = core::analyze_normal_reads(scheme, 20);
+            std::printf("%-18s %6d %10d %12.3f %9.0f%% %16s\n", scheme.name().c_str(), scheme.disks(),
+                        code.value()->fault_tolerance(), loads.mean_max_load,
+                        100.0 * code.value()->n() / code.value()->k(), "yes");
+        }
+    }
+    std::printf("(the paper's Section III argument, quantified: vertical codes get the\n");
+    std::printf(" same read spread EC-FRM achieves, but X-Code needs prime n with fixed\n");
+    std::printf(" tolerance 2 and WEAVER pays 200%% storage; EC-FRM keeps the candidate\n");
+    std::printf(" code's storage (150-167%%) and arbitrary tolerance at any n)\n");
+    return 0;
+}

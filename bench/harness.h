@@ -1,0 +1,122 @@
+// Shared driver for the figure-reproduction benches.
+//
+// Implements the paper's experiment protocol (Section VI): N trials of
+// uniformly random reads of 1-20 elements (2000 trials for normal reads,
+// 5000 for degraded reads, uniform failed disk), priced on the calibrated
+// Savvio-class disk array model with 1 MB elements. Each bench prints one
+// paper-style table plus the headline improvement percentages.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "codes/factory.h"
+#include "common/rng.h"
+#include "core/read_planner.h"
+#include "core/scheme.h"
+#include "sim/array_sim.h"
+#include "workload/workload.h"
+
+namespace ecfrm::bench {
+
+struct Protocol {
+    int normal_trials = 2000;    // paper Section VI-B
+    int degraded_trials = 5000;  // paper Section VI-C
+    std::int64_t element_bytes = 1 << 20;
+    std::uint64_t seed = 2015;
+    int stripes_stored = 40;  // address space: plenty of stripes
+    int max_request_elements = 20;
+};
+
+struct DegradedResult {
+    double speed_mb_s = 0.0;
+    double cost = 0.0;
+};
+
+inline core::Scheme make_scheme(const std::string& spec, layout::LayoutKind kind) {
+    auto code = codes::make_code(spec);
+    if (!code.ok()) {
+        std::fprintf(stderr, "bad code spec %s: %s\n", spec.c_str(), code.error().message.c_str());
+        std::abort();
+    }
+    return core::Scheme(code.value(), kind);
+}
+
+/// Mean normal-read speed (MB/s) under the paper protocol.
+inline double run_normal(const core::Scheme& scheme, const Protocol& proto) {
+    const std::int64_t elements =
+        static_cast<std::int64_t>(proto.stripes_stored) * scheme.layout().data_per_stripe();
+    sim::DiskModel model(sim::DiskProfile::savvio_10k3(), proto.element_bytes);
+    Rng rng(proto.seed);
+    double sum = 0.0;
+    for (int t = 0; t < proto.normal_trials; ++t) {
+        const auto req = workload::random_read(rng, elements, proto.max_request_elements);
+        const auto plan = core::plan_normal_read(scheme, req.start, req.count);
+        sum += sim::simulate_read(plan, model, rng).mb_per_s();
+    }
+    return sum / proto.normal_trials;
+}
+
+/// Mean degraded-read speed and cost under the paper protocol.
+inline DegradedResult run_degraded(const core::Scheme& scheme, const Protocol& proto) {
+    const std::int64_t elements =
+        static_cast<std::int64_t>(proto.stripes_stored) * scheme.layout().data_per_stripe();
+    sim::DiskModel model(sim::DiskProfile::savvio_10k3(), proto.element_bytes);
+    Rng rng(proto.seed + 1);
+    DegradedResult out;
+    for (int t = 0; t < proto.degraded_trials; ++t) {
+        const auto req =
+            workload::random_degraded_read(rng, elements, scheme.disks(), proto.max_request_elements);
+        auto plan = core::plan_degraded_read(scheme, req.read.start, req.read.count, req.failed_disk);
+        if (!plan.ok()) {
+            std::fprintf(stderr, "degraded plan failed: %s\n", plan.error().message.c_str());
+            std::abort();
+        }
+        out.speed_mb_s += sim::simulate_read(plan.value(), model, rng).mb_per_s();
+        out.cost += plan->cost();
+    }
+    out.speed_mb_s /= proto.degraded_trials;
+    out.cost /= proto.degraded_trials;
+    return out;
+}
+
+/// One figure: rows = {standard, rotated, ecfrm}, columns = parameter sets.
+struct FigureTable {
+    std::string title;
+    std::vector<std::string> params;         // column headers, e.g. "(6,3)"
+    std::vector<std::string> form_names;     // row labels
+    std::vector<std::vector<double>> values; // [form][param]
+};
+
+inline void print_table(const FigureTable& table, const char* unit) {
+    std::printf("\n=== %s ===\n", table.title.c_str());
+    std::printf("%-16s", "form");
+    for (const auto& p : table.params) std::printf("%12s", p.c_str());
+    std::printf("   [%s]\n", unit);
+    for (std::size_t f = 0; f < table.form_names.size(); ++f) {
+        std::printf("%-16s", table.form_names[f].c_str());
+        for (double v : table.values[f]) std::printf("%12.2f", v);
+        std::printf("\n");
+    }
+}
+
+/// Print "ecfrm vs base" improvements per column, paper-style.
+inline void print_improvements(const FigureTable& table, std::size_t base_row, std::size_t frm_row) {
+    std::printf("EC-FRM vs %s: ", table.form_names[base_row].c_str());
+    for (std::size_t c = 0; c < table.params.size(); ++c) {
+        const double base = table.values[base_row][c];
+        const double frm = table.values[frm_row][c];
+        std::printf("%s%+.1f%%", c == 0 ? "" : ", ", (frm / base - 1.0) * 100.0);
+    }
+    std::printf("\n");
+}
+
+inline const std::vector<layout::LayoutKind>& all_forms() {
+    static const std::vector<layout::LayoutKind> kinds{
+        layout::LayoutKind::standard, layout::LayoutKind::rotated, layout::LayoutKind::ecfrm};
+    return kinds;
+}
+
+}  // namespace ecfrm::bench

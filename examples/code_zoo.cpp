@@ -1,0 +1,186 @@
+// Code zoo: a tour of every erasure code in the library beyond the two the
+// paper evaluates — the vertical codes it argues against (X-Code, WEAVER),
+// the classic RAID-6 RDP it cites, and the GF(2^16) wide-stripe RS that
+// carries EC-FRM's layout past 256 disks. Each code encodes real data,
+// loses disks, and proves recovery byte-for-byte.
+//
+//   ./build/examples/code_zoo
+#include <cstdio>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/rng.h"
+#include "raid6/rdp.h"
+#include "raid6/star.h"
+#include "vertical/weaver.h"
+#include "vertical/xcode.h"
+#include "wide/rs16.h"
+
+namespace {
+
+using namespace ecfrm;
+
+std::vector<AlignedBuffer> random_cells(int count, std::size_t bytes, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<AlignedBuffer> cells(static_cast<std::size_t>(count));
+    for (auto& c : cells) {
+        c = AlignedBuffer(bytes);
+        for (std::size_t i = 0; i < bytes; ++i) c[i] = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    return cells;
+}
+
+bool equal(const AlignedBuffer& a, const AlignedBuffer& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != b[i]) return false;
+    }
+    return true;
+}
+
+bool demo_xcode() {
+    auto code = vertical::XCode::make(7);
+    if (!code.ok()) return false;
+    const int p = 7;
+    auto truth = random_cells(p * p, 512, 1);
+    std::vector<ByteSpan> spans;
+    for (auto& c : truth) spans.push_back(c.span());
+    code.value()->encode(spans);
+
+    auto work = truth;
+    std::vector<ByteSpan> wspans;
+    for (auto& c : work) wspans.push_back(c.span());
+    for (int col : {2, 5}) {
+        for (int row = 0; row < p; ++row) work[static_cast<std::size_t>(row * p + col)].fill(0);
+    }
+    if (!code.value()->decode_columns(wspans, {2, 5}).ok()) return false;
+    for (int i = 0; i < p * p; ++i) {
+        if (!equal(work[static_cast<std::size_t>(i)], truth[static_cast<std::size_t>(i)])) return false;
+    }
+    std::printf("X-Code(7):        7 disks (prime only), tolerance 2 — lost disks 2+5, recovered\n");
+    return true;
+}
+
+bool demo_weaver() {
+    auto code = vertical::WeaverCode::make(10, 3);
+    if (!code.ok()) return false;
+    auto data = random_cells(10, 512, 2);
+    auto parity = random_cells(10, 512, 3);
+    std::vector<ConstByteSpan> dspans;
+    std::vector<ByteSpan> pspans;
+    for (auto& c : data) dspans.push_back(c.span());
+    for (auto& c : parity) pspans.push_back(c.span());
+    code.value()->encode(dspans, pspans);
+
+    auto data_work = data;
+    auto parity_work = parity;
+    std::vector<ByteSpan> dw, pw;
+    for (auto& c : data_work) dw.push_back(c.span());
+    for (auto& c : parity_work) pw.push_back(c.span());
+    for (int d : {0, 4, 9}) {
+        data_work[static_cast<std::size_t>(d)].fill(0);
+        parity_work[static_cast<std::size_t>(d)].fill(0);
+    }
+    if (!code.value()->decode_disks(dw, pw, {0, 4, 9}).ok()) return false;
+    for (int i = 0; i < 10; ++i) {
+        if (!equal(data_work[static_cast<std::size_t>(i)], data[static_cast<std::size_t>(i)])) return false;
+        if (!equal(parity_work[static_cast<std::size_t>(i)], parity[static_cast<std::size_t>(i)])) return false;
+    }
+    std::printf("WEAVER(10,3):     any n, tolerance 3, 50%% efficiency — lost 3 disks, recovered\n");
+    return true;
+}
+
+bool demo_rdp() {
+    auto code = raid6::RdpCode::make(7);
+    if (!code.ok()) return false;
+    const int cells = code.value()->rows_per_stripe() * code.value()->disks();
+    auto truth = random_cells(cells, 512, 4);
+    // Parity columns start zeroed; encode fills them.
+    for (int row = 0; row < code.value()->rows_per_stripe(); ++row) {
+        truth[static_cast<std::size_t>(code.value()->cell(row, 6))].fill(0);
+        truth[static_cast<std::size_t>(code.value()->cell(row, 7))].fill(0);
+    }
+    std::vector<ByteSpan> spans;
+    for (auto& c : truth) spans.push_back(c.span());
+    code.value()->encode(spans);
+
+    auto work = truth;
+    std::vector<ByteSpan> wspans;
+    for (auto& c : work) wspans.push_back(c.span());
+    for (int d : {1, 6}) {  // one data disk and the row-parity disk
+        for (int row = 0; row < code.value()->rows_per_stripe(); ++row) {
+            work[static_cast<std::size_t>(code.value()->cell(row, d))].fill(0);
+        }
+    }
+    if (!code.value()->decode_disks(wspans, {1, 6}).ok()) return false;
+    for (int i = 0; i < cells; ++i) {
+        if (!equal(work[static_cast<std::size_t>(i)], truth[static_cast<std::size_t>(i)])) return false;
+    }
+    std::printf("RDP(p=7):         8 disks, RAID-6 XOR code — lost data+row-parity, recovered\n");
+    return true;
+}
+
+bool demo_star() {
+    auto code = raid6::StarCode::make(5);
+    if (!code.ok()) return false;
+    const int cells = code.value()->rows_per_stripe() * code.value()->disks();
+    auto truth = random_cells(cells, 512, 6);
+    for (int row = 0; row < code.value()->rows_per_stripe(); ++row) {
+        for (int d = 4; d < 7; ++d) truth[static_cast<std::size_t>(code.value()->cell(row, d))].fill(0);
+    }
+    std::vector<ByteSpan> spans;
+    for (auto& c : truth) spans.push_back(c.span());
+    code.value()->encode(spans);
+
+    auto work = truth;
+    std::vector<ByteSpan> wspans;
+    for (auto& c : work) wspans.push_back(c.span());
+    for (int d : {0, 3, 5}) {
+        for (int row = 0; row < code.value()->rows_per_stripe(); ++row) {
+            work[static_cast<std::size_t>(code.value()->cell(row, d))].fill(0);
+        }
+    }
+    if (!code.value()->decode_disks(wspans, {0, 3, 5}).ok()) return false;
+    for (int i = 0; i < cells; ++i) {
+        if (!equal(work[static_cast<std::size_t>(i)], truth[static_cast<std::size_t>(i)])) return false;
+    }
+    std::printf("STAR(p=5):        7 disks, triple-fault XOR code — lost 3 disks, recovered\n");
+    return true;
+}
+
+bool demo_rs16() {
+    auto code = wide::Rs16Code::make(300, 50);
+    if (!code.ok()) return false;
+    // Encode a 350-element stripe (impossible over GF(2^8)).
+    auto bufs = random_cells(350, 128, 5);
+    std::vector<ConstByteSpan> data;
+    std::vector<ByteSpan> parity;
+    for (int i = 0; i < 300; ++i) data.push_back(bufs[static_cast<std::size_t>(i)].span());
+    for (int i = 300; i < 350; ++i) parity.push_back(bufs[static_cast<std::size_t>(i)].span());
+    if (!code.value()->encode(data, parity).ok()) return false;
+
+    // Rebuild element 7 from survivors 8..307.
+    std::vector<int> sources;
+    std::vector<ConstByteSpan> payloads;
+    for (int i = 8; i < 308; ++i) {
+        sources.push_back(i);
+        payloads.push_back(bufs[static_cast<std::size_t>(i)].span());
+    }
+    AlignedBuffer rebuilt(128);
+    if (!code.value()->repair(7, sources, payloads, rebuilt.span()).ok()) return false;
+    if (!equal(rebuilt, bufs[7])) return false;
+    std::printf("RS16(300,50):     350 disks over GF(2^16) — EC-FRM geometry works here too\n");
+    return true;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== code zoo: everything the paper's related work talks about ===\n");
+    if (!demo_xcode() || !demo_weaver() || !demo_rdp() || !demo_star() || !demo_rs16()) {
+        std::fprintf(stderr, "a demo failed!\n");
+        return 1;
+    }
+    std::printf("\nall recoveries verified byte-for-byte\n");
+    return 0;
+}

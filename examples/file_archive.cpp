@@ -1,0 +1,100 @@
+// File archive: an object-store-style scenario from the paper's
+// motivation (Section III-A) — MP3-sized files striped over the array,
+// whole-file GETs with Zipf popularity, served healthy and degraded.
+//
+//   ./build/examples/file_archive
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "codes/factory.h"
+#include "core/read_planner.h"
+#include "sim/array_sim.h"
+#include "store/stripe_store.h"
+#include "workload/workload.h"
+
+int main() {
+    using namespace ecfrm;
+    using layout::LayoutKind;
+
+    constexpr std::int64_t kElemBytes = 1 << 20;  // the paper's 1 MB elements
+    constexpr int kFiles = 40;
+    constexpr int kGets = 300;
+
+    // Build the file population once: 3-20 MB per file ("a few MB to
+    // dozens of MB", paper Section III-A).
+    Rng pop_rng(7);
+    const auto files = workload::make_file_population(pop_rng, kFiles, 3, 20);
+    const std::int64_t total_elements = files.back().first + files.back().elements;
+    workload::ZipfSampler zipf(kFiles, 0.9);
+
+    std::printf("=== file archive: %d files, %lld elements, whole-file GETs (Zipf 0.9) ===\n\n", kFiles,
+                static_cast<long long>(total_elements));
+    std::printf("%-16s %18s %18s\n", "form", "healthy GET (MB/s)", "degraded GET (MB/s)");
+
+    for (LayoutKind kind : {LayoutKind::standard, LayoutKind::rotated, LayoutKind::ecfrm}) {
+        auto code = codes::make_lrc(6, 2, 2);
+        if (!code.ok()) return 1;
+        core::Scheme scheme(code.value(), kind);
+        const std::string name = scheme.name();
+
+        store::StripeStore st(std::move(scheme), kElemBytes);
+        // Write each file with a recognisable per-file pattern.
+        for (int f = 0; f < kFiles; ++f) {
+            std::vector<std::uint8_t> body(
+                static_cast<std::size_t>(files[static_cast<std::size_t>(f)].elements * kElemBytes));
+            for (std::size_t i = 0; i < body.size(); ++i) {
+                body[i] = static_cast<std::uint8_t>((f * 31 + static_cast<int>(i)) & 0xff);
+            }
+            if (!st.append(ConstByteSpan(body.data(), body.size())).ok()) return 1;
+        }
+        if (!st.flush().ok()) return 1;
+
+        sim::DiskModel model(sim::DiskProfile::savvio_10k3(), kElemBytes);
+        Rng rng(99);
+
+        auto serve = [&](bool degraded) -> double {
+            double sum = 0.0;
+            for (int g = 0; g < kGets; ++g) {
+                const auto req = workload::zipf_file_read(rng, files, zipf);
+                double mbps = 0.0;
+                if (degraded) {
+                    auto plan = core::plan_degraded_read(st.scheme(), req.start, req.count, 1);
+                    if (!plan.ok()) return -1.0;
+                    mbps = sim::simulate_read(plan.value(), model, rng).mb_per_s();
+                } else {
+                    const auto plan = core::plan_normal_read(st.scheme(), req.start, req.count);
+                    mbps = sim::simulate_read(plan, model, rng).mb_per_s();
+                }
+                sum += mbps;
+
+                // Verify the GET body against the pattern.
+                std::vector<std::uint8_t> out(static_cast<std::size_t>(req.count * kElemBytes));
+                if (!st.read_elements(req.start, req.count, ByteSpan(out.data(), out.size())).ok()) return -1.0;
+                int file_idx = -1;
+                for (int f = 0; f < kFiles; ++f) {
+                    if (files[static_cast<std::size_t>(f)].first == req.start) file_idx = f;
+                }
+                for (std::size_t i = 0; i < out.size(); ++i) {
+                    if (out[i] != static_cast<std::uint8_t>((file_idx * 31 + static_cast<int>(i)) & 0xff)) {
+                        std::fprintf(stderr, "corrupt GET of file %d at byte %zu\n", file_idx, i);
+                        return -1.0;
+                    }
+                }
+            }
+            return sum / kGets;
+        };
+
+        const double healthy = serve(false);
+        if (healthy < 0) return 1;
+        if (!st.fail_disk(1).ok()) return 1;
+        const double degraded = serve(true);
+        if (degraded < 0) return 1;
+
+        std::printf("%-16s %18.2f %18.2f\n", name.c_str(), healthy, degraded);
+    }
+    std::printf("\n(every GET body verified byte-exact, healthy and degraded)\n");
+    return 0;
+}

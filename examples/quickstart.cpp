@@ -1,0 +1,69 @@
+// Quickstart: store bytes under EC-FRM-RS(6,3), read them back normally
+// and through a disk failure, then rebuild the failed disk.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "codes/factory.h"
+#include "core/scheme.h"
+#include "store/stripe_store.h"
+
+int main() {
+    using namespace ecfrm;
+
+    // 1. Pick a candidate code and the EC-FRM layout.
+    auto code = codes::make_rs(6, 3);
+    if (!code.ok()) {
+        std::fprintf(stderr, "code construction failed: %s\n", code.error().message.c_str());
+        return 1;
+    }
+    core::Scheme scheme(code.value(), layout::LayoutKind::ecfrm);
+    std::printf("scheme: %s on %d disks, stripe = %d rows x %d cols\n", scheme.name().c_str(),
+                scheme.disks(), scheme.layout().rows_per_stripe(), scheme.disks());
+
+    // 2. Create a store with 4 KiB elements and append some data.
+    store::StripeStore store(std::move(scheme), 4096);
+    std::string payload;
+    for (int i = 0; i < 2000; ++i) payload += "hello, erasure-coded world #" + std::to_string(i) + "\n";
+    if (!store.append(ConstByteSpan(reinterpret_cast<const std::uint8_t*>(payload.data()), payload.size()))
+             .ok() ||
+        !store.flush().ok()) {
+        std::fprintf(stderr, "write failed\n");
+        return 1;
+    }
+    std::printf("stored %lld bytes (%lld data elements)\n", static_cast<long long>(store.logical_bytes()),
+                static_cast<long long>(store.stored_data_elements()));
+
+    // 3. Normal read.
+    auto normal = store.read_bytes(64, 128);
+    if (!normal.ok()) {
+        std::fprintf(stderr, "read failed: %s\n", normal.error().message.c_str());
+        return 1;
+    }
+    std::printf("normal read ok: %.40s...\n", reinterpret_cast<const char*>(normal->data()));
+
+    // 4. Fail a disk; reads keep working (degraded path decodes on the fly).
+    (void)store.fail_disk(2);
+    auto degraded = store.read_bytes(0, static_cast<std::int64_t>(payload.size()));
+    if (!degraded.ok()) {
+        std::fprintf(stderr, "degraded read failed: %s\n", degraded.error().message.c_str());
+        return 1;
+    }
+    const bool intact = std::equal(degraded->begin(), degraded->end(),
+                                   reinterpret_cast<const std::uint8_t*>(payload.data()));
+    std::printf("degraded read through failed disk 2: %s\n", intact ? "byte-exact" : "CORRUPT");
+
+    // 5. Rebuild the failed disk and verify the array is whole again.
+    auto stats = store.reconstruct_disk(2);
+    if (!stats.ok()) {
+        std::fprintf(stderr, "reconstruction failed: %s\n", stats.error().message.c_str());
+        return 1;
+    }
+    std::printf("reconstructed disk 2: %lld elements rebuilt from %lld reads\n",
+                static_cast<long long>(stats->elements_rebuilt), static_cast<long long>(stats->elements_read));
+    std::printf("parity audit: %s\n", store.verify_parity().ok() ? "clean" : "MISMATCH");
+    return intact ? 0 : 1;
+}

@@ -1,0 +1,119 @@
+#include "codes/erasure_code.h"
+
+#include <cassert>
+
+#include "gf/gf256.h"
+#include "gf/region.h"
+
+namespace ecfrm::codes {
+
+using gf::Gf256;
+using matrix::Matrix;
+
+RepairSpec ErasureCode::repair_spec(int position) const {
+    (void)position;
+    // Conservative default: no structured repair, no MDS promise. Codes
+    // override this; the generic decoder still works without hints.
+    return RepairSpec{};
+}
+
+void ErasureCode::encode(const std::vector<ConstByteSpan>& data, const std::vector<ByteSpan>& parity) const {
+    assert(static_cast<int>(data.size()) == k());
+    assert(static_cast<int>(parity.size()) == m());
+    const Matrix& g = generator();
+    for (int p = 0; p < m(); ++p) {
+        const std::uint8_t* row = g.row(k() + p);
+        gf::zero_region(parity[static_cast<std::size_t>(p)]);
+        for (int j = 0; j < k(); ++j) {
+            gf::addmul_region(parity[static_cast<std::size_t>(p)], data[static_cast<std::size_t>(j)], row[j]);
+        }
+    }
+}
+
+bool ErasureCode::decodable(const std::vector<int>& available) const {
+    return generator().select_rows(available).rank() == k();
+}
+
+Result<ElementRepair> ErasureCode::solve_repair(int target, const std::vector<int>& sources) const {
+    const Matrix& g = generator();
+    const int kk = k();
+    const int s = static_cast<int>(sources.size());
+
+    // Solve c^T * G_S = G_target, i.e. G_S^T c = g_target^T: a kk x s system.
+    // Augmented Gaussian elimination over GF(2^8).
+    Matrix aug(kk, s + 1);
+    for (int r = 0; r < kk; ++r) {
+        for (int j = 0; j < s; ++j) aug.at(r, j) = g.at(sources[static_cast<std::size_t>(j)], r);
+        aug.at(r, s) = g.at(target, r);
+    }
+
+    std::vector<int> pivot_col_of_row(static_cast<std::size_t>(kk), -1);
+    int row = 0;
+    for (int col = 0; col < s && row < kk; ++col) {
+        int pivot = -1;
+        for (int r = row; r < kk; ++r) {
+            if (aug.at(r, col) != 0) {
+                pivot = r;
+                break;
+            }
+        }
+        if (pivot < 0) continue;
+        aug.swap_rows(row, pivot);
+        const std::uint8_t pinv = Gf256::inv(aug.at(row, col));
+        const std::uint8_t* prow = Gf256::mul_row(pinv);
+        for (int j = 0; j <= s; ++j) aug.at(row, j) = prow[aug.at(row, j)];
+        for (int r = 0; r < kk; ++r) {
+            if (r == row) continue;
+            const std::uint8_t f = aug.at(r, col);
+            if (f == 0) continue;
+            const std::uint8_t* mrow = Gf256::mul_row(f);
+            for (int j = 0; j <= s; ++j) aug.at(r, j) ^= mrow[aug.at(row, j)];
+        }
+        pivot_col_of_row[static_cast<std::size_t>(row)] = col;
+        ++row;
+    }
+
+    // Consistency: rows below the pivot rows must have zero RHS.
+    for (int r = row; r < kk; ++r) {
+        if (aug.at(r, s) != 0) {
+            return Error::undecodable("target element is not in the span of the given sources");
+        }
+    }
+
+    ElementRepair repair;
+    repair.target_position = target;
+    for (int r = 0; r < row; ++r) {
+        const int col = pivot_col_of_row[static_cast<std::size_t>(r)];
+        const std::uint8_t c = aug.at(r, s);
+        if (c != 0) repair.terms.push_back({sources[static_cast<std::size_t>(col)], c});
+    }
+    return repair;
+}
+
+Result<DecodePlan> ErasureCode::plan_decode(const std::vector<int>& available, const std::vector<int>& wanted) const {
+    std::vector<bool> have(static_cast<std::size_t>(n()), false);
+    for (int a : available) have[static_cast<std::size_t>(a)] = true;
+
+    DecodePlan plan;
+    for (int w : wanted) {
+        if (have[static_cast<std::size_t>(w)]) continue;
+        auto repair = solve_repair(w, available);
+        if (!repair.ok()) {
+            return Error::undecodable("position " + std::to_string(w) + " unrecoverable from available set");
+        }
+        plan.repairs.push_back(std::move(repair).take());
+    }
+    return plan;
+}
+
+void ErasureCode::apply_plan(const DecodePlan& plan, const std::vector<ByteSpan>& buffers) {
+    for (const auto& repair : plan.repairs) {
+        ByteSpan out = buffers[static_cast<std::size_t>(repair.target_position)];
+        gf::zero_region(out);
+        for (const auto& term : repair.terms) {
+            gf::addmul_region(out, buffers[static_cast<std::size_t>(term.source_position)], term.coeff);
+        }
+    }
+}
+
+}  // namespace ecfrm::codes

@@ -1,0 +1,94 @@
+// The candidate-code abstraction of the paper: a systematic linear erasure
+// code whose stripe is ONE row of n elements (k data + n-k parity).
+//
+// Everything downstream (layouts, EC-FRM, planners, the store) talks to
+// codes exclusively through this interface, so adding a new candidate code
+// is a matter of producing its systematic generator matrix and, optionally,
+// cheaper repair hints.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "matrix/matrix.h"
+
+namespace ecfrm::codes {
+
+/// How one erased element is rebuilt: XOR of coeff * source over the listed
+/// code positions (positions index the n elements of one stripe-row).
+struct RepairTerm {
+    int source_position;
+    std::uint8_t coeff;
+};
+
+struct ElementRepair {
+    int target_position;
+    std::vector<RepairTerm> terms;
+};
+
+/// A full decode plan: one ElementRepair per wanted-but-missing position.
+struct DecodePlan {
+    std::vector<ElementRepair> repairs;
+};
+
+/// Hints the degraded-read planner uses to pick repair sources.
+struct RepairSpec {
+    /// True when ANY k surviving positions can rebuild the target (MDS).
+    bool any_k = false;
+    /// Minimal fixed repair set (e.g. the LRC local group). Empty when the
+    /// code has no cheap structured repair for this position.
+    std::vector<int> preferred;
+};
+
+/// Systematic linear erasure code over GF(2^8) with one-row stripes.
+class ErasureCode {
+  public:
+    virtual ~ErasureCode() = default;
+
+    /// Total elements per stripe-row.
+    int n() const { return generator().rows(); }
+    /// Data elements per stripe-row.
+    int k() const { return generator().cols(); }
+    /// Parity elements per stripe-row.
+    int m() const { return n() - k(); }
+
+    virtual std::string name() const = 0;
+
+    /// Number of arbitrary concurrent element (disk) failures the code is
+    /// guaranteed to survive.
+    virtual int fault_tolerance() const = 0;
+
+    /// Systematic n x k generator: row i gives element i as a combination
+    /// of the k data elements; rows 0..k-1 form the identity.
+    virtual const matrix::Matrix& generator() const = 0;
+
+    /// Repair hints for a single erased position (see RepairSpec).
+    virtual RepairSpec repair_spec(int position) const;
+
+    /// Compute the m parity buffers from the k data buffers (region ops).
+    /// All spans must have equal length; parity spans are overwritten.
+    void encode(const std::vector<ConstByteSpan>& data, const std::vector<ByteSpan>& parity) const;
+
+    /// True when the k data elements are recoverable from `available`
+    /// positions (rank test).
+    bool decodable(const std::vector<int>& available) const;
+
+    /// Solve for the repair coefficients of `target` over exactly the
+    /// positions in `sources` (fails when the target row is outside the
+    /// row span of the sources). Zero-coefficient terms are pruned.
+    Result<ElementRepair> solve_repair(int target, const std::vector<int>& sources) const;
+
+    /// Build a decode plan recovering every position in `wanted` from
+    /// `available`. Positions already available get no repair entry.
+    Result<DecodePlan> plan_decode(const std::vector<int>& available, const std::vector<int>& wanted) const;
+
+    /// Execute a plan against element buffers (buffers[i] is position i's
+    /// payload; repaired targets are overwritten in place).
+    static void apply_plan(const DecodePlan& plan, const std::vector<ByteSpan>& buffers);
+};
+
+}  // namespace ecfrm::codes

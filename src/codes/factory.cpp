@@ -1,0 +1,55 @@
+#include "codes/factory.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include "codes/lrc.h"
+#include "codes/rs.h"
+
+namespace ecfrm::codes {
+
+namespace {
+
+/// Split "6,2,2" into integers; returns empty on malformed input.
+std::vector<int> parse_ints(const std::string& s) {
+    std::vector<int> out;
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        std::size_t end = s.find(',', pos);
+        if (end == std::string::npos) end = s.size();
+        const std::string tok = s.substr(pos, end - pos);
+        if (tok.empty()) return {};
+        char* rest = nullptr;
+        const long v = std::strtol(tok.c_str(), &rest, 10);
+        if (rest == nullptr || *rest != '\0') return {};
+        out.push_back(static_cast<int>(v));
+        pos = end + 1;
+    }
+    return out;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<ErasureCode>> make_code(const std::string& spec) {
+    const std::size_t colon = spec.find(':');
+    if (colon == std::string::npos) return Error::invalid("code spec must look like 'rs:6,3' or 'lrc:6,2,2'");
+    const std::string kind = spec.substr(0, colon);
+    const std::vector<int> params = parse_ints(spec.substr(colon + 1));
+    if (kind == "rs" && params.size() == 2) return make_rs(params[0], params[1]);
+    if (kind == "lrc" && params.size() == 3) return make_lrc(params[0], params[1], params[2]);
+    return Error::invalid("unknown code spec: " + spec);
+}
+
+Result<std::shared_ptr<ErasureCode>> make_rs(int k, int m) {
+    auto code = RsCode::make(k, m);
+    if (!code.ok()) return code.error();
+    return std::shared_ptr<ErasureCode>(std::move(code).take());
+}
+
+Result<std::shared_ptr<ErasureCode>> make_lrc(int k, int l, int m) {
+    auto code = LrcCode::make(k, l, m);
+    if (!code.ok()) return code.error();
+    return std::shared_ptr<ErasureCode>(std::move(code).take());
+}
+
+}  // namespace ecfrm::codes

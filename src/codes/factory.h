@@ -1,0 +1,19 @@
+// String-spec factory for candidate codes, used by benches, examples and
+// the CLI-ish harnesses: "rs:6,3" / "lrc:6,2,2".
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "codes/erasure_code.h"
+
+namespace ecfrm::codes {
+
+/// Parse "rs:k,m" or "lrc:k,l,m" into a code instance.
+Result<std::shared_ptr<ErasureCode>> make_code(const std::string& spec);
+
+/// Convenience overloads.
+Result<std::shared_ptr<ErasureCode>> make_rs(int k, int m);
+Result<std::shared_ptr<ErasureCode>> make_lrc(int k, int l, int m);
+
+}  // namespace ecfrm::codes

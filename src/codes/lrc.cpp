@@ -1,0 +1,129 @@
+#include "codes/lrc.h"
+
+#include <cassert>
+#include <functional>
+
+#include "gf/gf256.h"
+#include "matrix/matrix.h"
+
+namespace ecfrm::codes {
+
+using gf::Gf256;
+using matrix::Matrix;
+
+namespace {
+
+/// Enumerate all size-`count` subsets of [0, n), invoking fn(subset);
+/// fn returns false to abort the walk (and the walk reports false).
+bool for_each_subset(int n, int count, const std::function<bool(const std::vector<int>&)>& fn) {
+    std::vector<int> idx(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) idx[static_cast<std::size_t>(i)] = i;
+    if (count == 0) return fn(idx);
+    for (;;) {
+        if (!fn(idx)) return false;
+        int i = count - 1;
+        while (i >= 0 && idx[static_cast<std::size_t>(i)] == n - count + i) --i;
+        if (i < 0) return true;
+        ++idx[static_cast<std::size_t>(i)];
+        for (int j = i + 1; j < count; ++j) idx[static_cast<std::size_t>(j)] = idx[static_cast<std::size_t>(j - 1)] + 1;
+    }
+}
+
+/// True when erasing `erased` still leaves the data recoverable.
+bool survives(const Matrix& gen, const std::vector<int>& erased) {
+    std::vector<bool> gone(static_cast<std::size_t>(gen.rows()), false);
+    for (int e : erased) gone[static_cast<std::size_t>(e)] = true;
+    std::vector<int> alive;
+    alive.reserve(static_cast<std::size_t>(gen.rows()));
+    for (int i = 0; i < gen.rows(); ++i) {
+        if (!gone[static_cast<std::size_t>(i)]) alive.push_back(i);
+    }
+    return gen.select_rows(alive).rank() == gen.cols();
+}
+
+Matrix build_generator(int k, int l, int m, unsigned offset) {
+    const int n = k + l + m;
+    const int group = k / l;
+    Matrix gen(n, k);
+    for (int i = 0; i < k; ++i) gen.at(i, i) = 1;
+    for (int g = 0; g < l; ++g) {
+        for (int j = g * group; j < (g + 1) * group; ++j) gen.at(k + g, j) = 1;
+    }
+    // Global parity j uses alpha_i^(j+1) with alpha_i = g^(i+1+offset):
+    // a Vandermonde-like family; the offset walks distinct point sets.
+    for (int j = 0; j < m; ++j) {
+        for (int i = 0; i < k; ++i) {
+            const std::uint8_t alpha = Gf256::exp(static_cast<unsigned>(i) + 1 + offset);
+            gen.at(k + l + j, i) = Gf256::pow(alpha, static_cast<unsigned>(j) + 1);
+        }
+    }
+    return gen;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<LrcCode>> LrcCode::make(int k, int l, int m) {
+    if (k <= 0 || l <= 0 || m <= 0) return Error::invalid("LRC requires positive k, l, m");
+    if (k % l != 0) return Error::invalid("LRC requires l | k");
+    if (k + l + m > 256) return Error::invalid("LRC over GF(2^8) requires k + l + m <= 256");
+
+    const int n = k + l + m;
+    const int tolerance = m + 1;
+    constexpr unsigned kMaxSearch = 64;
+    for (unsigned offset = 0; offset < kMaxSearch; ++offset) {
+        Matrix gen = build_generator(k, l, m, offset);
+        const bool ok = for_each_subset(n, tolerance, [&](const std::vector<int>& erased) {
+            return survives(gen, erased);
+        });
+        if (ok) return std::unique_ptr<LrcCode>(new LrcCode(std::move(gen), l, m));
+    }
+    return Error::undecodable("no searched LRC coefficient family reaches the distance bound");
+}
+
+std::string LrcCode::name() const {
+    return "LRC(" + std::to_string(k()) + "," + std::to_string(l_) + "," + std::to_string(m_global_) + ")";
+}
+
+int LrcCode::group_of(int position) const {
+    assert(position >= 0 && position < n());
+    if (position < k()) return position / group_size();
+    if (position < k() + l_) return position - k();
+    return -1;  // global parity belongs to no local group
+}
+
+std::vector<int> LrcCode::local_set(int g) const {
+    assert(g >= 0 && g < l_);
+    std::vector<int> set;
+    set.reserve(static_cast<std::size_t>(group_size()) + 1);
+    for (int j = g * group_size(); j < (g + 1) * group_size(); ++j) set.push_back(j);
+    set.push_back(k() + g);
+    return set;
+}
+
+RepairSpec LrcCode::repair_spec(int position) const {
+    RepairSpec spec;
+    const int g = group_of(position);
+    if (g >= 0) {
+        // Data or local parity: repair from the rest of its local set.
+        for (int p : local_set(g)) {
+            if (p != position) spec.preferred.push_back(p);
+        }
+    } else {
+        // Global parity: regenerate from all data elements.
+        for (int j = 0; j < k(); ++j) spec.preferred.push_back(j);
+    }
+    return spec;
+}
+
+double LrcCode::decodable_fraction(int erasures) const {
+    long total = 0;
+    long good = 0;
+    for_each_subset(n(), erasures, [&](const std::vector<int>& erased) {
+        ++total;
+        if (survives(generator(), erased)) ++good;
+        return true;
+    });
+    return total == 0 ? 1.0 : static_cast<double>(good) / static_cast<double>(total);
+}
+
+}  // namespace ecfrm::codes

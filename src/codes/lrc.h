@@ -1,0 +1,62 @@
+// Azure-style Local Reconstruction Code (k, l, m):
+//   k data elements, split into l equal local groups of k/l;
+//   l local parities (XOR of each group);
+//   m global parities over all k data elements.
+//
+// Position convention within a stripe-row:
+//   [0, k)        data
+//   [k, k+l)      local parities (one per group, in group order)
+//   [k+l, k+l+m)  global parities
+//
+// The global coefficients are found by bounded deterministic search and the
+// resulting code is validated at construction time to tolerate ANY m+1
+// concurrent erasures — the distance bound d = m + 2 for a
+// distance-optimal LRC of this shape. Single-data-element repair touches
+// only the k/l local-group peers plus the local parity.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codes/erasure_code.h"
+
+namespace ecfrm::codes {
+
+class LrcCode final : public ErasureCode {
+  public:
+    /// Factory; requires l | k, positive parameters, and a successful
+    /// coefficient search (fails with Error::undecodable if no searched
+    /// coefficient family reaches the distance bound).
+    static Result<std::unique_ptr<LrcCode>> make(int k, int l, int m);
+
+    std::string name() const override;
+    int fault_tolerance() const override { return m_global_ + 1; }
+    const matrix::Matrix& generator() const override { return generator_; }
+    RepairSpec repair_spec(int position) const override;
+
+    int local_groups() const { return l_; }
+    int group_size() const { return k() / l_; }
+    int global_parities() const { return m_global_; }
+
+    /// Local group index of a data position (or of a local parity).
+    int group_of(int position) const;
+
+    /// Positions of group g's data elements plus its local parity.
+    std::vector<int> local_set(int g) const;
+
+    /// Fraction of erasure patterns of the given size that decode
+    /// (exhaustive; used to report the maximally-recoverable behaviour
+    /// beyond the guaranteed tolerance).
+    double decodable_fraction(int erasures) const;
+
+  private:
+    LrcCode(matrix::Matrix generator, int l, int m)
+        : generator_(std::move(generator)), l_(l), m_global_(m) {}
+
+    matrix::Matrix generator_;
+    int l_;
+    int m_global_;
+};
+
+}  // namespace ecfrm::codes

@@ -1,0 +1,41 @@
+#include "codes/rs.h"
+
+#include "matrix/builders.h"
+
+namespace ecfrm::codes {
+
+using matrix::Matrix;
+
+Result<std::unique_ptr<RsCode>> RsCode::make(int k, int m, Variant variant) {
+    if (k <= 0 || m <= 0) return Error::invalid("RS requires k > 0 and m > 0");
+    if (k + m > 256) return Error::invalid("RS over GF(2^8) requires k + m <= 256");
+
+    Matrix gen(k + m, k);
+    if (variant == Variant::cauchy) {
+        auto block = matrix::cauchy_parity_block(k, m);
+        if (!block.ok()) return block.error();
+        for (int i = 0; i < k; ++i) gen.at(i, i) = 1;
+        for (int p = 0; p < m; ++p) {
+            for (int j = 0; j < k; ++j) gen.at(k + p, j) = block->at(p, j);
+        }
+    } else {
+        auto sys = matrix::systematize(matrix::vandermonde(k + m, k));
+        if (!sys.ok()) return sys.error();
+        gen = std::move(sys).take();
+    }
+    return std::unique_ptr<RsCode>(new RsCode(std::move(gen), variant));
+}
+
+std::string RsCode::name() const {
+    return "RS(" + std::to_string(k()) + "," + std::to_string(m()) + ")" +
+           (variant_ == Variant::cauchy ? "" : "[vand]");
+}
+
+RepairSpec RsCode::repair_spec(int position) const {
+    (void)position;
+    RepairSpec spec;
+    spec.any_k = true;
+    return spec;
+}
+
+}  // namespace ecfrm::codes

@@ -1,0 +1,76 @@
+#include "codes/xor_codec.h"
+
+#include <cassert>
+
+#include "codes/erasure_code.h"
+#include "gf/region.h"
+
+namespace ecfrm::codes {
+
+namespace {
+constexpr int kW = 8;  // sub-packets per element (GF(2^8))
+}
+
+XorProgram XorProgram::from_matrix(const matrix::Matrix& map, bool optimize) {
+    XorProgram program;
+    program.inputs_ = map.cols();
+    program.outputs_ = map.rows();
+    const gf::BitMatrix bits = gf::expand_bitmatrix(map);
+    program.schedule_ = optimize ? gf::build_optimized_schedule(bits) : gf::build_schedule(bits);
+    return program;
+}
+
+Status XorProgram::apply(const std::vector<ConstByteSpan>& in, const std::vector<ByteSpan>& out) const {
+    if (static_cast<int>(in.size()) != inputs_ || static_cast<int>(out.size()) != outputs_) {
+        return Error::invalid("XorProgram::apply: buffer count mismatch");
+    }
+    if (in.empty() || out.empty()) return Status::success();
+    const std::size_t len = in[0].size();
+    if (len % kW != 0) return Error::invalid("XorProgram::apply: length must be a multiple of 8");
+    for (const auto& s : in) {
+        if (s.size() != len) return Error::invalid("XorProgram::apply: ragged input buffers");
+    }
+    for (const auto& s : out) {
+        if (s.size() != len) return Error::invalid("XorProgram::apply: ragged output buffers");
+    }
+    const std::size_t sub = len / kW;
+
+    // Scratch for the optimizer's intermediates (empty when unoptimized).
+    std::vector<std::vector<std::uint8_t>> scratch(schedule_.intermediates.size());
+
+    auto src_sub = [&](int idx) -> ConstByteSpan {
+        if (idx < schedule_.in_subpackets) {
+            return in[static_cast<std::size_t>(idx / kW)].subspan(static_cast<std::size_t>(idx % kW) * sub,
+                                                                  sub);
+        }
+        const auto& buf = scratch[static_cast<std::size_t>(idx - schedule_.in_subpackets)];
+        return ConstByteSpan(buf.data(), buf.size());
+    };
+    auto out_sub = [&](int idx) -> ByteSpan {
+        return out[static_cast<std::size_t>(idx / kW)].subspan(static_cast<std::size_t>(idx % kW) * sub, sub);
+    };
+
+    for (std::size_t j = 0; j < schedule_.intermediates.size(); ++j) {
+        const auto [a, b] = schedule_.intermediates[j];
+        scratch[j].resize(sub);
+        ByteSpan dst(scratch[j].data(), sub);
+        gf::copy_region(dst, src_sub(a));
+        gf::xor_region(dst, src_sub(b));
+    }
+    for (const auto& op : schedule_.copies) gf::copy_region(out_sub(op.dst), src_sub(op.src));
+    for (const auto& op : schedule_.xors) gf::xor_region(out_sub(op.dst), src_sub(op.src));
+    return Status::success();
+}
+
+XorCodec::XorCodec(const ErasureCode& code, bool optimize) {
+    // Parity block: rows k..n-1 of the systematic generator.
+    std::vector<int> parity_rows;
+    for (int r = code.k(); r < code.n(); ++r) parity_rows.push_back(r);
+    program_ = XorProgram::from_matrix(code.generator().select_rows(parity_rows), optimize);
+}
+
+Status XorCodec::encode(const std::vector<ConstByteSpan>& data, const std::vector<ByteSpan>& parity) const {
+    return program_.apply(data, parity);
+}
+
+}  // namespace ecfrm::codes

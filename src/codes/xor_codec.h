@@ -1,0 +1,69 @@
+// XOR-schedule execution of GF(2^8) linear maps (the Jerasure "bitmatrix /
+// schedule" technique, Cauchy-RS style): any out x in coefficient matrix
+// over GF(2^8) compiles to a program of sub-packet copies and XORs. The
+// data path then touches no multiplication tables at all — every byte
+// moves through xor_region, which vectorises trivially.
+//
+// Buffers must be a multiple of 8 bytes (w = 8 sub-packets per element).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "gf/bitmatrix.h"
+#include "matrix/matrix.h"
+
+namespace ecfrm::codes {
+
+class XorProgram {
+  public:
+    /// Compile the map: out_i = sum_j coeff(i, j) * in_j. With `optimize`,
+    /// shared sub-packet pairs are hoisted into intermediates (greedy
+    /// common-pair elimination), trading scratch space for fewer XORs.
+    static XorProgram from_matrix(const matrix::Matrix& map, bool optimize = false);
+
+    int inputs() const { return inputs_; }
+    int outputs() const { return outputs_; }
+
+    /// Number of XOR sub-packet operations per application — the classic
+    /// schedule-cost metric (lower is faster).
+    std::size_t xor_count() const { return schedule_.xor_count(); }
+
+    /// Apply to element buffers. All spans must share one length that is a
+    /// multiple of 8; `out` is overwritten. In-place aliasing of `in` and
+    /// `out` spans is not allowed.
+    Status apply(const std::vector<ConstByteSpan>& in, const std::vector<ByteSpan>& out) const;
+
+  private:
+    gf::XorSchedule schedule_;
+    int inputs_ = 0;
+    int outputs_ = 0;
+};
+
+class ErasureCode;
+
+/// Pure-XOR encoder for a systematic code: compiles the parity block of
+/// the generator once, then encodes stripes with XOR only.
+///
+/// Note on equivalence: the XOR path interprets each element buffer as 8
+/// bit-sliced sub-packet lanes (the Jerasure Cauchy-RS convention), so its
+/// parity BYTES differ from ErasureCode::encode's byte-symbol convention —
+/// but the code is the same linear code, and any repair/decode compiled
+/// through XorProgram from the same coefficient matrices round-trips
+/// byte-exactly (verified in tests). Use one convention per store.
+class XorCodec {
+  public:
+    explicit XorCodec(const ErasureCode& code, bool optimize = false);
+
+    std::size_t xor_count() const { return program_.xor_count(); }
+
+    /// Compute the parity buffers from the data buffers.
+    Status encode(const std::vector<ConstByteSpan>& data, const std::vector<ByteSpan>& parity) const;
+
+  private:
+    XorProgram program_;
+};
+
+}  // namespace ecfrm::codes

@@ -1,0 +1,41 @@
+// Tiny leveled logger. Off by default above WARN so benches stay quiet;
+// examples flip it to INFO for narration.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace ecfrm {
+
+enum class LogLevel : int { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+class Logger {
+  public:
+    static Logger& instance() {
+        static Logger logger;
+        return logger;
+    }
+
+    void set_level(LogLevel level) { level_ = level; }
+    LogLevel level() const { return level_; }
+
+    void log(LogLevel level, const std::string& msg) {
+        if (static_cast<int>(level) < static_cast<int>(level_)) return;
+        static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+        std::lock_guard lk(mu_);
+        std::fprintf(stderr, "[%s] %s\n", names[static_cast<int>(level)], msg.c_str());
+    }
+
+  private:
+    Logger() = default;
+    LogLevel level_ = LogLevel::warn;
+    std::mutex mu_;
+};
+
+inline void log_debug(const std::string& msg) { Logger::instance().log(LogLevel::debug, msg); }
+inline void log_info(const std::string& msg) { Logger::instance().log(LogLevel::info, msg); }
+inline void log_warn(const std::string& msg) { Logger::instance().log(LogLevel::warn, msg); }
+inline void log_error(const std::string& msg) { Logger::instance().log(LogLevel::error, msg); }
+
+}  // namespace ecfrm

@@ -1,0 +1,80 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// All experiments in the repo draw randomness through these generators so a
+// given seed reproduces the paper's protocol exactly across runs and hosts
+// (std::mt19937 distributions are not bit-portable across standard library
+// implementations; these are).
+#pragma once
+
+#include <cstdint>
+
+namespace ecfrm {
+
+/// SplitMix64: used to expand a user seed into generator state.
+class SplitMix64 {
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t next() {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/// Xoshiro256** — fast, high-quality, tiny state. Not cryptographic.
+class Rng {
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eedULL) {
+        SplitMix64 sm(seed);
+        for (auto& w : s_) w = sm.next();
+    }
+
+    std::uint64_t next_u64() {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [0, bound) via Lemire's rejection-free-ish method.
+    std::uint64_t next_below(std::uint64_t bound) {
+        // Debiased multiply-shift; rejection loop terminates quickly.
+        std::uint64_t x = next_u64();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < bound) {
+            const std::uint64_t threshold = (0 - bound) % bound;
+            while (lo < threshold) {
+                x = next_u64();
+                m = static_cast<__uint128_t>(x) * bound;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /// Uniform integer in the closed interval [lo, hi].
+    std::int64_t next_range(std::int64_t lo, std::int64_t hi) {
+        return lo + static_cast<std::int64_t>(next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /// Uniform double in [0, 1).
+    double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  private:
+    static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+    std::uint64_t s_[4];
+};
+
+}  // namespace ecfrm

@@ -1,0 +1,13 @@
+#include "common/stats.h"
+
+namespace ecfrm {
+
+double percentile(std::vector<double> samples, double q) {
+    if (samples.empty()) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    std::sort(samples.begin(), samples.end());
+    const auto idx = static_cast<std::size_t>(q * static_cast<double>(samples.size() - 1) + 0.5);
+    return samples[std::min(idx, samples.size() - 1)];
+}
+
+}  // namespace ecfrm

@@ -1,0 +1,62 @@
+// Small statistics helpers shared by the simulator and the benches:
+// single-pass online moments (Welford) and exact sample percentiles.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace ecfrm {
+
+/// Welford's online mean/variance with min/max tracking.
+class OnlineStats {
+  public:
+    void add(double x) {
+        ++count_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (x - mean_);
+        min_ = count_ == 1 ? x : std::min(min_, x);
+        max_ = count_ == 1 ? x : std::max(max_, x);
+    }
+
+    std::size_t count() const { return count_; }
+    double mean() const { return mean_; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+    /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+    double variance() const { return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1); }
+    double stddev() const { return std::sqrt(variance()); }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Exact percentile of a sample (nearest-rank on the sorted copy).
+/// q in [0, 1]; empty input yields 0.
+double percentile(std::vector<double> samples, double q);
+
+/// Collects samples and answers both moment and percentile queries.
+class SampleSet {
+  public:
+    void add(double x) {
+        stats_.add(x);
+        samples_.push_back(x);
+    }
+
+    const OnlineStats& stats() const { return stats_; }
+    double percentile(double q) const { return ecfrm::percentile(samples_, q); }
+    std::size_t size() const { return samples_.size(); }
+
+  private:
+    OnlineStats stats_;
+    std::vector<double> samples_;
+};
+
+}  // namespace ecfrm

@@ -1,0 +1,96 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+
+namespace ecfrm {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0) threads = 1;
+    }
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lk(mu_);
+        stop_ = true;
+    }
+    cv_task_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    {
+        std::lock_guard lk(mu_);
+        queue_.push_back(std::move(task));
+    }
+    cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock lk(mu_);
+    cv_idle_.wait(lk, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lk(mu_);
+            cv_task_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+            if (stop_ && queue_.empty()) return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++in_flight_;
+        }
+        task();
+        {
+            std::lock_guard lk(mu_);
+            --in_flight_;
+            if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+        }
+    }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t count, const std::function<void(std::size_t)>& fn) {
+    if (count == 0) return;
+    if (count == 1 || pool.thread_count() == 1) {
+        for (std::size_t i = 0; i < count; ++i) fn(i);
+        return;
+    }
+    // Shared control block: shards may still probe `next` after the last
+    // item completes (and the caller returns), so the state must outlive
+    // this frame. `fn` itself is only invoked for i < count, which always
+    // happens-before done == count, so the reference stays valid.
+    struct Control {
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+        std::mutex mu;
+        std::condition_variable cv;
+    };
+    auto ctl = std::make_shared<Control>();
+    const std::size_t shards = std::min(count, pool.thread_count());
+    for (std::size_t s = 0; s < shards; ++s) {
+        pool.submit([ctl, count, &fn] {
+            for (;;) {
+                const std::size_t i = ctl->next.fetch_add(1);
+                if (i >= count) break;
+                fn(i);
+                if (ctl->done.fetch_add(1) + 1 == count) {
+                    std::lock_guard lk(ctl->mu);
+                    ctl->cv.notify_all();
+                }
+            }
+        });
+    }
+    std::unique_lock lk(ctl->mu);
+    ctl->cv.wait(lk, [&] { return ctl->done.load() == count; });
+}
+
+}  // namespace ecfrm

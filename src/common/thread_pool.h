@@ -1,0 +1,49 @@
+// A small fixed-size thread pool used by the striped store and the parallel
+// encode path. Tasks are type-erased std::function<void()>; submit() returns
+// a future-like handle via a shared countdown latch for batch joins.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ecfrm {
+
+class ThreadPool {
+  public:
+    /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Enqueue a task. Never blocks.
+    void submit(std::function<void()> task);
+
+    /// Block until every task submitted so far has finished executing.
+    void wait_idle();
+
+    std::size_t thread_count() const { return workers_.size(); }
+
+  private:
+    void worker_loop();
+
+    std::mutex mu_;
+    std::condition_variable cv_task_;
+    std::condition_variable cv_idle_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    std::size_t in_flight_ = 0;
+    bool stop_ = false;
+};
+
+/// Runs fn(i) for i in [0, count) across the pool and waits for completion.
+/// Falls back to serial execution for tiny batches.
+void parallel_for(ThreadPool& pool, std::size_t count, const std::function<void(std::size_t)>& fn);
+
+}  // namespace ecfrm

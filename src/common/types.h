@@ -1,0 +1,36 @@
+// Fundamental type aliases shared by every ecfrm module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace ecfrm {
+
+/// Index of a physical disk (column) in an array, 0-based.
+using DiskId = int;
+
+/// Global row index on a disk. A "row slot" holds exactly one element.
+using RowId = std::int64_t;
+
+/// Index of a logical *data* element in the user-visible address space
+/// (0, 1, 2, ... in file order, parities excluded).
+using ElementId = std::int64_t;
+
+/// Index of a stripe (one EC-FRM super-stripe, or one candidate-code row
+/// for the standard/rotated layouts).
+using StripeId = std::int64_t;
+
+/// Mutable / immutable views over raw element bytes.
+using ByteSpan = std::span<std::uint8_t>;
+using ConstByteSpan = std::span<const std::uint8_t>;
+
+/// Physical location of one element: (disk, row-on-disk).
+struct Location {
+    DiskId disk = -1;
+    RowId row = -1;
+
+    friend bool operator==(const Location&, const Location&) = default;
+};
+
+}  // namespace ecfrm

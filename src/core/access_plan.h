@@ -1,0 +1,77 @@
+// AccessPlan: the I/O schedule a read planner emits.
+//
+// A plan lists every distinct element to fetch (each exactly once — reads
+// are deduplicated across direct service and repair traffic), plus the
+// per-group decode recipes needed to materialise elements that live on a
+// failed disk. The simulator prices a plan; the store executes one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codes/erasure_code.h"
+#include "common/types.h"
+#include "layout/layout.h"
+
+namespace ecfrm::core {
+
+/// One element fetch.
+struct Access {
+    Location loc;                 // physical slot to read
+    layout::GroupCoord coord;     // candidate-code coordinates
+    bool requested = false;       // true when the user asked for this element
+};
+
+/// Decode recipe for one group that lost an element the user wants.
+struct GroupDecode {
+    StripeId stripe = 0;
+    int group = 0;
+    codes::ElementRepair repair;  // positions are candidate-code positions
+};
+
+class AccessPlan {
+  public:
+    explicit AccessPlan(int disks) : per_disk_(static_cast<std::size_t>(disks), 0) {}
+
+    /// Record a fetch; the caller guarantees it is not a duplicate.
+    void add_fetch(const Access& access) {
+        fetches_.push_back(access);
+        ++per_disk_[static_cast<std::size_t>(access.loc.disk)];
+    }
+
+    void add_decode(GroupDecode decode) { decodes_.push_back(std::move(decode)); }
+
+    const std::vector<Access>& fetches() const { return fetches_; }
+    const std::vector<GroupDecode>& decodes() const { return decodes_; }
+    const std::vector<int>& per_disk_loads() const { return per_disk_; }
+
+    /// Elements fetched from the most-loaded disk — the quantity the paper
+    /// argues bounds parallel read latency.
+    int max_load() const {
+        int max = 0;
+        for (int v : per_disk_) max = std::max(max, v);
+        return max;
+    }
+
+    /// Total distinct elements fetched.
+    std::int64_t total_fetched() const { return static_cast<std::int64_t>(fetches_.size()); }
+
+    /// Elements the user asked for (satisfied directly or via decode).
+    std::int64_t requested() const { return requested_; }
+    void set_requested(std::int64_t count) { requested_ = count; }
+
+    /// Degraded read cost: total elements read per user element — the
+    /// network-bandwidth metric of Figure 9(a)/(b).
+    double cost() const {
+        return requested_ == 0 ? 0.0
+                               : static_cast<double>(total_fetched()) / static_cast<double>(requested_);
+    }
+
+  private:
+    std::vector<Access> fetches_;
+    std::vector<GroupDecode> decodes_;
+    std::vector<int> per_disk_;
+    std::int64_t requested_ = 0;
+};
+
+}  // namespace ecfrm::core

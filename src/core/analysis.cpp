@@ -1,0 +1,82 @@
+#include "core/analysis.h"
+
+#include <algorithm>
+
+#include "core/read_planner.h"
+
+namespace ecfrm::core {
+
+LoadAnalysis analyze_normal_reads(const Scheme& scheme, int max_size) {
+    const auto& lay = scheme.layout();
+    // Placement is periodic in the data-element index with period
+    // data_per_stripe() for every shipped layout except rotated, whose
+    // disk map cycles after n stripes — use the least common period.
+    std::int64_t period = lay.data_per_stripe();
+    if (scheme.kind() == layout::LayoutKind::rotated) period *= lay.disks();
+
+    LoadAnalysis analysis;
+    std::int64_t cases = 0;
+    for (std::int64_t start = 0; start < period; ++start) {
+        for (int size = 1; size <= max_size; ++size) {
+            const AccessPlan plan = plan_normal_read(scheme, start, size);
+            analysis.mean_max_load += plan.max_load();
+            analysis.worst_max_load = std::max(analysis.worst_max_load, plan.max_load());
+            int touched = 0;
+            for (int v : plan.per_disk_loads()) touched += v > 0 ? 1 : 0;
+            analysis.mean_disks_touched += touched;
+            ++cases;
+        }
+    }
+    analysis.mean_max_load /= static_cast<double>(cases);
+    analysis.mean_disks_touched /= static_cast<double>(cases);
+    return analysis;
+}
+
+DegradedAnalysis analyze_degraded_reads(const Scheme& scheme, int max_size, DegradedPolicy policy) {
+    const auto& lay = scheme.layout();
+    std::int64_t period = lay.data_per_stripe();
+    if (scheme.kind() == layout::LayoutKind::rotated) period *= lay.disks();
+
+    DegradedAnalysis analysis;
+    std::int64_t cases = 0;
+    for (DiskId failed = 0; failed < scheme.disks(); ++failed) {
+        for (std::int64_t start = 0; start < period; ++start) {
+            for (int size = 1; size <= max_size; ++size) {
+                auto plan = plan_degraded_read(scheme, start, size, std::vector<DiskId>{failed}, policy);
+                // Single-failure plans always succeed for the shipped codes.
+                const AccessPlan& p = plan.value();
+                analysis.loads.mean_max_load += p.max_load();
+                analysis.loads.worst_max_load = std::max(analysis.loads.worst_max_load, p.max_load());
+                int touched = 0;
+                for (int v : p.per_disk_loads()) touched += v > 0 ? 1 : 0;
+                analysis.loads.mean_disks_touched += touched;
+                analysis.mean_cost += p.cost();
+                ++cases;
+            }
+        }
+    }
+    analysis.loads.mean_max_load /= static_cast<double>(cases);
+    analysis.loads.mean_disks_touched /= static_cast<double>(cases);
+    analysis.mean_cost /= static_cast<double>(cases);
+    return analysis;
+}
+
+int closed_form_max_load(layout::LayoutKind kind, int n, int k, std::int64_t request_elements) {
+    switch (kind) {
+        case layout::LayoutKind::standard:
+            return static_cast<int>((request_elements + k - 1) / k);
+        case layout::LayoutKind::ecfrm:
+            return static_cast<int>((request_elements + n - 1) / n);
+        case layout::LayoutKind::rotated:
+            return -1;  // window overlap depends on the start offset
+    }
+    return -1;
+}
+
+double predicted_transfer_bound_speedup(const Scheme& standard, const Scheme& ecfrm, int max_size) {
+    const LoadAnalysis std_loads = analyze_normal_reads(standard, max_size);
+    const LoadAnalysis frm_loads = analyze_normal_reads(ecfrm, max_size);
+    return std_loads.mean_max_load / frm_loads.mean_max_load;
+}
+
+}  // namespace ecfrm::core

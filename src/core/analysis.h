@@ -1,0 +1,52 @@
+// Closed-form / exhaustive analysis of read load distributions.
+//
+// The paper's argument (Section III) is analytical: the most-loaded disk
+// bounds parallel read latency, and the EC-FRM layout lowers the expected
+// max load from ceil(E/k)-shaped to ceil(E/n)-shaped. This module makes
+// that argument executable: exact expected loads by enumerating every
+// (start offset, request size) pair — no sampling — plus the ceil-formula
+// predictions for the layouts where a closed form exists. Tests pin the
+// planner, the formulas and the enumeration against each other.
+#pragma once
+
+#include <cstdint>
+
+#include "core/read_planner.h"
+#include "core/scheme.h"
+
+namespace ecfrm::core {
+
+struct LoadAnalysis {
+    double mean_max_load = 0.0;      // E[max per-disk elements] over the grid
+    double mean_disks_touched = 0.0; // E[#disks with at least one fetch]
+    int worst_max_load = 0;          // max over the grid
+};
+
+/// Exact analysis of normal reads: enumerate every start offset in one
+/// placement period and every size in [1, max_size], uniformly weighted
+/// (the paper's workload, conditioned on no clamping).
+LoadAnalysis analyze_normal_reads(const Scheme& scheme, int max_size);
+
+struct DegradedAnalysis {
+    LoadAnalysis loads;       // over the full (start, size, failed-disk) grid
+    double mean_cost = 0.0;   // E[fetched / requested] — Figure 9(a)/(b) exact
+};
+
+/// Exact analysis of degraded reads: the normal grid crossed with every
+/// failed-disk choice. No sampling — these are the exact expectations the
+/// paper's Figure 9 estimates with 5000 trials.
+DegradedAnalysis analyze_degraded_reads(const Scheme& scheme, int max_size,
+                                        DegradedPolicy policy = DegradedPolicy::local_first);
+
+/// Closed-form max load of one normal read:
+///   standard layout: ceil(E / k)        (only the k data disks serve)
+///   ecfrm layout:    ceil(E / n)        (data is n-disk sequential)
+/// Exact for every start offset; returns -1 for layouts without a simple
+/// closed form (rotated).
+int closed_form_max_load(layout::LayoutKind kind, int n, int k, std::int64_t request_elements);
+
+/// The paper's headline ratio: predicted EC-FRM speedup over the standard
+/// layout in the transfer-bound regime = E[max load std] / E[max load frm].
+double predicted_transfer_bound_speedup(const Scheme& standard, const Scheme& ecfrm, int max_size);
+
+}  // namespace ecfrm::core

@@ -1,0 +1,217 @@
+#include "core/read_planner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <tuple>
+
+namespace ecfrm::core {
+
+namespace {
+
+using layout::GroupCoord;
+
+/// Dedup key for an element within a plan.
+using Key = std::tuple<StripeId, int, int>;
+
+Key key_of(const GroupCoord& c) { return {c.stripe, c.group, c.position}; }
+
+/// Bookkeeping shared by both planners.
+struct PlanBuilder {
+    explicit PlanBuilder(const Scheme& scheme) : scheme(scheme), plan(scheme.disks()) {}
+
+    /// Fetch the element at `coord` once; later duplicate fetches are
+    /// no-ops. All requested fetches happen before any repair fetch, so a
+    /// duplicate can never need a requested-flag upgrade.
+    void fetch(const GroupCoord& coord, bool requested) {
+        if (!seen.insert(key_of(coord)).second) return;
+        Access access;
+        access.coord = coord;
+        access.loc = scheme.layout().locate(coord);
+        access.requested = requested;
+        plan.add_fetch(access);
+    }
+
+    bool fetched(const GroupCoord& coord) const { return seen.count(key_of(coord)) > 0; }
+
+    int disk_load(DiskId d) const { return plan.per_disk_loads()[static_cast<std::size_t>(d)]; }
+
+    const Scheme& scheme;
+    AccessPlan plan;
+    std::set<Key> seen;
+};
+
+/// Survivor positions of the target's group, greedy-ordered: free riders
+/// (already being fetched) first, then least-loaded disks.
+std::vector<int> greedy_order(PlanBuilder& b, const GroupCoord& target, const std::vector<int>& survivors) {
+    const auto& layout = b.scheme.layout();
+    std::vector<int> order = survivors;
+    std::stable_sort(order.begin(), order.end(), [&](int a, int c) {
+        const GroupCoord ca{target.stripe, target.group, a};
+        const GroupCoord cc{target.stripe, target.group, c};
+        const bool fa = b.fetched(ca);
+        const bool fc = b.fetched(cc);
+        if (fa != fc) return fa;
+        return b.disk_load(layout.locate(ca).disk) < b.disk_load(layout.locate(cc).disk);
+    });
+    return order;
+}
+
+/// Smallest greedy prefix of the survivors that spans the target (k for
+/// MDS codes; possibly more for LRC when the local set is broken).
+Result<codes::ElementRepair> greedy_repair(PlanBuilder& b, const GroupCoord& target,
+                                           const std::vector<int>& survivors) {
+    const auto& code = b.scheme.code();
+    const std::vector<int> order = greedy_order(b, target, survivors);
+    const std::size_t min_count = std::min<std::size_t>(static_cast<std::size_t>(code.k()), order.size());
+    Result<codes::ElementRepair> last = Error::undecodable("no survivors");
+    for (std::size_t count = min_count; count <= order.size(); ++count) {
+        std::vector<int> sources(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(count));
+        std::sort(sources.begin(), sources.end());
+        last = code.solve_repair(target.position, sources);
+        if (last.ok()) return last;
+    }
+    return last;
+}
+
+/// Max per-disk load the plan would have after adding this repair's
+/// missing fetches; used to compare candidate repairs under the balance
+/// policy. Secondary component: number of new fetches.
+std::pair<int, int> projected_cost(PlanBuilder& b, const GroupCoord& target,
+                                   const codes::ElementRepair& repair) {
+    const auto& layout = b.scheme.layout();
+    std::vector<int> loads = b.plan.per_disk_loads();
+    int new_fetches = 0;
+    for (const auto& term : repair.terms) {
+        const GroupCoord c{target.stripe, target.group, term.source_position};
+        if (b.fetched(c)) continue;
+        ++loads[static_cast<std::size_t>(layout.locate(c).disk)];
+        ++new_fetches;
+    }
+    int max = 0;
+    for (int v : loads) max = std::max(max, v);
+    return {max, new_fetches};
+}
+
+/// Shared repair-source policy: structured set first (when fully alive),
+/// then a greedy survivor prefix. Under DegradedPolicy::balance both
+/// candidates compete on projected max load.
+Result<codes::ElementRepair> choose_repair(PlanBuilder& b, const GroupCoord& target,
+                                           const std::vector<bool>& disk_failed, DegradedPolicy policy) {
+    const auto& code = b.scheme.code();
+    const auto& layout = b.scheme.layout();
+    auto alive = [&](int position) {
+        const Location loc = layout.locate({target.stripe, target.group, position});
+        return !disk_failed[static_cast<std::size_t>(loc.disk)];
+    };
+
+    std::vector<int> survivors;
+    survivors.reserve(static_cast<std::size_t>(code.n()) - 1);
+    for (int p = 0; p < code.n(); ++p) {
+        if (p != target.position && alive(p)) survivors.push_back(p);
+    }
+
+    // Structured candidate (e.g. the LRC local set), if fully alive.
+    const codes::RepairSpec spec = code.repair_spec(target.position);
+    Result<codes::ElementRepair> structured = Error::undecodable("no structured repair");
+    if (!spec.preferred.empty()) {
+        bool intact = true;
+        for (int p : spec.preferred) {
+            if (!alive(p)) {
+                intact = false;
+                break;
+            }
+        }
+        if (intact) structured = code.solve_repair(target.position, spec.preferred);
+    }
+
+    if (policy == DegradedPolicy::local_first && structured.ok()) return structured;
+
+    auto greedy = greedy_repair(b, target, survivors);
+    if (!structured.ok()) return greedy;
+    if (!greedy.ok()) return structured;
+    return projected_cost(b, target, greedy.value()) < projected_cost(b, target, structured.value())
+               ? greedy
+               : structured;
+}
+
+}  // namespace
+
+AccessPlan plan_normal_read(const Scheme& scheme, ElementId start, std::int64_t count) {
+    PlanBuilder b(scheme);
+    for (std::int64_t i = 0; i < count; ++i) {
+        b.fetch(scheme.layout().coord_of_data(start + i), /*requested=*/true);
+    }
+    b.plan.set_requested(count);
+    return std::move(b.plan);
+}
+
+Result<AccessPlan> plan_degraded_read(const Scheme& scheme, ElementId start, std::int64_t count,
+                                      DiskId failed_disk) {
+    return plan_degraded_read(scheme, start, count, std::vector<DiskId>{failed_disk});
+}
+
+Result<AccessPlan> plan_degraded_read(const Scheme& scheme, ElementId start, std::int64_t count,
+                                      const std::vector<DiskId>& failed_disks, DegradedPolicy policy) {
+    const auto& layout = scheme.layout();
+    PlanBuilder b(scheme);
+
+    std::vector<bool> disk_failed(static_cast<std::size_t>(scheme.disks()), false);
+    for (DiskId d : failed_disks) {
+        if (d < 0 || d >= scheme.disks()) return Error::range("no such disk");
+        disk_failed[static_cast<std::size_t>(d)] = true;
+    }
+    auto alive = [&](const GroupCoord& c) { return !disk_failed[static_cast<std::size_t>(layout.locate(c).disk)]; };
+
+    // Pass 1: requested elements on surviving disks are plain fetches.
+    std::vector<GroupCoord> failed_elements;
+    for (std::int64_t i = 0; i < count; ++i) {
+        const GroupCoord coord = layout.coord_of_data(start + i);
+        if (alive(coord)) {
+            b.fetch(coord, /*requested=*/true);
+        } else {
+            failed_elements.push_back(coord);
+        }
+    }
+
+    // Pass 2: plan repair traffic for each failed requested element.
+    // Within a group every position maps to a distinct disk, so f failed
+    // disks erase at most f elements per group.
+    for (const GroupCoord& target : failed_elements) {
+        auto repair = choose_repair(b, target, disk_failed, policy);
+        if (!repair.ok()) return repair.error();
+        for (const auto& term : repair->terms) {
+            b.fetch({target.stripe, target.group, term.source_position}, /*requested=*/false);
+        }
+        b.plan.add_decode({target.stripe, target.group, std::move(repair).take()});
+    }
+
+    b.plan.set_requested(count);
+    return std::move(b.plan);
+}
+
+Result<AccessPlan> plan_reconstruction(const Scheme& scheme, DiskId failed_disk, StripeId stripes) {
+    if (failed_disk < 0 || failed_disk >= scheme.disks()) return Error::range("no such disk");
+    const auto& layout = scheme.layout();
+    PlanBuilder b(scheme);
+
+    std::vector<bool> disk_failed(static_cast<std::size_t>(scheme.disks()), false);
+    disk_failed[static_cast<std::size_t>(failed_disk)] = true;
+
+    std::int64_t rebuilt = 0;
+    const RowId rows = stripes * layout.rows_per_stripe();
+    for (RowId row = 0; row < rows; ++row) {
+        const GroupCoord target = layout.coord_at({failed_disk, row});
+        auto repair = choose_repair(b, target, disk_failed, DegradedPolicy::local_first);
+        if (!repair.ok()) return repair.error();
+        for (const auto& term : repair->terms) {
+            b.fetch({target.stripe, target.group, term.source_position}, /*requested=*/false);
+        }
+        b.plan.add_decode({target.stripe, target.group, std::move(repair).take()});
+        ++rebuilt;
+    }
+    b.plan.set_requested(rebuilt);
+    return std::move(b.plan);
+}
+
+}  // namespace ecfrm::core

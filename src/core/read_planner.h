@@ -1,0 +1,52 @@
+// Read planners: translate a user read request into an AccessPlan.
+//
+// Normal reads fetch exactly the requested elements (every disk is healthy,
+// every requested element is read from its home slot). Degraded reads
+// replace each requested element that lives on the failed disk with a
+// repair fetch set, chosen to (a) reuse elements the plan already reads and
+// (b) greedily minimise the maximum per-disk load — the quantity that
+// bounds parallel read latency (paper Section III).
+#pragma once
+
+#include "common/result.h"
+#include "core/access_plan.h"
+#include "core/scheme.h"
+
+namespace ecfrm::core {
+
+/// Plan a failure-free read of `count` logical elements starting at `start`.
+AccessPlan plan_normal_read(const Scheme& scheme, ElementId start, std::int64_t count);
+
+/// Repair-source policy for degraded reads.
+enum class DegradedPolicy {
+    /// Structured repair first (LRC local sets): minimal repair traffic,
+    /// the policy the paper's cost figures assume. Default.
+    local_first,
+    /// Consider both the structured set and a greedy any-k choice, pick
+    /// whichever yields the lower max per-disk load (ties: fewer fetches).
+    /// Trades network bytes for parallel latency.
+    balance,
+};
+
+/// Plan a read of `count` elements starting at `start` while `failed_disk`
+/// is unavailable. Fails only if some required element is unrecoverable
+/// (impossible for the shipped codes under a single disk failure).
+Result<AccessPlan> plan_degraded_read(const Scheme& scheme, ElementId start, std::int64_t count,
+                                      DiskId failed_disk);
+
+/// General form: any set of concurrently failed disks. Structured repairs
+/// (LRC local sets) are used when fully alive; otherwise the planner falls
+/// back to MDS any-k selection or the full survivor set. Fails with
+/// Error::undecodable when a required element cannot be rebuilt.
+Result<AccessPlan> plan_degraded_read(const Scheme& scheme, ElementId start, std::int64_t count,
+                                      const std::vector<DiskId>& failed_disks,
+                                      DegradedPolicy policy = DegradedPolicy::local_first);
+
+/// Plan the offline reconstruction of every element of `failed_disk` over
+/// `stripes` stored stripes: one decode per lost element, repair sources
+/// chosen with the same structured-first, then load-balancing-greedy
+/// policy as degraded reads. The plan's fetches are the rebuild's read
+/// traffic; requested() counts the elements to rebuild.
+Result<AccessPlan> plan_reconstruction(const Scheme& scheme, DiskId failed_disk, StripeId stripes);
+
+}  // namespace ecfrm::core

@@ -1,0 +1,41 @@
+#include "core/scheme.h"
+
+#include <cassert>
+
+namespace ecfrm::core {
+
+Scheme::Scheme(std::shared_ptr<const codes::ErasureCode> code, layout::LayoutKind kind)
+    : code_(std::move(code)),
+      layout_(layout::make_layout(kind, code_->n(), code_->k())),
+      kind_(kind) {
+    assert(layout_ != nullptr);
+}
+
+std::string Scheme::name() const {
+    switch (kind_) {
+        case layout::LayoutKind::standard: return code_->name();
+        case layout::LayoutKind::rotated: return "R-" + code_->name();
+        case layout::LayoutKind::ecfrm: return "EC-FRM-" + code_->name();
+    }
+    return code_->name();
+}
+
+std::vector<Location> Scheme::group_locations(StripeId stripe, int group) const {
+    std::vector<Location> locs;
+    locs.reserve(static_cast<std::size_t>(code_->n()));
+    for (int p = 0; p < code_->n(); ++p) {
+        locs.push_back(layout_->locate({stripe, group, p}));
+    }
+    return locs;
+}
+
+StripeId Scheme::stripes_for(std::int64_t data_elements) const {
+    const std::int64_t per = layout_->data_per_stripe();
+    return (data_elements + per - 1) / per;
+}
+
+RowId Scheme::rows_for(StripeId stripes) const {
+    return stripes * layout_->rows_per_stripe();
+}
+
+}  // namespace ecfrm::core

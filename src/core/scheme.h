@@ -1,0 +1,47 @@
+// Scheme: the user-facing binding of a candidate code to a stripe layout.
+//
+// A Scheme answers every geometric and algebraic question the planners,
+// the store and the simulator need: where each element lives, which group
+// it belongs to, and how groups encode/decode. The paper's three arms are
+// Scheme(code, standard), Scheme(code, rotated) and Scheme(code, ecfrm).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codes/erasure_code.h"
+#include "layout/layout.h"
+
+namespace ecfrm::core {
+
+class Scheme {
+  public:
+    Scheme(std::shared_ptr<const codes::ErasureCode> code, layout::LayoutKind kind);
+
+    /// Display name in the paper's convention: "RS(6,3)", "R-RS(6,3)",
+    /// "EC-FRM-RS(6,3)", etc.
+    std::string name() const;
+
+    const codes::ErasureCode& code() const { return *code_; }
+    const layout::Layout& layout() const { return *layout_; }
+    layout::LayoutKind kind() const { return kind_; }
+
+    int disks() const { return layout_->disks(); }
+
+    /// Physical locations of every position (0..n-1) of one group.
+    std::vector<Location> group_locations(StripeId stripe, int group) const;
+
+    /// Number of stripes needed to hold `data_elements` logical elements.
+    StripeId stripes_for(std::int64_t data_elements) const;
+
+    /// Rows per disk needed to hold `stripes` stripes.
+    RowId rows_for(StripeId stripes) const;
+
+  private:
+    std::shared_ptr<const codes::ErasureCode> code_;
+    std::unique_ptr<layout::Layout> layout_;
+    layout::LayoutKind kind_;
+};
+
+}  // namespace ecfrm::core

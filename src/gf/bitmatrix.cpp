@@ -1,0 +1,129 @@
+#include "gf/bitmatrix.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+#include "gf/gf256.h"
+
+namespace ecfrm::gf {
+
+int BitMatrix::row_weight(int r) const {
+    int weight = 0;
+    for (int c = 0; c < cols_; ++c) weight += get(r, c);
+    return weight;
+}
+
+BitMatrix element_bitmatrix(std::uint8_t c) {
+    constexpr int w = 8;
+    BitMatrix m(w, w);
+    // Column j holds the bits of c * x^j: multiplying by x is a shift plus
+    // conditional reduction by the field polynomial.
+    std::uint8_t col = c;
+    for (int j = 0; j < w; ++j) {
+        for (int i = 0; i < w; ++i) m.set(i, j, static_cast<std::uint8_t>((col >> i) & 1));
+        col = Gf256::mul(col, 2);
+    }
+    return m;
+}
+
+BitMatrix expand_bitmatrix(const matrix::Matrix& m) {
+    constexpr int w = 8;
+    BitMatrix out(m.rows() * w, m.cols() * w);
+    for (int r = 0; r < m.rows(); ++r) {
+        for (int c = 0; c < m.cols(); ++c) {
+            const BitMatrix block = element_bitmatrix(m.at(r, c));
+            for (int i = 0; i < w; ++i) {
+                for (int j = 0; j < w; ++j) {
+                    out.set(r * w + i, c * w + j, block.get(i, j));
+                }
+            }
+        }
+    }
+    return out;
+}
+
+XorSchedule build_schedule(const BitMatrix& m) {
+    XorSchedule schedule;
+    schedule.in_subpackets = m.cols();
+    schedule.out_subpackets = m.rows();
+    for (int r = 0; r < m.rows(); ++r) {
+        bool first = true;
+        for (int c = 0; c < m.cols(); ++c) {
+            if (m.get(r, c) == 0) continue;
+            if (first) {
+                schedule.copies.push_back({r, c});
+                first = false;
+            } else {
+                schedule.xors.push_back({r, c});
+            }
+        }
+        // An all-zero row means the output is identically zero; encode as a
+        // copy from a sentinel handled by the executor (dst == -1 avoided:
+        // we assert instead, since no sane generator has zero rows).
+        assert(!first && "zero row in bit matrix");
+    }
+    return schedule;
+}
+
+XorSchedule build_optimized_schedule(const BitMatrix& m) {
+    XorSchedule schedule;
+    schedule.in_subpackets = m.cols();
+    schedule.out_subpackets = m.rows();
+
+    // Row sets over an extended id space (inputs first, intermediates
+    // appended as they are created).
+    std::vector<std::set<int>> rows(static_cast<std::size_t>(m.rows()));
+    for (int r = 0; r < m.rows(); ++r) {
+        for (int c = 0; c < m.cols(); ++c) {
+            if (m.get(r, c) != 0) rows[static_cast<std::size_t>(r)].insert(c);
+        }
+        assert(!rows[static_cast<std::size_t>(r)].empty() && "zero row in bit matrix");
+    }
+
+    // Greedy common-pair elimination: while some id pair appears in two or
+    // more rows, materialise it as an intermediate and substitute.
+    for (;;) {
+        std::map<std::pair<int, int>, int> pair_count;
+        std::pair<int, int> best{-1, -1};
+        int best_count = 1;
+        for (const auto& row : rows) {
+            for (auto it = row.begin(); it != row.end(); ++it) {
+                auto jt = it;
+                for (++jt; jt != row.end(); ++jt) {
+                    const int count = ++pair_count[{*it, *jt}];
+                    if (count > best_count) {
+                        best_count = count;
+                        best = {*it, *jt};
+                    }
+                }
+            }
+        }
+        if (best_count < 2) break;
+
+        const int new_id = schedule.in_subpackets + static_cast<int>(schedule.intermediates.size());
+        schedule.intermediates.push_back(best);
+        for (auto& row : rows) {
+            if (row.count(best.first) != 0 && row.count(best.second) != 0) {
+                row.erase(best.first);
+                row.erase(best.second);
+                row.insert(new_id);
+            }
+        }
+    }
+
+    for (int r = 0; r < m.rows(); ++r) {
+        bool first = true;
+        for (int id : rows[static_cast<std::size_t>(r)]) {
+            if (first) {
+                schedule.copies.push_back({r, id});
+                first = false;
+            } else {
+                schedule.xors.push_back({r, id});
+            }
+        }
+    }
+    return schedule;
+}
+
+}  // namespace ecfrm::gf

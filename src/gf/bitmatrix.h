@@ -1,0 +1,84 @@
+// Bit-matrix representation of GF(2^w) linear maps (Jerasure/Cauchy-RS
+// style): every field element c expands to a w x w matrix of bits over
+// GF(2) describing y = c * x on the bit level. A generator matrix over
+// GF(2^w) then expands to a (rows*w) x (cols*w) bit matrix, and encoding
+// becomes pure XOR of w-bit sub-packets — no multiplication tables on the
+// data path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/matrix.h"
+
+namespace ecfrm::gf {
+
+/// Dense bit matrix, row-major, one byte per bit (simple and fast enough
+/// for schedule CONSTRUCTION; the data path uses the derived schedules,
+/// not this structure).
+class BitMatrix {
+  public:
+    BitMatrix() = default;
+    BitMatrix(int rows, int cols) : rows_(rows), cols_(cols), bits_(static_cast<std::size_t>(rows) * cols, 0) {}
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+    std::uint8_t get(int r, int c) const { return bits_[static_cast<std::size_t>(r) * cols_ + c]; }
+    void set(int r, int c, std::uint8_t v) { bits_[static_cast<std::size_t>(r) * cols_ + c] = v & 1; }
+
+    friend bool operator==(const BitMatrix&, const BitMatrix&) = default;
+
+    /// Number of ones in row r (the XOR count of that output bit).
+    int row_weight(int r) const;
+
+  private:
+    int rows_ = 0;
+    int cols_ = 0;
+    std::vector<std::uint8_t> bits_;
+};
+
+/// The w x w bit matrix of "multiply by c" in GF(2^8) (w = 8, polynomial
+/// 0x11d): column j is the bit pattern of c * x^j.
+BitMatrix element_bitmatrix(std::uint8_t c);
+
+/// Expand a GF(2^8) matrix into its (rows*8) x (cols*8) bit matrix.
+BitMatrix expand_bitmatrix(const matrix::Matrix& m);
+
+/// One XOR schedule op: dst_subrow ^= src_subrow. Source ids index the
+/// flat sub-packet space: [0, in_subpackets) are inputs, ids >= that are
+/// intermediates produced by the optimizer.
+struct XorOp {
+    int dst;
+    int src;
+};
+
+/// Turn a bit matrix into a flat XOR schedule: output sub-packet i is the
+/// XOR of the input sub-packets whose bit is set in row i. The first
+/// source of each output uses a copy.
+///
+/// Optimized schedules additionally define intermediate sub-packets — each
+/// the XOR of two earlier ids — which outputs (and later intermediates)
+/// may reference; this is greedy common-pair elimination, the standard
+/// technique for shrinking XOR counts of structured generators.
+struct XorSchedule {
+    int in_subpackets = 0;
+    int out_subpackets = 0;
+    /// intermediate j (id = in_subpackets + j) = ids first ^ second; each
+    /// referenced id precedes it.
+    std::vector<std::pair<int, int>> intermediates;
+    std::vector<XorOp> copies;  // output dst = src (first term of each row)
+    std::vector<XorOp> xors;    // output dst ^= src (remaining terms)
+
+    /// Total XOR ops per application (intermediates + output xors) — the
+    /// classic schedule-cost metric.
+    std::size_t xor_count() const { return intermediates.size() + xors.size(); }
+};
+
+XorSchedule build_schedule(const BitMatrix& m);
+
+/// Same outputs, fewer XORs: greedily extract sub-packet pairs shared by
+/// two or more rows into intermediates until no pair repeats.
+XorSchedule build_optimized_schedule(const BitMatrix& m);
+
+}  // namespace ecfrm::gf

@@ -1,0 +1,67 @@
+#include "gf/gf256.h"
+
+#include <cassert>
+
+namespace ecfrm::gf {
+
+Gf256::Tables::Tables() {
+    // Generate the multiplicative group from the generator 0x02.
+    unsigned x = 1;
+    for (unsigned i = 0; i < kGroupOrder; ++i) {
+        exp[i] = static_cast<std::uint8_t>(x);
+        log[x] = static_cast<std::uint8_t>(i);
+        x <<= 1;
+        if (x & 0x100) x ^= kPoly;
+    }
+    for (unsigned i = kGroupOrder; i < 512; ++i) exp[i] = exp[i - kGroupOrder];
+    log[0] = 0;  // never consulted; keeps the table fully initialised
+
+    inv[0] = 0;
+    for (unsigned a = 1; a < kFieldSize; ++a) {
+        inv[a] = exp[kGroupOrder - log[a]];
+    }
+
+    for (unsigned a = 0; a < kFieldSize; ++a) {
+        mul[0][a] = 0;
+        mul[a][0] = 0;
+    }
+    for (unsigned a = 1; a < kFieldSize; ++a) {
+        for (unsigned b = 1; b < kFieldSize; ++b) {
+            mul[a][b] = exp[log[a] + log[b]];
+        }
+    }
+}
+
+const Gf256::Tables& Gf256::tables() {
+    static const Tables t;  // thread-safe magic static
+    return t;
+}
+
+std::uint8_t Gf256::div(std::uint8_t a, std::uint8_t b) {
+    assert(b != 0 && "division by zero in GF(2^8)");
+    if (a == 0) return 0;
+    const Tables& t = tables();
+    return t.exp[t.log[a] + kGroupOrder - t.log[b]];
+}
+
+std::uint8_t Gf256::inv(std::uint8_t a) {
+    assert(a != 0 && "inverse of zero in GF(2^8)");
+    return tables().inv[a];
+}
+
+std::uint8_t Gf256::pow(std::uint8_t a, unsigned e) {
+    if (a == 0) return e == 0 ? 1 : 0;
+    if (e == 0) return 1;
+    const Tables& t = tables();
+    const unsigned l = (static_cast<unsigned long long>(t.log[a]) * e) % kGroupOrder;
+    return t.exp[l];
+}
+
+unsigned Gf256::log(std::uint8_t a) {
+    assert(a != 0 && "log of zero in GF(2^8)");
+    return tables().log[a];
+}
+
+std::uint8_t Gf256::exp(unsigned e) { return tables().exp[e % kGroupOrder]; }
+
+}  // namespace ecfrm::gf

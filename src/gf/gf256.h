@@ -1,0 +1,58 @@
+// GF(2^8) arithmetic with the AES-adjacent primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11d), the polynomial used by Jerasure/ISA-L
+// style storage codes.
+//
+// Scalar operations go through a full 64 KiB multiplication table (one load
+// per product); log/exp tables back division, powers and inverses. Table
+// construction happens once, lazily, and is thread-safe.
+#pragma once
+
+#include <cstdint>
+
+namespace ecfrm::gf {
+
+/// The field GF(2^8). All members are static; the class exists as a
+/// namespace with private table state.
+class Gf256 {
+  public:
+    static constexpr unsigned kPoly = 0x11d;  // primitive polynomial
+    static constexpr unsigned kFieldSize = 256;
+    static constexpr unsigned kGroupOrder = 255;  // multiplicative group order
+
+    /// a + b and a - b coincide in characteristic 2.
+    static std::uint8_t add(std::uint8_t a, std::uint8_t b) { return a ^ b; }
+
+    static std::uint8_t mul(std::uint8_t a, std::uint8_t b) { return tables().mul[a][b]; }
+
+    /// a / b. Precondition: b != 0 (asserted in debug builds).
+    static std::uint8_t div(std::uint8_t a, std::uint8_t b);
+
+    /// Multiplicative inverse. Precondition: a != 0.
+    static std::uint8_t inv(std::uint8_t a);
+
+    /// a^e with e taken mod 255 (a != 0); 0^0 == 1, 0^e == 0 for e > 0.
+    static std::uint8_t pow(std::uint8_t a, unsigned e);
+
+    /// Discrete log base the generator (0x02). Precondition: a != 0.
+    static unsigned log(std::uint8_t a);
+
+    /// generator^e (e taken mod 255).
+    static std::uint8_t exp(unsigned e);
+
+    /// Pointer to the 256-entry row `mul[c][*]` — the region kernels use it
+    /// to get one-lookup-per-byte multiplication.
+    static const std::uint8_t* mul_row(std::uint8_t c) { return tables().mul[c]; }
+
+  private:
+    struct Tables {
+        std::uint8_t exp[512];      // doubled so exp[log a + log b] needs no mod
+        std::uint8_t log[256];      // log[0] unused
+        std::uint8_t inv[256];      // inv[0] unused
+        std::uint8_t mul[256][256];
+        Tables();
+    };
+
+    static const Tables& tables();
+};
+
+}  // namespace ecfrm::gf

@@ -1,0 +1,95 @@
+#include "gf/gf2_solver.h"
+
+#include <algorithm>
+
+#include "gf/region.h"
+
+namespace ecfrm::gf {
+
+int gf2_rank(std::vector<std::vector<std::uint8_t>> m) {
+    const int rows = static_cast<int>(m.size());
+    if (rows == 0) return 0;
+    const int cols = static_cast<int>(m[0].size());
+    int rank = 0;
+    for (int col = 0; col < cols && rank < rows; ++col) {
+        int pivot = -1;
+        for (int r = rank; r < rows; ++r) {
+            if (m[static_cast<std::size_t>(r)][static_cast<std::size_t>(col)] != 0) {
+                pivot = r;
+                break;
+            }
+        }
+        if (pivot < 0) continue;
+        std::swap(m[static_cast<std::size_t>(rank)], m[static_cast<std::size_t>(pivot)]);
+        for (int r = 0; r < rows; ++r) {
+            if (r == rank || m[static_cast<std::size_t>(r)][static_cast<std::size_t>(col)] == 0) continue;
+            for (int c = 0; c < cols; ++c) {
+                m[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] ^=
+                    m[static_cast<std::size_t>(rank)][static_cast<std::size_t>(c)];
+            }
+        }
+        ++rank;
+    }
+    return rank;
+}
+
+bool gf2_solvable(const Gf2System& system) {
+    if (system.unknown_cells.empty()) return true;
+    return gf2_rank(system.coeffs) == static_cast<int>(system.unknown_cells.size());
+}
+
+Status gf2_solve(Gf2System system, const std::vector<ByteSpan>& cells) {
+    const int unknowns = static_cast<int>(system.unknown_cells.size());
+    if (unknowns == 0) return Status::success();
+    const int equations = static_cast<int>(system.coeffs.size());
+    const std::size_t len = cells[static_cast<std::size_t>(system.unknown_cells[0])].size();
+
+    // Materialise the right-hand sides.
+    std::vector<std::vector<std::uint8_t>> rhs(static_cast<std::size_t>(equations));
+    for (int e = 0; e < equations; ++e) {
+        rhs[static_cast<std::size_t>(e)].assign(len, 0);
+        ByteSpan acc(rhs[static_cast<std::size_t>(e)].data(), len);
+        for (int c : system.knowns[static_cast<std::size_t>(e)]) {
+            xor_region(acc, cells[static_cast<std::size_t>(c)]);
+        }
+    }
+
+    // Gauss-Jordan over GF(2) with byte-buffer RHS.
+    int rank = 0;
+    std::vector<int> pivot_unknown;
+    for (int col = 0; col < unknowns && rank < equations; ++col) {
+        int pivot = -1;
+        for (int r = rank; r < equations; ++r) {
+            if (system.coeffs[static_cast<std::size_t>(r)][static_cast<std::size_t>(col)] != 0) {
+                pivot = r;
+                break;
+            }
+        }
+        if (pivot < 0) return Error::undecodable("GF(2) system singular for this erasure");
+        std::swap(system.coeffs[static_cast<std::size_t>(rank)], system.coeffs[static_cast<std::size_t>(pivot)]);
+        std::swap(rhs[static_cast<std::size_t>(rank)], rhs[static_cast<std::size_t>(pivot)]);
+        for (int r = 0; r < equations; ++r) {
+            if (r == rank || system.coeffs[static_cast<std::size_t>(r)][static_cast<std::size_t>(col)] == 0) {
+                continue;
+            }
+            for (int c = 0; c < unknowns; ++c) {
+                system.coeffs[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] ^=
+                    system.coeffs[static_cast<std::size_t>(rank)][static_cast<std::size_t>(c)];
+            }
+            xor_region(ByteSpan(rhs[static_cast<std::size_t>(r)].data(), len),
+                       ConstByteSpan(rhs[static_cast<std::size_t>(rank)].data(), len));
+        }
+        pivot_unknown.push_back(col);
+        ++rank;
+    }
+    if (rank < unknowns) return Error::undecodable("GF(2) system under-determined");
+
+    for (int r = 0; r < rank; ++r) {
+        const int cell = system.unknown_cells[static_cast<std::size_t>(pivot_unknown[static_cast<std::size_t>(r)])];
+        copy_region(cells[static_cast<std::size_t>(cell)],
+                    ConstByteSpan(rhs[static_cast<std::size_t>(r)].data(), len));
+    }
+    return Status::success();
+}
+
+}  // namespace ecfrm::gf

@@ -1,0 +1,51 @@
+#include "gf/gf65536.h"
+
+#include <cassert>
+
+namespace ecfrm::gf {
+
+Gf65536::Tables::Tables() : exp(2 * kGroupOrder), log(kFieldSize) {
+    unsigned x = 1;
+    for (unsigned i = 0; i < kGroupOrder; ++i) {
+        exp[i] = x;
+        log[x] = static_cast<std::uint16_t>(i);
+        x <<= 1;
+        if (x & 0x10000) x ^= kPoly;
+    }
+    for (unsigned i = kGroupOrder; i < 2 * kGroupOrder; ++i) exp[i] = exp[i - kGroupOrder];
+    log[0] = 0;
+}
+
+const Gf65536::Tables& Gf65536::tables() {
+    static const Tables t;
+    return t;
+}
+
+std::uint16_t Gf65536::mul(std::uint16_t a, std::uint16_t b) {
+    if (a == 0 || b == 0) return 0;
+    const Tables& t = tables();
+    return static_cast<std::uint16_t>(t.exp[t.log[a] + t.log[b]]);
+}
+
+std::uint16_t Gf65536::div(std::uint16_t a, std::uint16_t b) {
+    assert(b != 0 && "division by zero in GF(2^16)");
+    if (a == 0) return 0;
+    const Tables& t = tables();
+    return static_cast<std::uint16_t>(t.exp[t.log[a] + kGroupOrder - t.log[b]]);
+}
+
+std::uint16_t Gf65536::inv(std::uint16_t a) {
+    assert(a != 0 && "inverse of zero in GF(2^16)");
+    const Tables& t = tables();
+    return static_cast<std::uint16_t>(t.exp[kGroupOrder - t.log[a]]);
+}
+
+std::uint16_t Gf65536::pow(std::uint16_t a, unsigned e) {
+    if (a == 0) return e == 0 ? 1 : 0;
+    if (e == 0) return 1;
+    const Tables& t = tables();
+    const unsigned l = (static_cast<unsigned long long>(t.log[a]) * e) % kGroupOrder;
+    return static_cast<std::uint16_t>(t.exp[l]);
+}
+
+}  // namespace ecfrm::gf

@@ -1,0 +1,35 @@
+// GF(2^16) with primitive polynomial x^16 + x^12 + x^3 + x + 1 (0x1100b).
+//
+// Provided for codes whose stripe width exceeds what GF(2^8) Cauchy/
+// Vandermonde constructions comfortably support. Log/exp tables (256 KiB
+// combined) give one-multiplication-per-product; no full mul table at this
+// width.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ecfrm::gf {
+
+class Gf65536 {
+  public:
+    static constexpr unsigned kPoly = 0x1100b;
+    static constexpr unsigned kFieldSize = 65536;
+    static constexpr unsigned kGroupOrder = 65535;
+
+    static std::uint16_t add(std::uint16_t a, std::uint16_t b) { return a ^ b; }
+    static std::uint16_t mul(std::uint16_t a, std::uint16_t b);
+    static std::uint16_t div(std::uint16_t a, std::uint16_t b);
+    static std::uint16_t inv(std::uint16_t a);
+    static std::uint16_t pow(std::uint16_t a, unsigned e);
+
+  private:
+    struct Tables {
+        std::vector<std::uint32_t> exp;  // 2 * kGroupOrder entries
+        std::vector<std::uint16_t> log;
+        Tables();
+    };
+    static const Tables& tables();
+};
+
+}  // namespace ecfrm::gf

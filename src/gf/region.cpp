@@ -1,0 +1,92 @@
+#include "gf/region.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstring>
+
+#include "gf/gf256.h"
+#include "gf/region_simd.h"
+
+namespace ecfrm::gf {
+
+namespace {
+std::atomic<bool> g_simd_enabled{true};
+}  // namespace
+
+bool region_simd_active() { return g_simd_enabled.load() && simd::avx2_available(); }
+
+void set_region_simd(bool enabled) { g_simd_enabled.store(enabled); }
+
+void xor_region(ByteSpan dst, ConstByteSpan src) {
+    assert(dst.size() == src.size());
+    std::uint8_t* d = dst.data();
+    const std::uint8_t* s = src.data();
+    std::size_t n = dst.size();
+
+    // Word-wide main loop. memcpy keeps this strict-aliasing clean; the
+    // compiler lowers it to plain 64-bit loads/stores.
+    while (n >= 8) {
+        std::uint64_t a, b;
+        std::memcpy(&a, d, 8);
+        std::memcpy(&b, s, 8);
+        a ^= b;
+        std::memcpy(d, &a, 8);
+        d += 8;
+        s += 8;
+        n -= 8;
+    }
+    while (n > 0) {
+        *d++ ^= *s++;
+        --n;
+    }
+}
+
+void mul_region(ByteSpan dst, ConstByteSpan src, std::uint8_t c) {
+    assert(dst.size() == src.size());
+    if (c == 0) {
+        zero_region(dst);
+        return;
+    }
+    if (c == 1) {
+        copy_region(dst, src);
+        return;
+    }
+    if (region_simd_active()) {
+        simd::mul_region_avx2(dst.data(), src.data(), c, dst.size());
+        return;
+    }
+    const std::uint8_t* row = Gf256::mul_row(c);
+    std::uint8_t* d = dst.data();
+    const std::uint8_t* s = src.data();
+    const std::size_t n = dst.size();
+    for (std::size_t i = 0; i < n; ++i) d[i] = row[s[i]];
+}
+
+void addmul_region(ByteSpan dst, ConstByteSpan src, std::uint8_t c) {
+    assert(dst.size() == src.size());
+    if (c == 0) return;
+    if (c == 1) {
+        xor_region(dst, src);
+        return;
+    }
+    if (region_simd_active()) {
+        simd::addmul_region_avx2(dst.data(), src.data(), c, dst.size());
+        return;
+    }
+    const std::uint8_t* row = Gf256::mul_row(c);
+    std::uint8_t* d = dst.data();
+    const std::uint8_t* s = src.data();
+    const std::size_t n = dst.size();
+    for (std::size_t i = 0; i < n; ++i) d[i] ^= row[s[i]];
+}
+
+void zero_region(ByteSpan dst) {
+    if (!dst.empty()) std::memset(dst.data(), 0, dst.size());
+}
+
+void copy_region(ByteSpan dst, ConstByteSpan src) {
+    assert(dst.size() == src.size());
+    if (!dst.empty()) std::memmove(dst.data(), src.data(), dst.size());
+}
+
+}  // namespace ecfrm::gf

@@ -1,0 +1,37 @@
+// Region kernels: bulk XOR / constant-multiply / multiply-accumulate over
+// byte buffers. These are the inner loops of every encode and decode; the
+// XOR path is widened to 64-bit words and the GF paths use one table lookup
+// per byte via Gf256::mul_row.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace ecfrm::gf {
+
+/// dst ^= src, byte-wise. Spans must be the same length.
+void xor_region(ByteSpan dst, ConstByteSpan src);
+
+/// dst = c * src over GF(2^8). c == 0 zeroes dst; c == 1 copies.
+void mul_region(ByteSpan dst, ConstByteSpan src, std::uint8_t c);
+
+/// dst ^= c * src over GF(2^8) — the encode/decode workhorse.
+/// c == 0 is a no-op; c == 1 degrades to xor_region.
+void addmul_region(ByteSpan dst, ConstByteSpan src, std::uint8_t c);
+
+/// dst = 0.
+void zero_region(ByteSpan dst);
+
+/// dst = src (plain copy, here for symmetry with the kernels above).
+void copy_region(ByteSpan dst, ConstByteSpan src);
+
+/// True when the GF multiply kernels are running the AVX2 split-table
+/// path on this machine.
+bool region_simd_active();
+
+/// Testing hook: force the scalar path (true re-enables auto-detection).
+void set_region_simd(bool enabled);
+
+}  // namespace ecfrm::gf

@@ -1,0 +1,73 @@
+#include "gf/region_simd.h"
+
+#include <immintrin.h>
+
+#include "gf/gf256.h"
+
+namespace ecfrm::gf::simd {
+
+bool avx2_available() {
+    static const bool available = __builtin_cpu_supports("avx2") != 0;
+    return available;
+}
+
+namespace {
+
+/// Build the two 16-entry nibble tables for multiplication by c:
+/// lo[x] = c * x and hi[x] = c * (x << 4), x in [0, 16).
+struct NibbleTables {
+    alignas(16) std::uint8_t lo[16];
+    alignas(16) std::uint8_t hi[16];
+};
+
+NibbleTables build_tables(std::uint8_t c) {
+    NibbleTables t;
+    for (int x = 0; x < 16; ++x) {
+        t.lo[x] = Gf256::mul(c, static_cast<std::uint8_t>(x));
+        t.hi[x] = Gf256::mul(c, static_cast<std::uint8_t>(x << 4));
+    }
+    return t;
+}
+
+}  // namespace
+
+__attribute__((target("avx2"))) void addmul_region_avx2(std::uint8_t* dst, const std::uint8_t* src,
+                                                        std::uint8_t c, std::size_t n) {
+    const NibbleTables tables = build_tables(c);
+    const __m256i tlo = _mm256_broadcastsi128_si256(_mm_load_si128(reinterpret_cast<const __m128i*>(tables.lo)));
+    const __m256i thi = _mm256_broadcastsi128_si256(_mm_load_si128(reinterpret_cast<const __m128i*>(tables.hi)));
+    const __m256i mask = _mm256_set1_epi8(0x0f);
+
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+        const __m256i lo = _mm256_and_si256(v, mask);
+        const __m256i hi = _mm256_and_si256(_mm256_srli_epi64(v, 4), mask);
+        const __m256i prod = _mm256_xor_si256(_mm256_shuffle_epi8(tlo, lo), _mm256_shuffle_epi8(thi, hi));
+        const __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_xor_si256(d, prod));
+    }
+    const std::uint8_t* row = Gf256::mul_row(c);
+    for (; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+__attribute__((target("avx2"))) void mul_region_avx2(std::uint8_t* dst, const std::uint8_t* src,
+                                                     std::uint8_t c, std::size_t n) {
+    const NibbleTables tables = build_tables(c);
+    const __m256i tlo = _mm256_broadcastsi128_si256(_mm_load_si128(reinterpret_cast<const __m128i*>(tables.lo)));
+    const __m256i thi = _mm256_broadcastsi128_si256(_mm_load_si128(reinterpret_cast<const __m128i*>(tables.hi)));
+    const __m256i mask = _mm256_set1_epi8(0x0f);
+
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+        const __m256i lo = _mm256_and_si256(v, mask);
+        const __m256i hi = _mm256_and_si256(_mm256_srli_epi64(v, 4), mask);
+        const __m256i prod = _mm256_xor_si256(_mm256_shuffle_epi8(tlo, lo), _mm256_shuffle_epi8(thi, hi));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), prod);
+    }
+    const std::uint8_t* row = Gf256::mul_row(c);
+    for (; i < n; ++i) dst[i] = row[src[i]];
+}
+
+}  // namespace ecfrm::gf::simd

@@ -1,0 +1,22 @@
+// Internal: AVX2 split-table GF(2^8) region kernels (vpshufb on 4-bit
+// nibble tables — the GF-Complete "SPLIT 8,4" technique the paper's
+// performance premise rests on). Compiled with a function-level target
+// attribute; callers must check avx2_available() before use.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ecfrm::gf::simd {
+
+/// True when the running CPU supports AVX2 (checked once).
+bool avx2_available();
+
+/// dst ^= c * src over GF(2^8), AVX2 path. Handles any length (scalar
+/// tail). Preconditions: c != 0, c != 1 (callers fold those cases).
+void addmul_region_avx2(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c, std::size_t n);
+
+/// dst = c * src over GF(2^8), AVX2 path. Same preconditions.
+void mul_region_avx2(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c, std::size_t n);
+
+}  // namespace ecfrm::gf::simd

@@ -1,0 +1,41 @@
+#include "layout/layout.h"
+
+#include <cassert>
+
+#include "layout/ecfrm_layout.h"
+#include "layout/standard.h"
+
+namespace ecfrm::layout {
+
+GroupCoord Layout::coord_of_data(ElementId e) const {
+    assert(e >= 0);
+    const std::int64_t per_stripe = data_per_stripe();
+    const StripeId stripe = e / per_stripe;
+    const std::int64_t within = e % per_stripe;
+    return {stripe, static_cast<int>(within / k_), static_cast<int>(within % k_)};
+}
+
+ElementId Layout::data_id(const GroupCoord& c) const {
+    assert(c.position < k_);
+    return c.stripe * data_per_stripe() + static_cast<std::int64_t>(c.group) * k_ + c.position;
+}
+
+const char* to_string(LayoutKind kind) {
+    switch (kind) {
+        case LayoutKind::standard: return "standard";
+        case LayoutKind::rotated: return "rotated";
+        case LayoutKind::ecfrm: return "ecfrm";
+    }
+    return "?";
+}
+
+std::unique_ptr<Layout> make_layout(LayoutKind kind, int n, int k) {
+    switch (kind) {
+        case LayoutKind::standard: return std::make_unique<StandardLayout>(n, k);
+        case LayoutKind::rotated: return std::make_unique<RotatedLayout>(n, k);
+        case LayoutKind::ecfrm: return std::make_unique<EcfrmLayout>(n, k);
+    }
+    return nullptr;
+}
+
+}  // namespace ecfrm::layout

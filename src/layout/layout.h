@@ -1,0 +1,94 @@
+// Stripe layouts: how candidate-code elements map onto an array of n disks.
+//
+// Three layouts reproduce the paper's three experimental arms:
+//   StandardLayout — one candidate row per stripe, data on disks 0..k-1,
+//                    parity on disks k..n-1 (classic horizontal code).
+//   RotatedLayout  — same stripe shape, but the logical->physical disk map
+//                    rotates by one per stripe (the paper's "rotated
+//                    stripes" baseline, R-RS / R-LRC).
+//   EcfrmLayout    — the paper's contribution: a super-stripe of n/gcd(n,k)
+//                    rows x n columns whose groups each occupy n distinct
+//                    disks while data stays sequential across all disks
+//                    (Section IV-B, Equations 1-4).
+//
+// A layout is pure geometry: it never touches bytes. Codes supply algebra,
+// layouts supply placement, and ecfrm::core::Scheme composes the two.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ecfrm::layout {
+
+/// Candidate-code coordinates of one element: which stripe, which group
+/// (candidate-row instance) inside the stripe, and which code position
+/// 0..n-1 within the group (positions < k are data).
+struct GroupCoord {
+    StripeId stripe = 0;
+    int group = 0;
+    int position = 0;
+
+    friend bool operator==(const GroupCoord&, const GroupCoord&) = default;
+};
+
+class Layout {
+  public:
+    Layout(int n, int k) : n_(n), k_(k) {}
+    virtual ~Layout() = default;
+
+    virtual std::string name() const = 0;
+
+    /// Number of disks (columns) — equals the candidate code's n.
+    int disks() const { return n_; }
+    /// Data positions per group — the candidate code's k.
+    int data_per_group() const { return k_; }
+
+    /// Rows of one (super-)stripe.
+    virtual int rows_per_stripe() const = 0;
+    /// Candidate-code rows (groups) per stripe.
+    virtual int groups_per_stripe() const = 0;
+    /// Of the rows_per_stripe() rows, how many hold data elements.
+    virtual int data_rows_per_stripe() const = 0;
+
+    /// User-visible data elements per stripe.
+    std::int64_t data_per_stripe() const {
+        return static_cast<std::int64_t>(groups_per_stripe()) * k_;
+    }
+
+    /// Candidate coordinates of logical data element `e`.
+    GroupCoord coord_of_data(ElementId e) const;
+
+    /// Logical data element at a data coordinate (position must be < k).
+    ElementId data_id(const GroupCoord& c) const;
+
+    /// Physical location of the element with the given coordinates.
+    virtual Location locate(const GroupCoord& c) const = 0;
+
+    /// Convenience: physical location of logical data element `e`.
+    Location locate_data(ElementId e) const { return locate(coord_of_data(e)); }
+
+    /// Inverse map: what lives at a physical (disk, row) slot.
+    virtual GroupCoord coord_at(Location loc) const = 0;
+
+    /// Within-stripe data index of a coordinate (group-major order).
+    std::int64_t stripe_data_index(const GroupCoord& c) const {
+        return static_cast<std::int64_t>(c.group) * k_ + c.position;
+    }
+
+  protected:
+    int n_;
+    int k_;
+};
+
+/// The three layout arms of the paper's evaluation.
+enum class LayoutKind { standard, rotated, ecfrm };
+
+const char* to_string(LayoutKind kind);
+
+/// Factory for a layout of the given kind over an (n, k) candidate code.
+std::unique_ptr<Layout> make_layout(LayoutKind kind, int n, int k);
+
+}  // namespace ecfrm::layout

@@ -1,0 +1,56 @@
+// Standard and rotated horizontal layouts: one candidate row per stripe.
+#pragma once
+
+#include "layout/layout.h"
+
+namespace ecfrm::layout {
+
+/// Data on disks [0, k), parity on disks [k, n); stripe s is row s.
+class StandardLayout final : public Layout {
+  public:
+    StandardLayout(int n, int k) : Layout(n, k) {}
+
+    std::string name() const override { return "standard"; }
+    int rows_per_stripe() const override { return 1; }
+    int groups_per_stripe() const override { return 1; }
+    int data_rows_per_stripe() const override { return 1; }
+
+    Location locate(const GroupCoord& c) const override {
+        return {static_cast<DiskId>(c.position), static_cast<RowId>(c.stripe)};
+    }
+
+    GroupCoord coord_at(Location loc) const override {
+        return {static_cast<StripeId>(loc.row), 0, loc.disk};
+    }
+};
+
+/// Standard layout with the logical->physical disk map rotated by the
+/// stripe index (the paper's R-RS / R-LRC baseline). The map rotates
+/// AGAINST the logical read direction (classic left-symmetric RAID
+/// convention): stripe s places position j on disk (j - s) mod n, so a
+/// multi-stripe sequential read slides over all n disks instead of
+/// tracking the same k data disks.
+class RotatedLayout final : public Layout {
+  public:
+    RotatedLayout(int n, int k) : Layout(n, k) {}
+
+    std::string name() const override { return "rotated"; }
+    int rows_per_stripe() const override { return 1; }
+    int groups_per_stripe() const override { return 1; }
+    int data_rows_per_stripe() const override { return 1; }
+
+    Location locate(const GroupCoord& c) const override {
+        int disk = static_cast<int>((c.position - c.stripe) % n_);
+        if (disk < 0) disk += n_;
+        return {disk, static_cast<RowId>(c.stripe)};
+    }
+
+    GroupCoord coord_at(Location loc) const override {
+        const auto stripe = static_cast<StripeId>(loc.row);
+        int position = static_cast<int>((loc.disk + stripe) % n_);
+        if (position < 0) position += n_;
+        return {stripe, 0, position};
+    }
+};
+
+}  // namespace ecfrm::layout

@@ -1,0 +1,55 @@
+#include "matrix/builders.h"
+
+#include <cassert>
+
+#include "gf/gf256.h"
+
+namespace ecfrm::matrix {
+
+using gf::Gf256;
+
+Matrix vandermonde(int rows, int cols) {
+    Matrix m(rows, cols);
+    for (int i = 0; i < rows; ++i) {
+        for (int j = 0; j < cols; ++j) {
+            m.at(i, j) = Gf256::pow(static_cast<std::uint8_t>(i), static_cast<unsigned>(j));
+        }
+    }
+    return m;
+}
+
+Matrix cauchy(const std::vector<std::uint8_t>& xs, const std::vector<std::uint8_t>& ys) {
+    Matrix m(static_cast<int>(xs.size()), static_cast<int>(ys.size()));
+    for (int i = 0; i < m.rows(); ++i) {
+        for (int j = 0; j < m.cols(); ++j) {
+            const std::uint8_t s = Gf256::add(xs[static_cast<std::size_t>(i)], ys[static_cast<std::size_t>(j)]);
+            assert(s != 0 && "Cauchy points must satisfy x_i != y_j");
+            m.at(i, j) = Gf256::inv(s);
+        }
+    }
+    return m;
+}
+
+Result<Matrix> cauchy_parity_block(int k, int m) {
+    if (k <= 0 || m <= 0 || k + m > 256) {
+        return Error::invalid("cauchy_parity_block requires 0 < k, 0 < m, k + m <= 256");
+    }
+    std::vector<std::uint8_t> xs(static_cast<std::size_t>(m));
+    std::vector<std::uint8_t> ys(static_cast<std::size_t>(k));
+    for (int i = 0; i < m; ++i) xs[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(k + i);
+    for (int j = 0; j < k; ++j) ys[static_cast<std::size_t>(j)] = static_cast<std::uint8_t>(j);
+    return cauchy(xs, ys);
+}
+
+Result<Matrix> systematize(const Matrix& generator) {
+    const int k = generator.cols();
+    if (generator.rows() < k) return Error::invalid("generator has fewer rows than columns");
+
+    std::vector<int> top(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) top[static_cast<std::size_t>(i)] = i;
+    auto inv = generator.select_rows(top).inverted();
+    if (!inv.ok()) return Error::undecodable("top k x k block of generator is singular");
+    return generator * inv.value();
+}
+
+}  // namespace ecfrm::matrix

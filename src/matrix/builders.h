@@ -1,0 +1,35 @@
+// Structured matrix constructions used by the codes: Vandermonde, Cauchy,
+// and the systematic-form transform that turns an arbitrary full-rank
+// generator into one whose top k x k block is the identity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "matrix/matrix.h"
+
+namespace ecfrm::matrix {
+
+/// rows x cols Vandermonde: entry (i, j) = x_i^j with x_i = i (as a field
+/// element). Any k distinct evaluation points give rank k, but the matrix
+/// is NOT systematic; pair with systematize().
+Matrix vandermonde(int rows, int cols);
+
+/// Cauchy block: entry (i, j) = 1 / (x_i + y_j). Requires all x_i distinct,
+/// all y_j distinct, and x_i != y_j for every pair; every square submatrix
+/// is then invertible, which makes [I ; C] an MDS generator directly.
+Matrix cauchy(const std::vector<std::uint8_t>& xs, const std::vector<std::uint8_t>& ys);
+
+/// Convenience: the m x k Cauchy block with x_i = k + i and y_j = j,
+/// valid whenever k + m <= 256.
+Result<Matrix> cauchy_parity_block(int k, int m);
+
+/// Transform an n x k full-rank generator so its top k x k block becomes
+/// the identity (right-multiplication by the inverse of the top block).
+/// The row space — hence the code — is unchanged only in the sense that the
+/// new code is equivalent; for erasure coding this is the standard way to
+/// obtain a systematic generator from a Vandermonde one.
+Result<Matrix> systematize(const Matrix& generator);
+
+}  // namespace ecfrm::matrix

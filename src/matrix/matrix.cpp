@@ -1,0 +1,172 @@
+#include "matrix/matrix.h"
+
+#include <cassert>
+
+#include "gf/gf256.h"
+
+namespace ecfrm::matrix {
+
+using gf::Gf256;
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<std::uint8_t>> init) {
+    rows_ = static_cast<int>(init.size());
+    cols_ = rows_ > 0 ? static_cast<int>(init.begin()->size()) : 0;
+    data_.reserve(static_cast<std::size_t>(rows_) * cols_);
+    for (const auto& row : init) {
+        assert(static_cast<int>(row.size()) == cols_);
+        data_.insert(data_.end(), row.begin(), row.end());
+    }
+}
+
+Matrix Matrix::identity(int n) {
+    Matrix m(n, n);
+    for (int i = 0; i < n; ++i) m.at(i, i) = 1;
+    return m;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+    assert(cols_ == rhs.rows_);
+    Matrix out(rows_, rhs.cols_);
+    for (int i = 0; i < rows_; ++i) {
+        for (int l = 0; l < cols_; ++l) {
+            const std::uint8_t a = at(i, l);
+            if (a == 0) continue;
+            const std::uint8_t* mrow = Gf256::mul_row(a);
+            const std::uint8_t* rrow = rhs.row(l);
+            std::uint8_t* orow = out.row(i);
+            for (int j = 0; j < rhs.cols_; ++j) orow[j] ^= mrow[rrow[j]];
+        }
+    }
+    return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+    assert(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] ^ rhs.data_[i];
+    return out;
+}
+
+Matrix Matrix::select_rows(const std::vector<int>& row_indices) const {
+    Matrix out(static_cast<int>(row_indices.size()), cols_);
+    for (int i = 0; i < out.rows_; ++i) {
+        const int r = row_indices[static_cast<std::size_t>(i)];
+        assert(r >= 0 && r < rows_);
+        for (int j = 0; j < cols_; ++j) out.at(i, j) = at(r, j);
+    }
+    return out;
+}
+
+Matrix Matrix::select_cols(const std::vector<int>& col_indices) const {
+    Matrix out(rows_, static_cast<int>(col_indices.size()));
+    for (int i = 0; i < rows_; ++i) {
+        for (int j = 0; j < out.cols_; ++j) {
+            const int c = col_indices[static_cast<std::size_t>(j)];
+            assert(c >= 0 && c < cols_);
+            out.at(i, j) = at(i, c);
+        }
+    }
+    return out;
+}
+
+Result<Matrix> Matrix::inverted() const {
+    assert(rows_ == cols_);
+    const int n = rows_;
+    Matrix a = *this;
+    Matrix inv = Matrix::identity(n);
+
+    for (int col = 0; col < n; ++col) {
+        // Pivot search (any nonzero works — GF has no rounding concerns).
+        int pivot = -1;
+        for (int r = col; r < n; ++r) {
+            if (a.at(r, col) != 0) {
+                pivot = r;
+                break;
+            }
+        }
+        if (pivot < 0) return Error::undecodable("singular matrix in GF(2^8) inversion");
+        a.swap_rows(col, pivot);
+        inv.swap_rows(col, pivot);
+
+        // Normalise pivot row.
+        const std::uint8_t p = a.at(col, col);
+        if (p != 1) {
+            const std::uint8_t pinv = Gf256::inv(p);
+            const std::uint8_t* mrow = Gf256::mul_row(pinv);
+            for (int j = 0; j < n; ++j) {
+                a.at(col, j) = mrow[a.at(col, j)];
+                inv.at(col, j) = mrow[inv.at(col, j)];
+            }
+        }
+
+        // Eliminate the column everywhere else.
+        for (int r = 0; r < n; ++r) {
+            if (r == col) continue;
+            const std::uint8_t f = a.at(r, col);
+            if (f == 0) continue;
+            const std::uint8_t* mrow = Gf256::mul_row(f);
+            for (int j = 0; j < n; ++j) {
+                a.at(r, j) ^= mrow[a.at(col, j)];
+                inv.at(r, j) ^= mrow[inv.at(col, j)];
+            }
+        }
+    }
+    return inv;
+}
+
+int Matrix::rank() const {
+    Matrix a = *this;
+    int rank = 0;
+    for (int col = 0; col < cols_ && rank < rows_; ++col) {
+        int pivot = -1;
+        for (int r = rank; r < rows_; ++r) {
+            if (a.at(r, col) != 0) {
+                pivot = r;
+                break;
+            }
+        }
+        if (pivot < 0) continue;
+        a.swap_rows(rank, pivot);
+        const std::uint8_t pinv = Gf256::inv(a.at(rank, col));
+        const std::uint8_t* prow = Gf256::mul_row(pinv);
+        for (int j = 0; j < cols_; ++j) a.at(rank, j) = prow[a.at(rank, j)];
+        for (int r = 0; r < rows_; ++r) {
+            if (r == rank) continue;
+            const std::uint8_t f = a.at(r, col);
+            if (f == 0) continue;
+            const std::uint8_t* mrow = Gf256::mul_row(f);
+            for (int j = 0; j < cols_; ++j) a.at(r, j) ^= mrow[a.at(rank, j)];
+        }
+        ++rank;
+    }
+    return rank;
+}
+
+bool Matrix::is_identity() const {
+    if (rows_ != cols_) return false;
+    for (int i = 0; i < rows_; ++i) {
+        for (int j = 0; j < cols_; ++j) {
+            if (at(i, j) != (i == j ? 1 : 0)) return false;
+        }
+    }
+    return true;
+}
+
+void Matrix::swap_rows(int a, int b) {
+    if (a == b) return;
+    for (int j = 0; j < cols_; ++j) std::swap(at(a, j), at(b, j));
+}
+
+std::vector<std::uint8_t> mat_vec(const Matrix& m, const std::vector<std::uint8_t>& x) {
+    assert(static_cast<int>(x.size()) == m.cols());
+    std::vector<std::uint8_t> y(static_cast<std::size_t>(m.rows()), 0);
+    for (int i = 0; i < m.rows(); ++i) {
+        std::uint8_t acc = 0;
+        const std::uint8_t* row = m.row(i);
+        for (int j = 0; j < m.cols(); ++j) acc ^= Gf256::mul(row[j], x[static_cast<std::size_t>(j)]);
+        y[static_cast<std::size_t>(i)] = acc;
+    }
+    return y;
+}
+
+}  // namespace ecfrm::matrix

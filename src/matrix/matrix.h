@@ -1,0 +1,69 @@
+// Dense matrices over GF(2^8): the algebra behind generator construction,
+// erasure decoding, and recoverability checks.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ecfrm::matrix {
+
+/// Row-major dense matrix over GF(2^8).
+class Matrix {
+  public:
+    Matrix() = default;
+    Matrix(int rows, int cols) : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows) * cols, 0) {}
+
+    /// Build from nested initializer lists (test convenience).
+    Matrix(std::initializer_list<std::initializer_list<std::uint8_t>> init);
+
+    static Matrix identity(int n);
+    static Matrix zero(int rows, int cols) { return Matrix(rows, cols); }
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+    std::uint8_t& at(int r, int c) { return data_[static_cast<std::size_t>(r) * cols_ + c]; }
+    std::uint8_t at(int r, int c) const { return data_[static_cast<std::size_t>(r) * cols_ + c]; }
+
+    /// Pointer to row r (cols() contiguous coefficients).
+    const std::uint8_t* row(int r) const { return data_.data() + static_cast<std::size_t>(r) * cols_; }
+    std::uint8_t* row(int r) { return data_.data() + static_cast<std::size_t>(r) * cols_; }
+
+    friend bool operator==(const Matrix&, const Matrix&) = default;
+
+    /// Matrix product over GF(2^8). Requires cols() == rhs.rows().
+    Matrix operator*(const Matrix& rhs) const;
+
+    /// Entry-wise addition (XOR). Requires identical shapes.
+    Matrix operator+(const Matrix& rhs) const;
+
+    /// New matrix formed from the given rows, in order.
+    Matrix select_rows(const std::vector<int>& row_indices) const;
+
+    /// New matrix formed from the given columns, in order.
+    Matrix select_cols(const std::vector<int>& col_indices) const;
+
+    /// Gauss-Jordan inverse. Fails with Error::undecodable when singular.
+    Result<Matrix> inverted() const;
+
+    /// Rank via Gaussian elimination (does not modify *this).
+    int rank() const;
+
+    bool is_identity() const;
+
+    /// Swap two rows in place.
+    void swap_rows(int a, int b);
+
+  private:
+    int rows_ = 0;
+    int cols_ = 0;
+    std::vector<std::uint8_t> data_;
+};
+
+/// y = M x where x and y are coefficient column vectors.
+std::vector<std::uint8_t> mat_vec(const Matrix& m, const std::vector<std::uint8_t>& x);
+
+}  // namespace ecfrm::matrix

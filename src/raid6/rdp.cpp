@@ -1,0 +1,145 @@
+#include "raid6/rdp.h"
+
+#include <cassert>
+
+#include "gf/gf2_solver.h"
+#include "gf/region.h"
+
+namespace ecfrm::raid6 {
+
+namespace {
+
+bool is_prime(int n) {
+    if (n < 2) return false;
+    for (int d = 2; d * d <= n; ++d) {
+        if (n % d == 0) return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<RdpCode>> RdpCode::make(int p) {
+    if (p < 3) return Error::invalid("RDP requires p >= 3");
+    if (!is_prime(p)) return Error::invalid("RDP requires prime p");
+    auto code = std::unique_ptr<RdpCode>(new RdpCode(p));
+
+    // Validate: every single and double disk erasure must be decodable.
+    const int n = p + 1;
+    for (int c1 = 0; c1 < n; ++c1) {
+        if (!code->decodable_disks({c1})) {
+            return Error::internal("RDP single-disk erasure undecodable — construction bug");
+        }
+        for (int c2 = c1 + 1; c2 < n; ++c2) {
+            if (!code->decodable_disks({c1, c2})) {
+                return Error::internal("RDP double-disk erasure undecodable — construction bug");
+            }
+        }
+    }
+    return code;
+}
+
+std::vector<int> RdpCode::row_parity_sources(int row) const {
+    std::vector<int> sources;
+    sources.reserve(static_cast<std::size_t>(data_disks()));
+    for (int c = 0; c < data_disks(); ++c) sources.push_back(cell(row, c));
+    return sources;
+}
+
+std::vector<int> RdpCode::diagonal_parity_sources(int row) const {
+    // Diagonal d == row over the first p disks (data + row parity):
+    // cells (r, c) with (r + c) mod p == d and r in [0, p-1).
+    const int d = row;
+    std::vector<int> sources;
+    for (int c = 0; c < p_; ++c) {
+        const int r = ((d - c) % p_ + p_) % p_;
+        if (r <= p_ - 2) sources.push_back(cell(r, c));
+    }
+    return sources;
+}
+
+void RdpCode::encode(const std::vector<ByteSpan>& cells) const {
+    assert(static_cast<int>(cells.size()) == rows_per_stripe() * disks());
+    // Row parity first (diagonals include the row-parity column).
+    for (int row = 0; row < rows_per_stripe(); ++row) {
+        ByteSpan out = cells[static_cast<std::size_t>(cell(row, p_ - 1))];
+        gf::zero_region(out);
+        for (int src : row_parity_sources(row)) gf::xor_region(out, cells[static_cast<std::size_t>(src)]);
+    }
+    for (int row = 0; row < rows_per_stripe(); ++row) {
+        ByteSpan out = cells[static_cast<std::size_t>(cell(row, p_))];
+        gf::zero_region(out);
+        for (int src : diagonal_parity_sources(row)) gf::xor_region(out, cells[static_cast<std::size_t>(src)]);
+    }
+}
+
+RdpCode::System RdpCode::build_system(const std::vector<int>& erased_disks) const {
+    System sys;
+    std::vector<bool> erased(static_cast<std::size_t>(disks()), false);
+    for (int d : erased_disks) erased[static_cast<std::size_t>(d)] = true;
+
+    std::vector<int> unknown_of_cell(static_cast<std::size_t>(rows_per_stripe()) * disks(), -1);
+    for (int row = 0; row < rows_per_stripe(); ++row) {
+        for (int d = 0; d < disks(); ++d) {
+            if (erased[static_cast<std::size_t>(d)]) {
+                unknown_of_cell[static_cast<std::size_t>(cell(row, d))] =
+                    static_cast<int>(sys.unknown_cells.size());
+                sys.unknown_cells.push_back(cell(row, d));
+            }
+        }
+    }
+
+    auto add_equation = [&](int parity_cell, const std::vector<int>& sources) {
+        std::vector<std::uint8_t> coeffs(sys.unknown_cells.size(), 0);
+        std::vector<int> knowns;
+        auto touch = [&](int c) {
+            const int u = unknown_of_cell[static_cast<std::size_t>(c)];
+            if (u >= 0) {
+                coeffs[static_cast<std::size_t>(u)] ^= 1;
+            } else {
+                knowns.push_back(c);
+            }
+        };
+        touch(parity_cell);
+        for (int src : sources) touch(src);
+        sys.coeffs.push_back(std::move(coeffs));
+        sys.knowns.push_back(std::move(knowns));
+    };
+
+    for (int row = 0; row < rows_per_stripe(); ++row) {
+        add_equation(cell(row, p_ - 1), row_parity_sources(row));
+        add_equation(cell(row, p_), diagonal_parity_sources(row));
+    }
+    return sys;
+}
+
+bool RdpCode::decodable_disks(const std::vector<int>& erased_disks) const {
+    if (erased_disks.empty()) return true;
+    if (static_cast<int>(erased_disks.size()) > fault_tolerance()) return false;
+    const System sys = build_system(erased_disks);
+    return gf::gf2_rank(sys.coeffs) == static_cast<int>(sys.unknown_cells.size());
+}
+
+Status RdpCode::decode_disks(const std::vector<ByteSpan>& cells, const std::vector<int>& erased_disks) const {
+    if (erased_disks.empty()) return Status::success();
+    if (static_cast<int>(erased_disks.size()) > fault_tolerance()) {
+        return Error::undecodable("RDP tolerates at most two disk erasures");
+    }
+    System sys = build_system(erased_disks);
+    gf::Gf2System generic;
+    generic.coeffs = std::move(sys.coeffs);
+    generic.knowns = std::move(sys.knowns);
+    generic.unknown_cells = std::move(sys.unknown_cells);
+    return gf::gf2_solve(std::move(generic), cells);
+}
+
+std::size_t RdpCode::encode_xor_count() const {
+    std::size_t xors = 0;
+    for (int row = 0; row < rows_per_stripe(); ++row) {
+        xors += row_parity_sources(row).size() - 1;
+        xors += diagonal_parity_sources(row).size() - 1;
+    }
+    return xors;
+}
+
+}  // namespace ecfrm::raid6

@@ -1,0 +1,76 @@
+// RDP — Row-Diagonal Parity (Corbett et al., FAST'04), cited by the paper
+// as a classic XOR-based RAID-6 horizontal code (Section II-B).
+//
+// Geometry for prime p: p + 1 disks, p - 1 rows per stripe.
+//   disks [0, p-1)  data
+//   disk  p-1       row parity
+//   disk  p         diagonal parity
+// Row parity r is the XOR of the row's data cells. Diagonal d (0 <= d <=
+// p-2) collects the cells (r, c) with (r + c) mod p == d over the first p
+// disks (data + row parity); the diagonal with index p-1 is intentionally
+// missing, which is what makes two-disk recovery always start somewhere.
+//
+// Like X-Code this is a multi-row-stripe code, so it is NOT an EC-FRM
+// candidate — it serves as a baseline in the RAID-6 comparison bench and
+// as a second fully tested recovery structure beside the generic
+// matrix-based codes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace ecfrm::raid6 {
+
+class RdpCode {
+  public:
+    /// p must be prime and >= 3; the array then has p + 1 disks.
+    static Result<std::unique_ptr<RdpCode>> make(int p);
+
+    int p() const { return p_; }
+    int disks() const { return p_ + 1; }
+    int rows_per_stripe() const { return p_ - 1; }
+    int data_disks() const { return p_ - 1; }
+    std::int64_t data_per_stripe() const { return static_cast<std::int64_t>(p_ - 1) * (p_ - 1); }
+    int fault_tolerance() const { return 2; }
+
+    /// Cell index: row * disks() + disk, rows in [0, p-1).
+    int cell(int row, int disk) const { return row * disks() + disk; }
+
+    /// Cells feeding the row parity at `row` (the row's data cells).
+    std::vector<int> row_parity_sources(int row) const;
+
+    /// Cells feeding diagonal parity cell at `row` (diagonal d == row).
+    std::vector<int> diagonal_parity_sources(int row) const;
+
+    /// Fill both parity columns from the data columns. `cells` holds all
+    /// (p-1) * (p+1) spans row-major.
+    void encode(const std::vector<ByteSpan>& cells) const;
+
+    /// True when the stripe survives erasing the given disks (<= 2).
+    bool decodable_disks(const std::vector<int>& erased_disks) const;
+
+    /// Rebuild every cell of the erased disks in place.
+    Status decode_disks(const std::vector<ByteSpan>& cells, const std::vector<int>& erased_disks) const;
+
+    /// XOR count of one full-stripe encode (both parity columns), the
+    /// classic RAID-6 comparison metric.
+    std::size_t encode_xor_count() const;
+
+  private:
+    explicit RdpCode(int p) : p_(p) {}
+
+    struct System {
+        std::vector<std::vector<std::uint8_t>> coeffs;
+        std::vector<std::vector<int>> knowns;
+        std::vector<int> unknown_cells;
+    };
+    System build_system(const std::vector<int>& erased_disks) const;
+
+    int p_;
+};
+
+}  // namespace ecfrm::raid6

@@ -1,0 +1,166 @@
+#include "raid6/star.h"
+
+#include <cassert>
+
+#include "gf/gf2_solver.h"
+#include "gf/region.h"
+
+namespace ecfrm::raid6 {
+
+namespace {
+
+bool is_prime(int n) {
+    if (n < 2) return false;
+    for (int d = 2; d * d <= n; ++d) {
+        if (n % d == 0) return false;
+    }
+    return true;
+}
+
+int mod(int a, int p) {
+    int r = a % p;
+    return r < 0 ? r + p : r;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<StarCode>> StarCode::make(int p) {
+    if (p < 3) return Error::invalid("STAR requires p >= 3");
+    if (!is_prime(p)) return Error::invalid("STAR requires prime p");
+    auto code = std::unique_ptr<StarCode>(new StarCode(p));
+
+    const int n = p + 2;
+    std::vector<int> erased;
+    for (int a = 0; a < n; ++a) {
+        if (!code->decodable_disks({a})) {
+            return Error::internal("STAR single-disk erasure undecodable — construction bug");
+        }
+        for (int b = a + 1; b < n; ++b) {
+            if (!code->decodable_disks({a, b})) {
+                return Error::internal("STAR double-disk erasure undecodable — construction bug");
+            }
+            for (int c = b + 1; c < n; ++c) {
+                if (!code->decodable_disks({a, b, c})) {
+                    return Error::internal("STAR triple-disk erasure undecodable — construction bug");
+                }
+            }
+        }
+    }
+    return code;
+}
+
+std::vector<int> StarCode::row_parity_sources(int row) const {
+    std::vector<int> sources;
+    sources.reserve(static_cast<std::size_t>(data_disks()));
+    for (int c = 0; c < data_disks(); ++c) sources.push_back(cell(row, c));
+    return sources;
+}
+
+std::vector<int> StarCode::diagonal_parity_sources(int row) const {
+    // Diagonal family d == row over the first p columns (data + row
+    // parity), exactly as in RDP: cells (r, c) with (r + c) mod p == d.
+    const int d = row;
+    std::vector<int> sources;
+    for (int c = 0; c < p_; ++c) {
+        const int r = mod(d - c, p_);
+        if (r <= p_ - 2) sources.push_back(cell(r, c));
+    }
+    return sources;
+}
+
+std::vector<int> StarCode::anti_diagonal_parity_sources(int row) const {
+    // Anti-diagonal family d == row: cells (r, c) with (r - c) mod p == d
+    // over the first p columns; the row r == p-1 does not exist, so each
+    // family has p - 1 members like its diagonal sibling.
+    const int d = row;
+    std::vector<int> sources;
+    for (int c = 0; c < p_; ++c) {
+        const int r = mod(d + c, p_);
+        if (r <= p_ - 2) sources.push_back(cell(r, c));
+    }
+    return sources;
+}
+
+void StarCode::encode(const std::vector<ByteSpan>& cells) const {
+    assert(static_cast<int>(cells.size()) == rows_per_stripe() * disks());
+    for (int row = 0; row < rows_per_stripe(); ++row) {
+        ByteSpan out = cells[static_cast<std::size_t>(cell(row, p_ - 1))];
+        gf::zero_region(out);
+        for (int src : row_parity_sources(row)) gf::xor_region(out, cells[static_cast<std::size_t>(src)]);
+    }
+    for (int row = 0; row < rows_per_stripe(); ++row) {
+        ByteSpan out = cells[static_cast<std::size_t>(cell(row, p_))];
+        gf::zero_region(out);
+        for (int src : diagonal_parity_sources(row)) gf::xor_region(out, cells[static_cast<std::size_t>(src)]);
+    }
+    for (int row = 0; row < rows_per_stripe(); ++row) {
+        ByteSpan out = cells[static_cast<std::size_t>(cell(row, p_ + 1))];
+        gf::zero_region(out);
+        for (int src : anti_diagonal_parity_sources(row)) {
+            gf::xor_region(out, cells[static_cast<std::size_t>(src)]);
+        }
+    }
+}
+
+StarCode::System StarCode::build_system(const std::vector<int>& erased_disks) const {
+    System sys;
+    std::vector<bool> erased(static_cast<std::size_t>(disks()), false);
+    for (int d : erased_disks) erased[static_cast<std::size_t>(d)] = true;
+
+    std::vector<int> unknown_of_cell(static_cast<std::size_t>(rows_per_stripe()) * disks(), -1);
+    for (int row = 0; row < rows_per_stripe(); ++row) {
+        for (int d = 0; d < disks(); ++d) {
+            if (erased[static_cast<std::size_t>(d)]) {
+                unknown_of_cell[static_cast<std::size_t>(cell(row, d))] =
+                    static_cast<int>(sys.unknown_cells.size());
+                sys.unknown_cells.push_back(cell(row, d));
+            }
+        }
+    }
+
+    auto add_equation = [&](int parity_cell, const std::vector<int>& sources) {
+        std::vector<std::uint8_t> coeffs(sys.unknown_cells.size(), 0);
+        std::vector<int> knowns;
+        auto touch = [&](int c) {
+            const int u = unknown_of_cell[static_cast<std::size_t>(c)];
+            if (u >= 0) {
+                coeffs[static_cast<std::size_t>(u)] ^= 1;
+            } else {
+                knowns.push_back(c);
+            }
+        };
+        touch(parity_cell);
+        for (int src : sources) touch(src);
+        sys.coeffs.push_back(std::move(coeffs));
+        sys.knowns.push_back(std::move(knowns));
+    };
+
+    for (int row = 0; row < rows_per_stripe(); ++row) {
+        add_equation(cell(row, p_ - 1), row_parity_sources(row));
+        add_equation(cell(row, p_), diagonal_parity_sources(row));
+        add_equation(cell(row, p_ + 1), anti_diagonal_parity_sources(row));
+    }
+    return sys;
+}
+
+bool StarCode::decodable_disks(const std::vector<int>& erased_disks) const {
+    if (erased_disks.empty()) return true;
+    if (static_cast<int>(erased_disks.size()) > fault_tolerance()) return false;
+    const System sys = build_system(erased_disks);
+    return gf::gf2_rank(sys.coeffs) == static_cast<int>(sys.unknown_cells.size());
+}
+
+Status StarCode::decode_disks(const std::vector<ByteSpan>& cells, const std::vector<int>& erased_disks) const {
+    if (erased_disks.empty()) return Status::success();
+    if (static_cast<int>(erased_disks.size()) > fault_tolerance()) {
+        return Error::undecodable("STAR tolerates at most three disk erasures");
+    }
+    System sys = build_system(erased_disks);
+    gf::Gf2System generic;
+    generic.coeffs = std::move(sys.coeffs);
+    generic.knowns = std::move(sys.knowns);
+    generic.unknown_cells = std::move(sys.unknown_cells);
+    return gf::gf2_solve(std::move(generic), cells);
+}
+
+}  // namespace ecfrm::raid6

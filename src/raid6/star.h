@@ -1,0 +1,57 @@
+// STAR code (Huang & Xu, FAST'05): the triple-erasure XOR code the paper
+// cites in Section II-B. Geometry extends RDP by one more parity column:
+// for prime p the array has p + 2 disks and p - 1 rows:
+//   disks [0, p-1)  data
+//   disk  p-1       row parity
+//   disk  p         diagonal parity      ((r + c) mod p families)
+//   disk  p+1       anti-diagonal parity ((r - c) mod p families)
+// Tolerance 3, validated exhaustively over every <=3-disk erasure at
+// construction through the shared GF(2) solver.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace ecfrm::raid6 {
+
+class StarCode {
+  public:
+    /// p must be prime and >= 3.
+    static Result<std::unique_ptr<StarCode>> make(int p);
+
+    int p() const { return p_; }
+    int disks() const { return p_ + 2; }
+    int rows_per_stripe() const { return p_ - 1; }
+    int data_disks() const { return p_ - 1; }
+    int fault_tolerance() const { return 3; }
+
+    int cell(int row, int disk) const { return row * disks() + disk; }
+
+    std::vector<int> row_parity_sources(int row) const;
+    std::vector<int> diagonal_parity_sources(int row) const;
+    std::vector<int> anti_diagonal_parity_sources(int row) const;
+
+    /// Fill all three parity columns from the data columns.
+    void encode(const std::vector<ByteSpan>& cells) const;
+
+    bool decodable_disks(const std::vector<int>& erased_disks) const;
+    Status decode_disks(const std::vector<ByteSpan>& cells, const std::vector<int>& erased_disks) const;
+
+  private:
+    explicit StarCode(int p) : p_(p) {}
+
+    struct System {
+        std::vector<std::vector<std::uint8_t>> coeffs;
+        std::vector<std::vector<int>> knowns;
+        std::vector<int> unknown_cells;
+    };
+    System build_system(const std::vector<int>& erased_disks) const;
+
+    int p_;
+};
+
+}  // namespace ecfrm::raid6

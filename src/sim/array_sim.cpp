@@ -1,0 +1,36 @@
+#include "sim/array_sim.h"
+
+#include <vector>
+
+namespace ecfrm::sim {
+
+ReadTiming simulate_read(const core::AccessPlan& plan, const DiskModel& model, Rng& rng) {
+    const int disks = static_cast<int>(plan.per_disk_loads().size());
+    std::vector<std::vector<RowId>> batches(static_cast<std::size_t>(disks));
+    for (const auto& access : plan.fetches()) {
+        batches[static_cast<std::size_t>(access.loc.disk)].push_back(access.loc.row);
+    }
+
+    double slowest = 0.0;
+    for (auto& rows : batches) {
+        if (rows.empty()) continue;
+        const double t = model.service_seconds(std::move(rows), rng);
+        slowest = std::max(slowest, t);
+    }
+
+    ReadTiming timing;
+    timing.seconds = slowest;
+    timing.requested_bytes = plan.requested() * model.element_bytes();
+    return timing;
+}
+
+ReadTiming simulate_read_with_network(const core::AccessPlan& plan, const DiskModel& model,
+                                      double link_mb_s, Rng& rng) {
+    ReadTiming timing = simulate_read(plan, model, rng);
+    const double wire_bytes = static_cast<double>(plan.total_fetched() * model.element_bytes());
+    const double wire_seconds = wire_bytes / (link_mb_s * 1e6);
+    timing.seconds = std::max(timing.seconds, wire_seconds);
+    return timing;
+}
+
+}  // namespace ecfrm::sim

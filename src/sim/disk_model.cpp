@@ -1,0 +1,37 @@
+#include "sim/disk_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecfrm::sim {
+
+double DiskModel::positioning_seconds(Rng& rng, bool first) const {
+    const double base = first ? profile_.avg_seek_ms : profile_.near_seek_ms;
+    const double seek_ms =
+        base * (1.0 - profile_.seek_jitter + 2.0 * profile_.seek_jitter * rng.next_double());
+    const double rot_ms = profile_.full_rotation_ms * rng.next_double();
+    return (seek_ms + rot_ms) * 1e-3;
+}
+
+double DiskModel::service_seconds(std::vector<RowId> rows, Rng& rng) const {
+    if (rows.empty()) return 0.0;
+    std::sort(rows.begin(), rows.end());
+    assert(std::adjacent_find(rows.begin(), rows.end()) == rows.end() && "duplicate row in disk batch");
+
+    double seconds = 0.0;
+    std::size_t i = 0;
+    bool first = true;
+    while (i < rows.size()) {
+        // One positioning event per extent of consecutive rows: a full
+        // seek to start the batch, short seeks between its extents.
+        seconds += positioning_seconds(rng, first);
+        first = false;
+        std::size_t j = i + 1;
+        while (j < rows.size() && rows[j] == rows[j - 1] + 1) ++j;
+        seconds += static_cast<double>(j - i) * transfer_seconds();
+        i = j;
+    }
+    return seconds;
+}
+
+}  // namespace ecfrm::sim

@@ -1,0 +1,58 @@
+// A minimal discrete-event simulation core: a time-ordered queue of
+// callbacks with a virtual clock. Deterministic: ties break by insertion
+// order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace ecfrm::sim {
+
+class EventQueue {
+  public:
+    using Handler = std::function<void()>;
+
+    /// Current virtual time in seconds.
+    double now() const { return now_; }
+
+    /// Schedule `handler` at absolute time `when` (>= now()).
+    void schedule_at(double when, Handler handler) {
+        events_.push(Event{when, seq_++, std::move(handler)});
+    }
+
+    /// Schedule `handler` `delay` seconds from now.
+    void schedule_in(double delay, Handler handler) { schedule_at(now_ + delay, std::move(handler)); }
+
+    /// Run events until the queue drains. Returns the final clock value.
+    double run() {
+        while (!events_.empty()) {
+            Event ev = std::move(const_cast<Event&>(events_.top()));
+            events_.pop();
+            now_ = ev.when;
+            ev.handler();
+        }
+        return now_;
+    }
+
+    bool empty() const { return events_.empty(); }
+
+  private:
+    struct Event {
+        double when;
+        std::uint64_t seq;
+        Handler handler;
+
+        bool operator>(const Event& other) const {
+            if (when != other.when) return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+    double now_ = 0.0;
+    std::uint64_t seq_ = 0;
+};
+
+}  // namespace ecfrm::sim

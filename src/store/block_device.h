@@ -1,0 +1,41 @@
+// BlockDevice: the device abstraction under StripeStore. One device holds
+// fixed-size element slots addressed by row. Implementations: the
+// in-memory Disk (tests, benches, simulations) and the persistent
+// FileDisk (CLI tool / durable archives).
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace ecfrm::store {
+
+class BlockDevice {
+  public:
+    virtual ~BlockDevice() = default;
+
+    virtual std::int64_t element_bytes() const = 0;
+
+    /// Overwrite the slot at `row` (grows the device as needed).
+    virtual Status write(RowId row, ConstByteSpan data) = 0;
+
+    /// Copy the slot at `row` into `out`.
+    virtual Status read(RowId row, ByteSpan out) const = 0;
+
+    /// Mark the device failed; its content is dropped.
+    virtual void fail() = 0;
+
+    /// Bring an empty replacement online.
+    virtual void replace() = 0;
+
+    virtual bool failed() const = 0;
+
+    /// Rows allocated so far (write high-water mark).
+    virtual RowId rows() const = 0;
+
+    /// Silent-corruption injection hook (flips one stored byte).
+    virtual Status corrupt_byte(RowId row, std::size_t offset) = 0;
+};
+
+}  // namespace ecfrm::store

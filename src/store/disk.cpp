@@ -1,0 +1,74 @@
+#include "store/disk.h"
+
+#include <cstring>
+
+namespace ecfrm::store {
+
+Status Disk::write(RowId row, ConstByteSpan data) {
+    if (row < 0) return Error::range("negative row");
+    if (static_cast<std::int64_t>(data.size()) != element_bytes_) {
+        return Error::invalid("element size mismatch on write");
+    }
+    std::lock_guard lk(mu_);
+    if (failed_) return Error::disk_failed("write to failed disk");
+    if (static_cast<std::size_t>(row) >= slots_.size()) {
+        slots_.resize(static_cast<std::size_t>(row) + 1);
+        written_.resize(static_cast<std::size_t>(row) + 1, false);
+    }
+    auto& slot = slots_[static_cast<std::size_t>(row)];
+    if (slot.size() == 0) slot = AlignedBuffer(static_cast<std::size_t>(element_bytes_));
+    std::memcpy(slot.data(), data.data(), data.size());
+    written_[static_cast<std::size_t>(row)] = true;
+    return Status::success();
+}
+
+Status Disk::read(RowId row, ByteSpan out) const {
+    if (row < 0) return Error::range("negative row");
+    if (static_cast<std::int64_t>(out.size()) != element_bytes_) {
+        return Error::invalid("element size mismatch on read");
+    }
+    std::lock_guard lk(mu_);
+    if (failed_) return Error::disk_failed("read from failed disk");
+    if (static_cast<std::size_t>(row) >= slots_.size() || !written_[static_cast<std::size_t>(row)]) {
+        return Error::range("row never written");
+    }
+    std::memcpy(out.data(), slots_[static_cast<std::size_t>(row)].data(), out.size());
+    return Status::success();
+}
+
+Status Disk::corrupt_byte(RowId row, std::size_t offset) {
+    std::lock_guard lk(mu_);
+    if (failed_) return Error::disk_failed("corrupting a failed disk");
+    if (row < 0 || static_cast<std::size_t>(row) >= slots_.size() || !written_[static_cast<std::size_t>(row)]) {
+        return Error::range("row never written");
+    }
+    if (offset >= static_cast<std::size_t>(element_bytes_)) return Error::range("offset beyond element");
+    slots_[static_cast<std::size_t>(row)][offset] ^= 0xff;
+    return Status::success();
+}
+
+void Disk::fail() {
+    std::lock_guard lk(mu_);
+    failed_ = true;
+    slots_.clear();
+    written_.clear();
+}
+
+void Disk::replace() {
+    std::lock_guard lk(mu_);
+    failed_ = false;
+    slots_.clear();
+    written_.clear();
+}
+
+bool Disk::failed() const {
+    std::lock_guard lk(mu_);
+    return failed_;
+}
+
+RowId Disk::rows() const {
+    std::lock_guard lk(mu_);
+    return static_cast<RowId>(slots_.size());
+}
+
+}  // namespace ecfrm::store

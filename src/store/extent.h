@@ -1,0 +1,23 @@
+// Extent: a committed run of user bytes inside a StripeStore.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace ecfrm::store {
+
+/// `bytes` user bytes starting at logical offset `logical_start`, stored
+/// from data element `element_start` onwards. Extents arise because
+/// flush() zero-pads the current stripe — the next append then starts on
+/// a fresh stripe boundary, leaving unused padding elements between
+/// extents.
+struct Extent {
+    std::int64_t logical_start = 0;
+    ElementId element_start = 0;
+    std::int64_t bytes = 0;
+
+    friend bool operator==(const Extent&, const Extent&) = default;
+};
+
+}  // namespace ecfrm::store

@@ -1,0 +1,189 @@
+#include "store/file_disk.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+namespace ecfrm::store {
+
+namespace fs = std::filesystem;
+
+FileDisk::FileDisk(std::string data_path, std::string map_path, std::string failed_path,
+                   std::int64_t element_bytes)
+    : data_path_(std::move(data_path)),
+      map_path_(std::move(map_path)),
+      failed_path_(std::move(failed_path)),
+      element_bytes_(element_bytes) {}
+
+Result<std::unique_ptr<FileDisk>> FileDisk::open(const std::string& dir, int index,
+                                                 std::int64_t element_bytes) {
+    if (element_bytes <= 0) return Error::invalid("element_bytes must be positive");
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) return Error::io("not a directory: " + dir);
+
+    const std::string stem = dir + "/disk_" + std::to_string(index);
+    auto disk = std::unique_ptr<FileDisk>(
+        new FileDisk(stem + ".dat", stem + ".map", stem + ".failed", element_bytes));
+    disk->failed_ = fs::exists(disk->failed_path_, ec);
+    if (!disk->failed_) {
+        auto status = disk->open_files();
+        if (!status.ok()) return status.error();
+        status = disk->load_map();
+        if (!status.ok()) return status.error();
+    }
+    return disk;
+}
+
+FileDisk::~FileDisk() { close_files(); }
+
+Status FileDisk::open_files() {
+    // "a" then reopen "r+b" so the files exist without truncating them.
+    for (const auto& path : {data_path_, map_path_}) {
+        std::FILE* touch = std::fopen(path.c_str(), "ab");
+        if (touch == nullptr) return Error::io("cannot create " + path);
+        std::fclose(touch);
+    }
+    data_ = std::fopen(data_path_.c_str(), "r+b");
+    map_ = std::fopen(map_path_.c_str(), "r+b");
+    if (data_ == nullptr || map_ == nullptr) {
+        close_files();
+        return Error::io("cannot open device files under " + data_path_);
+    }
+    return Status::success();
+}
+
+void FileDisk::close_files() {
+    if (data_ != nullptr) {
+        std::fclose(data_);
+        data_ = nullptr;
+    }
+    if (map_ != nullptr) {
+        std::fclose(map_);
+        map_ = nullptr;
+    }
+}
+
+Status FileDisk::load_map() {
+    written_.clear();
+    if (std::fseek(map_, 0, SEEK_END) != 0) return Error::io("seek failed on map file");
+    const long size = std::ftell(map_);
+    if (size < 0) return Error::io("tell failed on map file");
+    written_.resize(static_cast<std::size_t>(size), false);
+    std::rewind(map_);
+    std::vector<char> raw(static_cast<std::size_t>(size));
+    if (size > 0 && std::fread(raw.data(), 1, raw.size(), map_) != raw.size()) {
+        return Error::io("short read on map file");
+    }
+    for (std::size_t i = 0; i < raw.size(); ++i) written_[i] = raw[i] != 0;
+    return Status::success();
+}
+
+Status FileDisk::persist_map_bit(RowId row, bool value) {
+    if (std::fseek(map_, static_cast<long>(row), SEEK_SET) != 0) return Error::io("seek failed on map file");
+    const char byte = value ? 1 : 0;
+    if (std::fwrite(&byte, 1, 1, map_) != 1) return Error::io("write failed on map file");
+    std::fflush(map_);
+    return Status::success();
+}
+
+Status FileDisk::write(RowId row, ConstByteSpan data) {
+    if (row < 0) return Error::range("negative row");
+    if (static_cast<std::int64_t>(data.size()) != element_bytes_) {
+        return Error::invalid("element size mismatch on write");
+    }
+    std::lock_guard lk(mu_);
+    if (failed_) return Error::disk_failed("write to failed disk");
+    if (std::fseek(data_, static_cast<long>(row * element_bytes_), SEEK_SET) != 0) {
+        return Error::io("seek failed on data file");
+    }
+    if (std::fwrite(data.data(), 1, data.size(), data_) != data.size()) {
+        return Error::io("write failed on data file");
+    }
+    std::fflush(data_);
+    // The map file may need zero padding for skipped rows.
+    if (static_cast<std::size_t>(row) >= written_.size()) {
+        const RowId old = static_cast<RowId>(written_.size());
+        written_.resize(static_cast<std::size_t>(row) + 1, false);
+        for (RowId r = old; r < row; ++r) {
+            auto status = persist_map_bit(r, false);
+            if (!status.ok()) return status;
+        }
+    }
+    written_[static_cast<std::size_t>(row)] = true;
+    return persist_map_bit(row, true);
+}
+
+Status FileDisk::read(RowId row, ByteSpan out) const {
+    if (row < 0) return Error::range("negative row");
+    if (static_cast<std::int64_t>(out.size()) != element_bytes_) {
+        return Error::invalid("element size mismatch on read");
+    }
+    std::lock_guard lk(mu_);
+    if (failed_) return Error::disk_failed("read from failed disk");
+    if (static_cast<std::size_t>(row) >= written_.size() || !written_[static_cast<std::size_t>(row)]) {
+        return Error::range("row never written");
+    }
+    if (std::fseek(data_, static_cast<long>(row * element_bytes_), SEEK_SET) != 0) {
+        return Error::io("seek failed on data file");
+    }
+    if (std::fread(out.data(), 1, out.size(), data_) != out.size()) {
+        return Error::io("short read on data file");
+    }
+    return Status::success();
+}
+
+void FileDisk::fail() {
+    std::lock_guard lk(mu_);
+    failed_ = true;
+    close_files();
+    std::error_code ec;
+    fs::remove(data_path_, ec);
+    fs::remove(map_path_, ec);
+    std::FILE* marker = std::fopen(failed_path_.c_str(), "wb");
+    if (marker != nullptr) std::fclose(marker);
+    written_.clear();
+}
+
+void FileDisk::replace() {
+    std::lock_guard lk(mu_);
+    failed_ = false;
+    std::error_code ec;
+    fs::remove(failed_path_, ec);
+    fs::remove(data_path_, ec);
+    fs::remove(map_path_, ec);
+    written_.clear();
+    (void)open_files();
+}
+
+bool FileDisk::failed() const {
+    std::lock_guard lk(mu_);
+    return failed_;
+}
+
+RowId FileDisk::rows() const {
+    std::lock_guard lk(mu_);
+    return static_cast<RowId>(written_.size());
+}
+
+Status FileDisk::corrupt_byte(RowId row, std::size_t offset) {
+    std::lock_guard lk(mu_);
+    if (failed_) return Error::disk_failed("corrupting a failed disk");
+    if (row < 0 || static_cast<std::size_t>(row) >= written_.size() ||
+        !written_[static_cast<std::size_t>(row)]) {
+        return Error::range("row never written");
+    }
+    if (offset >= static_cast<std::size_t>(element_bytes_)) return Error::range("offset beyond element");
+    const long pos = static_cast<long>(row * element_bytes_ + static_cast<std::int64_t>(offset));
+    unsigned char byte = 0;
+    if (std::fseek(data_, pos, SEEK_SET) != 0 || std::fread(&byte, 1, 1, data_) != 1) {
+        return Error::io("read failed during corruption");
+    }
+    byte ^= 0xff;
+    if (std::fseek(data_, pos, SEEK_SET) != 0 || std::fwrite(&byte, 1, 1, data_) != 1) {
+        return Error::io("write failed during corruption");
+    }
+    std::fflush(data_);
+    return Status::success();
+}
+
+}  // namespace ecfrm::store

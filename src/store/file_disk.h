@@ -1,0 +1,61 @@
+// FileDisk: a persistent BlockDevice backed by two files in a directory:
+//   disk_<i>.dat — element payloads at offset row * element_bytes
+//   disk_<i>.map — one byte per row: 1 when the row has been written
+// A "disk_<i>.failed" marker file records the failed state across runs.
+//
+// This backs the ecfrm_cli tool so an archive survives process restarts,
+// and demonstrates that StripeStore is genuinely device-agnostic.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "store/block_device.h"
+
+namespace ecfrm::store {
+
+class FileDisk final : public BlockDevice {
+  public:
+    /// Open (or create) the device files for disk `index` under `dir`.
+    /// `dir` must already exist.
+    static Result<std::unique_ptr<FileDisk>> open(const std::string& dir, int index,
+                                                  std::int64_t element_bytes);
+
+    ~FileDisk() override;
+
+    std::int64_t element_bytes() const override { return element_bytes_; }
+    Status write(RowId row, ConstByteSpan data) override;
+    Status read(RowId row, ByteSpan out) const override;
+    void fail() override;
+    void replace() override;
+    bool failed() const override;
+    RowId rows() const override;
+    Status corrupt_byte(RowId row, std::size_t offset) override;
+
+    const std::string& data_path() const { return data_path_; }
+
+  private:
+    FileDisk(std::string data_path, std::string map_path, std::string failed_path,
+             std::int64_t element_bytes);
+
+    Status open_files();
+    void close_files();
+    /// Reload the written-row map from disk (after open/replace).
+    Status load_map();
+    Status persist_map_bit(RowId row, bool value);
+
+    mutable std::mutex mu_;
+    std::string data_path_;
+    std::string map_path_;
+    std::string failed_path_;
+    std::int64_t element_bytes_;
+    std::FILE* data_ = nullptr;
+    std::FILE* map_ = nullptr;
+    std::vector<bool> written_;
+    bool failed_ = false;
+};
+
+}  // namespace ecfrm::store

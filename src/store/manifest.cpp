@@ -1,0 +1,119 @@
+#include "store/manifest.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace ecfrm::store {
+
+Result<layout::LayoutKind> parse_layout_kind(const std::string& name) {
+    if (name == "standard") return layout::LayoutKind::standard;
+    if (name == "rotated") return layout::LayoutKind::rotated;
+    if (name == "ecfrm") return layout::LayoutKind::ecfrm;
+    return Error::invalid("unknown layout kind: " + name);
+}
+
+Status Manifest::save(const std::string& dir) const {
+    const std::string tmp = dir + "/MANIFEST.tmp";
+    const std::string final_path = dir + "/MANIFEST";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) return Error::io("cannot write " + tmp);
+        out << "code=" << code_spec << "\n";
+        out << "layout=" << layout::to_string(kind) << "\n";
+        out << "element_bytes=" << element_bytes << "\n";
+        out << "logical_bytes=" << logical_bytes << "\n";
+        out << "stripes=" << stripes << "\n";
+        for (const Extent& e : extents) {
+            out << "extent=" << e.logical_start << ":" << e.element_start << ":" << e.bytes << "\n";
+        }
+        for (const ObjectRecord& o : objects) {
+            if (o.name.find(':') != std::string::npos || o.name.find('\n') != std::string::npos) {
+                return Error::invalid("object name may not contain ':' or newline: " + o.name);
+            }
+            out << "object=" << o.name << ":" << o.offset << ":" << o.bytes << "\n";
+        }
+        if (!out.good()) return Error::io("write failed on " + tmp);
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, final_path, ec);
+    if (ec) return Error::io("rename failed: " + ec.message());
+    return Status::success();
+}
+
+Result<Manifest> Manifest::load(const std::string& dir) {
+    std::ifstream in(dir + "/MANIFEST");
+    if (!in) return Error::io("cannot open " + dir + "/MANIFEST");
+    std::map<std::string, std::string> kv;
+    std::vector<Extent> extents;
+    std::vector<ObjectRecord> objects;
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos || eq == 0) continue;
+        const std::string key = line.substr(0, eq);
+        const std::string value = line.substr(eq + 1);
+        if (key == "extent") {
+            long long logical = 0, element = 0, bytes = 0;
+            if (std::sscanf(value.c_str(), "%lld:%lld:%lld", &logical, &element, &bytes) != 3) {
+                return Error::invalid("malformed extent line in manifest");
+            }
+            extents.push_back({logical, element, bytes});
+            continue;
+        }
+        if (key == "object") {
+            // name:offset:bytes — the name may not contain ':'.
+            const std::size_t c1 = value.find(':');
+            const std::size_t c2 = c1 == std::string::npos ? std::string::npos : value.find(':', c1 + 1);
+            if (c1 == std::string::npos || c2 == std::string::npos || c1 == 0) {
+                return Error::invalid("malformed object line in manifest");
+            }
+            try {
+                objects.push_back({value.substr(0, c1), std::stoll(value.substr(c1 + 1, c2 - c1 - 1)),
+                                   std::stoll(value.substr(c2 + 1))});
+            } catch (const std::exception&) {
+                return Error::invalid("malformed object numbers in manifest");
+            }
+            continue;
+        }
+        kv[key] = value;
+    }
+    for (const char* key : {"code", "layout", "element_bytes", "logical_bytes", "stripes"}) {
+        if (kv.count(key) == 0) return Error::invalid(std::string("manifest missing key: ") + key);
+    }
+
+    Manifest m;
+    m.code_spec = kv["code"];
+    auto kind = parse_layout_kind(kv["layout"]);
+    if (!kind.ok()) return kind.error();
+    m.kind = kind.value();
+    try {
+        m.element_bytes = std::stoll(kv["element_bytes"]);
+        m.logical_bytes = std::stoll(kv["logical_bytes"]);
+        m.stripes = std::stoll(kv["stripes"]);
+    } catch (const std::exception&) {
+        return Error::invalid("malformed numeric field in manifest");
+    }
+    if (m.element_bytes <= 0 || m.logical_bytes < 0 || m.stripes < 0) {
+        return Error::invalid("nonsensical manifest values");
+    }
+    m.extents = std::move(extents);
+    m.objects = std::move(objects);
+    // Manifests written before extent tracking carry none: synthesise the
+    // single contiguous run they imply.
+    if (m.extents.empty() && m.logical_bytes > 0) {
+        m.extents.push_back({0, 0, m.logical_bytes});
+    }
+    return m;
+}
+
+const ObjectRecord* Manifest::find_object(const std::string& name) const {
+    for (const auto& o : objects) {
+        if (o.name == name) return &o;
+    }
+    return nullptr;
+}
+
+}  // namespace ecfrm::store

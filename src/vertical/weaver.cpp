@@ -1,0 +1,191 @@
+#include "vertical/weaver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+#include "gf/gf2_solver.h"
+#include "gf/region.h"
+
+namespace ecfrm::vertical {
+
+namespace {
+
+int mod(int a, int n) {
+    int r = a % n;
+    return r < 0 ? r + n : r;
+}
+
+/// GF(2) rank of the recovery system for the given erased-disk set: the
+/// unknowns are the erased disks' data symbols, the equations are the
+/// surviving parities that touch at least one unknown.
+bool recoverable(int n, const std::vector<int>& offsets, const std::vector<int>& erased) {
+    std::vector<int> unknown_of_disk(static_cast<std::size_t>(n), -1);
+    for (std::size_t i = 0; i < erased.size(); ++i) {
+        unknown_of_disk[static_cast<std::size_t>(erased[i])] = static_cast<int>(i);
+    }
+    const int unknowns = static_cast<int>(erased.size());
+
+    std::vector<std::vector<std::uint8_t>> rows;
+    for (int i = 0; i < n; ++i) {
+        if (unknown_of_disk[static_cast<std::size_t>(i)] >= 0) continue;  // parity lost with the disk
+        std::vector<std::uint8_t> row(static_cast<std::size_t>(unknowns), 0);
+        bool touches = false;
+        for (int o : offsets) {
+            const int u = unknown_of_disk[static_cast<std::size_t>(mod(i + o, n))];
+            if (u >= 0) {
+                row[static_cast<std::size_t>(u)] ^= 1;
+                touches = true;
+            }
+        }
+        if (touches) rows.push_back(std::move(row));
+    }
+
+    // Gaussian elimination over GF(2).
+    int rank = 0;
+    for (int col = 0; col < unknowns && rank < static_cast<int>(rows.size()); ++col) {
+        int pivot = -1;
+        for (int r = rank; r < static_cast<int>(rows.size()); ++r) {
+            if (rows[static_cast<std::size_t>(r)][static_cast<std::size_t>(col)] != 0) {
+                pivot = r;
+                break;
+            }
+        }
+        if (pivot < 0) return false;
+        std::swap(rows[static_cast<std::size_t>(rank)], rows[static_cast<std::size_t>(pivot)]);
+        for (int r = 0; r < static_cast<int>(rows.size()); ++r) {
+            if (r == rank || rows[static_cast<std::size_t>(r)][static_cast<std::size_t>(col)] == 0) continue;
+            for (int c = 0; c < unknowns; ++c) {
+                rows[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] ^=
+                    rows[static_cast<std::size_t>(rank)][static_cast<std::size_t>(c)];
+            }
+        }
+        ++rank;
+    }
+    return rank == unknowns;
+}
+
+bool tolerance_holds(int n, int t, const std::vector<int>& offsets) {
+    std::vector<int> idx(static_cast<std::size_t>(t));
+    std::function<bool(int, int)> walk = [&](int from, int depth) {
+        if (depth == t) {
+            return recoverable(n, offsets, idx);
+        }
+        for (int d = from; d < n; ++d) {
+            idx[static_cast<std::size_t>(depth)] = d;
+            if (!walk(d + 1, depth + 1)) return false;
+        }
+        return true;
+    };
+    return walk(0, 0);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WeaverCode>> WeaverCode::make(int n, int t) {
+    if (t < 1) return Error::invalid("WEAVER requires t >= 1");
+    if (n < 2 * t + 1) return Error::invalid("WEAVER(k=t) requires n >= 2t + 1");
+
+    // Exhaustive offset search: every t-subset of [1, n-1], contiguous
+    // offsets first (they usually work and give the nicest locality).
+    std::vector<int> offsets;
+    for (int j = 1; j <= t; ++j) offsets.push_back(j);
+    if (tolerance_holds(n, t, offsets)) {
+        return std::unique_ptr<WeaverCode>(new WeaverCode(n, t, std::move(offsets)));
+    }
+    std::vector<int> idx(static_cast<std::size_t>(t));
+    std::function<bool(int, int)> walk = [&](int from, int depth) -> bool {
+        if (depth == t) return tolerance_holds(n, t, idx);
+        for (int o = from; o <= n - 1; ++o) {
+            idx[static_cast<std::size_t>(depth)] = o;
+            if (walk(o + 1, depth + 1)) return true;
+        }
+        return false;
+    };
+    if (walk(1, 0)) {
+        return std::unique_ptr<WeaverCode>(new WeaverCode(n, t, std::move(idx)));
+    }
+    return Error::undecodable("no WEAVER offset set reaches tolerance " + std::to_string(t) + " at n = " +
+                              std::to_string(n));
+}
+
+Location WeaverCode::locate_data(ElementId e) const {
+    const StripeId stripe = e / n_;
+    return {static_cast<DiskId>(e % n_), stripe * 2};
+}
+
+std::vector<int> WeaverCode::parity_sources(int i) const {
+    std::vector<int> sources;
+    sources.reserve(offsets_.size());
+    for (int o : offsets_) sources.push_back(mod(i + o, n_));
+    return sources;
+}
+
+void WeaverCode::encode(const std::vector<ConstByteSpan>& data, const std::vector<ByteSpan>& parity) const {
+    assert(static_cast<int>(data.size()) == n_ && static_cast<int>(parity.size()) == n_);
+    for (int i = 0; i < n_; ++i) {
+        gf::zero_region(parity[static_cast<std::size_t>(i)]);
+        for (int src : parity_sources(i)) {
+            gf::xor_region(parity[static_cast<std::size_t>(i)], data[static_cast<std::size_t>(src)]);
+        }
+    }
+}
+
+bool WeaverCode::decodable_disks(const std::vector<int>& erased_disks) const {
+    if (erased_disks.empty()) return true;
+    if (static_cast<int>(erased_disks.size()) > t_) return false;
+    return recoverable(n_, offsets_, erased_disks);
+}
+
+Status WeaverCode::decode_disks(const std::vector<ByteSpan>& data, const std::vector<ByteSpan>& parity,
+                                const std::vector<int>& erased_disks) const {
+    if (erased_disks.empty()) return Status::success();
+    if (static_cast<int>(erased_disks.size()) > t_) {
+        return Error::undecodable("WEAVER tolerates at most t disk erasures");
+    }
+
+    // Unified cell ids for the shared solver: data disk i -> i, parity
+    // disk i -> n + i.
+    std::vector<int> unknown_of_disk(static_cast<std::size_t>(n_), -1);
+    gf::Gf2System sys;
+    for (int d : erased_disks) {
+        unknown_of_disk[static_cast<std::size_t>(d)] = static_cast<int>(sys.unknown_cells.size());
+        sys.unknown_cells.push_back(d);
+    }
+    for (int i = 0; i < n_; ++i) {
+        if (unknown_of_disk[static_cast<std::size_t>(i)] >= 0) continue;  // parity lost with the disk
+        std::vector<std::uint8_t> row(sys.unknown_cells.size(), 0);
+        std::vector<int> knowns{n_ + i};  // the surviving parity cell
+        bool touches = false;
+        for (int src : parity_sources(i)) {
+            const int u = unknown_of_disk[static_cast<std::size_t>(src)];
+            if (u >= 0) {
+                row[static_cast<std::size_t>(u)] ^= 1;
+                touches = true;
+            } else {
+                knowns.push_back(src);
+            }
+        }
+        if (!touches) continue;
+        sys.coeffs.push_back(std::move(row));
+        sys.knowns.push_back(std::move(knowns));
+    }
+
+    std::vector<ByteSpan> cells;
+    cells.reserve(static_cast<std::size_t>(2 * n_));
+    cells.insert(cells.end(), data.begin(), data.end());
+    cells.insert(cells.end(), parity.begin(), parity.end());
+    auto status = gf::gf2_solve(std::move(sys), cells);
+    if (!status.ok()) return status;
+
+    // Regenerate the erased disks' parity symbols from the restored data.
+    for (int disk : erased_disks) {
+        gf::zero_region(parity[static_cast<std::size_t>(disk)]);
+        for (int src : parity_sources(disk)) {
+            gf::xor_region(parity[static_cast<std::size_t>(disk)], data[static_cast<std::size_t>(src)]);
+        }
+    }
+    return Status::success();
+}
+
+}  // namespace ecfrm::vertical

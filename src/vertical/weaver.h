@@ -1,0 +1,64 @@
+// WEAVER codes (Hafner, FAST'05): the paper's second named vertical family
+// (Section II-B). We implement the k = t member: every disk stores one
+// data symbol and one parity symbol per stripe, with parity on disk i
+// covering the t data symbols at offsets O = {o_1..o_t}:
+//     P_i = XOR_{o in O} D_{(i + o) mod n}.
+// Storage efficiency is therefore exactly 50% — the paper's argument that
+// vertical codes trade capacity for their balance — while the code works
+// for ARBITRARY n (unlike X-Code) and tolerates any t concurrent disk
+// failures. The offset set is searched and the tolerance validated
+// exhaustively at construction, in the same spirit as the LRC coefficient
+// search.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace ecfrm::vertical {
+
+class WeaverCode {
+  public:
+    /// n disks, tolerance t. Requires n >= 2t + 1 and t >= 1.
+    static Result<std::unique_ptr<WeaverCode>> make(int n, int t);
+
+    int disks() const { return n_; }
+    int fault_tolerance() const { return t_; }
+    int rows_per_stripe() const { return 2; }  // row 0 data, row 1 parity
+    std::int64_t data_per_stripe() const { return n_; }
+    double storage_efficiency() const { return 0.5; }
+
+    /// Data element e: disk e mod n, global row 2 * (e / n).
+    Location locate_data(ElementId e) const;
+
+    /// The parity offsets in use (validated at construction).
+    const std::vector<int>& offsets() const { return offsets_; }
+
+    /// Data disks feeding parity i.
+    std::vector<int> parity_sources(int i) const;
+
+    /// Compute all n parity buffers from the n data buffers.
+    void encode(const std::vector<ConstByteSpan>& data, const std::vector<ByteSpan>& parity) const;
+
+    /// True when the stripe survives losing the given disks (|set| <= t).
+    bool decodable_disks(const std::vector<int>& erased_disks) const;
+
+    /// Rebuild the data and parity symbols of the erased disks in place:
+    /// `data` and `parity` hold all n spans each; erased entries are
+    /// overwritten with the recovered payloads.
+    Status decode_disks(const std::vector<ByteSpan>& data, const std::vector<ByteSpan>& parity,
+                        const std::vector<int>& erased_disks) const;
+
+  private:
+    WeaverCode(int n, int t, std::vector<int> offsets)
+        : n_(n), t_(t), offsets_(std::move(offsets)) {}
+
+    int n_;
+    int t_;
+    std::vector<int> offsets_;
+};
+
+}  // namespace ecfrm::vertical

@@ -1,0 +1,142 @@
+#include "vertical/xcode.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "gf/gf2_solver.h"
+#include "gf/region.h"
+
+namespace ecfrm::vertical {
+
+namespace {
+
+bool is_prime(int n) {
+    if (n < 2) return false;
+    for (int d = 2; d * d <= n; ++d) {
+        if (n % d == 0) return false;
+    }
+    return true;
+}
+
+int mod(int a, int p) {
+    int r = a % p;
+    return r < 0 ? r + p : r;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<XCode>> XCode::make(int p) {
+    if (p < 5) return Error::invalid("X-Code requires p >= 5");
+    if (!is_prime(p)) return Error::invalid("X-Code requires a prime number of disks");
+    auto code = std::unique_ptr<XCode>(new XCode(p));
+
+    // Validate the diagonal construction: every single and double column
+    // erasure must be decodable (the MDS property of X-Code for prime p).
+    for (int c1 = 0; c1 < p; ++c1) {
+        if (!code->decodable_columns({c1})) {
+            return Error::internal("X-Code single-column erasure undecodable — construction bug");
+        }
+        for (int c2 = c1 + 1; c2 < p; ++c2) {
+            if (!code->decodable_columns({c1, c2})) {
+                return Error::internal("X-Code double-column erasure undecodable — construction bug");
+            }
+        }
+    }
+    return code;
+}
+
+Location XCode::locate_data(ElementId e) const {
+    const std::int64_t per_stripe = data_per_stripe();
+    const StripeId stripe = e / per_stripe;
+    const std::int64_t within = e % per_stripe;
+    const int row = static_cast<int>(within / p_);
+    const int col = static_cast<int>(within % p_);
+    return {col, stripe * p_ + row};
+}
+
+std::vector<int> XCode::parity_sources(int parity_row, int col) const {
+    assert(parity_row == p_ - 2 || parity_row == p_ - 1);
+    std::vector<int> sources;
+    sources.reserve(static_cast<std::size_t>(p_ - 2));
+    for (int k = 0; k < p_ - 2; ++k) {
+        // Xu & Bruck's diagonals: the first parity row sums the slope-(+1)
+        // diagonal C(k, i+k+2), the second the slope-(-1) anti-diagonal
+        // C(k, i-k-2); the +/-2 offset steps over the two parity rows.
+        const int c = parity_row == p_ - 2 ? mod(col + k + 2, p_) : mod(col - k - 2, p_);
+        sources.push_back(cell(k, c));
+    }
+    return sources;
+}
+
+void XCode::encode(const std::vector<ByteSpan>& cells) const {
+    assert(static_cast<int>(cells.size()) == p_ * p_);
+    for (int parity_row : {p_ - 2, p_ - 1}) {
+        for (int col = 0; col < p_; ++col) {
+            ByteSpan out = cells[static_cast<std::size_t>(cell(parity_row, col))];
+            gf::zero_region(out);
+            for (int src : parity_sources(parity_row, col)) {
+                gf::xor_region(out, cells[static_cast<std::size_t>(src)]);
+            }
+        }
+    }
+}
+
+XCode::System XCode::build_system(const std::vector<int>& erased_cols) const {
+    System sys;
+    std::vector<bool> erased(static_cast<std::size_t>(p_), false);
+    for (int c : erased_cols) erased[static_cast<std::size_t>(c)] = true;
+
+    std::vector<int> unknown_of_cell(static_cast<std::size_t>(p_) * p_, -1);
+    for (int row = 0; row < p_; ++row) {
+        for (int col = 0; col < p_; ++col) {
+            if (erased[static_cast<std::size_t>(col)]) {
+                unknown_of_cell[static_cast<std::size_t>(cell(row, col))] =
+                    static_cast<int>(sys.unknown_cells.size());
+                sys.unknown_cells.push_back(cell(row, col));
+            }
+        }
+    }
+
+    // One equation per parity cell: parity ^ sources == 0.
+    for (int parity_row : {p_ - 2, p_ - 1}) {
+        for (int col = 0; col < p_; ++col) {
+            std::vector<std::uint8_t> row_coeffs(sys.unknown_cells.size(), 0);
+            std::vector<int> knowns;
+            auto touch = [&](int c) {
+                const int u = unknown_of_cell[static_cast<std::size_t>(c)];
+                if (u >= 0) {
+                    row_coeffs[static_cast<std::size_t>(u)] ^= 1;
+                } else {
+                    knowns.push_back(c);
+                }
+            };
+            touch(cell(parity_row, col));
+            for (int src : parity_sources(parity_row, col)) touch(src);
+            sys.coeffs.push_back(std::move(row_coeffs));
+            sys.knowns.push_back(std::move(knowns));
+        }
+    }
+    return sys;
+}
+
+bool XCode::decodable_columns(const std::vector<int>& erased_cols) const {
+    if (erased_cols.empty()) return true;
+    if (static_cast<int>(erased_cols.size()) > fault_tolerance()) return false;
+    const System sys = build_system(erased_cols);
+    return gf::gf2_rank(sys.coeffs) == static_cast<int>(sys.unknown_cells.size());
+}
+
+Status XCode::decode_columns(const std::vector<ByteSpan>& cells, const std::vector<int>& erased_cols) const {
+    if (erased_cols.empty()) return Status::success();
+    if (static_cast<int>(erased_cols.size()) > fault_tolerance()) {
+        return Error::undecodable("X-Code tolerates at most two column erasures");
+    }
+    System sys = build_system(erased_cols);
+    gf::Gf2System generic;
+    generic.coeffs = std::move(sys.coeffs);
+    generic.knowns = std::move(sys.knowns);
+    generic.unknown_cells = std::move(sys.unknown_cells);
+    return gf::gf2_solve(std::move(generic), cells);
+}
+
+}  // namespace ecfrm::vertical

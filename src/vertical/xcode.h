@@ -1,0 +1,81 @@
+// X-Code (Xu & Bruck, IEEE-IT 1999): the representative VERTICAL code the
+// paper contrasts against (Sections II-B, III-A). A stripe is a p x p cell
+// array over p disks (p prime): rows [0, p-2) hold data, the last two rows
+// hold diagonal / anti-diagonal XOR parities. Every disk stores both data
+// and parity, so normal reads spread over all p disks — the property
+// EC-FRM retrofits onto horizontal codes — but the code tolerates exactly
+// two disk failures and exists only for prime disk counts, which is the
+// paper's argument for why vertical codes are rarely deployed.
+//
+// The diagonal definitions below are validated at construction: every
+// single- and double-column erasure must be solvable, checked by rank over
+// GF(2). Construction fails for non-prime p.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace ecfrm::vertical {
+
+class XCode {
+  public:
+    /// p must be prime and >= 5.
+    static Result<std::unique_ptr<XCode>> make(int p);
+
+    int disks() const { return p_; }
+    int rows_per_stripe() const { return p_; }
+    int data_rows() const { return p_ - 2; }
+    std::int64_t data_per_stripe() const { return static_cast<std::int64_t>(p_ - 2) * p_; }
+    int fault_tolerance() const { return 2; }
+
+    /// Data element e of a stripe: row e / p, disk e mod p (row-major —
+    /// logical contiguity spreads over all p disks, like EC-FRM).
+    Location locate_data(ElementId e) const;
+
+    /// Cell index helpers: cell = row * p + col; rows p-2 and p-1 are the
+    /// diagonal and anti-diagonal parity rows.
+    int cell(int row, int col) const { return row * p_ + col; }
+
+    /// Data cells feeding parity cell (parity_row in {p-2, p-1}, col).
+    std::vector<int> parity_sources(int parity_row, int col) const;
+
+    /// Compute the 2p parity cells from the (p-2)*p data cells. Cells are
+    /// indexed row-major; `cells` must hold all p*p spans, with the data
+    /// spans filled and the parity spans writable.
+    void encode(const std::vector<ByteSpan>& cells) const;
+
+    /// True when the stripe survives erasing the given columns (|cols| <= 2).
+    bool decodable_columns(const std::vector<int>& erased_cols) const;
+
+    /// Rebuild every cell of the erased columns in place: `cells` holds
+    /// all p*p spans; erased columns' spans are overwritten with the
+    /// recovered payloads. Fails for undecodable patterns (> 2 columns).
+    Status decode_columns(const std::vector<ByteSpan>& cells, const std::vector<int>& erased_cols) const;
+
+    /// Max per-disk element count for a normal read of `count` sequential
+    /// data elements — ceil(count / p), the vertical-spread property.
+    int normal_read_max_load(std::int64_t count) const {
+        return static_cast<int>((count + p_ - 1) / p_);
+    }
+
+  private:
+    explicit XCode(int p) : p_(p) {}
+
+    /// Build the GF(2) constraint matrix restricted to the erased columns'
+    /// cells (unknowns), plus, per equation, the list of surviving source
+    /// cells (knowns) to fold into the right-hand side.
+    struct System {
+        std::vector<std::vector<std::uint8_t>> coeffs;  // [equation][unknown]
+        std::vector<std::vector<int>> knowns;           // surviving cells per equation
+        std::vector<int> unknown_cells;                 // cell index per unknown
+    };
+    System build_system(const std::vector<int>& erased_cols) const;
+
+    int p_;
+};
+
+}  // namespace ecfrm::vertical

@@ -1,0 +1,117 @@
+#include "wide/matrix16.h"
+
+#include <cassert>
+
+#include "gf/gf65536.h"
+
+namespace ecfrm::wide {
+
+using gf::Gf65536;
+
+Matrix16 Matrix16::identity(int n) {
+    Matrix16 m(n, n);
+    for (int i = 0; i < n; ++i) m.at(i, i) = 1;
+    return m;
+}
+
+Matrix16 Matrix16::operator*(const Matrix16& rhs) const {
+    assert(cols_ == rhs.rows_);
+    Matrix16 out(rows_, rhs.cols_);
+    for (int i = 0; i < rows_; ++i) {
+        for (int l = 0; l < cols_; ++l) {
+            const std::uint16_t a = at(i, l);
+            if (a == 0) continue;
+            for (int j = 0; j < rhs.cols_; ++j) {
+                out.at(i, j) ^= Gf65536::mul(a, rhs.at(l, j));
+            }
+        }
+    }
+    return out;
+}
+
+Matrix16 Matrix16::select_rows(const std::vector<int>& rows) const {
+    Matrix16 out(static_cast<int>(rows.size()), cols_);
+    for (int i = 0; i < out.rows_; ++i) {
+        const int r = rows[static_cast<std::size_t>(i)];
+        assert(r >= 0 && r < rows_);
+        for (int j = 0; j < cols_; ++j) out.at(i, j) = at(r, j);
+    }
+    return out;
+}
+
+Result<Matrix16> Matrix16::inverted() const {
+    assert(rows_ == cols_);
+    const int n = rows_;
+    Matrix16 a = *this;
+    Matrix16 inv = identity(n);
+    for (int col = 0; col < n; ++col) {
+        int pivot = -1;
+        for (int r = col; r < n; ++r) {
+            if (a.at(r, col) != 0) {
+                pivot = r;
+                break;
+            }
+        }
+        if (pivot < 0) return Error::undecodable("singular matrix in GF(2^16) inversion");
+        a.swap_rows(col, pivot);
+        inv.swap_rows(col, pivot);
+        const std::uint16_t pinv = Gf65536::inv(a.at(col, col));
+        for (int j = 0; j < n; ++j) {
+            a.at(col, j) = Gf65536::mul(pinv, a.at(col, j));
+            inv.at(col, j) = Gf65536::mul(pinv, inv.at(col, j));
+        }
+        for (int r = 0; r < n; ++r) {
+            if (r == col) continue;
+            const std::uint16_t f = a.at(r, col);
+            if (f == 0) continue;
+            for (int j = 0; j < n; ++j) {
+                a.at(r, j) ^= Gf65536::mul(f, a.at(col, j));
+                inv.at(r, j) ^= Gf65536::mul(f, inv.at(col, j));
+            }
+        }
+    }
+    return inv;
+}
+
+int Matrix16::rank() const {
+    Matrix16 a = *this;
+    int rank = 0;
+    for (int col = 0; col < cols_ && rank < rows_; ++col) {
+        int pivot = -1;
+        for (int r = rank; r < rows_; ++r) {
+            if (a.at(r, col) != 0) {
+                pivot = r;
+                break;
+            }
+        }
+        if (pivot < 0) continue;
+        a.swap_rows(rank, pivot);
+        const std::uint16_t pinv = Gf65536::inv(a.at(rank, col));
+        for (int j = 0; j < cols_; ++j) a.at(rank, j) = Gf65536::mul(pinv, a.at(rank, j));
+        for (int r = 0; r < rows_; ++r) {
+            if (r == rank) continue;
+            const std::uint16_t f = a.at(r, col);
+            if (f == 0) continue;
+            for (int j = 0; j < cols_; ++j) a.at(r, j) ^= Gf65536::mul(f, a.at(rank, j));
+        }
+        ++rank;
+    }
+    return rank;
+}
+
+bool Matrix16::is_identity() const {
+    if (rows_ != cols_) return false;
+    for (int i = 0; i < rows_; ++i) {
+        for (int j = 0; j < cols_; ++j) {
+            if (at(i, j) != (i == j ? 1 : 0)) return false;
+        }
+    }
+    return true;
+}
+
+void Matrix16::swap_rows(int a, int b) {
+    if (a == b) return;
+    for (int j = 0; j < cols_; ++j) std::swap(at(a, j), at(b, j));
+}
+
+}  // namespace ecfrm::wide

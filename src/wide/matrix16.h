@@ -1,0 +1,41 @@
+// Dense matrices over GF(2^16) — the algebra for wide-stripe codes whose
+// total width exceeds the 256-element ceiling of GF(2^8).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ecfrm::wide {
+
+class Matrix16 {
+  public:
+    Matrix16() = default;
+    Matrix16(int rows, int cols)
+        : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows) * cols, 0) {}
+
+    static Matrix16 identity(int n);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+    std::uint16_t& at(int r, int c) { return data_[static_cast<std::size_t>(r) * cols_ + c]; }
+    std::uint16_t at(int r, int c) const { return data_[static_cast<std::size_t>(r) * cols_ + c]; }
+
+    friend bool operator==(const Matrix16&, const Matrix16&) = default;
+
+    Matrix16 operator*(const Matrix16& rhs) const;
+    Matrix16 select_rows(const std::vector<int>& rows) const;
+    Result<Matrix16> inverted() const;
+    int rank() const;
+    bool is_identity() const;
+    void swap_rows(int a, int b);
+
+  private:
+    int rows_ = 0;
+    int cols_ = 0;
+    std::vector<std::uint16_t> data_;
+};
+
+}  // namespace ecfrm::wide

@@ -1,0 +1,96 @@
+#include "wide/rs16.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "gf/gf65536.h"
+#include "gf/region.h"
+
+namespace ecfrm::wide {
+
+using gf::Gf65536;
+
+void addmul16_region(ByteSpan dst, ConstByteSpan src, std::uint16_t c) {
+    assert(dst.size() == src.size());
+    assert(dst.size() % 2 == 0);
+    if (c == 0) return;
+    if (c == 1) {
+        gf::xor_region(dst, src);
+        return;
+    }
+    const std::size_t words = dst.size() / 2;
+    for (std::size_t i = 0; i < words; ++i) {
+        std::uint16_t s, d;
+        std::memcpy(&s, src.data() + 2 * i, 2);
+        std::memcpy(&d, dst.data() + 2 * i, 2);
+        d ^= Gf65536::mul(c, s);
+        std::memcpy(dst.data() + 2 * i, &d, 2);
+    }
+}
+
+Result<std::unique_ptr<Rs16Code>> Rs16Code::make(int k, int m) {
+    if (k <= 0 || m <= 0) return Error::invalid("RS16 requires k > 0 and m > 0");
+    if (k + m > 65536) return Error::invalid("RS16 over GF(2^16) requires k + m <= 65536");
+
+    Matrix16 gen(k + m, k);
+    for (int i = 0; i < k; ++i) gen.at(i, i) = 1;
+    // Cauchy block: x_i = k + i, y_j = j; x and y ranges are disjoint so
+    // every square submatrix is invertible (MDS by construction).
+    for (int p = 0; p < m; ++p) {
+        for (int j = 0; j < k; ++j) {
+            gen.at(k + p, j) = Gf65536::inv(static_cast<std::uint16_t>((k + p) ^ j));
+        }
+    }
+    return std::unique_ptr<Rs16Code>(new Rs16Code(std::move(gen)));
+}
+
+Status Rs16Code::encode(const std::vector<ConstByteSpan>& data, const std::vector<ByteSpan>& parity) const {
+    if (static_cast<int>(data.size()) != k() || static_cast<int>(parity.size()) != m()) {
+        return Error::invalid("RS16 encode: buffer count mismatch");
+    }
+    if (!data.empty() && data[0].size() % 2 != 0) {
+        return Error::invalid("RS16 encode: buffers must have even length");
+    }
+    for (int p = 0; p < m(); ++p) {
+        gf::zero_region(parity[static_cast<std::size_t>(p)]);
+        for (int j = 0; j < k(); ++j) {
+            addmul16_region(parity[static_cast<std::size_t>(p)], data[static_cast<std::size_t>(j)],
+                            generator_.at(k() + p, j));
+        }
+    }
+    return Status::success();
+}
+
+bool Rs16Code::decodable(const std::vector<int>& available) const {
+    return generator_.select_rows(available).rank() == k();
+}
+
+Status Rs16Code::repair(int target, const std::vector<int>& sources,
+                        const std::vector<ConstByteSpan>& source_payloads, ByteSpan out) const {
+    if (sources.size() != source_payloads.size()) {
+        return Error::invalid("RS16 repair: sources/payload count mismatch");
+    }
+    if (static_cast<int>(sources.size()) != k()) {
+        return Error::invalid("RS16 repair expects exactly k sources");
+    }
+    // coefficients = G_target * inv(G_sources).
+    auto inv = generator_.select_rows(sources).inverted();
+    if (!inv.ok()) return Error::undecodable("RS16 repair: source set not invertible");
+
+    std::vector<std::uint16_t> coeffs(static_cast<std::size_t>(k()), 0);
+    for (int j = 0; j < k(); ++j) {
+        std::uint16_t acc = 0;
+        for (int l = 0; l < k(); ++l) {
+            acc ^= Gf65536::mul(generator_.at(target, l), inv->at(l, j));
+        }
+        coeffs[static_cast<std::size_t>(j)] = acc;
+    }
+
+    gf::zero_region(out);
+    for (int j = 0; j < k(); ++j) {
+        addmul16_region(out, source_payloads[static_cast<std::size_t>(j)], coeffs[static_cast<std::size_t>(j)]);
+    }
+    return Status::success();
+}
+
+}  // namespace ecfrm::wide

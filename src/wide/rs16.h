@@ -1,0 +1,54 @@
+// Reed-Solomon over GF(2^16): the wide-stripe substrate for arrays whose
+// total width exceeds GF(2^8)'s 256-element ceiling. EC-FRM's layout math
+// (Section IV-B) is field-independent — gcd geometry only — so pairing
+// EcfrmLayout with this code extends the framework to hundreds of disks;
+// the "arbitrary number of disks" property (Section V-B), made concrete.
+//
+// Element buffers are interpreted as little-endian 16-bit symbols and must
+// have even length.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "wide/matrix16.h"
+
+namespace ecfrm::wide {
+
+class Rs16Code {
+  public:
+    /// Systematic Cauchy construction; requires k + m <= 65536.
+    static Result<std::unique_ptr<Rs16Code>> make(int k, int m);
+
+    int n() const { return generator_.rows(); }
+    int k() const { return generator_.cols(); }
+    int m() const { return n() - k(); }
+    int fault_tolerance() const { return m(); }
+
+    const Matrix16& generator() const { return generator_; }
+
+    /// Compute the m parity buffers from the k data buffers. All spans
+    /// share one even length.
+    Status encode(const std::vector<ConstByteSpan>& data, const std::vector<ByteSpan>& parity) const;
+
+    /// True when the data survives with only `available` positions left.
+    bool decodable(const std::vector<int>& available) const;
+
+    /// Rebuild `target` from the given sources (any k positions work).
+    /// Writes the recovered payload into `out`.
+    Status repair(int target, const std::vector<int>& sources,
+                  const std::vector<ConstByteSpan>& source_payloads, ByteSpan out) const;
+
+  private:
+    explicit Rs16Code(Matrix16 generator) : generator_(std::move(generator)) {}
+
+    Matrix16 generator_;
+};
+
+/// dst ^= c * src over GF(2^16) on 16-bit little-endian symbols.
+void addmul16_region(ByteSpan dst, ConstByteSpan src, std::uint16_t c);
+
+}  // namespace ecfrm::wide

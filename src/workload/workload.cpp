@@ -1,0 +1,64 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ecfrm::workload {
+
+ReadRequest random_read(Rng& rng, std::int64_t total_elements, int max_request_elements) {
+    assert(total_elements > 0);
+    ReadRequest req;
+    req.start = rng.next_range(0, total_elements - 1);
+    const std::int64_t size = rng.next_range(1, max_request_elements);
+    req.count = std::min(size, total_elements - req.start);
+    return req;
+}
+
+DegradedRequest random_degraded_read(Rng& rng, std::int64_t total_elements, int disks,
+                                     int max_request_elements) {
+    DegradedRequest req;
+    req.read = random_read(rng, total_elements, max_request_elements);
+    req.failed_disk = static_cast<DiskId>(rng.next_range(0, disks - 1));
+    return req;
+}
+
+std::vector<FileSpec> make_file_population(Rng& rng, int files, std::int64_t min_elements,
+                                           std::int64_t max_elements) {
+    std::vector<FileSpec> specs;
+    specs.reserve(static_cast<std::size_t>(files));
+    ElementId next = 0;
+    for (int i = 0; i < files; ++i) {
+        FileSpec spec;
+        spec.first = next;
+        spec.elements = rng.next_range(min_elements, max_elements);
+        next += spec.elements;
+        specs.push_back(spec);
+    }
+    return specs;
+}
+
+ZipfSampler::ZipfSampler(int n, double s) {
+    assert(n > 0);
+    cdf_.resize(static_cast<std::size_t>(n));
+    double acc = 0.0;
+    for (int i = 0; i < n; ++i) {
+        acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+        cdf_[static_cast<std::size_t>(i)] = acc;
+    }
+    for (auto& v : cdf_) v /= acc;
+}
+
+int ZipfSampler::sample(Rng& rng) const {
+    const double u = rng.next_double();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(it - cdf_.begin()),
+                                                  cdf_.size() - 1));
+}
+
+ReadRequest zipf_file_read(Rng& rng, const std::vector<FileSpec>& files, const ZipfSampler& zipf) {
+    const auto& f = files[static_cast<std::size_t>(zipf.sample(rng))];
+    return {f.first, f.elements};
+}
+
+}  // namespace ecfrm::workload

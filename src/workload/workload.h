@@ -1,0 +1,62 @@
+// Workload generators.
+//
+// `random_read` / `random_degraded_read` implement the paper's protocol
+// verbatim (Section VI-B/C): start point uniform over the data elements,
+// read size uniform in [1, 20] elements, failed disk uniform over all
+// disks. The file-trace generators extend the evaluation to object-store
+// style access (Zipf-popular files of MP3-like sizes, Section III-A's
+// motivation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace ecfrm::workload {
+
+struct ReadRequest {
+    ElementId start = 0;
+    std::int64_t count = 0;
+};
+
+struct DegradedRequest {
+    ReadRequest read;
+    DiskId failed_disk = 0;
+};
+
+/// One paper-protocol normal read over `total_elements` stored elements.
+/// The size is clamped so the request stays in range.
+ReadRequest random_read(Rng& rng, std::int64_t total_elements, int max_request_elements = 20);
+
+/// One paper-protocol degraded read; the failed disk is uniform over
+/// [0, disks).
+DegradedRequest random_degraded_read(Rng& rng, std::int64_t total_elements, int disks,
+                                     int max_request_elements = 20);
+
+/// A population of files laid sequentially in the element space, with
+/// sizes uniform in [min_elements, max_elements] (MP3-like objects when
+/// elements are 1 MB). Returns (first element, element count) per file.
+struct FileSpec {
+    ElementId first = 0;
+    std::int64_t elements = 0;
+};
+std::vector<FileSpec> make_file_population(Rng& rng, int files, std::int64_t min_elements,
+                                           std::int64_t max_elements);
+
+/// Zipf(s) sampler over ranks [0, n): rank 0 most popular. Inverse-CDF
+/// over precomputed cumulative weights; O(log n) per sample.
+class ZipfSampler {
+  public:
+    ZipfSampler(int n, double s);
+    int sample(Rng& rng) const;
+
+  private:
+    std::vector<double> cdf_;
+};
+
+/// Whole-file reads with Zipf-popular file choice.
+ReadRequest zipf_file_read(Rng& rng, const std::vector<FileSpec>& files, const ZipfSampler& zipf);
+
+}  // namespace ecfrm::workload

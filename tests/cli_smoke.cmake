@@ -1,0 +1,54 @@
+# End-to-end smoke test of the ecfrm_cli archive tool, run under ctest:
+#   create -> put (object) -> fail -> degraded get-object -> reconstruct ->
+#   corrupt -> scrub -> overwrite -> byte-compare everything.
+# Invoked as:
+#   cmake -DCLI=<path-to-ecfrm_cli> -DWORK=<scratch-dir> -P cli_smoke.cmake
+
+function(run)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+endfunction()
+
+file(REMOVE_RECURSE ${WORK})
+file(MAKE_DIRECTORY ${WORK})
+set(ARCH ${WORK}/arch)
+
+# Deterministic 100000-byte payload.
+string(REPEAT "ecfrm-cli-smoke-payload-0123456789" 3000 BODY)
+string(SUBSTRING "${BODY}" 0 100000 BODY)
+file(WRITE ${WORK}/in.bin "${BODY}")
+
+run(${CLI} create ${ARCH} lrc:6,2,2 ecfrm 4096)
+run(${CLI} put ${ARCH} ${WORK}/in.bin blob)
+run(${CLI} fail ${ARCH} 3)
+run(${CLI} get-object ${ARCH} blob ${WORK}/degraded.bin)
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${WORK}/in.bin ${WORK}/degraded.bin
+                RESULT_VARIABLE cmp)
+if(NOT cmp EQUAL 0)
+  message(FATAL_ERROR "degraded get-object returned wrong bytes")
+endif()
+
+run(${CLI} reconstruct ${ARCH} 3)
+run(${CLI} corrupt ${ARCH} 2 1 17)
+run(${CLI} scrub ${ARCH})
+run(${CLI} cat ${ARCH} ${WORK}/healed.bin)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${WORK}/in.bin ${WORK}/healed.bin
+                RESULT_VARIABLE cmp2)
+if(NOT cmp2 EQUAL 0)
+  message(FATAL_ERROR "post-scrub cat returned wrong bytes")
+endif()
+
+# Overwrite a range and confirm it lands.
+file(WRITE ${WORK}/patch.bin "PATCH-THROUGH-CLI")
+run(${CLI} overwrite ${ARCH} 500 ${WORK}/patch.bin)
+run(${CLI} get ${ARCH} 500 17 ${WORK}/patched.bin)
+file(READ ${WORK}/patched.bin PATCHED)
+if(NOT PATCHED STREQUAL "PATCH-THROUGH-CLI")
+  message(FATAL_ERROR "overwrite did not land: got '${PATCHED}'")
+endif()
+
+file(REMOVE_RECURSE ${WORK})
+message(STATUS "cli smoke test passed")

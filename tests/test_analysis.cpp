@@ -1,0 +1,146 @@
+// Analysis module: closed forms vs planner vs exhaustive enumeration.
+#include <gtest/gtest.h>
+
+#include "codes/factory.h"
+#include "core/analysis.h"
+#include "core/read_planner.h"
+#include "vertical/xcode.h"
+
+namespace ecfrm::core {
+namespace {
+
+using layout::LayoutKind;
+
+Scheme make_scheme(const std::string& spec, LayoutKind kind) {
+    auto code = codes::make_code(spec);
+    EXPECT_TRUE(code.ok());
+    return Scheme(code.value(), kind);
+}
+
+TEST(ClosedForm, MatchesPlannerForStandardLayout) {
+    auto scheme = make_scheme("rs:6,3", LayoutKind::standard);
+    for (ElementId start = 0; start < 12; ++start) {
+        for (int size = 1; size <= 25; ++size) {
+            const auto plan = plan_normal_read(scheme, start, size);
+            EXPECT_EQ(plan.max_load(), closed_form_max_load(LayoutKind::standard, 9, 6, size))
+                << "start " << start << " size " << size;
+        }
+    }
+}
+
+TEST(ClosedForm, MatchesPlannerForEcfrmLayout) {
+    for (const char* spec : {"rs:6,3", "lrc:6,2,2", "rs:10,5"}) {
+        auto scheme = make_scheme(spec, LayoutKind::ecfrm);
+        const int n = scheme.disks();
+        const int k = scheme.code().k();
+        for (ElementId start = 0; start < scheme.layout().data_per_stripe(); ++start) {
+            for (int size = 1; size <= 25; ++size) {
+                const auto plan = plan_normal_read(scheme, start, size);
+                EXPECT_EQ(plan.max_load(), closed_form_max_load(LayoutKind::ecfrm, n, k, size))
+                    << spec << " start " << start << " size " << size;
+            }
+        }
+    }
+}
+
+TEST(ClosedForm, RotatedHasNoClosedForm) {
+    EXPECT_EQ(closed_form_max_load(LayoutKind::rotated, 9, 6, 10), -1);
+}
+
+TEST(Analysis, ExactMeansOrderAsThePaperArgues) {
+    // Section III: E[max load] standard > rotated > ecfrm for the paper's
+    // workload (1..20 elements, all start offsets).
+    auto code = codes::make_lrc(6, 2, 2);
+    ASSERT_TRUE(code.ok());
+    const auto std_a = analyze_normal_reads(Scheme(code.value(), LayoutKind::standard), 20);
+    const auto rot_a = analyze_normal_reads(Scheme(code.value(), LayoutKind::rotated), 20);
+    const auto frm_a = analyze_normal_reads(Scheme(code.value(), LayoutKind::ecfrm), 20);
+
+    EXPECT_GT(std_a.mean_max_load, rot_a.mean_max_load);
+    EXPECT_GT(rot_a.mean_max_load, frm_a.mean_max_load);
+
+    // And EC-FRM touches the most disks on average (full-spread claim).
+    EXPECT_GT(frm_a.mean_disks_touched, std_a.mean_disks_touched);
+
+    // Worst cases: ceil(20/6) = 4 for standard, ceil(20/10) = 2 for ecfrm.
+    EXPECT_EQ(std_a.worst_max_load, 4);
+    EXPECT_EQ(frm_a.worst_max_load, 2);
+}
+
+TEST(Analysis, ExactMeanMatchesCeilAverageForStandard) {
+    // For the standard layout the exact mean must equal the analytic
+    // average of ceil(E/k) over E in [1, 20].
+    auto scheme = make_scheme("rs:6,3", LayoutKind::standard);
+    const auto a = analyze_normal_reads(scheme, 20);
+    double expect = 0.0;
+    for (int e = 1; e <= 20; ++e) expect += (e + 5) / 6;
+    expect /= 20.0;
+    EXPECT_NEAR(a.mean_max_load, expect, 1e-12);
+}
+
+TEST(Analysis, EcfrmMatchesVerticalSpreadAtEqualWidth) {
+    // Section III-A: vertical codes' normal-read spread is the target
+    // EC-FRM retrofits. At the same disk count the per-request max loads
+    // must be identical: both are ceil(E/n) for every size.
+    auto xcode = vertical::XCode::make(11);
+    ASSERT_TRUE(xcode.ok());
+    auto rs = codes::make_rs(9, 2);  // 11 disks
+    ASSERT_TRUE(rs.ok());
+    Scheme frm(rs.value(), LayoutKind::ecfrm);
+    for (int size = 1; size <= 30; ++size) {
+        EXPECT_EQ(xcode.value()->normal_read_max_load(size),
+                  closed_form_max_load(LayoutKind::ecfrm, 11, 9, size))
+            << "size " << size;
+        // And the actual planner agrees with the closed form.
+        EXPECT_EQ(plan_normal_read(frm, 0, size).max_load(),
+                  xcode.value()->normal_read_max_load(size));
+    }
+}
+
+TEST(Analysis, ExactDegradedCostsMatchPaperClaims) {
+    // The exact expectations behind Figure 9(a)/(b): (1) costs of the
+    // three forms of one code are near-identical; (2) LRC cost is well
+    // below RS cost; (3) EC-FRM's expected max load beats standard's.
+    auto rs = codes::make_rs(6, 3);
+    auto lrc = codes::make_lrc(6, 2, 2);
+    ASSERT_TRUE(rs.ok());
+    ASSERT_TRUE(lrc.ok());
+
+    const auto rs_std = analyze_degraded_reads(Scheme(rs.value(), LayoutKind::standard), 20);
+    const auto rs_frm = analyze_degraded_reads(Scheme(rs.value(), LayoutKind::ecfrm), 20);
+    const auto lrc_std = analyze_degraded_reads(Scheme(lrc.value(), LayoutKind::standard), 20);
+    const auto lrc_frm = analyze_degraded_reads(Scheme(lrc.value(), LayoutKind::ecfrm), 20);
+
+    EXPECT_NEAR(rs_std.mean_cost, rs_frm.mean_cost, rs_std.mean_cost * 0.05);
+    EXPECT_NEAR(lrc_std.mean_cost, lrc_frm.mean_cost, lrc_std.mean_cost * 0.05);
+    EXPECT_LT(lrc_std.mean_cost, rs_std.mean_cost * 0.95);
+    EXPECT_LT(rs_frm.loads.mean_max_load, rs_std.loads.mean_max_load);
+    EXPECT_LT(lrc_frm.loads.mean_max_load, lrc_std.loads.mean_max_load);
+}
+
+TEST(Analysis, BalancePolicyLowersExactMaxLoadForLrc) {
+    auto lrc = codes::make_lrc(6, 2, 2);
+    ASSERT_TRUE(lrc.ok());
+    Scheme scheme(lrc.value(), LayoutKind::ecfrm);
+    const auto local = analyze_degraded_reads(scheme, 20, DegradedPolicy::local_first);
+    const auto balance = analyze_degraded_reads(scheme, 20, DegradedPolicy::balance);
+    EXPECT_LT(balance.loads.mean_max_load, local.loads.mean_max_load);
+    EXPECT_GE(balance.mean_cost, local.mean_cost);  // traffic is the price
+}
+
+TEST(Analysis, PredictedSpeedupIsInThePaperBallpark) {
+    // Transfer-bound prediction for the paper's parameter sets: EC-FRM
+    // should be predicted 1.15x - 1.6x faster than standard.
+    for (const char* spec : {"rs:6,3", "rs:8,4", "rs:10,5", "lrc:6,2,2", "lrc:8,2,3", "lrc:10,2,4"}) {
+        auto code = codes::make_code(spec);
+        ASSERT_TRUE(code.ok());
+        Scheme std_s(code.value(), LayoutKind::standard);
+        Scheme frm_s(code.value(), LayoutKind::ecfrm);
+        const double speedup = predicted_transfer_bound_speedup(std_s, frm_s, 20);
+        EXPECT_GT(speedup, 1.15) << spec;
+        EXPECT_LT(speedup, 1.60) << spec;
+    }
+}
+
+}  // namespace
+}  // namespace ecfrm::core

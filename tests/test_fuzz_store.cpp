@@ -1,0 +1,133 @@
+// Randomized differential test: a StripeStore under a random operation
+// stream (append / flush / read / fail / reconstruct / corrupt+scrub) must
+// always agree byte-for-byte with a plain in-memory reference model, for
+// every scheme and layout, as long as concurrent failures stay within the
+// code's tolerance.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "codes/factory.h"
+#include "common/rng.h"
+#include "store/stripe_store.h"
+
+namespace ecfrm::store {
+namespace {
+
+using layout::LayoutKind;
+
+struct FuzzParam {
+    const char* spec;
+    LayoutKind kind;
+    std::uint64_t seed;
+};
+
+class FuzzStoreTest : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(FuzzStoreTest, RandomOpStreamMatchesReferenceModel) {
+    const auto [spec, kind, seed] = GetParam();
+    auto code = codes::make_code(spec);
+    ASSERT_TRUE(code.ok());
+    const int tolerance = code.value()->fault_tolerance();
+
+    const std::int64_t elem = 32;
+    StripeStore store(core::Scheme(code.value(), kind), elem);
+    std::vector<std::uint8_t> reference;  // logical byte stream
+    std::set<DiskId> failed;
+    Rng rng(seed);
+
+    const int kOps = 300;
+    for (int op = 0; op < kOps; ++op) {
+        switch (rng.next_below(10)) {
+            case 0:
+            case 1:
+            case 2: {  // append a random chunk
+                const std::size_t size = 1 + rng.next_below(4 * static_cast<std::uint64_t>(elem));
+                std::vector<std::uint8_t> chunk(size);
+                for (auto& b : chunk) b = static_cast<std::uint8_t>(rng.next_below(256));
+                ASSERT_TRUE(store.append(ConstByteSpan(chunk.data(), chunk.size())).ok());
+                reference.insert(reference.end(), chunk.begin(), chunk.end());
+                break;
+            }
+            case 3: {  // flush (creates a fresh extent on partial stripes)
+                ASSERT_TRUE(store.flush().ok());
+                ASSERT_EQ(store.committed_bytes(), static_cast<std::int64_t>(reference.size()));
+                break;
+            }
+            case 4:
+            case 5:
+            case 6: {  // random read of the committed prefix
+                const std::int64_t committed = store.committed_bytes();
+                if (committed == 0) break;
+                const std::int64_t offset = static_cast<std::int64_t>(rng.next_below(
+                    static_cast<std::uint64_t>(committed)));
+                const std::int64_t length = 1 + static_cast<std::int64_t>(rng.next_below(
+                    static_cast<std::uint64_t>(committed - offset)));
+                auto out = store.read_bytes(offset, length);
+                ASSERT_TRUE(out.ok()) << "op " << op << ": " << out.error().message;
+                ASSERT_TRUE(std::memcmp(out->data(), reference.data() + offset,
+                                        static_cast<std::size_t>(length)) == 0)
+                    << "op " << op << " read mismatch at offset " << offset;
+                break;
+            }
+            case 7: {  // fail a disk (stay within tolerance)
+                if (static_cast<int>(failed.size()) >= tolerance) break;
+                const auto disk = static_cast<DiskId>(rng.next_below(
+                    static_cast<std::uint64_t>(store.scheme().disks())));
+                if (failed.count(disk) > 0) break;
+                ASSERT_TRUE(store.fail_disk(disk).ok());
+                failed.insert(disk);
+                break;
+            }
+            case 8: {  // reconstruct one failed disk
+                if (failed.empty()) break;
+                const DiskId disk = *failed.begin();
+                auto stats = store.reconstruct_disk(disk);
+                ASSERT_TRUE(stats.ok()) << "op " << op << ": " << stats.error().message;
+                failed.erase(disk);
+                break;
+            }
+            case 9: {  // silent corruption + scrub (only when all healthy)
+                if (!failed.empty() || store.stored_data_elements() == 0) break;
+                const std::int64_t total = store.stored_data_elements();
+                const auto e = static_cast<ElementId>(rng.next_below(static_cast<std::uint64_t>(total)));
+                const Location loc = store.scheme().layout().locate_data(e);
+                ASSERT_TRUE(store
+                                .corrupt_element(loc.disk, loc.row,
+                                                 rng.next_below(static_cast<std::uint64_t>(elem)))
+                                .ok());
+                auto report = store.scrub();
+                ASSERT_TRUE(report.ok());
+                ASSERT_EQ(report->unrecoverable_groups, 0);
+                break;
+            }
+        }
+    }
+
+    // Final audit: flush everything, read the whole stream, verify parity.
+    ASSERT_TRUE(store.flush().ok());
+    for (DiskId disk : std::vector<DiskId>(failed.begin(), failed.end())) {
+        ASSERT_TRUE(store.reconstruct_disk(disk).ok());
+    }
+    auto out = store.read_bytes(0, static_cast<std::int64_t>(reference.size()));
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out.value(), reference);
+    EXPECT_TRUE(store.verify_parity().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, FuzzStoreTest,
+    ::testing::Values(FuzzParam{"rs:6,3", LayoutKind::standard, 1}, FuzzParam{"rs:6,3", LayoutKind::ecfrm, 2},
+                      FuzzParam{"rs:6,3", LayoutKind::rotated, 3},
+                      FuzzParam{"lrc:6,2,2", LayoutKind::standard, 4},
+                      FuzzParam{"lrc:6,2,2", LayoutKind::ecfrm, 5},
+                      FuzzParam{"lrc:6,2,2", LayoutKind::rotated, 6},
+                      FuzzParam{"rs:8,4", LayoutKind::ecfrm, 7}, FuzzParam{"lrc:8,2,3", LayoutKind::ecfrm, 8},
+                      FuzzParam{"rs:10,5", LayoutKind::ecfrm, 9},
+                      FuzzParam{"lrc:10,2,4", LayoutKind::ecfrm, 10},
+                      FuzzParam{"rs:6,3", LayoutKind::ecfrm, 11}, FuzzParam{"lrc:6,2,2", LayoutKind::ecfrm, 12}));
+
+}  // namespace
+}  // namespace ecfrm::store

@@ -1,0 +1,153 @@
+// Integration: miniature versions of the paper's experiments, asserting
+// the SHAPES the paper reports, plus cross-validation of planner output
+// against real decoded bytes in the store.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "codes/factory.h"
+#include "common/rng.h"
+#include "core/read_planner.h"
+#include "sim/array_sim.h"
+#include "store/stripe_store.h"
+#include "workload/workload.h"
+
+namespace ecfrm {
+namespace {
+
+using core::Scheme;
+using layout::LayoutKind;
+
+Scheme make_scheme(const std::string& spec, LayoutKind kind) {
+    auto code = codes::make_code(spec);
+    EXPECT_TRUE(code.ok());
+    return Scheme(code.value(), kind);
+}
+
+/// Mean normal-read speed (MB/s) over the paper's protocol.
+double mean_normal_speed(const Scheme& scheme, int trials, std::uint64_t seed) {
+    const std::int64_t elements = 20 * scheme.layout().data_per_stripe();
+    sim::DiskModel model(sim::DiskProfile::savvio_10k3(), 1 << 20);
+    Rng rng(seed);
+    double sum = 0.0;
+    for (int t = 0; t < trials; ++t) {
+        const auto req = workload::random_read(rng, elements);
+        const auto plan = core::plan_normal_read(scheme, req.start, req.count);
+        sum += sim::simulate_read(plan, model, rng).mb_per_s();
+    }
+    return sum / trials;
+}
+
+struct DegradedStats {
+    double speed = 0.0;
+    double cost = 0.0;
+};
+
+DegradedStats mean_degraded(const Scheme& scheme, int trials, std::uint64_t seed) {
+    const std::int64_t elements = 20 * scheme.layout().data_per_stripe();
+    sim::DiskModel model(sim::DiskProfile::savvio_10k3(), 1 << 20);
+    Rng rng(seed);
+    DegradedStats stats;
+    for (int t = 0; t < trials; ++t) {
+        const auto req = workload::random_degraded_read(rng, elements, scheme.disks());
+        auto plan = core::plan_degraded_read(scheme, req.read.start, req.read.count, req.failed_disk);
+        EXPECT_TRUE(plan.ok());
+        stats.speed += sim::simulate_read(plan.value(), model, rng).mb_per_s();
+        stats.cost += plan->cost();
+    }
+    stats.speed /= trials;
+    stats.cost /= trials;
+    return stats;
+}
+
+TEST(PaperShapes, Figure8aNormalReadsRs) {
+    // EC-FRM-RS beats standard RS by a healthy margin; rotated in between.
+    for (const char* spec : {"rs:6,3", "rs:8,4", "rs:10,5"}) {
+        const double std_speed = mean_normal_speed(make_scheme(spec, LayoutKind::standard), 400, 11);
+        const double rot_speed = mean_normal_speed(make_scheme(spec, LayoutKind::rotated), 400, 11);
+        const double frm_speed = mean_normal_speed(make_scheme(spec, LayoutKind::ecfrm), 400, 11);
+        EXPECT_GT(frm_speed, std_speed * 1.05) << spec;
+        EXPECT_GT(frm_speed, rot_speed) << spec;
+        EXPECT_GE(rot_speed, std_speed * 0.95) << spec;
+    }
+}
+
+TEST(PaperShapes, Figure8bNormalReadsLrc) {
+    for (const char* spec : {"lrc:6,2,2", "lrc:8,2,3", "lrc:10,2,4"}) {
+        const double std_speed = mean_normal_speed(make_scheme(spec, LayoutKind::standard), 400, 13);
+        const double frm_speed = mean_normal_speed(make_scheme(spec, LayoutKind::ecfrm), 400, 13);
+        EXPECT_GT(frm_speed, std_speed * 1.08) << spec;
+    }
+}
+
+TEST(PaperShapes, Figure9abDegradedCosts) {
+    // Costs of the three forms of one code are near-identical (<2% here;
+    // paper reports <1% on its trial counts), and the LRC family costs
+    // much less than the RS family.
+    const auto rs_std = mean_degraded(make_scheme("rs:6,3", LayoutKind::standard), 600, 17);
+    const auto rs_rot = mean_degraded(make_scheme("rs:6,3", LayoutKind::rotated), 600, 17);
+    const auto rs_frm = mean_degraded(make_scheme("rs:6,3", LayoutKind::ecfrm), 600, 17);
+    EXPECT_NEAR(rs_std.cost, rs_frm.cost, rs_std.cost * 0.05);
+    EXPECT_NEAR(rs_rot.cost, rs_frm.cost, rs_rot.cost * 0.05);
+
+    const auto lrc_std = mean_degraded(make_scheme("lrc:6,2,2", LayoutKind::standard), 600, 17);
+    const auto lrc_frm = mean_degraded(make_scheme("lrc:6,2,2", LayoutKind::ecfrm), 600, 17);
+    EXPECT_NEAR(lrc_std.cost, lrc_frm.cost, lrc_std.cost * 0.05);
+
+    EXPECT_LT(lrc_std.cost, rs_std.cost * 0.95);  // LRC trades storage for repair I/O
+}
+
+TEST(PaperShapes, Figure9cdDegradedSpeeds) {
+    // EC-FRM beats the STANDARD form on degraded reads (paper: +9-10% RS,
+    // +3-13% LRC). Rotated is competitive, so only assert vs standard.
+    const auto rs_std = mean_degraded(make_scheme("rs:10,5", LayoutKind::standard), 600, 19);
+    const auto rs_frm = mean_degraded(make_scheme("rs:10,5", LayoutKind::ecfrm), 600, 19);
+    EXPECT_GT(rs_frm.speed, rs_std.speed * 1.02);
+
+    const auto lrc_std = mean_degraded(make_scheme("lrc:6,2,2", LayoutKind::standard), 600, 19);
+    const auto lrc_frm = mean_degraded(make_scheme("lrc:6,2,2", LayoutKind::ecfrm), 600, 19);
+    EXPECT_GT(lrc_frm.speed, lrc_std.speed * 1.03);
+}
+
+TEST(PlannerVsStore, DegradedPlansProduceCorrectBytes) {
+    // The planner's claimed fetch set must actually suffice: the store
+    // executes the exact plan (it calls the same planner) and we compare
+    // with ground truth for every failed disk and many ranges.
+    for (const char* spec : {"rs:6,3", "lrc:6,2,2"}) {
+        for (LayoutKind kind : {LayoutKind::standard, LayoutKind::rotated, LayoutKind::ecfrm}) {
+            Scheme scheme = make_scheme(spec, kind);
+            const std::int64_t elem_bytes = 64;
+            store::StripeStore st(make_scheme(spec, kind), elem_bytes);
+            Rng rng(23);
+            std::vector<std::uint8_t> data(static_cast<std::size_t>(elem_bytes) * 4 *
+                                           static_cast<std::size_t>(scheme.layout().data_per_stripe()));
+            for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_below(256));
+            ASSERT_TRUE(st.append(ConstByteSpan(data.data(), data.size())).ok());
+            ASSERT_TRUE(st.flush().ok());
+
+            const std::int64_t total = st.stored_data_elements();
+            for (DiskId failed = 0; failed < scheme.disks(); ++failed) {
+                ASSERT_TRUE(st.fail_disk(failed).ok());
+                for (int trial = 0; trial < 10; ++trial) {
+                    const auto req = workload::random_read(rng, total);
+                    std::vector<std::uint8_t> out(static_cast<std::size_t>(req.count * elem_bytes));
+                    ASSERT_TRUE(st.read_elements(req.start, req.count, ByteSpan(out.data(), out.size())).ok());
+                    ASSERT_TRUE(std::memcmp(out.data(), data.data() + req.start * elem_bytes, out.size()) == 0)
+                        << spec << " " << layout::to_string(kind) << " disk " << failed;
+                }
+                ASSERT_TRUE(st.reconstruct_disk(failed).ok());
+            }
+        }
+    }
+}
+
+TEST(Determinism, ExperimentsReproduceBitExact) {
+    const double a = mean_normal_speed(make_scheme("rs:6,3", LayoutKind::ecfrm), 100, 42);
+    const double b = mean_normal_speed(make_scheme("rs:6,3", LayoutKind::ecfrm), 100, 42);
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace ecfrm

@@ -1,0 +1,221 @@
+// Layout invariants, including the paper's construction claims
+// (Section IV-B): group/column partition, sequential data spread, and the
+// worked examples from Figures 4 and 5.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "layout/ecfrm_layout.h"
+#include "layout/layout.h"
+#include "layout/standard.h"
+
+namespace ecfrm::layout {
+namespace {
+
+struct NK {
+    int n, k;
+};
+
+class AllLayoutsTest : public ::testing::TestWithParam<std::tuple<LayoutKind, NK>> {};
+
+TEST_P(AllLayoutsTest, LocateAndCoordAtAreInverse) {
+    const auto [kind, nk] = GetParam();
+    auto layout = make_layout(kind, nk.n, nk.k);
+    for (StripeId s = 0; s < 4; ++s) {
+        for (int g = 0; g < layout->groups_per_stripe(); ++g) {
+            for (int p = 0; p < nk.n; ++p) {
+                const GroupCoord coord{s, g, p};
+                const Location loc = layout->locate(coord);
+                EXPECT_GE(loc.disk, 0);
+                EXPECT_LT(loc.disk, nk.n);
+                EXPECT_GE(loc.row, 0);
+                EXPECT_EQ(layout->coord_at(loc), coord);
+            }
+        }
+    }
+}
+
+TEST_P(AllLayoutsTest, GroupOccupiesDistinctDisks) {
+    const auto [kind, nk] = GetParam();
+    auto layout = make_layout(kind, nk.n, nk.k);
+    for (StripeId s = 0; s < 3; ++s) {
+        for (int g = 0; g < layout->groups_per_stripe(); ++g) {
+            std::set<DiskId> disks;
+            for (int p = 0; p < nk.n; ++p) disks.insert(layout->locate({s, g, p}).disk);
+            EXPECT_EQ(static_cast<int>(disks.size()), nk.n);
+        }
+    }
+}
+
+TEST_P(AllLayoutsTest, StripeCellsArePartitioned) {
+    // Every (disk, row) slot inside a stripe is covered by exactly one
+    // (group, position) pair.
+    const auto [kind, nk] = GetParam();
+    auto layout = make_layout(kind, nk.n, nk.k);
+    std::set<std::pair<DiskId, RowId>> cells;
+    for (int g = 0; g < layout->groups_per_stripe(); ++g) {
+        for (int p = 0; p < nk.n; ++p) {
+            const Location loc = layout->locate({0, g, p});
+            EXPECT_LT(loc.row, layout->rows_per_stripe());
+            EXPECT_TRUE(cells.emplace(loc.disk, loc.row).second)
+                << "slot (" << loc.disk << "," << loc.row << ") covered twice";
+        }
+    }
+    EXPECT_EQ(cells.size(), static_cast<std::size_t>(nk.n) * layout->rows_per_stripe());
+}
+
+TEST_P(AllLayoutsTest, DataIdRoundTrip) {
+    const auto [kind, nk] = GetParam();
+    auto layout = make_layout(kind, nk.n, nk.k);
+    for (ElementId e = 0; e < layout->data_per_stripe() * 3; ++e) {
+        const GroupCoord coord = layout->coord_of_data(e);
+        EXPECT_LT(coord.position, nk.k);
+        EXPECT_EQ(layout->data_id(coord), e);
+    }
+}
+
+TEST_P(AllLayoutsTest, StripesDoNotOverlapAcrossRows) {
+    const auto [kind, nk] = GetParam();
+    auto layout = make_layout(kind, nk.n, nk.k);
+    const Location a = layout->locate({0, 0, 0});
+    const Location b = layout->locate({1, 0, 0});
+    EXPECT_EQ(b.row - a.row, layout->rows_per_stripe());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, AllLayoutsTest,
+    ::testing::Combine(::testing::Values(LayoutKind::standard, LayoutKind::rotated, LayoutKind::ecfrm),
+                       ::testing::Values(NK{9, 6}, NK{12, 8}, NK{15, 10},   // RS paper shapes
+                                         NK{10, 6}, NK{13, 8}, NK{16, 10},  // LRC paper shapes
+                                         NK{5, 3}, NK{7, 3}, NK{14, 10},    // small/coprime
+                                         NK{26, 13}, NK{21, 14}, NK{17, 5},  // wider sweeps
+                                         NK{24, 18}, NK{30, 20}, NK{11, 10},
+                                         NK{3, 2}, NK{4, 2}, NK{19, 12})));
+
+TEST(StandardLayout, DataOnDataDisksParityOnParityDisks) {
+    StandardLayout layout(9, 6);
+    for (int p = 0; p < 6; ++p) EXPECT_EQ(layout.locate({5, 0, p}).disk, p);
+    for (int p = 6; p < 9; ++p) EXPECT_EQ(layout.locate({5, 0, p}).disk, p);
+    EXPECT_EQ(layout.locate({5, 0, 2}).row, 5);
+}
+
+TEST(RotatedLayout, RotatesAgainstReadDirection) {
+    // Left-symmetric convention: position j of stripe s -> disk (j-s) mod n,
+    // so consecutive stripes slide the data window across all disks.
+    RotatedLayout layout(9, 6);
+    EXPECT_EQ(layout.locate({0, 0, 0}).disk, 0);
+    EXPECT_EQ(layout.locate({1, 0, 0}).disk, 8);  // wraps backward
+    EXPECT_EQ(layout.locate({9, 0, 0}).disk, 0);  // full cycle
+    EXPECT_EQ(layout.locate({1, 0, 8}).disk, 7);
+}
+
+TEST(RotatedLayout, MultiStripeReadTouchesMoreThanKDisks) {
+    // The point of rotation: a 13-element sequential read on (9,6) spans 3
+    // stripes and spreads past the 6 data disks of the standard layout.
+    RotatedLayout rotated(9, 6);
+    StandardLayout standard(9, 6);
+    std::set<DiskId> rot_disks, std_disks;
+    for (ElementId e = 0; e < 13; ++e) {
+        rot_disks.insert(rotated.locate_data(e).disk);
+        std_disks.insert(standard.locate_data(e).disk);
+    }
+    EXPECT_EQ(std_disks.size(), 6u);
+    EXPECT_GT(rot_disks.size(), 6u);
+}
+
+TEST(EcfrmLayout, ShapeMatchesPaperFormula) {
+    // (6,2,2) LRC candidate: n = 10, k = 6, r = gcd = 2 -> 5 rows, 3 data
+    // rows, 5 groups (paper Section IV-E).
+    EcfrmLayout layout(10, 6);
+    EXPECT_EQ(layout.r(), 2);
+    EXPECT_EQ(layout.rows_per_stripe(), 5);
+    EXPECT_EQ(layout.data_rows_per_stripe(), 3);
+    EXPECT_EQ(layout.groups_per_stripe(), 5);
+    EXPECT_EQ(layout.data_per_stripe(), 30);
+}
+
+TEST(EcfrmLayout, DataIsSequentialAcrossAllDisks) {
+    // Paper Equation 1: data element e of a stripe sits at row e/n, disk
+    // e mod n — contiguous logical elements hit distinct disks.
+    EcfrmLayout layout(10, 6);
+    for (ElementId e = 0; e < 30; ++e) {
+        const Location loc = layout.locate_data(e);
+        EXPECT_EQ(loc.disk, static_cast<DiskId>(e % 10));
+        EXPECT_EQ(loc.row, static_cast<RowId>(e / 10));
+    }
+}
+
+TEST(EcfrmLayout, PaperFigure4GroupExamples) {
+    // Figure 4 of the paper, (10,6) candidate: the worked examples.
+    EcfrmLayout layout(10, 6);
+
+    // D2 = {d1,2 .. d1,7}: group 2's data at row 1, columns 2..7.
+    for (int t = 0; t < 6; ++t) {
+        const Location loc = layout.locate({0, 2, t});
+        EXPECT_EQ(loc.row, 1);
+        EXPECT_EQ(loc.disk, 2 + t);
+    }
+    // P2,0 = {p3,8, p3,9} and P2,1 = {p4,0, p4,1}.
+    EXPECT_EQ(layout.locate({0, 2, 6}), (Location{8, 3}));
+    EXPECT_EQ(layout.locate({0, 2, 7}), (Location{9, 3}));
+    EXPECT_EQ(layout.locate({0, 2, 8}), (Location{0, 4}));
+    EXPECT_EQ(layout.locate({0, 2, 9}), (Location{1, 4}));
+
+    // D3's last data element is d2,3; P3,0 = {p3,4, p3,5}, P3,1 = {p4,6, p4,7}.
+    EXPECT_EQ(layout.locate({0, 3, 5}), (Location{3, 2}));
+    EXPECT_EQ(layout.locate({0, 3, 6}), (Location{4, 3}));
+    EXPECT_EQ(layout.locate({0, 3, 7}), (Location{5, 3}));
+    EXPECT_EQ(layout.locate({0, 3, 8}), (Location{6, 4}));
+    EXPECT_EQ(layout.locate({0, 3, 9}), (Location{7, 4}));
+}
+
+TEST(EcfrmLayout, PaperSectionIVEGroupG1) {
+    // Case study Section IV-E: G1 = {d0,6..d0,9, d1,0, d1,1, p3,2, p3,3,
+    // p4,4, p4,5} for the (6,2,2) EC-FRM-LRC.
+    EcfrmLayout layout(10, 6);
+    EXPECT_EQ(layout.locate({0, 1, 0}), (Location{6, 0}));
+    EXPECT_EQ(layout.locate({0, 1, 3}), (Location{9, 0}));
+    EXPECT_EQ(layout.locate({0, 1, 4}), (Location{0, 1}));
+    EXPECT_EQ(layout.locate({0, 1, 5}), (Location{1, 1}));
+    EXPECT_EQ(layout.locate({0, 1, 6}), (Location{2, 3}));  // l0 -> p3,2
+    EXPECT_EQ(layout.locate({0, 1, 7}), (Location{3, 3}));  // l1 -> p3,3
+    EXPECT_EQ(layout.locate({0, 1, 8}), (Location{4, 4}));  // m0 -> p4,4
+    EXPECT_EQ(layout.locate({0, 1, 9}), (Location{5, 4}));  // m1 -> p4,5
+}
+
+TEST(EcfrmLayout, GroupColumnsAreConsecutiveModN) {
+    // Section IV-B: group i covers columns (i*k .. i*k + n - 1) mod n.
+    for (const auto& nk : {NK{9, 6}, NK{10, 6}, NK{16, 10}, NK{7, 3}}) {
+        EcfrmLayout layout(nk.n, nk.k);
+        for (int g = 0; g < layout.groups_per_stripe(); ++g) {
+            std::set<int> expect;
+            for (int t = 0; t < nk.n; ++t) expect.insert((g * nk.k + t) % nk.n);
+            std::set<int> got;
+            for (int p = 0; p < nk.n; ++p) got.insert(layout.locate({0, g, p}).disk);
+            EXPECT_EQ(got, expect) << "n=" << nk.n << " k=" << nk.k << " group " << g;
+        }
+    }
+}
+
+TEST(EcfrmLayout, CoprimeParametersDegenerateToOneRowOfGroups) {
+    // gcd(7,3) = 1: stripe is 7x7 with 7 groups.
+    EcfrmLayout layout(7, 3);
+    EXPECT_EQ(layout.r(), 1);
+    EXPECT_EQ(layout.rows_per_stripe(), 7);
+    EXPECT_EQ(layout.groups_per_stripe(), 7);
+    EXPECT_EQ(layout.data_rows_per_stripe(), 3);
+}
+
+TEST(LayoutFactory, NamesAndKinds) {
+    EXPECT_STREQ(to_string(LayoutKind::standard), "standard");
+    EXPECT_STREQ(to_string(LayoutKind::rotated), "rotated");
+    EXPECT_STREQ(to_string(LayoutKind::ecfrm), "ecfrm");
+    EXPECT_EQ(make_layout(LayoutKind::standard, 9, 6)->name(), "standard");
+    EXPECT_EQ(make_layout(LayoutKind::rotated, 9, 6)->name(), "rotated");
+    EXPECT_EQ(make_layout(LayoutKind::ecfrm, 9, 6)->name(), "ecfrm");
+}
+
+}  // namespace
+}  // namespace ecfrm::layout

@@ -1,0 +1,179 @@
+// Matrix algebra over GF(2^8): products, inversion, rank, builders.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gf/gf256.h"
+#include "matrix/builders.h"
+#include "matrix/matrix.h"
+
+namespace ecfrm::matrix {
+namespace {
+
+using gf::Gf256;
+
+Matrix random_matrix(int rows, int cols, Rng& rng) {
+    Matrix m(rows, cols);
+    for (int i = 0; i < rows; ++i) {
+        for (int j = 0; j < cols; ++j) m.at(i, j) = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    return m;
+}
+
+TEST(Matrix, IdentityIsNeutral) {
+    Rng rng(1);
+    const Matrix a = random_matrix(5, 5, rng);
+    EXPECT_EQ(a * Matrix::identity(5), a);
+    EXPECT_EQ(Matrix::identity(5) * a, a);
+}
+
+TEST(Matrix, ProductAssociates) {
+    Rng rng(2);
+    const Matrix a = random_matrix(4, 6, rng);
+    const Matrix b = random_matrix(6, 3, rng);
+    const Matrix c = random_matrix(3, 5, rng);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+}
+
+TEST(Matrix, AdditionIsEntrywiseXor) {
+    Rng rng(3);
+    const Matrix a = random_matrix(3, 4, rng);
+    const Matrix b = random_matrix(3, 4, rng);
+    const Matrix s = a + b;
+    for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 4; ++j) EXPECT_EQ(s.at(i, j), a.at(i, j) ^ b.at(i, j));
+    }
+    EXPECT_EQ(s + b, a);  // characteristic 2: adding twice cancels
+}
+
+TEST(Matrix, InverseTimesSelfIsIdentity) {
+    Rng rng(4);
+    int inverted = 0;
+    for (int trial = 0; trial < 50; ++trial) {
+        const Matrix a = random_matrix(6, 6, rng);
+        auto inv = a.inverted();
+        if (!inv.ok()) continue;  // singular draws are legitimate
+        ++inverted;
+        EXPECT_TRUE((a * inv.value()).is_identity());
+        EXPECT_TRUE((inv.value() * a).is_identity());
+    }
+    EXPECT_GT(inverted, 30);  // random GF(256) matrices are mostly invertible
+}
+
+TEST(Matrix, SingularMatrixFailsToInvert) {
+    Matrix a(3, 3);
+    a.at(0, 0) = 1;
+    a.at(1, 0) = 1;  // rows 0 and 1 identical in column 0, rest zero
+    auto inv = a.inverted();
+    EXPECT_FALSE(inv.ok());
+    EXPECT_EQ(inv.error().code, Error::Code::undecodable);
+}
+
+TEST(Matrix, RankOfIdentityAndZero) {
+    EXPECT_EQ(Matrix::identity(7).rank(), 7);
+    EXPECT_EQ(Matrix::zero(4, 9).rank(), 0);
+}
+
+TEST(Matrix, RankDetectsDependentRows) {
+    Matrix a(3, 3);
+    for (int j = 0; j < 3; ++j) {
+        a.at(0, j) = static_cast<std::uint8_t>(j + 1);
+        a.at(1, j) = Gf256::mul(3, static_cast<std::uint8_t>(j + 1));  // 3 * row0
+        a.at(2, j) = static_cast<std::uint8_t>(7 * (j + 1) % 251);
+    }
+    EXPECT_LE(a.rank(), 2);
+}
+
+TEST(Matrix, SelectRowsAndCols) {
+    Rng rng(5);
+    const Matrix a = random_matrix(5, 4, rng);
+    const Matrix r = a.select_rows({4, 0});
+    EXPECT_EQ(r.rows(), 2);
+    for (int j = 0; j < 4; ++j) {
+        EXPECT_EQ(r.at(0, j), a.at(4, j));
+        EXPECT_EQ(r.at(1, j), a.at(0, j));
+    }
+    const Matrix c = a.select_cols({2, 2, 1});
+    EXPECT_EQ(c.cols(), 3);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(c.at(i, 0), a.at(i, 2));
+        EXPECT_EQ(c.at(i, 1), a.at(i, 2));
+        EXPECT_EQ(c.at(i, 2), a.at(i, 1));
+    }
+}
+
+TEST(Matrix, MatVecAgainstManualExpansion) {
+    Matrix m{{1, 2}, {3, 4}, {0, 5}};
+    const std::vector<std::uint8_t> x{0x0a, 0x0b};
+    const auto y = mat_vec(m, x);
+    ASSERT_EQ(y.size(), 3u);
+    EXPECT_EQ(y[0], Gf256::add(Gf256::mul(1, 0x0a), Gf256::mul(2, 0x0b)));
+    EXPECT_EQ(y[1], Gf256::add(Gf256::mul(3, 0x0a), Gf256::mul(4, 0x0b)));
+    EXPECT_EQ(y[2], Gf256::mul(5, 0x0b));
+}
+
+TEST(Builders, VandermondeEntries) {
+    const Matrix v = vandermonde(4, 3);
+    for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 3; ++j) {
+            EXPECT_EQ(v.at(i, j), Gf256::pow(static_cast<std::uint8_t>(i), static_cast<unsigned>(j)));
+        }
+    }
+}
+
+TEST(Builders, CauchyEverySquareSubmatrixInvertible) {
+    auto block = cauchy_parity_block(5, 4);
+    ASSERT_TRUE(block.ok());
+    const Matrix& c = block.value();
+    // All 1x1 and a sweep of 2x2 submatrices must be invertible.
+    for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 5; ++j) EXPECT_NE(c.at(i, j), 0);
+    }
+    for (int i1 = 0; i1 < 4; ++i1) {
+        for (int i2 = i1 + 1; i2 < 4; ++i2) {
+            for (int j1 = 0; j1 < 5; ++j1) {
+                for (int j2 = j1 + 1; j2 < 5; ++j2) {
+                    const Matrix sub = c.select_rows({i1, i2}).select_cols({j1, j2});
+                    EXPECT_EQ(sub.rank(), 2);
+                }
+            }
+        }
+    }
+}
+
+TEST(Builders, CauchyParityBlockRejectsBadParams) {
+    EXPECT_FALSE(cauchy_parity_block(0, 3).ok());
+    EXPECT_FALSE(cauchy_parity_block(3, 0).ok());
+    EXPECT_FALSE(cauchy_parity_block(200, 100).ok());
+}
+
+TEST(Builders, SystematizeYieldsIdentityTop) {
+    auto sys = systematize(vandermonde(7, 4));
+    ASSERT_TRUE(sys.ok());
+    const Matrix& g = sys.value();
+    EXPECT_EQ(g.rows(), 7);
+    EXPECT_EQ(g.cols(), 4);
+    std::vector<int> top{0, 1, 2, 3};
+    EXPECT_TRUE(g.select_rows(top).is_identity());
+}
+
+TEST(Builders, SystematizePreservesMdsOfVandermonde) {
+    // Every 4 rows of the systematic 7x4 Vandermonde generator have rank 4.
+    auto sys = systematize(vandermonde(7, 4));
+    ASSERT_TRUE(sys.ok());
+    const Matrix& g = sys.value();
+    std::vector<int> idx{0, 1, 2, 3};
+    // Walk all C(7,4) row subsets.
+    for (int a = 0; a < 7; ++a) {
+        for (int b = a + 1; b < 7; ++b) {
+            for (int c = b + 1; c < 7; ++c) {
+                for (int d = c + 1; d < 7; ++d) {
+                    EXPECT_EQ(g.select_rows({a, b, c, d}).rank(), 4)
+                        << a << "," << b << "," << c << "," << d;
+                }
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace ecfrm::matrix

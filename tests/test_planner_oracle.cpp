@@ -1,0 +1,148 @@
+// Greedy-vs-oracle planner comparison: an exhaustive brute-force planner
+// enumerates every admissible repair-source choice to find the true
+// minimal max-load schedule; the shipped greedy planner must stay within
+// one unit of that optimum on small instances.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "codes/factory.h"
+#include "core/read_planner.h"
+
+namespace ecfrm::core {
+namespace {
+
+using layout::GroupCoord;
+using layout::LayoutKind;
+
+Scheme make_scheme(const std::string& spec, LayoutKind kind) {
+    auto code = codes::make_code(spec);
+    EXPECT_TRUE(code.ok());
+    return Scheme(code.value(), kind);
+}
+
+/// Brute-force minimal max-load for a degraded read: direct fetches are
+/// fixed; for each failed element, enumerate every admissible source set
+/// (LRC: the local set; RS: every k-subset of survivors) and take the
+/// assignment minimising the max per-disk distinct-element count.
+int oracle_degraded_max_load(const Scheme& scheme, ElementId start, std::int64_t count, DiskId failed) {
+    const auto& code = scheme.code();
+    const auto& layout = scheme.layout();
+    using Key = std::tuple<StripeId, int, int>;
+
+    std::set<Key> direct;
+    std::vector<GroupCoord> failed_elements;
+    for (std::int64_t i = 0; i < count; ++i) {
+        const GroupCoord c = layout.coord_of_data(start + i);
+        if (layout.locate(c).disk == failed) {
+            failed_elements.push_back(c);
+        } else {
+            direct.insert({c.stripe, c.group, c.position});
+        }
+    }
+
+    // Candidate source sets per failed element.
+    std::vector<std::vector<std::vector<int>>> options;
+    for (const auto& target : failed_elements) {
+        std::vector<std::vector<int>> sets;
+        const auto spec = code.repair_spec(target.position);
+        if (!spec.preferred.empty()) {
+            sets.push_back(spec.preferred);
+        } else {
+            std::vector<int> survivors;
+            for (int p = 0; p < code.n(); ++p) {
+                if (p != target.position && layout.locate({target.stripe, target.group, p}).disk != failed) {
+                    survivors.push_back(p);
+                }
+            }
+            // Every k-subset (n - 1 choose k stays small for the shapes
+            // used here).
+            std::vector<int> idx(static_cast<std::size_t>(code.k()));
+            std::function<void(int, int)> walk = [&](int from, int depth) {
+                if (depth == code.k()) {
+                    std::vector<int> set;
+                    for (int j = 0; j < code.k(); ++j) set.push_back(survivors[static_cast<std::size_t>(idx[static_cast<std::size_t>(j)])]);
+                    sets.push_back(std::move(set));
+                    return;
+                }
+                for (int i = from; i < static_cast<int>(survivors.size()); ++i) {
+                    idx[static_cast<std::size_t>(depth)] = i;
+                    walk(i + 1, depth + 1);
+                }
+            };
+            walk(0, 0);
+        }
+        options.push_back(std::move(sets));
+    }
+
+    int best = std::numeric_limits<int>::max();
+    std::function<void(std::size_t, std::set<Key>&)> assign = [&](std::size_t i, std::set<Key>& fetched) {
+        if (i == options.size()) {
+            std::map<DiskId, int> loads;
+            for (const auto& key : fetched) {
+                const GroupCoord c{std::get<0>(key), std::get<1>(key), std::get<2>(key)};
+                ++loads[scheme.layout().locate(c).disk];
+            }
+            int max = 0;
+            for (const auto& [d, v] : loads) max = std::max(max, v);
+            best = std::min(best, max);
+            return;
+        }
+        const auto& target = failed_elements[i];
+        for (const auto& set : options[i]) {
+            std::vector<Key> added;
+            for (int p : set) {
+                Key key{target.stripe, target.group, p};
+                if (fetched.insert(key).second) added.push_back(key);
+            }
+            assign(i + 1, fetched);
+            for (const auto& key : added) fetched.erase(key);
+        }
+    };
+    std::set<Key> fetched = direct;
+    assign(0, fetched);
+    return best;
+}
+
+struct OracleParam {
+    const char* spec;
+    LayoutKind kind;
+};
+
+class OracleTest : public ::testing::TestWithParam<OracleParam> {};
+
+TEST_P(OracleTest, GreedyWithinOneOfOptimal) {
+    const auto [spec, kind] = GetParam();
+    Scheme scheme = make_scheme(spec, kind);
+    // Small requests keep the brute force tractable (<= 2 failed elements
+    // per request for these sizes).
+    for (DiskId failed = 0; failed < scheme.disks(); ++failed) {
+        for (ElementId start = 0; start < scheme.layout().data_per_stripe(); start += 3) {
+            for (std::int64_t count : {4, 7, 9}) {
+                auto plan = plan_degraded_read(scheme, start, count, failed);
+                ASSERT_TRUE(plan.ok());
+                const int oracle = oracle_degraded_max_load(scheme, start, count, failed);
+                EXPECT_LE(plan->max_load(), oracle + 1)
+                    << scheme.name() << " start=" << start << " count=" << count << " failed=" << failed;
+                EXPECT_GE(plan->max_load(), oracle)  // oracle is a true lower bound
+                    << scheme.name() << " start=" << start << " count=" << count << " failed=" << failed;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallShapes, OracleTest,
+                         ::testing::Values(OracleParam{"rs:4,2", LayoutKind::standard},
+                                           OracleParam{"rs:4,2", LayoutKind::ecfrm},
+                                           OracleParam{"rs:4,2", LayoutKind::rotated},
+                                           OracleParam{"lrc:4,2,2", LayoutKind::standard},
+                                           OracleParam{"lrc:4,2,2", LayoutKind::ecfrm}));
+
+}  // namespace
+}  // namespace ecfrm::core

@@ -1,0 +1,122 @@
+// RDP (Row-Diagonal Parity): construction validation, parity geometry,
+// full encode/decode round trips for every one- and two-disk erasure.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/rng.h"
+#include "raid6/rdp.h"
+
+namespace ecfrm::raid6 {
+namespace {
+
+class RdpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RdpTest, ConstructsForPrimes) {
+    auto code = RdpCode::make(GetParam());
+    ASSERT_TRUE(code.ok()) << code.error().message;
+    EXPECT_EQ(code.value()->disks(), GetParam() + 1);
+    EXPECT_EQ(code.value()->rows_per_stripe(), GetParam() - 1);
+    EXPECT_EQ(code.value()->fault_tolerance(), 2);
+}
+
+TEST_P(RdpTest, RowParityCoversTheRow) {
+    auto code = RdpCode::make(GetParam());
+    ASSERT_TRUE(code.ok());
+    const int p = GetParam();
+    for (int row = 0; row < p - 1; ++row) {
+        const auto sources = code.value()->row_parity_sources(row);
+        EXPECT_EQ(static_cast<int>(sources.size()), p - 1);
+        for (int c : sources) EXPECT_EQ(c / (p + 1), row);
+    }
+}
+
+TEST_P(RdpTest, DiagonalParityHasOneCellPerColumnButOne) {
+    auto code = RdpCode::make(GetParam());
+    ASSERT_TRUE(code.ok());
+    const int p = GetParam();
+    for (int row = 0; row < p - 1; ++row) {
+        const auto sources = code.value()->diagonal_parity_sources(row);
+        EXPECT_EQ(static_cast<int>(sources.size()), p - 1);
+        std::set<int> cols;
+        for (int c : sources) cols.insert(c % (p + 1));
+        EXPECT_EQ(sources.size(), cols.size());       // distinct columns
+        EXPECT_EQ(cols.count(p), 0u);                 // never the diagonal-parity disk
+    }
+}
+
+void round_trip(const RdpCode& code, const std::vector<int>& erased, std::uint64_t seed) {
+    const int cells_count = code.rows_per_stripe() * code.disks();
+    const std::size_t bytes = 24;
+    Rng rng(seed);
+
+    std::vector<AlignedBuffer> truth(static_cast<std::size_t>(cells_count));
+    for (int row = 0; row < code.rows_per_stripe(); ++row) {
+        for (int d = 0; d < code.disks(); ++d) {
+            auto& b = truth[static_cast<std::size_t>(code.cell(row, d))];
+            b = AlignedBuffer(bytes);
+            if (d < code.data_disks()) {
+                for (std::size_t i = 0; i < bytes; ++i) b[i] = static_cast<std::uint8_t>(rng.next_below(256));
+            }
+        }
+    }
+    std::vector<ByteSpan> spans(static_cast<std::size_t>(cells_count));
+    for (int i = 0; i < cells_count; ++i) spans[static_cast<std::size_t>(i)] = truth[static_cast<std::size_t>(i)].span();
+    code.encode(spans);
+
+    std::vector<AlignedBuffer> work = truth;
+    std::vector<ByteSpan> work_spans(static_cast<std::size_t>(cells_count));
+    for (int i = 0; i < cells_count; ++i) work_spans[static_cast<std::size_t>(i)] = work[static_cast<std::size_t>(i)].span();
+    for (int d : erased) {
+        for (int row = 0; row < code.rows_per_stripe(); ++row) {
+            work[static_cast<std::size_t>(code.cell(row, d))].fill(0);
+        }
+    }
+    ASSERT_TRUE(code.decode_disks(work_spans, erased).ok());
+    for (int i = 0; i < cells_count; ++i) {
+        for (std::size_t b = 0; b < bytes; ++b) {
+            ASSERT_EQ(work[static_cast<std::size_t>(i)][b], truth[static_cast<std::size_t>(i)][b]) << "cell " << i;
+        }
+    }
+}
+
+TEST_P(RdpTest, RoundTripsEverySingleDiskErasure) {
+    auto code = RdpCode::make(GetParam());
+    ASSERT_TRUE(code.ok());
+    for (int d = 0; d < code.value()->disks(); ++d) round_trip(*code.value(), {d}, 300 + d);
+}
+
+TEST_P(RdpTest, RoundTripsEveryDoubleDiskErasure) {
+    auto code = RdpCode::make(GetParam());
+    ASSERT_TRUE(code.ok());
+    for (int d1 = 0; d1 < code.value()->disks(); ++d1) {
+        for (int d2 = d1 + 1; d2 < code.value()->disks(); ++d2) {
+            round_trip(*code.value(), {d1, d2}, 400 + d1 * 37 + d2);
+        }
+    }
+}
+
+TEST_P(RdpTest, EncodeXorCountMatchesStructure) {
+    auto code = RdpCode::make(GetParam());
+    ASSERT_TRUE(code.ok());
+    const int p = GetParam();
+    // (p-1) rows x (p-2 XORs) for row parity + (p-1) diagonals x (p-2).
+    EXPECT_EQ(code.value()->encode_xor_count(), static_cast<std::size_t>(2 * (p - 1) * (p - 2)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Primes, RdpTest, ::testing::Values(3, 5, 7, 11, 13));
+
+TEST(Rdp, RejectsNonPrime) {
+    for (int p : {1, 4, 6, 8, 9, 10}) EXPECT_FALSE(RdpCode::make(p).ok()) << p;
+}
+
+TEST(Rdp, TripleErasureRejected) {
+    auto code = RdpCode::make(5);
+    ASSERT_TRUE(code.ok());
+    EXPECT_FALSE(code.value()->decodable_disks({0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace ecfrm::raid6

@@ -1,0 +1,213 @@
+// Reed-Solomon: MDS property (exhaustive for the paper's parameters),
+// encode/decode round-trips, repair solving.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/rng.h"
+#include "codes/factory.h"
+#include "codes/rs.h"
+
+namespace ecfrm::codes {
+namespace {
+
+void for_each_subset(int n, int count, const std::function<void(const std::vector<int>&)>& fn) {
+    std::vector<int> idx(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) idx[static_cast<std::size_t>(i)] = i;
+    for (;;) {
+        fn(idx);
+        int i = count - 1;
+        while (i >= 0 && idx[static_cast<std::size_t>(i)] == n - count + i) --i;
+        if (i < 0) return;
+        ++idx[static_cast<std::size_t>(i)];
+        for (int j = i + 1; j < count; ++j) idx[static_cast<std::size_t>(j)] = idx[static_cast<std::size_t>(j - 1)] + 1;
+    }
+}
+
+std::vector<int> complement(int n, const std::vector<int>& erased) {
+    std::vector<bool> gone(static_cast<std::size_t>(n), false);
+    for (int e : erased) gone[static_cast<std::size_t>(e)] = true;
+    std::vector<int> alive;
+    for (int i = 0; i < n; ++i) {
+        if (!gone[static_cast<std::size_t>(i)]) alive.push_back(i);
+    }
+    return alive;
+}
+
+struct RsParam {
+    int k;
+    int m;
+    RsCode::Variant variant;
+};
+
+class RsMdsTest : public ::testing::TestWithParam<RsParam> {};
+
+TEST_P(RsMdsTest, SurvivesEveryMaximalErasurePattern) {
+    const auto [k, m, variant] = GetParam();
+    auto code = RsCode::make(k, m, variant);
+    ASSERT_TRUE(code.ok());
+    const int n = k + m;
+    // MDS: ANY m erasures leave the data decodable.
+    for_each_subset(n, m, [&](const std::vector<int>& erased) {
+        EXPECT_TRUE(code.value()->decodable(complement(n, erased)));
+    });
+}
+
+TEST_P(RsMdsTest, GeneratorIsSystematic) {
+    const auto [k, m, variant] = GetParam();
+    auto code = RsCode::make(k, m, variant);
+    ASSERT_TRUE(code.ok());
+    std::vector<int> top;
+    for (int i = 0; i < k; ++i) top.push_back(i);
+    EXPECT_TRUE(code.value()->generator().select_rows(top).is_identity());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperParameters, RsMdsTest,
+    ::testing::Values(RsParam{6, 3, RsCode::Variant::cauchy}, RsParam{8, 4, RsCode::Variant::cauchy},
+                      RsParam{10, 5, RsCode::Variant::cauchy}, RsParam{6, 3, RsCode::Variant::vandermonde},
+                      RsParam{8, 4, RsCode::Variant::vandermonde},
+                      RsParam{10, 5, RsCode::Variant::vandermonde},
+                      // a couple of off-paper shapes
+                      RsParam{4, 2, RsCode::Variant::cauchy}, RsParam{12, 4, RsCode::Variant::cauchy}));
+
+TEST(RsCode, RejectsBadParameters) {
+    EXPECT_FALSE(RsCode::make(0, 3).ok());
+    EXPECT_FALSE(RsCode::make(6, 0).ok());
+    EXPECT_FALSE(RsCode::make(250, 10).ok());
+}
+
+TEST(RsCode, MetadataMatchesParameters) {
+    auto code = RsCode::make(6, 3);
+    ASSERT_TRUE(code.ok());
+    EXPECT_EQ(code.value()->n(), 9);
+    EXPECT_EQ(code.value()->k(), 6);
+    EXPECT_EQ(code.value()->m(), 3);
+    EXPECT_EQ(code.value()->fault_tolerance(), 3);
+    EXPECT_EQ(code.value()->name(), "RS(6,3)");
+    EXPECT_TRUE(code.value()->repair_spec(0).any_k);
+}
+
+/// Fill element buffers with deterministic noise; encode; erase; decode;
+/// compare byte-for-byte.
+void round_trip(const ErasureCode& code, const std::vector<int>& erased, std::size_t elem_bytes) {
+    Rng rng(elem_bytes + erased.size());
+    const int n = code.n();
+    const int k = code.k();
+
+    std::vector<AlignedBuffer> truth(static_cast<std::size_t>(n));
+    for (auto& b : truth) b = AlignedBuffer(elem_bytes);
+    std::vector<ConstByteSpan> data(static_cast<std::size_t>(k));
+    std::vector<ByteSpan> parity(static_cast<std::size_t>(n - k));
+    for (int i = 0; i < k; ++i) {
+        for (std::size_t j = 0; j < elem_bytes; ++j) {
+            truth[static_cast<std::size_t>(i)][j] = static_cast<std::uint8_t>(rng.next_below(256));
+        }
+        data[static_cast<std::size_t>(i)] = truth[static_cast<std::size_t>(i)].span();
+    }
+    for (int p = 0; p < n - k; ++p) parity[static_cast<std::size_t>(p)] = truth[static_cast<std::size_t>(k + p)].span();
+    code.encode(data, parity);
+
+    // Working copies with the erased positions zeroed.
+    std::vector<AlignedBuffer> work = truth;
+    for (int e : erased) work[static_cast<std::size_t>(e)].fill(0);
+
+    const std::vector<int> available = complement(n, erased);
+    std::vector<int> wanted;
+    for (int i = 0; i < n; ++i) wanted.push_back(i);
+    auto plan = code.plan_decode(available, wanted);
+    ASSERT_TRUE(plan.ok());
+
+    std::vector<ByteSpan> spans(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) spans[static_cast<std::size_t>(i)] = work[static_cast<std::size_t>(i)].span();
+    ErasureCode::apply_plan(plan.value(), spans);
+
+    for (int i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < elem_bytes; ++j) {
+            ASSERT_EQ(work[static_cast<std::size_t>(i)][j], truth[static_cast<std::size_t>(i)][j])
+                << "position " << i << " byte " << j;
+        }
+    }
+}
+
+TEST(RsCode, RoundTripAllMaximalErasures63) {
+    auto code = RsCode::make(6, 3);
+    ASSERT_TRUE(code.ok());
+    for_each_subset(9, 3, [&](const std::vector<int>& erased) { round_trip(*code.value(), erased, 64); });
+}
+
+TEST(RsCode, RoundTripSingleAndDoubleErasures105) {
+    auto code = RsCode::make(10, 5);
+    ASSERT_TRUE(code.ok());
+    for_each_subset(15, 1, [&](const std::vector<int>& erased) { round_trip(*code.value(), erased, 32); });
+    for_each_subset(15, 2, [&](const std::vector<int>& erased) { round_trip(*code.value(), erased, 32); });
+}
+
+TEST(RsCode, RoundTripOddElementSizes) {
+    auto code = RsCode::make(6, 3);
+    ASSERT_TRUE(code.ok());
+    round_trip(*code.value(), {0, 4, 8}, 1);
+    round_trip(*code.value(), {0, 4, 8}, 7);
+    round_trip(*code.value(), {0, 4, 8}, 4097);
+}
+
+TEST(RsCode, TooManyErasuresIsRejected) {
+    auto code = RsCode::make(6, 3);
+    ASSERT_TRUE(code.ok());
+    // Erase 4 positions: undecodable for an MDS code with m = 3.
+    const std::vector<int> available{4, 5, 6, 7, 8};
+    std::vector<int> wanted{0};
+    auto plan = code.value()->plan_decode(available, wanted);
+    EXPECT_FALSE(plan.ok());
+    EXPECT_EQ(plan.error().code, Error::Code::undecodable);
+}
+
+TEST(RsCode, SolveRepairWithExactlyKSources) {
+    auto code = RsCode::make(6, 3);
+    ASSERT_TRUE(code.ok());
+    // Rebuild data element 2 from positions {0,1,3,4,5,6} (k = 6 sources).
+    auto repair = code.value()->solve_repair(2, {0, 1, 3, 4, 5, 6});
+    ASSERT_TRUE(repair.ok());
+    EXPECT_EQ(repair->target_position, 2);
+    EXPECT_FALSE(repair->terms.empty());
+    for (const auto& t : repair->terms) {
+        EXPECT_NE(t.coeff, 0);
+        EXPECT_NE(t.source_position, 2);
+    }
+}
+
+TEST(RsCode, SolveRepairFailsWithTooFewSources) {
+    auto code = RsCode::make(6, 3);
+    ASSERT_TRUE(code.ok());
+    auto repair = code.value()->solve_repair(2, {0, 1, 3});
+    EXPECT_FALSE(repair.ok());
+}
+
+TEST(RsCode, RepairOfAvailableElementIsTrivial) {
+    auto code = RsCode::make(6, 3);
+    ASSERT_TRUE(code.ok());
+    // Target position included in sources: solution is the unit vector.
+    auto repair = code.value()->solve_repair(2, {0, 1, 2, 3, 4, 5});
+    ASSERT_TRUE(repair.ok());
+    ASSERT_EQ(repair->terms.size(), 1u);
+    EXPECT_EQ(repair->terms[0].source_position, 2);
+    EXPECT_EQ(repair->terms[0].coeff, 1);
+}
+
+TEST(Factory, ParsesSpecs) {
+    auto rs = make_code("rs:6,3");
+    ASSERT_TRUE(rs.ok());
+    EXPECT_EQ(rs.value()->name(), "RS(6,3)");
+    auto lrc = make_code("lrc:6,2,2");
+    ASSERT_TRUE(lrc.ok());
+    EXPECT_EQ(lrc.value()->name(), "LRC(6,2,2)");
+    EXPECT_FALSE(make_code("rs").ok());
+    EXPECT_FALSE(make_code("rs:6").ok());
+    EXPECT_FALSE(make_code("xyz:1,2").ok());
+    EXPECT_FALSE(make_code("rs:a,b").ok());
+}
+
+}  // namespace
+}  // namespace ecfrm::codes

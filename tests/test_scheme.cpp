@@ -1,0 +1,129 @@
+// Scheme composition: naming, geometry helpers, fault-tolerance
+// preservation (the paper's Section IV-C claim, checked by exhaustive disk
+// failure enumeration at the layout level).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "codes/factory.h"
+#include "core/scheme.h"
+
+namespace ecfrm::core {
+namespace {
+
+using layout::LayoutKind;
+
+TEST(Scheme, PaperNamingConvention) {
+    auto rs = codes::make_rs(6, 3);
+    ASSERT_TRUE(rs.ok());
+    EXPECT_EQ(Scheme(rs.value(), LayoutKind::standard).name(), "RS(6,3)");
+    EXPECT_EQ(Scheme(rs.value(), LayoutKind::rotated).name(), "R-RS(6,3)");
+    EXPECT_EQ(Scheme(rs.value(), LayoutKind::ecfrm).name(), "EC-FRM-RS(6,3)");
+
+    auto lrc = codes::make_lrc(6, 2, 2);
+    ASSERT_TRUE(lrc.ok());
+    EXPECT_EQ(Scheme(lrc.value(), LayoutKind::ecfrm).name(), "EC-FRM-LRC(6,2,2)");
+}
+
+TEST(Scheme, GroupLocationsAreDistinctDisks) {
+    auto lrc = codes::make_lrc(6, 2, 2);
+    ASSERT_TRUE(lrc.ok());
+    Scheme scheme(lrc.value(), LayoutKind::ecfrm);
+    for (int g = 0; g < scheme.layout().groups_per_stripe(); ++g) {
+        auto locs = scheme.group_locations(0, g);
+        ASSERT_EQ(locs.size(), 10u);
+        std::set<DiskId> disks;
+        for (const auto& loc : locs) disks.insert(loc.disk);
+        EXPECT_EQ(disks.size(), 10u);
+    }
+}
+
+TEST(Scheme, StripesForAndRowsFor) {
+    auto lrc = codes::make_lrc(6, 2, 2);
+    ASSERT_TRUE(lrc.ok());
+    Scheme scheme(lrc.value(), LayoutKind::ecfrm);
+    EXPECT_EQ(scheme.stripes_for(1), 1);
+    EXPECT_EQ(scheme.stripes_for(30), 1);
+    EXPECT_EQ(scheme.stripes_for(31), 2);
+    EXPECT_EQ(scheme.rows_for(2), 10);
+
+    Scheme std_scheme(lrc.value(), LayoutKind::standard);
+    EXPECT_EQ(std_scheme.stripes_for(30), 5);
+    EXPECT_EQ(std_scheme.rows_for(5), 5);
+}
+
+/// Fault-tolerance preservation (paper Lemma 1 + Section IV-C): for every
+/// set of f failed DISKS, every group of the EC-FRM stripe must remain
+/// decodable — because each group has at most one element per disk, losing
+/// f disks loses at most f elements per group, which the candidate code
+/// survives. We verify the full chain through actual layout + rank math.
+void check_disk_fault_tolerance(const std::shared_ptr<codes::ErasureCode>& code, LayoutKind kind) {
+    Scheme scheme(code, kind);
+    const int n = scheme.disks();
+    const int f = code->fault_tolerance();
+
+    std::vector<int> idx(static_cast<std::size_t>(f));
+    std::function<void(int, int)> walk = [&](int start, int depth) {
+        if (depth == f) {
+            std::set<DiskId> failed(idx.begin(), idx.end());
+            for (int g = 0; g < scheme.layout().groups_per_stripe(); ++g) {
+                std::vector<int> available;
+                for (int p = 0; p < code->n(); ++p) {
+                    if (failed.count(scheme.layout().locate({0, g, p}).disk) == 0) available.push_back(p);
+                }
+                ASSERT_TRUE(code->decodable(available))
+                    << scheme.name() << " group " << g << " undecodable";
+            }
+            return;
+        }
+        for (int d = start; d < n; ++d) {
+            idx[static_cast<std::size_t>(depth)] = d;
+            walk(d + 1, depth + 1);
+        }
+    };
+    walk(0, 0);
+}
+
+TEST(Scheme, EcfrmPreservesRsFaultTolerance) {
+    for (auto [k, m] : {std::pair{6, 3}, std::pair{8, 4}, std::pair{10, 5}}) {
+        auto code = codes::make_rs(k, m);
+        ASSERT_TRUE(code.ok());
+        check_disk_fault_tolerance(code.value(), LayoutKind::ecfrm);
+    }
+}
+
+TEST(Scheme, EcfrmPreservesLrcFaultTolerance) {
+    for (auto [k, l, m] : {std::tuple{6, 2, 2}, std::tuple{8, 2, 3}, std::tuple{10, 2, 4}}) {
+        auto code = codes::make_lrc(k, l, m);
+        ASSERT_TRUE(code.ok());
+        check_disk_fault_tolerance(code.value(), LayoutKind::ecfrm);
+    }
+}
+
+TEST(Scheme, RotatedPreservesFaultToleranceToo) {
+    auto rs = codes::make_rs(6, 3);
+    ASSERT_TRUE(rs.ok());
+    check_disk_fault_tolerance(rs.value(), LayoutKind::rotated);
+    auto lrc = codes::make_lrc(6, 2, 2);
+    ASSERT_TRUE(lrc.ok());
+    check_disk_fault_tolerance(lrc.value(), LayoutKind::rotated);
+}
+
+TEST(Scheme, StorageOverheadUnchangedByLayout) {
+    // Section V-B: EC-FRM redeploys elements; the data/parity ratio per
+    // stripe must match the candidate code's k/n exactly.
+    auto lrc = codes::make_lrc(6, 2, 2);
+    ASSERT_TRUE(lrc.ok());
+    for (LayoutKind kind : {LayoutKind::standard, LayoutKind::rotated, LayoutKind::ecfrm}) {
+        Scheme scheme(lrc.value(), kind);
+        const auto& lay = scheme.layout();
+        const double ratio = static_cast<double>(lay.data_per_stripe()) /
+                             static_cast<double>(static_cast<std::int64_t>(lay.rows_per_stripe()) * lay.disks());
+        EXPECT_DOUBLE_EQ(ratio, 6.0 / 10.0);
+    }
+}
+
+}  // namespace
+}  // namespace ecfrm::core

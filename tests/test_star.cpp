@@ -1,0 +1,114 @@
+// STAR code: triple-fault XOR geometry, construction validation, full
+// round trips for one-, two- and three-disk erasures.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/rng.h"
+#include "raid6/star.h"
+
+namespace ecfrm::raid6 {
+namespace {
+
+class StarTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StarTest, ConstructsForPrimes) {
+    auto code = StarCode::make(GetParam());
+    ASSERT_TRUE(code.ok()) << code.error().message;
+    EXPECT_EQ(code.value()->disks(), GetParam() + 2);
+    EXPECT_EQ(code.value()->fault_tolerance(), 3);
+}
+
+TEST_P(StarTest, ParityFamiliesHaveExpectedShape) {
+    auto code = StarCode::make(GetParam());
+    ASSERT_TRUE(code.ok());
+    const int p = GetParam();
+    for (int row = 0; row < p - 1; ++row) {
+        EXPECT_EQ(static_cast<int>(code.value()->row_parity_sources(row).size()), p - 1);
+        EXPECT_EQ(static_cast<int>(code.value()->diagonal_parity_sources(row).size()), p - 1);
+        EXPECT_EQ(static_cast<int>(code.value()->anti_diagonal_parity_sources(row).size()), p - 1);
+        // Diagonal families never touch the two diagonal-parity disks.
+        for (int c : code.value()->diagonal_parity_sources(row)) {
+            EXPECT_LT(c % (p + 2), p);
+        }
+        for (int c : code.value()->anti_diagonal_parity_sources(row)) {
+            EXPECT_LT(c % (p + 2), p);
+        }
+    }
+}
+
+void round_trip(const StarCode& code, const std::vector<int>& erased, std::uint64_t seed) {
+    const int cells_count = code.rows_per_stripe() * code.disks();
+    const std::size_t bytes = 16;
+    Rng rng(seed);
+
+    std::vector<AlignedBuffer> truth(static_cast<std::size_t>(cells_count));
+    for (int row = 0; row < code.rows_per_stripe(); ++row) {
+        for (int d = 0; d < code.disks(); ++d) {
+            auto& b = truth[static_cast<std::size_t>(code.cell(row, d))];
+            b = AlignedBuffer(bytes);
+            if (d < code.data_disks()) {
+                for (std::size_t i = 0; i < bytes; ++i) b[i] = static_cast<std::uint8_t>(rng.next_below(256));
+            }
+        }
+    }
+    std::vector<ByteSpan> spans(static_cast<std::size_t>(cells_count));
+    for (int i = 0; i < cells_count; ++i) spans[static_cast<std::size_t>(i)] = truth[static_cast<std::size_t>(i)].span();
+    code.encode(spans);
+
+    std::vector<AlignedBuffer> work = truth;
+    std::vector<ByteSpan> work_spans(static_cast<std::size_t>(cells_count));
+    for (int i = 0; i < cells_count; ++i) work_spans[static_cast<std::size_t>(i)] = work[static_cast<std::size_t>(i)].span();
+    for (int d : erased) {
+        for (int row = 0; row < code.rows_per_stripe(); ++row) {
+            work[static_cast<std::size_t>(code.cell(row, d))].fill(0);
+        }
+    }
+    ASSERT_TRUE(code.decode_disks(work_spans, erased).ok());
+    for (int i = 0; i < cells_count; ++i) {
+        for (std::size_t b = 0; b < bytes; ++b) {
+            ASSERT_EQ(work[static_cast<std::size_t>(i)][b], truth[static_cast<std::size_t>(i)][b]) << "cell " << i;
+        }
+    }
+}
+
+TEST_P(StarTest, RoundTripsEveryTripleDiskErasure) {
+    auto code = StarCode::make(GetParam());
+    ASSERT_TRUE(code.ok());
+    const int n = code.value()->disks();
+    for (int a = 0; a < n; ++a) {
+        for (int b = a + 1; b < n; ++b) {
+            for (int c = b + 1; c < n; ++c) {
+                round_trip(*code.value(), {a, b, c}, 500 + a * 97 + b * 13 + c);
+            }
+        }
+    }
+}
+
+TEST_P(StarTest, RoundTripsSinglesAndDoubles) {
+    auto code = StarCode::make(GetParam());
+    ASSERT_TRUE(code.ok());
+    const int n = code.value()->disks();
+    for (int a = 0; a < n; ++a) {
+        round_trip(*code.value(), {a}, 600 + a);
+        for (int b = a + 1; b < n; ++b) round_trip(*code.value(), {a, b}, 700 + a * 31 + b);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Primes, StarTest, ::testing::Values(5, 7, 11));
+
+TEST(Star, RejectsNonPrime) {
+    for (int p : {4, 6, 8, 9}) EXPECT_FALSE(StarCode::make(p).ok()) << p;
+}
+
+TEST(Star, QuadrupleErasureRejected) {
+    auto code = StarCode::make(5);
+    ASSERT_TRUE(code.ok());
+    EXPECT_FALSE(code.value()->decodable_disks({0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace ecfrm::raid6

@@ -1,0 +1,170 @@
+// Wide-stripe substrate: GF(2^16) matrices and Reed-Solomon beyond the
+// 256-element ceiling, plus the field-independence of the EC-FRM layout
+// at widths impossible over GF(2^8).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/rng.h"
+#include "layout/ecfrm_layout.h"
+#include "wide/matrix16.h"
+#include "wide/rs16.h"
+
+namespace ecfrm::wide {
+namespace {
+
+Matrix16 random_matrix(int rows, int cols, Rng& rng) {
+    Matrix16 m(rows, cols);
+    for (int i = 0; i < rows; ++i) {
+        for (int j = 0; j < cols; ++j) m.at(i, j) = static_cast<std::uint16_t>(rng.next_below(65536));
+    }
+    return m;
+}
+
+TEST(Matrix16, InverseRoundTrip) {
+    Rng rng(1);
+    int inverted = 0;
+    for (int trial = 0; trial < 20; ++trial) {
+        const Matrix16 a = random_matrix(8, 8, rng);
+        auto inv = a.inverted();
+        if (!inv.ok()) continue;
+        ++inverted;
+        EXPECT_TRUE((a * inv.value()).is_identity());
+    }
+    EXPECT_GT(inverted, 15);
+}
+
+TEST(Matrix16, RankBasics) {
+    EXPECT_EQ(Matrix16::identity(5).rank(), 5);
+    Matrix16 zero(3, 4);
+    EXPECT_EQ(zero.rank(), 0);
+}
+
+TEST(Rs16, RejectsBadParameters) {
+    EXPECT_FALSE(Rs16Code::make(0, 2).ok());
+    EXPECT_FALSE(Rs16Code::make(4, 0).ok());
+    EXPECT_FALSE(Rs16Code::make(65000, 1000).ok());
+}
+
+void for_each_subset(int n, int count, const std::function<void(const std::vector<int>&)>& fn) {
+    std::vector<int> idx(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) idx[static_cast<std::size_t>(i)] = i;
+    for (;;) {
+        fn(idx);
+        int i = count - 1;
+        while (i >= 0 && idx[static_cast<std::size_t>(i)] == n - count + i) --i;
+        if (i < 0) return;
+        ++idx[static_cast<std::size_t>(i)];
+        for (int j = i + 1; j < count; ++j) idx[static_cast<std::size_t>(j)] = idx[static_cast<std::size_t>(j - 1)] + 1;
+    }
+}
+
+TEST(Rs16, SmallShapeIsExhaustivelyMds) {
+    auto code = Rs16Code::make(4, 3);
+    ASSERT_TRUE(code.ok());
+    for_each_subset(7, 3, [&](const std::vector<int>& erased) {
+        std::vector<bool> gone(7, false);
+        for (int e : erased) gone[static_cast<std::size_t>(e)] = true;
+        std::vector<int> alive;
+        for (int i = 0; i < 7; ++i) {
+            if (!gone[static_cast<std::size_t>(i)]) alive.push_back(i);
+        }
+        EXPECT_TRUE(code.value()->decodable(alive));
+    });
+}
+
+void round_trip(const Rs16Code& code, const std::vector<int>& sources, int target, std::uint64_t seed) {
+    const std::size_t bytes = 64;
+    Rng rng(seed);
+    const int n = code.n();
+    const int k = code.k();
+
+    std::vector<AlignedBuffer> bufs(static_cast<std::size_t>(n));
+    std::vector<ConstByteSpan> data(static_cast<std::size_t>(k));
+    std::vector<ByteSpan> parity(static_cast<std::size_t>(n - k));
+    for (int i = 0; i < n; ++i) bufs[static_cast<std::size_t>(i)] = AlignedBuffer(bytes);
+    for (int i = 0; i < k; ++i) {
+        for (std::size_t b = 0; b < bytes; ++b) {
+            bufs[static_cast<std::size_t>(i)][b] = static_cast<std::uint8_t>(rng.next_below(256));
+        }
+        data[static_cast<std::size_t>(i)] = bufs[static_cast<std::size_t>(i)].span();
+    }
+    for (int p = 0; p < n - k; ++p) parity[static_cast<std::size_t>(p)] = bufs[static_cast<std::size_t>(k + p)].span();
+    ASSERT_TRUE(code.encode(data, parity).ok());
+
+    std::vector<ConstByteSpan> payloads;
+    for (int s : sources) payloads.push_back(bufs[static_cast<std::size_t>(s)].span());
+    AlignedBuffer rebuilt(bytes);
+    ASSERT_TRUE(code.repair(target, sources, payloads, rebuilt.span()).ok());
+    for (std::size_t b = 0; b < bytes; ++b) {
+        ASSERT_EQ(rebuilt[b], bufs[static_cast<std::size_t>(target)][b]) << "byte " << b;
+    }
+}
+
+TEST(Rs16, RepairRoundTripsSmall) {
+    auto code = Rs16Code::make(4, 3);
+    ASSERT_TRUE(code.ok());
+    round_trip(*code.value(), {1, 2, 3, 4}, 0, 11);   // data from data+parity
+    round_trip(*code.value(), {0, 1, 2, 3}, 6, 12);   // parity from data
+    round_trip(*code.value(), {0, 2, 4, 6}, 5, 13);   // mixed
+}
+
+TEST(Rs16, WideStripeBeyondGf256) {
+    // 350 total elements: impossible over GF(2^8), routine here.
+    auto code = Rs16Code::make(300, 50);
+    ASSERT_TRUE(code.ok());
+    EXPECT_EQ(code.value()->n(), 350);
+
+    // Sampled erasure patterns of maximal size must stay decodable.
+    Rng rng(5);
+    for (int trial = 0; trial < 3; ++trial) {
+        std::set<int> erased;
+        while (static_cast<int>(erased.size()) < 50) {
+            erased.insert(static_cast<int>(rng.next_below(350)));
+        }
+        std::vector<int> alive;
+        for (int i = 0; i < 350; ++i) {
+            if (erased.count(i) == 0) alive.push_back(i);
+        }
+        EXPECT_TRUE(code.value()->decodable(alive)) << "trial " << trial;
+    }
+
+    // Repair one element from the first k survivors.
+    std::vector<int> sources;
+    for (int i = 1; i <= 300; ++i) sources.push_back(i);
+    round_trip(*code.value(), sources, 0, 21);
+}
+
+TEST(Rs16, EncodeRejectsOddLengths) {
+    auto code = Rs16Code::make(2, 1);
+    ASSERT_TRUE(code.ok());
+    AlignedBuffer a(15), b(15), p(15);
+    std::vector<ConstByteSpan> data{a.span(), b.span()};
+    std::vector<ByteSpan> parity{p.span()};
+    EXPECT_FALSE(code.value()->encode(data, parity).ok());
+}
+
+TEST(WideLayout, EcfrmGeometryIsFieldIndependent) {
+    // EC-FRM layout over a 350-disk (300 data) wide stripe: pure gcd
+    // geometry, so all Section IV-B invariants hold at this width too.
+    layout::EcfrmLayout layout(350, 300);
+    EXPECT_EQ(layout.r(), 50);
+    EXPECT_EQ(layout.rows_per_stripe(), 7);
+    EXPECT_EQ(layout.data_rows_per_stripe(), 6);
+    EXPECT_EQ(layout.groups_per_stripe(), 7);
+
+    // Sequential data spread across all 350 disks.
+    for (ElementId e = 0; e < 700; ++e) {
+        EXPECT_EQ(layout.locate_data(e).disk, static_cast<DiskId>(e % 350));
+    }
+    // Each group covers 350 distinct disks.
+    std::set<DiskId> disks;
+    for (int p = 0; p < 350; ++p) disks.insert(layout.locate({0, 3, p}).disk);
+    EXPECT_EQ(disks.size(), 350u);
+}
+
+}  // namespace
+}  // namespace ecfrm::wide

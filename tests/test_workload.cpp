@@ -1,0 +1,113 @@
+// Workload generators: protocol conformance (paper Section VI), clamping,
+// Zipf sanity.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/workload.h"
+
+namespace ecfrm::workload {
+namespace {
+
+TEST(RandomRead, StaysInRangeAndSizeWithinBounds) {
+    Rng rng(1);
+    const std::int64_t total = 300;
+    for (int i = 0; i < 20000; ++i) {
+        const auto req = random_read(rng, total);
+        EXPECT_GE(req.start, 0);
+        EXPECT_LT(req.start, total);
+        EXPECT_GE(req.count, 1);
+        EXPECT_LE(req.count, 20);
+        EXPECT_LE(req.start + req.count, total);
+    }
+}
+
+TEST(RandomRead, CoversFullSizeRange) {
+    Rng rng(2);
+    std::map<std::int64_t, int> size_hist;
+    for (int i = 0; i < 50000; ++i) ++size_hist[random_read(rng, 10000).count];
+    // Sizes 1..20 all appear, roughly uniformly.
+    EXPECT_EQ(size_hist.size(), 20u);
+    for (const auto& [size, count] : size_hist) {
+        EXPECT_GT(count, 50000 / 20 / 2) << "size " << size << " underrepresented";
+    }
+}
+
+TEST(RandomRead, ClampsNearTheEnd) {
+    Rng rng(3);
+    const std::int64_t total = 10;
+    for (int i = 0; i < 5000; ++i) {
+        const auto req = random_read(rng, total);
+        EXPECT_LE(req.start + req.count, total);
+    }
+}
+
+TEST(RandomDegraded, FailedDiskUniformOverAllDisks) {
+    Rng rng(4);
+    std::map<DiskId, int> hist;
+    const int disks = 10;
+    for (int i = 0; i < 50000; ++i) ++hist[random_degraded_read(rng, 1000, disks).failed_disk];
+    EXPECT_EQ(hist.size(), static_cast<std::size_t>(disks));
+    for (const auto& [d, count] : hist) {
+        EXPECT_GT(count, 50000 / disks / 2) << "disk " << d;
+        EXPECT_LT(count, 50000 / disks * 2) << "disk " << d;
+    }
+}
+
+TEST(FilePopulation, SequentialNonOverlapping) {
+    Rng rng(5);
+    const auto files = make_file_population(rng, 50, 3, 30);
+    ASSERT_EQ(files.size(), 50u);
+    ElementId expect = 0;
+    for (const auto& f : files) {
+        EXPECT_EQ(f.first, expect);
+        EXPECT_GE(f.elements, 3);
+        EXPECT_LE(f.elements, 30);
+        expect += f.elements;
+    }
+}
+
+TEST(Zipf, RankZeroIsMostPopular) {
+    Rng rng(6);
+    ZipfSampler zipf(100, 1.0);
+    std::map<int, int> hist;
+    for (int i = 0; i < 100000; ++i) ++hist[zipf.sample(rng)];
+    EXPECT_GT(hist[0], hist[10]);
+    EXPECT_GT(hist[10], hist[90]);
+    for (const auto& [rank, count] : hist) {
+        EXPECT_GE(rank, 0);
+        EXPECT_LT(rank, 100);
+        (void)count;
+    }
+}
+
+TEST(Zipf, UniformWhenExponentZero) {
+    Rng rng(7);
+    ZipfSampler zipf(10, 0.0);
+    std::map<int, int> hist;
+    for (int i = 0; i < 100000; ++i) ++hist[zipf.sample(rng)];
+    for (int rank = 0; rank < 10; ++rank) {
+        EXPECT_GT(hist[rank], 100000 / 10 / 2);
+        EXPECT_LT(hist[rank], 100000 / 10 * 2);
+    }
+}
+
+TEST(ZipfFileRead, ReturnsWholeFiles) {
+    Rng rng(8);
+    const auto files = make_file_population(rng, 20, 2, 9);
+    ZipfSampler zipf(static_cast<int>(files.size()), 0.9);
+    for (int i = 0; i < 2000; ++i) {
+        const auto req = zipf_file_read(rng, files, zipf);
+        bool matched = false;
+        for (const auto& f : files) {
+            if (req.start == f.first && req.count == f.elements) {
+                matched = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(matched);
+    }
+}
+
+}  // namespace
+}  // namespace ecfrm::workload

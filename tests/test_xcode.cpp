@@ -1,0 +1,152 @@
+// X-Code vertical baseline: construction validation, parity geometry,
+// encode/decode round trips for single and double column erasures, and
+// the restrictions the paper holds against vertical codes.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/rng.h"
+#include "vertical/xcode.h"
+
+namespace ecfrm::vertical {
+namespace {
+
+class XCodeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(XCodeTest, ConstructsForPrimes) {
+    auto code = XCode::make(GetParam());
+    ASSERT_TRUE(code.ok()) << code.error().message;
+    EXPECT_EQ(code.value()->disks(), GetParam());
+    EXPECT_EQ(code.value()->fault_tolerance(), 2);
+    EXPECT_EQ(code.value()->data_per_stripe(), static_cast<std::int64_t>(GetParam() - 2) * GetParam());
+}
+
+TEST_P(XCodeTest, ParityDiagonalsCoverEachDataRowOnce) {
+    auto code = XCode::make(GetParam());
+    ASSERT_TRUE(code.ok());
+    const int p = GetParam();
+    for (int parity_row : {p - 2, p - 1}) {
+        for (int col = 0; col < p; ++col) {
+            const auto sources = code.value()->parity_sources(parity_row, col);
+            ASSERT_EQ(static_cast<int>(sources.size()), p - 2);
+            std::set<int> rows, cols;
+            for (int c : sources) {
+                rows.insert(c / p);
+                cols.insert(c % p);
+            }
+            EXPECT_EQ(static_cast<int>(rows.size()), p - 2);  // one per data row
+            EXPECT_EQ(static_cast<int>(cols.size()), p - 2);  // distinct columns
+        }
+    }
+}
+
+TEST_P(XCodeTest, EachDataCellFeedsExactlyTwoParities) {
+    auto code = XCode::make(GetParam());
+    ASSERT_TRUE(code.ok());
+    const int p = GetParam();
+    std::vector<int> uses(static_cast<std::size_t>(p * p), 0);
+    for (int parity_row : {p - 2, p - 1}) {
+        for (int col = 0; col < p; ++col) {
+            for (int c : code.value()->parity_sources(parity_row, col)) ++uses[static_cast<std::size_t>(c)];
+        }
+    }
+    for (int row = 0; row < p - 2; ++row) {
+        for (int col = 0; col < p; ++col) {
+            EXPECT_EQ(uses[static_cast<std::size_t>(row * p + col)], 2) << "cell " << row << "," << col;
+        }
+    }
+}
+
+void round_trip_columns(const XCode& code, const std::vector<int>& erased, std::size_t bytes,
+                        std::uint64_t seed) {
+    const int p = code.disks();
+    Rng rng(seed);
+    std::vector<AlignedBuffer> truth(static_cast<std::size_t>(p * p));
+    for (int row = 0; row < p - 2; ++row) {
+        for (int col = 0; col < p; ++col) {
+            auto& b = truth[static_cast<std::size_t>(row * p + col)];
+            b = AlignedBuffer(bytes);
+            for (std::size_t i = 0; i < bytes; ++i) b[i] = static_cast<std::uint8_t>(rng.next_below(256));
+        }
+    }
+    for (int row = p - 2; row < p; ++row) {
+        for (int col = 0; col < p; ++col) {
+            truth[static_cast<std::size_t>(row * p + col)] = AlignedBuffer(bytes);
+        }
+    }
+    std::vector<ByteSpan> spans(static_cast<std::size_t>(p * p));
+    for (int i = 0; i < p * p; ++i) spans[static_cast<std::size_t>(i)] = truth[static_cast<std::size_t>(i)].span();
+    code.encode(spans);
+
+    std::vector<AlignedBuffer> work = truth;
+    std::vector<ByteSpan> work_spans(static_cast<std::size_t>(p * p));
+    for (int i = 0; i < p * p; ++i) work_spans[static_cast<std::size_t>(i)] = work[static_cast<std::size_t>(i)].span();
+    for (int col : erased) {
+        for (int row = 0; row < p; ++row) work[static_cast<std::size_t>(row * p + col)].fill(0);
+    }
+    ASSERT_TRUE(code.decode_columns(work_spans, erased).ok());
+    for (int i = 0; i < p * p; ++i) {
+        for (std::size_t b = 0; b < bytes; ++b) {
+            ASSERT_EQ(work[static_cast<std::size_t>(i)][b], truth[static_cast<std::size_t>(i)][b])
+                << "cell " << i << " byte " << b;
+        }
+    }
+}
+
+TEST_P(XCodeTest, RoundTripsEverySingleColumnErasure) {
+    auto code = XCode::make(GetParam());
+    ASSERT_TRUE(code.ok());
+    for (int c = 0; c < GetParam(); ++c) round_trip_columns(*code.value(), {c}, 48, 100 + c);
+}
+
+TEST_P(XCodeTest, RoundTripsEveryDoubleColumnErasure) {
+    auto code = XCode::make(GetParam());
+    ASSERT_TRUE(code.ok());
+    for (int c1 = 0; c1 < GetParam(); ++c1) {
+        for (int c2 = c1 + 1; c2 < GetParam(); ++c2) {
+            round_trip_columns(*code.value(), {c1, c2}, 16, 200 + c1 * 31 + c2);
+        }
+    }
+}
+
+TEST_P(XCodeTest, NormalReadsSpreadLikeEcfrm) {
+    auto code = XCode::make(GetParam());
+    ASSERT_TRUE(code.ok());
+    const int p = GetParam();
+    // Sequential data elements land on consecutive disks.
+    for (ElementId e = 0; e < code.value()->data_per_stripe() * 2; ++e) {
+        EXPECT_EQ(code.value()->locate_data(e).disk, static_cast<DiskId>(e % p));
+    }
+    EXPECT_EQ(code.value()->normal_read_max_load(p), 1);
+    EXPECT_EQ(code.value()->normal_read_max_load(p + 1), 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Primes, XCodeTest, ::testing::Values(5, 7, 11, 13));
+
+TEST(XCode, RejectsNonPrimeAndTinyArrays) {
+    // The paper's point: vertical codes do not apply to arbitrary disk
+    // counts — every composite width is rejected.
+    for (int p : {4, 6, 8, 9, 10, 12, 14, 15, 16}) {
+        EXPECT_FALSE(XCode::make(p).ok()) << p;
+    }
+    EXPECT_FALSE(XCode::make(2).ok());
+    EXPECT_FALSE(XCode::make(3).ok());
+}
+
+TEST(XCode, ThreeColumnErasureIsRejected) {
+    auto code = XCode::make(7);
+    ASSERT_TRUE(code.ok());
+    EXPECT_FALSE(code.value()->decodable_columns({0, 1, 2}));
+    std::vector<AlignedBuffer> bufs(49);
+    std::vector<ByteSpan> spans(49);
+    for (int i = 0; i < 49; ++i) {
+        bufs[static_cast<std::size_t>(i)] = AlignedBuffer(8);
+        spans[static_cast<std::size_t>(i)] = bufs[static_cast<std::size_t>(i)].span();
+    }
+    EXPECT_FALSE(code.value()->decode_columns(spans, {0, 1, 2}).ok());
+}
+
+}  // namespace
+}  // namespace ecfrm::vertical

@@ -1,0 +1,258 @@
+// Bitmatrix expansion and XOR-schedule codecs: algebraic properties of the
+// bit matrices, schedule construction, and byte-exact round-trips of the
+// pure-XOR encode/repair pipeline.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "codes/factory.h"
+#include "codes/xor_codec.h"
+#include "common/aligned_buffer.h"
+#include "common/rng.h"
+#include "gf/bitmatrix.h"
+#include "gf/gf256.h"
+
+namespace ecfrm::codes {
+namespace {
+
+using gf::BitMatrix;
+using gf::Gf256;
+
+/// Multiply the w x w bit matrix by the bit vector of x: must reproduce
+/// GF(2^8) multiplication.
+std::uint8_t bitmatrix_mul(const BitMatrix& m, std::uint8_t x) {
+    std::uint8_t y = 0;
+    for (int i = 0; i < 8; ++i) {
+        std::uint8_t bit = 0;
+        for (int j = 0; j < 8; ++j) bit ^= static_cast<std::uint8_t>(m.get(i, j) & ((x >> j) & 1));
+        y = static_cast<std::uint8_t>(y | (bit << i));
+    }
+    return y;
+}
+
+TEST(Bitmatrix, ElementMatrixReproducesFieldMultiplication) {
+    for (unsigned c = 0; c < 256; c += 3) {
+        const BitMatrix m = gf::element_bitmatrix(static_cast<std::uint8_t>(c));
+        for (unsigned x = 0; x < 256; x += 7) {
+            EXPECT_EQ(bitmatrix_mul(m, static_cast<std::uint8_t>(x)),
+                      Gf256::mul(static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(x)))
+                << "c=" << c << " x=" << x;
+        }
+    }
+}
+
+TEST(Bitmatrix, IdentityElementIsIdentityMatrix) {
+    const BitMatrix m = gf::element_bitmatrix(1);
+    for (int i = 0; i < 8; ++i) {
+        for (int j = 0; j < 8; ++j) EXPECT_EQ(m.get(i, j), i == j ? 1 : 0);
+    }
+}
+
+TEST(Bitmatrix, ExpansionShape) {
+    matrix::Matrix g{{1, 2}, {3, 4}, {5, 6}};
+    const BitMatrix b = gf::expand_bitmatrix(g);
+    EXPECT_EQ(b.rows(), 24);
+    EXPECT_EQ(b.cols(), 16);
+}
+
+TEST(Bitmatrix, ScheduleCoversEveryOutputOnce) {
+    matrix::Matrix g{{1, 2}, {3, 4}};
+    const auto schedule = gf::build_schedule(gf::expand_bitmatrix(g));
+    EXPECT_EQ(schedule.out_subpackets, 16);
+    EXPECT_EQ(schedule.in_subpackets, 16);
+    std::vector<int> copied(16, 0);
+    for (const auto& op : schedule.copies) ++copied[static_cast<std::size_t>(op.dst)];
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(copied[static_cast<std::size_t>(i)], 1) << "subrow " << i;
+}
+
+std::vector<AlignedBuffer> random_buffers(int count, std::size_t bytes, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<AlignedBuffer> bufs(static_cast<std::size_t>(count));
+    for (auto& b : bufs) {
+        b = AlignedBuffer(bytes);
+        for (std::size_t i = 0; i < bytes; ++i) b[i] = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    return bufs;
+}
+
+TEST(XorProgram, IdentityMatrixCopies) {
+    const auto program = XorProgram::from_matrix(matrix::Matrix::identity(3));
+    auto in = random_buffers(3, 64, 1);
+    auto out = random_buffers(3, 64, 2);
+    std::vector<ConstByteSpan> ispans;
+    std::vector<ByteSpan> ospans;
+    for (auto& b : in) ispans.push_back(b.span());
+    for (auto& b : out) ospans.push_back(b.span());
+    ASSERT_TRUE(program.apply(ispans, ospans).ok());
+    for (int e = 0; e < 3; ++e) {
+        for (std::size_t i = 0; i < 64; ++i) {
+            EXPECT_EQ(out[static_cast<std::size_t>(e)][i], in[static_cast<std::size_t>(e)][i]);
+        }
+    }
+}
+
+TEST(XorProgram, LinearityUnderMatrixAddition) {
+    // apply(A + B) == apply(A) XOR apply(B), for any input.
+    Rng rng(3);
+    matrix::Matrix a(2, 3), b(2, 3);
+    for (int i = 0; i < 2; ++i) {
+        for (int j = 0; j < 3; ++j) {
+            a.at(i, j) = static_cast<std::uint8_t>(rng.next_below(256));
+            b.at(i, j) = static_cast<std::uint8_t>(rng.next_below(256));
+        }
+    }
+    // Ensure no zero row in a, b, or a+b (schedules reject zero rows).
+    for (int i = 0; i < 2; ++i) {
+        a.at(i, 0) = 1;
+        b.at(i, 0) = 2;
+    }
+    auto in = random_buffers(3, 128, 4);
+    std::vector<ConstByteSpan> ispans;
+    for (auto& x : in) ispans.push_back(x.span());
+
+    auto run = [&](const matrix::Matrix& m) {
+        auto out = random_buffers(2, 128, 0);
+        std::vector<ByteSpan> ospans;
+        for (auto& x : out) ospans.push_back(x.span());
+        EXPECT_TRUE(XorProgram::from_matrix(m).apply(ispans, ospans).ok());
+        return out;
+    };
+    const auto ya = run(a);
+    const auto yb = run(b);
+    const auto yab = run(a + b);
+    for (int e = 0; e < 2; ++e) {
+        for (std::size_t i = 0; i < 128; ++i) {
+            EXPECT_EQ(yab[static_cast<std::size_t>(e)][i],
+                      static_cast<std::uint8_t>(ya[static_cast<std::size_t>(e)][i] ^
+                                                yb[static_cast<std::size_t>(e)][i]));
+        }
+    }
+}
+
+TEST(XorProgram, RejectsBadBuffers) {
+    const auto program = XorProgram::from_matrix(matrix::Matrix::identity(2));
+    auto in = random_buffers(2, 64, 5);
+    auto out = random_buffers(2, 64, 6);
+    std::vector<ConstByteSpan> ispans{in[0].span(), in[1].span()};
+    std::vector<ByteSpan> ospans{out[0].span(), out[1].span()};
+    EXPECT_TRUE(program.apply(ispans, ospans).ok());
+
+    std::vector<ConstByteSpan> short_in{in[0].span()};
+    EXPECT_FALSE(program.apply(short_in, ospans).ok());
+
+    auto odd = random_buffers(2, 63, 7);  // not a multiple of 8
+    std::vector<ConstByteSpan> odd_in{odd[0].span(), odd[1].span()};
+    std::vector<ByteSpan> odd_out{odd[0].span(), odd[1].span()};
+    EXPECT_FALSE(program.apply(odd_in, odd_out).ok());
+}
+
+struct XorCodecParam {
+    const char* spec;
+};
+
+class XorCodecTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(XorCodecTest, EncodeThenXorRepairRoundTrips) {
+    auto code = make_code(GetParam());
+    ASSERT_TRUE(code.ok());
+    const int n = code.value()->n();
+    const int k = code.value()->k();
+    const XorCodec codec(*code.value());
+
+    // Encode with the XOR pipeline.
+    const std::size_t bytes = 4096;
+    auto bufs = random_buffers(n, bytes, 11);
+    std::vector<ConstByteSpan> data;
+    std::vector<ByteSpan> parity;
+    for (int i = 0; i < k; ++i) data.push_back(bufs[static_cast<std::size_t>(i)].span());
+    for (int p = k; p < n; ++p) parity.push_back(bufs[static_cast<std::size_t>(p)].span());
+    ASSERT_TRUE(codec.encode(data, parity).ok());
+
+    // For every single-erasure, compile the repair coefficients into a
+    // 1 x s XorProgram and verify byte-exact reconstruction.
+    for (int z = 0; z < n; ++z) {
+        std::vector<int> sources;
+        const auto spec = code.value()->repair_spec(z);
+        if (!spec.preferred.empty()) {
+            sources = spec.preferred;
+        } else {
+            for (int p = 0; p < n && static_cast<int>(sources.size()) < k; ++p) {
+                if (p != z) sources.push_back(p);
+            }
+        }
+        auto repair = code.value()->solve_repair(z, sources);
+        ASSERT_TRUE(repair.ok());
+
+        matrix::Matrix map(1, static_cast<int>(repair->terms.size()));
+        std::vector<ConstByteSpan> srcs;
+        for (std::size_t t = 0; t < repair->terms.size(); ++t) {
+            map.at(0, static_cast<int>(t)) = repair->terms[t].coeff;
+            srcs.push_back(bufs[static_cast<std::size_t>(repair->terms[t].source_position)].span());
+        }
+        AlignedBuffer rebuilt(bytes);
+        std::vector<ByteSpan> outs{rebuilt.span()};
+        ASSERT_TRUE(XorProgram::from_matrix(map).apply(srcs, outs).ok());
+        for (std::size_t i = 0; i < bytes; ++i) {
+            ASSERT_EQ(rebuilt[i], bufs[static_cast<std::size_t>(z)][i])
+                << GetParam() << " position " << z << " byte " << i;
+        }
+    }
+}
+
+TEST(XorOptimizer, OptimizedScheduleProducesIdenticalParity) {
+    for (const char* spec : {"rs:6,3", "lrc:6,2,2"}) {
+        auto code = make_code(spec);
+        ASSERT_TRUE(code.ok());
+        const XorCodec plain(*code.value(), /*optimize=*/false);
+        const XorCodec opt(*code.value(), /*optimize=*/true);
+
+        const int n = code.value()->n();
+        const int k = code.value()->k();
+        auto bufs = random_buffers(n, 1024, 77);
+        std::vector<ConstByteSpan> data;
+        for (int i = 0; i < k; ++i) data.push_back(bufs[static_cast<std::size_t>(i)].span());
+
+        std::vector<AlignedBuffer> p1 = random_buffers(n - k, 1024, 0);
+        std::vector<AlignedBuffer> p2 = random_buffers(n - k, 1024, 0);
+        std::vector<ByteSpan> s1, s2;
+        for (auto& b : p1) s1.push_back(b.span());
+        for (auto& b : p2) s2.push_back(b.span());
+        ASSERT_TRUE(plain.encode(data, s1).ok());
+        ASSERT_TRUE(opt.encode(data, s2).ok());
+        for (int p = 0; p < n - k; ++p) {
+            for (std::size_t i = 0; i < 1024; ++i) {
+                ASSERT_EQ(p1[static_cast<std::size_t>(p)][i], p2[static_cast<std::size_t>(p)][i])
+                    << spec << " parity " << p << " byte " << i;
+            }
+        }
+        // The optimizer must actually help on these structured matrices.
+        EXPECT_LT(opt.xor_count(), plain.xor_count()) << spec;
+    }
+}
+
+TEST(XorOptimizer, IdentityMapNeedsNoIntermediates) {
+    // Multiplying by 1 expands to a bit-identity: single-source rows, no
+    // pairs anywhere, so the optimizer changes nothing and costs 0 XORs.
+    const auto plain = XorProgram::from_matrix(matrix::Matrix::identity(3), false);
+    const auto opt = XorProgram::from_matrix(matrix::Matrix::identity(3), true);
+    EXPECT_EQ(plain.xor_count(), 0u);
+    EXPECT_EQ(opt.xor_count(), 0u);
+}
+
+TEST_P(XorCodecTest, XorCountIsPositiveAndBounded) {
+    auto code = make_code(GetParam());
+    ASSERT_TRUE(code.ok());
+    const XorCodec codec(*code.value());
+    EXPECT_GT(codec.xor_count(), 0u);
+    // Upper bound: dense 8x8 blocks everywhere = 64 XORs per coefficient.
+    const std::size_t dense = static_cast<std::size_t>(code.value()->m()) *
+                              static_cast<std::size_t>(code.value()->k()) * 64;
+    EXPECT_LT(codec.xor_count(), dense);
+}
+
+INSTANTIATE_TEST_SUITE_P(Codes, XorCodecTest,
+                         ::testing::Values("rs:6,3", "rs:8,4", "rs:10,5", "lrc:6,2,2", "lrc:8,2,3",
+                                           "lrc:10,2,4"));
+
+}  // namespace
+}  // namespace ecfrm::codes

@@ -1,0 +1,322 @@
+// ecfrm_cli: a small archival store on a directory of file-backed disks.
+//
+//   ecfrm_cli create <dir> <code_spec> <layout> <element_bytes>
+//   ecfrm_cli put <dir> <input_file>
+//   ecfrm_cli get <dir> <offset> <length> <output_file>
+//   ecfrm_cli cat <dir> <output_file>
+//   ecfrm_cli fail <dir> <disk>
+//   ecfrm_cli reconstruct <dir> <disk>
+//   ecfrm_cli scrub <dir>
+//   ecfrm_cli corrupt <dir> <disk> <row> <byte>
+//   ecfrm_cli status <dir>
+//
+//   code_spec: rs:<k>,<m> or lrc:<k>,<l>,<m>; layout: standard|rotated|ecfrm
+//
+// The archive survives process restarts: geometry and committed size live
+// in <dir>/MANIFEST, payloads in <dir>/disk_<i>.dat.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "codes/factory.h"
+#include "core/scheme.h"
+#include "store/file_disk.h"
+#include "store/manifest.h"
+#include "store/stripe_store.h"
+
+namespace {
+
+using namespace ecfrm;
+namespace fs = std::filesystem;
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  ecfrm_cli create <dir> <code_spec> <layout> <element_bytes>\n"
+                 "  ecfrm_cli put <dir> <input_file> [object_name]\n"
+                 "  ecfrm_cli get <dir> <offset> <length> <output_file>\n"
+                 "  ecfrm_cli get-object <dir> <object_name> <output_file>\n"
+                 "  ecfrm_cli list <dir>\n"
+                 "  ecfrm_cli cat <dir> <output_file>\n"
+                 "  ecfrm_cli overwrite <dir> <offset> <input_file>\n"
+                 "  ecfrm_cli fail <dir> <disk>\n"
+                 "  ecfrm_cli reconstruct <dir> <disk>\n"
+                 "  ecfrm_cli scrub <dir>\n"
+                 "  ecfrm_cli corrupt <dir> <disk> <row> <byte>\n"
+                 "  ecfrm_cli status <dir>\n");
+    return 2;
+}
+
+int fail_with(const Error& error) {
+    std::fprintf(stderr, "error: %s\n", error.message.c_str());
+    return 1;
+}
+
+struct Archive {
+    store::Manifest manifest;
+    std::unique_ptr<store::StripeStore> store;
+};
+
+Result<Archive> open_archive(const std::string& dir) {
+    auto manifest = store::Manifest::load(dir);
+    if (!manifest.ok()) return manifest.error();
+
+    auto code = codes::make_code(manifest->code_spec);
+    if (!code.ok()) return code.error();
+    core::Scheme scheme(code.value(), manifest->kind);
+
+    const std::int64_t element_bytes = manifest->element_bytes;
+    auto st = store::StripeStore::open(
+        std::move(scheme), element_bytes,
+        [&dir, element_bytes](int index) -> Result<std::unique_ptr<store::BlockDevice>> {
+            auto disk = store::FileDisk::open(dir, index, element_bytes);
+            if (!disk.ok()) return disk.error();
+            return std::unique_ptr<store::BlockDevice>(std::move(disk).take());
+        });
+    if (!st.ok()) return st.error();
+    auto restored = st.value()->restore(manifest->extents, manifest->stripes);
+    if (!restored.ok()) return restored.error();
+    return Archive{std::move(manifest).take(), std::move(st).take()};
+}
+
+Status save_manifest(const std::string& dir, Archive& archive) {
+    archive.manifest.logical_bytes = archive.store->logical_bytes();
+    archive.manifest.stripes =
+        archive.store->stored_data_elements() / archive.store->scheme().layout().data_per_stripe();
+    archive.manifest.extents = archive.store->extents();
+    return archive.manifest.save(dir);
+}
+
+int cmd_create(const std::string& dir, const std::string& spec, const std::string& layout_name,
+               const std::string& elem) {
+    auto code = codes::make_code(spec);
+    if (!code.ok()) return fail_with(code.error());
+    auto kind = store::parse_layout_kind(layout_name);
+    if (!kind.ok()) return fail_with(kind.error());
+    const long long element_bytes = std::atoll(elem.c_str());
+    if (element_bytes <= 0 || element_bytes % 8 != 0) {
+        std::fprintf(stderr, "error: element_bytes must be a positive multiple of 8\n");
+        return 1;
+    }
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (fs::exists(dir + "/MANIFEST")) {
+        std::fprintf(stderr, "error: archive already exists at %s\n", dir.c_str());
+        return 1;
+    }
+    store::Manifest manifest;
+    manifest.code_spec = spec;
+    manifest.kind = kind.value();
+    manifest.element_bytes = element_bytes;
+    auto status = manifest.save(dir);
+    if (!status.ok()) return fail_with(status.error());
+
+    core::Scheme scheme(code.value(), kind.value());
+    std::printf("created %s archive on %d disks (element %lld B, stripe %d rows)\n",
+                scheme.name().c_str(), scheme.disks(), element_bytes, scheme.layout().rows_per_stripe());
+    return 0;
+}
+
+int write_range(Archive& archive, std::int64_t offset, std::int64_t length, const std::string& output);
+
+int cmd_put(const std::string& dir, const std::string& input, const std::string& object_name) {
+    auto archive = open_archive(dir);
+    if (!archive.ok()) return fail_with(archive.error());
+    if (!object_name.empty() && archive->manifest.find_object(object_name) != nullptr) {
+        std::fprintf(stderr, "error: object '%s' already exists\n", object_name.c_str());
+        return 1;
+    }
+
+    std::ifstream in(input, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "error: cannot open %s\n", input.c_str());
+        return 1;
+    }
+    const std::int64_t object_offset = archive->store->logical_bytes();
+    std::vector<char> buffer(1 << 20);
+    std::int64_t total = 0;
+    while (in) {
+        in.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+        const std::streamsize got = in.gcount();
+        if (got <= 0) break;
+        auto status = archive->store->append(
+            ConstByteSpan(reinterpret_cast<const std::uint8_t*>(buffer.data()), static_cast<std::size_t>(got)));
+        if (!status.ok()) return fail_with(status.error());
+        total += got;
+    }
+    auto status = archive->store->flush();
+    if (!status.ok()) return fail_with(status.error());
+    if (!object_name.empty()) {
+        archive->manifest.objects.push_back({object_name, object_offset, total});
+    }
+    status = save_manifest(dir, archive.value());
+    if (!status.ok()) return fail_with(status.error());
+    std::printf("stored %lld bytes%s%s (archive now %lld bytes)\n", static_cast<long long>(total),
+                object_name.empty() ? "" : " as object ", object_name.c_str(),
+                static_cast<long long>(archive->store->logical_bytes()));
+    return 0;
+}
+
+int cmd_get_object(const std::string& dir, const std::string& name, const std::string& output) {
+    auto archive = open_archive(dir);
+    if (!archive.ok()) return fail_with(archive.error());
+    const store::ObjectRecord* object = archive->manifest.find_object(name);
+    if (object == nullptr) {
+        std::fprintf(stderr, "error: no such object '%s'\n", name.c_str());
+        return 1;
+    }
+    return write_range(archive.value(), object->offset, object->bytes, output);
+}
+
+int cmd_list(const std::string& dir) {
+    auto archive = open_archive(dir);
+    if (!archive.ok()) return fail_with(archive.error());
+    std::printf("%-32s %14s %14s\n", "object", "offset", "bytes");
+    for (const auto& o : archive->manifest.objects) {
+        std::printf("%-32s %14lld %14lld\n", o.name.c_str(), static_cast<long long>(o.offset),
+                    static_cast<long long>(o.bytes));
+    }
+    std::printf("(%zu objects, %lld logical bytes)\n", archive->manifest.objects.size(),
+                static_cast<long long>(archive->store->logical_bytes()));
+    return 0;
+}
+
+int write_range(Archive& archive, std::int64_t offset, std::int64_t length, const std::string& output) {
+    auto bytes = archive.store->read_bytes(offset, length);
+    if (!bytes.ok()) return fail_with(bytes.error());
+    std::ofstream out(output, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "error: cannot open %s for writing\n", output.c_str());
+        return 1;
+    }
+    out.write(reinterpret_cast<const char*>(bytes->data()), static_cast<std::streamsize>(bytes->size()));
+    if (!out.good()) {
+        std::fprintf(stderr, "error: short write to %s\n", output.c_str());
+        return 1;
+    }
+    std::printf("read %zu bytes -> %s\n", bytes->size(), output.c_str());
+    return 0;
+}
+
+int cmd_get(const std::string& dir, const std::string& off, const std::string& len, const std::string& output) {
+    auto archive = open_archive(dir);
+    if (!archive.ok()) return fail_with(archive.error());
+    return write_range(archive.value(), std::atoll(off.c_str()), std::atoll(len.c_str()), output);
+}
+
+int cmd_cat(const std::string& dir, const std::string& output) {
+    auto archive = open_archive(dir);
+    if (!archive.ok()) return fail_with(archive.error());
+    const std::int64_t length = archive->store->logical_bytes();
+    return write_range(archive.value(), 0, length, output);
+}
+
+int cmd_overwrite(const std::string& dir, const std::string& off, const std::string& input) {
+    auto archive = open_archive(dir);
+    if (!archive.ok()) return fail_with(archive.error());
+    std::ifstream in(input, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "error: cannot open %s\n", input.c_str());
+        return 1;
+    }
+    std::vector<char> body((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    auto status = archive->store->overwrite(
+        std::atoll(off.c_str()),
+        ConstByteSpan(reinterpret_cast<const std::uint8_t*>(body.data()), body.size()));
+    if (!status.ok()) return fail_with(status.error());
+    std::printf("overwrote %zu bytes at offset %s (parity delta-updated)\n", body.size(), off.c_str());
+    return 0;
+}
+
+int cmd_fail(const std::string& dir, const std::string& disk) {
+    auto archive = open_archive(dir);
+    if (!archive.ok()) return fail_with(archive.error());
+    auto status = archive->store->fail_disk(std::atoi(disk.c_str()));
+    if (!status.ok()) return fail_with(status.error());
+    std::printf("disk %s marked failed (content dropped)\n", disk.c_str());
+    return 0;
+}
+
+int cmd_reconstruct(const std::string& dir, const std::string& disk) {
+    auto archive = open_archive(dir);
+    if (!archive.ok()) return fail_with(archive.error());
+    auto stats = archive->store->reconstruct_disk(std::atoi(disk.c_str()));
+    if (!stats.ok()) return fail_with(stats.error());
+    std::printf("rebuilt %lld elements from %lld reads\n", static_cast<long long>(stats->elements_rebuilt),
+                static_cast<long long>(stats->elements_read));
+    return 0;
+}
+
+int cmd_scrub(const std::string& dir) {
+    auto archive = open_archive(dir);
+    if (!archive.ok()) return fail_with(archive.error());
+    auto report = archive->store->scrub();
+    if (!report.ok()) return fail_with(report.error());
+    std::printf("scanned %lld groups: %lld inconsistent, %lld elements repaired, %lld unrecoverable\n",
+                static_cast<long long>(report->groups_scanned),
+                static_cast<long long>(report->groups_inconsistent),
+                static_cast<long long>(report->elements_repaired),
+                static_cast<long long>(report->unrecoverable_groups));
+    return report->unrecoverable_groups == 0 ? 0 : 1;
+}
+
+int cmd_corrupt(const std::string& dir, const std::string& disk, const std::string& row,
+                const std::string& byte) {
+    auto archive = open_archive(dir);
+    if (!archive.ok()) return fail_with(archive.error());
+    auto status = archive->store->corrupt_element(std::atoi(disk.c_str()), std::atoll(row.c_str()),
+                                                  static_cast<std::size_t>(std::atoll(byte.c_str())));
+    if (!status.ok()) return fail_with(status.error());
+    std::printf("flipped one byte on disk %s row %s (silently)\n", disk.c_str(), row.c_str());
+    return 0;
+}
+
+int cmd_status(const std::string& dir) {
+    auto archive = open_archive(dir);
+    if (!archive.ok()) return fail_with(archive.error());
+    const auto& scheme = archive->store->scheme();
+    std::printf("scheme:         %s\n", scheme.name().c_str());
+    std::printf("disks:          %d\n", scheme.disks());
+    std::printf("element size:   %lld B\n", static_cast<long long>(archive->manifest.element_bytes));
+    std::printf("logical size:   %lld B\n", static_cast<long long>(archive->store->logical_bytes()));
+    std::printf("data elements:  %lld\n", static_cast<long long>(archive->store->stored_data_elements()));
+    const auto failed = archive->store->failed_disks();
+    std::printf("failed disks:   ");
+    if (failed.empty()) {
+        std::printf("none\n");
+    } else {
+        for (DiskId d : failed) std::printf("%d ", d);
+        std::printf("\n");
+    }
+    auto parity = archive->store->verify_parity();
+    std::printf("parity audit:   %s\n", parity.ok() ? "clean"
+                                                    : (failed.empty() ? parity.error().message.c_str()
+                                                                      : "skipped (failed disks)"));
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 3) return usage();
+    const std::string cmd = argv[1];
+    const std::string dir = argv[2];
+    if (cmd == "create" && argc == 6) return cmd_create(dir, argv[3], argv[4], argv[5]);
+    if (cmd == "put" && argc == 4) return cmd_put(dir, argv[3], "");
+    if (cmd == "put" && argc == 5) return cmd_put(dir, argv[3], argv[4]);
+    if (cmd == "get-object" && argc == 5) return cmd_get_object(dir, argv[3], argv[4]);
+    if (cmd == "list" && argc == 3) return cmd_list(dir);
+    if (cmd == "get" && argc == 6) return cmd_get(dir, argv[3], argv[4], argv[5]);
+    if (cmd == "cat" && argc == 4) return cmd_cat(dir, argv[3]);
+    if (cmd == "overwrite" && argc == 5) return cmd_overwrite(dir, argv[3], argv[4]);
+    if (cmd == "fail" && argc == 4) return cmd_fail(dir, argv[3]);
+    if (cmd == "reconstruct" && argc == 4) return cmd_reconstruct(dir, argv[3]);
+    if (cmd == "scrub" && argc == 3) return cmd_scrub(dir);
+    if (cmd == "corrupt" && argc == 6) return cmd_corrupt(dir, argv[3], argv[4], argv[5]);
+    if (cmd == "status" && argc == 3) return cmd_status(dir);
+    return usage();
+}

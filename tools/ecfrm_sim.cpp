@@ -1,0 +1,162 @@
+// ecfrm_sim: run the paper's experiment protocol for ANY code / layout /
+// parameters from the command line — the research harness without a
+// recompile.
+//
+//   ecfrm_sim <code_spec> [options]
+//     code_spec            rs:<k>,<m> | lrc:<k>,<l>,<m>
+//     --layout L           standard | rotated | ecfrm | all   (default all)
+//     --trials N           trials per experiment               (default 2000)
+//     --elem BYTES         element size in bytes               (default 1 MiB)
+//     --max-size E         max request size in elements        (default 20)
+//     --degraded           run the degraded protocol (speed + cost)
+//     --policy P           local | balance (degraded repair)   (default local)
+//     --seed S             PRNG seed                           (default 2015)
+//
+// Examples:
+//   ecfrm_sim lrc:12,3,3 --degraded
+//   ecfrm_sim rs:20,10 --max-size 40 --elem 4194304
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "codes/factory.h"
+#include "common/rng.h"
+#include "core/read_planner.h"
+#include "sim/array_sim.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace ecfrm;
+
+struct Options {
+    std::string spec;
+    std::vector<layout::LayoutKind> kinds{layout::LayoutKind::standard, layout::LayoutKind::rotated,
+                                          layout::LayoutKind::ecfrm};
+    int trials = 2000;
+    std::int64_t elem_bytes = 1 << 20;
+    int max_size = 20;
+    bool degraded = false;
+    core::DegradedPolicy policy = core::DegradedPolicy::local_first;
+    std::uint64_t seed = 2015;
+};
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: ecfrm_sim <code_spec> [--layout standard|rotated|ecfrm|all] [--trials N]\n"
+                 "                 [--elem BYTES] [--max-size E] [--degraded] [--policy local|balance]\n"
+                 "                 [--seed S]\n");
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Options opt;
+    if (argc < 2) return usage();
+    opt.spec = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+        if (arg == "--layout") {
+            const char* v = value();
+            if (v == nullptr) return usage();
+            if (std::strcmp(v, "all") == 0) {
+                // keep default
+            } else if (std::strcmp(v, "standard") == 0) {
+                opt.kinds = {layout::LayoutKind::standard};
+            } else if (std::strcmp(v, "rotated") == 0) {
+                opt.kinds = {layout::LayoutKind::rotated};
+            } else if (std::strcmp(v, "ecfrm") == 0) {
+                opt.kinds = {layout::LayoutKind::ecfrm};
+            } else {
+                return usage();
+            }
+        } else if (arg == "--trials") {
+            const char* v = value();
+            if (v == nullptr) return usage();
+            opt.trials = std::atoi(v);
+        } else if (arg == "--elem") {
+            const char* v = value();
+            if (v == nullptr) return usage();
+            opt.elem_bytes = std::atoll(v);
+        } else if (arg == "--max-size") {
+            const char* v = value();
+            if (v == nullptr) return usage();
+            opt.max_size = std::atoi(v);
+        } else if (arg == "--degraded") {
+            opt.degraded = true;
+        } else if (arg == "--policy") {
+            const char* v = value();
+            if (v == nullptr) return usage();
+            if (std::strcmp(v, "balance") == 0) {
+                opt.policy = core::DegradedPolicy::balance;
+            } else if (std::strcmp(v, "local") != 0) {
+                return usage();
+            }
+        } else if (arg == "--seed") {
+            const char* v = value();
+            if (v == nullptr) return usage();
+            opt.seed = static_cast<std::uint64_t>(std::atoll(v));
+        } else {
+            return usage();
+        }
+    }
+    if (opt.trials <= 0 || opt.elem_bytes <= 0 || opt.max_size <= 0) return usage();
+
+    auto code = codes::make_code(opt.spec);
+    if (!code.ok()) {
+        std::fprintf(stderr, "error: %s\n", code.error().message.c_str());
+        return 1;
+    }
+
+    std::printf("%s protocol: %d trials, %lld B elements, sizes 1..%d%s\n",
+                opt.degraded ? "degraded-read" : "normal-read", opt.trials,
+                static_cast<long long>(opt.elem_bytes), opt.max_size,
+                opt.degraded ? (opt.policy == core::DegradedPolicy::balance ? ", balance policy"
+                                                                            : ", local-first policy")
+                             : "");
+    if (opt.degraded) {
+        std::printf("%-20s %12s %12s %12s\n", "scheme", "MB/s", "cost", "E[max load]");
+    } else {
+        std::printf("%-20s %12s %12s\n", "scheme", "MB/s", "E[max load]");
+    }
+
+    for (auto kind : opt.kinds) {
+        core::Scheme scheme(code.value(), kind);
+        const std::int64_t elements = 40 * scheme.layout().data_per_stripe();
+        sim::DiskModel model(sim::DiskProfile::savvio_10k3(), opt.elem_bytes);
+        Rng rng(opt.seed);
+
+        double speed = 0.0, cost = 0.0, max_load = 0.0;
+        for (int t = 0; t < opt.trials; ++t) {
+            if (opt.degraded) {
+                const auto req = workload::random_degraded_read(rng, elements, scheme.disks(), opt.max_size);
+                auto plan = core::plan_degraded_read(scheme, req.read.start, req.read.count,
+                                                     std::vector<DiskId>{req.failed_disk}, opt.policy);
+                if (!plan.ok()) {
+                    std::fprintf(stderr, "error: %s\n", plan.error().message.c_str());
+                    return 1;
+                }
+                speed += sim::simulate_read(plan.value(), model, rng).mb_per_s();
+                cost += plan->cost();
+                max_load += plan->max_load();
+            } else {
+                const auto req = workload::random_read(rng, elements, opt.max_size);
+                const auto plan = core::plan_normal_read(scheme, req.start, req.count);
+                speed += sim::simulate_read(plan, model, rng).mb_per_s();
+                max_load += plan.max_load();
+            }
+        }
+        if (opt.degraded) {
+            std::printf("%-20s %12.2f %12.3f %12.3f\n", scheme.name().c_str(), speed / opt.trials,
+                        cost / opt.trials, max_load / opt.trials);
+        } else {
+            std::printf("%-20s %12.2f %12.3f\n", scheme.name().c_str(), speed / opt.trials,
+                        max_load / opt.trials);
+        }
+    }
+    return 0;
+}
