@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_elemsize.dir/bench_ablation_elemsize.cpp.o"
+  "CMakeFiles/bench_ablation_elemsize.dir/bench_ablation_elemsize.cpp.o.d"
+  "bench_ablation_elemsize"
+  "bench_ablation_elemsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_elemsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_readsize.dir/bench_ablation_readsize.cpp.o"
+  "CMakeFiles/bench_ablation_readsize.dir/bench_ablation_readsize.cpp.o.d"
+  "bench_ablation_readsize"
+  "bench_ablation_readsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_readsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

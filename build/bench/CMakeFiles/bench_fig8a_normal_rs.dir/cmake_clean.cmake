@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8a_normal_rs.dir/bench_fig8a_normal_rs.cpp.o"
+  "CMakeFiles/bench_fig8a_normal_rs.dir/bench_fig8a_normal_rs.cpp.o.d"
+  "bench_fig8a_normal_rs"
+  "bench_fig8a_normal_rs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8a_normal_rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8b_normal_lrc.dir/bench_fig8b_normal_lrc.cpp.o"
+  "CMakeFiles/bench_fig8b_normal_lrc.dir/bench_fig8b_normal_lrc.cpp.o.d"
+  "bench_fig8b_normal_lrc"
+  "bench_fig8b_normal_lrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8b_normal_lrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9a_cost_rs.dir/bench_fig9a_cost_rs.cpp.o"
+  "CMakeFiles/bench_fig9a_cost_rs.dir/bench_fig9a_cost_rs.cpp.o.d"
+  "bench_fig9a_cost_rs"
+  "bench_fig9a_cost_rs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9a_cost_rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

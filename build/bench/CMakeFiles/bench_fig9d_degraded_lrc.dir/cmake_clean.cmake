@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9d_degraded_lrc.dir/bench_fig9d_degraded_lrc.cpp.o"
+  "CMakeFiles/bench_fig9d_degraded_lrc.dir/bench_fig9d_degraded_lrc.cpp.o.d"
+  "bench_fig9d_degraded_lrc"
+  "bench_fig9d_degraded_lrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9d_degraded_lrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

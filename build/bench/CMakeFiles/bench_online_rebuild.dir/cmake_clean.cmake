@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_online_rebuild.dir/bench_online_rebuild.cpp.o"
+  "CMakeFiles/bench_online_rebuild.dir/bench_online_rebuild.cpp.o.d"
+  "bench_online_rebuild"
+  "bench_online_rebuild.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_online_rebuild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

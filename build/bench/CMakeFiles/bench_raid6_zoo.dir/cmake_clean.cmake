@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_raid6_zoo.dir/bench_raid6_zoo.cpp.o"
+  "CMakeFiles/bench_raid6_zoo.dir/bench_raid6_zoo.cpp.o.d"
+  "bench_raid6_zoo"
+  "bench_raid6_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_raid6_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

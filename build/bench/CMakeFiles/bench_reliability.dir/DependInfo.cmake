@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_reliability.cpp" "bench/CMakeFiles/bench_reliability.dir/bench_reliability.cpp.o" "gcc" "bench/CMakeFiles/bench_reliability.dir/bench_reliability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ecfrm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/ecfrm_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/ecfrm_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/codes/CMakeFiles/ecfrm_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/ecfrm_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ecfrm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecfrm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/ecfrm_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ecfrm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/vertical/CMakeFiles/ecfrm_vertical.dir/DependInfo.cmake"
+  "/root/repo/build/src/raid6/CMakeFiles/ecfrm_raid6.dir/DependInfo.cmake"
+  "/root/repo/build/src/wide/CMakeFiles/ecfrm_wide.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_codes.dir/bench_table1_codes.cpp.o"
+  "CMakeFiles/bench_table1_codes.dir/bench_table1_codes.cpp.o.d"
+  "bench_table1_codes"
+  "bench_table1_codes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

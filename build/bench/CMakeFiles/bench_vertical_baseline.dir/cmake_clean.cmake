@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vertical_baseline.dir/bench_vertical_baseline.cpp.o"
+  "CMakeFiles/bench_vertical_baseline.dir/bench_vertical_baseline.cpp.o.d"
+  "bench_vertical_baseline"
+  "bench_vertical_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vertical_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/code_zoo.dir/code_zoo.cpp.o"
+  "CMakeFiles/code_zoo.dir/code_zoo.cpp.o.d"
+  "code_zoo"
+  "code_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/code_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

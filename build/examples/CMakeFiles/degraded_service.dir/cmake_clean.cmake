@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degraded_service.dir/degraded_service.cpp.o"
+  "CMakeFiles/degraded_service.dir/degraded_service.cpp.o.d"
+  "degraded_service"
+  "degraded_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degraded_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

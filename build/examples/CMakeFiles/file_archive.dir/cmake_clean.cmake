@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_archive.dir/file_archive.cpp.o"
+  "CMakeFiles/file_archive.dir/file_archive.cpp.o.d"
+  "file_archive"
+  "file_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

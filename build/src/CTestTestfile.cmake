@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("gf")
+subdirs("matrix")
+subdirs("codes")
+subdirs("layout")
+subdirs("core")
+subdirs("sim")
+subdirs("store")
+subdirs("workload")
+subdirs("vertical")
+subdirs("raid6")
+subdirs("wide")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codes/erasure_code.cpp" "src/codes/CMakeFiles/ecfrm_codes.dir/erasure_code.cpp.o" "gcc" "src/codes/CMakeFiles/ecfrm_codes.dir/erasure_code.cpp.o.d"
+  "/root/repo/src/codes/factory.cpp" "src/codes/CMakeFiles/ecfrm_codes.dir/factory.cpp.o" "gcc" "src/codes/CMakeFiles/ecfrm_codes.dir/factory.cpp.o.d"
+  "/root/repo/src/codes/lrc.cpp" "src/codes/CMakeFiles/ecfrm_codes.dir/lrc.cpp.o" "gcc" "src/codes/CMakeFiles/ecfrm_codes.dir/lrc.cpp.o.d"
+  "/root/repo/src/codes/rs.cpp" "src/codes/CMakeFiles/ecfrm_codes.dir/rs.cpp.o" "gcc" "src/codes/CMakeFiles/ecfrm_codes.dir/rs.cpp.o.d"
+  "/root/repo/src/codes/xor_codec.cpp" "src/codes/CMakeFiles/ecfrm_codes.dir/xor_codec.cpp.o" "gcc" "src/codes/CMakeFiles/ecfrm_codes.dir/xor_codec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matrix/CMakeFiles/ecfrm_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/ecfrm_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ecfrm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecfrm_codes.dir/erasure_code.cpp.o"
+  "CMakeFiles/ecfrm_codes.dir/erasure_code.cpp.o.d"
+  "CMakeFiles/ecfrm_codes.dir/factory.cpp.o"
+  "CMakeFiles/ecfrm_codes.dir/factory.cpp.o.d"
+  "CMakeFiles/ecfrm_codes.dir/lrc.cpp.o"
+  "CMakeFiles/ecfrm_codes.dir/lrc.cpp.o.d"
+  "CMakeFiles/ecfrm_codes.dir/rs.cpp.o"
+  "CMakeFiles/ecfrm_codes.dir/rs.cpp.o.d"
+  "CMakeFiles/ecfrm_codes.dir/xor_codec.cpp.o"
+  "CMakeFiles/ecfrm_codes.dir/xor_codec.cpp.o.d"
+  "libecfrm_codes.a"
+  "libecfrm_codes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecfrm_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

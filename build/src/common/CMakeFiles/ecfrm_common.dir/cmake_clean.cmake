@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecfrm_common.dir/stats.cpp.o"
+  "CMakeFiles/ecfrm_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ecfrm_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/ecfrm_common.dir/thread_pool.cpp.o.d"
+  "libecfrm_common.a"
+  "libecfrm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecfrm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/ecfrm_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/ecfrm_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/read_planner.cpp" "src/core/CMakeFiles/ecfrm_core.dir/read_planner.cpp.o" "gcc" "src/core/CMakeFiles/ecfrm_core.dir/read_planner.cpp.o.d"
+  "/root/repo/src/core/scheme.cpp" "src/core/CMakeFiles/ecfrm_core.dir/scheme.cpp.o" "gcc" "src/core/CMakeFiles/ecfrm_core.dir/scheme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codes/CMakeFiles/ecfrm_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/ecfrm_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/ecfrm_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/ecfrm_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ecfrm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

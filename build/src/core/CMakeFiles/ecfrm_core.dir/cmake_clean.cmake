@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecfrm_core.dir/analysis.cpp.o"
+  "CMakeFiles/ecfrm_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/ecfrm_core.dir/read_planner.cpp.o"
+  "CMakeFiles/ecfrm_core.dir/read_planner.cpp.o.d"
+  "CMakeFiles/ecfrm_core.dir/scheme.cpp.o"
+  "CMakeFiles/ecfrm_core.dir/scheme.cpp.o.d"
+  "libecfrm_core.a"
+  "libecfrm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecfrm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gf/bitmatrix.cpp" "src/gf/CMakeFiles/ecfrm_gf.dir/bitmatrix.cpp.o" "gcc" "src/gf/CMakeFiles/ecfrm_gf.dir/bitmatrix.cpp.o.d"
+  "/root/repo/src/gf/gf256.cpp" "src/gf/CMakeFiles/ecfrm_gf.dir/gf256.cpp.o" "gcc" "src/gf/CMakeFiles/ecfrm_gf.dir/gf256.cpp.o.d"
+  "/root/repo/src/gf/gf2_solver.cpp" "src/gf/CMakeFiles/ecfrm_gf.dir/gf2_solver.cpp.o" "gcc" "src/gf/CMakeFiles/ecfrm_gf.dir/gf2_solver.cpp.o.d"
+  "/root/repo/src/gf/gf65536.cpp" "src/gf/CMakeFiles/ecfrm_gf.dir/gf65536.cpp.o" "gcc" "src/gf/CMakeFiles/ecfrm_gf.dir/gf65536.cpp.o.d"
+  "/root/repo/src/gf/region.cpp" "src/gf/CMakeFiles/ecfrm_gf.dir/region.cpp.o" "gcc" "src/gf/CMakeFiles/ecfrm_gf.dir/region.cpp.o.d"
+  "/root/repo/src/gf/region_simd.cpp" "src/gf/CMakeFiles/ecfrm_gf.dir/region_simd.cpp.o" "gcc" "src/gf/CMakeFiles/ecfrm_gf.dir/region_simd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ecfrm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecfrm_gf.dir/bitmatrix.cpp.o"
+  "CMakeFiles/ecfrm_gf.dir/bitmatrix.cpp.o.d"
+  "CMakeFiles/ecfrm_gf.dir/gf256.cpp.o"
+  "CMakeFiles/ecfrm_gf.dir/gf256.cpp.o.d"
+  "CMakeFiles/ecfrm_gf.dir/gf2_solver.cpp.o"
+  "CMakeFiles/ecfrm_gf.dir/gf2_solver.cpp.o.d"
+  "CMakeFiles/ecfrm_gf.dir/gf65536.cpp.o"
+  "CMakeFiles/ecfrm_gf.dir/gf65536.cpp.o.d"
+  "CMakeFiles/ecfrm_gf.dir/region.cpp.o"
+  "CMakeFiles/ecfrm_gf.dir/region.cpp.o.d"
+  "CMakeFiles/ecfrm_gf.dir/region_simd.cpp.o"
+  "CMakeFiles/ecfrm_gf.dir/region_simd.cpp.o.d"
+  "libecfrm_gf.a"
+  "libecfrm_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecfrm_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

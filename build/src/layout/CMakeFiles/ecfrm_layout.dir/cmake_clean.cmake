@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecfrm_layout.dir/ecfrm_layout.cpp.o"
+  "CMakeFiles/ecfrm_layout.dir/ecfrm_layout.cpp.o.d"
+  "CMakeFiles/ecfrm_layout.dir/layout.cpp.o"
+  "CMakeFiles/ecfrm_layout.dir/layout.cpp.o.d"
+  "libecfrm_layout.a"
+  "libecfrm_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecfrm_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecfrm_matrix.dir/builders.cpp.o"
+  "CMakeFiles/ecfrm_matrix.dir/builders.cpp.o.d"
+  "CMakeFiles/ecfrm_matrix.dir/matrix.cpp.o"
+  "CMakeFiles/ecfrm_matrix.dir/matrix.cpp.o.d"
+  "libecfrm_matrix.a"
+  "libecfrm_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecfrm_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

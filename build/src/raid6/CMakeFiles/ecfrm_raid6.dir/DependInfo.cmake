@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raid6/rdp.cpp" "src/raid6/CMakeFiles/ecfrm_raid6.dir/rdp.cpp.o" "gcc" "src/raid6/CMakeFiles/ecfrm_raid6.dir/rdp.cpp.o.d"
+  "/root/repo/src/raid6/star.cpp" "src/raid6/CMakeFiles/ecfrm_raid6.dir/star.cpp.o" "gcc" "src/raid6/CMakeFiles/ecfrm_raid6.dir/star.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gf/CMakeFiles/ecfrm_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ecfrm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecfrm_raid6.dir/rdp.cpp.o"
+  "CMakeFiles/ecfrm_raid6.dir/rdp.cpp.o.d"
+  "CMakeFiles/ecfrm_raid6.dir/star.cpp.o"
+  "CMakeFiles/ecfrm_raid6.dir/star.cpp.o.d"
+  "libecfrm_raid6.a"
+  "libecfrm_raid6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecfrm_raid6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecfrm_sim.dir/array_sim.cpp.o"
+  "CMakeFiles/ecfrm_sim.dir/array_sim.cpp.o.d"
+  "CMakeFiles/ecfrm_sim.dir/cluster_sim.cpp.o"
+  "CMakeFiles/ecfrm_sim.dir/cluster_sim.cpp.o.d"
+  "CMakeFiles/ecfrm_sim.dir/disk_model.cpp.o"
+  "CMakeFiles/ecfrm_sim.dir/disk_model.cpp.o.d"
+  "libecfrm_sim.a"
+  "libecfrm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecfrm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecfrm_store.dir/disk.cpp.o"
+  "CMakeFiles/ecfrm_store.dir/disk.cpp.o.d"
+  "CMakeFiles/ecfrm_store.dir/file_disk.cpp.o"
+  "CMakeFiles/ecfrm_store.dir/file_disk.cpp.o.d"
+  "CMakeFiles/ecfrm_store.dir/manifest.cpp.o"
+  "CMakeFiles/ecfrm_store.dir/manifest.cpp.o.d"
+  "CMakeFiles/ecfrm_store.dir/stripe_store.cpp.o"
+  "CMakeFiles/ecfrm_store.dir/stripe_store.cpp.o.d"
+  "libecfrm_store.a"
+  "libecfrm_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecfrm_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecfrm_vertical.dir/weaver.cpp.o"
+  "CMakeFiles/ecfrm_vertical.dir/weaver.cpp.o.d"
+  "CMakeFiles/ecfrm_vertical.dir/xcode.cpp.o"
+  "CMakeFiles/ecfrm_vertical.dir/xcode.cpp.o.d"
+  "libecfrm_vertical.a"
+  "libecfrm_vertical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecfrm_vertical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libecfrm_vertical.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for ecfrm_vertical.
+# This may be replaced when dependencies are built.

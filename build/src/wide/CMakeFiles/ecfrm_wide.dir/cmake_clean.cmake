@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecfrm_wide.dir/matrix16.cpp.o"
+  "CMakeFiles/ecfrm_wide.dir/matrix16.cpp.o.d"
+  "CMakeFiles/ecfrm_wide.dir/rs16.cpp.o"
+  "CMakeFiles/ecfrm_wide.dir/rs16.cpp.o.d"
+  "libecfrm_wide.a"
+  "libecfrm_wide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecfrm_wide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecfrm_workload.dir/workload.cpp.o"
+  "CMakeFiles/ecfrm_workload.dir/workload.cpp.o.d"
+  "libecfrm_workload.a"
+  "libecfrm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecfrm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_store.dir/test_fuzz_store.cpp.o"
+  "CMakeFiles/test_fuzz_store.dir/test_fuzz_store.cpp.o.d"
+  "test_fuzz_store"
+  "test_fuzz_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_planner_oracle.dir/test_planner_oracle.cpp.o"
+  "CMakeFiles/test_planner_oracle.dir/test_planner_oracle.cpp.o.d"
+  "test_planner_oracle"
+  "test_planner_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_planner_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weaver.dir/test_weaver.cpp.o"
+  "CMakeFiles/test_weaver.dir/test_weaver.cpp.o.d"
+  "test_weaver"
+  "test_weaver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weaver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xcode.dir/test_xcode.cpp.o"
+  "CMakeFiles/test_xcode.dir/test_xcode.cpp.o.d"
+  "test_xcode"
+  "test_xcode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecfrm_cli.dir/ecfrm_cli.cpp.o"
+  "CMakeFiles/ecfrm_cli.dir/ecfrm_cli.cpp.o.d"
+  "ecfrm_cli"
+  "ecfrm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecfrm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecfrm_simtool.dir/ecfrm_sim.cpp.o"
+  "CMakeFiles/ecfrm_simtool.dir/ecfrm_sim.cpp.o.d"
+  "ecfrm_sim"
+  "ecfrm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecfrm_simtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ecfrm_simtool.
+# This may be replaced when dependencies are built.
