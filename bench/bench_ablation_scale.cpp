@@ -51,7 +51,8 @@ int main() {
             // visible contention on the Savvio profile.
             arrival += -std::log(1.0 - rng.next_double()) / 12.0;
         }
-        const auto stats = sim::run_cluster(std::move(reqs), model, scheme.disks(), rng);
+        const auto stats =
+            sim::run_cluster(std::move(reqs), model, scheme.disks(), rng, metrics_sidecar());
         std::printf("%-16s %14.2f %14.2f %14.2f\n", scheme.name().c_str(), stats.mean_latency() * 1e3,
                     stats.p99_latency() * 1e3, stats.throughput_mb_s());
     }

@@ -62,7 +62,8 @@ int main() {
             at += -std::log(1.0 - rng.next_double()) / kUserRate;
         }
 
-        const auto stats = sim::run_cluster(std::move(requests), model, scheme.disks(), rng);
+        const auto stats =
+            sim::run_cluster(std::move(requests), model, scheme.disks(), rng, metrics_sidecar());
         SampleSet lat;
         for (std::size_t i = user_begin; i < stats.results.size(); ++i) {
             lat.add(stats.results[i].latency_seconds());

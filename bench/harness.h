@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -16,10 +17,35 @@
 #include "common/rng.h"
 #include "core/read_planner.h"
 #include "core/scheme.h"
+#include "obs/metrics.h"
 #include "sim/array_sim.h"
 #include "workload/workload.h"
 
 namespace ecfrm::bench {
+
+/// Optional metrics sidecar: when ECFRM_METRICS_OUT is set in the
+/// environment, every bench run feeds planner and simulated-disk metrics
+/// into a process-wide registry that is dumped (NDJSON) to that path at
+/// exit. Returns nullptr — a pure no-op — when the variable is unset, so
+/// the measured numbers are untouched in normal runs.
+inline obs::MetricRegistry* metrics_sidecar() {
+    static obs::MetricRegistry* registry = []() -> obs::MetricRegistry* {
+        const char* path = std::getenv("ECFRM_METRICS_OUT");
+        if (path == nullptr || path[0] == '\0') return nullptr;
+        static obs::MetricRegistry instance("ecfrm_bench");
+        static const std::string out_path = path;
+        core::attach_planner_metrics(&instance);
+        std::atexit([] {
+            std::FILE* f = std::fopen(out_path.c_str(), "w");
+            if (f == nullptr) return;
+            const std::string body = instance.to_json();
+            std::fwrite(body.data(), 1, body.size(), f);
+            std::fclose(f);
+        });
+        return &instance;
+    }();
+    return registry;
+}
 
 struct Protocol {
     int normal_trials = 2000;    // paper Section VI-B
@@ -50,11 +76,12 @@ inline double run_normal(const core::Scheme& scheme, const Protocol& proto) {
         static_cast<std::int64_t>(proto.stripes_stored) * scheme.layout().data_per_stripe();
     sim::DiskModel model(sim::DiskProfile::savvio_10k3(), proto.element_bytes);
     Rng rng(proto.seed);
+    obs::MetricRegistry* metrics = metrics_sidecar();
     double sum = 0.0;
     for (int t = 0; t < proto.normal_trials; ++t) {
         const auto req = workload::random_read(rng, elements, proto.max_request_elements);
         const auto plan = core::plan_normal_read(scheme, req.start, req.count);
-        sum += sim::simulate_read(plan, model, rng).mb_per_s();
+        sum += sim::simulate_read(plan, model, rng, metrics).mb_per_s();
     }
     return sum / proto.normal_trials;
 }
@@ -65,6 +92,7 @@ inline DegradedResult run_degraded(const core::Scheme& scheme, const Protocol& p
         static_cast<std::int64_t>(proto.stripes_stored) * scheme.layout().data_per_stripe();
     sim::DiskModel model(sim::DiskProfile::savvio_10k3(), proto.element_bytes);
     Rng rng(proto.seed + 1);
+    obs::MetricRegistry* metrics = metrics_sidecar();
     DegradedResult out;
     for (int t = 0; t < proto.degraded_trials; ++t) {
         const auto req =
@@ -74,7 +102,7 @@ inline DegradedResult run_degraded(const core::Scheme& scheme, const Protocol& p
             std::fprintf(stderr, "degraded plan failed: %s\n", plan.error().message.c_str());
             std::abort();
         }
-        out.speed_mb_s += sim::simulate_read(plan.value(), model, rng).mb_per_s();
+        out.speed_mb_s += sim::simulate_read(plan.value(), model, rng, metrics).mb_per_s();
         out.cost += plan->cost();
     }
     out.speed_mb_s /= proto.degraded_trials;

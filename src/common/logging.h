@@ -1,17 +1,44 @@
 // Tiny leveled logger. Off by default above WARN so benches stay quiet;
-// examples flip it to INFO for narration.
+// examples flip it to INFO for narration. The initial level can be set
+// from the environment (ECFRM_LOG=debug|info|warn|error|off), and the
+// stderr sink can be swapped for a capturing one in tests.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <mutex>
 #include <string>
+#include <utility>
 
 namespace ecfrm {
 
 enum class LogLevel : int { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
 
+inline const char* log_level_name(LogLevel level) {
+    static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR", "OFF"};
+    return names[static_cast<int>(level)];
+}
+
+/// Parse a level name (as accepted in ECFRM_LOG); unknown or null input
+/// yields `fallback`.
+inline LogLevel parse_log_level(const char* name, LogLevel fallback) {
+    if (name == nullptr) return fallback;
+    const std::string s(name);
+    if (s == "debug") return LogLevel::debug;
+    if (s == "info") return LogLevel::info;
+    if (s == "warn") return LogLevel::warn;
+    if (s == "error") return LogLevel::error;
+    if (s == "off") return LogLevel::off;
+    return fallback;
+}
+
 class Logger {
   public:
+    /// Replacement output sink; receives only records that pass the
+    /// level filter. An empty function restores the stderr default.
+    using Sink = std::function<void(LogLevel, const std::string&)>;
+
     static Logger& instance() {
         static Logger logger;
         return logger;
@@ -20,17 +47,26 @@ class Logger {
     void set_level(LogLevel level) { level_ = level; }
     LogLevel level() const { return level_; }
 
+    void set_sink(Sink sink) {
+        std::lock_guard lk(mu_);
+        sink_ = std::move(sink);
+    }
+
     void log(LogLevel level, const std::string& msg) {
         if (static_cast<int>(level) < static_cast<int>(level_)) return;
-        static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
         std::lock_guard lk(mu_);
-        std::fprintf(stderr, "[%s] %s\n", names[static_cast<int>(level)], msg.c_str());
+        if (sink_) {
+            sink_(level, msg);
+        } else {
+            std::fprintf(stderr, "[%s] %s\n", log_level_name(level), msg.c_str());
+        }
     }
 
   private:
-    Logger() = default;
-    LogLevel level_ = LogLevel::warn;
+    Logger() : level_(parse_log_level(std::getenv("ECFRM_LOG"), LogLevel::warn)) {}
+    LogLevel level_;
     std::mutex mu_;
+    Sink sink_;
 };
 
 inline void log_debug(const std::string& msg) { Logger::instance().log(LogLevel::debug, msg); }

@@ -4,7 +4,11 @@ namespace ecfrm {
 
 double percentile(std::vector<double> samples, double q) {
     if (samples.empty()) return 0.0;
-    q = std::clamp(q, 0.0, 1.0);
+    // Clamp by hand: q may be NaN (std::clamp would be UB), and any q
+    // outside [0, 1] must land on the min/max sample rather than index
+    // out of range.
+    if (!(q >= 0.0)) q = 0.0;
+    if (q > 1.0) q = 1.0;
     std::sort(samples.begin(), samples.end());
     const auto idx = static_cast<std::size_t>(q * static_cast<double>(samples.size() - 1) + 0.5);
     return samples[std::min(idx, samples.size() - 1)];

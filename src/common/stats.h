@@ -39,7 +39,7 @@ class OnlineStats {
 };
 
 /// Exact percentile of a sample (nearest-rank on the sorted copy).
-/// q in [0, 1]; empty input yields 0.
+/// q is clamped into [0, 1] (NaN clamps to 0); empty input yields 0.
 double percentile(std::vector<double> samples, double q);
 
 /// Collects samples and answers both moment and percentile queries.

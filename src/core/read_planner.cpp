@@ -1,15 +1,47 @@
 #include "core/read_planner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <set>
 #include <tuple>
+
+#include "obs/metrics.h"
 
 namespace ecfrm::core {
 
 namespace {
 
 using layout::GroupCoord;
+
+/// Per-plan-kind histogram bundle, published atomically so the planners
+/// stay lock-free: one relaxed load when detached, three histogram
+/// records when attached.
+struct PlanKindMetrics {
+    obs::Histogram* max_load = nullptr;
+    obs::Histogram* fanout = nullptr;
+    obs::Histogram* fetches = nullptr;
+};
+
+struct PlannerMetrics {
+    PlanKindMetrics normal;
+    PlanKindMetrics degraded;
+    PlanKindMetrics reconstruction;
+};
+
+PlannerMetrics g_planner_metrics_storage;
+std::atomic<const PlannerMetrics*> g_planner_metrics{nullptr};
+
+void note_plan(const AccessPlan& plan, PlanKindMetrics PlannerMetrics::* kind) {
+    const PlannerMetrics* all = g_planner_metrics.load(std::memory_order_acquire);
+    if (all == nullptr) return;
+    const PlanKindMetrics& m = all->*kind;
+    m.max_load->record(plan.max_load());
+    m.fetches->record(static_cast<double>(plan.total_fetched()));
+    int fanout = 0;
+    for (int load : plan.per_disk_loads()) fanout += load > 0 ? 1 : 0;
+    m.fanout->record(fanout);
+}
 
 /// Dedup key for an element within a plan.
 using Key = std::tuple<StripeId, int, int>;
@@ -137,12 +169,30 @@ Result<codes::ElementRepair> choose_repair(PlanBuilder& b, const GroupCoord& tar
 
 }  // namespace
 
+void attach_planner_metrics(obs::MetricRegistry* registry) {
+    if (registry == nullptr) {
+        g_planner_metrics.store(nullptr, std::memory_order_release);
+        return;
+    }
+    auto fill = [registry](PlanKindMetrics& m, const char* kind) {
+        const obs::Labels labels{{"plan", kind}};
+        m.max_load = &registry->histogram("ecfrm_planner_max_load", labels);
+        m.fanout = &registry->histogram("ecfrm_planner_fanout_disks", labels);
+        m.fetches = &registry->histogram("ecfrm_planner_fetches", labels);
+    };
+    fill(g_planner_metrics_storage.normal, "normal");
+    fill(g_planner_metrics_storage.degraded, "degraded");
+    fill(g_planner_metrics_storage.reconstruction, "reconstruction");
+    g_planner_metrics.store(&g_planner_metrics_storage, std::memory_order_release);
+}
+
 AccessPlan plan_normal_read(const Scheme& scheme, ElementId start, std::int64_t count) {
     PlanBuilder b(scheme);
     for (std::int64_t i = 0; i < count; ++i) {
         b.fetch(scheme.layout().coord_of_data(start + i), /*requested=*/true);
     }
     b.plan.set_requested(count);
+    note_plan(b.plan, &PlannerMetrics::normal);
     return std::move(b.plan);
 }
 
@@ -187,6 +237,7 @@ Result<AccessPlan> plan_degraded_read(const Scheme& scheme, ElementId start, std
     }
 
     b.plan.set_requested(count);
+    note_plan(b.plan, &PlannerMetrics::degraded);
     return std::move(b.plan);
 }
 
@@ -211,6 +262,7 @@ Result<AccessPlan> plan_reconstruction(const Scheme& scheme, DiskId failed_disk,
         ++rebuilt;
     }
     b.plan.set_requested(rebuilt);
+    note_plan(b.plan, &PlannerMetrics::reconstruction);
     return std::move(b.plan);
 }
 

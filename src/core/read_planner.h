@@ -12,7 +12,19 @@
 #include "core/access_plan.h"
 #include "core/scheme.h"
 
+namespace ecfrm::obs {
+class MetricRegistry;
+}
+
 namespace ecfrm::core {
+
+/// Attach process-wide planner metrics: every subsequent plan records its
+/// fan-out (distinct disks touched), total fetches, and max per-disk load
+/// (the paper's headline metric) into ecfrm_planner_*{plan=kind}
+/// histograms. Pass nullptr to detach. Not synchronised against planners
+/// already running on other threads — attach before planning starts. An
+/// unattached planner pays one relaxed atomic load per plan.
+void attach_planner_metrics(obs::MetricRegistry* registry);
 
 /// Plan a failure-free read of `count` logical elements starting at `start`.
 AccessPlan plan_normal_read(const Scheme& scheme, ElementId start, std::int64_t count);

@@ -1,0 +1,116 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+
+#include "obs/metrics.h"  // json_escape
+
+namespace ecfrm::obs {
+
+Tracer::Tracer(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)), epoch_(std::chrono::steady_clock::now()) {
+    ring_.reserve(capacity_);
+}
+
+double Tracer::now_us() const {
+    return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - epoch_).count();
+}
+
+void Tracer::push(TraceEvent event) {
+    event.tid = std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffff;
+    std::lock_guard lk(mu_);
+    if (ring_.size() < capacity_) {
+        ring_.push_back(std::move(event));
+    } else {
+        ring_[total_ % capacity_] = std::move(event);
+    }
+    ++total_;
+}
+
+void Tracer::complete(std::string name, std::string cat, double ts_us, double dur_us,
+                      std::vector<std::pair<std::string, std::string>> args) {
+    TraceEvent event;
+    event.name = std::move(name);
+    event.cat = std::move(cat);
+    event.phase = 'X';
+    event.ts_us = ts_us;
+    event.dur_us = dur_us;
+    event.args = std::move(args);
+    push(std::move(event));
+}
+
+void Tracer::instant(std::string name, std::string cat, double ts_us,
+                     std::vector<std::pair<std::string, std::string>> args) {
+    TraceEvent event;
+    event.name = std::move(name);
+    event.cat = std::move(cat);
+    event.phase = 'i';
+    event.ts_us = ts_us;
+    event.args = std::move(args);
+    push(std::move(event));
+}
+
+std::size_t Tracer::recorded() const {
+    std::lock_guard lk(mu_);
+    return total_;
+}
+
+std::size_t Tracer::size() const {
+    std::lock_guard lk(mu_);
+    return ring_.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+    std::lock_guard lk(mu_);
+    std::vector<TraceEvent> out;
+    out.reserve(ring_.size());
+    if (total_ <= capacity_) {
+        out = ring_;
+    } else {
+        const std::size_t head = total_ % capacity_;  // oldest retained slot
+        for (std::size_t i = 0; i < capacity_; ++i) out.push_back(ring_[(head + i) % capacity_]);
+    }
+    return out;
+}
+
+namespace {
+
+std::string format_us(double us) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", us);
+    return buf;
+}
+
+}  // namespace
+
+std::string Tracer::to_chrome_json() const {
+    std::string out = "[";
+    bool first = true;
+    for (const TraceEvent& e : events()) {
+        if (!first) out += ",";
+        first = false;
+        out += "\n{\"name\":\"" + json_escape(e.name) + "\",\"cat\":\"" + json_escape(e.cat) + "\"";
+        out += ",\"ph\":\"";
+        out += e.phase;
+        out += "\",\"pid\":0,\"tid\":" + std::to_string(e.tid);
+        out += ",\"ts\":" + format_us(e.ts_us);
+        if (e.phase == 'X') out += ",\"dur\":" + format_us(e.dur_us);
+        if (e.phase == 'i') out += ",\"s\":\"t\"";
+        if (!e.args.empty()) {
+            out += ",\"args\":{";
+            bool first_arg = true;
+            for (const auto& [k, v] : e.args) {
+                if (!first_arg) out += ",";
+                first_arg = false;
+                out += "\"" + json_escape(k) + "\":\"" + json_escape(v) + "\"";
+            }
+            out += "}";
+        }
+        out += "}";
+    }
+    out += "\n]\n";
+    return out;
+}
+
+}  // namespace ecfrm::obs

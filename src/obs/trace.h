@@ -1,0 +1,106 @@
+// Span-based request tracing into a bounded ring buffer, exportable as
+// chrome://tracing "trace event format" JSON (open the file via
+// chrome://tracing or https://ui.perfetto.dev).
+//
+// Two clock domains coexist: wall-clock spans (RAII Span against the
+// tracer's steady-clock epoch) for the real store path, and explicit
+// timestamps (complete()/instant() with caller-provided microseconds)
+// for the simulators' virtual clocks. The ring keeps the most recent
+// `capacity` events; older ones are overwritten, never reallocated.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ecfrm::obs {
+
+struct TraceEvent {
+    std::string name;
+    std::string cat;
+    char phase = 'X';  // 'X' complete, 'i' instant
+    double ts_us = 0.0;
+    double dur_us = 0.0;
+    std::uint64_t tid = 0;
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+class Tracer {
+  public:
+    explicit Tracer(std::size_t capacity = 4096);
+
+    Tracer(const Tracer&) = delete;
+    Tracer& operator=(const Tracer&) = delete;
+
+    /// Microseconds elapsed since the tracer was constructed (wall clock).
+    double now_us() const;
+
+    /// Record a completed span with an explicit timestamp and duration
+    /// (simulated or wall clock — the caller owns the clock domain).
+    void complete(std::string name, std::string cat, double ts_us, double dur_us,
+                  std::vector<std::pair<std::string, std::string>> args = {});
+
+    /// Record a zero-duration instant event.
+    void instant(std::string name, std::string cat, double ts_us,
+                 std::vector<std::pair<std::string, std::string>> args = {});
+
+    std::size_t capacity() const { return capacity_; }
+
+    /// Events recorded over the tracer's lifetime (>= size()).
+    std::size_t recorded() const;
+
+    /// Events currently held (min(recorded, capacity)).
+    std::size_t size() const;
+
+    /// Snapshot of the retained events, oldest first.
+    std::vector<TraceEvent> events() const;
+
+    /// Chrome trace-event JSON: an array of {"name","cat","ph","ts",...}.
+    std::string to_chrome_json() const;
+
+  private:
+    void push(TraceEvent event);
+
+    const std::size_t capacity_;
+    std::chrono::steady_clock::time_point epoch_;
+    mutable std::mutex mu_;
+    std::vector<TraceEvent> ring_;
+    std::size_t total_ = 0;  // lifetime event count; ring slot = total_ % capacity_
+};
+
+/// RAII wall-clock span. A null tracer makes every operation a no-op, so
+/// instrumented paths stay branch-only when tracing is detached.
+class Span {
+  public:
+    Span(Tracer* tracer, const char* name, const char* cat)
+        : tracer_(tracer), name_(name), cat_(cat),
+          start_us_(tracer != nullptr ? tracer->now_us() : 0.0) {}
+
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    /// Annotate the span (shown under "args" in the trace viewer).
+    void arg(const char* key, std::string value) {
+        if (tracer_ != nullptr) args_.emplace_back(key, std::move(value));
+    }
+    void arg(const char* key, std::int64_t value) {
+        if (tracer_ != nullptr) args_.emplace_back(key, std::to_string(value));
+    }
+
+    ~Span() {
+        if (tracer_ == nullptr) return;
+        tracer_->complete(name_, cat_, start_us_, tracer_->now_us() - start_us_, std::move(args_));
+    }
+
+  private:
+    Tracer* tracer_;
+    const char* name_;
+    const char* cat_;
+    double start_us_;
+    std::vector<std::pair<std::string, std::string>> args_;
+};
+
+}  // namespace ecfrm::obs

@@ -1,10 +1,12 @@
 #include "sim/array_sim.h"
 
+#include <string>
 #include <vector>
 
 namespace ecfrm::sim {
 
-ReadTiming simulate_read(const core::AccessPlan& plan, const DiskModel& model, Rng& rng) {
+ReadTiming simulate_read(const core::AccessPlan& plan, const DiskModel& model, Rng& rng,
+                         obs::MetricRegistry* metrics) {
     const int disks = static_cast<int>(plan.per_disk_loads().size());
     std::vector<std::vector<RowId>> batches(static_cast<std::size_t>(disks));
     for (const auto& access : plan.fetches()) {
@@ -12,10 +14,18 @@ ReadTiming simulate_read(const core::AccessPlan& plan, const DiskModel& model, R
     }
 
     double slowest = 0.0;
-    for (auto& rows : batches) {
+    for (std::size_t d = 0; d < batches.size(); ++d) {
+        auto& rows = batches[d];
         if (rows.empty()) continue;
+        const std::size_t elements = rows.size();
         const double t = model.service_seconds(std::move(rows), rng);
         slowest = std::max(slowest, t);
+        if (metrics != nullptr) {
+            const obs::Labels labels{{"disk", std::to_string(d)}};
+            metrics->histogram("ecfrm_sim_disk_service_seconds", labels).record(t);
+            metrics->counter("ecfrm_sim_disk_elements_total", labels)
+                .add(static_cast<std::int64_t>(elements));
+        }
     }
 
     ReadTiming timing;
@@ -25,8 +35,8 @@ ReadTiming simulate_read(const core::AccessPlan& plan, const DiskModel& model, R
 }
 
 ReadTiming simulate_read_with_network(const core::AccessPlan& plan, const DiskModel& model,
-                                      double link_mb_s, Rng& rng) {
-    ReadTiming timing = simulate_read(plan, model, rng);
+                                      double link_mb_s, Rng& rng, obs::MetricRegistry* metrics) {
+    ReadTiming timing = simulate_read(plan, model, rng, metrics);
     const double wire_bytes = static_cast<double>(plan.total_fetched() * model.element_bytes());
     const double wire_seconds = wire_bytes / (link_mb_s * 1e6);
     timing.seconds = std::max(timing.seconds, wire_seconds);

@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "core/access_plan.h"
+#include "obs/metrics.h"
 #include "sim/disk_model.h"
 
 namespace ecfrm::sim {
@@ -21,14 +22,19 @@ struct ReadTiming {
     }
 };
 
-/// Simulate one read request described by `plan`.
-ReadTiming simulate_read(const core::AccessPlan& plan, const DiskModel& model, Rng& rng);
+/// Simulate one read request described by `plan`. With a registry
+/// attached, each nonempty disk batch feeds its simulated service time
+/// into ecfrm_sim_disk_service_seconds{disk=i} and its element count
+/// into ecfrm_sim_disk_elements_total{disk=i}.
+ReadTiming simulate_read(const core::AccessPlan& plan, const DiskModel& model, Rng& rng,
+                         obs::MetricRegistry* metrics = nullptr);
 
 /// Same, with a finite client network link: every fetched element (repair
 /// traffic included) crosses one shared link, so completion time is
 /// max(slowest disk batch, total fetched bytes / link rate). Models the
 /// paper's "sufficient bandwidth" assumption breaking down (Section III).
 ReadTiming simulate_read_with_network(const core::AccessPlan& plan, const DiskModel& model,
-                                      double link_mb_s, Rng& rng);
+                                      double link_mb_s, Rng& rng,
+                                      obs::MetricRegistry* metrics = nullptr);
 
 }  // namespace ecfrm::sim

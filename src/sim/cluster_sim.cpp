@@ -28,10 +28,31 @@ double ClusterStats::throughput_mb_s() const {
 }
 
 ClusterStats run_cluster(std::vector<ClusterRequest> requests, const DiskModel& model, int disks,
-                         Rng& rng) {
+                         Rng& rng, obs::MetricRegistry* metrics) {
     EventQueue queue;
     // Per-disk FIFO: the time at which the disk becomes free.
     std::vector<double> disk_free(static_cast<std::size_t>(disks), 0.0);
+
+    // Cached per-disk metric handles (registered once, recorded per batch).
+    struct DiskMetrics {
+        obs::Histogram* service = nullptr;
+        obs::Histogram* queue_depth = nullptr;
+    };
+    std::vector<DiskMetrics> disk_metrics;
+    obs::Histogram* request_latency = nullptr;
+    if (metrics != nullptr) {
+        disk_metrics.resize(static_cast<std::size_t>(disks));
+        for (int d = 0; d < disks; ++d) {
+            const obs::Labels labels{{"disk", std::to_string(d)}};
+            disk_metrics[static_cast<std::size_t>(d)].service =
+                &metrics->histogram("ecfrm_sim_disk_service_seconds", labels);
+            disk_metrics[static_cast<std::size_t>(d)].queue_depth =
+                &metrics->histogram("ecfrm_sim_disk_queue_depth", labels);
+        }
+        request_latency = &metrics->histogram("ecfrm_sim_request_latency_seconds");
+    }
+    // Batches queued or in service per disk, tracked on the simulated clock.
+    std::vector<int> disk_outstanding(static_cast<std::size_t>(disks), 0);
 
     ClusterStats stats;
     stats.results.resize(requests.size());
@@ -63,6 +84,9 @@ ClusterStats run_cluster(std::vector<ClusterRequest> requests, const DiskModel& 
             if (p.outstanding == 0) {
                 // Degenerate empty plan: completes instantly on arrival.
                 stats.results[i].completion_seconds = queue.now();
+                if (request_latency != nullptr) {
+                    request_latency->record(stats.results[i].latency_seconds());
+                }
                 return;
             }
             for (int d = 0; d < disks; ++d) {
@@ -72,11 +96,21 @@ ClusterStats run_cluster(std::vector<ClusterRequest> requests, const DiskModel& 
                 const double service = model.service_seconds(std::move(rows), rng);
                 const double done = start + service;
                 disk_free[static_cast<std::size_t>(d)] = done;
-                queue.schedule_at(done, [&, i] {
+                if (metrics != nullptr) {
+                    disk_metrics[static_cast<std::size_t>(d)].service->record(service);
+                    disk_metrics[static_cast<std::size_t>(d)].queue_depth->record(
+                        disk_outstanding[static_cast<std::size_t>(d)]);
+                }
+                ++disk_outstanding[static_cast<std::size_t>(d)];
+                queue.schedule_at(done, [&, i, d] {
+                    --disk_outstanding[static_cast<std::size_t>(d)];
                     auto& pi = pending[i];
                     assert(pi.outstanding > 0);
                     if (--pi.outstanding == 0) {
                         stats.results[i].completion_seconds = queue.now();
+                        if (request_latency != nullptr) {
+                            request_latency->record(stats.results[i].latency_seconds());
+                        }
                     }
                 });
             }

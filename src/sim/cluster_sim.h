@@ -12,6 +12,7 @@
 
 #include "common/rng.h"
 #include "core/access_plan.h"
+#include "obs/metrics.h"
 #include "sim/disk_model.h"
 #include "sim/event_queue.h"
 
@@ -42,8 +43,12 @@ struct ClusterStats {
 
 /// Run all requests through per-disk FIFO servers. Each request's disk
 /// batch is serviced as one job; the request completes when its last batch
-/// does. Deterministic given the RNG seed.
+/// does. Deterministic given the RNG seed. With a registry attached, each
+/// batch feeds ecfrm_sim_disk_service_seconds{disk=i} and the queue depth
+/// it found on arrival (batches already queued or in service) into
+/// ecfrm_sim_disk_queue_depth{disk=i}; whole-request latency goes to
+/// ecfrm_sim_request_latency_seconds — all on the simulated clock.
 ClusterStats run_cluster(std::vector<ClusterRequest> requests, const DiskModel& model, int disks,
-                         Rng& rng);
+                         Rng& rng, obs::MetricRegistry* metrics = nullptr);
 
 }  // namespace ecfrm::sim

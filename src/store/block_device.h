@@ -4,16 +4,26 @@
 // FileDisk (CLI tool / durable archives).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 
 #include "common/result.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 
 namespace ecfrm::store {
 
 class BlockDevice {
   public:
     virtual ~BlockDevice() = default;
+
+    /// Attach (or clear, with a default-constructed bundle) per-device
+    /// I/O accounting. Not thread-safe against in-flight ops: attach
+    /// before serving traffic. Implementations count one op per
+    /// successful read/write, its payload bytes, and — only when the
+    /// latency histograms are attached — wall-clock service time.
+    void attach_io_stats(const obs::IoStats& io) { io_ = io; }
+    const obs::IoStats& io_stats() const { return io_; }
 
     virtual std::int64_t element_bytes() const = 0;
 
@@ -36,6 +46,40 @@ class BlockDevice {
 
     /// Silent-corruption injection hook (flips one stored byte).
     virtual Status corrupt_byte(RowId row, std::size_t offset) = 0;
+
+  protected:
+    /// Scoped I/O accounting for one device op: counts bytes/ops on
+    /// success and, when the histogram is attached, the op's wall-clock
+    /// seconds. Cost when nothing is attached: a few null checks.
+    class IoTimer {
+      public:
+        IoTimer(const obs::IoStats& io, bool is_read, std::int64_t bytes)
+            : io_(io), is_read_(is_read), bytes_(bytes),
+              timed_(is_read ? io.reads_timed() : io.writes_timed()) {
+            if (timed_) start_ = std::chrono::steady_clock::now();
+        }
+
+        void done(const Status& status) {
+            if (!status.ok()) return;
+            const double seconds =
+                timed_ ? std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count()
+                       : 0.0;
+            if (is_read_) {
+                io_.on_read(bytes_, seconds);
+            } else {
+                io_.on_write(bytes_, seconds);
+            }
+        }
+
+      private:
+        const obs::IoStats& io_;
+        bool is_read_;
+        std::int64_t bytes_;
+        bool timed_;
+        std::chrono::steady_clock::time_point start_{};
+    };
+
+    obs::IoStats io_;
 };
 
 }  // namespace ecfrm::store

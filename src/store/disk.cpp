@@ -9,17 +9,22 @@ Status Disk::write(RowId row, ConstByteSpan data) {
     if (static_cast<std::int64_t>(data.size()) != element_bytes_) {
         return Error::invalid("element size mismatch on write");
     }
-    std::lock_guard lk(mu_);
-    if (failed_) return Error::disk_failed("write to failed disk");
-    if (static_cast<std::size_t>(row) >= slots_.size()) {
-        slots_.resize(static_cast<std::size_t>(row) + 1);
-        written_.resize(static_cast<std::size_t>(row) + 1, false);
-    }
-    auto& slot = slots_[static_cast<std::size_t>(row)];
-    if (slot.size() == 0) slot = AlignedBuffer(static_cast<std::size_t>(element_bytes_));
-    std::memcpy(slot.data(), data.data(), data.size());
-    written_[static_cast<std::size_t>(row)] = true;
-    return Status::success();
+    IoTimer timer(io_, /*is_read=*/false, static_cast<std::int64_t>(data.size()));
+    auto status = [&]() -> Status {
+        std::lock_guard lk(mu_);
+        if (failed_) return Error::disk_failed("write to failed disk");
+        if (static_cast<std::size_t>(row) >= slots_.size()) {
+            slots_.resize(static_cast<std::size_t>(row) + 1);
+            written_.resize(static_cast<std::size_t>(row) + 1, false);
+        }
+        auto& slot = slots_[static_cast<std::size_t>(row)];
+        if (slot.size() == 0) slot = AlignedBuffer(static_cast<std::size_t>(element_bytes_));
+        std::memcpy(slot.data(), data.data(), data.size());
+        written_[static_cast<std::size_t>(row)] = true;
+        return Status::success();
+    }();
+    timer.done(status);
+    return status;
 }
 
 Status Disk::read(RowId row, ByteSpan out) const {
@@ -27,13 +32,18 @@ Status Disk::read(RowId row, ByteSpan out) const {
     if (static_cast<std::int64_t>(out.size()) != element_bytes_) {
         return Error::invalid("element size mismatch on read");
     }
-    std::lock_guard lk(mu_);
-    if (failed_) return Error::disk_failed("read from failed disk");
-    if (static_cast<std::size_t>(row) >= slots_.size() || !written_[static_cast<std::size_t>(row)]) {
-        return Error::range("row never written");
-    }
-    std::memcpy(out.data(), slots_[static_cast<std::size_t>(row)].data(), out.size());
-    return Status::success();
+    IoTimer timer(io_, /*is_read=*/true, static_cast<std::int64_t>(out.size()));
+    auto status = [&]() -> Status {
+        std::lock_guard lk(mu_);
+        if (failed_) return Error::disk_failed("read from failed disk");
+        if (static_cast<std::size_t>(row) >= slots_.size() || !written_[static_cast<std::size_t>(row)]) {
+            return Error::range("row never written");
+        }
+        std::memcpy(out.data(), slots_[static_cast<std::size_t>(row)].data(), out.size());
+        return Status::success();
+    }();
+    timer.done(status);
+    return status;
 }
 
 Status Disk::corrupt_byte(RowId row, std::size_t offset) {

@@ -91,26 +91,31 @@ Status FileDisk::write(RowId row, ConstByteSpan data) {
     if (static_cast<std::int64_t>(data.size()) != element_bytes_) {
         return Error::invalid("element size mismatch on write");
     }
-    std::lock_guard lk(mu_);
-    if (failed_) return Error::disk_failed("write to failed disk");
-    if (std::fseek(data_, static_cast<long>(row * element_bytes_), SEEK_SET) != 0) {
-        return Error::io("seek failed on data file");
-    }
-    if (std::fwrite(data.data(), 1, data.size(), data_) != data.size()) {
-        return Error::io("write failed on data file");
-    }
-    std::fflush(data_);
-    // The map file may need zero padding for skipped rows.
-    if (static_cast<std::size_t>(row) >= written_.size()) {
-        const RowId old = static_cast<RowId>(written_.size());
-        written_.resize(static_cast<std::size_t>(row) + 1, false);
-        for (RowId r = old; r < row; ++r) {
-            auto status = persist_map_bit(r, false);
-            if (!status.ok()) return status;
+    IoTimer timer(io_, /*is_read=*/false, static_cast<std::int64_t>(data.size()));
+    auto status = [&]() -> Status {
+        std::lock_guard lk(mu_);
+        if (failed_) return Error::disk_failed("write to failed disk");
+        if (std::fseek(data_, static_cast<long>(row * element_bytes_), SEEK_SET) != 0) {
+            return Error::io("seek failed on data file");
         }
-    }
-    written_[static_cast<std::size_t>(row)] = true;
-    return persist_map_bit(row, true);
+        if (std::fwrite(data.data(), 1, data.size(), data_) != data.size()) {
+            return Error::io("write failed on data file");
+        }
+        std::fflush(data_);
+        // The map file may need zero padding for skipped rows.
+        if (static_cast<std::size_t>(row) >= written_.size()) {
+            const RowId old = static_cast<RowId>(written_.size());
+            written_.resize(static_cast<std::size_t>(row) + 1, false);
+            for (RowId r = old; r < row; ++r) {
+                auto status = persist_map_bit(r, false);
+                if (!status.ok()) return status;
+            }
+        }
+        written_[static_cast<std::size_t>(row)] = true;
+        return persist_map_bit(row, true);
+    }();
+    timer.done(status);
+    return status;
 }
 
 Status FileDisk::read(RowId row, ByteSpan out) const {
@@ -118,18 +123,23 @@ Status FileDisk::read(RowId row, ByteSpan out) const {
     if (static_cast<std::int64_t>(out.size()) != element_bytes_) {
         return Error::invalid("element size mismatch on read");
     }
-    std::lock_guard lk(mu_);
-    if (failed_) return Error::disk_failed("read from failed disk");
-    if (static_cast<std::size_t>(row) >= written_.size() || !written_[static_cast<std::size_t>(row)]) {
-        return Error::range("row never written");
-    }
-    if (std::fseek(data_, static_cast<long>(row * element_bytes_), SEEK_SET) != 0) {
-        return Error::io("seek failed on data file");
-    }
-    if (std::fread(out.data(), 1, out.size(), data_) != out.size()) {
-        return Error::io("short read on data file");
-    }
-    return Status::success();
+    IoTimer timer(io_, /*is_read=*/true, static_cast<std::int64_t>(out.size()));
+    auto status = [&]() -> Status {
+        std::lock_guard lk(mu_);
+        if (failed_) return Error::disk_failed("read from failed disk");
+        if (static_cast<std::size_t>(row) >= written_.size() || !written_[static_cast<std::size_t>(row)]) {
+            return Error::range("row never written");
+        }
+        if (std::fseek(data_, static_cast<long>(row * element_bytes_), SEEK_SET) != 0) {
+            return Error::io("seek failed on data file");
+        }
+        if (std::fread(out.data(), 1, out.size(), data_) != out.size()) {
+            return Error::io("short read on data file");
+        }
+        return Status::success();
+    }();
+    timer.done(status);
+    return status;
 }
 
 void FileDisk::fail() {

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <tuple>
 
 #include "common/aligned_buffer.h"
@@ -40,6 +41,29 @@ Result<std::unique_ptr<StripeStore>> StripeStore::open(core::Scheme scheme, std:
         store->disks_.push_back(std::move(device).take());
     }
     return store;
+}
+
+void StripeStore::attach_observability(obs::MetricRegistry* metrics, obs::Tracer* tracer) {
+    tracer_ = tracer;
+    if (metrics == nullptr) {
+        for (auto& disk : disks_) disk->attach_io_stats({});
+        reads_total_ = nullptr;
+        degraded_reads_total_ = nullptr;
+        read_elements_total_ = nullptr;
+        decodes_total_ = nullptr;
+        read_fanout_ = nullptr;
+        read_max_load_ = nullptr;
+        return;
+    }
+    for (int d = 0; d < scheme_.disks(); ++d) {
+        disks_[static_cast<std::size_t>(d)]->attach_io_stats(metrics->disk_io_stats(d));
+    }
+    reads_total_ = &metrics->counter("ecfrm_store_reads_total");
+    degraded_reads_total_ = &metrics->counter("ecfrm_store_degraded_reads_total");
+    read_elements_total_ = &metrics->counter("ecfrm_store_read_elements_total");
+    decodes_total_ = &metrics->counter("ecfrm_store_decodes_total");
+    read_fanout_ = &metrics->histogram("ecfrm_store_read_fanout_disks");
+    read_max_load_ = &metrics->histogram("ecfrm_store_read_max_disk_load");
 }
 
 Status StripeStore::restore(std::vector<Extent> extents, StripeId stripes) {
@@ -283,55 +307,106 @@ Status StripeStore::read_elements(ElementId start, std::int64_t count, ByteSpan 
     }
     if (count == 0) return Status::success();
 
+    obs::Span read_span(tracer_, "store.read_elements", "store");
+    read_span.arg("start", start);
+    read_span.arg("count", count);
+    if (reads_total_ != nullptr) reads_total_->add(1);
+    if (read_elements_total_ != nullptr) read_elements_total_->add(count);
+
     const std::vector<DiskId> failed = failed_disks();
-    if (failed.empty()) {
-        return execute_plan(core::plan_normal_read(scheme_, start, count), start, count, out);
+    std::optional<core::AccessPlan> plan;
+    {
+        obs::Span plan_span(tracer_, "store.plan", "store");
+        if (failed.empty()) {
+            plan.emplace(core::plan_normal_read(scheme_, start, count));
+        } else {
+            if (degraded_reads_total_ != nullptr) degraded_reads_total_->add(1);
+            auto degraded = core::plan_degraded_read(scheme_, start, count, failed);
+            if (!degraded.ok()) return degraded.error();
+            plan.emplace(std::move(degraded).take());
+        }
+        plan_span.arg("fetches", plan->total_fetched());
+        plan_span.arg("max_load", static_cast<std::int64_t>(plan->max_load()));
     }
-    auto plan = core::plan_degraded_read(scheme_, start, count, failed);
-    if (!plan.ok()) return plan.error();
-    return execute_plan(plan.value(), start, count, out);
+    if (read_max_load_ != nullptr) read_max_load_->record(plan->max_load());
+    if (read_fanout_ != nullptr) {
+        int fanout = 0;
+        for (int load : plan->per_disk_loads()) fanout += load > 0 ? 1 : 0;
+        read_fanout_->record(fanout);
+    }
+    return execute_plan(*plan, start, count, out);
 }
 
 Status StripeStore::execute_plan(const AccessPlan& plan, ElementId start, std::int64_t count, ByteSpan out) {
-    // Fetch every planned element — in parallel across devices when a
-    // thread pool is attached (each fetch targets one device slot; devices
-    // serialise internally).
+    // Fetch every planned element, batched per device — in parallel
+    // across devices when a thread pool is attached (devices serialise
+    // internally, so one batch per device is the natural unit, and it is
+    // also the granularity the tracer reports: the request finishes when
+    // the slowest batch does).
     std::map<Key, AlignedBuffer> fetched;
     for (const auto& access : plan.fetches()) {
         fetched.emplace(key_of(access.coord), AlignedBuffer(static_cast<std::size_t>(element_bytes_)));
     }
     const auto& fetches = plan.fetches();
+    std::vector<std::vector<std::size_t>> batches(disks_.size());
+    for (std::size_t i = 0; i < fetches.size(); ++i) {
+        batches[static_cast<std::size_t>(fetches[i].loc.disk)].push_back(i);
+    }
+    std::vector<std::size_t> active;  // disks with a nonempty batch
+    for (std::size_t d = 0; d < batches.size(); ++d) {
+        if (!batches[d].empty()) active.push_back(d);
+    }
+
     std::atomic<bool> fetch_failed{false};
-    auto fetch_one = [&](std::size_t i) {
-        const auto& access = fetches[i];
-        auto it = fetched.find(key_of(access.coord));
-        auto status = disks_[static_cast<std::size_t>(access.loc.disk)]->read(access.loc.row, it->second.span());
-        if (!status.ok()) fetch_failed.store(true);
+    auto fetch_batch = [&](std::size_t a) {
+        const std::size_t d = active[a];
+        const double issue_us = tracer_ != nullptr ? tracer_->now_us() : 0.0;
+        for (std::size_t i : batches[d]) {
+            const auto& access = fetches[i];
+            auto it = fetched.find(key_of(access.coord));
+            auto status = disks_[d]->read(access.loc.row, it->second.span());
+            if (!status.ok()) {
+                fetch_failed.store(true);
+                return;
+            }
+        }
+        if (tracer_ != nullptr) {
+            tracer_->complete("disk.batch", "io", issue_us, tracer_->now_us() - issue_us,
+                              {{"disk", std::to_string(d)},
+                               {"elements", std::to_string(batches[d].size())}});
+        }
     };
-    if (pool_ != nullptr && fetches.size() > 1) {
-        parallel_for(*pool_, fetches.size(), fetch_one);
+    if (pool_ != nullptr && active.size() > 1) {
+        parallel_for(*pool_, active.size(), fetch_batch);
     } else {
-        for (std::size_t i = 0; i < fetches.size(); ++i) fetch_one(i);
+        for (std::size_t a = 0; a < active.size(); ++a) fetch_batch(a);
     }
     if (fetch_failed.load()) return Error::io("element fetch failed during plan execution");
 
     // Run the decode recipes to materialise failed elements.
-    for (const auto& decode : plan.decodes()) {
-        AlignedBuffer target(static_cast<std::size_t>(element_bytes_));
-        std::vector<ByteSpan> buffers(static_cast<std::size_t>(scheme_.code().n()));
-        for (const auto& term : decode.repair.terms) {
-            auto it = fetched.find({decode.stripe, decode.group, term.source_position});
-            if (it == fetched.end()) return Error::internal("decode source missing from plan");
-            buffers[static_cast<std::size_t>(term.source_position)] = it->second.span();
+    {
+        obs::Span decode_span(tracer_, "store.decode", "store");
+        decode_span.arg("decodes", static_cast<std::int64_t>(plan.decodes().size()));
+        if (decodes_total_ != nullptr) decodes_total_->add(static_cast<std::int64_t>(plan.decodes().size()));
+        for (const auto& decode : plan.decodes()) {
+            AlignedBuffer target(static_cast<std::size_t>(element_bytes_));
+            std::vector<ByteSpan> buffers(static_cast<std::size_t>(scheme_.code().n()));
+            for (const auto& term : decode.repair.terms) {
+                auto it = fetched.find({decode.stripe, decode.group, term.source_position});
+                if (it == fetched.end()) return Error::internal("decode source missing from plan");
+                buffers[static_cast<std::size_t>(term.source_position)] = it->second.span();
+            }
+            buffers[static_cast<std::size_t>(decode.repair.target_position)] = target.span();
+            codes::DecodePlan one;
+            one.repairs.push_back(decode.repair);
+            codes::ErasureCode::apply_plan(one, buffers);
+            fetched.emplace(Key{decode.stripe, decode.group, decode.repair.target_position},
+                            std::move(target));
         }
-        buffers[static_cast<std::size_t>(decode.repair.target_position)] = target.span();
-        codes::DecodePlan one;
-        one.repairs.push_back(decode.repair);
-        codes::ErasureCode::apply_plan(one, buffers);
-        fetched.emplace(Key{decode.stripe, decode.group, decode.repair.target_position}, std::move(target));
     }
 
     // Assemble the user range in logical order.
+    obs::Span assemble_span(tracer_, "store.assemble", "store");
     for (std::int64_t i = 0; i < count; ++i) {
         const GroupCoord coord = scheme_.layout().coord_of_data(start + i);
         auto it = fetched.find(key_of(coord));
@@ -361,6 +436,9 @@ Result<ReconstructStats> StripeStore::reconstruct_disk(DiskId disk) {
     if (!disks_[static_cast<std::size_t>(disk)]->failed()) {
         return Error::invalid("disk is not failed; nothing to reconstruct");
     }
+
+    obs::Span span(tracer_, "store.reconstruct", "store");
+    span.arg("disk", static_cast<std::int64_t>(disk));
 
     std::vector<bool> disk_failed(static_cast<std::size_t>(scheme_.disks()), false);
     for (DiskId d : failed_disks()) disk_failed[static_cast<std::size_t>(d)] = true;

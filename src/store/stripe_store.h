@@ -18,6 +18,8 @@
 #include "common/thread_pool.h"
 #include "core/read_planner.h"
 #include "core/scheme.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/block_device.h"
 #include "store/disk.h"
 #include "store/extent.h"
@@ -119,6 +121,13 @@ class StripeStore {
     /// (disk, row) without any error signal from the device.
     Status corrupt_element(DiskId disk, RowId row, std::size_t byte_offset);
 
+    /// Attach (or detach, with nulls) observability: per-disk I/O
+    /// accounting under ecfrm_disk_*{disk=i}, store-level counters under
+    /// ecfrm_store_*, and request-scoped read-path spans (plan ->
+    /// per-disk batch -> decode -> assemble) on `tracer`. Attach before
+    /// serving traffic; detached paths cost a null check.
+    void attach_observability(obs::MetricRegistry* metrics, obs::Tracer* tracer = nullptr);
+
     /// Scrub pass: audit every group's parity equations and repair
     /// single-element silent corruptions. A corrupt element is identified
     /// by hypothesis testing — rebuild each candidate position from the
@@ -136,6 +145,14 @@ class StripeStore {
     core::Scheme scheme_;
     std::int64_t element_bytes_;
     ThreadPool* pool_;
+
+    obs::Tracer* tracer_ = nullptr;
+    obs::Counter* reads_total_ = nullptr;
+    obs::Counter* degraded_reads_total_ = nullptr;
+    obs::Counter* read_elements_total_ = nullptr;
+    obs::Counter* decodes_total_ = nullptr;
+    obs::Histogram* read_fanout_ = nullptr;
+    obs::Histogram* read_max_load_ = nullptr;
 
     std::vector<std::unique_ptr<BlockDevice>> disks_;
     std::vector<std::uint8_t> pending_;  // buffered tail, < one stripe of data

@@ -50,5 +50,43 @@ if(NOT PATCHED STREQUAL "PATCH-THROUGH-CLI")
   message(FATAL_ERROR "overwrite did not land: got '${PATCHED}'")
 endif()
 
+# Observability: re-run a read with metrics + trace capture and check the
+# emitted files are non-empty, structurally balanced JSON.
+run(${CLI} get ${ARCH} 0 1000 ${WORK}/obs.bin
+    --metrics-out ${WORK}/metrics.json --metrics-prom ${WORK}/metrics.prom
+    --trace-out ${WORK}/trace.json)
+
+function(check_balanced path open_re close_re)
+  file(READ ${path} body)
+  string(LENGTH "${body}" len)
+  if(len EQUAL 0)
+    message(FATAL_ERROR "${path} is empty")
+  endif()
+  string(REGEX MATCHALL "${open_re}" opens "${body}")
+  string(REGEX MATCHALL "${close_re}" closes "${body}")
+  list(LENGTH opens n_open)
+  list(LENGTH closes n_close)
+  if(n_open EQUAL 0 OR NOT n_open EQUAL n_close)
+    message(FATAL_ERROR "${path}: unbalanced ${open_re}${close_re} (${n_open} vs ${n_close})")
+  endif()
+endfunction()
+
+check_balanced(${WORK}/metrics.json "{" "}")
+check_balanced(${WORK}/trace.json "{" "}")
+check_balanced(${WORK}/trace.json "\\[" "\\]")
+
+file(READ ${WORK}/metrics.json METRICS)
+if(NOT METRICS MATCHES "ecfrm_disk_read_ops_total")
+  message(FATAL_ERROR "metrics.json is missing per-disk read counters")
+endif()
+file(READ ${WORK}/metrics.prom PROM)
+if(NOT PROM MATCHES "# TYPE ecfrm_disk_read_ops_total counter")
+  message(FATAL_ERROR "metrics.prom is missing the TYPE header")
+endif()
+file(READ ${WORK}/trace.json TRACE)
+if(NOT TRACE MATCHES "store.read_elements")
+  message(FATAL_ERROR "trace.json is missing the read span")
+endif()
+
 file(REMOVE_RECURSE ${WORK})
 message(STATUS "cli smoke test passed")

@@ -1,12 +1,14 @@
 // Common-substrate tests: Result, RNG determinism, aligned buffers,
-// thread pool.
+// thread pool, percentile edges, logging.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <set>
 #include <vector>
 
 #include "common/aligned_buffer.h"
+#include "common/logging.h"
 #include "common/result.h"
 #include "common/stats.h"
 #include "common/rng.h"
@@ -140,6 +142,63 @@ TEST(Stats, PercentileNearestRank) {
     EXPECT_NEAR(percentile(xs, 0.5), 50.0, 1.0);
     EXPECT_NEAR(percentile(xs, 0.99), 99.0, 1.0);
     EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(Stats, PercentileClampsOutOfRangeQ) {
+    std::vector<double> xs{3.0, 1.0, 2.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, -0.5), 1.0);   // q < 0 clamps to min
+    EXPECT_DOUBLE_EQ(percentile(xs, 2.0), 3.0);    // q > 1 clamps to max
+    EXPECT_DOUBLE_EQ(percentile(xs, std::nan("")), 1.0);  // NaN clamps to 0
+}
+
+TEST(Stats, PercentileSingleSample) {
+    for (double q : {-1.0, 0.0, 0.5, 1.0, 9.0}) {
+        EXPECT_DOUBLE_EQ(percentile({42.0}, q), 42.0) << "q=" << q;
+    }
+}
+
+TEST(Logging, ParseLogLevel) {
+    EXPECT_EQ(parse_log_level("debug", LogLevel::warn), LogLevel::debug);
+    EXPECT_EQ(parse_log_level("info", LogLevel::warn), LogLevel::info);
+    EXPECT_EQ(parse_log_level("warn", LogLevel::error), LogLevel::warn);
+    EXPECT_EQ(parse_log_level("error", LogLevel::warn), LogLevel::error);
+    EXPECT_EQ(parse_log_level("off", LogLevel::warn), LogLevel::off);
+    EXPECT_EQ(parse_log_level(nullptr, LogLevel::info), LogLevel::info);
+    EXPECT_EQ(parse_log_level("verbose", LogLevel::warn), LogLevel::warn);
+    EXPECT_EQ(parse_log_level("", LogLevel::error), LogLevel::error);
+}
+
+TEST(Logging, LevelNamesCoverEveryLevel) {
+    EXPECT_STREQ(log_level_name(LogLevel::debug), "DEBUG");
+    EXPECT_STREQ(log_level_name(LogLevel::info), "INFO");
+    EXPECT_STREQ(log_level_name(LogLevel::warn), "WARN");
+    EXPECT_STREQ(log_level_name(LogLevel::error), "ERROR");
+    EXPECT_STREQ(log_level_name(LogLevel::off), "OFF");
+}
+
+TEST(Logging, SinkCapturesFilteredRecords) {
+    Logger& logger = Logger::instance();
+    const LogLevel saved = logger.level();
+    std::vector<std::pair<LogLevel, std::string>> captured;
+    logger.set_sink([&](LogLevel level, const std::string& msg) {
+        captured.emplace_back(level, msg);
+    });
+    logger.set_level(LogLevel::warn);
+    log_debug("dropped");
+    log_info("dropped too");
+    log_warn("kept");
+    log_error("also kept");
+    logger.set_level(LogLevel::off);
+    log_error("silenced");
+    // Restore the shared logger before asserting.
+    logger.set_sink({});
+    logger.set_level(saved);
+
+    ASSERT_EQ(captured.size(), 2u);
+    EXPECT_EQ(captured[0].first, LogLevel::warn);
+    EXPECT_EQ(captured[0].second, "kept");
+    EXPECT_EQ(captured[1].first, LogLevel::error);
+    EXPECT_EQ(captured[1].second, "also kept");
 }
 
 TEST(Stats, SampleSetCombinesBoth) {

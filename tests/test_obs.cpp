@@ -1,0 +1,368 @@
+// Observability substrate: counters, gauges, log-bucketed histograms,
+// registry identity, exporters, the trace ring buffer, and the per-device
+// IoStats hook — including a threaded stress run that doubles as the
+// sanitizer target (build with -DECFRM_SANITIZE=address or =undefined).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "store/disk.h"
+
+namespace ecfrm::obs {
+namespace {
+
+TEST(Counter, AddsAndReads) {
+    Counter c;
+    EXPECT_EQ(c.value(), 0);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42);
+}
+
+TEST(Gauge, SetAndAdd) {
+    Gauge g;
+    g.set(2.5);
+    EXPECT_DOUBLE_EQ(g.value(), 2.5);
+    g.add(-1.0);
+    EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST(Histogram, BucketEdgesAreConsistent) {
+    // Every probed value must land in a bucket whose [lower, upper) range
+    // contains it, and bucket lower edges must be monotonically increasing.
+    std::vector<double> probes;
+    for (int e = -30; e <= 30; ++e) {
+        const double base = std::ldexp(1.0, e);
+        probes.push_back(base);
+        probes.push_back(base * 1.03125);
+        probes.push_back(base * 1.5);
+        probes.push_back(base * 1.999);
+    }
+    for (double v : probes) {
+        const int i = Histogram::bucket_index(v);
+        ASSERT_GE(i, 0);
+        ASSERT_LT(i, Histogram::kBuckets);
+        EXPECT_LE(Histogram::bucket_lower(i), v) << "value " << v;
+        EXPECT_GT(Histogram::bucket_upper(i), v) << "value " << v;
+    }
+    for (int i = 1; i < Histogram::kBuckets; ++i) {
+        ASSERT_LT(Histogram::bucket_lower(i - 1), Histogram::bucket_lower(i));
+        ASSERT_DOUBLE_EQ(Histogram::bucket_upper(i - 1), Histogram::bucket_lower(i));
+    }
+}
+
+TEST(Histogram, BucketIndexEdgeCases) {
+    EXPECT_EQ(Histogram::bucket_index(0.0), 0);
+    EXPECT_EQ(Histogram::bucket_index(-3.0), 0);
+    EXPECT_EQ(Histogram::bucket_index(std::nan("")), 0);
+    EXPECT_EQ(Histogram::bucket_index(1e300), Histogram::kBuckets - 1);
+    EXPECT_EQ(Histogram::bucket_index(1e-300), 0);
+}
+
+TEST(Histogram, BasicMoments) {
+    Histogram h;
+    EXPECT_EQ(h.count(), 0);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+
+    h.record(1.0);
+    h.record(2.0);
+    h.record(3.0);
+    EXPECT_EQ(h.count(), 3);
+    EXPECT_DOUBLE_EQ(h.sum(), 6.0);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 3.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(Histogram, PercentileTracksExactSampleSet) {
+    // Log-spaced latency-like samples: histogram quantiles must stay
+    // within the bucket resolution (~1/(2*16) ≈ 3% relative) of the exact
+    // nearest-rank answer from SampleSet.
+    Histogram h;
+    SampleSet exact;
+    Rng rng(7);
+    for (int i = 0; i < 20000; ++i) {
+        // 10^[-4, -1): spans ten octaves.
+        const double v = std::pow(10.0, -4.0 + 3.0 * rng.next_double());
+        h.record(v);
+        exact.add(v);
+    }
+    for (double q : {0.1, 0.5, 0.9, 0.95, 0.99}) {
+        const double approx = h.percentile(q);
+        const double truth = exact.percentile(q);
+        EXPECT_NEAR(approx, truth, 0.06 * truth) << "q=" << q;
+    }
+    // Extremes clamp into the observed range.
+    EXPECT_GE(h.percentile(0.0), exact.stats().min());
+    EXPECT_LE(h.percentile(1.0), exact.stats().max());
+}
+
+TEST(Histogram, PercentileClampsQ) {
+    Histogram h;
+    h.record(5.0);
+    h.record(10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(-2.0), h.percentile(0.0));
+    EXPECT_DOUBLE_EQ(h.percentile(7.0), h.percentile(1.0));
+    EXPECT_DOUBLE_EQ(h.percentile(std::nan("")), h.percentile(0.0));
+}
+
+TEST(Registry, SameNameAndLabelsShareOneInstance) {
+    MetricRegistry reg("test");
+    Counter& a = reg.counter("ecfrm_test_total", {{"disk", "1"}, {"op", "read"}});
+    // Label order must not matter: the registry canonicalises by key.
+    Counter& b = reg.counter("ecfrm_test_total", {{"op", "read"}, {"disk", "1"}});
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(reg.size(), 1u);
+
+    Counter& c = reg.counter("ecfrm_test_total", {{"disk", "2"}, {"op", "read"}});
+    EXPECT_NE(&a, &c);
+    EXPECT_EQ(reg.size(), 2u);
+
+    // Same name under a different kind is a distinct entry, not a clash.
+    Histogram& h = reg.histogram("ecfrm_test_total");
+    h.record(1.0);
+    EXPECT_EQ(reg.size(), 3u);
+    EXPECT_EQ(a.value(), 0);
+}
+
+TEST(Registry, EntriesKeepRegistrationOrder) {
+    MetricRegistry reg;
+    reg.counter("b_total");
+    reg.gauge("a_value");
+    reg.histogram("c_seconds");
+    const auto entries = reg.entries();
+    ASSERT_EQ(entries.size(), 3u);
+    EXPECT_EQ(entries[0]->name, "b_total");
+    EXPECT_EQ(entries[0]->kind, MetricKind::counter);
+    EXPECT_EQ(entries[1]->name, "a_value");
+    EXPECT_EQ(entries[1]->kind, MetricKind::gauge);
+    EXPECT_EQ(entries[2]->name, "c_seconds");
+    EXPECT_EQ(entries[2]->kind, MetricKind::histogram);
+}
+
+TEST(Registry, JsonExportIsBalancedNdjson) {
+    MetricRegistry reg;
+    reg.counter("ecfrm_x_total", {{"disk", "0"}}).add(3);
+    reg.gauge("ecfrm_x_depth").set(1.5);
+    Histogram& h = reg.histogram("ecfrm_x_seconds");
+    h.record(0.25);
+    h.record(0.5);
+
+    const std::string json = reg.to_json();
+    ASSERT_FALSE(json.empty());
+    // One object per line, braces balanced on each line.
+    std::size_t lines = 0;
+    std::size_t pos = 0;
+    while (pos < json.size()) {
+        const std::size_t eol = json.find('\n', pos);
+        ASSERT_NE(eol, std::string::npos);
+        const std::string line = json.substr(pos, eol - pos);
+        int depth = 0;
+        for (char c : line) {
+            if (c == '{') ++depth;
+            if (c == '}') --depth;
+            ASSERT_GE(depth, 0);
+        }
+        EXPECT_EQ(depth, 0) << line;
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        ++lines;
+        pos = eol + 1;
+    }
+    EXPECT_EQ(lines, 3u);
+    EXPECT_NE(json.find("\"value\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+}
+
+TEST(Registry, PrometheusEscapesLabelValues) {
+    MetricRegistry reg;
+    reg.counter("ecfrm_esc_total", {{"path", "a\\b\"c\nd"}}).add(1);
+    const std::string prom = reg.to_prometheus();
+    EXPECT_NE(prom.find("# TYPE ecfrm_esc_total counter"), std::string::npos);
+    EXPECT_NE(prom.find("path=\"a\\\\b\\\"c\\nd\""), std::string::npos);
+    // The raw newline must not appear inside the label value.
+    EXPECT_EQ(prom.find("c\nd"), std::string::npos);
+}
+
+TEST(Registry, PrometheusHistogramAsSummary) {
+    MetricRegistry reg;
+    Histogram& h = reg.histogram("ecfrm_lat_seconds", {{"disk", "0"}});
+    for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
+    const std::string prom = reg.to_prometheus();
+    EXPECT_NE(prom.find("# TYPE ecfrm_lat_seconds summary"), std::string::npos);
+    EXPECT_NE(prom.find("quantile=\"0.5\""), std::string::npos);
+    EXPECT_NE(prom.find("quantile=\"0.99\""), std::string::npos);
+    EXPECT_NE(prom.find("ecfrm_lat_seconds_sum{disk=\"0\"} 5050"), std::string::npos);
+    EXPECT_NE(prom.find("ecfrm_lat_seconds_count{disk=\"0\"} 100"), std::string::npos);
+}
+
+TEST(Registry, EscapeHelpers) {
+    EXPECT_EQ(json_escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+    EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+    EXPECT_EQ(prometheus_escape("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+}
+
+TEST(Registry, DiskIoStatsRegistersFullFamily) {
+    MetricRegistry reg;
+    IoStats io = reg.disk_io_stats(3);
+    ASSERT_NE(io.read_ops, nullptr);
+    ASSERT_NE(io.write_seconds, nullptr);
+    EXPECT_TRUE(io.reads_timed());
+    EXPECT_TRUE(io.writes_timed());
+    io.on_read(4096, 0.001);
+    io.on_read(4096, 0.002);
+    io.on_write(512, 0.003);
+    EXPECT_EQ(io.read_ops->value(), 2);
+    EXPECT_EQ(io.read_bytes->value(), 8192);
+    EXPECT_EQ(io.read_seconds->count(), 2);
+    EXPECT_EQ(io.write_ops->value(), 1);
+    EXPECT_EQ(io.write_bytes->value(), 512);
+    // Same disk again: same instances.
+    IoStats again = reg.disk_io_stats(3);
+    EXPECT_EQ(again.read_ops, io.read_ops);
+    // Unattached bundle is a no-op, not a crash.
+    IoStats detached;
+    detached.on_read(1, 1.0);
+    detached.on_write(1, 1.0);
+    EXPECT_FALSE(detached.reads_timed());
+}
+
+TEST(Registry, DiskInstrumentationCountsDeviceOps) {
+    MetricRegistry reg;
+    store::Disk disk(64);
+    disk.attach_io_stats(reg.disk_io_stats(0));
+
+    std::vector<std::uint8_t> data(64, 0xAB);
+    ASSERT_TRUE(disk.write(0, ConstByteSpan(data.data(), data.size())).ok());
+    ASSERT_TRUE(disk.write(1, ConstByteSpan(data.data(), data.size())).ok());
+    std::vector<std::uint8_t> out(64);
+    ASSERT_TRUE(disk.read(0, ByteSpan(out.data(), out.size())).ok());
+    // Failed reads must not count as served I/O.
+    std::vector<std::uint8_t> wrong(32);
+    ASSERT_FALSE(disk.read(0, ByteSpan(wrong.data(), wrong.size())).ok());
+
+    EXPECT_EQ(reg.counter("ecfrm_disk_write_ops_total", {{"disk", "0"}}).value(), 2);
+    EXPECT_EQ(reg.counter("ecfrm_disk_write_bytes_total", {{"disk", "0"}}).value(), 128);
+    EXPECT_EQ(reg.counter("ecfrm_disk_read_ops_total", {{"disk", "0"}}).value(), 1);
+    EXPECT_EQ(reg.counter("ecfrm_disk_read_bytes_total", {{"disk", "0"}}).value(), 64);
+    EXPECT_EQ(reg.histogram("ecfrm_disk_read_seconds", {{"disk", "0"}}).count(), 1);
+}
+
+TEST(Tracer, RingWrapsKeepingNewestEvents) {
+    Tracer tracer(8);
+    EXPECT_EQ(tracer.capacity(), 8u);
+    for (int i = 0; i < 20; ++i) {
+        tracer.instant("e" + std::to_string(i), "test", static_cast<double>(i));
+    }
+    EXPECT_EQ(tracer.recorded(), 20u);
+    EXPECT_EQ(tracer.size(), 8u);
+    const auto events = tracer.events();
+    ASSERT_EQ(events.size(), 8u);
+    // Oldest-first snapshot of the last 8 events: e12 .. e19.
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(events[static_cast<std::size_t>(i)].name, "e" + std::to_string(12 + i));
+        EXPECT_DOUBLE_EQ(events[static_cast<std::size_t>(i)].ts_us, static_cast<double>(12 + i));
+    }
+}
+
+TEST(Tracer, SpanRecordsCompleteEventWithArgs) {
+    Tracer tracer(16);
+    {
+        Span span(&tracer, "store.read", "store");
+        span.arg("elements", std::int64_t{5});
+        span.arg("mode", std::string("normal"));
+    }
+    const auto events = tracer.events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].name, "store.read");
+    EXPECT_EQ(events[0].cat, "store");
+    EXPECT_EQ(events[0].phase, 'X');
+    EXPECT_GE(events[0].dur_us, 0.0);
+    ASSERT_EQ(events[0].args.size(), 2u);
+    EXPECT_EQ(events[0].args[0].first, "elements");
+    EXPECT_EQ(events[0].args[0].second, "5");
+    EXPECT_EQ(events[0].args[1].second, "normal");
+
+    // Null-tracer span is a no-op.
+    {
+        Span nothing(nullptr, "ignored", "ignored");
+        nothing.arg("k", std::int64_t{1});
+    }
+    EXPECT_EQ(tracer.recorded(), 1u);
+}
+
+TEST(Tracer, ChromeJsonIsBalancedArray) {
+    Tracer tracer(32);
+    tracer.complete("batch", "io", 10.0, 5.0, {{"disk", "2"}, {"quote", "a\"b"}});
+    tracer.instant("mark", "io", 12.0);
+    const std::string json = tracer.to_chrome_json();
+    ASSERT_FALSE(json.empty());
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_EQ(json[json.find_last_not_of('\n')], ']');
+    int curly = 0, square = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < json.size(); ++i) {
+        const char c = json[i];
+        if (in_string) {
+            if (c == '\\') ++i;
+            else if (c == '"') in_string = false;
+            continue;
+        }
+        if (c == '"') in_string = true;
+        if (c == '{') ++curly;
+        if (c == '}') --curly;
+        if (c == '[') ++square;
+        if (c == ']') --square;
+    }
+    EXPECT_EQ(curly, 0);
+    EXPECT_EQ(square, 0);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":5"), std::string::npos);
+    EXPECT_NE(json.find("a\\\"b"), std::string::npos);
+}
+
+TEST(ThreadedStress, SharedMetricsStayExact) {
+    // Hammer one counter, one gauge and one histogram from every pool
+    // thread; totals must be exact (the CAS loops lose no updates). Under
+    // -DECFRM_SANITIZE this doubles as the data-race / UB check.
+    MetricRegistry reg;
+    Counter& ops = reg.counter("ecfrm_stress_ops_total");
+    Gauge& acc = reg.gauge("ecfrm_stress_acc");
+    Histogram& lat = reg.histogram("ecfrm_stress_seconds");
+    Tracer tracer(64);
+
+    ThreadPool pool(4);
+    constexpr int kTasks = 32;
+    constexpr int kPerTask = 2000;
+    parallel_for(pool, kTasks, [&](std::size_t t) {
+        for (int i = 0; i < kPerTask; ++i) {
+            ops.add(1);
+            acc.add(0.5);
+            lat.record(1e-3 * static_cast<double>(1 + (i % 7)));
+            if (i % 256 == 0) {
+                Span span(&tracer, "stress", "test");
+                span.arg("task", static_cast<std::int64_t>(t));
+            }
+        }
+    });
+
+    EXPECT_EQ(ops.value(), static_cast<std::int64_t>(kTasks) * kPerTask);
+    EXPECT_DOUBLE_EQ(acc.value(), 0.5 * kTasks * kPerTask);
+    EXPECT_EQ(lat.count(), static_cast<std::int64_t>(kTasks) * kPerTask);
+    EXPECT_NEAR(lat.max(), 7e-3, 7e-3 * 0.04);
+    EXPECT_GE(tracer.recorded(), static_cast<std::size_t>(kTasks));
+}
+
+}  // namespace
+}  // namespace ecfrm::obs

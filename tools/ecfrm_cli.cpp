@@ -23,7 +23,10 @@
 #include <vector>
 
 #include "codes/factory.h"
+#include "core/read_planner.h"
 #include "core/scheme.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/file_disk.h"
 #include "store/manifest.h"
 #include "store/stripe_store.h"
@@ -47,9 +50,55 @@ int usage() {
                  "  ecfrm_cli reconstruct <dir> <disk>\n"
                  "  ecfrm_cli scrub <dir>\n"
                  "  ecfrm_cli corrupt <dir> <disk> <row> <byte>\n"
-                 "  ecfrm_cli status <dir>\n");
+                 "  ecfrm_cli status <dir>\n"
+                 "global options (any command):\n"
+                 "  --metrics-out <file>   dump metrics as newline-delimited JSON\n"
+                 "  --metrics-prom <file>  dump metrics in Prometheus text format\n"
+                 "  --trace-out <file>     dump spans as chrome://tracing JSON\n");
     return 2;
 }
+
+/// Process-wide observability sinks, enabled by the global flags.
+struct ObsOutputs {
+    std::string metrics_path;
+    std::string prometheus_path;
+    std::string trace_path;
+    std::unique_ptr<obs::MetricRegistry> metrics;
+    std::unique_ptr<obs::Tracer> tracer;
+
+    void enable() {
+        if (!metrics_path.empty() || !prometheus_path.empty()) {
+            metrics = std::make_unique<obs::MetricRegistry>("ecfrm_cli");
+            core::attach_planner_metrics(metrics.get());
+        }
+        if (!trace_path.empty()) tracer = std::make_unique<obs::Tracer>(1 << 14);
+    }
+
+    static bool write_file(const std::string& path, const std::string& body) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(body.data(), static_cast<std::streamsize>(body.size()));
+        if (!out.good()) {
+            std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+            return false;
+        }
+        return true;
+    }
+
+    /// Dump whatever was requested; returns false on write failure.
+    bool flush() const {
+        bool ok = true;
+        if (metrics != nullptr && !metrics_path.empty()) {
+            ok = write_file(metrics_path, metrics->to_json()) && ok;
+        }
+        if (metrics != nullptr && !prometheus_path.empty()) {
+            ok = write_file(prometheus_path, metrics->to_prometheus()) && ok;
+        }
+        if (tracer != nullptr) ok = write_file(trace_path, tracer->to_chrome_json()) && ok;
+        return ok;
+    }
+};
+
+ObsOutputs g_obs;
 
 int fail_with(const Error& error) {
     std::fprintf(stderr, "error: %s\n", error.message.c_str());
@@ -80,6 +129,7 @@ Result<Archive> open_archive(const std::string& dir) {
     if (!st.ok()) return st.error();
     auto restored = st.value()->restore(manifest->extents, manifest->stripes);
     if (!restored.ok()) return restored.error();
+    st.value()->attach_observability(g_obs.metrics.get(), g_obs.tracer.get());
     return Archive{std::move(manifest).take(), std::move(st).take()};
 }
 
@@ -299,24 +349,49 @@ int cmd_status(const std::string& dir) {
     return 0;
 }
 
+int dispatch(const std::vector<std::string>& args) {
+    const int argc = static_cast<int>(args.size());
+    if (argc < 3) return usage();
+    const std::string& cmd = args[1];
+    const std::string& dir = args[2];
+    if (cmd == "create" && argc == 6) return cmd_create(dir, args[3], args[4], args[5]);
+    if (cmd == "put" && argc == 4) return cmd_put(dir, args[3], "");
+    if (cmd == "put" && argc == 5) return cmd_put(dir, args[3], args[4]);
+    if (cmd == "get-object" && argc == 5) return cmd_get_object(dir, args[3], args[4]);
+    if (cmd == "list" && argc == 3) return cmd_list(dir);
+    if (cmd == "get" && argc == 6) return cmd_get(dir, args[3], args[4], args[5]);
+    if (cmd == "cat" && argc == 4) return cmd_cat(dir, args[3]);
+    if (cmd == "overwrite" && argc == 5) return cmd_overwrite(dir, args[3], args[4]);
+    if (cmd == "fail" && argc == 4) return cmd_fail(dir, args[3]);
+    if (cmd == "reconstruct" && argc == 4) return cmd_reconstruct(dir, args[3]);
+    if (cmd == "scrub" && argc == 3) return cmd_scrub(dir);
+    if (cmd == "corrupt" && argc == 6) return cmd_corrupt(dir, args[3], args[4], args[5]);
+    if (cmd == "status" && argc == 3) return cmd_status(dir);
+    return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-    if (argc < 3) return usage();
-    const std::string cmd = argv[1];
-    const std::string dir = argv[2];
-    if (cmd == "create" && argc == 6) return cmd_create(dir, argv[3], argv[4], argv[5]);
-    if (cmd == "put" && argc == 4) return cmd_put(dir, argv[3], "");
-    if (cmd == "put" && argc == 5) return cmd_put(dir, argv[3], argv[4]);
-    if (cmd == "get-object" && argc == 5) return cmd_get_object(dir, argv[3], argv[4]);
-    if (cmd == "list" && argc == 3) return cmd_list(dir);
-    if (cmd == "get" && argc == 6) return cmd_get(dir, argv[3], argv[4], argv[5]);
-    if (cmd == "cat" && argc == 4) return cmd_cat(dir, argv[3]);
-    if (cmd == "overwrite" && argc == 5) return cmd_overwrite(dir, argv[3], argv[4]);
-    if (cmd == "fail" && argc == 4) return cmd_fail(dir, argv[3]);
-    if (cmd == "reconstruct" && argc == 4) return cmd_reconstruct(dir, argv[3]);
-    if (cmd == "scrub" && argc == 3) return cmd_scrub(dir);
-    if (cmd == "corrupt" && argc == 6) return cmd_corrupt(dir, argv[3], argv[4], argv[5]);
-    if (cmd == "status" && argc == 3) return cmd_status(dir);
-    return usage();
+    // Strip the global observability flags wherever they appear, then
+    // dispatch on the remaining positional arguments.
+    std::vector<std::string> args;
+    args.reserve(static_cast<std::size_t>(argc));
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string* sink = nullptr;
+        if (arg == "--metrics-out") sink = &g_obs.metrics_path;
+        if (arg == "--metrics-prom") sink = &g_obs.prometheus_path;
+        if (arg == "--trace-out") sink = &g_obs.trace_path;
+        if (sink != nullptr) {
+            if (i + 1 >= argc) return usage();
+            *sink = argv[++i];
+            continue;
+        }
+        args.push_back(arg);
+    }
+    g_obs.enable();
+    const int rc = dispatch(args);
+    if (!g_obs.flush()) return rc == 0 ? 1 : rc;
+    return rc;
 }

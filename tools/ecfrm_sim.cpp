@@ -11,19 +11,26 @@
 //     --degraded           run the degraded protocol (speed + cost)
 //     --policy P           local | balance (degraded repair)   (default local)
 //     --seed S             PRNG seed                           (default 2015)
+//     --metrics-out F      write metrics as NDJSON to F
+//     --metrics-prom F     write metrics in Prometheus text format to F
+//     --trace-out F        write a chrome://tracing JSON trace to F
 //
 // Examples:
 //   ecfrm_sim lrc:12,3,3 --degraded
 //   ecfrm_sim rs:20,10 --max-size 40 --elem 4194304
+//   ecfrm_sim rs:6,3 --metrics-out metrics.json --trace-out trace.json
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "codes/factory.h"
 #include "common/rng.h"
 #include "core/read_planner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/array_sim.h"
 #include "workload/workload.h"
 
@@ -41,14 +48,29 @@ struct Options {
     bool degraded = false;
     core::DegradedPolicy policy = core::DegradedPolicy::local_first;
     std::uint64_t seed = 2015;
+    std::string metrics_out;
+    std::string metrics_prom;
+    std::string trace_out;
 };
 
 int usage() {
     std::fprintf(stderr,
                  "usage: ecfrm_sim <code_spec> [--layout standard|rotated|ecfrm|all] [--trials N]\n"
                  "                 [--elem BYTES] [--max-size E] [--degraded] [--policy local|balance]\n"
-                 "                 [--seed S]\n");
+                 "                 [--seed S] [--metrics-out F] [--metrics-prom F] [--trace-out F]\n");
     return 2;
+}
+
+bool write_file(const std::string& path, const std::string& body) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+        return false;
+    }
+    const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    std::fclose(f);
+    if (!ok) std::fprintf(stderr, "error: short write to %s\n", path.c_str());
+    return ok;
 }
 
 }  // namespace
@@ -100,11 +122,31 @@ int main(int argc, char** argv) {
             const char* v = value();
             if (v == nullptr) return usage();
             opt.seed = static_cast<std::uint64_t>(std::atoll(v));
+        } else if (arg == "--metrics-out") {
+            const char* v = value();
+            if (v == nullptr) return usage();
+            opt.metrics_out = v;
+        } else if (arg == "--metrics-prom") {
+            const char* v = value();
+            if (v == nullptr) return usage();
+            opt.metrics_prom = v;
+        } else if (arg == "--trace-out") {
+            const char* v = value();
+            if (v == nullptr) return usage();
+            opt.trace_out = v;
         } else {
             return usage();
         }
     }
     if (opt.trials <= 0 || opt.elem_bytes <= 0 || opt.max_size <= 0) return usage();
+
+    std::unique_ptr<obs::MetricRegistry> metrics;
+    std::unique_ptr<obs::Tracer> tracer;
+    if (!opt.metrics_out.empty() || !opt.metrics_prom.empty()) {
+        metrics = std::make_unique<obs::MetricRegistry>("ecfrm_sim");
+        core::attach_planner_metrics(metrics.get());
+    }
+    if (!opt.trace_out.empty()) tracer = std::make_unique<obs::Tracer>(std::size_t{1} << 14);
 
     auto code = codes::make_code(opt.spec);
     if (!code.ok()) {
@@ -130,8 +172,33 @@ int main(int argc, char** argv) {
         sim::DiskModel model(sim::DiskProfile::savvio_10k3(), opt.elem_bytes);
         Rng rng(opt.seed);
 
+        // Per-layout, per-disk accounting: how many elements (and bytes)
+        // each disk serves across the whole protocol. The max/min ratio of
+        // these counters is the balance story the paper tells.
+        std::vector<obs::Counter*> disk_elems, disk_bytes;
+        if (metrics != nullptr) {
+            for (int d = 0; d < scheme.disks(); ++d) {
+                const obs::Labels labels{{"disk", std::to_string(d)},
+                                         {"layout", layout::to_string(kind)}};
+                disk_elems.push_back(&metrics->counter("ecfrm_sim_disk_elements_total", labels));
+                disk_bytes.push_back(&metrics->counter("ecfrm_sim_disk_bytes_total", labels));
+            }
+        }
+        auto account = [&](const core::AccessPlan& plan) {
+            if (metrics == nullptr) return;
+            const auto& loads = plan.per_disk_loads();
+            for (std::size_t d = 0; d < loads.size() && d < disk_elems.size(); ++d) {
+                if (loads[d] == 0) continue;
+                disk_elems[d]->add(loads[d]);
+                disk_bytes[d]->add(loads[d] * opt.elem_bytes);
+            }
+        };
+
+        double sim_clock_us = 0.0;  // virtual timeline for the trace
         double speed = 0.0, cost = 0.0, max_load = 0.0;
         for (int t = 0; t < opt.trials; ++t) {
+            sim::ReadTiming timing;
+            std::int64_t trial_max_load = 0;
             if (opt.degraded) {
                 const auto req = workload::random_degraded_read(rng, elements, scheme.disks(), opt.max_size);
                 auto plan = core::plan_degraded_read(scheme, req.read.start, req.read.count,
@@ -140,14 +207,27 @@ int main(int argc, char** argv) {
                     std::fprintf(stderr, "error: %s\n", plan.error().message.c_str());
                     return 1;
                 }
-                speed += sim::simulate_read(plan.value(), model, rng).mb_per_s();
+                account(plan.value());
+                timing = sim::simulate_read(plan.value(), model, rng, metrics.get());
+                speed += timing.mb_per_s();
                 cost += plan->cost();
-                max_load += plan->max_load();
+                trial_max_load = plan->max_load();
             } else {
                 const auto req = workload::random_read(rng, elements, opt.max_size);
                 const auto plan = core::plan_normal_read(scheme, req.start, req.count);
-                speed += sim::simulate_read(plan, model, rng).mb_per_s();
-                max_load += plan.max_load();
+                account(plan);
+                timing = sim::simulate_read(plan, model, rng, metrics.get());
+                speed += timing.mb_per_s();
+                trial_max_load = plan.max_load();
+            }
+            max_load += static_cast<double>(trial_max_load);
+            if (tracer != nullptr) {
+                tracer->complete("trial", layout::to_string(kind), sim_clock_us,
+                                 timing.seconds * 1e6,
+                                 {{"trial", std::to_string(t)},
+                                  {"max_load", std::to_string(trial_max_load)},
+                                  {"requested_bytes", std::to_string(timing.requested_bytes)}});
+                sim_clock_us += timing.seconds * 1e6;
             }
         }
         if (opt.degraded) {
@@ -158,5 +238,11 @@ int main(int argc, char** argv) {
                         max_load / opt.trials);
         }
     }
-    return 0;
+
+    bool io_ok = true;
+    if (!opt.metrics_out.empty()) io_ok &= write_file(opt.metrics_out, metrics->to_json());
+    if (!opt.metrics_prom.empty()) io_ok &= write_file(opt.metrics_prom, metrics->to_prometheus());
+    if (!opt.trace_out.empty()) io_ok &= write_file(opt.trace_out, tracer->to_chrome_json());
+    core::attach_planner_metrics(nullptr);
+    return io_ok ? 0 : 1;
 }
