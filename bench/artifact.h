@@ -1,0 +1,240 @@
+// Canonical bench artifacts ("ecfrm.bench.v1").
+//
+// When ECFRM_BENCH_OUT=<dir> is set, every bench binary that routes its
+// results through the ArtifactWriter produces <dir>/BENCH_<name>.json: one
+// schema-versioned document holding the run metadata, every recorded
+// series (count/mean/median/p95/p99/min/max plus a comparison direction),
+// and the full metrics-registry snapshot. The regression reporter
+// (tools/ecfrm_report) diffs two of these files; nothing about the
+// measured numbers changes when the variable is unset.
+//
+// ECFRM_METRICS_OUT=<path> additionally (or independently) writes the
+// registry as NDJSON — the pre-artifact sidecar format, kept for scripts
+// that tail individual metrics.
+//
+// The writer is a Meyers singleton whose *destructor* emits the files, and
+// the registry is held by value: its lifetime is exactly the writer's, so
+// late metric updates from other static destructors cannot dangle the way
+// an atexit handler over a separately-constructed registry would.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "obs/metrics.h"
+
+#if defined(__GLIBC__)
+#include <errno.h>  // program_invocation_short_name
+#endif
+
+namespace ecfrm::bench {
+
+/// How the reporter should interpret a delta in this series.
+enum class Direction { higher_is_better, lower_is_better, none };
+
+inline const char* to_string(Direction d) {
+    switch (d) {
+        case Direction::higher_is_better: return "higher_is_better";
+        case Direction::lower_is_better: return "lower_is_better";
+        case Direction::none: return "none";
+    }
+    return "none";
+}
+
+class ArtifactWriter {
+  public:
+    static ArtifactWriter& instance() {
+        static ArtifactWriter writer;
+        return writer;
+    }
+
+    /// True when a BENCH_<name>.json will be written at exit.
+    bool artifact_enabled() const { return !out_dir_.empty(); }
+
+    /// Registry collecting this run's metrics, or nullptr when neither
+    /// ECFRM_BENCH_OUT nor ECFRM_METRICS_OUT is set (telemetry off).
+    obs::MetricRegistry* registry() {
+        return artifact_enabled() || !metrics_path_.empty() ? &registry_ : nullptr;
+    }
+
+    /// Record one run parameter (code spec, element size, trial count...).
+    /// Later calls with the same key overwrite.
+    void set_param(const std::string& key, std::string value) {
+        for (auto& [k, v] : params_) {
+            if (k == key) {
+                v = std::move(value);
+                return;
+            }
+        }
+        params_.emplace_back(key, std::move(value));
+    }
+
+    /// Record a measured series from raw samples. No-op when disabled.
+    void add_samples(const std::string& name, const std::string& unit, Direction direction,
+                     const SampleSet& samples) {
+        if (!artifact_enabled() || samples.size() == 0) return;
+        Series s;
+        s.name = unique_name(name);
+        s.unit = unit;
+        s.direction = direction;
+        s.count = static_cast<std::int64_t>(samples.size());
+        s.mean = samples.stats().mean();
+        s.median = samples.percentile(0.50);
+        s.p95 = samples.percentile(0.95);
+        s.p99 = samples.percentile(0.99);
+        s.min = samples.stats().min();
+        s.max = samples.stats().max();
+        series_.push_back(std::move(s));
+    }
+
+    /// Record a single already-aggregated value (table cells, gbench
+    /// timings). `count` is the number of iterations behind the value.
+    void add_scalar(const std::string& name, const std::string& unit, Direction direction,
+                    double value, std::int64_t count = 1) {
+        if (!artifact_enabled()) return;
+        Series s;
+        s.name = unique_name(name);
+        s.unit = unit;
+        s.direction = direction;
+        s.count = count;
+        s.mean = s.median = s.p95 = s.p99 = s.min = s.max = value;
+        series_.push_back(std::move(s));
+    }
+
+    ~ArtifactWriter() {
+        if (!metrics_path_.empty()) write_file(metrics_path_, registry_.to_json());
+        if (artifact_enabled()) {
+            std::error_code ec;
+            std::filesystem::create_directories(out_dir_, ec);
+            write_file(out_dir_ + "/BENCH_" + bench_name_ + ".json", render());
+        }
+    }
+
+    ArtifactWriter(const ArtifactWriter&) = delete;
+    ArtifactWriter& operator=(const ArtifactWriter&) = delete;
+
+  private:
+    struct Series {
+        std::string name;
+        std::string unit;
+        Direction direction = Direction::none;
+        std::int64_t count = 0;
+        double mean = 0.0, median = 0.0, p95 = 0.0, p99 = 0.0, min = 0.0, max = 0.0;
+    };
+
+    ArtifactWriter() : registry_("ecfrm_bench") {
+        const char* dir = std::getenv("ECFRM_BENCH_OUT");
+        if (dir != nullptr && dir[0] != '\0') out_dir_ = dir;
+        const char* metrics = std::getenv("ECFRM_METRICS_OUT");
+        if (metrics != nullptr && metrics[0] != '\0') metrics_path_ = metrics;
+        bench_name_ = self_name();
+        // Reproducible artifacts: the driver can pin the timestamp.
+        const char* ts = std::getenv("ECFRM_BENCH_TS");
+        created_unix_ = ts != nullptr && ts[0] != '\0'
+                            ? std::strtoll(ts, nullptr, 10)
+                            : static_cast<long long>(std::time(nullptr));
+#ifdef ECFRM_BUILD_FLAGS
+        set_param("build_flags", ECFRM_BUILD_FLAGS);
+#endif
+    }
+
+    static std::string self_name() {
+#if defined(__GLIBC__)
+        std::string name = program_invocation_short_name;
+#else
+        std::string name = "bench";
+#endif
+        if (name.rfind("bench_", 0) == 0) name.erase(0, 6);
+        if (name.empty()) name = "bench";
+        return name;
+    }
+
+    /// Series are matched across runs by name; a bench that records the
+    /// same name twice (e.g. repeated table cells) gets a deterministic
+    /// "#2", "#3"... suffix so both survive and still line up.
+    std::string unique_name(const std::string& name) {
+        int seen = 0;
+        for (const Series& s : series_) {
+            if (s.name == name || s.name.rfind(name + "#", 0) == 0) ++seen;
+        }
+        return seen == 0 ? name : name + "#" + std::to_string(seen + 1);
+    }
+
+    static void write_file(const std::string& path, const std::string& body) {
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "artifact: cannot write %s\n", path.c_str());
+            return;
+        }
+        std::fwrite(body.data(), 1, body.size(), f);
+        std::fclose(f);
+    }
+
+    static std::string num(double v) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.9g", v);
+        return buf;
+    }
+
+    std::string render() const {
+        std::string out = "{\n\"schema\":\"ecfrm.bench.v1\",\n";
+        out += "\"bench\":\"" + obs::json_escape(bench_name_) + "\",\n";
+        out += "\"created_unix\":" + std::to_string(created_unix_) + ",\n";
+        out += "\"params\":{";
+        for (std::size_t i = 0; i < params_.size(); ++i) {
+            if (i != 0) out += ",";
+            out += "\"" + obs::json_escape(params_[i].first) + "\":\"" +
+                   obs::json_escape(params_[i].second) + "\"";
+        }
+        out += "},\n\"series\":[";
+        for (std::size_t i = 0; i < series_.size(); ++i) {
+            const Series& s = series_[i];
+            if (i != 0) out += ",";
+            out += "\n{\"name\":\"" + obs::json_escape(s.name) + "\"";
+            out += ",\"unit\":\"" + obs::json_escape(s.unit) + "\"";
+            out += ",\"direction\":\"" + std::string(to_string(s.direction)) + "\"";
+            out += ",\"count\":" + std::to_string(s.count);
+            out += ",\"mean\":" + num(s.mean);
+            out += ",\"median\":" + num(s.median);
+            out += ",\"p95\":" + num(s.p95);
+            out += ",\"p99\":" + num(s.p99);
+            out += ",\"min\":" + num(s.min);
+            out += ",\"max\":" + num(s.max) + "}";
+        }
+        out += "\n],\n\"metrics\":[";
+        // Registry NDJSON lines become the "metrics" array.
+        const std::string nd = registry_.to_json();
+        bool first = true;
+        std::size_t pos = 0;
+        while (pos < nd.size()) {
+            std::size_t eol = nd.find('\n', pos);
+            if (eol == std::string::npos) eol = nd.size();
+            if (eol > pos) {
+                if (!first) out += ",";
+                first = false;
+                out += "\n";
+                out.append(nd, pos, eol - pos);
+            }
+            pos = eol + 1;
+        }
+        out += "\n]\n}\n";
+        return out;
+    }
+
+    obs::MetricRegistry registry_;
+    std::string out_dir_;
+    std::string metrics_path_;
+    std::string bench_name_;
+    long long created_unix_ = 0;
+    std::vector<std::pair<std::string, std::string>> params_;
+    std::vector<Series> series_;
+};
+
+}  // namespace ecfrm::bench

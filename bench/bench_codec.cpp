@@ -111,4 +111,4 @@ BENCHMARK(BM_LocalRepair);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "gbench_main.h"  // artifact-aware BENCHMARK_MAIN replacement

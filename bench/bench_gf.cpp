@@ -69,4 +69,4 @@ BENCHMARK(BM_ScalarMul);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "gbench_main.h"  // artifact-aware BENCHMARK_MAIN replacement

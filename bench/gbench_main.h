@@ -1,0 +1,44 @@
+// Replacement for BENCHMARK_MAIN() that also feeds every benchmark run
+// into the canonical artifact (bench/artifact.h): include this header
+// after the BENCHMARK() registrations instead of invoking the macro. The
+// console output is unchanged — ArtifactReporter subclasses the stock
+// ConsoleReporter and only mirrors the numbers into the ArtifactWriter.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "artifact.h"
+
+namespace ecfrm::bench {
+
+class ArtifactReporter : public benchmark::ConsoleReporter {
+  public:
+    void ReportRuns(const std::vector<Run>& runs) override {
+        for (const Run& run : runs) {
+            if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+            ArtifactWriter::instance().add_scalar(
+                run.benchmark_name() + "/time", benchmark::GetTimeUnitString(run.time_unit),
+                Direction::lower_is_better, run.GetAdjustedRealTime(),
+                static_cast<std::int64_t>(run.iterations));
+            const auto bps = run.counters.find("bytes_per_second");
+            if (bps != run.counters.end()) {
+                ArtifactWriter::instance().add_scalar(run.benchmark_name() + "/bytes_per_second",
+                                                      "B/s", Direction::higher_is_better,
+                                                      bps->second,
+                                                      static_cast<std::int64_t>(run.iterations));
+            }
+        }
+        benchmark::ConsoleReporter::ReportRuns(runs);
+    }
+};
+
+}  // namespace ecfrm::bench
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    ecfrm::bench::ArtifactReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    return 0;
+}

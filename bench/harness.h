@@ -13,8 +13,10 @@
 #include <string>
 #include <vector>
 
+#include "artifact.h"
 #include "codes/factory.h"
 #include "common/rng.h"
+#include "common/stats.h"
 #include "core/read_planner.h"
 #include "core/scheme.h"
 #include "obs/metrics.h"
@@ -23,26 +25,15 @@
 
 namespace ecfrm::bench {
 
-/// Optional metrics sidecar: when ECFRM_METRICS_OUT is set in the
-/// environment, every bench run feeds planner and simulated-disk metrics
-/// into a process-wide registry that is dumped (NDJSON) to that path at
-/// exit. Returns nullptr — a pure no-op — when the variable is unset, so
-/// the measured numbers are untouched in normal runs.
+/// Telemetry registry for this bench run, or nullptr when both
+/// ECFRM_BENCH_OUT (canonical artifact) and ECFRM_METRICS_OUT (NDJSON
+/// sidecar) are unset, so the measured numbers are untouched in normal
+/// runs. First call with telemetry on also hooks the planner metrics.
 inline obs::MetricRegistry* metrics_sidecar() {
     static obs::MetricRegistry* registry = []() -> obs::MetricRegistry* {
-        const char* path = std::getenv("ECFRM_METRICS_OUT");
-        if (path == nullptr || path[0] == '\0') return nullptr;
-        static obs::MetricRegistry instance("ecfrm_bench");
-        static const std::string out_path = path;
-        core::attach_planner_metrics(&instance);
-        std::atexit([] {
-            std::FILE* f = std::fopen(out_path.c_str(), "w");
-            if (f == nullptr) return;
-            const std::string body = instance.to_json();
-            std::fwrite(body.data(), 1, body.size(), f);
-            std::fclose(f);
-        });
-        return &instance;
+        obs::MetricRegistry* r = ArtifactWriter::instance().registry();
+        if (r != nullptr) core::attach_planner_metrics(r);
+        return r;
     }();
     return registry;
 }
@@ -54,6 +45,22 @@ struct Protocol {
     std::uint64_t seed = 2015;
     int stripes_stored = 40;  // address space: plenty of stripes
     int max_request_elements = 20;
+
+    /// CI knobs: ECFRM_BENCH_TRIALS caps both trial counts and
+    /// ECFRM_BENCH_ELEM overrides the element size, so smoke runs finish
+    /// in seconds (and can inject a deliberate perf shift for testing the
+    /// reporter) without touching the paper defaults.
+    Protocol() {
+        if (const char* trials = std::getenv("ECFRM_BENCH_TRIALS");
+            trials != nullptr && std::atoi(trials) > 0) {
+            normal_trials = std::atoi(trials);
+            degraded_trials = std::atoi(trials);
+        }
+        if (const char* elem = std::getenv("ECFRM_BENCH_ELEM");
+            elem != nullptr && std::atoll(elem) > 0) {
+            element_bytes = std::atoll(elem);
+        }
+    }
 };
 
 struct DegradedResult {
@@ -70,6 +77,18 @@ inline core::Scheme make_scheme(const std::string& spec, layout::LayoutKind kind
     return core::Scheme(code.value(), kind);
 }
 
+/// Record the protocol parameters into the bench artifact (idempotent;
+/// no-op when artifacts are disabled).
+inline void record_protocol(const Protocol& proto) {
+    ArtifactWriter& w = ArtifactWriter::instance();
+    w.set_param("element_bytes", std::to_string(proto.element_bytes));
+    w.set_param("normal_trials", std::to_string(proto.normal_trials));
+    w.set_param("degraded_trials", std::to_string(proto.degraded_trials));
+    w.set_param("seed", std::to_string(proto.seed));
+    w.set_param("stripes_stored", std::to_string(proto.stripes_stored));
+    w.set_param("max_request_elements", std::to_string(proto.max_request_elements));
+}
+
 /// Mean normal-read speed (MB/s) under the paper protocol.
 inline double run_normal(const core::Scheme& scheme, const Protocol& proto) {
     const std::int64_t elements =
@@ -77,13 +96,16 @@ inline double run_normal(const core::Scheme& scheme, const Protocol& proto) {
     sim::DiskModel model(sim::DiskProfile::savvio_10k3(), proto.element_bytes);
     Rng rng(proto.seed);
     obs::MetricRegistry* metrics = metrics_sidecar();
-    double sum = 0.0;
+    record_protocol(proto);
+    SampleSet samples;
     for (int t = 0; t < proto.normal_trials; ++t) {
         const auto req = workload::random_read(rng, elements, proto.max_request_elements);
         const auto plan = core::plan_normal_read(scheme, req.start, req.count);
-        sum += sim::simulate_read(plan, model, rng, metrics).mb_per_s();
+        samples.add(sim::simulate_read(plan, model, rng, metrics).mb_per_s());
     }
-    return sum / proto.normal_trials;
+    ArtifactWriter::instance().add_samples("normal/" + scheme.name(), "MB/s",
+                                           Direction::higher_is_better, samples);
+    return samples.stats().mean();
 }
 
 /// Mean degraded-read speed and cost under the paper protocol.
@@ -93,7 +115,9 @@ inline DegradedResult run_degraded(const core::Scheme& scheme, const Protocol& p
     sim::DiskModel model(sim::DiskProfile::savvio_10k3(), proto.element_bytes);
     Rng rng(proto.seed + 1);
     obs::MetricRegistry* metrics = metrics_sidecar();
-    DegradedResult out;
+    record_protocol(proto);
+    SampleSet speeds;
+    SampleSet costs;
     for (int t = 0; t < proto.degraded_trials; ++t) {
         const auto req =
             workload::random_degraded_read(rng, elements, scheme.disks(), proto.max_request_elements);
@@ -102,11 +126,16 @@ inline DegradedResult run_degraded(const core::Scheme& scheme, const Protocol& p
             std::fprintf(stderr, "degraded plan failed: %s\n", plan.error().message.c_str());
             std::abort();
         }
-        out.speed_mb_s += sim::simulate_read(plan.value(), model, rng, metrics).mb_per_s();
-        out.cost += plan->cost();
+        speeds.add(sim::simulate_read(plan.value(), model, rng, metrics).mb_per_s());
+        costs.add(plan->cost());
     }
-    out.speed_mb_s /= proto.degraded_trials;
-    out.cost /= proto.degraded_trials;
+    ArtifactWriter::instance().add_samples("degraded_speed/" + scheme.name(), "MB/s",
+                                           Direction::higher_is_better, speeds);
+    ArtifactWriter::instance().add_samples("degraded_cost/" + scheme.name(), "x requested",
+                                           Direction::lower_is_better, costs);
+    DegradedResult out;
+    out.speed_mb_s = speeds.stats().mean();
+    out.cost = costs.stats().mean();
     return out;
 }
 
@@ -118,15 +147,33 @@ struct FigureTable {
     std::vector<std::vector<double>> values; // [form][param]
 };
 
+/// Comparison direction implied by a unit string: throughputs are
+/// higher-is-better, times/costs lower, anything unrecognised untracked.
+inline Direction direction_for_unit(const std::string& unit) {
+    if (unit.find("/s") != std::string::npos) return Direction::higher_is_better;
+    if (unit == "x requested" || unit.find("cost") != std::string::npos ||
+        unit.find("ratio") != std::string::npos || unit == "s" || unit == "ms" || unit == "us" ||
+        unit == "ns" || unit.find("seconds") != std::string::npos) {
+        return Direction::lower_is_better;
+    }
+    return Direction::none;
+}
+
 inline void print_table(const FigureTable& table, const char* unit) {
     std::printf("\n=== %s ===\n", table.title.c_str());
     std::printf("%-16s", "form");
     for (const auto& p : table.params) std::printf("%12s", p.c_str());
     std::printf("   [%s]\n", unit);
+    const Direction dir = direction_for_unit(unit);
     for (std::size_t f = 0; f < table.form_names.size(); ++f) {
         std::printf("%-16s", table.form_names[f].c_str());
         for (double v : table.values[f]) std::printf("%12.2f", v);
         std::printf("\n");
+        for (std::size_t c = 0; c < table.params.size() && c < table.values[f].size(); ++c) {
+            ArtifactWriter::instance().add_scalar(
+                "table/" + table.title + "/" + table.form_names[f] + "/" + table.params[c], unit,
+                dir, table.values[f][c]);
+        }
     }
 }
 

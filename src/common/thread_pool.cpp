@@ -3,6 +3,10 @@
 #include <atomic>
 #include <memory>
 
+// Counter/Gauge are header-only (inline relaxed atomics), so this include
+// adds no link dependency from ecfrm_common onto ecfrm_obs.
+#include "obs/metrics.h"
+
 namespace ecfrm {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -25,10 +29,18 @@ ThreadPool::~ThreadPool() {
     for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::attach_metrics(obs::Gauge* queue_depth, obs::Counter* tasks_executed) {
+    std::lock_guard lk(mu_);
+    queue_depth_ = queue_depth;
+    tasks_executed_ = tasks_executed;
+    if (queue_depth_ != nullptr) queue_depth_->set(static_cast<double>(queue_.size()));
+}
+
 void ThreadPool::submit(std::function<void()> task) {
     {
         std::lock_guard lk(mu_);
         queue_.push_back(std::move(task));
+        if (queue_depth_ != nullptr) queue_depth_->set(static_cast<double>(queue_.size()));
     }
     cv_task_.notify_one();
 }
@@ -47,12 +59,14 @@ void ThreadPool::worker_loop() {
             if (stop_ && queue_.empty()) return;
             task = std::move(queue_.front());
             queue_.pop_front();
+            if (queue_depth_ != nullptr) queue_depth_->set(static_cast<double>(queue_.size()));
             ++in_flight_;
         }
         task();
         {
             std::lock_guard lk(mu_);
             --in_flight_;
+            if (tasks_executed_ != nullptr) tasks_executed_->add(1);
             if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
         }
     }

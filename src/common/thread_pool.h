@@ -13,6 +13,11 @@
 
 namespace ecfrm {
 
+namespace obs {
+class Counter;
+class Gauge;
+}  // namespace obs
+
 class ThreadPool {
   public:
     /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
@@ -21,6 +26,12 @@ class ThreadPool {
 
     ThreadPool(const ThreadPool&) = delete;
     ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Attach queue observability (either pointer may be null): the gauge
+    /// tracks the queued-but-not-started depth, the counter accumulates
+    /// tasks executed. Attach before submitting — not synchronised
+    /// against in-flight work.
+    void attach_metrics(obs::Gauge* queue_depth, obs::Counter* tasks_executed);
 
     /// Enqueue a task. Never blocks.
     void submit(std::function<void()> task);
@@ -40,6 +51,8 @@ class ThreadPool {
     std::vector<std::thread> workers_;
     std::size_t in_flight_ = 0;
     bool stop_ = false;
+    obs::Gauge* queue_depth_ = nullptr;        // guarded by mu_
+    obs::Counter* tasks_executed_ = nullptr;   // guarded by mu_
 };
 
 /// Runs fn(i) for i in [0, count) across the pool and waits for completion.

@@ -1,0 +1,31 @@
+// Plan explainability: serialise what the read planner decided — and why
+// it costs what it costs — as a single JSON document ("ecfrm.explain.v1").
+//
+// The paper's argument lives in the per-disk load vector: EC-FRM wins by
+// keeping max(load) at ceil(E/n) where the standard layout pays ceil(E/k).
+// `ecfrm_cli explain` exposes that vector for any (scheme, request,
+// failure) so the claim can be inspected one plan at a time instead of
+// only through the aggregated analysis grids.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/read_planner.h"
+#include "core/scheme.h"
+
+namespace ecfrm::core {
+
+/// Plan a read of `count` elements at `start` (normal when `failed_disks`
+/// is empty, degraded otherwise) and render the decision as JSON: scheme
+/// identity, the request, the per-disk load vector, max load, fan-out,
+/// cost, every fetch with both physical and code coordinates, and each
+/// decode's repair equation. Fails on an invalid request or an
+/// unrecoverable failure pattern.
+Result<std::string> explain_read_json(const Scheme& scheme, ElementId start, std::int64_t count,
+                                      const std::vector<DiskId>& failed_disks,
+                                      DegradedPolicy policy = DegradedPolicy::local_first);
+
+}  // namespace ecfrm::core

@@ -1,0 +1,307 @@
+#include "obs/exposition.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace ecfrm::obs {
+
+namespace {
+
+double steady_seconds() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Snapshotter
+
+Snapshotter::Snapshotter(const MetricRegistry* registry, double interval_seconds)
+    : registry_(registry), interval_seconds_(interval_seconds > 0.0 ? interval_seconds : 1.0) {}
+
+Snapshotter::~Snapshotter() { stop(); }
+
+void Snapshotter::start() {
+    {
+        std::lock_guard lk(run_mu_);
+        if (running_) return;
+        running_ = true;
+    }
+    thread_ = std::thread([this] {
+        std::unique_lock lk(run_mu_);
+        while (running_) {
+            lk.unlock();
+            capture();
+            lk.lock();
+            run_cv_.wait_for(lk, std::chrono::duration<double>(interval_seconds_),
+                             [this] { return !running_; });
+        }
+    });
+}
+
+void Snapshotter::stop() {
+    {
+        std::lock_guard lk(run_mu_);
+        if (!running_) {
+            if (thread_.joinable()) thread_.join();
+            return;
+        }
+        running_ = false;
+    }
+    run_cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+}
+
+void Snapshotter::capture() { capture(steady_seconds()); }
+
+void Snapshotter::capture(double now_seconds) {
+    if (registry_ == nullptr) return;
+    Capture next;
+    next.at_seconds = now_seconds;
+    for (const MetricEntry* e : registry_->entries()) {
+        Sample s;
+        s.name = e->name;
+        s.labels = e->labels;
+        switch (e->kind) {
+            case MetricKind::counter: s.total = static_cast<double>(e->counter->value()); break;
+            case MetricKind::histogram: s.total = static_cast<double>(e->histogram->count()); break;
+            case MetricKind::gauge: continue;  // not monotonic — no rate
+        }
+        next.samples.push_back(std::move(s));
+    }
+    std::lock_guard lk(mu_);
+    previous_ = std::move(latest_);
+    latest_ = std::move(next);
+    ++captures_;
+}
+
+std::vector<MetricRate> Snapshotter::rates() const {
+    std::lock_guard lk(mu_);
+    std::vector<MetricRate> out;
+    if (captures_ < 2) return out;
+    const double dt = latest_.at_seconds - previous_.at_seconds;
+    if (!(dt > 0.0)) return out;
+    out.reserve(latest_.samples.size());
+    for (const Sample& now : latest_.samples) {
+        double before = 0.0;
+        // Registration order is append-only, so a linear scan anchored at
+        // the same index finds the match immediately in the common case.
+        for (const Sample& old : previous_.samples) {
+            if (old.name == now.name && old.labels == now.labels) {
+                before = old.total;
+                break;
+            }
+        }
+        out.push_back({now.name, now.labels, (now.total - before) / dt});
+    }
+    return out;
+}
+
+std::int64_t Snapshotter::captures() const {
+    std::lock_guard lk(mu_);
+    return captures_;
+}
+
+// ----------------------------------------------------------- ExpositionServer
+
+ExpositionServer::ExpositionServer(MetricRegistry* registry, Snapshotter* snapshotter)
+    : registry_(registry), snapshotter_(snapshotter) {}
+
+ExpositionServer::~ExpositionServer() { stop(); }
+
+Status ExpositionServer::start(int port) {
+    if (running_.load()) return Error::invalid("exposition: server already running");
+    if (registry_ == nullptr) return Error::invalid("exposition: null registry");
+    if (port < 0 || port > 65535) return Error::invalid("exposition: bad port");
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Error::io(std::string("exposition: socket: ") + std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        const std::string what = std::strerror(errno);
+        ::close(fd);
+        return Error::io("exposition: bind 127.0.0.1:" + std::to_string(port) + ": " + what);
+    }
+    if (::listen(fd, 16) != 0) {
+        const std::string what = std::strerror(errno);
+        ::close(fd);
+        return Error::io("exposition: listen: " + what);
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+        const std::string what = std::strerror(errno);
+        ::close(fd);
+        return Error::io("exposition: getsockname: " + what);
+    }
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+    listen_fd_ = fd;
+    stop_.store(false);
+    running_.store(true);
+    {
+        std::lock_guard lk(quit_mu_);
+        quit_requested_ = false;
+    }
+    thread_ = std::thread([this] { serve_loop(); });
+    return Status::success();
+}
+
+void ExpositionServer::stop() {
+    if (!running_.load()) {
+        if (thread_.joinable()) thread_.join();
+        return;
+    }
+    stop_.store(true);
+    // Closing the listening socket unblocks the accept() the server
+    // thread is parked in; it then sees stop_ and exits.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    if (thread_.joinable()) thread_.join();
+    running_.store(false);
+}
+
+bool ExpositionServer::running() const { return running_.load(); }
+
+bool ExpositionServer::wait_for_quit(double timeout_seconds) {
+    std::unique_lock lk(quit_mu_);
+    quit_cv_.wait_for(lk, std::chrono::duration<double>(timeout_seconds),
+                      [this] { return quit_requested_; });
+    return quit_requested_;
+}
+
+void ExpositionServer::serve_loop() {
+    while (!stop_.load()) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (stop_.load()) break;
+            if (errno == EINTR) continue;
+            break;  // listening socket is gone — nothing left to serve
+        }
+        // Bound how long a silent client can pin the single server thread.
+        timeval tv{};
+        tv.tv_sec = 2;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        handle_connection(fd);
+        ::close(fd);
+    }
+}
+
+void ExpositionServer::handle_connection(int fd) {
+    // Read until the end of the request headers (blank line) or 64 KiB,
+    // whichever comes first; only the request line is interpreted.
+    std::string request;
+    char buf[4096];
+    while (request.find("\r\n\r\n") == std::string::npos &&
+           request.find("\n\n") == std::string::npos && request.size() < 64 * 1024) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0) break;
+        request.append(buf, static_cast<std::size_t>(n));
+    }
+    const std::size_t line_end = request.find_first_of("\r\n");
+    const std::string line = request.substr(0, line_end == std::string::npos ? 0 : line_end);
+    // "GET <path> HTTP/1.x"
+    std::string method;
+    std::string path;
+    const std::size_t sp1 = line.find(' ');
+    if (sp1 != std::string::npos) {
+        method = line.substr(0, sp1);
+        const std::size_t sp2 = line.find(' ', sp1 + 1);
+        path = line.substr(sp1 + 1, sp2 == std::string::npos ? std::string::npos : sp2 - sp1 - 1);
+    }
+    const std::size_t query = path.find('?');
+    if (query != std::string::npos) path.resize(query);
+
+    std::string response;
+    if (method != "GET") {
+        response =
+            "HTTP/1.1 405 Method Not Allowed\r\nContent-Length: 0\r\nConnection: close\r\n\r\n";
+    } else {
+        response = respond(path);
+    }
+    std::size_t sent = 0;
+    while (sent < response.size()) {
+        const ssize_t n = ::send(fd, response.data() + sent, response.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) break;
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+std::string ExpositionServer::respond(const std::string& path) {
+    registry_->counter("ecfrm_obs_http_requests_total", {{"path", path}}).add(1);
+
+    std::string body;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string status = "200 OK";
+    if (path == "/metrics") {
+        body = registry_->to_prometheus();
+        content_type = "text/plain; version=0.0.4; charset=utf-8";
+    } else if (path == "/metrics.json") {
+        body = "{\"registry\":\"" + json_escape(registry_->name()) + "\",\"metrics\":[";
+        // to_json is newline-delimited objects; join them into an array.
+        const std::string nd = registry_->to_json();
+        bool first = true;
+        std::size_t pos = 0;
+        while (pos < nd.size()) {
+            std::size_t eol = nd.find('\n', pos);
+            if (eol == std::string::npos) eol = nd.size();
+            if (eol > pos) {
+                if (!first) body += ",";
+                first = false;
+                body.append(nd, pos, eol - pos);
+            }
+            pos = eol + 1;
+        }
+        body += "],\"rates\":[";
+        if (snapshotter_ != nullptr) {
+            first = true;
+            for (const MetricRate& r : snapshotter_->rates()) {
+                if (!first) body += ",";
+                first = false;
+                body += "{\"name\":\"" + json_escape(r.name) + "\",\"labels\":{";
+                bool first_label = true;
+                for (const auto& [k, v] : r.labels) {
+                    if (!first_label) body += ",";
+                    first_label = false;
+                    body += "\"" + json_escape(k) + "\":\"" + json_escape(v) + "\"";
+                }
+                char rate[64];
+                std::snprintf(rate, sizeof(rate), "%.9g", r.per_second);
+                body += std::string("},\"per_second\":") + rate + "}";
+            }
+        }
+        body += "]}\n";
+        content_type = "application/json";
+    } else if (path == "/healthz") {
+        body = "ok\n";
+    } else if (path == "/quitquitquit") {
+        body = "bye\n";
+        {
+            std::lock_guard lk(quit_mu_);
+            quit_requested_ = true;
+        }
+        quit_cv_.notify_all();
+    } else {
+        status = "404 Not Found";
+        body = "not found\n";
+    }
+    std::string out = "HTTP/1.1 " + status + "\r\n";
+    out += "Content-Type: " + content_type + "\r\n";
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    out += "Connection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+}  // namespace ecfrm::obs

@@ -1,0 +1,148 @@
+// Live metrics exposition: a dependency-free HTTP/1.1 server that scrapes
+// a MetricRegistry, plus a Snapshotter that turns monotonic counters into
+// per-second rates by differencing periodic captures.
+//
+// The server is deliberately tiny — a blocking accept loop on one
+// background thread, line-oriented request parsing, Connection: close on
+// every response. It exists so a running simulation or CLI archive can be
+// watched from `curl`/Prometheus without linking any HTTP library, not to
+// survive the open internet: it binds loopback only.
+//
+// Routes:
+//   GET /metrics        Prometheus text exposition (to_prometheus)
+//   GET /metrics.json   registry snapshot + snapshotter rates, one document
+//   GET /healthz        "ok"
+//   GET /quitquitquit   releases wait_for_quit() — remote shutdown hook
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+
+namespace ecfrm::obs {
+
+/// Per-metric rate between the two most recent captures.
+struct MetricRate {
+    std::string name;
+    Labels labels;
+    double per_second = 0.0;
+};
+
+/// Periodically snapshots a registry's monotonic totals (counter values,
+/// histogram counts) and exposes the delta over the last interval as a
+/// rate. Counters only ever tell you "how much so far"; the snapshotter
+/// is what makes "how fast right now" observable from a live scrape.
+///
+/// capture() is public so tests (and single-shot tools) can drive the
+/// clock deterministically instead of running the background thread.
+class Snapshotter {
+  public:
+    explicit Snapshotter(const MetricRegistry* registry, double interval_seconds = 1.0);
+    ~Snapshotter();
+
+    Snapshotter(const Snapshotter&) = delete;
+    Snapshotter& operator=(const Snapshotter&) = delete;
+
+    /// Start the periodic capture thread. No-op when already running.
+    void start();
+
+    /// Stop and join the capture thread. Safe to call when not running.
+    void stop();
+
+    /// Take one capture at `now_seconds` (defaults to the steady clock).
+    /// Gauges and non-monotonic values are skipped — rates only make
+    /// sense for totals.
+    void capture();
+    void capture(double now_seconds);
+
+    /// Rates computed from the last two captures, in registration order.
+    /// Empty until two captures exist or when no time elapsed between
+    /// them. New metrics (present in the newest capture only) are
+    /// reported as if they started from zero at the previous capture.
+    std::vector<MetricRate> rates() const;
+
+    /// Captures taken so far.
+    std::int64_t captures() const;
+
+  private:
+    struct Sample {
+        std::string name;
+        Labels labels;
+        double total = 0.0;
+    };
+    struct Capture {
+        double at_seconds = 0.0;
+        std::vector<Sample> samples;
+    };
+
+    const MetricRegistry* registry_;
+    double interval_seconds_;
+
+    mutable std::mutex mu_;
+    Capture previous_;
+    Capture latest_;
+    std::int64_t captures_ = 0;
+
+    std::mutex run_mu_;
+    std::condition_variable run_cv_;
+    bool running_ = false;
+    std::thread thread_;
+};
+
+/// Loopback HTTP server exposing one registry (and optionally one
+/// snapshotter's rates). start() binds and spawns the accept thread;
+/// stop() (or destruction) shuts it down. Scrape traffic is itself
+/// counted as ecfrm_obs_http_requests_total{path=...}.
+class ExpositionServer {
+  public:
+    explicit ExpositionServer(MetricRegistry* registry, Snapshotter* snapshotter = nullptr);
+    ~ExpositionServer();
+
+    ExpositionServer(const ExpositionServer&) = delete;
+    ExpositionServer& operator=(const ExpositionServer&) = delete;
+
+    /// Bind 127.0.0.1:port (0 picks an ephemeral port, readable via
+    /// port()) and start serving. Fails if already running or the bind
+    /// is refused.
+    Status start(int port);
+
+    /// Stop accepting, close the socket, join the server thread.
+    void stop();
+
+    bool running() const;
+
+    /// Bound port (valid after a successful start()).
+    int port() const { return port_; }
+
+    /// Block until GET /quitquitquit arrives or `timeout_seconds`
+    /// passes. Returns true when quit was requested. Lets a CLI hold a
+    /// finished run open for scraping with a remote release valve.
+    bool wait_for_quit(double timeout_seconds);
+
+  private:
+    void serve_loop();
+    void handle_connection(int fd);
+    std::string respond(const std::string& path);
+
+    MetricRegistry* registry_;
+    Snapshotter* snapshotter_;
+
+    int listen_fd_ = -1;
+    int port_ = 0;
+    std::thread thread_;
+    std::atomic<bool> stop_{false};
+    std::atomic<bool> running_{false};
+
+    mutable std::mutex quit_mu_;
+    std::condition_variable quit_cv_;
+    bool quit_requested_ = false;
+};
+
+}  // namespace ecfrm::obs

@@ -1,0 +1,297 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace ecfrm::obs::json {
+
+const Value* Value::find(std::string_view key) const {
+    if (!is_object()) return nullptr;
+    for (const auto& [k, v] : members_) {
+        if (k == key) return &v;
+    }
+    return nullptr;
+}
+
+double Value::number_or(std::string_view key, double fallback) const {
+    const Value* v = find(key);
+    return v != nullptr && v->is_number() ? v->as_number() : fallback;
+}
+
+std::string Value::string_or(std::string_view key, std::string fallback) const {
+    const Value* v = find(key);
+    return v != nullptr && v->is_string() ? v->as_string() : std::move(fallback);
+}
+
+Value Value::make_bool(bool b) {
+    Value v;
+    v.type_ = Type::boolean;
+    v.bool_ = b;
+    return v;
+}
+
+Value Value::make_number(double n) {
+    Value v;
+    v.type_ = Type::number;
+    v.number_ = n;
+    return v;
+}
+
+Value Value::make_string(std::string s) {
+    Value v;
+    v.type_ = Type::string;
+    v.string_ = std::move(s);
+    return v;
+}
+
+Value Value::make_array(std::vector<Value> items) {
+    Value v;
+    v.type_ = Type::array;
+    v.items_ = std::move(items);
+    return v;
+}
+
+Value Value::make_object(std::vector<std::pair<std::string, Value>> members) {
+    Value v;
+    v.type_ = Type::object;
+    v.members_ = std::move(members);
+    return v;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view with a byte cursor.
+class Parser {
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Result<Value> document() {
+        skip_ws();
+        auto v = value();
+        if (!v.ok()) return v;
+        skip_ws();
+        if (pos_ != text_.size()) return fail("trailing characters");
+        return v;
+    }
+
+  private:
+    Error fail(const std::string& what) const {
+        return Error::invalid("json: " + what + " at byte " + std::to_string(pos_));
+    }
+
+    bool eof() const { return pos_ >= text_.size(); }
+    char peek() const { return text_[pos_]; }
+
+    void skip_ws() {
+        while (!eof()) {
+            const char c = peek();
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+            ++pos_;
+        }
+    }
+
+    bool consume(char c) {
+        if (eof() || peek() != c) return false;
+        ++pos_;
+        return true;
+    }
+
+    bool consume_word(std::string_view word) {
+        if (text_.substr(pos_, word.size()) != word) return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    Result<Value> value() {
+        if (eof()) return fail("unexpected end of input");
+        switch (peek()) {
+            case '{': return object();
+            case '[': return array();
+            case '"': {
+                auto s = string_body();
+                if (!s.ok()) return s.error();
+                return Value::make_string(std::move(s).take());
+            }
+            case 't':
+                if (consume_word("true")) return Value::make_bool(true);
+                return fail("bad literal");
+            case 'f':
+                if (consume_word("false")) return Value::make_bool(false);
+                return fail("bad literal");
+            case 'n':
+                if (consume_word("null")) return Value::make_null();
+                return fail("bad literal");
+            default: return number();
+        }
+    }
+
+    Result<Value> number() {
+        const std::size_t begin = pos_;
+        if (consume('-')) {
+        }
+        while (!eof() && ((peek() >= '0' && peek() <= '9') || peek() == '.' || peek() == 'e' ||
+                          peek() == 'E' || peek() == '+' || peek() == '-')) {
+            ++pos_;
+        }
+        if (pos_ == begin) return fail("expected a value");
+        const std::string token(text_.substr(begin, pos_ - begin));
+        char* end = nullptr;
+        const double parsed = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0' || !std::isfinite(parsed)) {
+            pos_ = begin;
+            return fail("bad number '" + token + "'");
+        }
+        return Value::make_number(parsed);
+    }
+
+    static void append_utf8(std::string& out, unsigned int cp) {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    Result<unsigned int> hex4() {
+        if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+        unsigned int cp = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_++];
+            cp <<= 4;
+            if (c >= '0' && c <= '9') {
+                cp |= static_cast<unsigned int>(c - '0');
+            } else if (c >= 'a' && c <= 'f') {
+                cp |= static_cast<unsigned int>(c - 'a' + 10);
+            } else if (c >= 'A' && c <= 'F') {
+                cp |= static_cast<unsigned int>(c - 'A' + 10);
+            } else {
+                return fail("bad \\u escape");
+            }
+        }
+        return cp;
+    }
+
+    Result<std::string> string_body() {
+        if (!consume('"')) return fail("expected string");
+        std::string out;
+        for (;;) {
+            if (eof()) return fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (eof()) return fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    auto cp = hex4();
+                    if (!cp.ok()) return cp.error();
+                    unsigned int code = cp.value();
+                    // Surrogate pair: \uD800-\uDBFF must chain a low half.
+                    if (code >= 0xD800 && code <= 0xDBFF && consume('\\') && consume('u')) {
+                        auto low = hex4();
+                        if (!low.ok()) return low.error();
+                        code = 0x10000 + ((code - 0xD800) << 10) + (low.value() - 0xDC00);
+                    }
+                    append_utf8(out, code);
+                    break;
+                }
+                default: return fail("bad escape");
+            }
+        }
+    }
+
+    Result<Value> array() {
+        consume('[');
+        std::vector<Value> items;
+        skip_ws();
+        if (consume(']')) return Value::make_array(std::move(items));
+        for (;;) {
+            skip_ws();
+            auto v = value();
+            if (!v.ok()) return v;
+            items.push_back(std::move(v).take());
+            skip_ws();
+            if (consume(']')) return Value::make_array(std::move(items));
+            if (!consume(',')) return fail("expected ',' or ']'");
+        }
+    }
+
+    Result<Value> object() {
+        consume('{');
+        std::vector<std::pair<std::string, Value>> members;
+        skip_ws();
+        if (consume('}')) return Value::make_object(std::move(members));
+        for (;;) {
+            skip_ws();
+            auto key = string_body();
+            if (!key.ok()) return key.error();
+            skip_ws();
+            if (!consume(':')) return fail("expected ':'");
+            skip_ws();
+            auto v = value();
+            if (!v.ok()) return v;
+            members.emplace_back(std::move(key).take(), std::move(v).take());
+            skip_ws();
+            if (consume('}')) return Value::make_object(std::move(members));
+            if (!consume(',')) return fail("expected ',' or '}'");
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> parse(std::string_view text) { return Parser(text).document(); }
+
+Result<std::vector<Value>> parse_ndjson(std::string_view text) {
+    std::vector<Value> out;
+    std::size_t pos = 0;
+    std::size_t line_no = 0;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string_view::npos) eol = text.size();
+        const std::string_view line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        ++line_no;
+        bool blank = true;
+        for (char c : line) {
+            if (c != ' ' && c != '\t' && c != '\r') {
+                blank = false;
+                break;
+            }
+        }
+        if (blank) continue;
+        auto v = parse(line);
+        if (!v.ok()) {
+            return Error::invalid("ndjson line " + std::to_string(line_no) + ": " +
+                                  v.error().message);
+        }
+        out.push_back(std::move(v).take());
+    }
+    return out;
+}
+
+}  // namespace ecfrm::obs::json

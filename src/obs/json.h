@@ -1,0 +1,73 @@
+// Minimal dependency-free JSON reader for the telemetry pipeline: the
+// regression reporter loads bench artifacts, tests validate /metrics.json
+// scrapes, and NDJSON metric snapshots parse line by line.
+//
+// This is a reader, not a writer (emission stays with the exporters):
+// strict RFC 8259 grammar, numbers as double, no comments, UTF-8 passed
+// through verbatim (\uXXXX escapes decode to UTF-8). Parse errors carry
+// the byte offset in the message.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ecfrm::obs::json {
+
+/// One parsed JSON value. Object member order is preserved (duplicate
+/// keys keep every occurrence; find() returns the first).
+class Value {
+  public:
+    enum class Type { null, boolean, number, string, array, object };
+
+    Type type() const { return type_; }
+    bool is_null() const { return type_ == Type::null; }
+    bool is_bool() const { return type_ == Type::boolean; }
+    bool is_number() const { return type_ == Type::number; }
+    bool is_string() const { return type_ == Type::string; }
+    bool is_array() const { return type_ == Type::array; }
+    bool is_object() const { return type_ == Type::object; }
+
+    bool as_bool() const { return bool_; }
+    double as_number() const { return number_; }
+    const std::string& as_string() const { return string_; }
+    const std::vector<Value>& items() const { return items_; }
+    const std::vector<std::pair<std::string, Value>>& members() const { return members_; }
+
+    std::size_t size() const { return is_object() ? members_.size() : items_.size(); }
+
+    /// First member with this key, or nullptr (also nullptr on non-objects).
+    const Value* find(std::string_view key) const;
+
+    /// Typed member lookups with defaults — the common artifact-reading idiom.
+    double number_or(std::string_view key, double fallback) const;
+    std::string string_or(std::string_view key, std::string fallback) const;
+
+    static Value make_null() { return Value(); }
+    static Value make_bool(bool b);
+    static Value make_number(double n);
+    static Value make_string(std::string s);
+    static Value make_array(std::vector<Value> items);
+    static Value make_object(std::vector<std::pair<std::string, Value>> members);
+
+  private:
+    Type type_ = Type::null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<Value> items_;
+    std::vector<std::pair<std::string, Value>> members_;
+};
+
+/// Parse exactly one JSON document (leading/trailing whitespace allowed).
+Result<Value> parse(std::string_view text);
+
+/// Parse newline-delimited JSON: one document per non-empty line (the
+/// MetricRegistry::to_json export format).
+Result<std::vector<Value>> parse_ndjson(std::string_view text);
+
+}  // namespace ecfrm::obs::json

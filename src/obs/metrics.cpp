@@ -100,8 +100,23 @@ Histogram& MetricRegistry::histogram(const std::string& name, Labels labels) {
     return *entry(MetricKind::histogram, name, std::move(labels)).histogram;
 }
 
+void MetricRegistry::describe(const std::string& name, std::string help) {
+    std::lock_guard lk(mu_);
+    help_[name] = std::move(help);
+}
+
+std::string MetricRegistry::help(const std::string& name) const {
+    std::lock_guard lk(mu_);
+    auto it = help_.find(name);
+    return it == help_.end() ? std::string() : it->second;
+}
+
 IoStats MetricRegistry::disk_io_stats(int disk) {
     const Labels labels{{"disk", std::to_string(disk)}};
+    describe("ecfrm_disk_read_ops_total", "Successful element reads served by the device");
+    describe("ecfrm_disk_write_ops_total", "Successful element writes absorbed by the device");
+    describe("ecfrm_store_io_errors_total", "Device ops that returned an error, by op type");
+    describe("ecfrm_store_io_error_bytes_total", "Payload bytes of failed device ops, by op type");
     IoStats io;
     io.read_ops = &counter("ecfrm_disk_read_ops_total", labels);
     io.read_bytes = &counter("ecfrm_disk_read_bytes_total", labels);
@@ -109,6 +124,12 @@ IoStats MetricRegistry::disk_io_stats(int disk) {
     io.write_ops = &counter("ecfrm_disk_write_ops_total", labels);
     io.write_bytes = &counter("ecfrm_disk_write_bytes_total", labels);
     io.write_seconds = &histogram("ecfrm_disk_write_seconds", labels);
+    const Labels read_labels{{"disk", std::to_string(disk)}, {"op", "read"}};
+    const Labels write_labels{{"disk", std::to_string(disk)}, {"op", "write"}};
+    io.read_errors = &counter("ecfrm_store_io_errors_total", read_labels);
+    io.read_error_bytes = &counter("ecfrm_store_io_error_bytes_total", read_labels);
+    io.write_errors = &counter("ecfrm_store_io_errors_total", write_labels);
+    io.write_error_bytes = &counter("ecfrm_store_io_error_bytes_total", write_labels);
     return io;
 }
 
@@ -244,20 +265,27 @@ std::string MetricRegistry::to_json() const {
 std::string MetricRegistry::to_prometheus() const {
     std::string out;
     std::set<std::string> typed;
+    // First exposition of a family: `# HELP` (when described) then `# TYPE`.
+    auto header = [&](const std::string& name, const char* type) {
+        if (!typed.insert(name).second) return;
+        const std::string h = help(name);
+        if (!h.empty()) out += "# HELP " + name + " " + prometheus_escape(h) + "\n";
+        out += "# TYPE " + name + " " + type + "\n";
+    };
     for (const MetricEntry* e : entries()) {
         switch (e->kind) {
             case MetricKind::counter:
-                if (typed.insert(e->name).second) out += "# TYPE " + e->name + " counter\n";
+                header(e->name, "counter");
                 out += e->name + prometheus_labels(e->labels) + " " +
                        std::to_string(e->counter->value()) + "\n";
                 break;
             case MetricKind::gauge:
-                if (typed.insert(e->name).second) out += "# TYPE " + e->name + " gauge\n";
+                header(e->name, "gauge");
                 out += e->name + prometheus_labels(e->labels) + " " +
                        format_double(e->gauge->value()) + "\n";
                 break;
             case MetricKind::histogram: {
-                if (typed.insert(e->name).second) out += "# TYPE " + e->name + " summary\n";
+                header(e->name, "summary");
                 const Histogram& h = *e->histogram;
                 for (const auto& [q, name] :
                      {std::pair{0.50, "0.5"}, std::pair{0.95, "0.95"}, std::pair{0.99, "0.99"}}) {

@@ -125,6 +125,12 @@ struct IoStats {
     Counter* write_ops = nullptr;
     Counter* write_bytes = nullptr;
     Histogram* write_seconds = nullptr;
+    // Failed ops and the bytes they attempted — degraded-mode error rates
+    // (ecfrm_store_io_errors_total / ecfrm_store_io_error_bytes_total).
+    Counter* read_errors = nullptr;
+    Counter* read_error_bytes = nullptr;
+    Counter* write_errors = nullptr;
+    Counter* write_error_bytes = nullptr;
 
     void on_read(std::int64_t bytes, double seconds) const {
         if (read_ops != nullptr) read_ops->add(1);
@@ -135,6 +141,14 @@ struct IoStats {
         if (write_ops != nullptr) write_ops->add(1);
         if (write_bytes != nullptr) write_bytes->add(bytes);
         if (write_seconds != nullptr) write_seconds->record(seconds);
+    }
+    void on_read_error(std::int64_t bytes) const {
+        if (read_errors != nullptr) read_errors->add(1);
+        if (read_error_bytes != nullptr) read_error_bytes->add(bytes);
+    }
+    void on_write_error(std::int64_t bytes) const {
+        if (write_errors != nullptr) write_errors->add(1);
+        if (write_error_bytes != nullptr) write_error_bytes->add(bytes);
     }
     bool reads_timed() const { return read_seconds != nullptr; }
     bool writes_timed() const { return write_seconds != nullptr; }
@@ -168,7 +182,14 @@ class MetricRegistry {
     Gauge& gauge(const std::string& name, Labels labels = {});
     Histogram& histogram(const std::string& name, Labels labels = {});
 
-    /// Per-disk I/O bundle under the ecfrm_disk_* family.
+    /// Attach a HELP string to a metric family (rendered as `# HELP` in
+    /// the Prometheus exposition). Later calls overwrite.
+    void describe(const std::string& name, std::string help);
+
+    /// HELP string for a family ("" when none was set).
+    std::string help(const std::string& name) const;
+
+    /// Per-disk I/O bundle under the ecfrm_disk_* / ecfrm_store_* family.
     IoStats disk_io_stats(int disk);
 
     std::size_t size() const;
@@ -191,6 +212,7 @@ class MetricRegistry {
     mutable std::mutex mu_;
     std::vector<std::unique_ptr<MetricEntry>> entries_;
     std::map<std::string, MetricEntry*> index_;
+    std::map<std::string, std::string> help_;
 };
 
 /// Escape a string for a JSON string literal (quotes not included).

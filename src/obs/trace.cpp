@@ -24,6 +24,7 @@ void Tracer::push(TraceEvent event) {
         ring_.push_back(std::move(event));
     } else {
         ring_[total_ % capacity_] = std::move(event);
+        if (dropped_counter_ != nullptr) dropped_counter_->add(1);
     }
     ++total_;
 }
@@ -54,6 +55,27 @@ void Tracer::instant(std::string name, std::string cat, double ts_us,
 std::size_t Tracer::recorded() const {
     std::lock_guard lk(mu_);
     return total_;
+}
+
+std::size_t Tracer::dropped() const {
+    std::lock_guard lk(mu_);
+    return total_ > capacity_ ? total_ - capacity_ : 0;
+}
+
+void Tracer::attach_metrics(MetricRegistry* registry) {
+    std::lock_guard lk(mu_);
+    if (registry == nullptr) {
+        dropped_counter_ = nullptr;
+        return;
+    }
+    registry->describe("ecfrm_obs_trace_dropped_total",
+                       "Trace events lost to ring-buffer wraparound");
+    Counter& c = registry->counter("ecfrm_obs_trace_dropped_total");
+    const std::size_t already = total_ > capacity_ ? total_ - capacity_ : 0;
+    if (already > static_cast<std::size_t>(c.value())) {
+        c.add(static_cast<std::int64_t>(already) - c.value());
+    }
+    dropped_counter_ = &c;
 }
 
 std::size_t Tracer::size() const {

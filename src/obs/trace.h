@@ -18,6 +18,9 @@
 
 namespace ecfrm::obs {
 
+class Counter;
+class MetricRegistry;
+
 struct TraceEvent {
     std::string name;
     std::string cat;
@@ -52,6 +55,17 @@ class Tracer {
     /// Events recorded over the tracer's lifetime (>= size()).
     std::size_t recorded() const;
 
+    /// Events lost to ring wraparound (recorded() - size()): the ring
+    /// keeps only the newest `capacity` events, and overwrites are
+    /// otherwise silent.
+    std::size_t dropped() const;
+
+    /// Publish drop accounting as ecfrm_obs_trace_dropped_total in the
+    /// given registry (pass nullptr to detach). Drops that already
+    /// happened seed the counter, so late attachment loses nothing. Not
+    /// synchronised against concurrent push — attach before tracing.
+    void attach_metrics(MetricRegistry* registry);
+
     /// Events currently held (min(recorded, capacity)).
     std::size_t size() const;
 
@@ -69,6 +83,7 @@ class Tracer {
     mutable std::mutex mu_;
     std::vector<TraceEvent> ring_;
     std::size_t total_ = 0;  // lifetime event count; ring slot = total_ % capacity_
+    Counter* dropped_counter_ = nullptr;  // guarded by mu_
 };
 
 /// RAII wall-clock span. A null tracer makes every operation a no-op, so

@@ -50,7 +50,8 @@ class BlockDevice {
   protected:
     /// Scoped I/O accounting for one device op: counts bytes/ops on
     /// success and, when the histogram is attached, the op's wall-clock
-    /// seconds. Cost when nothing is attached: a few null checks.
+    /// seconds; failed ops land in the error counters instead. Cost when
+    /// nothing is attached: a few null checks.
     class IoTimer {
       public:
         IoTimer(const obs::IoStats& io, bool is_read, std::int64_t bytes)
@@ -60,7 +61,14 @@ class BlockDevice {
         }
 
         void done(const Status& status) {
-            if (!status.ok()) return;
+            if (!status.ok()) {
+                if (is_read_) {
+                    io_.on_read_error(bytes_);
+                } else {
+                    io_.on_write_error(bytes_);
+                }
+                return;
+            }
             const double seconds =
                 timed_ ? std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count()
                        : 0.0;

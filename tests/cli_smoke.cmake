@@ -88,5 +88,18 @@ if(NOT TRACE MATCHES "store.read_elements")
   message(FATAL_ERROR "trace.json is missing the read span")
 endif()
 
+# Plan explainability: explain dumps schema-tagged JSON to stdout with the
+# per-disk load vector and decode provenance.
+execute_process(COMMAND ${CLI} explain lrc:6,2,2 ecfrm 0 3 --failed 2
+                RESULT_VARIABLE rc_ex OUTPUT_VARIABLE EXPLAIN ERROR_VARIABLE explain_err)
+if(NOT rc_ex EQUAL 0)
+  message(FATAL_ERROR "explain failed (${rc_ex}): ${explain_err}")
+endif()
+foreach(want "ecfrm.explain.v1" "per_disk_load" "max_load" "fan_out" "decodes")
+  if(NOT EXPLAIN MATCHES "${want}")
+    message(FATAL_ERROR "explain output missing '${want}':\n${EXPLAIN}")
+  endif()
+endforeach()
+
 file(REMOVE_RECURSE ${WORK})
 message(STATUS "cli smoke test passed")

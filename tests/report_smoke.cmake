@@ -1,0 +1,70 @@
+# End-to-end smoke test of the perf-telemetry pipeline, run under ctest:
+# a bench binary writes BENCH_*.json artifacts under ECFRM_BENCH_OUT, and
+# ecfrm_report gates on them — exit 0 for a same-config re-run, nonzero
+# for a deliberately slowed run (tiny elements tank MB/s).
+# Invoked as:
+#   cmake -DBENCH=<bench binary> -DREPORT=<ecfrm_report> -DWORK=<scratch>
+#         -P report_smoke.cmake
+
+function(run_bench outdir)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env ECFRM_BENCH_OUT=${outdir} ECFRM_BENCH_TRIALS=20
+            ECFRM_BENCH_TS=1700000000 ${ARGN} ${BENCH}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench failed (${rc}): ${out}\n${err}")
+  endif()
+endfunction()
+
+file(REMOVE_RECURSE ${WORK})
+file(MAKE_DIRECTORY ${WORK})
+
+run_bench(${WORK}/base)
+run_bench(${WORK}/same)
+run_bench(${WORK}/slow "ECFRM_BENCH_ELEM=4096")
+
+# The artifact must exist, carry the schema tag, and parse as one object.
+file(GLOB artifacts ${WORK}/base/BENCH_*.json)
+list(LENGTH artifacts n)
+if(NOT n EQUAL 1)
+  message(FATAL_ERROR "expected exactly one artifact in ${WORK}/base, found ${n}")
+endif()
+list(GET artifacts 0 base_artifact)
+file(READ ${base_artifact} body)
+if(NOT body MATCHES "\"schema\": *\"ecfrm\\.bench\\.v1\"")
+  message(FATAL_ERROR "${base_artifact} is missing the ecfrm.bench.v1 schema tag")
+endif()
+if(NOT body MATCHES "\"series\"")
+  message(FATAL_ERROR "${base_artifact} has no series array")
+endif()
+
+get_filename_component(artifact_name ${base_artifact} NAME)
+
+# Identical configuration: the gate must pass.
+execute_process(COMMAND ${REPORT} ${base_artifact} ${WORK}/same/${artifact_name}
+                RESULT_VARIABLE rc_same OUTPUT_VARIABLE out_same ERROR_VARIABLE err_same)
+if(NOT rc_same EQUAL 0)
+  message(FATAL_ERROR "report flagged identical-config runs (${rc_same}):\n${out_same}\n${err_same}")
+endif()
+
+# 4 KiB elements vs 1 MiB: throughput collapses, the gate must trip.
+execute_process(COMMAND ${REPORT} ${base_artifact} ${WORK}/slow/${artifact_name}
+                RESULT_VARIABLE rc_slow OUTPUT_VARIABLE out_slow ERROR_VARIABLE err_slow)
+if(rc_slow EQUAL 0)
+  message(FATAL_ERROR "report missed a gross regression:\n${out_slow}")
+endif()
+if(NOT out_slow MATCHES "REGRESSION")
+  message(FATAL_ERROR "report exited ${rc_slow} but printed no REGRESSION row:\n${out_slow}\n${err_slow}")
+endif()
+
+# Markdown report lands where asked.
+execute_process(COMMAND ${REPORT} ${base_artifact} ${WORK}/slow/${artifact_name}
+                        --markdown ${WORK}/report.md
+                RESULT_VARIABLE rc_md OUTPUT_QUIET ERROR_QUIET)
+file(READ ${WORK}/report.md md)
+if(NOT md MATCHES "\\| *series *\\|")
+  message(FATAL_ERROR "markdown report missing its table header:\n${md}")
+endif()
+
+file(REMOVE_RECURSE ${WORK})
+message(STATUS "report smoke test passed")

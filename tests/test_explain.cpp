@@ -1,0 +1,155 @@
+// explain_read_json: the JSON the CLI dumps must agree exactly with the
+// planner it describes and with the analytical grids in core/analysis —
+// per-disk loads summing to the fetch count, max loads matching the
+// closed forms, and grid means matching analyze_normal/degraded_reads.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codes/factory.h"
+#include "core/analysis.h"
+#include "core/explain.h"
+#include "core/scheme.h"
+#include "obs/json.h"
+
+namespace ecfrm {
+namespace {
+
+using core::Scheme;
+using obs::json::Value;
+
+Scheme make_scheme(const std::string& spec, layout::LayoutKind kind) {
+    auto code = codes::make_code(spec);
+    EXPECT_TRUE(code.ok());
+    return Scheme(code.value(), kind);
+}
+
+Value explain(const Scheme& scheme, ElementId start, std::int64_t count,
+              const std::vector<DiskId>& failed = {},
+              core::DegradedPolicy policy = core::DegradedPolicy::local_first) {
+    auto text = core::explain_read_json(scheme, start, count, failed, policy);
+    EXPECT_TRUE(text.ok()) << (text.ok() ? "" : text.error().message);
+    auto doc = obs::json::parse(text.value());
+    EXPECT_TRUE(doc.ok()) << (doc.ok() ? "" : doc.error().message);
+    EXPECT_EQ(doc->string_or("schema", ""), "ecfrm.explain.v1");
+    return std::move(doc).take();
+}
+
+/// Cross-check one parsed document's internal consistency, and return its
+/// plan object.
+const Value* check_plan_invariants(const Value& doc, std::int64_t count) {
+    const Value* plan = doc.find("plan");
+    EXPECT_NE(plan, nullptr);
+    const Value* loads = plan->find("per_disk_load");
+    EXPECT_NE(loads, nullptr);
+    EXPECT_EQ(static_cast<int>(loads->items().size()),
+              static_cast<int>(doc.number_or("disks", -1)));
+
+    double load_sum = 0.0;
+    double max_load = 0.0;
+    int fan_out = 0;
+    for (const Value& v : loads->items()) {
+        load_sum += v.as_number();
+        max_load = std::max(max_load, v.as_number());
+        fan_out += v.as_number() > 0 ? 1 : 0;
+    }
+    EXPECT_EQ(load_sum, plan->number_or("total_fetched", -1.0));
+    EXPECT_EQ(max_load, plan->number_or("max_load", -1.0));
+    EXPECT_EQ(fan_out, static_cast<int>(plan->number_or("fan_out", -1.0)));
+    EXPECT_EQ(plan->number_or("requested", -1.0), static_cast<double>(count));
+
+    const Value* fetches = plan->find("fetches");
+    EXPECT_NE(fetches, nullptr);
+    EXPECT_EQ(static_cast<double>(fetches->items().size()),
+              plan->number_or("total_fetched", -1.0));
+    return plan;
+}
+
+TEST(Explain, NormalReadsMatchClosedFormAndAnalysisGrid) {
+    const int max_size = 6;
+    for (auto kind : {layout::LayoutKind::standard, layout::LayoutKind::ecfrm}) {
+        const Scheme scheme = make_scheme("rs:6,3", kind);
+        const std::int64_t period = scheme.layout().data_per_stripe();
+        double grid_sum = 0.0;
+        std::int64_t cases = 0;
+        for (std::int64_t start = 0; start < period; ++start) {
+            for (int size = 1; size <= max_size; ++size) {
+                const Value doc = explain(scheme, start, size);
+                const Value* plan = check_plan_invariants(doc, size);
+                EXPECT_EQ(static_cast<int>(plan->number_or("max_load", -1.0)),
+                          core::closed_form_max_load(kind, scheme.disks(),
+                                                     scheme.layout().data_per_group(), size))
+                    << "start=" << start << " size=" << size;
+                // Normal reads fetch exactly the requested elements.
+                EXPECT_DOUBLE_EQ(plan->number_or("cost", -1.0), 1.0);
+                EXPECT_EQ(plan->find("decodes")->items().size(), 0u);
+                grid_sum += plan->number_or("max_load", 0.0);
+                ++cases;
+            }
+        }
+        const auto analysis = core::analyze_normal_reads(scheme, max_size);
+        EXPECT_NEAR(grid_sum / static_cast<double>(cases), analysis.mean_max_load, 1e-12)
+            << layout::to_string(kind);
+    }
+}
+
+TEST(Explain, DegradedLrcGridMatchesAnalysis) {
+    const int max_size = 4;
+    const Scheme scheme = make_scheme("lrc:6,2,2", layout::LayoutKind::ecfrm);
+    const std::int64_t period = scheme.layout().data_per_stripe();
+    double load_sum = 0.0;
+    double cost_sum = 0.0;
+    std::int64_t cases = 0;
+    for (DiskId failed = 0; failed < scheme.disks(); ++failed) {
+        for (std::int64_t start = 0; start < period; ++start) {
+            for (int size = 1; size <= max_size; ++size) {
+                const Value doc = explain(scheme, start, size, {failed});
+                const Value* plan = check_plan_invariants(doc, size);
+                load_sum += plan->number_or("max_load", 0.0);
+                cost_sum += plan->number_or("cost", 0.0);
+                // The failed disk must serve nothing.
+                const Value* loads = plan->find("per_disk_load");
+                EXPECT_EQ(loads->items()[static_cast<std::size_t>(failed)].as_number(), 0.0);
+                ++cases;
+            }
+        }
+    }
+    const auto analysis = core::analyze_degraded_reads(scheme, max_size);
+    EXPECT_NEAR(load_sum / static_cast<double>(cases), analysis.loads.mean_max_load, 1e-12);
+    EXPECT_NEAR(cost_sum / static_cast<double>(cases), analysis.mean_cost, 1e-12);
+}
+
+TEST(Explain, DecodeSourcesCarryPhysicalDisks) {
+    const Scheme scheme = make_scheme("rs:6,3", layout::LayoutKind::standard);
+    // Request one element on the failed disk: the plan must decode it from
+    // k sources, none living on the failed disk.
+    const DiskId failed = 0;
+    const Value doc = explain(scheme, 0, 1, {failed});
+    const Value* plan = doc.find("plan");
+    ASSERT_NE(plan, nullptr);
+    const Value* decodes = plan->find("decodes");
+    ASSERT_NE(decodes, nullptr);
+    ASSERT_EQ(decodes->items().size(), 1u);
+    const Value& decode = decodes->items()[0];
+    const Value* sources = decode.find("sources");
+    ASSERT_NE(sources, nullptr);
+    EXPECT_EQ(static_cast<int>(sources->items().size()), scheme.layout().data_per_group());
+    for (const Value& s : sources->items()) {
+        EXPECT_NE(s.number_or("disk", -1.0), static_cast<double>(failed));
+        EXPECT_GE(s.number_or("disk", -1.0), 0.0);
+        EXPECT_GE(s.number_or("coeff", 0.0), 1.0);
+    }
+}
+
+TEST(Explain, RejectsBadRequests) {
+    const Scheme scheme = make_scheme("rs:6,3", layout::LayoutKind::ecfrm);
+    EXPECT_FALSE(core::explain_read_json(scheme, -1, 1, {}).ok());
+    EXPECT_FALSE(core::explain_read_json(scheme, 0, 0, {}).ok());
+    EXPECT_FALSE(core::explain_read_json(scheme, 0, 1, {scheme.disks()}).ok());
+    EXPECT_FALSE(core::explain_read_json(scheme, 0, 1, {-1}).ok());
+}
+
+}  // namespace
+}  // namespace ecfrm

@@ -258,6 +258,78 @@ TEST(Registry, DiskInstrumentationCountsDeviceOps) {
     EXPECT_EQ(reg.histogram("ecfrm_disk_read_seconds", {{"disk", "0"}}).count(), 1);
 }
 
+TEST(Registry, IoErrorsCountedPerDiskAndOp) {
+    MetricRegistry reg;
+    store::Disk disk(64);
+    disk.attach_io_stats(reg.disk_io_stats(2));
+
+    std::vector<std::uint8_t> data(64, 0xCD);
+    ASSERT_TRUE(disk.write(0, ConstByteSpan(data.data(), data.size())).ok());
+    disk.fail();
+    std::vector<std::uint8_t> out(64);
+    ASSERT_FALSE(disk.read(0, ByteSpan(out.data(), out.size())).ok());
+    ASSERT_FALSE(disk.read(0, ByteSpan(out.data(), out.size())).ok());
+    ASSERT_FALSE(disk.write(0, ConstByteSpan(data.data(), data.size())).ok());
+
+    const Labels read_labels{{"disk", "2"}, {"op", "read"}};
+    const Labels write_labels{{"disk", "2"}, {"op", "write"}};
+    EXPECT_EQ(reg.counter("ecfrm_store_io_errors_total", read_labels).value(), 2);
+    EXPECT_EQ(reg.counter("ecfrm_store_io_error_bytes_total", read_labels).value(), 128);
+    EXPECT_EQ(reg.counter("ecfrm_store_io_errors_total", write_labels).value(), 1);
+    EXPECT_EQ(reg.counter("ecfrm_store_io_error_bytes_total", write_labels).value(), 64);
+    // Failed ops never count as served I/O.
+    EXPECT_EQ(reg.counter("ecfrm_disk_read_ops_total", {{"disk", "2"}}).value(), 0);
+    EXPECT_EQ(reg.counter("ecfrm_disk_write_ops_total", {{"disk", "2"}}).value(), 1);
+    EXPECT_NE(reg.help("ecfrm_store_io_errors_total"), "");
+}
+
+TEST(Tracer, DroppedCountsWrapLosses) {
+    Tracer tracer(4);
+    for (int i = 0; i < 3; ++i) tracer.instant("e", "t", static_cast<double>(i));
+    EXPECT_EQ(tracer.dropped(), 0u);
+    for (int i = 3; i < 10; ++i) tracer.instant("e", "t", static_cast<double>(i));
+    EXPECT_EQ(tracer.dropped(), 6u);  // 10 recorded, ring holds 4
+}
+
+TEST(Tracer, AttachMetricsSeedsAndTracksDrops) {
+    MetricRegistry reg;
+    Tracer tracer(2);
+    // Drops that happen before attachment must seed the counter.
+    for (int i = 0; i < 5; ++i) tracer.instant("e", "t", static_cast<double>(i));
+    tracer.attach_metrics(&reg);
+    Counter& dropped = reg.counter("ecfrm_obs_trace_dropped_total");
+    EXPECT_EQ(dropped.value(), 3);
+    tracer.instant("late", "t", 99.0);
+    EXPECT_EQ(dropped.value(), 4);
+    EXPECT_EQ(tracer.dropped(), 4u);
+    EXPECT_NE(reg.help("ecfrm_obs_trace_dropped_total"), "");
+    // Detach: further drops no longer touch the registry.
+    tracer.attach_metrics(nullptr);
+    tracer.instant("unseen", "t", 100.0);
+    EXPECT_EQ(dropped.value(), 4);
+}
+
+TEST(ThreadPool, AttachMetricsTracksQueueAndExecution) {
+    MetricRegistry reg;
+    Gauge& depth = reg.gauge("ecfrm_pool_queue_depth");
+    Counter& executed = reg.counter("ecfrm_pool_tasks_executed_total");
+
+    constexpr int kTasks = 64;
+    ThreadPool pool(3);
+    pool.attach_metrics(&depth, &executed);
+    for (int i = 0; i < kTasks; ++i) pool.submit([] {});
+    pool.wait_idle();
+    EXPECT_EQ(executed.value(), kTasks);
+    EXPECT_DOUBLE_EQ(depth.value(), 0.0);  // everything drained
+
+    // Null attachments are a supported no-op.
+    ThreadPool quiet(2);
+    quiet.attach_metrics(nullptr, nullptr);
+    quiet.submit([] {});
+    quiet.wait_idle();
+    EXPECT_EQ(executed.value(), kTasks);
+}
+
 TEST(Tracer, RingWrapsKeepingNewestEvents) {
     Tracer tracer(8);
     EXPECT_EQ(tracer.capacity(), 8u);

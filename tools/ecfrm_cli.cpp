@@ -23,8 +23,10 @@
 #include <vector>
 
 #include "codes/factory.h"
+#include "core/explain.h"
 #include "core/read_planner.h"
 #include "core/scheme.h"
+#include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "store/file_disk.h"
@@ -51,10 +53,14 @@ int usage() {
                  "  ecfrm_cli scrub <dir>\n"
                  "  ecfrm_cli corrupt <dir> <disk> <row> <byte>\n"
                  "  ecfrm_cli status <dir>\n"
+                 "  ecfrm_cli explain <code_spec> <layout> <start> <count>"
+                 " [--failed d0,d1] [--policy local|balance]\n"
                  "global options (any command):\n"
                  "  --metrics-out <file>   dump metrics as newline-delimited JSON\n"
                  "  --metrics-prom <file>  dump metrics in Prometheus text format\n"
-                 "  --trace-out <file>     dump spans as chrome://tracing JSON\n");
+                 "  --trace-out <file>     dump spans as chrome://tracing JSON\n"
+                 "  --serve <port>         serve /metrics, /metrics.json, /healthz on 127.0.0.1\n"
+                 "  --serve-hold <secs>    keep serving after the command (GET /quitquitquit ends)\n");
     return 2;
 }
 
@@ -63,15 +69,42 @@ struct ObsOutputs {
     std::string metrics_path;
     std::string prometheus_path;
     std::string trace_path;
+    int serve_port = -1;       // >= 0: expose live metrics over HTTP
+    double serve_hold = 0.0;   // seconds to keep serving after the command
     std::unique_ptr<obs::MetricRegistry> metrics;
     std::unique_ptr<obs::Tracer> tracer;
+    std::unique_ptr<obs::Snapshotter> snapshotter;
+    std::unique_ptr<obs::ExpositionServer> server;
 
     void enable() {
-        if (!metrics_path.empty() || !prometheus_path.empty()) {
+        if (!metrics_path.empty() || !prometheus_path.empty() || serve_port >= 0) {
             metrics = std::make_unique<obs::MetricRegistry>("ecfrm_cli");
             core::attach_planner_metrics(metrics.get());
         }
         if (!trace_path.empty()) tracer = std::make_unique<obs::Tracer>(1 << 14);
+        if (tracer != nullptr && metrics != nullptr) tracer->attach_metrics(metrics.get());
+        if (serve_port >= 0) {
+            snapshotter = std::make_unique<obs::Snapshotter>(metrics.get(), 1.0);
+            snapshotter->start();
+            server = std::make_unique<obs::ExpositionServer>(metrics.get(), snapshotter.get());
+            auto status = server->start(serve_port);
+            if (!status.ok()) {
+                std::fprintf(stderr, "error: %s\n", status.error().message.c_str());
+                server.reset();
+                return;
+            }
+            std::printf("serving metrics on http://127.0.0.1:%d/metrics\n", server->port());
+            std::fflush(stdout);
+        }
+    }
+
+    /// Honour --serve-hold: keep the command's final metrics scrapable
+    /// until the hold expires or a client GETs /quitquitquit.
+    void hold() {
+        if (server == nullptr || serve_hold <= 0.0) return;
+        std::printf("holding for %.1fs (GET /quitquitquit to release)\n", serve_hold);
+        std::fflush(stdout);
+        server->wait_for_quit(serve_hold);
     }
 
     static bool write_file(const std::string& path, const std::string& body) {
@@ -349,10 +382,52 @@ int cmd_status(const std::string& dir) {
     return 0;
 }
 
+/// `explain` plans a read against a synthetic scheme (no archive needed)
+/// and prints the planner's decision as ecfrm.explain.v1 JSON.
+int cmd_explain(const std::vector<std::string>& args) {
+    std::vector<DiskId> failed;
+    auto policy = core::DegradedPolicy::local_first;
+    std::vector<std::string> positional;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+        if (args[i] == "--failed" && i + 1 < args.size()) {
+            const std::string& list = args[++i];
+            std::size_t pos = 0;
+            while (pos < list.size()) {
+                std::size_t comma = list.find(',', pos);
+                if (comma == std::string::npos) comma = list.size();
+                failed.push_back(std::atoi(list.substr(pos, comma - pos).c_str()));
+                pos = comma + 1;
+            }
+        } else if (args[i] == "--policy" && i + 1 < args.size()) {
+            const std::string& name = args[++i];
+            if (name == "balance") {
+                policy = core::DegradedPolicy::balance;
+            } else if (name != "local") {
+                std::fprintf(stderr, "error: unknown policy '%s'\n", name.c_str());
+                return 2;
+            }
+        } else {
+            positional.push_back(args[i]);
+        }
+    }
+    if (positional.size() != 4) return usage();
+    auto code = codes::make_code(positional[0]);
+    if (!code.ok()) return fail_with(code.error());
+    auto kind = store::parse_layout_kind(positional[1]);
+    if (!kind.ok()) return fail_with(kind.error());
+    core::Scheme scheme(code.value(), kind.value());
+    auto out = core::explain_read_json(scheme, std::atoll(positional[2].c_str()),
+                                       std::atoll(positional[3].c_str()), failed, policy);
+    if (!out.ok()) return fail_with(out.error());
+    std::fputs(out->c_str(), stdout);
+    return 0;
+}
+
 int dispatch(const std::vector<std::string>& args) {
     const int argc = static_cast<int>(args.size());
     if (argc < 3) return usage();
     const std::string& cmd = args[1];
+    if (cmd == "explain") return cmd_explain(args);
     const std::string& dir = args[2];
     if (cmd == "create" && argc == 6) return cmd_create(dir, args[3], args[4], args[5]);
     if (cmd == "put" && argc == 4) return cmd_put(dir, args[3], "");
@@ -388,10 +463,21 @@ int main(int argc, char** argv) {
             *sink = argv[++i];
             continue;
         }
+        if (arg == "--serve") {
+            if (i + 1 >= argc) return usage();
+            g_obs.serve_port = std::atoi(argv[++i]);
+            continue;
+        }
+        if (arg == "--serve-hold") {
+            if (i + 1 >= argc) return usage();
+            g_obs.serve_hold = std::atof(argv[++i]);
+            continue;
+        }
         args.push_back(arg);
     }
     g_obs.enable();
     const int rc = dispatch(args);
+    g_obs.hold();
     if (!g_obs.flush()) return rc == 0 ? 1 : rc;
     return rc;
 }

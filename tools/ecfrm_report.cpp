@@ -1,0 +1,263 @@
+// ecfrm_report: perf regression gate over canonical bench artifacts.
+//
+//   ecfrm_report <baseline> <candidate> [--threshold PCT] [--markdown FILE]
+//                [--fail-on-missing]
+//
+// Inputs are either "ecfrm.bench.v1" artifacts (written by any bench under
+// ECFRM_BENCH_OUT) or NDJSON metric snapshots (ECFRM_METRICS_OUT /
+// MetricRegistry::to_json). Every series present in both files is compared
+// on its median; a series whose direction is known (higher_is_better /
+// lower_is_better) and whose delta is worse than the noise threshold
+// (default 5%) is a regression. Exit status: 0 clean, 1 regression(s),
+// 2 usage or input error — so CI can gate directly on the process result.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace {
+
+using ecfrm::obs::json::Value;
+
+struct Series {
+    std::string name;
+    std::string unit;
+    std::string direction;  // "higher_is_better" | "lower_is_better" | "none"
+    double value = 0.0;     // comparison statistic (median / counter value / p50)
+    std::int64_t count = 0;
+};
+
+struct Input {
+    std::string path;
+    std::string kind;  // "artifact" | "ndjson"
+    std::string bench;
+    std::string build_flags;
+    std::vector<Series> series;
+};
+
+std::string labels_suffix(const Value& labels) {
+    if (!labels.is_object() || labels.members().empty()) return "";
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [k, v] : labels.members()) {
+        if (!first) out += ",";
+        first = false;
+        out += k + "=" + (v.is_string() ? v.as_string() : "?");
+    }
+    out += "}";
+    return out;
+}
+
+bool load_input(const std::string& path, Input& out, std::string& error) {
+    out.path = path;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        error = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    auto doc = ecfrm::obs::json::parse(text);
+    if (doc.ok() && doc->is_object() &&
+        doc->string_or("schema", "") == "ecfrm.bench.v1") {
+        out.kind = "artifact";
+        out.bench = doc->string_or("bench", "");
+        if (const Value* params = doc->find("params"); params != nullptr) {
+            out.build_flags = params->string_or("build_flags", "");
+        }
+        const Value* series = doc->find("series");
+        if (series != nullptr && series->is_array()) {
+            for (const Value& s : series->items()) {
+                Series row;
+                row.name = s.string_or("name", "?");
+                row.unit = s.string_or("unit", "");
+                row.direction = s.string_or("direction", "none");
+                row.value = s.number_or("median", 0.0);
+                row.count = static_cast<std::int64_t>(s.number_or("count", 0.0));
+                out.series.push_back(std::move(row));
+            }
+        }
+        return true;
+    }
+
+    // Fall back to an NDJSON metric snapshot: one registry entry per line.
+    auto lines = ecfrm::obs::json::parse_ndjson(text);
+    if (!lines.ok()) {
+        error = path + ": neither an ecfrm.bench.v1 artifact nor NDJSON metrics (" +
+                lines.error().message + ")";
+        return false;
+    }
+    out.kind = "ndjson";
+    for (const Value& m : lines.value()) {
+        if (!m.is_object()) continue;
+        Series row;
+        const Value* labels = m.find("labels");
+        row.name = m.string_or("name", "?") + (labels != nullptr ? labels_suffix(*labels) : "");
+        row.direction = "none";  // raw metrics carry no better/worse semantics
+        const std::string type = m.string_or("type", "");
+        if (type == "histogram") {
+            row.unit = "p50";
+            row.value = m.number_or("p50", 0.0);
+            row.count = static_cast<std::int64_t>(m.number_or("count", 0.0));
+        } else {
+            row.value = m.number_or("value", 0.0);
+            row.count = 1;
+        }
+        out.series.push_back(std::move(row));
+    }
+    return true;
+}
+
+const Series* find_series(const Input& input, const std::string& name) {
+    for (const Series& s : input.series) {
+        if (s.name == name) return &s;
+    }
+    return nullptr;
+}
+
+struct Row {
+    std::string name;
+    std::string unit;
+    double base = 0.0;
+    double cand = 0.0;
+    double delta_pct = 0.0;
+    std::string verdict;  // ok | REGRESSION | improved | info | new | MISSING
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    double threshold_pct = 5.0;
+    bool fail_on_missing = false;
+    std::string markdown_path;
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--threshold" && i + 1 < argc) {
+            threshold_pct = std::atof(argv[++i]);
+        } else if (arg == "--markdown" && i + 1 < argc) {
+            markdown_path = argv[++i];
+        } else if (arg == "--fail-on-missing") {
+            fail_on_missing = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: ecfrm_report <baseline> <candidate> [--threshold PCT]"
+                        " [--markdown FILE] [--fail-on-missing]\n");
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "ecfrm_report: unknown flag %s\n", arg.c_str());
+            return 2;
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.size() < 2) {
+        std::fprintf(stderr, "ecfrm_report: need a baseline and a candidate file\n");
+        return 2;
+    }
+
+    Input baseline;
+    Input candidate;
+    std::string error;
+    if (!load_input(files.front(), baseline, error) ||
+        !load_input(files.back(), candidate, error)) {
+        std::fprintf(stderr, "ecfrm_report: %s\n", error.c_str());
+        return 2;
+    }
+    if (!baseline.build_flags.empty() && !candidate.build_flags.empty() &&
+        baseline.build_flags != candidate.build_flags) {
+        std::fprintf(stderr,
+                     "ecfrm_report: warning: build flags differ (baseline '%s', candidate '%s')\n",
+                     baseline.build_flags.c_str(), candidate.build_flags.c_str());
+    }
+
+    std::vector<Row> rows;
+    int regressions = 0;
+    for (const Series& base : baseline.series) {
+        Row row;
+        row.name = base.name;
+        row.unit = base.unit;
+        row.base = base.value;
+        const Series* cand = find_series(candidate, base.name);
+        if (cand == nullptr) {
+            row.verdict = "MISSING";
+            if (fail_on_missing) ++regressions;
+            rows.push_back(std::move(row));
+            continue;
+        }
+        row.cand = cand->value;
+        row.delta_pct = base.value != 0.0 ? (cand->value / base.value - 1.0) * 100.0
+                                          : (cand->value == 0.0 ? 0.0 : 100.0);
+        if (base.direction == "none") {
+            row.verdict = "info";
+        } else {
+            // "Worse" depends on the series direction; |delta| inside the
+            // noise threshold is never actionable either way.
+            const bool higher = base.direction == "higher_is_better";
+            const double worse_pct = higher ? -row.delta_pct : row.delta_pct;
+            if (worse_pct > threshold_pct) {
+                row.verdict = "REGRESSION";
+                ++regressions;
+            } else if (-worse_pct > threshold_pct) {
+                row.verdict = "improved";
+            } else {
+                row.verdict = "ok";
+            }
+        }
+        rows.push_back(std::move(row));
+    }
+    for (const Series& cand : candidate.series) {
+        if (find_series(baseline, cand.name) == nullptr) {
+            Row row;
+            row.name = cand.name;
+            row.unit = cand.unit;
+            row.cand = cand.value;
+            row.verdict = "new";
+            rows.push_back(std::move(row));
+        }
+    }
+
+    std::printf("ecfrm_report: %s (%s) vs %s (%s), threshold %.1f%%\n", baseline.path.c_str(),
+                baseline.kind.c_str(), candidate.path.c_str(), candidate.kind.c_str(),
+                threshold_pct);
+    std::size_t width = 4;
+    for (const Row& r : rows) width = std::max(width, r.name.size());
+    std::printf("%-*s %14s %14s %9s  %s\n", static_cast<int>(width), "series", "baseline",
+                "candidate", "delta", "verdict");
+    for (const Row& r : rows) {
+        std::printf("%-*s %14.4g %14.4g %+8.2f%%  %s%s%s\n", static_cast<int>(width),
+                    r.name.c_str(), r.base, r.cand, r.delta_pct, r.verdict.c_str(),
+                    r.unit.empty() ? "" : "  [", r.unit.empty() ? "" : (r.unit + "]").c_str());
+    }
+    std::printf("ecfrm_report: %d regression(s) across %zu series\n", regressions, rows.size());
+
+    if (!markdown_path.empty()) {
+        std::ofstream md(markdown_path);
+        if (!md) {
+            std::fprintf(stderr, "ecfrm_report: cannot write %s\n", markdown_path.c_str());
+            return 2;
+        }
+        md << "# Perf report\n\n"
+           << "Baseline `" << baseline.path << "` vs candidate `" << candidate.path
+           << "` (threshold " << threshold_pct << "%)\n\n"
+           << "| series | unit | baseline | candidate | delta | verdict |\n"
+           << "|---|---|---:|---:|---:|---|\n";
+        for (const Row& r : rows) {
+            char delta[32];
+            std::snprintf(delta, sizeof(delta), "%+.2f%%", r.delta_pct);
+            md << "| " << r.name << " | " << r.unit << " | " << r.base << " | " << r.cand
+               << " | " << delta << " | " << r.verdict << " |\n";
+        }
+        md << "\n**" << regressions << " regression(s)** across " << rows.size()
+           << " series.\n";
+    }
+
+    return regressions > 0 ? 1 : 0;
+}

@@ -29,6 +29,7 @@
 #include "codes/factory.h"
 #include "common/rng.h"
 #include "core/read_planner.h"
+#include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/array_sim.h"
@@ -51,13 +52,16 @@ struct Options {
     std::string metrics_out;
     std::string metrics_prom;
     std::string trace_out;
+    int serve_port = -1;      // >= 0: serve live metrics while running
+    double serve_hold = 0.0;  // seconds to keep serving after the run
 };
 
 int usage() {
     std::fprintf(stderr,
                  "usage: ecfrm_sim <code_spec> [--layout standard|rotated|ecfrm|all] [--trials N]\n"
                  "                 [--elem BYTES] [--max-size E] [--degraded] [--policy local|balance]\n"
-                 "                 [--seed S] [--metrics-out F] [--metrics-prom F] [--trace-out F]\n");
+                 "                 [--seed S] [--metrics-out F] [--metrics-prom F] [--trace-out F]\n"
+                 "                 [--serve PORT] [--serve-hold SECS]\n");
     return 2;
 }
 
@@ -134,6 +138,14 @@ int main(int argc, char** argv) {
             const char* v = value();
             if (v == nullptr) return usage();
             opt.trace_out = v;
+        } else if (arg == "--serve") {
+            const char* v = value();
+            if (v == nullptr) return usage();
+            opt.serve_port = std::atoi(v);
+        } else if (arg == "--serve-hold") {
+            const char* v = value();
+            if (v == nullptr) return usage();
+            opt.serve_hold = std::atof(v);
         } else {
             return usage();
         }
@@ -142,11 +154,30 @@ int main(int argc, char** argv) {
 
     std::unique_ptr<obs::MetricRegistry> metrics;
     std::unique_ptr<obs::Tracer> tracer;
-    if (!opt.metrics_out.empty() || !opt.metrics_prom.empty()) {
+    if (!opt.metrics_out.empty() || !opt.metrics_prom.empty() || opt.serve_port >= 0) {
         metrics = std::make_unique<obs::MetricRegistry>("ecfrm_sim");
         core::attach_planner_metrics(metrics.get());
     }
     if (!opt.trace_out.empty()) tracer = std::make_unique<obs::Tracer>(std::size_t{1} << 14);
+    if (tracer != nullptr && metrics != nullptr) tracer->attach_metrics(metrics.get());
+
+    // The server starts before the protocol so the run is scrapable live;
+    // the snapshotter's captures turn the counters into rates.
+    std::unique_ptr<obs::Snapshotter> snapshotter;
+    std::unique_ptr<obs::ExpositionServer> server;
+    if (opt.serve_port >= 0) {
+        snapshotter = std::make_unique<obs::Snapshotter>(metrics.get(), 0.5);
+        snapshotter->start();
+        server = std::make_unique<obs::ExpositionServer>(metrics.get(), snapshotter.get());
+        auto status = server->start(opt.serve_port);
+        if (!status.ok()) {
+            std::fprintf(stderr, "error: %s\n", status.error().message.c_str());
+            return 1;
+        }
+        // Flushed immediately: test drivers read the port from a pipe.
+        std::printf("serving metrics on http://127.0.0.1:%d/metrics\n", server->port());
+        std::fflush(stdout);
+    }
 
     auto code = codes::make_code(opt.spec);
     if (!code.ok()) {
@@ -237,6 +268,12 @@ int main(int argc, char** argv) {
             std::printf("%-20s %12.2f %12.3f\n", scheme.name().c_str(), speed / opt.trials,
                         max_load / opt.trials);
         }
+    }
+
+    if (server != nullptr && opt.serve_hold > 0.0) {
+        std::printf("holding for %.1fs (GET /quitquitquit to release)\n", opt.serve_hold);
+        std::fflush(stdout);
+        server->wait_for_quit(opt.serve_hold);
     }
 
     bool io_ok = true;
