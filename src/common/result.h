@@ -21,6 +21,10 @@ struct Error {
         disk_failed,
         io_error,
         internal,
+        // Typed degraded-mode outcomes of the self-healing read path.
+        timeout,           // an op exceeded its per-op deadline
+        corrupt,           // device-detected (or scrub-confirmed) corruption
+        beyond_tolerance,  // more concurrent damage than the code can decode
     };
 
     Code code = Code::internal;
@@ -32,6 +36,26 @@ struct Error {
     static Error disk_failed(std::string msg) { return {Code::disk_failed, std::move(msg)}; }
     static Error io(std::string msg) { return {Code::io_error, std::move(msg)}; }
     static Error internal(std::string msg) { return {Code::internal, std::move(msg)}; }
+    static Error timeout(std::string msg) { return {Code::timeout, std::move(msg)}; }
+    static Error corrupt(std::string msg) { return {Code::corrupt, std::move(msg)}; }
+    static Error beyond_tolerance(std::string msg) { return {Code::beyond_tolerance, std::move(msg)}; }
+
+    /// Stable lowercase name of a code ("timeout", "beyond_tolerance", ...)
+    /// for logs, artifacts and typed-error accounting.
+    static const char* code_name(Code code) {
+        switch (code) {
+            case Code::invalid_argument: return "invalid_argument";
+            case Code::out_of_range: return "out_of_range";
+            case Code::undecodable: return "undecodable";
+            case Code::disk_failed: return "disk_failed";
+            case Code::io_error: return "io_error";
+            case Code::timeout: return "timeout";
+            case Code::corrupt: return "corrupt";
+            case Code::beyond_tolerance: return "beyond_tolerance";
+            case Code::internal: break;
+        }
+        return "internal";
+    }
 };
 
 /// Value-or-Error. `ok()` must be checked before dereferencing.

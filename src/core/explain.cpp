@@ -31,7 +31,12 @@ Result<std::string> explain_read_json(const Scheme& scheme, ElementId start, std
         plan = plan_normal_read(scheme, start, count);
     } else {
         auto degraded = plan_degraded_read(scheme, start, count, failed_disks, policy);
-        if (!degraded.ok()) return degraded.error();
+        if (!degraded.ok()) {
+            if (degraded.error().code == Error::Code::undecodable) {
+                return Error::beyond_tolerance("explain: " + degraded.error().message);
+            }
+            return degraded.error();
+        }
         plan = std::move(degraded).take();
     }
 
@@ -45,6 +50,13 @@ Result<std::string> explain_read_json(const Scheme& scheme, ElementId start, std
     out += ",\"layout\":\"" + std::string(layout::to_string(scheme.kind())) + "\"";
     out += ",\"code\":\"" + obs::json_escape(scheme.code().name()) + "\"";
     out += ",\"disks\":" + std::to_string(scheme.disks());
+    // How much more damage the read path could route around: the code's
+    // guaranteed tolerance minus the failures already being planned over
+    // (negative only for luckily-decodable beyond-guarantee patterns).
+    out += ",\"fault_tolerance\":" + std::to_string(scheme.code().fault_tolerance());
+    out += ",\"tolerance_remaining\":" +
+           std::to_string(scheme.code().fault_tolerance() -
+                          static_cast<int>(failed_disks.size()));
 
     out += ",\"request\":{\"start\":" + std::to_string(start);
     out += ",\"count\":" + std::to_string(count);

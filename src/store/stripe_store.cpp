@@ -1,10 +1,15 @@
 #include "store/stripe_store.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <chrono>
+#include <condition_variable>
 #include <cstring>
 #include <map>
 #include <optional>
+#include <set>
+#include <thread>
 #include <tuple>
 
 #include "common/aligned_buffer.h"
@@ -51,6 +56,10 @@ void StripeStore::attach_observability(obs::MetricRegistry* metrics, obs::Tracer
         degraded_reads_total_ = nullptr;
         read_elements_total_ = nullptr;
         decodes_total_ = nullptr;
+        retries_total_ = nullptr;
+        timeouts_total_ = nullptr;
+        replans_total_ = nullptr;
+        hedged_reads_total_ = nullptr;
         read_fanout_ = nullptr;
         read_max_load_ = nullptr;
         return;
@@ -62,8 +71,57 @@ void StripeStore::attach_observability(obs::MetricRegistry* metrics, obs::Tracer
     degraded_reads_total_ = &metrics->counter("ecfrm_store_degraded_reads_total");
     read_elements_total_ = &metrics->counter("ecfrm_store_read_elements_total");
     decodes_total_ = &metrics->counter("ecfrm_store_decodes_total");
+    retries_total_ = &metrics->counter("ecfrm_store_retries_total");
+    timeouts_total_ = &metrics->counter("ecfrm_store_timeouts_total");
+    replans_total_ = &metrics->counter("ecfrm_store_replans_total");
+    hedged_reads_total_ = &metrics->counter("ecfrm_store_hedged_reads_total");
     read_fanout_ = &metrics->histogram("ecfrm_store_read_fanout_disks");
     read_max_load_ = &metrics->histogram("ecfrm_store_read_max_disk_load");
+}
+
+Status StripeStore::device_read(DiskId disk, RowId row, ByteSpan out) {
+    const bool timed = recovery_.op_timeout_ms > 0.0;
+    for (int attempt = 0;; ++attempt) {
+        const auto t0 = timed ? std::chrono::steady_clock::now()
+                              : std::chrono::steady_clock::time_point{};
+        Status status = disks_[static_cast<std::size_t>(disk)]->read(row, out);
+        if (timed) {
+            const double elapsed_ms =
+                std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+                    .count();
+            if (status.ok() && elapsed_ms > recovery_.op_timeout_ms) {
+                // Too slow to trust: discard the payload and route around
+                // the device rather than retrying into the same stall.
+                if (timeouts_total_ != nullptr) timeouts_total_->add(1);
+                return Error::timeout("disk " + std::to_string(disk) + " read exceeded " +
+                                      std::to_string(recovery_.op_timeout_ms) + " ms deadline");
+            }
+        }
+        if (status.ok()) return status;
+        if (status.error().code != Error::Code::io_error || attempt >= recovery_.max_retries) {
+            return status;
+        }
+        if (retries_total_ != nullptr) retries_total_->add(1);
+        if (recovery_.backoff_ms > 0.0) {
+            std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+                recovery_.backoff_ms * static_cast<double>(1 << attempt)));
+        }
+    }
+}
+
+Status StripeStore::device_write(DiskId disk, RowId row, ConstByteSpan data) {
+    for (int attempt = 0;; ++attempt) {
+        Status status = disks_[static_cast<std::size_t>(disk)]->write(row, data);
+        if (status.ok()) return status;
+        if (status.error().code != Error::Code::io_error || attempt >= recovery_.max_retries) {
+            return status;
+        }
+        if (retries_total_ != nullptr) retries_total_->add(1);
+        if (recovery_.backoff_ms > 0.0) {
+            std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+                recovery_.backoff_ms * static_cast<double>(1 << attempt)));
+        }
+    }
 }
 
 Status StripeStore::restore(std::vector<Extent> extents, StripeId stripes) {
@@ -168,7 +226,7 @@ Status StripeStore::encode_group(StripeId stripe, int group, ConstByteSpan strip
     // stays recoverable through the group's parity, and reconstruction
     // restores it onto the replacement device.
     auto write_slot = [&](const Location& loc, ConstByteSpan payload) -> Status {
-        auto status = disks_[static_cast<std::size_t>(loc.disk)]->write(loc.row, payload);
+        auto status = device_write(loc.disk, loc.row, payload);
         if (!status.ok() && status.error().code == Error::Code::disk_failed) return Status::success();
         return status;
     };
@@ -231,12 +289,12 @@ Status StripeStore::overwrite(std::int64_t offset, ConstByteSpan data) {
 
             // Read-modify-write the data element.
             AlignedBuffer old_payload(static_cast<std::size_t>(element_bytes_));
-            auto status = disks_[static_cast<std::size_t>(loc.disk)]->read(loc.row, old_payload.span());
+            auto status = device_read(loc.disk, loc.row, old_payload.span());
             if (!status.ok()) return status;
             AlignedBuffer new_payload = old_payload;
             std::memcpy(new_payload.data() + in_elem, data.data() + consumed,
                         static_cast<std::size_t>(chunk));
-            status = disks_[static_cast<std::size_t>(loc.disk)]->write(loc.row, new_payload.span());
+            status = device_write(loc.disk, loc.row, new_payload.span());
             if (!status.ok()) return status;
 
             // delta = old ^ new; every parity folds in coeff * delta.
@@ -247,10 +305,10 @@ Status StripeStore::overwrite(std::int64_t offset, ConstByteSpan data) {
                 if (coeff == 0) continue;
                 const Location ploc = scheme_.layout().locate({coord.stripe, coord.group, p});
                 AlignedBuffer parity(static_cast<std::size_t>(element_bytes_));
-                status = disks_[static_cast<std::size_t>(ploc.disk)]->read(ploc.row, parity.span());
+                status = device_read(ploc.disk, ploc.row, parity.span());
                 if (!status.ok()) return status;
                 gf::addmul_region(parity.span(), delta.span(), coeff);
-                status = disks_[static_cast<std::size_t>(ploc.disk)]->write(ploc.row, parity.span());
+                status = device_write(ploc.disk, ploc.row, parity.span());
                 if (!status.ok()) return status;
             }
 
@@ -313,82 +371,267 @@ Status StripeStore::read_elements(ElementId start, std::int64_t count, ByteSpan 
     if (reads_total_ != nullptr) reads_total_->add(1);
     if (read_elements_total_ != nullptr) read_elements_total_->add(count);
 
-    const std::vector<DiskId> failed = failed_disks();
-    std::optional<core::AccessPlan> plan;
+    return execute_read(start, count, out, failed_disks());
+}
+
+/// One fetch round's outcome: which disks newly misbehaved and the most
+/// recent typed error, so the replan loop can route around them (or give
+/// up with the right diagnosis).
+struct StripeStore::FetchOutcome {
+    bool complete = true;
+    std::vector<DiskId> bad_disks;
+    std::optional<Error> last_error;
+};
+
+Status StripeStore::execute_read(ElementId start, std::int64_t count, ByteSpan out,
+                                 std::vector<DiskId> excluded) {
+    // Plan against the current exclusion set; a pattern the code cannot
+    // decode is the read path's terminal "beyond tolerance" diagnosis.
+    auto make_plan = [&](const std::vector<DiskId>& excl) -> Result<AccessPlan> {
+        if (excl.empty()) return core::plan_normal_read(scheme_, start, count);
+        if (degraded_reads_total_ != nullptr) degraded_reads_total_->add(1);
+        auto degraded = core::plan_degraded_read(scheme_, start, count, excl);
+        if (!degraded.ok()) {
+            if (degraded.error().code == Error::Code::undecodable) {
+                return Error::beyond_tolerance(
+                    "read cannot be planned around " + std::to_string(excl.size()) +
+                    " unavailable disks: " + degraded.error().message);
+            }
+            return degraded.error();
+        }
+        return degraded;
+    };
+
+    std::optional<AccessPlan> plan;
     {
         obs::Span plan_span(tracer_, "store.plan", "store");
-        if (failed.empty()) {
-            plan.emplace(core::plan_normal_read(scheme_, start, count));
-        } else {
-            if (degraded_reads_total_ != nullptr) degraded_reads_total_->add(1);
-            auto degraded = core::plan_degraded_read(scheme_, start, count, failed);
-            if (!degraded.ok()) return degraded.error();
-            plan.emplace(std::move(degraded).take());
-        }
+        auto first = make_plan(excluded);
+        if (!first.ok()) return first.error();
+        plan.emplace(std::move(first).take());
         plan_span.arg("fetches", plan->total_fetched());
         plan_span.arg("max_load", static_cast<std::int64_t>(plan->max_load()));
     }
+    // Load-shape histograms describe the intended plan (first round); the
+    // recovery rounds below are accounted by the retry/replan counters.
     if (read_max_load_ != nullptr) read_max_load_->record(plan->max_load());
     if (read_fanout_ != nullptr) {
         int fanout = 0;
         for (int load : plan->per_disk_loads()) fanout += load > 0 ? 1 : 0;
         read_fanout_->record(fanout);
     }
-    return execute_plan(*plan, start, count, out);
-}
 
-Status StripeStore::execute_plan(const AccessPlan& plan, ElementId start, std::int64_t count, ByteSpan out) {
-    // Fetch every planned element, batched per device — in parallel
-    // across devices when a thread pool is attached (devices serialise
-    // internally, so one batch per device is the natural unit, and it is
-    // also the granularity the tracer reports: the request finishes when
-    // the slowest batch does).
+    // Elements fetched (or hedge-decoded) so far, kept across replan
+    // rounds so recovery never re-reads what it already holds.
     std::map<Key, AlignedBuffer> fetched;
-    for (const auto& access : plan.fetches()) {
-        fetched.emplace(key_of(access.coord), AlignedBuffer(static_cast<std::size_t>(element_bytes_)));
-    }
-    const auto& fetches = plan.fetches();
-    std::vector<std::vector<std::size_t>> batches(disks_.size());
-    for (std::size_t i = 0; i < fetches.size(); ++i) {
-        batches[static_cast<std::size_t>(fetches[i].loc.disk)].push_back(i);
-    }
-    std::vector<std::size_t> active;  // disks with a nonempty batch
-    for (std::size_t d = 0; d < batches.size(); ++d) {
-        if (!batches[d].empty()) active.push_back(d);
-    }
 
-    std::atomic<bool> fetch_failed{false};
-    auto fetch_batch = [&](std::size_t a) {
-        const std::size_t d = active[a];
-        const double issue_us = tracer_ != nullptr ? tracer_->now_us() : 0.0;
-        for (std::size_t i : batches[d]) {
-            const auto& access = fetches[i];
-            auto it = fetched.find(key_of(access.coord));
-            auto status = disks_[d]->read(access.loc.row, it->second.span());
-            if (!status.ok()) {
-                fetch_failed.store(true);
-                return;
+    // Decode one element directly from alive source disks into `target`,
+    // bypassing the in-flight batch machinery — the hedge path for
+    // elements stuck behind a straggling disk. `avoid` marks disks that
+    // must not be touched (stragglers and excluded disks).
+    auto hedge_fetch = [&](const GroupCoord& coord, const std::vector<char>& avoid,
+                           AlignedBuffer& target) -> bool {
+        const auto& code = scheme_.code();
+        std::vector<int> sources;
+        for (int p = 0; p < code.n(); ++p) {
+            if (p == coord.position) continue;
+            const Location sloc = scheme_.layout().locate({coord.stripe, coord.group, p});
+            if (!avoid[static_cast<std::size_t>(sloc.disk)]) sources.push_back(p);
+        }
+        auto repair = code.solve_repair(coord.position, sources);
+        if (!repair.ok()) return false;
+        std::vector<AlignedBuffer> srcs;
+        std::vector<ByteSpan> buffers(static_cast<std::size_t>(code.n()));
+        srcs.reserve(repair->terms.size());
+        for (const auto& term : repair->terms) {
+            const Location sloc =
+                scheme_.layout().locate({coord.stripe, coord.group, term.source_position});
+            srcs.emplace_back(static_cast<std::size_t>(element_bytes_));
+            if (!disks_[static_cast<std::size_t>(sloc.disk)]->read(sloc.row, srcs.back().span()).ok()) {
+                return false;
+            }
+            buffers[static_cast<std::size_t>(term.source_position)] = srcs.back().span();
+        }
+        buffers[static_cast<std::size_t>(coord.position)] = target.span();
+        codes::DecodePlan one;
+        one.repairs.push_back(repair.value());
+        codes::ErasureCode::apply_plan(one, buffers);
+        return true;
+    };
+
+    // Fetch everything the plan wants that we don't already hold, batched
+    // per device — in parallel across devices when a thread pool is
+    // attached (devices serialise internally, so one batch per device is
+    // the natural unit, and it is also the granularity the tracer
+    // reports: the request finishes when the slowest batch does).
+    auto fetch_round = [&](const AccessPlan& p) -> FetchOutcome {
+        FetchOutcome outcome;
+        const auto& fetches = p.fetches();
+        std::vector<std::size_t> pending;
+        for (std::size_t i = 0; i < fetches.size(); ++i) {
+            if (fetched.find(key_of(fetches[i].coord)) == fetched.end()) pending.push_back(i);
+        }
+        if (pending.empty()) return outcome;
+
+        // Per-element buffers for this round; each belongs to exactly one
+        // batch, so batch workers never share a buffer.
+        std::map<Key, AlignedBuffer> round;
+        for (std::size_t i : pending) {
+            round.emplace(key_of(fetches[i].coord),
+                          AlignedBuffer(static_cast<std::size_t>(element_bytes_)));
+        }
+        std::vector<std::vector<std::size_t>> batches(disks_.size());
+        for (std::size_t i : pending) {
+            batches[static_cast<std::size_t>(fetches[i].loc.disk)].push_back(i);
+        }
+        std::vector<std::size_t> active;  // disks with a nonempty batch
+        for (std::size_t d = 0; d < batches.size(); ++d) {
+            if (!batches[d].empty()) active.push_back(d);
+        }
+
+        std::mutex state_mu;
+        std::set<Key> succeeded;          // guarded by state_mu
+        std::vector<DiskId> bad;          // guarded by state_mu
+        std::optional<Error> last_error;  // guarded by state_mu
+
+        auto fetch_batch = [&](std::size_t a) {
+            const std::size_t d = active[a];
+            const double issue_us = tracer_ != nullptr ? tracer_->now_us() : 0.0;
+            for (std::size_t i : batches[d]) {
+                const auto& access = fetches[i];
+                const Key key = key_of(access.coord);
+                auto it = round.find(key);
+                auto status = device_read(static_cast<DiskId>(d), access.loc.row, it->second.span());
+                std::lock_guard<std::mutex> lock(state_mu);
+                if (status.ok()) {
+                    succeeded.insert(key);
+                } else {
+                    // The device is suspect: abandon its remaining batch
+                    // and let the replan route around it.
+                    bad.push_back(static_cast<DiskId>(d));
+                    last_error = status.error();
+                    return;
+                }
+            }
+            if (tracer_ != nullptr) {
+                tracer_->complete("disk.batch", "io", issue_us, tracer_->now_us() - issue_us,
+                                  {{"disk", std::to_string(d)},
+                                   {"elements", std::to_string(batches[d].size())}});
+            }
+        };
+
+        std::map<Key, AlignedBuffer> hedged;
+        if (pool_ != nullptr && recovery_.hedge_ms > 0.0 && !active.empty()) {
+            // Hedged execution: dispatch the batches, and when the slowest
+            // one is still running past the hedge deadline, decode its
+            // elements from the other disks instead of waiting on it. All
+            // batches are still joined before returning (their buffers are
+            // referenced from this frame).
+            std::mutex done_mu;
+            std::condition_variable done_cv;
+            std::size_t done = 0;
+            std::vector<char> batch_done(active.size(), 0);
+            for (std::size_t a = 0; a < active.size(); ++a) {
+                pool_->submit([&, a] {
+                    fetch_batch(a);
+                    // Notify under the mutex: the waiter may destroy the cv
+                    // the moment its predicate holds, so the notify must not
+                    // touch the cv after releasing the lock.
+                    std::lock_guard<std::mutex> lock(done_mu);
+                    batch_done[a] = 1;
+                    ++done;
+                    done_cv.notify_all();
+                });
+            }
+            std::unique_lock<std::mutex> lock(done_mu);
+            const bool all_done =
+                done_cv.wait_for(lock, std::chrono::duration<double, std::milli>(recovery_.hedge_ms),
+                                 [&] { return done == active.size(); });
+            if (!all_done) {
+                std::vector<char> avoid(disks_.size(), 0);
+                std::vector<std::size_t> stragglers;
+                for (std::size_t a = 0; a < active.size(); ++a) {
+                    if (!batch_done[a]) {
+                        avoid[active[a]] = 1;
+                        stragglers.push_back(a);
+                    }
+                }
+                lock.unlock();
+                for (DiskId d : excluded) avoid[static_cast<std::size_t>(d)] = 1;
+                for (std::size_t a : stragglers) {
+                    for (std::size_t i : batches[active[a]]) {
+                        const Key key = key_of(fetches[i].coord);
+                        {
+                            std::lock_guard<std::mutex> state_lock(state_mu);
+                            if (succeeded.count(key) != 0) continue;
+                        }
+                        if (hedged_reads_total_ != nullptr) hedged_reads_total_->add(1);
+                        AlignedBuffer target(static_cast<std::size_t>(element_bytes_));
+                        if (hedge_fetch(fetches[i].coord, avoid, target)) {
+                            hedged.emplace(key, std::move(target));
+                        }
+                    }
+                }
+                lock.lock();
+                done_cv.wait(lock, [&] { return done == active.size(); });
+            }
+        } else if (pool_ != nullptr && active.size() > 1) {
+            parallel_for(*pool_, active.size(), fetch_batch);
+        } else {
+            for (std::size_t a = 0; a < active.size(); ++a) fetch_batch(a);
+        }
+
+        for (const Key& key : succeeded) {
+            auto it = round.find(key);
+            fetched.emplace(key, std::move(it->second));
+        }
+        for (auto& [key, buf] : hedged) {
+            if (fetched.find(key) == fetched.end()) fetched.emplace(key, std::move(buf));
+        }
+        for (std::size_t i : pending) {
+            if (fetched.find(key_of(fetches[i].coord)) == fetched.end()) {
+                outcome.complete = false;
+                break;
             }
         }
-        if (tracer_ != nullptr) {
-            tracer_->complete("disk.batch", "io", issue_us, tracer_->now_us() - issue_us,
-                              {{"disk", std::to_string(d)},
-                               {"elements", std::to_string(batches[d].size())}});
-        }
+        outcome.bad_disks = std::move(bad);
+        outcome.last_error = std::move(last_error);
+        return outcome;
     };
-    if (pool_ != nullptr && active.size() > 1) {
-        parallel_for(*pool_, active.size(), fetch_batch);
-    } else {
-        for (std::size_t a = 0; a < active.size(); ++a) fetch_batch(a);
+
+    // Replan loop: fetch, and when a disk misbehaves mid-flight, exclude
+    // it and re-plan the remaining elements around it — reusing every
+    // element already in hand.
+    std::optional<Error> last_error;
+    for (int round = 0;; ++round) {
+        FetchOutcome outcome = fetch_round(*plan);
+        if (outcome.last_error.has_value()) last_error = outcome.last_error;
+        if (outcome.complete) break;
+        bool grew = false;
+        for (DiskId d : outcome.bad_disks) {
+            if (std::find(excluded.begin(), excluded.end(), d) == excluded.end()) {
+                excluded.push_back(d);
+                grew = true;
+            }
+        }
+        if (!grew || round >= recovery_.max_replans) {
+            if (last_error.has_value()) return *last_error;
+            return Error::io("element fetch failed during plan execution");
+        }
+        auto next = make_plan(excluded);
+        if (!next.ok()) return next.error();
+        if (replans_total_ != nullptr) replans_total_->add(1);
+        plan.emplace(std::move(next).take());
     }
-    if (fetch_failed.load()) return Error::io("element fetch failed during plan execution");
+    const AccessPlan& final_plan = *plan;
 
     // Run the decode recipes to materialise failed elements.
     {
         obs::Span decode_span(tracer_, "store.decode", "store");
-        decode_span.arg("decodes", static_cast<std::int64_t>(plan.decodes().size()));
-        if (decodes_total_ != nullptr) decodes_total_->add(static_cast<std::int64_t>(plan.decodes().size()));
-        for (const auto& decode : plan.decodes()) {
+        decode_span.arg("decodes", static_cast<std::int64_t>(final_plan.decodes().size()));
+        if (decodes_total_ != nullptr) {
+            decodes_total_->add(static_cast<std::int64_t>(final_plan.decodes().size()));
+        }
+        for (const auto& decode : final_plan.decodes()) {
             AlignedBuffer target(static_cast<std::size_t>(element_bytes_));
             std::vector<ByteSpan> buffers(static_cast<std::size_t>(scheme_.code().n()));
             for (const auto& term : decode.repair.terms) {
@@ -472,7 +715,7 @@ Result<ReconstructStats> StripeStore::reconstruct_disk(DiskId disk) {
         for (const auto& term : repair->terms) {
             const Location sloc = scheme_.layout().locate({coord.stripe, coord.group, term.source_position});
             srcs.emplace_back(static_cast<std::size_t>(element_bytes_));
-            if (!disks_[static_cast<std::size_t>(sloc.disk)]->read(sloc.row, srcs.back().span()).ok()) {
+            if (!device_read(sloc.disk, sloc.row, srcs.back().span()).ok()) {
                 error_flag.store(true);
                 return;
             }
@@ -483,7 +726,7 @@ Result<ReconstructStats> StripeStore::reconstruct_disk(DiskId disk) {
         codes::DecodePlan one;
         one.repairs.push_back(repair.value());
         codes::ErasureCode::apply_plan(one, buffers);
-        if (!disks_[static_cast<std::size_t>(disk)]->write(row, target.span()).ok()) {
+        if (!device_write(disk, row, target.span()).ok()) {
             error_flag.store(true);
             return;
         }

@@ -31,6 +31,27 @@ struct ReconstructStats {
     std::int64_t elements_read = 0;
 };
 
+/// Self-healing knobs for the device I/O paths. Defaults are inert
+/// (no timeouts, no backoff sleeps, no hedging) so clean-path behaviour
+/// and benchmarks are unchanged until a caller opts in.
+struct RecoveryOptions {
+    /// Same-device retries after a transient I/O error (0 disables).
+    int max_retries = 2;
+    /// Base backoff before retry r: backoff_ms * 2^r (0: retry immediately).
+    double backoff_ms = 0.0;
+    /// >0: ops slower than this surface as Error::timeout — the payload is
+    /// discarded and the read path routes around the slow device instead
+    /// of retrying it.
+    double op_timeout_ms = 0.0;
+    /// >0 (needs a thread pool): when the slowest fetch batch is still
+    /// outstanding after this deadline, hedge its elements by decoding
+    /// them from the other disks instead of waiting.
+    double hedge_ms = 0.0;
+    /// Degraded-read replans allowed per read as newly-misbehaving disks
+    /// are discovered mid-flight.
+    int max_replans = 2;
+};
+
 struct ScrubReport {
     std::int64_t groups_scanned = 0;
     std::int64_t groups_inconsistent = 0;
@@ -121,6 +142,11 @@ class StripeStore {
     /// (disk, row) without any error signal from the device.
     Status corrupt_element(DiskId disk, RowId row, std::size_t byte_offset);
 
+    /// Configure the self-healing I/O behaviour (retries, timeouts,
+    /// hedging, replans). Takes effect for subsequent operations.
+    void set_recovery(const RecoveryOptions& options) { recovery_ = options; }
+    const RecoveryOptions& recovery() const { return recovery_; }
+
     /// Attach (or detach, with nulls) observability: per-disk I/O
     /// accounting under ecfrm_disk_*{disk=i}, store-level counters under
     /// ecfrm_store_*, and request-scoped read-path spans (plan ->
@@ -137,20 +163,36 @@ class StripeStore {
     Result<ScrubReport> scrub();
 
   private:
+    struct FetchOutcome;  // one fetch round's result (stripe_store.cpp)
+
     Status encode_stripe(StripeId stripe, ConstByteSpan stripe_data);
     Status encode_group(StripeId stripe, int group, ConstByteSpan stripe_data);
     Status commit_stripe(ConstByteSpan stripe_data, std::int64_t user_bytes);
-    Status execute_plan(const core::AccessPlan& plan, ElementId start, std::int64_t count, ByteSpan out);
+    Status execute_read(ElementId start, std::int64_t count, ByteSpan out,
+                        std::vector<DiskId> excluded);
+
+    /// Device read with per-op timeout detection and bounded retries on
+    /// transient errors. On timeout the payload is discarded and
+    /// Error::timeout is returned (the caller routes around the device).
+    Status device_read(DiskId disk, RowId row, ByteSpan out);
+    /// Device write with bounded retries on transient errors (a retry
+    /// rewrites the full payload, healing torn writes).
+    Status device_write(DiskId disk, RowId row, ConstByteSpan data);
 
     core::Scheme scheme_;
     std::int64_t element_bytes_;
     ThreadPool* pool_;
+    RecoveryOptions recovery_;
 
     obs::Tracer* tracer_ = nullptr;
     obs::Counter* reads_total_ = nullptr;
     obs::Counter* degraded_reads_total_ = nullptr;
     obs::Counter* read_elements_total_ = nullptr;
     obs::Counter* decodes_total_ = nullptr;
+    obs::Counter* retries_total_ = nullptr;
+    obs::Counter* timeouts_total_ = nullptr;
+    obs::Counter* replans_total_ = nullptr;
+    obs::Counter* hedged_reads_total_ = nullptr;
     obs::Histogram* read_fanout_ = nullptr;
     obs::Histogram* read_max_load_ = nullptr;
 

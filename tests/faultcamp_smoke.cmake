@@ -1,0 +1,71 @@
+# End-to-end smoke test of the fault-injection surface, run under ctest:
+#   ecfrm_cli faultcamp  -> all 42 cells pass, ecfrm.faultcamp.v1 artifact
+#   ecfrm_sim --faults   -> replays a handwritten FaultPlan against a real
+#                           store, both within and beyond tolerance.
+# Invoked as:
+#   cmake -DCLI=<ecfrm_cli> -DSIM=<ecfrm_sim> -DWORK=<scratch> -P faultcamp_smoke.cmake
+
+file(REMOVE_RECURSE ${WORK})
+file(MAKE_DIRECTORY ${WORK})
+
+# The campaign matrix: deterministic from the seed, nonzero exit on any
+# cell failure, artifact written for the CI gate to diff.
+execute_process(COMMAND ${CLI} faultcamp --seed 20260805 --out ${WORK}/faultcamp.json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "faultcamp failed (${rc}):\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "faultcamp: PASS")
+  message(FATAL_ERROR "faultcamp did not report PASS:\n${out}")
+endif()
+
+file(READ ${WORK}/faultcamp.json ARTIFACT)
+foreach(want "ecfrm.faultcamp.v1" "ecfrm.faultplan.v1" "\"pass\":true" "beyond_tolerance"
+        "straggler_hedge" "\"counters\"" "\"cell_seed\"")
+  if(NOT ARTIFACT MATCHES "${want}")
+    message(FATAL_ERROR "faultcamp artifact missing '${want}'")
+  endif()
+endforeach()
+
+# Determinism: the same seed must reproduce the artifact byte for byte.
+execute_process(COMMAND ${CLI} faultcamp --seed 20260805 --out ${WORK}/faultcamp2.json
+                RESULT_VARIABLE rc2 OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "faultcamp replay failed (${rc2})")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK}/faultcamp.json ${WORK}/faultcamp2.json RESULT_VARIABLE cmp)
+if(NOT cmp EQUAL 0)
+  message(FATAL_ERROR "faultcamp artifact is not deterministic for a fixed seed")
+endif()
+
+# ecfrm_sim --faults: a transient-error storm the retry layer must absorb.
+file(WRITE ${WORK}/transient.json
+  "{\"schema\":\"ecfrm.faultplan.v1\",\"seed\":\"42\",\"max_burst\":2,\"rules\":["
+  "{\"kind\":\"transient\",\"op\":\"read\",\"count\":1000000000,\"probability\":0.1}]}")
+execute_process(COMMAND ${SIM} rs:6,3 --faults ${WORK}/transient.json --elem 1024
+                RESULT_VARIABLE rc3 OUTPUT_VARIABLE out3 ERROR_VARIABLE err3)
+if(NOT rc3 EQUAL 0)
+  message(FATAL_ERROR "sim --faults (transient) failed (${rc3}):\n${out3}\n${err3}")
+endif()
+if(NOT out3 MATCHES "no silent corruption")
+  message(FATAL_ERROR "sim --faults (transient) did not verify cleanly:\n${out3}")
+endif()
+
+# Beyond tolerance: 4 fail-stops against RS(6,3) — every read must surface
+# the typed error, and the run must still exit cleanly (no wrong bytes).
+file(WRITE ${WORK}/beyond.json
+  "{\"schema\":\"ecfrm.faultplan.v1\",\"seed\":\"7\",\"rules\":["
+  "{\"kind\":\"fail_stop\",\"disk\":0},{\"kind\":\"fail_stop\",\"disk\":1},"
+  "{\"kind\":\"fail_stop\",\"disk\":2},{\"kind\":\"fail_stop\",\"disk\":3}]}")
+execute_process(COMMAND ${SIM} rs:6,3 --layout ecfrm --faults ${WORK}/beyond.json --elem 1024
+                RESULT_VARIABLE rc4 OUTPUT_VARIABLE out4 ERROR_VARIABLE err4)
+if(NOT rc4 EQUAL 0)
+  message(FATAL_ERROR "sim --faults (beyond) failed (${rc4}):\n${out4}\n${err4}")
+endif()
+if(NOT out4 MATCHES "beyond_tolerance")
+  message(FATAL_ERROR "sim --faults (beyond) never surfaced the typed error:\n${out4}")
+endif()
+
+file(REMOVE_RECURSE ${WORK})
+message(STATUS "faultcamp smoke test passed")

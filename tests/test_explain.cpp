@@ -47,6 +47,16 @@ const Value* check_plan_invariants(const Value& doc, std::int64_t count) {
     EXPECT_EQ(static_cast<int>(loads->items().size()),
               static_cast<int>(doc.number_or("disks", -1)));
 
+    // Tolerance fields: remaining = guaranteed tolerance - failed disks.
+    const Value* request = doc.find("request");
+    EXPECT_NE(request, nullptr);
+    const Value* failed = request->find("failed_disks");
+    EXPECT_NE(failed, nullptr);
+    EXPECT_GE(doc.number_or("fault_tolerance", -1.0), 1.0);
+    EXPECT_EQ(doc.number_or("tolerance_remaining", -999.0),
+              doc.number_or("fault_tolerance", -1.0) -
+                  static_cast<double>(failed->items().size()));
+
     double load_sum = 0.0;
     double max_load = 0.0;
     int fan_out = 0;

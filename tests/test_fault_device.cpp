@@ -1,0 +1,314 @@
+// FaultDevice unit tests: the schedule is deterministic from the seed,
+// FaultPlans survive a JSON round-trip, and every fault kind fires exactly
+// where the plan scripts it.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "store/disk.h"
+#include "store/fault_device.h"
+
+namespace ecfrm::store {
+namespace {
+
+constexpr std::int64_t kElem = 16;
+
+std::vector<std::uint8_t> pattern(std::uint8_t fill) {
+    return std::vector<std::uint8_t>(static_cast<std::size_t>(kElem), fill);
+}
+
+FaultDevice make_device(const FaultPlan& plan, DiskId disk = 0) {
+    return FaultDevice(std::make_unique<Disk>(kElem), plan, disk);
+}
+
+TEST(FaultPlan, JsonRoundTrip) {
+    FaultPlan plan;
+    plan.seed = 0xdeadbeefcafe1234ULL;  // above 2^53: exercises exact seed transport
+    plan.max_burst = 3;
+    FaultRule torn;
+    torn.kind = FaultKind::torn_write;
+    torn.disk = 2;
+    torn.op = FaultOp::write;
+    torn.first_op = 7;
+    torn.count = 5;
+    torn.probability = 0.25;
+    torn.torn_fraction = 0.375;
+    FaultRule flip;
+    flip.kind = FaultKind::bit_flip;
+    flip.flip_offset = 11;
+    flip.detected = true;
+    FaultRule slow;
+    slow.kind = FaultKind::latency;
+    slow.latency_ms = 12.5;
+    plan.rules = {torn, flip, slow};
+
+    auto parsed = FaultPlan::from_json(plan.to_json());
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+    EXPECT_EQ(parsed.value(), plan);
+}
+
+TEST(FaultPlan, RejectsUnknownSchemaAndKind) {
+    EXPECT_FALSE(FaultPlan::from_json("{\"schema\":\"nope\",\"rules\":[]}").ok());
+    EXPECT_FALSE(FaultPlan::from_json(
+                     "{\"schema\":\"ecfrm.faultplan.v1\",\"rules\":[{\"kind\":\"gremlin\"}]}")
+                     .ok());
+    EXPECT_FALSE(FaultPlan::from_json("{\"schema\":\"ecfrm.faultplan.v1\"}").ok());
+    EXPECT_FALSE(FaultPlan::from_json("not json").ok());
+}
+
+TEST(FaultDevice, DeterministicScheduleFromSeed) {
+    FaultPlan plan;
+    plan.seed = 42;
+    FaultRule eio;
+    eio.kind = FaultKind::transient;
+    eio.count = 1'000'000;
+    eio.probability = 0.3;
+    plan.rules = {eio};
+
+    auto drive = [&](FaultDevice& device) {
+        const auto payload = pattern(0xab);
+        std::vector<std::uint8_t> out(static_cast<std::size_t>(kElem));
+        for (int i = 0; i < 200; ++i) {
+            if (i % 3 == 0) {
+                (void)device.write(i / 3, ConstByteSpan(payload.data(), payload.size()));
+            } else {
+                (void)device.read(0, ByteSpan(out.data(), out.size()));
+            }
+        }
+    };
+
+    FaultDevice a = make_device(plan);
+    FaultDevice b = make_device(plan);
+    drive(a);
+    drive(b);
+    const auto ea = a.events();
+    const auto eb = b.events();
+    ASSERT_EQ(ea.size(), eb.size());
+    ASSERT_GT(ea.size(), 0u);  // p=0.3 over 200 ops: firing is certain for this seed
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+        EXPECT_EQ(ea[i].op, eb[i].op);
+        EXPECT_EQ(ea[i].kind, eb[i].kind);
+        EXPECT_EQ(ea[i].is_read, eb[i].is_read);
+        EXPECT_EQ(ea[i].row, eb[i].row);
+    }
+
+    // A different disk index draws a different stream from the same plan.
+    FaultDevice c = make_device(plan, /*disk=*/1);
+    drive(c);
+    const auto ec = c.events();
+    bool identical = ec.size() == ea.size();
+    for (std::size_t i = 0; identical && i < ec.size(); ++i) identical = ec[i].op == ea[i].op;
+    EXPECT_FALSE(identical);
+}
+
+TEST(FaultDevice, TransientFiresExactlyWhereScripted) {
+    FaultPlan plan;
+    FaultRule eio;
+    eio.kind = FaultKind::transient;
+    eio.op = FaultOp::read;
+    eio.first_op = 3;
+    eio.count = 1;
+    plan.rules = {eio};
+    FaultDevice device = make_device(plan);
+
+    const auto payload = pattern(0x5a);
+    ASSERT_TRUE(device.write(0, ConstByteSpan(payload.data(), payload.size())).ok());
+    std::vector<std::uint8_t> out(static_cast<std::size_t>(kElem));
+    for (int i = 0; i < 6; ++i) {
+        Status status = device.read(0, ByteSpan(out.data(), out.size()));
+        if (i == 3) {
+            ASSERT_FALSE(status.ok());
+            EXPECT_EQ(status.error().code, Error::Code::io_error);
+        } else {
+            EXPECT_TRUE(status.ok()) << "read op " << i;
+        }
+    }
+    const auto events = device.events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].op, 3);
+    EXPECT_EQ(events[0].kind, FaultKind::transient);
+    EXPECT_TRUE(events[0].is_read);
+}
+
+TEST(FaultDevice, FailStopTripsAndReplaceRecovers) {
+    FaultPlan plan;
+    FaultRule stop;
+    stop.kind = FaultKind::fail_stop;
+    stop.op = FaultOp::write;
+    stop.first_op = 2;
+    plan.rules = {stop};
+    FaultDevice device = make_device(plan);
+
+    const auto payload = pattern(0x11);
+    ASSERT_TRUE(device.write(0, ConstByteSpan(payload.data(), payload.size())).ok());
+    ASSERT_TRUE(device.write(1, ConstByteSpan(payload.data(), payload.size())).ok());
+    Status tripped = device.write(2, ConstByteSpan(payload.data(), payload.size()));
+    ASSERT_FALSE(tripped.ok());
+    EXPECT_EQ(tripped.error().code, Error::Code::disk_failed);
+    EXPECT_TRUE(device.failed());
+
+    // Still dead for every later op...
+    std::vector<std::uint8_t> out(static_cast<std::size_t>(kElem));
+    EXPECT_EQ(device.read(0, ByteSpan(out.data(), out.size())).error().code,
+              Error::Code::disk_failed);
+
+    // ...until replaced (empty, as a swapped drive would be).
+    device.replace();
+    EXPECT_FALSE(device.failed());
+    EXPECT_TRUE(device.write(0, ConstByteSpan(payload.data(), payload.size())).ok());
+}
+
+TEST(FaultDevice, TornWriteLandsPrefixAndReportsError) {
+    FaultPlan plan;
+    FaultRule torn;
+    torn.kind = FaultKind::torn_write;
+    torn.first_op = 1;
+    torn.count = 1;
+    torn.torn_fraction = 0.5;
+    plan.rules = {torn};
+    FaultDevice device = make_device(plan);
+
+    const auto old_payload = pattern(0xaa);
+    const auto new_payload = pattern(0xbb);
+    ASSERT_TRUE(device.write(0, ConstByteSpan(old_payload.data(), old_payload.size())).ok());
+
+    Status status = device.write(0, ConstByteSpan(new_payload.data(), new_payload.size()));
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.error().code, Error::Code::io_error);
+
+    // The stored row is half new, half old — the signature of a crash
+    // mid-write.
+    std::vector<std::uint8_t> out(static_cast<std::size_t>(kElem));
+    ASSERT_TRUE(device.read(0, ByteSpan(out.data(), out.size())).ok());
+    for (std::int64_t b = 0; b < kElem; ++b) {
+        EXPECT_EQ(out[static_cast<std::size_t>(b)], b < kElem / 2 ? 0xbb : 0xaa) << "byte " << b;
+    }
+
+    // Retrying the full write heals the row.
+    ASSERT_TRUE(device.write(0, ConstByteSpan(new_payload.data(), new_payload.size())).ok());
+    ASSERT_TRUE(device.read(0, ByteSpan(out.data(), out.size())).ok());
+    EXPECT_EQ(out, new_payload);
+}
+
+TEST(FaultDevice, SilentBitFlipCorruptsServedBytes) {
+    FaultPlan plan;
+    FaultRule flip;
+    flip.kind = FaultKind::bit_flip;
+    flip.first_op = 1;
+    flip.count = 1;
+    flip.flip_offset = 5;
+    plan.rules = {flip};
+    FaultDevice device = make_device(plan);
+
+    const auto payload = pattern(0x77);
+    ASSERT_TRUE(device.write(0, ConstByteSpan(payload.data(), payload.size())).ok());
+
+    std::vector<std::uint8_t> out(static_cast<std::size_t>(kElem));
+    ASSERT_TRUE(device.read(0, ByteSpan(out.data(), out.size())).ok());  // read op 0: clean
+    EXPECT_EQ(out, payload);
+
+    ASSERT_TRUE(device.read(0, ByteSpan(out.data(), out.size())).ok());  // read op 1: flipped
+    EXPECT_NE(out[5], payload[5]);
+    out[5] = payload[5];
+    EXPECT_EQ(out, payload);  // exactly one byte damaged
+}
+
+TEST(FaultDevice, DetectedBitFlipReturnsCorruptUntilReplaced) {
+    FaultPlan plan;
+    FaultRule flip;
+    flip.kind = FaultKind::bit_flip;
+    flip.first_op = 0;
+    flip.count = 1;
+    flip.detected = true;
+    plan.rules = {flip};
+    FaultDevice device = make_device(plan);
+
+    const auto payload = pattern(0x33);
+    ASSERT_TRUE(device.write(0, ConstByteSpan(payload.data(), payload.size())).ok());
+    ASSERT_TRUE(device.write(1, ConstByteSpan(payload.data(), payload.size())).ok());
+
+    std::vector<std::uint8_t> out(static_cast<std::size_t>(kElem));
+    Status status = device.read(0, ByteSpan(out.data(), out.size()));
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.error().code, Error::Code::corrupt);
+    // The EDC keeps flagging that row; other rows stay readable.
+    EXPECT_EQ(device.read(0, ByteSpan(out.data(), out.size())).error().code, Error::Code::corrupt);
+    EXPECT_TRUE(device.read(1, ByteSpan(out.data(), out.size())).ok());
+
+    device.replace();
+    ASSERT_TRUE(device.write(0, ConstByteSpan(payload.data(), payload.size())).ok());
+    EXPECT_TRUE(device.read(0, ByteSpan(out.data(), out.size())).ok());
+}
+
+TEST(FaultDevice, LatencyStallsTheOp) {
+    FaultPlan plan;
+    FaultRule slow;
+    slow.kind = FaultKind::latency;
+    slow.op = FaultOp::read;
+    slow.first_op = 0;
+    slow.count = 1;
+    slow.latency_ms = 30.0;
+    plan.rules = {slow};
+    FaultDevice device = make_device(plan);
+
+    const auto payload = pattern(0x44);
+    ASSERT_TRUE(device.write(0, ConstByteSpan(payload.data(), payload.size())).ok());
+
+    std::vector<std::uint8_t> out(static_cast<std::size_t>(kElem));
+    const auto t0 = std::chrono::steady_clock::now();
+    ASSERT_TRUE(device.read(0, ByteSpan(out.data(), out.size())).ok());
+    const double ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+    EXPECT_GE(ms, 25.0);  // injected 30ms minus scheduler slack
+    EXPECT_EQ(out, payload);  // slow, but correct
+}
+
+TEST(FaultDevice, MaxBurstCapsConsecutiveProbabilisticFaults) {
+    FaultPlan plan;
+    plan.max_burst = 2;
+    FaultRule eio;
+    eio.kind = FaultKind::transient;
+    eio.op = FaultOp::read;
+    eio.count = 1'000'000;
+    eio.probability = 1.0 - 1e-9;  // probabilistic path, fires on every draw
+    plan.rules = {eio};
+    FaultDevice device = make_device(plan);
+
+    const auto payload = pattern(0x01);
+    ASSERT_TRUE(device.write(0, ConstByteSpan(payload.data(), payload.size())).ok());
+    std::vector<std::uint8_t> out(static_cast<std::size_t>(kElem));
+    // Every third read must succeed: fire, fire, suppressed, fire, fire, ...
+    int consecutive_failures = 0;
+    for (int i = 0; i < 30; ++i) {
+        if (device.read(0, ByteSpan(out.data(), out.size())).ok()) {
+            consecutive_failures = 0;
+        } else {
+            ++consecutive_failures;
+            ASSERT_LE(consecutive_failures, 2) << "burst cap violated at read " << i;
+        }
+    }
+}
+
+TEST(FaultDevice, RulesScopedToOtherDisksAreInert) {
+    FaultPlan plan;
+    FaultRule eio;
+    eio.kind = FaultKind::transient;
+    eio.disk = 3;
+    eio.count = 1'000'000;
+    plan.rules = {eio};
+    FaultDevice device = make_device(plan, /*disk=*/0);
+
+    const auto payload = pattern(0x02);
+    std::vector<std::uint8_t> out(static_cast<std::size_t>(kElem));
+    for (int i = 0; i < 10; ++i) {
+        ASSERT_TRUE(device.write(i, ConstByteSpan(payload.data(), payload.size())).ok());
+        ASSERT_TRUE(device.read(i, ByteSpan(out.data(), out.size())).ok());
+    }
+    EXPECT_TRUE(device.events().empty());
+}
+
+}  // namespace
+}  // namespace ecfrm::store

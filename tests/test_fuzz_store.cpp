@@ -3,14 +3,23 @@
 // always agree byte-for-byte with a plain in-memory reference model, for
 // every scheme and layout, as long as concurrent failures stay within the
 // code's tolerance.
+//
+// The faulty variants run the same op stream over FaultDevice-wrapped
+// disks injecting probabilistic torn writes and transient EIOs; the
+// store's retry/replan machinery must absorb every injected fault so the
+// byte-for-byte agreement still holds. Any failure reproduces from the
+// printed seed alone: it determines the op stream AND the fault schedule.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <set>
 #include <vector>
 
 #include "codes/factory.h"
 #include "common/rng.h"
+#include "store/fault_device.h"
 #include "store/stripe_store.h"
 
 namespace ecfrm::store {
@@ -22,18 +31,53 @@ struct FuzzParam {
     const char* spec;
     LayoutKind kind;
     std::uint64_t seed;
+    bool with_faults;
 };
 
-class FuzzStoreTest : public ::testing::TestWithParam<FuzzParam> {};
+/// The fuzz campaign's fault mix: unbounded windows of probabilistic torn
+/// writes and transient errors on every disk. max_burst 2 with 3 store
+/// retries guarantees forward progress while still exercising multi-fault
+/// bursts.
+FaultPlan fuzz_fault_plan(std::uint64_t seed) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.max_burst = 2;
+    FaultRule torn;
+    torn.kind = FaultKind::torn_write;
+    torn.op = FaultOp::write;
+    torn.count = 1'000'000'000;
+    torn.probability = 0.05;
+    torn.torn_fraction = 0.5;
+    FaultRule eio;
+    eio.kind = FaultKind::transient;
+    eio.op = FaultOp::any;
+    eio.count = 1'000'000'000;
+    eio.probability = 0.05;
+    plan.rules = {torn, eio};
+    return plan;
+}
 
-TEST_P(FuzzStoreTest, RandomOpStreamMatchesReferenceModel) {
-    const auto [spec, kind, seed] = GetParam();
+void run_fuzz(const char* spec, LayoutKind kind, std::uint64_t seed, bool with_faults) {
     auto code = codes::make_code(spec);
     ASSERT_TRUE(code.ok());
     const int tolerance = code.value()->fault_tolerance();
 
     const std::int64_t elem = 32;
-    StripeStore store(core::Scheme(code.value(), kind), elem);
+    std::unique_ptr<StripeStore> store;
+    if (with_faults) {
+        const FaultPlan plan = fuzz_fault_plan(seed);
+        SCOPED_TRACE("replay: seed=" + std::to_string(seed) + " fault_plan=" + plan.to_json());
+        auto opened = StripeStore::open(core::Scheme(code.value(), kind), elem,
+                                        faulty_memory_factory(elem, plan));
+        ASSERT_TRUE(opened.ok()) << opened.error().message;
+        store = std::move(opened).take();
+        RecoveryOptions recovery;
+        recovery.max_retries = 3;
+        store->set_recovery(recovery);
+    } else {
+        store = std::make_unique<StripeStore>(core::Scheme(code.value(), kind), elem);
+    }
+
     std::vector<std::uint8_t> reference;  // logical byte stream
     std::set<DiskId> failed;
     Rng rng(seed);
@@ -47,25 +91,25 @@ TEST_P(FuzzStoreTest, RandomOpStreamMatchesReferenceModel) {
                 const std::size_t size = 1 + rng.next_below(4 * static_cast<std::uint64_t>(elem));
                 std::vector<std::uint8_t> chunk(size);
                 for (auto& b : chunk) b = static_cast<std::uint8_t>(rng.next_below(256));
-                ASSERT_TRUE(store.append(ConstByteSpan(chunk.data(), chunk.size())).ok());
+                ASSERT_TRUE(store->append(ConstByteSpan(chunk.data(), chunk.size())).ok());
                 reference.insert(reference.end(), chunk.begin(), chunk.end());
                 break;
             }
             case 3: {  // flush (creates a fresh extent on partial stripes)
-                ASSERT_TRUE(store.flush().ok());
-                ASSERT_EQ(store.committed_bytes(), static_cast<std::int64_t>(reference.size()));
+                ASSERT_TRUE(store->flush().ok());
+                ASSERT_EQ(store->committed_bytes(), static_cast<std::int64_t>(reference.size()));
                 break;
             }
             case 4:
             case 5:
             case 6: {  // random read of the committed prefix
-                const std::int64_t committed = store.committed_bytes();
+                const std::int64_t committed = store->committed_bytes();
                 if (committed == 0) break;
                 const std::int64_t offset = static_cast<std::int64_t>(rng.next_below(
                     static_cast<std::uint64_t>(committed)));
                 const std::int64_t length = 1 + static_cast<std::int64_t>(rng.next_below(
                     static_cast<std::uint64_t>(committed - offset)));
-                auto out = store.read_bytes(offset, length);
+                auto out = store->read_bytes(offset, length);
                 ASSERT_TRUE(out.ok()) << "op " << op << ": " << out.error().message;
                 ASSERT_TRUE(std::memcmp(out->data(), reference.data() + offset,
                                         static_cast<std::size_t>(length)) == 0)
@@ -75,30 +119,33 @@ TEST_P(FuzzStoreTest, RandomOpStreamMatchesReferenceModel) {
             case 7: {  // fail a disk (stay within tolerance)
                 if (static_cast<int>(failed.size()) >= tolerance) break;
                 const auto disk = static_cast<DiskId>(rng.next_below(
-                    static_cast<std::uint64_t>(store.scheme().disks())));
+                    static_cast<std::uint64_t>(store->scheme().disks())));
                 if (failed.count(disk) > 0) break;
-                ASSERT_TRUE(store.fail_disk(disk).ok());
+                ASSERT_TRUE(store->fail_disk(disk).ok());
                 failed.insert(disk);
                 break;
             }
             case 8: {  // reconstruct one failed disk
                 if (failed.empty()) break;
                 const DiskId disk = *failed.begin();
-                auto stats = store.reconstruct_disk(disk);
+                auto stats = store->reconstruct_disk(disk);
                 ASSERT_TRUE(stats.ok()) << "op " << op << ": " << stats.error().message;
                 failed.erase(disk);
                 break;
             }
             case 9: {  // silent corruption + scrub (only when all healthy)
-                if (!failed.empty() || store.stored_data_elements() == 0) break;
-                const std::int64_t total = store.stored_data_elements();
+                // Scrub audits raw device bytes, so it only runs in the
+                // clean campaign — injected transients would abort it.
+                if (with_faults) break;
+                if (!failed.empty() || store->stored_data_elements() == 0) break;
+                const std::int64_t total = store->stored_data_elements();
                 const auto e = static_cast<ElementId>(rng.next_below(static_cast<std::uint64_t>(total)));
-                const Location loc = store.scheme().layout().locate_data(e);
+                const Location loc = store->scheme().layout().locate_data(e);
                 ASSERT_TRUE(store
-                                .corrupt_element(loc.disk, loc.row,
-                                                 rng.next_below(static_cast<std::uint64_t>(elem)))
+                                ->corrupt_element(loc.disk, loc.row,
+                                                  rng.next_below(static_cast<std::uint64_t>(elem)))
                                 .ok());
-                auto report = store.scrub();
+                auto report = store->scrub();
                 ASSERT_TRUE(report.ok());
                 ASSERT_EQ(report->unrecoverable_groups, 0);
                 break;
@@ -107,27 +154,72 @@ TEST_P(FuzzStoreTest, RandomOpStreamMatchesReferenceModel) {
     }
 
     // Final audit: flush everything, read the whole stream, verify parity.
-    ASSERT_TRUE(store.flush().ok());
+    ASSERT_TRUE(store->flush().ok());
     for (DiskId disk : std::vector<DiskId>(failed.begin(), failed.end())) {
-        ASSERT_TRUE(store.reconstruct_disk(disk).ok());
+        ASSERT_TRUE(store->reconstruct_disk(disk).ok());
     }
-    auto out = store.read_bytes(0, static_cast<std::int64_t>(reference.size()));
+    auto out = store->read_bytes(0, static_cast<std::int64_t>(reference.size()));
     ASSERT_TRUE(out.ok());
     EXPECT_EQ(out.value(), reference);
-    EXPECT_TRUE(store.verify_parity().ok());
+    if (!with_faults) {
+        // verify_parity reads raw device bytes without the retry layer, so
+        // an injected transient would fail it spuriously.
+        EXPECT_TRUE(store->verify_parity().ok());
+    }
+}
+
+class FuzzStoreTest : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(FuzzStoreTest, RandomOpStreamMatchesReferenceModel) {
+    const auto [spec, kind, seed, with_faults] = GetParam();
+    run_fuzz(spec, kind, seed, with_faults);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Streams, FuzzStoreTest,
-    ::testing::Values(FuzzParam{"rs:6,3", LayoutKind::standard, 1}, FuzzParam{"rs:6,3", LayoutKind::ecfrm, 2},
-                      FuzzParam{"rs:6,3", LayoutKind::rotated, 3},
-                      FuzzParam{"lrc:6,2,2", LayoutKind::standard, 4},
-                      FuzzParam{"lrc:6,2,2", LayoutKind::ecfrm, 5},
-                      FuzzParam{"lrc:6,2,2", LayoutKind::rotated, 6},
-                      FuzzParam{"rs:8,4", LayoutKind::ecfrm, 7}, FuzzParam{"lrc:8,2,3", LayoutKind::ecfrm, 8},
-                      FuzzParam{"rs:10,5", LayoutKind::ecfrm, 9},
-                      FuzzParam{"lrc:10,2,4", LayoutKind::ecfrm, 10},
-                      FuzzParam{"rs:6,3", LayoutKind::ecfrm, 11}, FuzzParam{"lrc:6,2,2", LayoutKind::ecfrm, 12}));
+    ::testing::Values(FuzzParam{"rs:6,3", LayoutKind::standard, 1, false},
+                      FuzzParam{"rs:6,3", LayoutKind::ecfrm, 2, false},
+                      FuzzParam{"rs:6,3", LayoutKind::rotated, 3, false},
+                      FuzzParam{"lrc:6,2,2", LayoutKind::standard, 4, false},
+                      FuzzParam{"lrc:6,2,2", LayoutKind::ecfrm, 5, false},
+                      FuzzParam{"lrc:6,2,2", LayoutKind::rotated, 6, false},
+                      FuzzParam{"rs:8,4", LayoutKind::ecfrm, 7, false},
+                      FuzzParam{"lrc:8,2,3", LayoutKind::ecfrm, 8, false},
+                      FuzzParam{"rs:10,5", LayoutKind::ecfrm, 9, false},
+                      FuzzParam{"lrc:10,2,4", LayoutKind::ecfrm, 10, false},
+                      FuzzParam{"rs:6,3", LayoutKind::ecfrm, 11, false},
+                      FuzzParam{"lrc:6,2,2", LayoutKind::ecfrm, 12, false}));
+
+/// Faulty campaign matrix: scheme x layout x 8 seeds, torn writes +
+/// transient errors injected throughout.
+std::vector<FuzzParam> faulty_params() {
+    std::vector<FuzzParam> params;
+    for (const char* spec : {"rs:6,3", "lrc:6,2,2"}) {
+        for (LayoutKind kind : {LayoutKind::standard, LayoutKind::rotated, LayoutKind::ecfrm}) {
+            for (std::uint64_t seed = 101; seed <= 108; ++seed) {
+                params.push_back({spec, kind, seed, true});
+            }
+        }
+    }
+    return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultyStreams, FuzzStoreTest, ::testing::ValuesIn(faulty_params()));
+
+// CI replay hook: ECFRM_FUZZ_SEED (decimal) drives one extra faulty run
+// per scheme on the EC-FRM layout. The seed is printed so any failure in a
+// per-run randomized CI job can be replayed locally with the same env var.
+TEST(FuzzStoreReplay, EnvSeededFaultyRun) {
+    std::uint64_t seed = 20260805;
+    if (const char* env = std::getenv("ECFRM_FUZZ_SEED")) {
+        seed = std::strtoull(env, nullptr, 10);
+    }
+    std::printf("[fuzz] replay with: ECFRM_FUZZ_SEED=%llu (fault plan: %s)\n",
+                static_cast<unsigned long long>(seed),
+                fuzz_fault_plan(seed).to_json().c_str());
+    run_fuzz("rs:6,3", LayoutKind::ecfrm, seed, /*with_faults=*/true);
+    run_fuzz("lrc:6,2,2", LayoutKind::ecfrm, seed, /*with_faults=*/true);
+}
 
 }  // namespace
 }  // namespace ecfrm::store

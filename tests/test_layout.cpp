@@ -208,6 +208,61 @@ TEST(EcfrmLayout, CoprimeParametersDegenerateToOneRowOfGroups) {
     EXPECT_EQ(layout.data_rows_per_stripe(), 3);
 }
 
+TEST(EcfrmLayout, Lemma1PerColumnPermutationOfStandardLayout) {
+    // Paper Lemma 1: the EC-FRM transformation only permutes elements
+    // within columns of the standard layout, so per-disk damage profiles
+    // (and thus the candidate code's fault tolerance) are preserved.
+    // Pinned over a dense (n, k) grid via its two observable halves:
+    //   (a) each group's n elements land on n distinct disks — losing a
+    //       disk costs any group at most one element, exactly as in the
+    //       standard layout;
+    //   (b) each column of a super-stripe holds exactly one element of
+    //       every group — so column-for-column, EC-FRM holds a permutation
+    //       of the group memberships the standard layout puts there.
+    for (int n = 3; n <= 20; ++n) {
+        for (int k = 2; k < n; ++k) {
+            EcfrmLayout layout(n, k);
+            const int groups = layout.groups_per_stripe();
+            ASSERT_EQ(layout.rows_per_stripe(), groups) << "n=" << n << " k=" << k;
+
+            // (a) every group covers all n disks exactly once.
+            std::vector<std::set<int>> column_groups(static_cast<std::size_t>(n));
+            for (int g = 0; g < groups; ++g) {
+                std::set<DiskId> disks;
+                for (int p = 0; p < n; ++p) {
+                    const Location loc = layout.locate({0, g, p});
+                    disks.insert(loc.disk);
+                    EXPECT_TRUE(
+                        column_groups[static_cast<std::size_t>(loc.disk)].insert(g).second)
+                        << "n=" << n << " k=" << k << ": group " << g
+                        << " has two elements on disk " << loc.disk;
+                }
+                EXPECT_EQ(static_cast<int>(disks.size()), n)
+                    << "n=" << n << " k=" << k << " group " << g;
+            }
+
+            // (b) each column holds exactly one element per group — the
+            // same group census the standard layout gives that column
+            // over an equal span of stripes.
+            StandardLayout standard(n, k);
+            for (int d = 0; d < n; ++d) {
+                EXPECT_EQ(static_cast<int>(column_groups[static_cast<std::size_t>(d)].size()),
+                          groups)
+                    << "n=" << n << " k=" << k << " column " << d;
+                std::set<int> standard_groups;
+                for (StripeId s = 0; s < groups; ++s) {
+                    // Standard layout: stripe s's element at column d is
+                    // position d of that stripe's (single) group.
+                    EXPECT_EQ(standard.locate({s, 0, d}).disk, d);
+                    standard_groups.insert(static_cast<int>(s));
+                }
+                EXPECT_EQ(standard_groups, column_groups[static_cast<std::size_t>(d)])
+                    << "n=" << n << " k=" << k << " column " << d;
+            }
+        }
+    }
+}
+
 TEST(LayoutFactory, NamesAndKinds) {
     EXPECT_STREQ(to_string(LayoutKind::standard), "standard");
     EXPECT_STREQ(to_string(LayoutKind::rotated), "rotated");

@@ -10,6 +10,8 @@
 #include "codes/factory.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "store/fault_device.h"
 #include "store/stripe_store.h"
 
 namespace ecfrm::store {
@@ -136,7 +138,7 @@ TEST(Store, BeyondToleranceFailsCleanly) {
     for (DiskId d : {0, 1, 2, 3}) ASSERT_TRUE(store.fail_disk(d).ok());
     auto out = store.read_bytes(0, static_cast<std::int64_t>(data.size()));
     ASSERT_FALSE(out.ok());
-    EXPECT_EQ(out.error().code, Error::Code::undecodable);
+    EXPECT_EQ(out.error().code, Error::Code::beyond_tolerance);
 }
 
 TEST(Store, SequentialReconstructionOfTwoFailures) {
@@ -356,6 +358,149 @@ TEST(Disk, SizeMismatchRejected) {
     std::vector<std::uint8_t> ok(16, 1);
     ASSERT_TRUE(disk.write(0, ConstByteSpan(ok.data(), ok.size())).ok());
     EXPECT_FALSE(disk.read(0, ByteSpan(small.data(), small.size())).ok());
+}
+
+// ---- Self-healing read path -----------------------------------------------
+
+/// Store over FaultDevice-wrapped disks, metrics attached, fully written.
+struct FaultyFixture {
+    std::unique_ptr<StripeStore> store;
+    obs::MetricRegistry metrics;
+    std::vector<std::uint8_t> data;
+
+    FaultyFixture(const std::string& spec, const FaultPlan& plan,
+                  const RecoveryOptions& recovery, ThreadPool* pool = nullptr,
+                  std::int64_t elem = 64) {
+        auto opened = StripeStore::open(make_scheme(spec, LayoutKind::ecfrm), elem,
+                                        faulty_memory_factory(elem, plan), pool);
+        EXPECT_TRUE(opened.ok());
+        store = std::move(opened).take();
+        store->set_recovery(recovery);
+        data = random_bytes(static_cast<std::size_t>(elem) * 90, 77);
+        EXPECT_TRUE(store->append(ConstByteSpan(data.data(), data.size())).ok());
+        EXPECT_TRUE(store->flush().ok());
+        store->attach_observability(&metrics);  // after writes: count only reads
+    }
+
+    std::int64_t counter(const char* name) { return metrics.counter(name).value(); }
+};
+
+TEST(StoreRecovery, TransientReadErrorIsRetriedAndCounted) {
+    FaultPlan plan;
+    FaultRule eio;  // disk 2's first two read ops fail once each
+    eio.kind = FaultKind::transient;
+    eio.disk = 2;
+    eio.op = FaultOp::read;
+    eio.first_op = 0;
+    eio.count = 2;
+    plan.rules = {eio};
+    RecoveryOptions recovery;
+    recovery.max_retries = 2;
+    FaultyFixture f("rs:6,3", plan, recovery);
+
+    auto out = f.store->read_bytes(0, static_cast<std::int64_t>(f.data.size()));
+    ASSERT_TRUE(out.ok()) << out.error().message;
+    EXPECT_EQ(out.value(), f.data);
+    EXPECT_GE(f.counter("ecfrm_store_retries_total"), 1);
+    EXPECT_EQ(f.counter("ecfrm_store_replans_total"), 0);
+}
+
+TEST(StoreRecovery, DetectedCorruptionTriggersMidFlightReplan) {
+    FaultPlan plan;
+    FaultRule flip;  // disk 1's first read hits EDC-detected corruption
+    flip.kind = FaultKind::bit_flip;
+    flip.disk = 1;
+    flip.first_op = 0;
+    flip.count = 1;
+    flip.detected = true;
+    plan.rules = {flip};
+    FaultyFixture f("rs:6,3", plan, RecoveryOptions{});
+
+    auto out = f.store->read_bytes(0, static_cast<std::int64_t>(f.data.size()));
+    ASSERT_TRUE(out.ok()) << out.error().message;
+    EXPECT_EQ(out.value(), f.data);  // decoded around the damaged disk
+    EXPECT_GE(f.counter("ecfrm_store_replans_total"), 1);
+    EXPECT_GE(f.counter("ecfrm_store_degraded_reads_total"), 1);
+    EXPECT_GE(f.counter("ecfrm_store_decodes_total"), 1);
+}
+
+TEST(StoreRecovery, SlowDiskTimesOutAndReadRoutesAround) {
+    FaultPlan plan;
+    FaultRule slow;  // disk 0 stalls every read far past the deadline
+    slow.kind = FaultKind::latency;
+    slow.disk = 0;
+    slow.op = FaultOp::read;
+    slow.first_op = 0;
+    slow.count = 1'000'000;
+    slow.latency_ms = 60.0;
+    plan.rules = {slow};
+    RecoveryOptions recovery;
+    recovery.op_timeout_ms = 5.0;  // 12x margin against sanitizer slowdown
+    FaultyFixture f("rs:6,3", plan, recovery);
+
+    auto out = f.store->read_bytes(0, static_cast<std::int64_t>(f.data.size()));
+    ASSERT_TRUE(out.ok()) << out.error().message;
+    EXPECT_EQ(out.value(), f.data);
+    EXPECT_GE(f.counter("ecfrm_store_timeouts_total"), 1);
+    EXPECT_GE(f.counter("ecfrm_store_replans_total"), 1);
+}
+
+TEST(StoreRecovery, HedgedReadDecodesAroundStraggler) {
+    FaultPlan plan;
+    FaultRule slow;  // disk 0's first read ops straggle way past the hedge
+    slow.kind = FaultKind::latency;
+    slow.disk = 0;
+    slow.op = FaultOp::read;
+    slow.first_op = 0;
+    slow.count = 4;
+    slow.latency_ms = 120.0;
+    plan.rules = {slow};
+    RecoveryOptions recovery;
+    recovery.hedge_ms = 10.0;
+    ThreadPool pool(4);
+    FaultyFixture f("rs:6,3", plan, recovery, &pool);
+
+    auto out = f.store->read_bytes(0, static_cast<std::int64_t>(f.data.size()));
+    ASSERT_TRUE(out.ok()) << out.error().message;
+    EXPECT_EQ(out.value(), f.data);
+    EXPECT_GE(f.counter("ecfrm_store_hedged_reads_total"), 1);
+}
+
+TEST(StoreRecovery, CorruptionEverywhereSurfacesBeyondTolerance) {
+    FaultPlan plan;
+    FaultRule flip;  // every disk's first read is detected-corrupt
+    flip.kind = FaultKind::bit_flip;
+    flip.disk = -1;
+    flip.first_op = 0;
+    flip.count = 1;
+    flip.detected = true;
+    plan.rules = {flip};
+    FaultyFixture f("rs:6,3", plan, RecoveryOptions{});
+
+    auto out = f.store->read_bytes(0, static_cast<std::int64_t>(f.data.size()));
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.error().code, Error::Code::beyond_tolerance);
+}
+
+TEST(StoreRecovery, TornWritesAreHealedByWriteRetries) {
+    FaultPlan plan;
+    plan.seed = 9;
+    plan.max_burst = 2;
+    FaultRule torn;
+    torn.kind = FaultKind::torn_write;
+    torn.count = 1'000'000;
+    torn.probability = 0.3;
+    plan.rules = {torn};
+    RecoveryOptions recovery;
+    recovery.max_retries = 3;
+    FaultyFixture f("lrc:6,2,2", plan, recovery);
+
+    // The fixture's writes already ran over torn-write injection; if any
+    // tear had escaped the retry layer, parity or payload would be wrong.
+    auto out = f.store->read_bytes(0, static_cast<std::int64_t>(f.data.size()));
+    ASSERT_TRUE(out.ok()) << out.error().message;
+    EXPECT_EQ(out.value(), f.data);
+    EXPECT_TRUE(f.store->verify_parity().ok());
 }
 
 }  // namespace

@@ -19,16 +19,22 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "codes/factory.h"
+#include "common/thread_pool.h"
 #include "core/explain.h"
 #include "core/read_planner.h"
 #include "core/scheme.h"
+#include "layout/layout.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "store/disk.h"
+#include "store/fault_device.h"
 #include "store/file_disk.h"
 #include "store/manifest.h"
 #include "store/stripe_store.h"
@@ -55,6 +61,7 @@ int usage() {
                  "  ecfrm_cli status <dir>\n"
                  "  ecfrm_cli explain <code_spec> <layout> <start> <count>"
                  " [--failed d0,d1] [--policy local|balance]\n"
+                 "  ecfrm_cli faultcamp [--seed S] [--elem BYTES] [--out artifact.json]\n"
                  "global options (any command):\n"
                  "  --metrics-out <file>   dump metrics as newline-delimited JSON\n"
                  "  --metrics-prom <file>  dump metrics in Prometheus text format\n"
@@ -423,8 +430,357 @@ int cmd_explain(const std::vector<std::string>& args) {
     return 0;
 }
 
+// ---------------------------------------------------------------------------
+// faultcamp: a seeded fault-injection campaign over the scheme x layout x
+// fault-mix matrix. Each cell writes a deterministic payload through an array
+// of FaultDevices, reads it back through the self-healing read path, and
+// verifies every byte (or, for the beyond-tolerance mix, that every read
+// surfaces the typed error). The ecfrm.faultcamp.v1 artifact embeds each
+// cell's FaultPlan, so any failing cell replays from the artifact alone.
+
+/// How one fault mix is injected and what the store is allowed to do back.
+struct MixConfig {
+    store::FaultPlan plan;
+    store::RecoveryOptions recovery;
+    bool use_pool = false;              // straggler_hedge needs concurrency
+    bool expect_beyond_tolerance = false;
+    bool audit_parity = false;          // only safe when reads are fault-free
+};
+
+constexpr std::int64_t kAllOps = 1'000'000'000;
+
+MixConfig make_mix(const std::string& mix, std::uint64_t seed, int n, int k) {
+    MixConfig cfg;
+    cfg.plan.seed = seed;
+    if (mix == "transient") {
+        cfg.plan.max_burst = 2;
+        store::FaultRule rule;
+        rule.kind = store::FaultKind::transient;
+        rule.op = store::FaultOp::read;
+        rule.count = kAllOps;
+        rule.probability = 0.08;
+        cfg.plan.rules.push_back(rule);
+        cfg.recovery.max_retries = 3;
+    } else if (mix == "torn_write") {
+        cfg.plan.max_burst = 2;
+        store::FaultRule rule;
+        rule.kind = store::FaultKind::torn_write;
+        rule.op = store::FaultOp::write;
+        rule.count = kAllOps;
+        rule.probability = 0.2;
+        rule.torn_fraction = 0.5;
+        cfg.plan.rules.push_back(rule);
+        cfg.recovery.max_retries = 3;
+        cfg.audit_parity = true;  // write retries must have healed parity too
+    } else if (mix == "latency_timeout") {
+        store::FaultRule rule;
+        rule.kind = store::FaultKind::latency;
+        rule.disk = 0;
+        rule.op = store::FaultOp::read;
+        rule.count = 4;
+        rule.latency_ms = 25.0;
+        cfg.plan.rules.push_back(rule);
+        cfg.recovery.op_timeout_ms = 5.0;
+    } else if (mix == "bitflip_detected") {
+        store::FaultRule rule;
+        rule.kind = store::FaultKind::bit_flip;
+        rule.disk = 1;
+        rule.op = store::FaultOp::read;
+        rule.count = 2;
+        rule.flip_offset = 3;
+        rule.detected = true;
+        cfg.plan.rules.push_back(rule);
+    } else if (mix == "fail_stop") {
+        store::FaultRule rule;
+        rule.kind = store::FaultKind::fail_stop;
+        rule.disk = 2;
+        rule.op = store::FaultOp::read;
+        cfg.plan.rules.push_back(rule);
+    } else if (mix == "straggler_hedge") {
+        store::FaultRule rule;
+        rule.kind = store::FaultKind::latency;
+        rule.disk = 0;
+        rule.op = store::FaultOp::read;
+        rule.count = 2;
+        rule.latency_ms = 50.0;
+        cfg.plan.rules.push_back(rule);
+        cfg.recovery.hedge_ms = 8.0;
+        cfg.use_pool = true;
+    } else if (mix == "beyond_tolerance") {
+        // More fail-stops than the code has parity equations; every device
+        // trips on its first (write) op, so reads find n-k+1 dead disks and
+        // must surface the typed error — never wrong bytes, never a hang.
+        for (DiskId d = 0; d <= static_cast<DiskId>(n - k); ++d) {
+            store::FaultRule rule;
+            rule.kind = store::FaultKind::fail_stop;
+            rule.disk = d;
+            cfg.plan.rules.push_back(rule);
+        }
+        cfg.expect_beyond_tolerance = true;
+        cfg.recovery.max_replans = 8;
+    }
+    return cfg;
+}
+
+/// One campaign cell's evidence, as it lands in the artifact.
+struct FaultCell {
+    std::string spec;
+    std::string layout;
+    std::string mix;
+    std::uint64_t seed = 0;
+    std::string fault_plan_json = "{}";
+    int reads = 0;
+    int read_errors = 0;
+    std::int64_t mismatched_bytes = 0;
+    std::map<std::string, int> errors_by_code;
+    std::int64_t retries = 0, timeouts = 0, replans = 0, hedged = 0;
+    std::int64_t degraded = 0, decodes = 0;
+    std::int64_t injected_faults = 0;
+    bool pass = false;
+    std::string detail;
+};
+
+FaultCell run_fault_cell(const std::string& spec, layout::LayoutKind kind, const std::string& mix,
+                         std::uint64_t cell_seed, std::int64_t elem_bytes) {
+    FaultCell cell;
+    cell.spec = spec;
+    cell.layout = layout::to_string(kind);
+    cell.mix = mix;
+    cell.seed = cell_seed;
+
+    auto code = codes::make_code(spec);
+    if (!code.ok()) {
+        cell.detail = code.error().message;
+        return cell;
+    }
+    const MixConfig cfg = make_mix(mix, cell_seed, code.value()->n(), code.value()->k());
+    cell.fault_plan_json = cfg.plan.to_json();
+
+    std::vector<store::FaultDevice*> devices;
+    auto factory = [&](int index) -> Result<std::unique_ptr<store::BlockDevice>> {
+        auto device = std::make_unique<store::FaultDevice>(std::make_unique<store::Disk>(elem_bytes),
+                                                           cfg.plan, static_cast<DiskId>(index));
+        devices.push_back(device.get());
+        return std::unique_ptr<store::BlockDevice>(std::move(device));
+    };
+
+    std::unique_ptr<ThreadPool> pool;
+    if (cfg.use_pool) pool = std::make_unique<ThreadPool>(4);
+    obs::MetricRegistry metrics("ecfrm_faultcamp");
+    auto st = store::StripeStore::open(core::Scheme(code.value(), kind), elem_bytes, factory,
+                                       pool.get());
+    if (!st.ok()) {
+        cell.detail = st.error().message;
+        return cell;
+    }
+    st.value()->set_recovery(cfg.recovery);
+    st.value()->attach_observability(&metrics);
+
+    const std::int64_t data_elems = 4 * st.value()->scheme().layout().data_per_stripe();
+    std::vector<std::uint8_t> payload(static_cast<std::size_t>(data_elems * elem_bytes));
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+        const std::int64_t elem = static_cast<std::int64_t>(i) / elem_bytes;
+        const std::int64_t byte = static_cast<std::int64_t>(i) % elem_bytes;
+        payload[i] = static_cast<std::uint8_t>((elem * 131 + byte * 7 + 1) & 0xff);
+    }
+    auto written = st.value()->append(ConstByteSpan(payload.data(), payload.size()));
+    if (written.ok()) written = st.value()->flush();
+    if (!written.ok()) {
+        cell.detail = "write phase: " + written.error().message;
+        return cell;
+    }
+
+    const std::int64_t half = data_elems / 2;
+    const std::int64_t chunks[][2] = {{0, half}, {half, data_elems - half}};
+    for (const auto& chunk : chunks) {
+        const std::int64_t start = chunk[0];
+        const std::int64_t count = chunk[1];
+        std::vector<std::uint8_t> got(static_cast<std::size_t>(count * elem_bytes));
+        ++cell.reads;
+        auto status = st.value()->read_elements(start, count, ByteSpan(got.data(), got.size()));
+        if (!status.ok()) {
+            ++cell.read_errors;
+            ++cell.errors_by_code[Error::code_name(status.error().code)];
+            continue;
+        }
+        const std::uint8_t* want = payload.data() + start * elem_bytes;
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            if (got[i] != want[i]) ++cell.mismatched_bytes;
+        }
+    }
+    if (cfg.audit_parity) {
+        auto parity = st.value()->verify_parity();
+        if (!parity.ok()) cell.detail = "parity audit: " + parity.error().message;
+    }
+
+    cell.retries = metrics.counter("ecfrm_store_retries_total").value();
+    cell.timeouts = metrics.counter("ecfrm_store_timeouts_total").value();
+    cell.replans = metrics.counter("ecfrm_store_replans_total").value();
+    cell.hedged = metrics.counter("ecfrm_store_hedged_reads_total").value();
+    cell.degraded = metrics.counter("ecfrm_store_degraded_reads_total").value();
+    cell.decodes = metrics.counter("ecfrm_store_decodes_total").value();
+    for (const store::FaultDevice* device : devices) {
+        cell.injected_faults += static_cast<std::int64_t>(device->events().size());
+    }
+    st.value()->attach_observability(nullptr);
+
+    if (cfg.expect_beyond_tolerance) {
+        cell.pass = cell.read_errors == cell.reads && cell.mismatched_bytes == 0 &&
+                    cell.errors_by_code.size() == 1 &&
+                    cell.errors_by_code.count("beyond_tolerance") == 1;
+        if (!cell.pass && cell.detail.empty()) {
+            cell.detail = "expected every read to fail with beyond_tolerance";
+        }
+        return cell;
+    }
+    cell.pass = cell.read_errors == 0 && cell.mismatched_bytes == 0 && cell.detail.empty();
+    if (!cell.pass && cell.detail.empty()) {
+        cell.detail = "read errors or byte mismatches under a within-tolerance mix";
+    }
+    // Scripted (probability-1) mixes are deterministic regardless of seed,
+    // so the recovery mechanism they target must actually have engaged.
+    if (cell.pass && mix == "latency_timeout" && (cell.timeouts < 1 || cell.replans < 1)) {
+        cell.pass = false;
+        cell.detail = "expected timeouts and a mid-flight replan";
+    }
+    if (cell.pass && mix == "bitflip_detected" && (cell.replans < 1 || cell.degraded < 1)) {
+        cell.pass = false;
+        cell.detail = "expected detected corruption to force a degraded replan";
+    }
+    if (cell.pass && mix == "fail_stop" && cell.degraded < 1) {
+        cell.pass = false;
+        cell.detail = "expected degraded reads around the tripped disk";
+    }
+    if (cell.pass && mix == "straggler_hedge" && cell.hedged < 1) {
+        cell.pass = false;
+        cell.detail = "expected hedged reads around the straggler";
+    }
+    return cell;
+}
+
+std::string json_escape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == '"' || c == '\\') out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+std::string faultcamp_json(std::uint64_t seed, std::int64_t elem_bytes,
+                           const std::vector<FaultCell>& cells, bool all_pass) {
+    std::string out = "{\"schema\":\"ecfrm.faultcamp.v1\",";
+    out += "\"seed\":\"" + std::to_string(seed) + "\",";
+    out += "\"element_bytes\":" + std::to_string(elem_bytes) + ",";
+    out += std::string("\"pass\":") + (all_pass ? "true" : "false") + ",";
+    out += "\"cells\":[";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const FaultCell& cell = cells[i];
+        if (i > 0) out += ",";
+        out += "{\"scheme\":\"" + cell.spec + "\"";
+        out += ",\"layout\":\"" + cell.layout + "\"";
+        out += ",\"mix\":\"" + cell.mix + "\"";
+        out += ",\"cell_seed\":\"" + std::to_string(cell.seed) + "\"";
+        out += ",\"reads\":" + std::to_string(cell.reads);
+        out += ",\"read_errors\":" + std::to_string(cell.read_errors);
+        out += ",\"mismatched_bytes\":" + std::to_string(cell.mismatched_bytes);
+        out += ",\"injected_faults\":" + std::to_string(cell.injected_faults);
+        out += ",\"errors_by_code\":{";
+        bool first = true;
+        for (const auto& [code, count] : cell.errors_by_code) {
+            if (!first) out += ",";
+            first = false;
+            out += "\"" + std::string(code) + "\":" + std::to_string(count);
+        }
+        out += "},\"counters\":{";
+        out += "\"retries\":" + std::to_string(cell.retries);
+        out += ",\"timeouts\":" + std::to_string(cell.timeouts);
+        out += ",\"replans\":" + std::to_string(cell.replans);
+        out += ",\"hedged_reads\":" + std::to_string(cell.hedged);
+        out += ",\"degraded_reads\":" + std::to_string(cell.degraded);
+        out += ",\"decodes\":" + std::to_string(cell.decodes);
+        out += "}";
+        out += std::string(",\"pass\":") + (cell.pass ? "true" : "false");
+        out += ",\"detail\":\"" + json_escape(cell.detail) + "\"";
+        out += ",\"fault_plan\":" + cell.fault_plan_json;
+        out += "}";
+    }
+    out += "]}\n";
+    return out;
+}
+
+int cmd_faultcamp(const std::vector<std::string>& args) {
+    std::uint64_t seed = 20260805;
+    std::string out_path;
+    std::int64_t elem_bytes = 1024;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+        if (args[i] == "--seed" && i + 1 < args.size()) {
+            seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+        } else if (args[i] == "--out" && i + 1 < args.size()) {
+            out_path = args[++i];
+        } else if (args[i] == "--elem" && i + 1 < args.size()) {
+            elem_bytes = std::atoll(args[++i].c_str());
+        } else {
+            return usage();
+        }
+    }
+    if (elem_bytes <= 0 || elem_bytes % 8 != 0) {
+        std::fprintf(stderr, "error: --elem must be a positive multiple of 8\n");
+        return 1;
+    }
+
+    const std::vector<std::string> specs{"rs:6,3", "lrc:6,2,2"};
+    const std::vector<layout::LayoutKind> kinds{
+        layout::LayoutKind::standard, layout::LayoutKind::rotated, layout::LayoutKind::ecfrm};
+    const std::vector<std::string> mixes{"transient",        "torn_write", "latency_timeout",
+                                         "bitflip_detected", "fail_stop",  "straggler_hedge",
+                                         "beyond_tolerance"};
+    std::printf("faultcamp: seed=%llu, %zu cells (replay any cell with --seed %llu)\n",
+                static_cast<unsigned long long>(seed), specs.size() * kinds.size() * mixes.size(),
+                static_cast<unsigned long long>(seed));
+    std::printf("%-10s %-9s %-17s %6s %5s %5s %5s %5s %5s %6s  %s\n", "scheme", "layout", "mix",
+                "faults", "retry", "tmout", "replan", "hedge", "degr", "errors", "verdict");
+
+    std::vector<FaultCell> cells;
+    bool all_pass = true;
+    std::uint64_t index = 0;
+    for (const auto& spec : specs) {
+        for (const auto kind : kinds) {
+            for (const auto& mix : mixes) {
+                ++index;
+                const std::uint64_t cell_seed = seed ^ (0x9e3779b97f4a7c15ULL * index);
+                cells.push_back(run_fault_cell(spec, kind, mix, cell_seed, elem_bytes));
+                const FaultCell& cell = cells.back();
+                all_pass = all_pass && cell.pass;
+                std::printf("%-10s %-9s %-17s %6lld %5lld %5lld %6lld %5lld %5lld %6d  %s%s%s\n",
+                            cell.spec.c_str(), cell.layout.c_str(), cell.mix.c_str(),
+                            static_cast<long long>(cell.injected_faults),
+                            static_cast<long long>(cell.retries),
+                            static_cast<long long>(cell.timeouts),
+                            static_cast<long long>(cell.replans),
+                            static_cast<long long>(cell.hedged),
+                            static_cast<long long>(cell.degraded), cell.read_errors,
+                            cell.pass ? "ok" : "FAIL", cell.detail.empty() ? "" : ": ",
+                            cell.detail.c_str());
+            }
+        }
+    }
+
+    const std::string artifact = faultcamp_json(seed, elem_bytes, cells, all_pass);
+    if (!out_path.empty() && !ObsOutputs::write_file(out_path, artifact)) return 1;
+    std::printf("faultcamp: %s (%zu cells%s%s)\n", all_pass ? "PASS" : "FAIL", cells.size(),
+                out_path.empty() ? "" : ", artifact: ", out_path.c_str());
+    return all_pass ? 0 : 1;
+}
+
 int dispatch(const std::vector<std::string>& args) {
     const int argc = static_cast<int>(args.size());
+    if (argc >= 2 && args[1] == "faultcamp") return cmd_faultcamp(args);
     if (argc < 3) return usage();
     const std::string& cmd = args[1];
     if (cmd == "explain") return cmd_explain(args);

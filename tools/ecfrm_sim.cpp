@@ -11,6 +11,8 @@
 //     --degraded           run the degraded protocol (speed + cost)
 //     --policy P           local | balance (degraded repair)   (default local)
 //     --seed S             PRNG seed                           (default 2015)
+//     --faults F           fault-injection mode: run a real store under the
+//                          ecfrm.faultplan.v1 plan in F and verify the bytes
 //     --metrics-out F      write metrics as NDJSON to F
 //     --metrics-prom F     write metrics in Prometheus text format to F
 //     --trace-out F        write a chrome://tracing JSON trace to F
@@ -19,9 +21,12 @@
 //   ecfrm_sim lrc:12,3,3 --degraded
 //   ecfrm_sim rs:20,10 --max-size 40 --elem 4194304
 //   ecfrm_sim rs:6,3 --metrics-out metrics.json --trace-out trace.json
+//   ecfrm_sim rs:6,3 --faults plan.json --elem 4096
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,6 +38,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/array_sim.h"
+#include "store/fault_device.h"
+#include "store/stripe_store.h"
 #include "workload/workload.h"
 
 namespace {
@@ -49,6 +56,7 @@ struct Options {
     bool degraded = false;
     core::DegradedPolicy policy = core::DegradedPolicy::local_first;
     std::uint64_t seed = 2015;
+    std::string faults_path;
     std::string metrics_out;
     std::string metrics_prom;
     std::string trace_out;
@@ -60,9 +68,93 @@ int usage() {
     std::fprintf(stderr,
                  "usage: ecfrm_sim <code_spec> [--layout standard|rotated|ecfrm|all] [--trials N]\n"
                  "                 [--elem BYTES] [--max-size E] [--degraded] [--policy local|balance]\n"
-                 "                 [--seed S] [--metrics-out F] [--metrics-prom F] [--trace-out F]\n"
-                 "                 [--serve PORT] [--serve-hold SECS]\n");
+                 "                 [--seed S] [--faults plan.json] [--metrics-out F]\n"
+                 "                 [--metrics-prom F] [--trace-out F] [--serve PORT]\n"
+                 "                 [--serve-hold SECS]\n");
     return 2;
+}
+
+/// --faults mode: instead of the analytic disk model, build a REAL
+/// StripeStore per layout on FaultDevice-wrapped memory disks, write a
+/// deterministic payload, read it all back through the self-healing read
+/// path, and verify every byte. Typed read errors (e.g. beyond_tolerance
+/// when the plan kills too many disks) are reported per error code; the
+/// exit status flags silent corruption — bytes that came back wrong.
+int run_fault_mode(const Options& opt, const std::shared_ptr<codes::ErasureCode>& code,
+                   const store::FaultPlan& plan) {
+    std::printf("fault-injection protocol: plan seed %llu, %zu rules, %lld B elements\n",
+                static_cast<unsigned long long>(plan.seed), plan.rules.size(),
+                static_cast<long long>(opt.elem_bytes));
+    std::printf("fault plan: %s\n", plan.to_json().c_str());
+    std::printf("%-20s %6s %6s %6s %6s %7s %6s %10s  %s\n", "scheme", "reads", "retry", "tmout",
+                "replan", "degr", "errs", "mismatch", "errors_by_code");
+
+    bool clean = true;
+    for (auto kind : opt.kinds) {
+        auto st = store::StripeStore::open(core::Scheme(code, kind), opt.elem_bytes,
+                                           store::faulty_memory_factory(opt.elem_bytes, plan));
+        if (!st.ok()) {
+            std::fprintf(stderr, "error: %s\n", st.error().message.c_str());
+            return 1;
+        }
+        store::RecoveryOptions recovery;
+        recovery.max_retries = 3;
+        recovery.max_replans = 4;
+        st.value()->set_recovery(recovery);
+        obs::MetricRegistry metrics("ecfrm_sim_faults");
+        st.value()->attach_observability(&metrics);
+
+        const std::int64_t data_elems = 4 * st.value()->scheme().layout().data_per_stripe();
+        std::vector<std::uint8_t> payload(static_cast<std::size_t>(data_elems * opt.elem_bytes));
+        Rng rng(opt.seed);
+        for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64() & 0xff);
+        auto written = st.value()->append(ConstByteSpan(payload.data(), payload.size()));
+        if (written.ok()) written = st.value()->flush();
+        if (!written.ok()) {
+            std::fprintf(stderr, "error: write phase: %s\n", written.error().message.c_str());
+            return 1;
+        }
+
+        int reads = 0, read_errors = 0;
+        std::int64_t mismatched = 0;
+        std::map<std::string, int> errors_by_code;
+        const std::int64_t chunk = std::max<std::int64_t>(1, data_elems / 4);
+        for (std::int64_t start = 0; start < data_elems; start += chunk) {
+            const std::int64_t count = std::min(chunk, data_elems - start);
+            std::vector<std::uint8_t> got(static_cast<std::size_t>(count * opt.elem_bytes));
+            ++reads;
+            auto status = st.value()->read_elements(start, count, ByteSpan(got.data(), got.size()));
+            if (!status.ok()) {
+                ++read_errors;
+                ++errors_by_code[Error::code_name(status.error().code)];
+                continue;
+            }
+            const std::uint8_t* want = payload.data() + start * opt.elem_bytes;
+            for (std::size_t i = 0; i < got.size(); ++i) {
+                if (got[i] != want[i]) ++mismatched;
+            }
+        }
+        clean = clean && mismatched == 0;
+
+        std::string codes_text;
+        for (const auto& [name, count] : errors_by_code) {
+            if (!codes_text.empty()) codes_text += " ";
+            codes_text += std::string(name) + "=" + std::to_string(count);
+        }
+        std::printf("%-20s %6d %6lld %6lld %6lld %7lld %6d %10lld  %s\n",
+                    st.value()->scheme().name().c_str(), reads,
+                    static_cast<long long>(metrics.counter("ecfrm_store_retries_total").value()),
+                    static_cast<long long>(metrics.counter("ecfrm_store_timeouts_total").value()),
+                    static_cast<long long>(metrics.counter("ecfrm_store_replans_total").value()),
+                    static_cast<long long>(
+                        metrics.counter("ecfrm_store_degraded_reads_total").value()),
+                    read_errors, static_cast<long long>(mismatched),
+                    codes_text.empty() ? "-" : codes_text.c_str());
+        st.value()->attach_observability(nullptr);
+    }
+    std::printf("fault-injection protocol: %s\n",
+                clean ? "no silent corruption" : "SILENT CORRUPTION DETECTED");
+    return clean ? 0 : 1;
 }
 
 bool write_file(const std::string& path, const std::string& body) {
@@ -126,6 +218,10 @@ int main(int argc, char** argv) {
             const char* v = value();
             if (v == nullptr) return usage();
             opt.seed = static_cast<std::uint64_t>(std::atoll(v));
+        } else if (arg == "--faults") {
+            const char* v = value();
+            if (v == nullptr) return usage();
+            opt.faults_path = v;
         } else if (arg == "--metrics-out") {
             const char* v = value();
             if (v == nullptr) return usage();
@@ -183,6 +279,26 @@ int main(int argc, char** argv) {
     if (!code.ok()) {
         std::fprintf(stderr, "error: %s\n", code.error().message.c_str());
         return 1;
+    }
+
+    if (!opt.faults_path.empty()) {
+        std::FILE* f = std::fopen(opt.faults_path.c_str(), "rb");
+        if (f == nullptr) {
+            std::fprintf(stderr, "error: cannot open %s\n", opt.faults_path.c_str());
+            return 1;
+        }
+        std::string text;
+        char buf[4096];
+        std::size_t got;
+        while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, got);
+        std::fclose(f);
+        auto plan = store::FaultPlan::from_json(text);
+        if (!plan.ok()) {
+            std::fprintf(stderr, "error: %s: %s\n", opt.faults_path.c_str(),
+                         plan.error().message.c_str());
+            return 1;
+        }
+        return run_fault_mode(opt, code.value(), plan.value());
     }
 
     std::printf("%s protocol: %d trials, %lld B elements, sizes 1..%d%s\n",
