@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "artifact.h"
+#include "gf/kernels.h"
 
 namespace ecfrm::bench {
 
@@ -37,6 +38,11 @@ class ArtifactReporter : public benchmark::ConsoleReporter {
 int main(int argc, char** argv) {
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    // Per-tier GF byte counters land in the artifact's metrics block when
+    // telemetry is on (no-op otherwise — registry() is null).
+    if (ecfrm::obs::MetricRegistry* r = ecfrm::bench::ArtifactWriter::instance().registry()) {
+        ecfrm::gf::attach_kernel_metrics(r);
+    }
     ecfrm::bench::ArtifactReporter reporter;
     benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();

@@ -19,6 +19,7 @@
 #include "common/stats.h"
 #include "core/read_planner.h"
 #include "core/scheme.h"
+#include "gf/kernels.h"
 #include "obs/metrics.h"
 #include "sim/array_sim.h"
 #include "workload/workload.h"
@@ -28,11 +29,15 @@ namespace ecfrm::bench {
 /// Telemetry registry for this bench run, or nullptr when both
 /// ECFRM_BENCH_OUT (canonical artifact) and ECFRM_METRICS_OUT (NDJSON
 /// sidecar) are unset, so the measured numbers are untouched in normal
-/// runs. First call with telemetry on also hooks the planner metrics.
+/// runs. First call with telemetry on also hooks the planner and GF
+/// kernel metrics.
 inline obs::MetricRegistry* metrics_sidecar() {
     static obs::MetricRegistry* registry = []() -> obs::MetricRegistry* {
         obs::MetricRegistry* r = ArtifactWriter::instance().registry();
-        if (r != nullptr) core::attach_planner_metrics(r);
+        if (r != nullptr) {
+            core::attach_planner_metrics(r);
+            gf::attach_kernel_metrics(r);
+        }
         return r;
     }();
     return registry;

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "gf/gf256.h"
+#include "gf/kernels.h"
 #include "gf/region.h"
 
 namespace ecfrm::codes {
@@ -17,17 +18,13 @@ RepairSpec ErasureCode::repair_spec(int position) const {
     return RepairSpec{};
 }
 
-void ErasureCode::encode(const std::vector<ConstByteSpan>& data, const std::vector<ByteSpan>& parity) const {
+void ErasureCode::encode(const std::vector<ConstByteSpan>& data, const std::vector<ByteSpan>& parity,
+                         ThreadPool* pool) const {
     assert(static_cast<int>(data.size()) == k());
     assert(static_cast<int>(parity.size()) == m());
-    const Matrix& g = generator();
-    for (int p = 0; p < m(); ++p) {
-        const std::uint8_t* row = g.row(k() + p);
-        gf::zero_region(parity[static_cast<std::size_t>(p)]);
-        for (int j = 0; j < k(); ++j) {
-            gf::addmul_region(parity[static_cast<std::size_t>(p)], data[static_cast<std::size_t>(j)], row[j]);
-        }
-    }
+    // Rows k..n-1 of the row-major generator are contiguous — exactly the
+    // m x k coefficient block the fused kernel wants.
+    gf::encode_regions(data, parity, generator().row(k()), pool);
 }
 
 bool ErasureCode::decodable(const std::vector<int>& available) const {
@@ -106,13 +103,21 @@ Result<DecodePlan> ErasureCode::plan_decode(const std::vector<int>& available, c
     return plan;
 }
 
-void ErasureCode::apply_plan(const DecodePlan& plan, const std::vector<ByteSpan>& buffers) {
+void ErasureCode::apply_plan(const DecodePlan& plan, const std::vector<ByteSpan>& buffers,
+                             ThreadPool* pool) {
+    std::vector<ConstByteSpan> srcs;
+    std::vector<std::uint8_t> coeffs;
     for (const auto& repair : plan.repairs) {
-        ByteSpan out = buffers[static_cast<std::size_t>(repair.target_position)];
-        gf::zero_region(out);
+        // One fused single-destination pass per repair (the target never
+        // appears among its own sources, so in-place repair is safe).
+        srcs.clear();
+        coeffs.clear();
         for (const auto& term : repair.terms) {
-            gf::addmul_region(out, buffers[static_cast<std::size_t>(term.source_position)], term.coeff);
+            srcs.push_back(buffers[static_cast<std::size_t>(term.source_position)]);
+            coeffs.push_back(term.coeff);
         }
+        const std::vector<ByteSpan> dst{buffers[static_cast<std::size_t>(repair.target_position)]};
+        gf::encode_regions(srcs, dst, coeffs.data(), pool);
     }
 }
 

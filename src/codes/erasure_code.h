@@ -16,6 +16,10 @@
 #include "common/types.h"
 #include "matrix/matrix.h"
 
+namespace ecfrm {
+class ThreadPool;
+}  // namespace ecfrm
+
 namespace ecfrm::codes {
 
 /// How one erased element is rebuilt: XOR of coeff * source over the listed
@@ -69,9 +73,12 @@ class ErasureCode {
     /// Repair hints for a single erased position (see RepairSpec).
     virtual RepairSpec repair_spec(int position) const;
 
-    /// Compute the m parity buffers from the k data buffers (region ops).
-    /// All spans must have equal length; parity spans are overwritten.
-    void encode(const std::vector<ConstByteSpan>& data, const std::vector<ByteSpan>& parity) const;
+    /// Compute the m parity buffers from the k data buffers in one fused
+    /// multi-destination kernel pass (gf::encode_regions). All spans must
+    /// have equal length; parity spans are overwritten. Large regions are
+    /// chunked across `pool` when one is given.
+    void encode(const std::vector<ConstByteSpan>& data, const std::vector<ByteSpan>& parity,
+                ThreadPool* pool = nullptr) const;
 
     /// True when the k data elements are recoverable from `available`
     /// positions (rank test).
@@ -87,8 +94,10 @@ class ErasureCode {
     Result<DecodePlan> plan_decode(const std::vector<int>& available, const std::vector<int>& wanted) const;
 
     /// Execute a plan against element buffers (buffers[i] is position i's
-    /// payload; repaired targets are overwritten in place).
-    static void apply_plan(const DecodePlan& plan, const std::vector<ByteSpan>& buffers);
+    /// payload; repaired targets are overwritten in place). Each repair is
+    /// one fused multi-source kernel pass, pool-chunked when `pool` is set.
+    static void apply_plan(const DecodePlan& plan, const std::vector<ByteSpan>& buffers,
+                           ThreadPool* pool = nullptr);
 };
 
 }  // namespace ecfrm::codes

@@ -89,20 +89,25 @@ void parallel_for(ThreadPool& pool, std::size_t count, const std::function<void(
         std::condition_variable cv;
     };
     auto ctl = std::make_shared<Control>();
-    const std::size_t shards = std::min(count, pool.thread_count());
-    for (std::size_t s = 0; s < shards; ++s) {
-        pool.submit([ctl, count, &fn] {
-            for (;;) {
-                const std::size_t i = ctl->next.fetch_add(1);
-                if (i >= count) break;
-                fn(i);
-                if (ctl->done.fetch_add(1) + 1 == count) {
-                    std::lock_guard lk(ctl->mu);
-                    ctl->cv.notify_all();
-                }
+    const auto runner = [ctl, count, &fn] {
+        for (;;) {
+            const std::size_t i = ctl->next.fetch_add(1);
+            if (i >= count) break;
+            fn(i);
+            if (ctl->done.fetch_add(1) + 1 == count) {
+                std::lock_guard lk(ctl->mu);
+                ctl->cv.notify_all();
             }
-        });
-    }
+        }
+    };
+    // The caller claims items too (not just the workers): this keeps
+    // nested parallel_for deadlock-free — even when every worker is parked
+    // inside an outer parallel_for, each blocked caller first drains its
+    // own items, so the innermost level always makes progress. Queued
+    // shards that start late find next >= count and exit immediately.
+    const std::size_t shards = std::min(count, pool.thread_count() + 1);
+    for (std::size_t s = 1; s < shards; ++s) pool.submit(runner);
+    runner();
     std::unique_lock lk(ctl->mu);
     ctl->cv.wait(lk, [&] { return ctl->done.load() == count; });
 }

@@ -1,44 +1,19 @@
 #include "gf/region.h"
 
-#include <atomic>
 #include <cassert>
 #include <cstring>
 
-#include "gf/gf256.h"
-#include "gf/region_simd.h"
+#include "gf/kernels.h"
+#include "gf/kernels_impl.h"
 
 namespace ecfrm::gf {
 
-namespace {
-std::atomic<bool> g_simd_enabled{true};
-}  // namespace
-
-bool region_simd_active() { return g_simd_enabled.load() && simd::avx2_available(); }
-
-void set_region_simd(bool enabled) { g_simd_enabled.store(enabled); }
-
 void xor_region(ByteSpan dst, ConstByteSpan src) {
     assert(dst.size() == src.size());
-    std::uint8_t* d = dst.data();
-    const std::uint8_t* s = src.data();
-    std::size_t n = dst.size();
-
-    // Word-wide main loop. memcpy keeps this strict-aliasing clean; the
-    // compiler lowers it to plain 64-bit loads/stores.
-    while (n >= 8) {
-        std::uint64_t a, b;
-        std::memcpy(&a, d, 8);
-        std::memcpy(&b, s, 8);
-        a ^= b;
-        std::memcpy(d, &a, 8);
-        d += 8;
-        s += 8;
-        n -= 8;
-    }
-    while (n > 0) {
-        *d++ ^= *s++;
-        --n;
-    }
+    if (dst.empty()) return;
+    const KernelTable& t = kernels();
+    t.xor_region(dst.data(), src.data(), dst.size());
+    detail::note_bytes(t.tier, dst.size());
 }
 
 void mul_region(ByteSpan dst, ConstByteSpan src, std::uint8_t c) {
@@ -51,15 +26,10 @@ void mul_region(ByteSpan dst, ConstByteSpan src, std::uint8_t c) {
         copy_region(dst, src);
         return;
     }
-    if (region_simd_active()) {
-        simd::mul_region_avx2(dst.data(), src.data(), c, dst.size());
-        return;
-    }
-    const std::uint8_t* row = Gf256::mul_row(c);
-    std::uint8_t* d = dst.data();
-    const std::uint8_t* s = src.data();
-    const std::size_t n = dst.size();
-    for (std::size_t i = 0; i < n; ++i) d[i] = row[s[i]];
+    if (dst.empty()) return;
+    const KernelTable& t = kernels();
+    t.mul_region(dst.data(), src.data(), c, dst.size());
+    detail::note_bytes(t.tier, dst.size());
 }
 
 void addmul_region(ByteSpan dst, ConstByteSpan src, std::uint8_t c) {
@@ -69,15 +39,10 @@ void addmul_region(ByteSpan dst, ConstByteSpan src, std::uint8_t c) {
         xor_region(dst, src);
         return;
     }
-    if (region_simd_active()) {
-        simd::addmul_region_avx2(dst.data(), src.data(), c, dst.size());
-        return;
-    }
-    const std::uint8_t* row = Gf256::mul_row(c);
-    std::uint8_t* d = dst.data();
-    const std::uint8_t* s = src.data();
-    const std::size_t n = dst.size();
-    for (std::size_t i = 0; i < n; ++i) d[i] ^= row[s[i]];
+    if (dst.empty()) return;
+    const KernelTable& t = kernels();
+    t.addmul_region(dst.data(), src.data(), c, dst.size());
+    detail::note_bytes(t.tier, dst.size());
 }
 
 void zero_region(ByteSpan dst) {
@@ -87,6 +52,12 @@ void zero_region(ByteSpan dst) {
 void copy_region(ByteSpan dst, ConstByteSpan src) {
     assert(dst.size() == src.size());
     if (!dst.empty()) std::memmove(dst.data(), src.data(), dst.size());
+}
+
+bool region_simd_active() { return active_tier() != SimdTier::scalar; }
+
+void set_region_simd(bool enabled) {
+    set_active_tier(enabled ? best_supported_tier() : SimdTier::scalar);
 }
 
 }  // namespace ecfrm::gf

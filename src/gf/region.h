@@ -1,7 +1,9 @@
 // Region kernels: bulk XOR / constant-multiply / multiply-accumulate over
-// byte buffers. These are the inner loops of every encode and decode; the
-// XOR path is widened to 64-bit words and the GF paths use one table lookup
-// per byte via Gf256::mul_row.
+// byte buffers. These are the inner loops of every encode and decode. All
+// of them route through the runtime-dispatched kernel table (gf/kernels.h):
+// scalar / SSSE3 / AVX2 / GFNI, selected once from CPUID and overridable
+// with ECFRM_SIMD. The fused multi-source entry points (encode_regions)
+// also live in kernels.h.
 #pragma once
 
 #include <cstddef>
@@ -27,11 +29,13 @@ void zero_region(ByteSpan dst);
 /// dst = src (plain copy, here for symmetry with the kernels above).
 void copy_region(ByteSpan dst, ConstByteSpan src);
 
-/// True when the GF multiply kernels are running the AVX2 split-table
-/// path on this machine.
+/// True when the GF multiply kernels are running any SIMD tier (i.e.
+/// active_tier() != SimdTier::scalar). Kept for existing callers; new code
+/// should use the tier API in gf/kernels.h.
 bool region_simd_active();
 
-/// Testing hook: force the scalar path (true re-enables auto-detection).
+/// Testing hook: false forces the scalar tier, true restores the best tier
+/// the CPU supports. Equivalent to set_active_tier() in gf/kernels.h.
 void set_region_simd(bool enabled);
 
 }  // namespace ecfrm::gf

@@ -1,22 +1,29 @@
-// Internal: AVX2 split-table GF(2^8) region kernels (vpshufb on 4-bit
-// nibble tables — the GF-Complete "SPLIT 8,4" technique the paper's
-// performance premise rests on). Compiled with a function-level target
-// attribute; callers must check avx2_available() before use.
+// Internal: x86 SIMD kernel tables for the GF dispatch layer (kernels.h).
+//
+// Three tiers share the GF-Complete "SPLIT 8,4" idea — multiply-by-c via
+// two 16-entry nibble tables and a byte shuffle — at widening vector
+// widths, with GFNI swapping the table pair for a single affine transform:
+//   ssse3  128-bit pshufb nibble tables
+//   avx2   256-bit vpshufb nibble tables (the paper-premise workhorse)
+//   gfni   256-bit VGF2P8AFFINEQB: multiply-by-c as an 8x8 GF(2) bit matrix
+// Nibble tables come from a static 8 KiB bank (256 coefficients, built
+// once) instead of being rebuilt per call; GFNI uses a parallel 2 KiB bank
+// of affine matrices.
+//
+// Everything here is compiled with function-level target attributes inside
+// an x86 arch guard; non-x86 builds get stubs that report no support. Only
+// kernels.cpp consumes this header.
 #pragma once
 
-#include <cstddef>
-#include <cstdint>
+#include "gf/kernels.h"
 
 namespace ecfrm::gf::simd {
 
-/// True when the running CPU supports AVX2 (checked once).
-bool avx2_available();
+/// CPUID check for one tier (scalar -> true, checked once per tier).
+bool cpu_supports(SimdTier tier);
 
-/// dst ^= c * src over GF(2^8), AVX2 path. Handles any length (scalar
-/// tail). Preconditions: c != 0, c != 1 (callers fold those cases).
-void addmul_region_avx2(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c, std::size_t n);
-
-/// dst = c * src over GF(2^8), AVX2 path. Same preconditions.
-void mul_region_avx2(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c, std::size_t n);
+/// Kernel table for an x86 tier, or nullptr when this build or CPU cannot
+/// run it (always nullptr for SimdTier::scalar — kernels.cpp owns that).
+const KernelTable* table_for(SimdTier tier);
 
 }  // namespace ecfrm::gf::simd

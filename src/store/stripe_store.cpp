@@ -13,6 +13,7 @@
 #include <tuple>
 
 #include "common/aligned_buffer.h"
+#include "gf/kernels.h"
 #include "gf/region.h"
 
 namespace ecfrm::store {
@@ -252,7 +253,7 @@ Status StripeStore::encode_group(StripeId stripe, int group, ConstByteSpan strip
         parity_bufs.emplace_back(static_cast<std::size_t>(element_bytes_));
         parity[static_cast<std::size_t>(p)] = parity_bufs.back().span();
     }
-    code.encode(data, parity);
+    code.encode(data, parity, pool_);
     for (int p = 0; p < m; ++p) {
         const Location loc = scheme_.layout().locate({stripe, group, code.k() + p});
         auto status = write_slot(loc, parity[static_cast<std::size_t>(p)]);
@@ -642,7 +643,7 @@ Status StripeStore::execute_read(ElementId start, std::int64_t count, ByteSpan o
             buffers[static_cast<std::size_t>(decode.repair.target_position)] = target.span();
             codes::DecodePlan one;
             one.repairs.push_back(decode.repair);
-            codes::ErasureCode::apply_plan(one, buffers);
+            codes::ErasureCode::apply_plan(one, buffers, pool_);
             fetched.emplace(Key{decode.stripe, decode.group, decode.repair.target_position},
                             std::move(target));
         }

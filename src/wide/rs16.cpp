@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "gf/gf65536.h"
+#include "gf/kernels.h"
 #include "gf/region.h"
 
 namespace ecfrm::wide {
@@ -11,21 +12,9 @@ namespace ecfrm::wide {
 using gf::Gf65536;
 
 void addmul16_region(ByteSpan dst, ConstByteSpan src, std::uint16_t c) {
-    assert(dst.size() == src.size());
-    assert(dst.size() % 2 == 0);
-    if (c == 0) return;
-    if (c == 1) {
-        gf::xor_region(dst, src);
-        return;
-    }
-    const std::size_t words = dst.size() / 2;
-    for (std::size_t i = 0; i < words; ++i) {
-        std::uint16_t s, d;
-        std::memcpy(&s, src.data() + 2 * i, 2);
-        std::memcpy(&d, dst.data() + 2 * i, 2);
-        d ^= Gf65536::mul(c, s);
-        std::memcpy(dst.data() + 2 * i, &d, 2);
-    }
+    // Dispatched split-table kernel (scalar nibble tables up to AVX2
+    // vpshufb) — the old per-symbol log/exp loop is gone.
+    gf::addmul16_region(dst, src, c);
 }
 
 Result<std::unique_ptr<Rs16Code>> Rs16Code::make(int k, int m) {
@@ -51,13 +40,15 @@ Status Rs16Code::encode(const std::vector<ConstByteSpan>& data, const std::vecto
     if (!data.empty() && data[0].size() % 2 != 0) {
         return Error::invalid("RS16 encode: buffers must have even length");
     }
+    // Fused cache-blocked pass over all m parities (coefficient block =
+    // generator rows k..n-1, gathered row-major).
+    std::vector<std::uint16_t> coeffs(static_cast<std::size_t>(m()) * static_cast<std::size_t>(k()));
     for (int p = 0; p < m(); ++p) {
-        gf::zero_region(parity[static_cast<std::size_t>(p)]);
         for (int j = 0; j < k(); ++j) {
-            addmul16_region(parity[static_cast<std::size_t>(p)], data[static_cast<std::size_t>(j)],
-                            generator_.at(k() + p, j));
+            coeffs[static_cast<std::size_t>(p * k() + j)] = generator_.at(k() + p, j);
         }
     }
+    gf::encode16_regions(data, parity, coeffs.data());
     return Status::success();
 }
 
@@ -86,10 +77,7 @@ Status Rs16Code::repair(int target, const std::vector<int>& sources,
         coeffs[static_cast<std::size_t>(j)] = acc;
     }
 
-    gf::zero_region(out);
-    for (int j = 0; j < k(); ++j) {
-        addmul16_region(out, source_payloads[static_cast<std::size_t>(j)], coeffs[static_cast<std::size_t>(j)]);
-    }
+    gf::encode16_regions(source_payloads, {out}, coeffs.data());
     return Status::success();
 }
 

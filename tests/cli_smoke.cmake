@@ -101,5 +101,20 @@ foreach(want "ecfrm.explain.v1" "per_disk_load" "max_load" "fan_out" "decodes")
   endif()
 endforeach()
 
+# SIMD dispatch report: schema-tagged JSON with the feature probe, the
+# active tier, and one entry per tier (scalar is always present).
+execute_process(COMMAND ${CLI} simd --out ${WORK}/simd.json
+                RESULT_VARIABLE rc_simd OUTPUT_VARIABLE simd_table ERROR_VARIABLE simd_err)
+if(NOT rc_simd EQUAL 0)
+  message(FATAL_ERROR "simd failed (${rc_simd}): ${simd_err}")
+endif()
+file(READ ${WORK}/simd.json SIMD)
+foreach(want "ecfrm.simd.v1" "\"features\"" "\"active_tier\"" "\"tiers\""
+        "\"tier\":\"scalar\",\"supported\":true" "addmul_gbps" "encode_gbps" "addmul16_gbps")
+  if(NOT SIMD MATCHES "${want}")
+    message(FATAL_ERROR "simd output missing '${want}':\n${SIMD}")
+  endif()
+endforeach()
+
 file(REMOVE_RECURSE ${WORK})
 message(STATUS "cli smoke test passed")

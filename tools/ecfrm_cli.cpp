@@ -14,7 +14,10 @@
 //
 // The archive survives process restarts: geometry and committed size live
 // in <dir>/MANIFEST, payloads in <dir>/disk_<i>.dat.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <functional>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -28,6 +31,7 @@
 #include "common/thread_pool.h"
 #include "core/explain.h"
 #include "core/read_planner.h"
+#include "gf/kernels.h"
 #include "core/scheme.h"
 #include "layout/layout.h"
 #include "obs/exposition.h"
@@ -62,6 +66,7 @@ int usage() {
                  "  ecfrm_cli explain <code_spec> <layout> <start> <count>"
                  " [--failed d0,d1] [--policy local|balance]\n"
                  "  ecfrm_cli faultcamp [--seed S] [--elem BYTES] [--out artifact.json]\n"
+                 "  ecfrm_cli simd [--out artifact.json]\n"
                  "global options (any command):\n"
                  "  --metrics-out <file>   dump metrics as newline-delimited JSON\n"
                  "  --metrics-prom <file>  dump metrics in Prometheus text format\n"
@@ -87,6 +92,7 @@ struct ObsOutputs {
         if (!metrics_path.empty() || !prometheus_path.empty() || serve_port >= 0) {
             metrics = std::make_unique<obs::MetricRegistry>("ecfrm_cli");
             core::attach_planner_metrics(metrics.get());
+            gf::attach_kernel_metrics(metrics.get());
         }
         if (!trace_path.empty()) tracer = std::make_unique<obs::Tracer>(1 << 14);
         if (tracer != nullptr && metrics != nullptr) tracer->attach_metrics(metrics.get());
@@ -778,9 +784,114 @@ int cmd_faultcamp(const std::vector<std::string>& args) {
     return all_pass ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// simd: report the GF kernel dispatch state — CPU features, active tier
+// (after any ECFRM_SIMD override), and a short per-tier microbench — as
+// ecfrm.simd.v1 JSON on stdout.
+
+/// Median-of-3 throughput of `fn`, which moves `bytes` per call. Warm-up
+/// plus ~8ms per repetition keeps the whole command under a second while
+/// staying well above timer noise.
+double simd_bench_gbps(const std::function<void()>& fn, double bytes) {
+    using clock = std::chrono::steady_clock;
+    fn();  // warm up caches, fault in tables, settle turbo
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+        int iters = 0;
+        const auto start = clock::now();
+        auto now = start;
+        do {
+            fn();
+            ++iters;
+            now = clock::now();
+        } while (now - start < std::chrono::milliseconds(8));
+        const double secs = std::chrono::duration<double>(now - start).count();
+        best = std::max(best, bytes * iters / secs / 1e9);
+    }
+    return best;
+}
+
+int cmd_simd(const std::vector<std::string>& args) {
+    std::string out_path;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+        if (args[i] == "--out" && i + 1 < args.size()) {
+            out_path = args[++i];
+        } else {
+            return usage();
+        }
+    }
+
+    // tier_supported() already folds in the CPUID probes, so it doubles as
+    // the feature report (and is honest on non-x86: everything false).
+    const bool has_ssse3 = gf::tier_supported(gf::SimdTier::ssse3);
+    const bool has_avx2 = gf::tier_supported(gf::SimdTier::avx2);
+    const bool has_gfni = gf::tier_supported(gf::SimdTier::gfni);
+    const char* env = std::getenv("ECFRM_SIMD");
+
+    constexpr std::size_t kN = 1 << 20;  // 1 MiB regions, matching bench_gf
+    constexpr std::size_t kK = 6, kM = 3;
+    std::vector<std::uint8_t> src(kN, 0xa5), dst(kN, 0x5a);
+    std::vector<std::vector<std::uint8_t>> srcs(kK, src), dsts(kM, dst);
+    std::vector<const std::uint8_t*> sptr(kK);
+    std::vector<std::uint8_t*> dptr(kM);
+    for (std::size_t j = 0; j < kK; ++j) sptr[j] = srcs[j].data();
+    for (std::size_t p = 0; p < kM; ++p) dptr[p] = dsts[p].data();
+    std::uint8_t coeffs[kM * kK];
+    for (std::size_t i = 0; i < kM * kK; ++i) coeffs[i] = static_cast<std::uint8_t>(2 + i);
+
+    std::string json = "{\"schema\":\"ecfrm.simd.v1\",";
+    json += "\"features\":{";
+    json += std::string("\"ssse3\":") + (has_ssse3 ? "true" : "false");
+    json += std::string(",\"avx2\":") + (has_avx2 ? "true" : "false");
+    json += std::string(",\"gfni\":") + (has_gfni ? "true" : "false");
+    json += "},";
+    json += std::string("\"env_override\":") +
+            (env != nullptr ? "\"" + json_escape(env) + "\"" : "null") + ",";
+    json += std::string("\"active_tier\":\"") + gf::to_string(gf::active_tier()) + "\",";
+    json += "\"tiers\":[";
+
+    std::printf("%-8s %-10s %14s %14s %14s\n", "tier", "supported", "addmul GB/s",
+                "encode GB/s", "addmul16 GB/s");
+    for (int t = 0; t < gf::kSimdTierCount; ++t) {
+        const auto tier = static_cast<gf::SimdTier>(t);
+        const gf::KernelTable* kt = gf::kernels_for(tier);
+        if (t > 0) json += ",";
+        json += std::string("{\"tier\":\"") + gf::to_string(tier) + "\"";
+        json += std::string(",\"supported\":") + (kt != nullptr ? "true" : "false");
+        if (kt == nullptr) {
+            json += "}";
+            std::printf("%-8s %-10s %14s %14s %14s\n", gf::to_string(tier), "no", "-", "-", "-");
+            continue;
+        }
+        const double addmul = simd_bench_gbps(
+            [&] { kt->addmul_region(dst.data(), src.data(), 0x57, kN); }, kN);
+        // Fused encode moves m*k source-bytes of GF work per call.
+        const double encode = simd_bench_gbps(
+            [&] { kt->encode_blocks(dptr.data(), kM, sptr.data(), kK, coeffs, kN); },
+            static_cast<double>(kM) * kK * kN);
+        const double addmul16 = simd_bench_gbps(
+            [&] { kt->addmul16_region(dst.data(), src.data(), 0x1234, kN); }, kN);
+        char buf[160];
+        std::snprintf(buf, sizeof(buf), ",\"addmul_gbps\":%.2f,\"encode_gbps\":%.2f,\"addmul16_gbps\":%.2f}",
+                      addmul, encode, addmul16);
+        json += buf;
+        std::printf("%-8s %-10s %14.2f %14.2f %14.2f\n", gf::to_string(tier), "yes", addmul,
+                    encode, addmul16);
+    }
+    json += "]}\n";
+
+    if (!out_path.empty()) {
+        if (!ObsOutputs::write_file(out_path, json)) return 1;
+    } else {
+        std::fputs(json.c_str(), stdout);
+    }
+    return 0;
+}
+
 int dispatch(const std::vector<std::string>& args) {
     const int argc = static_cast<int>(args.size());
     if (argc >= 2 && args[1] == "faultcamp") return cmd_faultcamp(args);
+    if (argc >= 2 && args[1] == "simd") return cmd_simd(args);
     if (argc < 3) return usage();
     const std::string& cmd = args[1];
     if (cmd == "explain") return cmd_explain(args);

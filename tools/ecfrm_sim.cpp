@@ -34,6 +34,7 @@
 #include "codes/factory.h"
 #include "common/rng.h"
 #include "core/read_planner.h"
+#include "gf/kernels.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -253,6 +254,7 @@ int main(int argc, char** argv) {
     if (!opt.metrics_out.empty() || !opt.metrics_prom.empty() || opt.serve_port >= 0) {
         metrics = std::make_unique<obs::MetricRegistry>("ecfrm_sim");
         core::attach_planner_metrics(metrics.get());
+        gf::attach_kernel_metrics(metrics.get());
     }
     if (!opt.trace_out.empty()) tracer = std::make_unique<obs::Tracer>(std::size_t{1} << 14);
     if (tracer != nullptr && metrics != nullptr) tracer->attach_metrics(metrics.get());
@@ -397,5 +399,6 @@ int main(int argc, char** argv) {
     if (!opt.metrics_prom.empty()) io_ok &= write_file(opt.metrics_prom, metrics->to_prometheus());
     if (!opt.trace_out.empty()) io_ok &= write_file(opt.trace_out, tracer->to_chrome_json());
     core::attach_planner_metrics(nullptr);
+    gf::attach_kernel_metrics(nullptr);
     return io_ok ? 0 : 1;
 }
