@@ -6,6 +6,7 @@
 // failed disk. The simulator prices a plan; the store executes one.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -20,6 +21,17 @@ struct Access {
     Location loc;                 // physical slot to read
     layout::GroupCoord coord;     // candidate-code coordinates
     bool requested = false;       // true when the user asked for this element
+};
+
+/// One disk's share of a plan: the vectored submission unit. This is the
+/// schedule model shared by the executor (which issues each batch as
+/// chunked read_batch calls), the cluster simulator (which prices each
+/// batch as one job), and `ecfrm_cli explain` (which reports it) — so
+/// simulated, explained and real execution can never drift.
+struct DiskBatch {
+    DiskId disk = -1;
+    std::vector<std::size_t> fetch_indices;  // indices into fetches(), row-ascending
+    std::vector<RowId> rows;                 // parallel to fetch_indices
 };
 
 /// Decode recipe for one group that lost an element the user wants.
@@ -44,6 +56,35 @@ class AccessPlan {
     const std::vector<Access>& fetches() const { return fetches_; }
     const std::vector<GroupDecode>& decodes() const { return decodes_; }
     const std::vector<int>& per_disk_loads() const { return per_disk_; }
+
+    /// Fetches grouped per disk, row-sorted: one DiskBatch per disk that
+    /// serves at least one element, in ascending disk order. The number of
+    /// batches is the plan's fan-out.
+    std::vector<DiskBatch> batches() const {
+        std::vector<DiskBatch> out;
+        std::vector<int> slot(per_disk_.size(), -1);
+        for (std::size_t i = 0; i < fetches_.size(); ++i) {
+            const auto d = static_cast<std::size_t>(fetches_[i].loc.disk);
+            if (slot[d] < 0) {
+                slot[d] = static_cast<int>(out.size());
+                out.push_back(DiskBatch{fetches_[i].loc.disk, {}, {}});
+            }
+            out[static_cast<std::size_t>(slot[d])].fetch_indices.push_back(i);
+        }
+        std::sort(out.begin(), out.end(),
+                  [](const DiskBatch& a, const DiskBatch& b) { return a.disk < b.disk; });
+        for (DiskBatch& batch : out) {
+            std::sort(batch.fetch_indices.begin(), batch.fetch_indices.end(),
+                      [this](std::size_t a, std::size_t b) {
+                          return fetches_[a].loc.row != fetches_[b].loc.row
+                                     ? fetches_[a].loc.row < fetches_[b].loc.row
+                                     : a < b;
+                      });
+            batch.rows.reserve(batch.fetch_indices.size());
+            for (std::size_t i : batch.fetch_indices) batch.rows.push_back(fetches_[i].loc.row);
+        }
+        return out;
+    }
 
     /// Elements fetched from the most-loaded disk — the quantity the paper
     /// argues bounds parallel read latency.

@@ -40,10 +40,10 @@ Result<std::string> explain_read_json(const Scheme& scheme, ElementId start, std
         plan = std::move(degraded).take();
     }
 
-    int fan_out = 0;
-    for (int v : plan.per_disk_loads()) {
-        if (v > 0) ++fan_out;
-    }
+    // The plan's schedule model: one submission batch per serving disk —
+    // the same grouping the executor issues and the simulator prices.
+    const std::vector<DiskBatch> batches = plan.batches();
+    const int fan_out = static_cast<int>(batches.size());
 
     std::string out = "{\"schema\":\"ecfrm.explain.v1\"";
     out += ",\"scheme\":\"" + obs::json_escape(scheme.name()) + "\"";
@@ -90,6 +90,20 @@ Result<std::string> explain_read_json(const Scheme& scheme, ElementId start, std
         out += ",\"group\":" + std::to_string(a.coord.group);
         out += ",\"position\":" + std::to_string(a.coord.position);
         out += std::string(",\"requested\":") + (a.requested ? "true" : "false") + "}";
+    }
+    out += "]";
+
+    out += ",\"batches\":[";
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+        const DiskBatch& b = batches[i];
+        if (i != 0) out += ",";
+        out += "{\"disk\":" + std::to_string(b.disk);
+        out += ",\"rows\":[";
+        for (std::size_t r = 0; r < b.rows.size(); ++r) {
+            if (r != 0) out += ",";
+            out += std::to_string(b.rows[r]);
+        }
+        out += "]}";
     }
     out += "]";
 

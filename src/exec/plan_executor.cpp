@@ -1,0 +1,435 @@
+#include "exec/plan_executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "codes/erasure_code.h"
+
+namespace ecfrm::exec {
+
+using core::AccessPlan;
+using layout::GroupCoord;
+
+namespace {
+
+void backoff(const RecoveryOptions& opts, int attempt) {
+    if (opts.backoff_ms > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            opts.backoff_ms * static_cast<double>(1 << attempt)));
+    }
+}
+
+/// One fetch round's outcome: which disks newly misbehaved and the most
+/// recent typed error, so the replan loop can route around them (or give
+/// up with the right diagnosis).
+struct FetchOutcome {
+    bool complete = true;
+    std::vector<DiskId> bad_disks;
+    std::optional<Error> last_error;
+};
+
+}  // namespace
+
+Status PlanExecutor::read_with_policy(DiskId disk, RowId row, ByteSpan out,
+                                      const RecoveryOptions& opts) const {
+    const ExecutorMetrics& m = metrics();
+    const bool timed = opts.op_timeout_ms > 0.0;
+    for (int attempt = 0;; ++attempt) {
+        const auto t0 = timed ? std::chrono::steady_clock::now()
+                              : std::chrono::steady_clock::time_point{};
+        Status status = devices_[static_cast<std::size_t>(disk)]->read(row, out);
+        if (timed) {
+            const double elapsed_ms =
+                std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+                    .count();
+            if (status.ok() && elapsed_ms > opts.op_timeout_ms) {
+                // Too slow to trust: discard the payload and route around
+                // the device rather than retrying into the same stall.
+                if (m.timeouts != nullptr) m.timeouts->add(1);
+                return Error::timeout("disk " + std::to_string(disk) + " read exceeded " +
+                                      std::to_string(opts.op_timeout_ms) + " ms deadline");
+            }
+        }
+        if (status.ok()) return status;
+        if (status.error().code != Error::Code::io_error || attempt >= opts.max_retries) {
+            return status;
+        }
+        if (m.retries != nullptr) m.retries->add(1);
+        backoff(opts, attempt);
+    }
+}
+
+Status PlanExecutor::device_read(DiskId disk, RowId row, ByteSpan out) const {
+    return read_with_policy(disk, row, out, recovery());
+}
+
+Status PlanExecutor::device_write(DiskId disk, RowId row, ConstByteSpan data) const {
+    const RecoveryOptions opts = recovery();
+    const ExecutorMetrics& m = metrics();
+    for (int attempt = 0;; ++attempt) {
+        Status status = devices_[static_cast<std::size_t>(disk)]->write(row, data);
+        if (status.ok()) return status;
+        if (status.error().code != Error::Code::io_error || attempt >= opts.max_retries) {
+            return status;
+        }
+        if (m.retries != nullptr) m.retries->add(1);
+        backoff(opts, attempt);
+    }
+}
+
+Status PlanExecutor::submit_queue(DiskId disk, std::span<const RowId> rows,
+                                  std::span<const ByteSpan> outs, const RecoveryOptions& opts,
+                                  std::size_t* done) const {
+    *done = 0;
+    store::BlockDevice& device = *devices_[static_cast<std::size_t>(disk)];
+    if (opts.op_timeout_ms > 0.0) {
+        // Per-op deadline detection needs per-op timing: issue singly.
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            auto status = read_with_policy(disk, rows[i], outs[i], opts);
+            if (!status.ok()) return status;
+            *done = i + 1;
+        }
+        return Status::success();
+    }
+    const ExecutorMetrics& m = metrics();
+    const std::size_t depth =
+        opts.batch_elements > 0 ? static_cast<std::size_t>(opts.batch_elements) : rows.size();
+    std::size_t offset = 0;
+    while (offset < rows.size()) {
+        const std::size_t n = std::min(depth, rows.size() - offset);
+        std::size_t completed = 0;
+        auto status = device.read_batch(rows.subspan(offset, n), outs.subspan(offset, n), &completed);
+        *done += completed;
+        if (status.ok()) {
+            offset += n;
+            continue;
+        }
+        // The op at `offset + completed` failed and the rest of the chunk
+        // was never attempted. Retry just that op under the policy — its
+        // in-batch failure already consumed attempt zero.
+        if (status.error().code != Error::Code::io_error || opts.max_retries < 1) return status;
+        const std::size_t j = offset + completed;
+        Status retried = status;
+        for (int attempt = 1; attempt <= opts.max_retries; ++attempt) {
+            if (m.retries != nullptr) m.retries->add(1);
+            backoff(opts, attempt - 1);
+            retried = device.read(rows[j], outs[j]);
+            if (retried.ok()) break;
+            if (retried.error().code != Error::Code::io_error) return retried;
+        }
+        if (!retried.ok()) return retried;
+        *done += 1;
+        offset = j + 1;
+    }
+    return Status::success();
+}
+
+bool PlanExecutor::side_decode(const GroupCoord& coord, const std::vector<char>& avoid,
+                               AlignedBuffer& target) const {
+    const auto& code = scheme_->code();
+    std::vector<int> sources;
+    for (int p = 0; p < code.n(); ++p) {
+        if (p == coord.position) continue;
+        const Location sloc = scheme_->layout().locate({coord.stripe, coord.group, p});
+        if (!avoid[static_cast<std::size_t>(sloc.disk)]) sources.push_back(p);
+    }
+    auto repair = code.solve_repair(coord.position, sources);
+    if (!repair.ok()) return false;
+    std::vector<AlignedBuffer> srcs;
+    std::vector<ByteSpan> buffers(static_cast<std::size_t>(code.n()));
+    srcs.reserve(repair->terms.size());
+    for (const auto& term : repair->terms) {
+        const Location sloc =
+            scheme_->layout().locate({coord.stripe, coord.group, term.source_position});
+        srcs.emplace_back(static_cast<std::size_t>(element_bytes_));
+        if (!devices_[static_cast<std::size_t>(sloc.disk)]->read(sloc.row, srcs.back().span()).ok()) {
+            return false;
+        }
+        buffers[static_cast<std::size_t>(term.source_position)] = srcs.back().span();
+    }
+    buffers[static_cast<std::size_t>(coord.position)] = target.span();
+    codes::DecodePlan one;
+    one.repairs.push_back(repair.value());
+    codes::ErasureCode::apply_plan(one, buffers);
+    return true;
+}
+
+Result<PlanExecutor::FetchResult> PlanExecutor::fetch(const Replanner& replan,
+                                                      std::vector<DiskId> excluded) const {
+    const RecoveryOptions opts = recovery();
+    const ExecutorMetrics& m = metrics();
+    obs::Tracer* const tracer = this->tracer();
+
+    auto first = replan(excluded);
+    if (!first.ok()) return first.error();
+    std::optional<AccessPlan> plan(std::move(first).take());
+
+    // Elements fetched (or hedge-decoded) so far, kept across replan
+    // rounds so recovery never re-reads what it already holds.
+    ElementMap fetched;
+
+    // Issue everything the plan wants that we don't already hold, one
+    // submission queue per disk — in parallel across disks when a thread
+    // pool is attached (devices serialise internally, so one queue per
+    // device is the natural unit, and it is also the granularity the
+    // tracer reports: the request finishes when the slowest queue does).
+    auto fetch_round = [&](const AccessPlan& p) -> FetchOutcome {
+        FetchOutcome outcome;
+        const auto& fetches = p.fetches();
+
+        // Per-element buffers for this round; each belongs to exactly one
+        // queue, so queue workers never share a buffer (the map itself is
+        // built before dispatch and only looked up afterwards).
+        ElementMap round;
+        std::vector<core::DiskBatch> queues;
+        for (core::DiskBatch& batch : p.batches()) {
+            core::DiskBatch pending;
+            pending.disk = batch.disk;
+            for (std::size_t j = 0; j < batch.fetch_indices.size(); ++j) {
+                const std::size_t i = batch.fetch_indices[j];
+                const Key key = key_of(fetches[i].coord);
+                if (fetched.find(key) != fetched.end()) continue;
+                pending.fetch_indices.push_back(i);
+                pending.rows.push_back(batch.rows[j]);
+                round.try_emplace(key, AlignedBuffer(static_cast<std::size_t>(element_bytes_)));
+            }
+            if (!pending.fetch_indices.empty()) queues.push_back(std::move(pending));
+        }
+        if (queues.empty()) return outcome;
+
+        std::mutex state_mu;
+        std::set<Key> succeeded;          // guarded by state_mu
+        std::vector<DiskId> bad;          // guarded by state_mu
+        std::optional<Error> last_error;  // guarded by state_mu
+
+        auto run_queue = [&](std::size_t a) {
+            const core::DiskBatch& queue = queues[a];
+            const double issue_us = tracer != nullptr ? tracer->now_us() : 0.0;
+            std::vector<ByteSpan> outs;
+            outs.reserve(queue.fetch_indices.size());
+            for (std::size_t i : queue.fetch_indices) {
+                outs.push_back(round.find(key_of(fetches[i].coord))->second.span());
+            }
+            std::size_t done = 0;
+            auto status = submit_queue(queue.disk, queue.rows,
+                                       std::span<const ByteSpan>(outs.data(), outs.size()), opts,
+                                       &done);
+            {
+                std::lock_guard<std::mutex> lock(state_mu);
+                for (std::size_t j = 0; j < done; ++j) {
+                    succeeded.insert(key_of(fetches[queue.fetch_indices[j]].coord));
+                }
+                if (!status.ok()) {
+                    // The device is suspect: abandon its remaining queue
+                    // and let the replan route around it.
+                    bad.push_back(queue.disk);
+                    last_error = status.error();
+                    return;
+                }
+            }
+            if (tracer != nullptr) {
+                tracer->complete("disk.batch", "io", issue_us, tracer->now_us() - issue_us,
+                                 {{"disk", std::to_string(queue.disk)},
+                                  {"elements", std::to_string(queue.fetch_indices.size())}});
+            }
+        };
+
+        ElementMap hedged;
+        if (pool_ != nullptr && opts.hedge_ms > 0.0) {
+            // Hedged execution: dispatch the queues, and when the slowest
+            // one is still running past the hedge deadline, decode its
+            // elements from the other disks instead of waiting on it. All
+            // queues are still joined before returning (their buffers are
+            // referenced from this frame).
+            std::mutex done_mu;
+            std::condition_variable done_cv;
+            std::size_t done = 0;
+            std::vector<char> queue_done(queues.size(), 0);
+            for (std::size_t a = 0; a < queues.size(); ++a) {
+                pool_->submit([&, a] {
+                    run_queue(a);
+                    // Notify under the mutex: the waiter may destroy the cv
+                    // the moment its predicate holds, so the notify must not
+                    // touch the cv after releasing the lock.
+                    std::lock_guard<std::mutex> lock(done_mu);
+                    queue_done[a] = 1;
+                    ++done;
+                    done_cv.notify_all();
+                });
+            }
+            std::unique_lock<std::mutex> lock(done_mu);
+            const bool all_done =
+                done_cv.wait_for(lock, std::chrono::duration<double, std::milli>(opts.hedge_ms),
+                                 [&] { return done == queues.size(); });
+            if (!all_done) {
+                std::vector<char> avoid(devices_.size(), 0);
+                std::vector<std::size_t> stragglers;
+                for (std::size_t a = 0; a < queues.size(); ++a) {
+                    if (!queue_done[a]) {
+                        avoid[static_cast<std::size_t>(queues[a].disk)] = 1;
+                        stragglers.push_back(a);
+                    }
+                }
+                lock.unlock();
+                for (DiskId d : excluded) avoid[static_cast<std::size_t>(d)] = 1;
+                for (std::size_t a : stragglers) {
+                    for (std::size_t i : queues[a].fetch_indices) {
+                        const Key key = key_of(fetches[i].coord);
+                        {
+                            std::lock_guard<std::mutex> state_lock(state_mu);
+                            if (succeeded.count(key) != 0) continue;
+                        }
+                        if (m.hedged_reads != nullptr) m.hedged_reads->add(1);
+                        AlignedBuffer target(static_cast<std::size_t>(element_bytes_));
+                        if (side_decode(fetches[i].coord, avoid, target)) {
+                            hedged.emplace(key, std::move(target));
+                        }
+                    }
+                }
+                lock.lock();
+                done_cv.wait(lock, [&] { return done == queues.size(); });
+            }
+        } else if (pool_ != nullptr && queues.size() > 1) {
+            parallel_for(*pool_, queues.size(), run_queue);
+        } else {
+            for (std::size_t a = 0; a < queues.size(); ++a) run_queue(a);
+        }
+
+        for (const Key& key : succeeded) {
+            auto it = round.find(key);
+            fetched.emplace(key, std::move(it->second));
+        }
+        for (auto& [key, buf] : hedged) {
+            if (fetched.find(key) == fetched.end()) fetched.emplace(key, std::move(buf));
+        }
+        for (const auto& access : fetches) {
+            if (fetched.find(key_of(access.coord)) == fetched.end()) {
+                outcome.complete = false;
+                break;
+            }
+        }
+        outcome.bad_disks = std::move(bad);
+        outcome.last_error = std::move(last_error);
+        return outcome;
+    };
+
+    // Replan loop: fetch, and when a disk misbehaves mid-flight, exclude
+    // it and re-plan the remaining elements around it — reusing every
+    // element already in hand.
+    std::optional<Error> last_error;
+    for (int round = 0;; ++round) {
+        FetchOutcome outcome = fetch_round(*plan);
+        if (outcome.last_error.has_value()) last_error = outcome.last_error;
+        if (outcome.complete) break;
+        bool grew = false;
+        for (DiskId d : outcome.bad_disks) {
+            if (std::find(excluded.begin(), excluded.end(), d) == excluded.end()) {
+                excluded.push_back(d);
+                grew = true;
+            }
+        }
+        if (!grew || round >= opts.max_replans) {
+            if (last_error.has_value()) return *last_error;
+            return Error::io("element fetch failed during plan execution");
+        }
+        auto next = replan(excluded);
+        if (!next.ok()) return next.error();
+        if (m.replans != nullptr) m.replans->add(1);
+        plan.emplace(std::move(next).take());
+    }
+
+    return FetchResult{std::move(*plan), std::move(fetched), std::move(excluded)};
+}
+
+Status PlanExecutor::decode(const AccessPlan& plan, ElementMap& elements) const {
+    const ExecutorMetrics& m = metrics();
+    if (m.decodes != nullptr) m.decodes->add(static_cast<std::int64_t>(plan.decodes().size()));
+    for (const auto& decode : plan.decodes()) {
+        AlignedBuffer target(static_cast<std::size_t>(element_bytes_));
+        std::vector<ByteSpan> buffers(static_cast<std::size_t>(scheme_->code().n()));
+        for (const auto& term : decode.repair.terms) {
+            auto it = elements.find({decode.stripe, decode.group, term.source_position});
+            if (it == elements.end()) return Error::internal("decode source missing from plan");
+            buffers[static_cast<std::size_t>(term.source_position)] = it->second.span();
+        }
+        buffers[static_cast<std::size_t>(decode.repair.target_position)] = target.span();
+        codes::DecodePlan one;
+        one.repairs.push_back(decode.repair);
+        codes::ErasureCode::apply_plan(one, buffers, pool_);
+        elements.emplace(Key{decode.stripe, decode.group, decode.repair.target_position},
+                         std::move(target));
+    }
+    return Status::success();
+}
+
+Result<std::int64_t> PlanExecutor::rebuild_element(const GroupCoord& coord,
+                                                   const std::vector<char>& avoid,
+                                                   ByteSpan target) const {
+    const auto& code = scheme_->code();
+    std::vector<int> available;
+    for (int p = 0; p < code.n(); ++p) {
+        if (p == coord.position) continue;
+        const Location ploc = scheme_->layout().locate({coord.stripe, coord.group, p});
+        if (!avoid[static_cast<std::size_t>(ploc.disk)]) available.push_back(p);
+    }
+    auto repair = code.solve_repair(coord.position, available);
+    if (!repair.ok()) return repair.error();
+    std::vector<AlignedBuffer> srcs;
+    std::vector<ByteSpan> buffers(static_cast<std::size_t>(code.n()));
+    srcs.reserve(repair->terms.size());
+    for (const auto& term : repair->terms) {
+        const Location sloc =
+            scheme_->layout().locate({coord.stripe, coord.group, term.source_position});
+        srcs.emplace_back(static_cast<std::size_t>(element_bytes_));
+        auto status = device_read(sloc.disk, sloc.row, srcs.back().span());
+        if (!status.ok()) return status.error();
+        buffers[static_cast<std::size_t>(term.source_position)] = srcs.back().span();
+    }
+    buffers[static_cast<std::size_t>(coord.position)] = target;
+    codes::DecodePlan one;
+    one.repairs.push_back(repair.value());
+    codes::ErasureCode::apply_plan(one, buffers);
+    return static_cast<std::int64_t>(repair->terms.size());
+}
+
+Status PlanExecutor::read_group(StripeId stripe, int group, std::span<const ByteSpan> bufs) const {
+    const int n = scheme_->code().n();
+    if (static_cast<int>(bufs.size()) != n) return Error::invalid("read_group needs n buffers");
+    struct Item {
+        Location loc;
+        int position;
+    };
+    std::vector<Item> items;
+    items.reserve(static_cast<std::size_t>(n));
+    for (int p = 0; p < n; ++p) {
+        items.push_back({scheme_->layout().locate({stripe, group, p}), p});
+    }
+    std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+        return a.loc.disk != b.loc.disk ? a.loc.disk < b.loc.disk : a.loc.row < b.loc.row;
+    });
+    std::size_t i = 0;
+    while (i < items.size()) {
+        std::size_t j = i;
+        while (j < items.size() && items[j].loc.disk == items[i].loc.disk) ++j;
+        std::vector<RowId> rows;
+        std::vector<ByteSpan> outs;
+        rows.reserve(j - i);
+        outs.reserve(j - i);
+        for (std::size_t t = i; t < j; ++t) {
+            rows.push_back(items[t].loc.row);
+            outs.push_back(bufs[static_cast<std::size_t>(items[t].position)]);
+        }
+        auto status = devices_[static_cast<std::size_t>(items[i].loc.disk)]->read_batch(
+            std::span<const RowId>(rows.data(), rows.size()),
+            std::span<const ByteSpan>(outs.data(), outs.size()));
+        if (!status.ok()) return status;
+        i = j;
+    }
+    return Status::success();
+}
+
+}  // namespace ecfrm::exec

@@ -1,0 +1,204 @@
+// exec::PlanExecutor: the request-execution engine between the planners
+// (core) and the devices (store). It owns the machinery that used to be
+// inlined in StripeStore::execute_read:
+//
+//   - per-disk submission queues: each AccessPlan::DiskBatch is issued as
+//     chunked vectored read_batch calls with a bounded in-flight depth
+//     (RecoveryOptions::batch_elements), one queue per disk, dispatched in
+//     parallel when a thread pool is attached;
+//   - the self-healing policy: bounded retries with exponential backoff,
+//     per-op timeout detection, hedged reads that decode a straggling
+//     disk's elements from the others, and mid-flight degraded replans
+//     that reuse every element already fetched;
+//   - the decode stage that materialises lost elements from a plan's
+//     repair recipes.
+//
+// The same engine serves the normal/degraded read path (fetch + decode),
+// reconstruction (rebuild_element), and scrub/verify (read_group), so all
+// three share one I/O policy. All methods are thread-safe: N readers may
+// call fetch() concurrently, and recovery options / observability can be
+// swapped while requests are in flight.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <tuple>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "common/types.h"
+#include "core/access_plan.h"
+#include "core/scheme.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "store/block_device.h"
+
+namespace ecfrm::exec {
+
+/// Self-healing knobs for the device I/O paths. Defaults are inert
+/// (no timeouts, no backoff sleeps, no hedging) so clean-path behaviour
+/// and benchmarks are unchanged until a caller opts in.
+struct RecoveryOptions {
+    /// Same-device retries after a transient I/O error (0 disables).
+    int max_retries = 2;
+    /// Base backoff before retry r: backoff_ms * 2^r (0: retry immediately).
+    double backoff_ms = 0.0;
+    /// >0: ops slower than this surface as Error::timeout — the payload is
+    /// discarded and the read path routes around the slow device instead
+    /// of retrying it. (Per-op deadlines need per-op timing, so timed
+    /// queues issue elements singly instead of as vectored batches.)
+    double op_timeout_ms = 0.0;
+    /// >0 (needs a thread pool): when the slowest fetch queue is still
+    /// outstanding after this deadline, hedge its elements by decoding
+    /// them from the other disks instead of waiting.
+    double hedge_ms = 0.0;
+    /// Degraded-read replans allowed per read as newly-misbehaving disks
+    /// are discovered mid-flight.
+    int max_replans = 2;
+    /// Bounded in-flight depth of a per-disk submission queue: at most
+    /// this many elements ride in one vectored read_batch call (<=0:
+    /// unbounded, the whole queue goes down in one call).
+    int batch_elements = 32;
+};
+
+/// Executor-owned recovery/decode counters (all optional). Bundled so the
+/// whole set swaps atomically while requests are in flight.
+struct ExecutorMetrics {
+    obs::Counter* retries = nullptr;
+    obs::Counter* timeouts = nullptr;
+    obs::Counter* replans = nullptr;
+    obs::Counter* hedged_reads = nullptr;
+    obs::Counter* decodes = nullptr;
+};
+
+class PlanExecutor {
+  public:
+    /// Identity of one stored element in candidate-code coordinates.
+    using Key = std::tuple<StripeId, int, int>;
+    /// Elements held by a request (fetched, hedged or decoded).
+    using ElementMap = std::map<Key, AlignedBuffer>;
+    /// Produces the plan for the current exclusion set. Called once up
+    /// front and once per replan round; planning failures abort the fetch.
+    using Replanner = std::function<Result<core::AccessPlan>(const std::vector<DiskId>&)>;
+
+    /// `scheme` must outlive the executor; `pool` may be null (serial
+    /// execution, deterministic disk order).
+    PlanExecutor(const core::Scheme* scheme, std::int64_t element_bytes, ThreadPool* pool)
+        : scheme_(scheme), element_bytes_(element_bytes), pool_(pool) {}
+
+    /// (Re)bind the devices the executor issues I/O against, indexed by
+    /// DiskId. Pointers must stay valid until the next bind.
+    void bind(std::vector<store::BlockDevice*> devices) { devices_ = std::move(devices); }
+
+    void set_recovery(const RecoveryOptions& options) {
+        std::lock_guard<std::mutex> lock(opts_mu_);
+        recovery_ = options;
+    }
+    RecoveryOptions recovery() const {
+        std::lock_guard<std::mutex> lock(opts_mu_);
+        return recovery_;
+    }
+
+    /// Swap the observability sinks; race-free against in-flight requests
+    /// (atomic bundle publication, retired bundles live until the executor
+    /// is destroyed).
+    void attach(const ExecutorMetrics& metrics, obs::Tracer* tracer) {
+        auto bundle = std::make_unique<const ExecutorMetrics>(metrics);
+        const ExecutorMetrics* fresh = bundle.get();
+        {
+            std::lock_guard<std::mutex> lock(metrics_mu_);
+            retired_.push_back(std::move(bundle));
+        }
+        metrics_.store(fresh, std::memory_order_release);
+        tracer_.store(tracer, std::memory_order_release);
+    }
+
+    static Key key_of(const layout::GroupCoord& c) { return {c.stripe, c.group, c.position}; }
+
+    /// Everything a completed fetch pipeline hands back: the plan that
+    /// finally completed (after any replans), every element it fetched or
+    /// hedge-decoded, and the exclusion set as grown by mid-flight
+    /// discoveries.
+    struct FetchResult {
+        core::AccessPlan plan;
+        ElementMap elements;
+        std::vector<DiskId> excluded;
+    };
+
+    /// Run the fetch pipeline: plan via `replan`, issue per-disk queues,
+    /// retry/hedge per policy, and replan around disks that misbehave
+    /// mid-flight — reusing every element already in hand. Fails with the
+    /// last typed device error when recovery is exhausted.
+    Result<FetchResult> fetch(const Replanner& replan, std::vector<DiskId> excluded) const;
+
+    /// Run the plan's decode recipes, materialising each missing element
+    /// into `elements` from sources already present there.
+    Status decode(const core::AccessPlan& plan, ElementMap& elements) const;
+
+    /// Rebuild one element into `target` from group sources living on
+    /// disks not marked in `avoid` (indexed by DiskId), using policy
+    /// reads. Returns the number of source elements read.
+    Result<std::int64_t> rebuild_element(const layout::GroupCoord& coord,
+                                         const std::vector<char>& avoid, ByteSpan target) const;
+
+    /// Read every element of one group into bufs[position] (n spans of
+    /// element_bytes), batched per disk. Raw device reads: no retry or
+    /// timeout policy — callers (scrub, verify) want the device's first
+    /// answer.
+    Status read_group(StripeId stripe, int group, std::span<const ByteSpan> bufs) const;
+
+    /// Device read with per-op timeout detection and bounded retries on
+    /// transient errors. On timeout the payload is discarded and
+    /// Error::timeout is returned (the caller routes around the device).
+    Status device_read(DiskId disk, RowId row, ByteSpan out) const;
+    /// Device write with bounded retries on transient errors (a retry
+    /// rewrites the full payload, healing torn writes).
+    Status device_write(DiskId disk, RowId row, ConstByteSpan data) const;
+
+  private:
+    const ExecutorMetrics& metrics() const { return *metrics_.load(std::memory_order_acquire); }
+    obs::Tracer* tracer() const { return tracer_.load(std::memory_order_acquire); }
+
+    Status read_with_policy(DiskId disk, RowId row, ByteSpan out,
+                            const RecoveryOptions& opts) const;
+
+    /// Issue one per-disk submission queue: rows/outs already row-sorted,
+    /// chunked to opts.batch_elements per read_batch call. `*done` counts
+    /// elements that landed (also on failure).
+    Status submit_queue(DiskId disk, std::span<const RowId> rows, std::span<const ByteSpan> outs,
+                        const RecoveryOptions& opts, std::size_t* done) const;
+
+    /// Hedge path: decode one element directly from alive source disks
+    /// into `target`, bypassing the queue machinery. `avoid` marks disks
+    /// that must not be touched (stragglers and excluded disks).
+    bool side_decode(const layout::GroupCoord& coord, const std::vector<char>& avoid,
+                     AlignedBuffer& target) const;
+
+    static const ExecutorMetrics* empty_metrics() {
+        static const ExecutorMetrics none;
+        return &none;
+    }
+
+    const core::Scheme* scheme_;
+    std::int64_t element_bytes_;
+    ThreadPool* pool_;
+    std::vector<store::BlockDevice*> devices_;
+
+    mutable std::mutex opts_mu_;  // guards recovery_
+    RecoveryOptions recovery_;
+
+    std::atomic<const ExecutorMetrics*> metrics_{empty_metrics()};
+    std::mutex metrics_mu_;  // guards retired_
+    std::vector<std::unique_ptr<const ExecutorMetrics>> retired_;
+    std::atomic<obs::Tracer*> tracer_{nullptr};
+};
+
+}  // namespace ecfrm::exec

@@ -57,27 +57,24 @@ ClusterStats run_cluster(std::vector<ClusterRequest> requests, const DiskModel& 
     ClusterStats stats;
     stats.results.resize(requests.size());
 
-    // Pre-compute per-request, per-disk batches.
+    // Pre-compute per-request submission batches through the plan's own
+    // schedule model — the same AccessPlan::batches() the real executor
+    // issues, so simulated and real execution cannot drift.
     struct Pending {
-        std::vector<std::vector<RowId>> batches;
+        std::vector<core::DiskBatch> batches;
         int outstanding = 0;
     };
     std::vector<Pending> pending(requests.size());
     for (std::size_t i = 0; i < requests.size(); ++i) {
         auto& p = pending[i];
-        p.batches.assign(static_cast<std::size_t>(disks), {});
-        for (const auto& access : requests[i].plan.fetches()) {
-            p.batches[static_cast<std::size_t>(access.loc.disk)].push_back(access.loc.row);
-        }
-        for (const auto& b : p.batches) {
-            if (!b.empty()) ++p.outstanding;
-        }
+        p.batches = requests[i].plan.batches();
+        p.outstanding = static_cast<int>(p.batches.size());
         stats.results[i].arrival_seconds = requests[i].arrival_seconds;
         stats.results[i].requested_bytes = requests[i].plan.requested() * model.element_bytes();
     }
 
-    // Arrival events: enqueue each nonempty disk batch on its disk. FIFO
-    // order is arrival order (EventQueue breaks ties by insertion).
+    // Arrival events: enqueue each disk batch on its disk. FIFO order is
+    // arrival order (EventQueue breaks ties by insertion).
     for (std::size_t i = 0; i < requests.size(); ++i) {
         queue.schedule_at(requests[i].arrival_seconds, [&, i] {
             auto& p = pending[i];
@@ -89,11 +86,10 @@ ClusterStats run_cluster(std::vector<ClusterRequest> requests, const DiskModel& 
                 }
                 return;
             }
-            for (int d = 0; d < disks; ++d) {
-                auto& rows = p.batches[static_cast<std::size_t>(d)];
-                if (rows.empty()) continue;
+            for (auto& batch : p.batches) {
+                const int d = batch.disk;
                 const double start = std::max(queue.now(), disk_free[static_cast<std::size_t>(d)]);
-                const double service = model.service_seconds(std::move(rows), rng);
+                const double service = model.service_seconds(std::move(batch.rows), rng);
                 const double done = start + service;
                 disk_free[static_cast<std::size_t>(d)] = done;
                 if (metrics != nullptr) {

@@ -4,8 +4,13 @@
 // FileDisk (CLI tool / durable archives).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
 
 #include "common/result.h"
 #include "common/types.h"
@@ -18,12 +23,26 @@ class BlockDevice {
     virtual ~BlockDevice() = default;
 
     /// Attach (or clear, with a default-constructed bundle) per-device
-    /// I/O accounting. Not thread-safe against in-flight ops: attach
-    /// before serving traffic. Implementations count one op per
-    /// successful read/write, its payload bytes, and — only when the
-    /// latency histograms are attached — wall-clock service time.
-    void attach_io_stats(const obs::IoStats& io) { io_ = io; }
-    const obs::IoStats& io_stats() const { return io_; }
+    /// I/O accounting. Safe against in-flight ops: the bundle is
+    /// published through an atomic pointer, so attaching mid-traffic is
+    /// race-free — ops already running keep the bundle they loaded
+    /// (every attached bundle stays alive until the device is
+    /// destroyed). Implementations count one op per successful
+    /// read/write, its payload bytes, and — only when the latency
+    /// histograms are attached — wall-clock service time.
+    void attach_io_stats(const obs::IoStats& io) {
+        auto bundle = std::make_unique<const obs::IoStats>(io);
+        const obs::IoStats* fresh = bundle.get();
+        {
+            std::lock_guard<std::mutex> lock(io_mu_);
+            io_bundles_.push_back(std::move(bundle));
+        }
+        io_.store(fresh, std::memory_order_release);
+    }
+
+    /// The current accounting bundle (never null). The acquire load pairs
+    /// with attach_io_stats' release store and is free on x86.
+    const obs::IoStats& io_stats() const { return *io_.load(std::memory_order_acquire); }
 
     virtual std::int64_t element_bytes() const = 0;
 
@@ -32,6 +51,41 @@ class BlockDevice {
 
     /// Copy the slot at `row` into `out`.
     virtual Status read(RowId row, ByteSpan out) const = 0;
+
+    /// Vectored batch read: copy the slot at rows[i] into outs[i], in
+    /// order, stopping at the first failure. `*completed` (optional)
+    /// reports how many leading ops succeeded — on error, ops past that
+    /// prefix were not attempted. The base implementation is a
+    /// per-element fallback; Disk overrides it to take its lock once per
+    /// batch and FileDisk to coalesce adjacent rows into sequential file
+    /// I/O. FaultDevice keeps the per-element path so fault schedules
+    /// stay keyed to op sequence numbers.
+    virtual Status read_batch(std::span<const RowId> rows, std::span<const ByteSpan> outs,
+                              std::size_t* completed = nullptr) const {
+        if (completed != nullptr) *completed = 0;
+        if (rows.size() != outs.size()) return Error::invalid("batch rows/buffers size mismatch");
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            auto status = read(rows[i], outs[i]);
+            if (!status.ok()) return status;
+            if (completed != nullptr) *completed = i + 1;
+        }
+        return Status::success();
+    }
+
+    /// Vectored batch write: write payloads[i] to rows[i], in order,
+    /// stopping at the first failure. Same `*completed` contract as
+    /// read_batch.
+    virtual Status write_batch(std::span<const RowId> rows, std::span<const ConstByteSpan> payloads,
+                               std::size_t* completed = nullptr) {
+        if (completed != nullptr) *completed = 0;
+        if (rows.size() != payloads.size()) return Error::invalid("batch rows/payloads size mismatch");
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            auto status = write(rows[i], payloads[i]);
+            if (!status.ok()) return status;
+            if (completed != nullptr) *completed = i + 1;
+        }
+        return Status::success();
+    }
 
     /// Mark the device failed; its content is dropped.
     virtual void fail() = 0;
@@ -87,7 +141,56 @@ class BlockDevice {
         std::chrono::steady_clock::time_point start_{};
     };
 
-    obs::IoStats io_;
+    /// Batch-granular accounting: one timed window over the whole batch,
+    /// attributed evenly across its ops so per-op histograms stay
+    /// meaningful when implementations hold one lock per batch.
+    class BatchIoTimer {
+      public:
+        BatchIoTimer(const obs::IoStats& io, bool is_read, std::int64_t bytes_per_op)
+            : io_(io), is_read_(is_read), bytes_per_op_(bytes_per_op),
+              timed_(is_read ? io.reads_timed() : io.writes_timed()) {
+            if (timed_) start_ = std::chrono::steady_clock::now();
+        }
+
+        /// `ok_ops` ops succeeded; `failed` marks one trailing failed op.
+        void done(std::size_t ok_ops, bool failed) {
+            const double seconds =
+                timed_ ? std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count()
+                       : 0.0;
+            const double share = ok_ops > 0 ? seconds / static_cast<double>(ok_ops) : 0.0;
+            for (std::size_t i = 0; i < ok_ops; ++i) {
+                if (is_read_) {
+                    io_.on_read(bytes_per_op_, share);
+                } else {
+                    io_.on_write(bytes_per_op_, share);
+                }
+            }
+            if (failed) {
+                if (is_read_) {
+                    io_.on_read_error(bytes_per_op_);
+                } else {
+                    io_.on_write_error(bytes_per_op_);
+                }
+            }
+        }
+
+      private:
+        const obs::IoStats& io_;
+        bool is_read_;
+        std::int64_t bytes_per_op_;
+        bool timed_;
+        std::chrono::steady_clock::time_point start_{};
+    };
+
+  private:
+    static const obs::IoStats* empty_io() {
+        static const obs::IoStats none;
+        return &none;
+    }
+
+    std::atomic<const obs::IoStats*> io_{empty_io()};
+    mutable std::mutex io_mu_;  // guards io_bundles_
+    std::vector<std::unique_ptr<const obs::IoStats>> io_bundles_;
 };
 
 }  // namespace ecfrm::store

@@ -9,7 +9,7 @@ Status Disk::write(RowId row, ConstByteSpan data) {
     if (static_cast<std::int64_t>(data.size()) != element_bytes_) {
         return Error::invalid("element size mismatch on write");
     }
-    IoTimer timer(io_, /*is_read=*/false, static_cast<std::int64_t>(data.size()));
+    IoTimer timer(io_stats(), /*is_read=*/false, static_cast<std::int64_t>(data.size()));
     auto status = [&]() -> Status {
         std::lock_guard lk(mu_);
         if (failed_) return Error::disk_failed("write to failed disk");
@@ -32,7 +32,7 @@ Status Disk::read(RowId row, ByteSpan out) const {
     if (static_cast<std::int64_t>(out.size()) != element_bytes_) {
         return Error::invalid("element size mismatch on read");
     }
-    IoTimer timer(io_, /*is_read=*/true, static_cast<std::int64_t>(out.size()));
+    IoTimer timer(io_stats(), /*is_read=*/true, static_cast<std::int64_t>(out.size()));
     auto status = [&]() -> Status {
         std::lock_guard lk(mu_);
         if (failed_) return Error::disk_failed("read from failed disk");
@@ -43,6 +43,68 @@ Status Disk::read(RowId row, ByteSpan out) const {
         return Status::success();
     }();
     timer.done(status);
+    return status;
+}
+
+Status Disk::read_batch(std::span<const RowId> rows, std::span<const ByteSpan> outs,
+                        std::size_t* completed) const {
+    if (completed != nullptr) *completed = 0;
+    if (rows.size() != outs.size()) return Error::invalid("batch rows/buffers size mismatch");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (rows[i] < 0) return Error::range("negative row");
+        if (static_cast<std::int64_t>(outs[i].size()) != element_bytes_) {
+            return Error::invalid("element size mismatch on read");
+        }
+    }
+    BatchIoTimer timer(io_stats(), /*is_read=*/true, element_bytes_);
+    std::size_t done = 0;
+    auto status = [&]() -> Status {
+        std::lock_guard lk(mu_);
+        if (failed_) return Error::disk_failed("read from failed disk");
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const auto row = static_cast<std::size_t>(rows[i]);
+            if (row >= slots_.size() || !written_[row]) return Error::range("row never written");
+            std::memcpy(outs[i].data(), slots_[row].data(), outs[i].size());
+            done = i + 1;
+        }
+        return Status::success();
+    }();
+    timer.done(done, !status.ok());
+    if (completed != nullptr) *completed = done;
+    return status;
+}
+
+Status Disk::write_batch(std::span<const RowId> rows, std::span<const ConstByteSpan> payloads,
+                         std::size_t* completed) {
+    if (completed != nullptr) *completed = 0;
+    if (rows.size() != payloads.size()) return Error::invalid("batch rows/payloads size mismatch");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (rows[i] < 0) return Error::range("negative row");
+        if (static_cast<std::int64_t>(payloads[i].size()) != element_bytes_) {
+            return Error::invalid("element size mismatch on write");
+        }
+    }
+    BatchIoTimer timer(io_stats(), /*is_read=*/false, element_bytes_);
+    std::size_t done = 0;
+    auto status = [&]() -> Status {
+        std::lock_guard lk(mu_);
+        if (failed_) return Error::disk_failed("write to failed disk");
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const auto row = static_cast<std::size_t>(rows[i]);
+            if (row >= slots_.size()) {
+                slots_.resize(row + 1);
+                written_.resize(row + 1, false);
+            }
+            auto& slot = slots_[row];
+            if (slot.size() == 0) slot = AlignedBuffer(static_cast<std::size_t>(element_bytes_));
+            std::memcpy(slot.data(), payloads[i].data(), payloads[i].size());
+            written_[row] = true;
+            done = i + 1;
+        }
+        return Status::success();
+    }();
+    timer.done(done, !status.ok());
+    if (completed != nullptr) *completed = done;
     return status;
 }
 

@@ -26,6 +26,13 @@ class Disk final : public BlockDevice {
     /// the row was never written, or `out` has the wrong size.
     Status read(RowId row, ByteSpan out) const override;
 
+    /// Vectored batch ops: one lock acquisition for the whole batch
+    /// instead of one per element.
+    Status read_batch(std::span<const RowId> rows, std::span<const ByteSpan> outs,
+                      std::size_t* completed = nullptr) const override;
+    Status write_batch(std::span<const RowId> rows, std::span<const ConstByteSpan> payloads,
+                       std::size_t* completed = nullptr) override;
+
     /// Mark the device failed: reads fail and all content is dropped
     /// (a failed-and-replaced drive comes back empty).
     void fail() override;

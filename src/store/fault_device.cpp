@@ -194,7 +194,7 @@ FaultDevice::Decision FaultDevice::decide(bool is_read, RowId row, std::int64_t*
 }
 
 Status FaultDevice::read(RowId row, ByteSpan out) const {
-    IoTimer timer(io_, /*is_read=*/true, static_cast<std::int64_t>(out.size()));
+    IoTimer timer(io_stats(), /*is_read=*/true, static_cast<std::int64_t>(out.size()));
     double stall_ms = 0.0;
     {
         std::lock_guard<std::mutex> lock(mu_);
@@ -256,7 +256,7 @@ Status FaultDevice::read(RowId row, ByteSpan out) const {
 }
 
 Status FaultDevice::write(RowId row, ConstByteSpan data) {
-    IoTimer timer(io_, /*is_read=*/false, static_cast<std::int64_t>(data.size()));
+    IoTimer timer(io_stats(), /*is_read=*/false, static_cast<std::int64_t>(data.size()));
     double stall_ms = 0.0;
     {
         std::lock_guard<std::mutex> lock(mu_);

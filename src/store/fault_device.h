@@ -98,6 +98,21 @@ class FaultDevice final : public BlockDevice {
     std::int64_t element_bytes() const override { return inner_->element_bytes(); }
     Status write(RowId row, ConstByteSpan data) override;
     Status read(RowId row, ByteSpan out) const override;
+
+    /// Batch ops deliberately take the base-class per-element path: every
+    /// element must pass through decide() as its own op so fault schedules
+    /// stay keyed to per-device op sequence numbers and a FaultPlan replays
+    /// byte-identically whether callers batch or not. (The inner device's
+    /// native batching is bypassed on this decorated path by design.)
+    Status read_batch(std::span<const RowId> rows, std::span<const ByteSpan> outs,
+                      std::size_t* completed = nullptr) const override {
+        return BlockDevice::read_batch(rows, outs, completed);
+    }
+    Status write_batch(std::span<const RowId> rows, std::span<const ConstByteSpan> payloads,
+                       std::size_t* completed = nullptr) override {
+        return BlockDevice::write_batch(rows, payloads, completed);
+    }
+
     void fail() override;
     void replace() override;
     bool failed() const override;

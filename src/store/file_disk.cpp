@@ -91,7 +91,7 @@ Status FileDisk::write(RowId row, ConstByteSpan data) {
     if (static_cast<std::int64_t>(data.size()) != element_bytes_) {
         return Error::invalid("element size mismatch on write");
     }
-    IoTimer timer(io_, /*is_read=*/false, static_cast<std::int64_t>(data.size()));
+    IoTimer timer(io_stats(), /*is_read=*/false, static_cast<std::int64_t>(data.size()));
     auto status = [&]() -> Status {
         std::lock_guard lk(mu_);
         if (failed_) return Error::disk_failed("write to failed disk");
@@ -123,7 +123,7 @@ Status FileDisk::read(RowId row, ByteSpan out) const {
     if (static_cast<std::int64_t>(out.size()) != element_bytes_) {
         return Error::invalid("element size mismatch on read");
     }
-    IoTimer timer(io_, /*is_read=*/true, static_cast<std::int64_t>(out.size()));
+    IoTimer timer(io_stats(), /*is_read=*/true, static_cast<std::int64_t>(out.size()));
     auto status = [&]() -> Status {
         std::lock_guard lk(mu_);
         if (failed_) return Error::disk_failed("read from failed disk");
@@ -139,6 +139,91 @@ Status FileDisk::read(RowId row, ByteSpan out) const {
         return Status::success();
     }();
     timer.done(status);
+    return status;
+}
+
+Status FileDisk::read_batch(std::span<const RowId> rows, std::span<const ByteSpan> outs,
+                            std::size_t* completed) const {
+    if (completed != nullptr) *completed = 0;
+    if (rows.size() != outs.size()) return Error::invalid("batch rows/buffers size mismatch");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (rows[i] < 0) return Error::range("negative row");
+        if (static_cast<std::int64_t>(outs[i].size()) != element_bytes_) {
+            return Error::invalid("element size mismatch on read");
+        }
+    }
+    BatchIoTimer timer(io_stats(), /*is_read=*/true, element_bytes_);
+    std::size_t done = 0;
+    auto status = [&]() -> Status {
+        std::lock_guard lk(mu_);
+        if (failed_) return Error::disk_failed("read from failed disk");
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const auto row = static_cast<std::size_t>(rows[i]);
+            if (row >= written_.size() || !written_[row]) return Error::range("row never written");
+        }
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            // Seek only at the start of each run of consecutive rows; the
+            // stream position is already correct inside a run.
+            if (i == 0 || rows[i] != rows[i - 1] + 1) {
+                if (std::fseek(data_, static_cast<long>(rows[i] * element_bytes_), SEEK_SET) != 0) {
+                    return Error::io("seek failed on data file");
+                }
+            }
+            if (std::fread(outs[i].data(), 1, outs[i].size(), data_) != outs[i].size()) {
+                return Error::io("short read on data file");
+            }
+            done = i + 1;
+        }
+        return Status::success();
+    }();
+    timer.done(done, !status.ok());
+    if (completed != nullptr) *completed = done;
+    return status;
+}
+
+Status FileDisk::write_batch(std::span<const RowId> rows, std::span<const ConstByteSpan> payloads,
+                             std::size_t* completed) {
+    if (completed != nullptr) *completed = 0;
+    if (rows.size() != payloads.size()) return Error::invalid("batch rows/payloads size mismatch");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (rows[i] < 0) return Error::range("negative row");
+        if (static_cast<std::int64_t>(payloads[i].size()) != element_bytes_) {
+            return Error::invalid("element size mismatch on write");
+        }
+    }
+    BatchIoTimer timer(io_stats(), /*is_read=*/false, element_bytes_);
+    std::size_t done = 0;
+    auto status = [&]() -> Status {
+        std::lock_guard lk(mu_);
+        if (failed_) return Error::disk_failed("write to failed disk");
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            if (i == 0 || rows[i] != rows[i - 1] + 1) {
+                if (std::fseek(data_, static_cast<long>(rows[i] * element_bytes_), SEEK_SET) != 0) {
+                    return Error::io("seek failed on data file");
+                }
+            }
+            if (std::fwrite(payloads[i].data(), 1, payloads[i].size(), data_) != payloads[i].size()) {
+                return Error::io("write failed on data file");
+            }
+            const auto row = static_cast<std::size_t>(rows[i]);
+            if (row >= written_.size()) {
+                const RowId old = static_cast<RowId>(written_.size());
+                written_.resize(row + 1, false);
+                for (RowId r = old; r < rows[i]; ++r) {
+                    auto pad = persist_map_bit(r, false);
+                    if (!pad.ok()) return pad;
+                }
+            }
+            written_[row] = true;
+            auto bit = persist_map_bit(rows[i], true);
+            if (!bit.ok()) return bit;
+            done = i + 1;
+        }
+        std::fflush(data_);
+        return Status::success();
+    }();
+    timer.done(done, !status.ok());
+    if (completed != nullptr) *completed = done;
     return status;
 }
 

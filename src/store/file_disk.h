@@ -29,6 +29,14 @@ class FileDisk final : public BlockDevice {
     std::int64_t element_bytes() const override { return element_bytes_; }
     Status write(RowId row, ConstByteSpan data) override;
     Status read(RowId row, ByteSpan out) const override;
+
+    /// Vectored batch ops: one lock acquisition per batch, adjacent rows
+    /// coalesced into single sequential file transfers (one seek per run),
+    /// one flush per write batch.
+    Status read_batch(std::span<const RowId> rows, std::span<const ByteSpan> outs,
+                      std::size_t* completed = nullptr) const override;
+    Status write_batch(std::span<const RowId> rows, std::span<const ConstByteSpan> payloads,
+                       std::size_t* completed = nullptr) override;
     void fail() override;
     void replace() override;
     bool failed() const override;

@@ -2,15 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cassert>
-#include <chrono>
-#include <condition_variable>
 #include <cstring>
-#include <map>
 #include <optional>
-#include <set>
-#include <thread>
-#include <tuple>
 
 #include "common/aligned_buffer.h"
 #include "gf/kernels.h"
@@ -21,17 +14,16 @@ namespace ecfrm::store {
 using core::AccessPlan;
 using layout::GroupCoord;
 
-namespace {
-using Key = std::tuple<StripeId, int, int>;
-Key key_of(const GroupCoord& c) { return {c.stripe, c.group, c.position}; }
-}  // namespace
-
 StripeStore::StripeStore(core::Scheme scheme, std::int64_t element_bytes, ThreadPool* pool)
-    : scheme_(std::move(scheme)), element_bytes_(element_bytes), pool_(pool) {
+    : scheme_(std::move(scheme)),
+      element_bytes_(element_bytes),
+      pool_(pool),
+      executor_(&scheme_, element_bytes, pool) {
     disks_.reserve(static_cast<std::size_t>(scheme_.disks()));
     for (int d = 0; d < scheme_.disks(); ++d) {
         disks_.push_back(std::make_unique<Disk>(element_bytes_));
     }
+    bind_executor();
 }
 
 Result<std::unique_ptr<StripeStore>> StripeStore::open(core::Scheme scheme, std::int64_t element_bytes,
@@ -46,86 +38,54 @@ Result<std::unique_ptr<StripeStore>> StripeStore::open(core::Scheme scheme, std:
         }
         store->disks_.push_back(std::move(device).take());
     }
+    store->bind_executor();
     return store;
 }
 
+void StripeStore::bind_executor() {
+    std::vector<BlockDevice*> devices;
+    devices.reserve(disks_.size());
+    for (auto& disk : disks_) devices.push_back(disk.get());
+    executor_.bind(std::move(devices));
+}
+
 void StripeStore::attach_observability(obs::MetricRegistry* metrics, obs::Tracer* tracer) {
-    tracer_ = tracer;
+    StoreObs fresh;
+    exec::ExecutorMetrics exec_metrics;
+    fresh.tracer = tracer;
     if (metrics == nullptr) {
         for (auto& disk : disks_) disk->attach_io_stats({});
-        reads_total_ = nullptr;
-        degraded_reads_total_ = nullptr;
-        read_elements_total_ = nullptr;
-        decodes_total_ = nullptr;
-        retries_total_ = nullptr;
-        timeouts_total_ = nullptr;
-        replans_total_ = nullptr;
-        hedged_reads_total_ = nullptr;
-        read_fanout_ = nullptr;
-        read_max_load_ = nullptr;
-        return;
+    } else {
+        for (int d = 0; d < scheme_.disks(); ++d) {
+            disks_[static_cast<std::size_t>(d)]->attach_io_stats(metrics->disk_io_stats(d));
+        }
+        fresh.reads_total = &metrics->counter("ecfrm_store_reads_total");
+        fresh.degraded_reads_total = &metrics->counter("ecfrm_store_degraded_reads_total");
+        fresh.read_elements_total = &metrics->counter("ecfrm_store_read_elements_total");
+        fresh.read_fanout = &metrics->histogram("ecfrm_store_read_fanout_disks");
+        fresh.read_max_load = &metrics->histogram("ecfrm_store_read_max_disk_load");
+        exec_metrics.decodes = &metrics->counter("ecfrm_store_decodes_total");
+        exec_metrics.retries = &metrics->counter("ecfrm_store_retries_total");
+        exec_metrics.timeouts = &metrics->counter("ecfrm_store_timeouts_total");
+        exec_metrics.replans = &metrics->counter("ecfrm_store_replans_total");
+        exec_metrics.hedged_reads = &metrics->counter("ecfrm_store_hedged_reads_total");
     }
-    for (int d = 0; d < scheme_.disks(); ++d) {
-        disks_[static_cast<std::size_t>(d)]->attach_io_stats(metrics->disk_io_stats(d));
+    executor_.attach(exec_metrics, tracer);
+    auto bundle = std::make_unique<const StoreObs>(fresh);
+    const StoreObs* published = bundle.get();
+    {
+        std::lock_guard<std::mutex> lock(obs_mu_);
+        retired_obs_.push_back(std::move(bundle));
     }
-    reads_total_ = &metrics->counter("ecfrm_store_reads_total");
-    degraded_reads_total_ = &metrics->counter("ecfrm_store_degraded_reads_total");
-    read_elements_total_ = &metrics->counter("ecfrm_store_read_elements_total");
-    decodes_total_ = &metrics->counter("ecfrm_store_decodes_total");
-    retries_total_ = &metrics->counter("ecfrm_store_retries_total");
-    timeouts_total_ = &metrics->counter("ecfrm_store_timeouts_total");
-    replans_total_ = &metrics->counter("ecfrm_store_replans_total");
-    hedged_reads_total_ = &metrics->counter("ecfrm_store_hedged_reads_total");
-    read_fanout_ = &metrics->histogram("ecfrm_store_read_fanout_disks");
-    read_max_load_ = &metrics->histogram("ecfrm_store_read_max_disk_load");
-}
-
-Status StripeStore::device_read(DiskId disk, RowId row, ByteSpan out) {
-    const bool timed = recovery_.op_timeout_ms > 0.0;
-    for (int attempt = 0;; ++attempt) {
-        const auto t0 = timed ? std::chrono::steady_clock::now()
-                              : std::chrono::steady_clock::time_point{};
-        Status status = disks_[static_cast<std::size_t>(disk)]->read(row, out);
-        if (timed) {
-            const double elapsed_ms =
-                std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
-                    .count();
-            if (status.ok() && elapsed_ms > recovery_.op_timeout_ms) {
-                // Too slow to trust: discard the payload and route around
-                // the device rather than retrying into the same stall.
-                if (timeouts_total_ != nullptr) timeouts_total_->add(1);
-                return Error::timeout("disk " + std::to_string(disk) + " read exceeded " +
-                                      std::to_string(recovery_.op_timeout_ms) + " ms deadline");
-            }
-        }
-        if (status.ok()) return status;
-        if (status.error().code != Error::Code::io_error || attempt >= recovery_.max_retries) {
-            return status;
-        }
-        if (retries_total_ != nullptr) retries_total_->add(1);
-        if (recovery_.backoff_ms > 0.0) {
-            std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-                recovery_.backoff_ms * static_cast<double>(1 << attempt)));
-        }
-    }
-}
-
-Status StripeStore::device_write(DiskId disk, RowId row, ConstByteSpan data) {
-    for (int attempt = 0;; ++attempt) {
-        Status status = disks_[static_cast<std::size_t>(disk)]->write(row, data);
-        if (status.ok()) return status;
-        if (status.error().code != Error::Code::io_error || attempt >= recovery_.max_retries) {
-            return status;
-        }
-        if (retries_total_ != nullptr) retries_total_->add(1);
-        if (recovery_.backoff_ms > 0.0) {
-            std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-                recovery_.backoff_ms * static_cast<double>(1 << attempt)));
-        }
-    }
+    obs_.store(published, std::memory_order_release);
 }
 
 Status StripeStore::restore(std::vector<Extent> extents, StripeId stripes) {
+    std::unique_lock lk(mu_);
+    return restore_locked(std::move(extents), stripes);
+}
+
+Status StripeStore::restore_locked(std::vector<Extent> extents, StripeId stripes) {
     if (stripes < 0) return Error::invalid("negative stripe count");
     if (!pending_.empty()) return Error::invalid("restore on a store with buffered writes");
     const std::int64_t capacity_elems = stripes * scheme_.layout().data_per_stripe();
@@ -153,10 +113,27 @@ Status StripeStore::restore(std::int64_t logical_bytes, StripeId stripes) {
     if (logical_bytes < 0) return Error::invalid("negative restore state");
     std::vector<Extent> extents;
     if (logical_bytes > 0) extents.push_back({0, 0, logical_bytes});
-    return restore(std::move(extents), stripes);
+    std::unique_lock lk(mu_);
+    return restore_locked(std::move(extents), stripes);
+}
+
+std::int64_t StripeStore::logical_bytes() const {
+    std::shared_lock lk(mu_);
+    return logical_bytes_;
+}
+
+std::int64_t StripeStore::committed_bytes() const {
+    std::shared_lock lk(mu_);
+    return committed_bytes_locked();
+}
+
+std::int64_t StripeStore::stored_data_elements() const {
+    std::shared_lock lk(mu_);
+    return stored_data_elements_locked();
 }
 
 Status StripeStore::append(ConstByteSpan data) {
+    std::unique_lock lk(mu_);
     const std::int64_t stripe_bytes = scheme_.layout().data_per_stripe() * element_bytes_;
     pending_.insert(pending_.end(), data.begin(), data.end());
     logical_bytes_ += static_cast<std::int64_t>(data.size());
@@ -170,6 +147,7 @@ Status StripeStore::append(ConstByteSpan data) {
 }
 
 Status StripeStore::flush() {
+    std::unique_lock lk(mu_);
     if (pending_.empty()) return Status::success();
     const std::int64_t stripe_bytes = scheme_.layout().data_per_stripe() * element_bytes_;
     const auto user_bytes = static_cast<std::int64_t>(pending_.size());
@@ -196,7 +174,7 @@ Status StripeStore::commit_stripe(ConstByteSpan stripe_data, std::int64_t user_b
             extended = true;
         }
     }
-    if (!extended) extents_.push_back({committed_bytes(), first, user_bytes});
+    if (!extended) extents_.push_back({committed_bytes_locked(), first, user_bytes});
     ++stripes_;
     return Status::success();
 }
@@ -227,7 +205,7 @@ Status StripeStore::encode_group(StripeId stripe, int group, ConstByteSpan strip
     // stays recoverable through the group's parity, and reconstruction
     // restores it onto the replacement device.
     auto write_slot = [&](const Location& loc, ConstByteSpan payload) -> Status {
-        auto status = device_write(loc.disk, loc.row, payload);
+        auto status = executor_.device_write(loc.disk, loc.row, payload);
         if (!status.ok() && status.error().code == Error::Code::disk_failed) return Status::success();
         return status;
     };
@@ -263,9 +241,10 @@ Status StripeStore::encode_group(StripeId stripe, int group, ConstByteSpan strip
 }
 
 Status StripeStore::overwrite(std::int64_t offset, ConstByteSpan data) {
+    std::unique_lock lk(mu_);
     const auto length = static_cast<std::int64_t>(data.size());
     if (offset < 0) return Error::range("negative offset");
-    if (offset + length > committed_bytes()) {
+    if (offset + length > committed_bytes_locked()) {
         return Error::range("overwrite must stay within committed bytes");
     }
     if (length == 0) return Status::success();
@@ -290,12 +269,12 @@ Status StripeStore::overwrite(std::int64_t offset, ConstByteSpan data) {
 
             // Read-modify-write the data element.
             AlignedBuffer old_payload(static_cast<std::size_t>(element_bytes_));
-            auto status = device_read(loc.disk, loc.row, old_payload.span());
+            auto status = executor_.device_read(loc.disk, loc.row, old_payload.span());
             if (!status.ok()) return status;
             AlignedBuffer new_payload = old_payload;
             std::memcpy(new_payload.data() + in_elem, data.data() + consumed,
                         static_cast<std::size_t>(chunk));
-            status = device_write(loc.disk, loc.row, new_payload.span());
+            status = executor_.device_write(loc.disk, loc.row, new_payload.span());
             if (!status.ok()) return status;
 
             // delta = old ^ new; every parity folds in coeff * delta.
@@ -306,10 +285,10 @@ Status StripeStore::overwrite(std::int64_t offset, ConstByteSpan data) {
                 if (coeff == 0) continue;
                 const Location ploc = scheme_.layout().locate({coord.stripe, coord.group, p});
                 AlignedBuffer parity(static_cast<std::size_t>(element_bytes_));
-                status = device_read(ploc.disk, ploc.row, parity.span());
+                status = executor_.device_read(ploc.disk, ploc.row, parity.span());
                 if (!status.ok()) return status;
                 gf::addmul_region(parity.span(), delta.span(), coeff);
-                status = device_write(ploc.disk, ploc.row, parity.span());
+                status = executor_.device_write(ploc.disk, ploc.row, parity.span());
                 if (!status.ok()) return status;
             }
 
@@ -322,8 +301,9 @@ Status StripeStore::overwrite(std::int64_t offset, ConstByteSpan data) {
 }
 
 Result<std::vector<std::uint8_t>> StripeStore::read_bytes(std::int64_t offset, std::int64_t length) {
+    std::shared_lock lk(mu_);
     if (offset < 0 || length < 0) return Error::range("negative read range");
-    if (offset + length > committed_bytes()) {
+    if (offset + length > committed_bytes_locked()) {
         if (offset + length <= logical_bytes_) {
             return Error::invalid("range still buffered; call flush() before reading");
         }
@@ -346,7 +326,7 @@ Result<std::vector<std::uint8_t>> StripeStore::read_bytes(std::int64_t offset, s
         const std::int64_t count = last - first + 1;
 
         std::vector<std::uint8_t> elems(static_cast<std::size_t>(count * element_bytes_));
-        auto status = read_elements(first, count, ByteSpan(elems.data(), elems.size()));
+        auto status = read_elements_locked(first, count, ByteSpan(elems.data(), elems.size()));
         if (!status.ok()) return status.error();
 
         const std::int64_t skip = lo - (first - e.element_start) * element_bytes_;
@@ -358,7 +338,12 @@ Result<std::vector<std::uint8_t>> StripeStore::read_bytes(std::int64_t offset, s
 }
 
 Status StripeStore::read_elements(ElementId start, std::int64_t count, ByteSpan out) {
-    if (start < 0 || count < 0 || start + count > stored_data_elements()) {
+    std::shared_lock lk(mu_);
+    return read_elements_locked(start, count, out);
+}
+
+Status StripeStore::read_elements_locked(ElementId start, std::int64_t count, ByteSpan out) {
+    if (start < 0 || count < 0 || start + count > stored_data_elements_locked()) {
         return Error::range("element range beyond stored data");
     }
     if (static_cast<std::int64_t>(out.size()) != count * element_bytes_) {
@@ -366,295 +351,75 @@ Status StripeStore::read_elements(ElementId start, std::int64_t count, ByteSpan 
     }
     if (count == 0) return Status::success();
 
-    obs::Span read_span(tracer_, "store.read_elements", "store");
+    const StoreObs& o = store_obs();
+    obs::Span read_span(o.tracer, "store.read_elements", "store");
     read_span.arg("start", start);
     read_span.arg("count", count);
-    if (reads_total_ != nullptr) reads_total_->add(1);
-    if (read_elements_total_ != nullptr) read_elements_total_->add(count);
+    if (o.reads_total != nullptr) o.reads_total->add(1);
+    if (o.read_elements_total != nullptr) o.read_elements_total->add(count);
 
-    return execute_read(start, count, out, failed_disks());
+    return execute_read(start, count, out, failed_disks_locked());
 }
-
-/// One fetch round's outcome: which disks newly misbehaved and the most
-/// recent typed error, so the replan loop can route around them (or give
-/// up with the right diagnosis).
-struct StripeStore::FetchOutcome {
-    bool complete = true;
-    std::vector<DiskId> bad_disks;
-    std::optional<Error> last_error;
-};
 
 Status StripeStore::execute_read(ElementId start, std::int64_t count, ByteSpan out,
                                  std::vector<DiskId> excluded) {
+    const StoreObs& o = store_obs();
+
     // Plan against the current exclusion set; a pattern the code cannot
     // decode is the read path's terminal "beyond tolerance" diagnosis.
-    auto make_plan = [&](const std::vector<DiskId>& excl) -> Result<AccessPlan> {
-        if (excl.empty()) return core::plan_normal_read(scheme_, start, count);
-        if (degraded_reads_total_ != nullptr) degraded_reads_total_->add(1);
-        auto degraded = core::plan_degraded_read(scheme_, start, count, excl);
-        if (!degraded.ok()) {
-            if (degraded.error().code == Error::Code::undecodable) {
-                return Error::beyond_tolerance(
-                    "read cannot be planned around " + std::to_string(excl.size()) +
-                    " unavailable disks: " + degraded.error().message);
+    // Load-shape histograms and the plan span describe the intended plan
+    // (first round); the recovery rounds are accounted by the executor's
+    // retry/replan counters.
+    bool first_plan = true;
+    auto replanner = [&](const std::vector<DiskId>& excl) -> Result<AccessPlan> {
+        std::optional<obs::Span> plan_span;
+        if (first_plan) plan_span.emplace(o.tracer, "store.plan", "store");
+        auto planned = [&]() -> Result<AccessPlan> {
+            if (excl.empty()) return core::plan_normal_read(scheme_, start, count);
+            if (o.degraded_reads_total != nullptr) o.degraded_reads_total->add(1);
+            auto degraded = core::plan_degraded_read(scheme_, start, count, excl);
+            if (!degraded.ok()) {
+                if (degraded.error().code == Error::Code::undecodable) {
+                    return Error::beyond_tolerance(
+                        "read cannot be planned around " + std::to_string(excl.size()) +
+                        " unavailable disks: " + degraded.error().message);
+                }
+                return degraded.error();
             }
-            return degraded.error();
+            return degraded;
+        }();
+        if (first_plan && planned.ok()) {
+            first_plan = false;
+            if (plan_span.has_value()) {
+                plan_span->arg("fetches", planned.value().total_fetched());
+                plan_span->arg("max_load", static_cast<std::int64_t>(planned.value().max_load()));
+            }
+            if (o.read_max_load != nullptr) o.read_max_load->record(planned.value().max_load());
+            if (o.read_fanout != nullptr) {
+                o.read_fanout->record(static_cast<double>(planned.value().batches().size()));
+            }
         }
-        return degraded;
+        return planned;
     };
 
-    std::optional<AccessPlan> plan;
-    {
-        obs::Span plan_span(tracer_, "store.plan", "store");
-        auto first = make_plan(excluded);
-        if (!first.ok()) return first.error();
-        plan.emplace(std::move(first).take());
-        plan_span.arg("fetches", plan->total_fetched());
-        plan_span.arg("max_load", static_cast<std::int64_t>(plan->max_load()));
-    }
-    // Load-shape histograms describe the intended plan (first round); the
-    // recovery rounds below are accounted by the retry/replan counters.
-    if (read_max_load_ != nullptr) read_max_load_->record(plan->max_load());
-    if (read_fanout_ != nullptr) {
-        int fanout = 0;
-        for (int load : plan->per_disk_loads()) fanout += load > 0 ? 1 : 0;
-        read_fanout_->record(fanout);
-    }
-
-    // Elements fetched (or hedge-decoded) so far, kept across replan
-    // rounds so recovery never re-reads what it already holds.
-    std::map<Key, AlignedBuffer> fetched;
-
-    // Decode one element directly from alive source disks into `target`,
-    // bypassing the in-flight batch machinery — the hedge path for
-    // elements stuck behind a straggling disk. `avoid` marks disks that
-    // must not be touched (stragglers and excluded disks).
-    auto hedge_fetch = [&](const GroupCoord& coord, const std::vector<char>& avoid,
-                           AlignedBuffer& target) -> bool {
-        const auto& code = scheme_.code();
-        std::vector<int> sources;
-        for (int p = 0; p < code.n(); ++p) {
-            if (p == coord.position) continue;
-            const Location sloc = scheme_.layout().locate({coord.stripe, coord.group, p});
-            if (!avoid[static_cast<std::size_t>(sloc.disk)]) sources.push_back(p);
-        }
-        auto repair = code.solve_repair(coord.position, sources);
-        if (!repair.ok()) return false;
-        std::vector<AlignedBuffer> srcs;
-        std::vector<ByteSpan> buffers(static_cast<std::size_t>(code.n()));
-        srcs.reserve(repair->terms.size());
-        for (const auto& term : repair->terms) {
-            const Location sloc =
-                scheme_.layout().locate({coord.stripe, coord.group, term.source_position});
-            srcs.emplace_back(static_cast<std::size_t>(element_bytes_));
-            if (!disks_[static_cast<std::size_t>(sloc.disk)]->read(sloc.row, srcs.back().span()).ok()) {
-                return false;
-            }
-            buffers[static_cast<std::size_t>(term.source_position)] = srcs.back().span();
-        }
-        buffers[static_cast<std::size_t>(coord.position)] = target.span();
-        codes::DecodePlan one;
-        one.repairs.push_back(repair.value());
-        codes::ErasureCode::apply_plan(one, buffers);
-        return true;
-    };
-
-    // Fetch everything the plan wants that we don't already hold, batched
-    // per device — in parallel across devices when a thread pool is
-    // attached (devices serialise internally, so one batch per device is
-    // the natural unit, and it is also the granularity the tracer
-    // reports: the request finishes when the slowest batch does).
-    auto fetch_round = [&](const AccessPlan& p) -> FetchOutcome {
-        FetchOutcome outcome;
-        const auto& fetches = p.fetches();
-        std::vector<std::size_t> pending;
-        for (std::size_t i = 0; i < fetches.size(); ++i) {
-            if (fetched.find(key_of(fetches[i].coord)) == fetched.end()) pending.push_back(i);
-        }
-        if (pending.empty()) return outcome;
-
-        // Per-element buffers for this round; each belongs to exactly one
-        // batch, so batch workers never share a buffer.
-        std::map<Key, AlignedBuffer> round;
-        for (std::size_t i : pending) {
-            round.emplace(key_of(fetches[i].coord),
-                          AlignedBuffer(static_cast<std::size_t>(element_bytes_)));
-        }
-        std::vector<std::vector<std::size_t>> batches(disks_.size());
-        for (std::size_t i : pending) {
-            batches[static_cast<std::size_t>(fetches[i].loc.disk)].push_back(i);
-        }
-        std::vector<std::size_t> active;  // disks with a nonempty batch
-        for (std::size_t d = 0; d < batches.size(); ++d) {
-            if (!batches[d].empty()) active.push_back(d);
-        }
-
-        std::mutex state_mu;
-        std::set<Key> succeeded;          // guarded by state_mu
-        std::vector<DiskId> bad;          // guarded by state_mu
-        std::optional<Error> last_error;  // guarded by state_mu
-
-        auto fetch_batch = [&](std::size_t a) {
-            const std::size_t d = active[a];
-            const double issue_us = tracer_ != nullptr ? tracer_->now_us() : 0.0;
-            for (std::size_t i : batches[d]) {
-                const auto& access = fetches[i];
-                const Key key = key_of(access.coord);
-                auto it = round.find(key);
-                auto status = device_read(static_cast<DiskId>(d), access.loc.row, it->second.span());
-                std::lock_guard<std::mutex> lock(state_mu);
-                if (status.ok()) {
-                    succeeded.insert(key);
-                } else {
-                    // The device is suspect: abandon its remaining batch
-                    // and let the replan route around it.
-                    bad.push_back(static_cast<DiskId>(d));
-                    last_error = status.error();
-                    return;
-                }
-            }
-            if (tracer_ != nullptr) {
-                tracer_->complete("disk.batch", "io", issue_us, tracer_->now_us() - issue_us,
-                                  {{"disk", std::to_string(d)},
-                                   {"elements", std::to_string(batches[d].size())}});
-            }
-        };
-
-        std::map<Key, AlignedBuffer> hedged;
-        if (pool_ != nullptr && recovery_.hedge_ms > 0.0 && !active.empty()) {
-            // Hedged execution: dispatch the batches, and when the slowest
-            // one is still running past the hedge deadline, decode its
-            // elements from the other disks instead of waiting on it. All
-            // batches are still joined before returning (their buffers are
-            // referenced from this frame).
-            std::mutex done_mu;
-            std::condition_variable done_cv;
-            std::size_t done = 0;
-            std::vector<char> batch_done(active.size(), 0);
-            for (std::size_t a = 0; a < active.size(); ++a) {
-                pool_->submit([&, a] {
-                    fetch_batch(a);
-                    // Notify under the mutex: the waiter may destroy the cv
-                    // the moment its predicate holds, so the notify must not
-                    // touch the cv after releasing the lock.
-                    std::lock_guard<std::mutex> lock(done_mu);
-                    batch_done[a] = 1;
-                    ++done;
-                    done_cv.notify_all();
-                });
-            }
-            std::unique_lock<std::mutex> lock(done_mu);
-            const bool all_done =
-                done_cv.wait_for(lock, std::chrono::duration<double, std::milli>(recovery_.hedge_ms),
-                                 [&] { return done == active.size(); });
-            if (!all_done) {
-                std::vector<char> avoid(disks_.size(), 0);
-                std::vector<std::size_t> stragglers;
-                for (std::size_t a = 0; a < active.size(); ++a) {
-                    if (!batch_done[a]) {
-                        avoid[active[a]] = 1;
-                        stragglers.push_back(a);
-                    }
-                }
-                lock.unlock();
-                for (DiskId d : excluded) avoid[static_cast<std::size_t>(d)] = 1;
-                for (std::size_t a : stragglers) {
-                    for (std::size_t i : batches[active[a]]) {
-                        const Key key = key_of(fetches[i].coord);
-                        {
-                            std::lock_guard<std::mutex> state_lock(state_mu);
-                            if (succeeded.count(key) != 0) continue;
-                        }
-                        if (hedged_reads_total_ != nullptr) hedged_reads_total_->add(1);
-                        AlignedBuffer target(static_cast<std::size_t>(element_bytes_));
-                        if (hedge_fetch(fetches[i].coord, avoid, target)) {
-                            hedged.emplace(key, std::move(target));
-                        }
-                    }
-                }
-                lock.lock();
-                done_cv.wait(lock, [&] { return done == active.size(); });
-            }
-        } else if (pool_ != nullptr && active.size() > 1) {
-            parallel_for(*pool_, active.size(), fetch_batch);
-        } else {
-            for (std::size_t a = 0; a < active.size(); ++a) fetch_batch(a);
-        }
-
-        for (const Key& key : succeeded) {
-            auto it = round.find(key);
-            fetched.emplace(key, std::move(it->second));
-        }
-        for (auto& [key, buf] : hedged) {
-            if (fetched.find(key) == fetched.end()) fetched.emplace(key, std::move(buf));
-        }
-        for (std::size_t i : pending) {
-            if (fetched.find(key_of(fetches[i].coord)) == fetched.end()) {
-                outcome.complete = false;
-                break;
-            }
-        }
-        outcome.bad_disks = std::move(bad);
-        outcome.last_error = std::move(last_error);
-        return outcome;
-    };
-
-    // Replan loop: fetch, and when a disk misbehaves mid-flight, exclude
-    // it and re-plan the remaining elements around it — reusing every
-    // element already in hand.
-    std::optional<Error> last_error;
-    for (int round = 0;; ++round) {
-        FetchOutcome outcome = fetch_round(*plan);
-        if (outcome.last_error.has_value()) last_error = outcome.last_error;
-        if (outcome.complete) break;
-        bool grew = false;
-        for (DiskId d : outcome.bad_disks) {
-            if (std::find(excluded.begin(), excluded.end(), d) == excluded.end()) {
-                excluded.push_back(d);
-                grew = true;
-            }
-        }
-        if (!grew || round >= recovery_.max_replans) {
-            if (last_error.has_value()) return *last_error;
-            return Error::io("element fetch failed during plan execution");
-        }
-        auto next = make_plan(excluded);
-        if (!next.ok()) return next.error();
-        if (replans_total_ != nullptr) replans_total_->add(1);
-        plan.emplace(std::move(next).take());
-    }
-    const AccessPlan& final_plan = *plan;
+    auto fetched = executor_.fetch(replanner, std::move(excluded));
+    if (!fetched.ok()) return fetched.error();
+    exec::PlanExecutor::FetchResult& result = fetched.value();
 
     // Run the decode recipes to materialise failed elements.
     {
-        obs::Span decode_span(tracer_, "store.decode", "store");
-        decode_span.arg("decodes", static_cast<std::int64_t>(final_plan.decodes().size()));
-        if (decodes_total_ != nullptr) {
-            decodes_total_->add(static_cast<std::int64_t>(final_plan.decodes().size()));
-        }
-        for (const auto& decode : final_plan.decodes()) {
-            AlignedBuffer target(static_cast<std::size_t>(element_bytes_));
-            std::vector<ByteSpan> buffers(static_cast<std::size_t>(scheme_.code().n()));
-            for (const auto& term : decode.repair.terms) {
-                auto it = fetched.find({decode.stripe, decode.group, term.source_position});
-                if (it == fetched.end()) return Error::internal("decode source missing from plan");
-                buffers[static_cast<std::size_t>(term.source_position)] = it->second.span();
-            }
-            buffers[static_cast<std::size_t>(decode.repair.target_position)] = target.span();
-            codes::DecodePlan one;
-            one.repairs.push_back(decode.repair);
-            codes::ErasureCode::apply_plan(one, buffers, pool_);
-            fetched.emplace(Key{decode.stripe, decode.group, decode.repair.target_position},
-                            std::move(target));
-        }
+        obs::Span decode_span(o.tracer, "store.decode", "store");
+        decode_span.arg("decodes", static_cast<std::int64_t>(result.plan.decodes().size()));
+        auto status = executor_.decode(result.plan, result.elements);
+        if (!status.ok()) return status;
     }
 
     // Assemble the user range in logical order.
-    obs::Span assemble_span(tracer_, "store.assemble", "store");
+    obs::Span assemble_span(o.tracer, "store.assemble", "store");
     for (std::int64_t i = 0; i < count; ++i) {
         const GroupCoord coord = scheme_.layout().coord_of_data(start + i);
-        auto it = fetched.find(key_of(coord));
-        if (it == fetched.end()) return Error::internal("requested element missing after decode");
+        auto it = result.elements.find(exec::PlanExecutor::key_of(coord));
+        if (it == result.elements.end()) return Error::internal("requested element missing after decode");
         std::memcpy(out.data() + static_cast<std::size_t>(i * element_bytes_), it->second.data(),
                     static_cast<std::size_t>(element_bytes_));
     }
@@ -663,11 +428,17 @@ Status StripeStore::execute_read(ElementId start, std::int64_t count, ByteSpan o
 
 Status StripeStore::fail_disk(DiskId disk) {
     if (disk < 0 || disk >= scheme_.disks()) return Error::range("no such disk");
+    std::unique_lock lk(mu_);
     disks_[static_cast<std::size_t>(disk)]->fail();
     return Status::success();
 }
 
 std::vector<DiskId> StripeStore::failed_disks() const {
+    std::shared_lock lk(mu_);
+    return failed_disks_locked();
+}
+
+std::vector<DiskId> StripeStore::failed_disks_locked() const {
     std::vector<DiskId> failed;
     for (int d = 0; d < scheme_.disks(); ++d) {
         if (disks_[static_cast<std::size_t>(d)]->failed()) failed.push_back(d);
@@ -677,18 +448,22 @@ std::vector<DiskId> StripeStore::failed_disks() const {
 
 Result<ReconstructStats> StripeStore::reconstruct_disk(DiskId disk) {
     if (disk < 0 || disk >= scheme_.disks()) return Error::range("no such disk");
+    std::unique_lock lk(mu_);
     if (!disks_[static_cast<std::size_t>(disk)]->failed()) {
         return Error::invalid("disk is not failed; nothing to reconstruct");
     }
 
-    obs::Span span(tracer_, "store.reconstruct", "store");
+    const StoreObs& o = store_obs();
+    obs::Span span(o.tracer, "store.reconstruct", "store");
     span.arg("disk", static_cast<std::int64_t>(disk));
 
-    std::vector<bool> disk_failed(static_cast<std::size_t>(scheme_.disks()), false);
-    for (DiskId d : failed_disks()) disk_failed[static_cast<std::size_t>(d)] = true;
+    // Snapshot the failure set before bringing the replacement online:
+    // sources must avoid every disk that is down right now, including the
+    // one being rebuilt.
+    std::vector<char> avoid(static_cast<std::size_t>(scheme_.disks()), 0);
+    for (DiskId d : failed_disks_locked()) avoid[static_cast<std::size_t>(d)] = 1;
 
     disks_[static_cast<std::size_t>(disk)]->replace();
-    const auto& code = scheme_.code();
     const RowId rows = scheme_.rows_for(stripes_);
 
     std::atomic<std::int64_t> rebuilt{0};
@@ -698,36 +473,14 @@ Result<ReconstructStats> StripeStore::reconstruct_disk(DiskId disk) {
     auto rebuild_row = [&](RowId row) {
         if (error_flag.load()) return;
         const GroupCoord coord = scheme_.layout().coord_at({disk, row});
-        std::vector<int> available;
-        for (int p = 0; p < code.n(); ++p) {
-            if (p == coord.position) continue;
-            const Location ploc = scheme_.layout().locate({coord.stripe, coord.group, p});
-            if (!disk_failed[static_cast<std::size_t>(ploc.disk)]) available.push_back(p);
-        }
-        auto repair = code.solve_repair(coord.position, available);
-        if (!repair.ok()) {
+        AlignedBuffer target(static_cast<std::size_t>(element_bytes_));
+        auto sources = executor_.rebuild_element(coord, avoid, target.span());
+        if (!sources.ok()) {
             error_flag.store(true);
             return;
         }
-        AlignedBuffer target(static_cast<std::size_t>(element_bytes_));
-        std::vector<AlignedBuffer> srcs;
-        std::vector<ByteSpan> buffers(static_cast<std::size_t>(code.n()));
-        srcs.reserve(repair->terms.size());
-        for (const auto& term : repair->terms) {
-            const Location sloc = scheme_.layout().locate({coord.stripe, coord.group, term.source_position});
-            srcs.emplace_back(static_cast<std::size_t>(element_bytes_));
-            if (!device_read(sloc.disk, sloc.row, srcs.back().span()).ok()) {
-                error_flag.store(true);
-                return;
-            }
-            buffers[static_cast<std::size_t>(term.source_position)] = srcs.back().span();
-        }
-        reads.fetch_add(static_cast<std::int64_t>(repair->terms.size()));
-        buffers[static_cast<std::size_t>(coord.position)] = target.span();
-        codes::DecodePlan one;
-        one.repairs.push_back(repair.value());
-        codes::ErasureCode::apply_plan(one, buffers);
-        if (!device_write(disk, row, target.span()).ok()) {
+        reads.fetch_add(sources.value());
+        if (!executor_.device_write(disk, row, target.span()).ok()) {
             error_flag.store(true);
             return;
         }
@@ -747,6 +500,7 @@ Result<ReconstructStats> StripeStore::reconstruct_disk(DiskId disk) {
 
 Status StripeStore::corrupt_element(DiskId disk, RowId row, std::size_t byte_offset) {
     if (disk < 0 || disk >= scheme_.disks()) return Error::range("no such disk");
+    std::unique_lock lk(mu_);
     return disks_[static_cast<std::size_t>(disk)]->corrupt_byte(row, byte_offset);
 }
 
@@ -778,7 +532,8 @@ bool group_consistent(const codes::ErasureCode& code, const std::vector<AlignedB
 }  // namespace
 
 Result<ScrubReport> StripeStore::scrub() {
-    if (!failed_disks().empty()) return Error::disk_failed("scrub requires all disks online");
+    std::unique_lock lk(mu_);
+    if (!failed_disks_locked().empty()) return Error::disk_failed("scrub requires all disks online");
     const auto& code = scheme_.code();
     ScrubReport report;
 
@@ -787,13 +542,14 @@ Result<ScrubReport> StripeStore::scrub() {
             ++report.groups_scanned;
 
             std::vector<AlignedBuffer> bufs;
+            std::vector<ByteSpan> spans(static_cast<std::size_t>(code.n()));
             bufs.reserve(static_cast<std::size_t>(code.n()));
             for (int p = 0; p < code.n(); ++p) {
-                const Location loc = scheme_.layout().locate({s, g, p});
                 bufs.emplace_back(static_cast<std::size_t>(element_bytes_));
-                auto status = disks_[static_cast<std::size_t>(loc.disk)]->read(loc.row, bufs.back().span());
-                if (!status.ok()) return status.error();
+                spans[static_cast<std::size_t>(p)] = bufs.back().span();
             }
+            auto status = executor_.read_group(s, g, spans);
+            if (!status.ok()) return status.error();
             if (group_consistent(code, bufs, element_bytes_)) continue;
             ++report.groups_inconsistent;
 
@@ -811,19 +567,19 @@ Result<ScrubReport> StripeStore::scrub() {
                 if (!repair.ok()) continue;
 
                 std::vector<AlignedBuffer> trial = bufs;
-                std::vector<ByteSpan> spans(static_cast<std::size_t>(code.n()));
-                for (int p = 0; p < code.n(); ++p) spans[static_cast<std::size_t>(p)] = trial[static_cast<std::size_t>(p)].span();
+                std::vector<ByteSpan> trial_spans(static_cast<std::size_t>(code.n()));
+                for (int p = 0; p < code.n(); ++p) trial_spans[static_cast<std::size_t>(p)] = trial[static_cast<std::size_t>(p)].span();
                 codes::DecodePlan one;
                 one.repairs.push_back(repair.value());
-                codes::ErasureCode::apply_plan(one, spans);
+                codes::ErasureCode::apply_plan(one, trial_spans);
 
                 if (!group_consistent(code, trial, element_bytes_)) continue;
 
                 // Hypothesis accepted: persist the corrected element.
                 const Location loc = scheme_.layout().locate({s, g, z});
-                auto status = disks_[static_cast<std::size_t>(loc.disk)]->write(
-                    loc.row, trial[static_cast<std::size_t>(z)].span());
-                if (!status.ok()) return status.error();
+                auto write_status = executor_.device_write(
+                    loc.disk, loc.row, trial[static_cast<std::size_t>(z)].span());
+                if (!write_status.ok()) return write_status.error();
                 ++report.elements_repaired;
                 repaired = true;
             }
@@ -834,19 +590,21 @@ Result<ScrubReport> StripeStore::scrub() {
 }
 
 Status StripeStore::verify_parity() {
+    std::shared_lock lk(mu_);
     const auto& code = scheme_.code();
     for (StripeId s = 0; s < stripes_; ++s) {
         for (int g = 0; g < scheme_.layout().groups_per_stripe(); ++g) {
             std::vector<AlignedBuffer> bufs;
-            bufs.reserve(static_cast<std::size_t>(code.n()));
+            std::vector<ByteSpan> spans(static_cast<std::size_t>(code.n()));
             std::vector<ConstByteSpan> data(static_cast<std::size_t>(code.k()));
+            bufs.reserve(static_cast<std::size_t>(code.n()));
             for (int p = 0; p < code.n(); ++p) {
-                const Location loc = scheme_.layout().locate({s, g, p});
                 bufs.emplace_back(static_cast<std::size_t>(element_bytes_));
-                auto status = disks_[static_cast<std::size_t>(loc.disk)]->read(loc.row, bufs.back().span());
-                if (!status.ok()) return status;
-                if (p < code.k()) data[static_cast<std::size_t>(p)] = bufs.back().span();
+                spans[static_cast<std::size_t>(p)] = bufs.back().span();
             }
+            auto status = executor_.read_group(s, g, spans);
+            if (!status.ok()) return status;
+            for (int p = 0; p < code.k(); ++p) data[static_cast<std::size_t>(p)] = bufs[static_cast<std::size_t>(p)].span();
             std::vector<AlignedBuffer> expect_bufs;
             std::vector<ByteSpan> expect(static_cast<std::size_t>(code.m()));
             for (int p = 0; p < code.m(); ++p) {

@@ -5,19 +5,29 @@
 // Write model matches the paper's cloud-storage assumption: append-only,
 // buffered until a full stripe is available, then erasure-coded as a full
 // stripe write (Section I). Reads are planned by the core planners and the
-// resulting plan is executed against the disks — so every experiment's
-// access plan is also validated by actually decoding real data in tests.
+// resulting plan is executed by exec::PlanExecutor against the disks — the
+// store itself is a thin façade (plan -> execute -> decode -> assemble) —
+// so every experiment's access plan is also validated by actually decoding
+// real data in tests.
+//
+// Concurrency: read paths take a shared lock, mutating paths an exclusive
+// one, so N threads can read (normal or degraded) concurrently while
+// writes, failures and reconstruction serialise against them.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/read_planner.h"
 #include "core/scheme.h"
+#include "exec/plan_executor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "store/block_device.h"
@@ -31,26 +41,9 @@ struct ReconstructStats {
     std::int64_t elements_read = 0;
 };
 
-/// Self-healing knobs for the device I/O paths. Defaults are inert
-/// (no timeouts, no backoff sleeps, no hedging) so clean-path behaviour
-/// and benchmarks are unchanged until a caller opts in.
-struct RecoveryOptions {
-    /// Same-device retries after a transient I/O error (0 disables).
-    int max_retries = 2;
-    /// Base backoff before retry r: backoff_ms * 2^r (0: retry immediately).
-    double backoff_ms = 0.0;
-    /// >0: ops slower than this surface as Error::timeout — the payload is
-    /// discarded and the read path routes around the slow device instead
-    /// of retrying it.
-    double op_timeout_ms = 0.0;
-    /// >0 (needs a thread pool): when the slowest fetch batch is still
-    /// outstanding after this deadline, hedge its elements by decoding
-    /// them from the other disks instead of waiting.
-    double hedge_ms = 0.0;
-    /// Degraded-read replans allowed per read as newly-misbehaving disks
-    /// are discovered mid-flight.
-    int max_replans = 2;
-};
+/// Self-healing knobs now live with the execution engine; the alias keeps
+/// the store-level spelling working.
+using RecoveryOptions = exec::RecoveryOptions;
 
 struct ScrubReport {
     std::int64_t groups_scanned = 0;
@@ -68,7 +61,7 @@ class StripeStore {
     using DeviceFactory = std::function<Result<std::unique_ptr<BlockDevice>>(int index)>;
 
     /// In-memory store. `pool` may be null (serial execution); when
-    /// provided, encode and reconstruction parallelise across groups/rows.
+    /// provided, encode, reconstruction and fetch queues parallelise.
     StripeStore(core::Scheme scheme, std::int64_t element_bytes, ThreadPool* pool = nullptr);
 
     /// Store over caller-provided devices. Fails if any device cannot be
@@ -105,22 +98,22 @@ class StripeStore {
     Status overwrite(std::int64_t offset, ConstByteSpan data);
 
     /// User bytes appended so far (committed + buffered tail).
-    std::int64_t logical_bytes() const { return logical_bytes_; }
+    std::int64_t logical_bytes() const;
 
     /// User bytes already encoded onto the devices and thus readable.
-    std::int64_t committed_bytes() const {
-        return extents_.empty() ? 0 : extents_.back().logical_start + extents_.back().bytes;
-    }
+    std::int64_t committed_bytes() const;
 
-    /// Committed extents, in logical order.
+    /// Committed extents, in logical order. The reference is only stable
+    /// while no writer (append/flush/restore) runs.
     const std::vector<Extent>& extents() const { return extents_; }
 
     /// Data elements stored (after flush; includes padding elements).
-    std::int64_t stored_data_elements() const { return stripes_ * scheme_.layout().data_per_stripe(); }
+    std::int64_t stored_data_elements() const;
 
     /// Read `length` bytes at `offset` of the logical byte stream,
     /// transparently decoding around failed disks. Only committed bytes
-    /// are readable; flush() first to read a buffered tail.
+    /// are readable; flush() first to read a buffered tail. Thread-safe:
+    /// any number of reads may run concurrently.
     Result<std::vector<std::uint8_t>> read_bytes(std::int64_t offset, std::int64_t length);
 
     /// Element-granular read into `out` (size count * element_bytes).
@@ -143,15 +136,18 @@ class StripeStore {
     Status corrupt_element(DiskId disk, RowId row, std::size_t byte_offset);
 
     /// Configure the self-healing I/O behaviour (retries, timeouts,
-    /// hedging, replans). Takes effect for subsequent operations.
-    void set_recovery(const RecoveryOptions& options) { recovery_ = options; }
-    const RecoveryOptions& recovery() const { return recovery_; }
+    /// hedging, replans, queue depth). Takes effect for subsequent
+    /// operations; safe to call while requests are in flight.
+    void set_recovery(const RecoveryOptions& options) { executor_.set_recovery(options); }
+    RecoveryOptions recovery() const { return executor_.recovery(); }
 
     /// Attach (or detach, with nulls) observability: per-disk I/O
     /// accounting under ecfrm_disk_*{disk=i}, store-level counters under
     /// ecfrm_store_*, and request-scoped read-path spans (plan ->
-    /// per-disk batch -> decode -> assemble) on `tracer`. Attach before
-    /// serving traffic; detached paths cost a null check.
+    /// per-disk batch -> decode -> assemble) on `tracer`. Race-free
+    /// against in-flight operations: sinks are published as atomically
+    /// swapped bundles, so attaching mid-traffic is safe; detached paths
+    /// cost an atomic load and a null check.
     void attach_observability(obs::MetricRegistry* metrics, obs::Tracer* tracer = nullptr);
 
     /// Scrub pass: audit every group's parity equations and repair
@@ -163,38 +159,55 @@ class StripeStore {
     Result<ScrubReport> scrub();
 
   private:
-    struct FetchOutcome;  // one fetch round's result (stripe_store.cpp)
+    /// Store-level observability sinks, bundled so attach_observability
+    /// can swap them atomically under live traffic (the executor and the
+    /// devices hold their own bundles).
+    struct StoreObs {
+        obs::Tracer* tracer = nullptr;
+        obs::Counter* reads_total = nullptr;
+        obs::Counter* degraded_reads_total = nullptr;
+        obs::Counter* read_elements_total = nullptr;
+        obs::Histogram* read_fanout = nullptr;
+        obs::Histogram* read_max_load = nullptr;
+    };
 
+    const StoreObs& store_obs() const { return *obs_.load(std::memory_order_acquire); }
+    static const StoreObs* empty_obs() {
+        static const StoreObs none;
+        return &none;
+    }
+
+    void bind_executor();
+
+    Status restore_locked(std::vector<Extent> extents, StripeId stripes);
     Status encode_stripe(StripeId stripe, ConstByteSpan stripe_data);
     Status encode_group(StripeId stripe, int group, ConstByteSpan stripe_data);
     Status commit_stripe(ConstByteSpan stripe_data, std::int64_t user_bytes);
+    Status read_elements_locked(ElementId start, std::int64_t count, ByteSpan out);
     Status execute_read(ElementId start, std::int64_t count, ByteSpan out,
                         std::vector<DiskId> excluded);
-
-    /// Device read with per-op timeout detection and bounded retries on
-    /// transient errors. On timeout the payload is discarded and
-    /// Error::timeout is returned (the caller routes around the device).
-    Status device_read(DiskId disk, RowId row, ByteSpan out);
-    /// Device write with bounded retries on transient errors (a retry
-    /// rewrites the full payload, healing torn writes).
-    Status device_write(DiskId disk, RowId row, ConstByteSpan data);
+    std::vector<DiskId> failed_disks_locked() const;
+    std::int64_t committed_bytes_locked() const {
+        return extents_.empty() ? 0 : extents_.back().logical_start + extents_.back().bytes;
+    }
+    std::int64_t stored_data_elements_locked() const {
+        return stripes_ * scheme_.layout().data_per_stripe();
+    }
 
     core::Scheme scheme_;
     std::int64_t element_bytes_;
     ThreadPool* pool_;
-    RecoveryOptions recovery_;
+    exec::PlanExecutor executor_;
 
-    obs::Tracer* tracer_ = nullptr;
-    obs::Counter* reads_total_ = nullptr;
-    obs::Counter* degraded_reads_total_ = nullptr;
-    obs::Counter* read_elements_total_ = nullptr;
-    obs::Counter* decodes_total_ = nullptr;
-    obs::Counter* retries_total_ = nullptr;
-    obs::Counter* timeouts_total_ = nullptr;
-    obs::Counter* replans_total_ = nullptr;
-    obs::Counter* hedged_reads_total_ = nullptr;
-    obs::Histogram* read_fanout_ = nullptr;
-    obs::Histogram* read_max_load_ = nullptr;
+    std::atomic<const StoreObs*> obs_{empty_obs()};
+    std::mutex obs_mu_;  // guards retired_obs_
+    std::vector<std::unique_ptr<const StoreObs>> retired_obs_;
+
+    /// Readers (read_bytes/read_elements and the const accessors) hold
+    /// this shared; every mutator holds it exclusive. Device objects have
+    /// their own internal locking, so holding the shared lock across
+    /// device I/O is safe and keeps plans consistent with extents.
+    mutable std::shared_mutex mu_;
 
     std::vector<std::unique_ptr<BlockDevice>> disks_;
     std::vector<std::uint8_t> pending_;  // buffered tail, < one stripe of data

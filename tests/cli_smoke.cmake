@@ -95,7 +95,7 @@ execute_process(COMMAND ${CLI} explain lrc:6,2,2 ecfrm 0 3 --failed 2
 if(NOT rc_ex EQUAL 0)
   message(FATAL_ERROR "explain failed (${rc_ex}): ${explain_err}")
 endif()
-foreach(want "ecfrm.explain.v1" "per_disk_load" "max_load" "fan_out" "decodes")
+foreach(want "ecfrm.explain.v1" "per_disk_load" "max_load" "fan_out" "batches" "decodes")
   if(NOT EXPLAIN MATCHES "${want}")
     message(FATAL_ERROR "explain output missing '${want}':\n${EXPLAIN}")
   endif()
@@ -113,6 +113,37 @@ foreach(want "ecfrm.simd.v1" "\"features\"" "\"active_tier\"" "\"tiers\""
         "\"tier\":\"scalar\",\"supported\":true" "addmul_gbps" "encode_gbps" "addmul16_gbps")
   if(NOT SIMD MATCHES "${want}")
     message(FATAL_ERROR "simd output missing '${want}':\n${SIMD}")
+  endif()
+endforeach()
+
+# Concurrent-read server bench: schema-tagged JSON, every read verified
+# byte-exactly against the deterministic fill pattern, in both the healthy
+# and the degraded (one disk down) configurations.
+execute_process(COMMAND ${CLI} serve-bench rs:6,3 ecfrm
+                        --threads 4 --requests 8 --seed 3 --out ${WORK}/servebench.json
+                RESULT_VARIABLE rc_sb OUTPUT_VARIABLE sb_table ERROR_VARIABLE sb_err)
+if(NOT rc_sb EQUAL 0)
+  message(FATAL_ERROR "serve-bench failed (${rc_sb}): ${sb_err}")
+endif()
+file(READ ${WORK}/servebench.json SB)
+foreach(want "ecfrm.servebench.v1" "\"threads\":4" "\"requests_ok\":32" "\"io_failures\":0"
+        "throughput_mb_s" "p50_us" "p99_us" "\"verified\":true")
+  if(NOT SB MATCHES "${want}")
+    message(FATAL_ERROR "serve-bench output missing '${want}':\n${SB}")
+  endif()
+endforeach()
+
+execute_process(COMMAND ${CLI} serve-bench lrc:6,2,2 standard
+                        --threads 4 --requests 8 --degraded --seed 3
+                        --out ${WORK}/servebench_degraded.json
+                RESULT_VARIABLE rc_sbd OUTPUT_VARIABLE sbd_table ERROR_VARIABLE sbd_err)
+if(NOT rc_sbd EQUAL 0)
+  message(FATAL_ERROR "degraded serve-bench failed (${rc_sbd}): ${sbd_err}")
+endif()
+file(READ ${WORK}/servebench_degraded.json SBD)
+foreach(want "ecfrm.servebench.v1" "\"degraded\":true" "\"io_failures\":0" "\"verified\":true")
+  if(NOT SBD MATCHES "${want}")
+    message(FATAL_ERROR "degraded serve-bench output missing '${want}':\n${SBD}")
   endif()
 endforeach()
 

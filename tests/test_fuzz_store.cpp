@@ -11,10 +11,12 @@
 // printed seed alone: it determines the op stream AND the fault schedule.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "codes/factory.h"
@@ -205,6 +207,115 @@ std::vector<FuzzParam> faulty_params() {
 }
 
 INSTANTIATE_TEST_SUITE_P(FaultyStreams, FuzzStoreTest, ::testing::ValuesIn(faulty_params()));
+
+/// Multi-threaded faulty differential variant: the committed prefix is
+/// frozen, then 8 reader threads issue random verified reads while a
+/// chaos thread cycles disks through fail/reconstruct — all under the
+/// same probabilistic torn-write/transient fault plan as the serial
+/// campaign. Every read must come back byte-identical to the reference
+/// model regardless of interleaving. (The fault schedule depends on the
+/// thread interleaving, so this variant checks correctness under any
+/// schedule rather than replaying one.)
+void run_concurrent_fuzz(const char* spec, LayoutKind kind, std::uint64_t seed) {
+    auto code = codes::make_code(spec);
+    ASSERT_TRUE(code.ok());
+    ASSERT_GE(code.value()->fault_tolerance(), 2) << "chaos thread needs 2 spare failures";
+
+    const std::int64_t elem = 32;
+    const FaultPlan plan = fuzz_fault_plan(seed);
+    SCOPED_TRACE("replay: seed=" + std::to_string(seed) + " fault_plan=" + plan.to_json());
+    auto opened = StripeStore::open(core::Scheme(code.value(), kind), elem,
+                                    faulty_memory_factory(elem, plan));
+    ASSERT_TRUE(opened.ok()) << opened.error().message;
+    auto store = std::move(opened).take();
+    RecoveryOptions recovery;
+    recovery.max_retries = 3;
+    recovery.batch_elements = 2;
+    store->set_recovery(recovery);
+
+    // Freeze a multi-extent committed prefix for the readers to verify.
+    std::vector<std::uint8_t> reference;
+    Rng rng(seed);
+    for (int run = 0; run < 3; ++run) {
+        const std::size_t size = 1 + rng.next_below(40 * static_cast<std::uint64_t>(elem));
+        std::vector<std::uint8_t> chunk(size);
+        for (auto& b : chunk) b = static_cast<std::uint8_t>(rng.next_below(256));
+        ASSERT_TRUE(store->append(ConstByteSpan(chunk.data(), chunk.size())).ok());
+        ASSERT_TRUE(store->flush().ok());
+        reference.insert(reference.end(), chunk.begin(), chunk.end());
+    }
+    const auto committed = static_cast<std::int64_t>(reference.size());
+    ASSERT_EQ(store->committed_bytes(), committed);
+
+    // One disk stays down so part of the run is degraded even between
+    // chaos cycles; the chaos thread cycles a second one.
+    const auto down = static_cast<DiskId>(rng.next_below(
+        static_cast<std::uint64_t>(store->scheme().disks())));
+    ASSERT_TRUE(store->fail_disk(down).ok());
+    const auto cycled = static_cast<DiskId>(
+        (down + 1) % static_cast<DiskId>(store->scheme().disks()));
+
+    std::atomic<int> mismatches{0};
+    std::atomic<int> read_errors{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 8; ++t) {
+        readers.emplace_back([&, t] {
+            Rng thread_rng(seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(t + 1)));
+            for (int r = 0; r < 25; ++r) {
+                const std::int64_t offset = static_cast<std::int64_t>(
+                    thread_rng.next_below(static_cast<std::uint64_t>(committed)));
+                const std::int64_t length = 1 + static_cast<std::int64_t>(thread_rng.next_below(
+                    static_cast<std::uint64_t>(committed - offset)));
+                auto out = store->read_bytes(offset, length);
+                if (!out.ok()) {
+                    read_errors.fetch_add(1);
+                    continue;
+                }
+                if (std::memcmp(out->data(), reference.data() + offset,
+                                static_cast<std::size_t>(length)) != 0) {
+                    mismatches.fetch_add(1);
+                }
+            }
+        });
+    }
+    std::thread chaos([&] {
+        for (int cycle = 0; cycle < 3; ++cycle) {
+            ASSERT_TRUE(store->fail_disk(cycled).ok());
+            auto stats = store->reconstruct_disk(cycled);
+            ASSERT_TRUE(stats.ok()) << stats.error().message;
+        }
+    });
+    for (auto& t : readers) t.join();
+    chaos.join();
+    EXPECT_EQ(read_errors.load(), 0);
+    EXPECT_EQ(mismatches.load(), 0);
+
+    // Heal fully and audit the stream end to end.
+    ASSERT_TRUE(store->reconstruct_disk(down).ok());
+    auto out = store->read_bytes(0, committed);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out.value(), reference);
+}
+
+struct ConcurrentFuzzParam {
+    const char* spec;
+    LayoutKind kind;
+    std::uint64_t seed;
+};
+
+class ConcurrentFuzzStoreTest : public ::testing::TestWithParam<ConcurrentFuzzParam> {};
+
+TEST_P(ConcurrentFuzzStoreTest, ConcurrentReadersMatchReferenceModel) {
+    const auto [spec, kind, seed] = GetParam();
+    run_concurrent_fuzz(spec, kind, seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConcurrentStreams, ConcurrentFuzzStoreTest,
+    ::testing::Values(ConcurrentFuzzParam{"rs:6,3", LayoutKind::ecfrm, 201},
+                      ConcurrentFuzzParam{"rs:6,3", LayoutKind::standard, 202},
+                      ConcurrentFuzzParam{"lrc:6,2,2", LayoutKind::ecfrm, 203},
+                      ConcurrentFuzzParam{"lrc:6,2,2", LayoutKind::rotated, 204}));
 
 // CI replay hook: ECFRM_FUZZ_SEED (decimal) drives one extra faulty run
 // per scheme on the EC-FRM layout. The seed is printed so any failure in a
