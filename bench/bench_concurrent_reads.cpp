@@ -10,7 +10,12 @@
 // Series (per scheme/layout/thread-count):
 //   <spec>/<layout>/t<N>/throughput_mb_s   higher_is_better
 //   <spec>/<layout>/t<N>/read_latency_us   lower_is_better (p99 gated)
+//   <spec>/<layout>/t<N>/phase_<p>_us      info (mean per-request phase time)
+// Request forensics stay attached while the workers run, so the gated
+// latency series price the span-tree bookkeeping and the phase_* series
+// attribute where each request's time went (plan/fetch/decode/assemble).
 // ECFRM_BENCH_TRIALS caps per-thread requests for CI smoke runs.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -26,6 +31,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "core/scheme.h"
+#include "obs/request_trace.h"
 #include "store/stripe_store.h"
 
 namespace ecfrm {
@@ -51,6 +57,10 @@ std::uint8_t pattern_byte(std::int64_t i) {
 struct CaseResult {
     double throughput_mb_s = 0.0;
     SampleSet latencies_us;
+    /// Per-phase totals over every request of the case, microseconds
+    /// (classes merged), plus the request count to normalise them.
+    std::vector<std::pair<std::string, double>> phase_us;
+    std::int64_t phase_requests = 0;
 };
 
 CaseResult run_case(const std::string& spec, layout::LayoutKind kind, int threads,
@@ -84,6 +94,15 @@ CaseResult run_case(const std::string& spec, layout::LayoutKind kind, int thread
         if (!st.flush().ok()) std::abort();
     }
     if (degraded && !st.fail_disk(0).ok()) std::abort();
+
+    // Forensics ride along for the whole timed region: the latency series
+    // below therefore gate the tracing overhead. Latency trigger off and
+    // a tiny exemplar cap keep the capture path out of the picture.
+    obs::ForensicsOptions fopts;
+    fopts.slow_threshold_us = -1.0;
+    fopts.max_exemplars = 8;
+    obs::RequestForensics forensics(fopts);
+    st.attach_observability(nullptr, nullptr, &forensics);
 
     const std::int64_t committed = st.committed_bytes();
     const std::int64_t max_len = kMaxReadElements * kElementBytes;
@@ -130,6 +149,20 @@ CaseResult run_case(const std::string& spec, layout::LayoutKind kind, int thread
     for (const auto& samples : lat) {
         for (double us : samples) result.latencies_us.add(us);
     }
+    for (int c = 0; c < obs::kRequestClasses; ++c) {
+        const auto cls = static_cast<obs::RequestClass>(c);
+        result.phase_requests += forensics.finished_total(cls);
+        for (const auto& [name, us] : forensics.phase_totals(cls)) {
+            auto it = std::find_if(result.phase_us.begin(), result.phase_us.end(),
+                                   [&](const auto& p) { return p.first == name; });
+            if (it == result.phase_us.end()) {
+                result.phase_us.emplace_back(name, us);
+            } else {
+                it->second += us;
+            }
+        }
+    }
+    st.attach_observability(nullptr);
     return result;
 }
 
@@ -168,6 +201,13 @@ int main() {
                                       static_cast<std::int64_t>(result.latencies_us.size()));
                     writer.add_samples(series + "/read_latency_us", "us",
                                        bench::Direction::lower_is_better, result.latencies_us);
+                    for (const auto& [phase, us] : result.phase_us) {
+                        if (result.phase_requests <= 0) break;
+                        writer.add_scalar(series + "/phase_" + phase + "_us", "us",
+                                          bench::Direction::none,
+                                          us / static_cast<double>(result.phase_requests),
+                                          result.phase_requests);
+                    }
                 }
             }
         }

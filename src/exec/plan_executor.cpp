@@ -23,6 +23,20 @@ void backoff(const RecoveryOptions& opts, int attempt) {
     }
 }
 
+/// Backoff with the wait recorded on the request trace (the sleep is the
+/// single biggest self-inflicted latency contributor, so it gets its own
+/// span rather than vanishing into the parent).
+void traced_backoff(const RecoveryOptions& opts, int attempt, DiskId disk, TraceCtx tc) {
+    if (tc.rt == nullptr || opts.backoff_ms <= 0.0) {
+        backoff(opts, attempt);
+        return;
+    }
+    const double t0 = obs::forensic_now_us();
+    backoff(opts, attempt);
+    tc.rt->complete(tc.parent, "backoff.wait", t0, obs::forensic_now_us() - t0,
+                    {{"disk", std::to_string(disk)}, {"attempt", std::to_string(attempt + 1)}});
+}
+
 /// One fetch round's outcome: which disks newly misbehaved and the most
 /// recent typed error, so the replan loop can route around them (or give
 /// up with the right diagnosis).
@@ -35,10 +49,11 @@ struct FetchOutcome {
 }  // namespace
 
 Status PlanExecutor::read_with_policy(DiskId disk, RowId row, ByteSpan out,
-                                      const RecoveryOptions& opts) const {
+                                      const RecoveryOptions& opts, TraceCtx tc) const {
     const ExecutorMetrics& m = metrics();
     const bool timed = opts.op_timeout_ms > 0.0;
     for (int attempt = 0;; ++attempt) {
+        const double trace_t0 = tc.rt != nullptr ? obs::forensic_now_us() : 0.0;
         const auto t0 = timed ? std::chrono::steady_clock::now()
                               : std::chrono::steady_clock::time_point{};
         Status status = devices_[static_cast<std::size_t>(disk)]->read(row, out);
@@ -50,16 +65,39 @@ Status PlanExecutor::read_with_policy(DiskId disk, RowId row, ByteSpan out,
                 // Too slow to trust: discard the payload and route around
                 // the device rather than retrying into the same stall.
                 if (m.timeouts != nullptr) m.timeouts->add(1);
+                if (tc.rt != nullptr) {
+                    tc.rt->count_timeout();
+                    tc.rt->complete(tc.parent, "op.timeout", trace_t0,
+                                    obs::forensic_now_us() - trace_t0,
+                                    {{"disk", std::to_string(disk)},
+                                     {"row", std::to_string(row)},
+                                     {"deadline_ms", std::to_string(opts.op_timeout_ms)}});
+                }
                 return Error::timeout("disk " + std::to_string(disk) + " read exceeded " +
                                       std::to_string(opts.op_timeout_ms) + " ms deadline");
             }
         }
         if (status.ok()) return status;
         if (status.error().code != Error::Code::io_error || attempt >= opts.max_retries) {
+            if (tc.rt != nullptr) {
+                tc.rt->complete(tc.parent, "op.error", trace_t0,
+                                obs::forensic_now_us() - trace_t0,
+                                {{"disk", std::to_string(disk)},
+                                 {"row", std::to_string(row)},
+                                 {"error", status.error().message}});
+            }
             return status;
         }
         if (m.retries != nullptr) m.retries->add(1);
-        backoff(opts, attempt);
+        if (tc.rt != nullptr) {
+            tc.rt->count_retry();
+            tc.rt->complete(tc.parent, "retry", trace_t0, obs::forensic_now_us() - trace_t0,
+                            {{"disk", std::to_string(disk)},
+                             {"row", std::to_string(row)},
+                             {"attempt", std::to_string(attempt + 1)},
+                             {"error", status.error().message}});
+        }
+        traced_backoff(opts, attempt, disk, tc);
     }
 }
 
@@ -83,13 +121,13 @@ Status PlanExecutor::device_write(DiskId disk, RowId row, ConstByteSpan data) co
 
 Status PlanExecutor::submit_queue(DiskId disk, std::span<const RowId> rows,
                                   std::span<const ByteSpan> outs, const RecoveryOptions& opts,
-                                  std::size_t* done) const {
+                                  std::size_t* done, TraceCtx tc) const {
     *done = 0;
     store::BlockDevice& device = *devices_[static_cast<std::size_t>(disk)];
     if (opts.op_timeout_ms > 0.0) {
         // Per-op deadline detection needs per-op timing: issue singly.
         for (std::size_t i = 0; i < rows.size(); ++i) {
-            auto status = read_with_policy(disk, rows[i], outs[i], opts);
+            auto status = read_with_policy(disk, rows[i], outs[i], opts, tc);
             if (!status.ok()) return status;
             *done = i + 1;
         }
@@ -116,7 +154,15 @@ Status PlanExecutor::submit_queue(DiskId disk, std::span<const RowId> rows,
         Status retried = status;
         for (int attempt = 1; attempt <= opts.max_retries; ++attempt) {
             if (m.retries != nullptr) m.retries->add(1);
-            backoff(opts, attempt - 1);
+            if (tc.rt != nullptr) {
+                tc.rt->count_retry();
+                tc.rt->complete(tc.parent, "retry", obs::forensic_now_us(), 0.0,
+                                {{"disk", std::to_string(disk)},
+                                 {"row", std::to_string(rows[j])},
+                                 {"attempt", std::to_string(attempt)},
+                                 {"error", retried.error().message}});
+            }
+            traced_backoff(opts, attempt - 1, disk, tc);
             retried = device.read(rows[j], outs[j]);
             if (retried.ok()) break;
             if (retried.error().code != Error::Code::io_error) return retried;
@@ -159,25 +205,25 @@ bool PlanExecutor::side_decode(const GroupCoord& coord, const std::vector<char>&
 }
 
 Result<PlanExecutor::FetchResult> PlanExecutor::fetch(const Replanner& replan,
-                                                      std::vector<DiskId> excluded) const {
+                                                      std::vector<DiskId> excluded,
+                                                      obs::RequestTrace* rt) const {
     const RecoveryOptions opts = recovery();
     const ExecutorMetrics& m = metrics();
     obs::Tracer* const tracer = this->tracer();
 
-    auto first = replan(excluded);
-    if (!first.ok()) return first.error();
-    std::optional<AccessPlan> plan(std::move(first).take());
-
     // Elements fetched (or hedge-decoded) so far, kept across replan
     // rounds so recovery never re-reads what it already holds.
     ElementMap fetched;
+    std::optional<AccessPlan> plan;
 
     // Issue everything the plan wants that we don't already hold, one
     // submission queue per disk — in parallel across disks when a thread
     // pool is attached (devices serialise internally, so one queue per
     // device is the natural unit, and it is also the granularity the
     // tracer reports: the request finishes when the slowest queue does).
-    auto fetch_round = [&](const AccessPlan& p) -> FetchOutcome {
+    // `fetch_node` is the round's phase span on the request trace;
+    // per-disk batches, retries and hedge decodes hang under it.
+    auto fetch_round = [&](const AccessPlan& p, std::uint32_t fetch_node) -> FetchOutcome {
         FetchOutcome outcome;
         const auto& fetches = p.fetches();
 
@@ -209,6 +255,7 @@ Result<PlanExecutor::FetchResult> PlanExecutor::fetch(const Replanner& replan,
         auto run_queue = [&](std::size_t a) {
             const core::DiskBatch& queue = queues[a];
             const double issue_us = tracer != nullptr ? tracer->now_us() : 0.0;
+            const double rt_issue_us = rt != nullptr ? obs::forensic_now_us() : 0.0;
             std::vector<ByteSpan> outs;
             outs.reserve(queue.fetch_indices.size());
             for (std::size_t i : queue.fetch_indices) {
@@ -217,7 +264,16 @@ Result<PlanExecutor::FetchResult> PlanExecutor::fetch(const Replanner& replan,
             std::size_t done = 0;
             auto status = submit_queue(queue.disk, queue.rows,
                                        std::span<const ByteSpan>(outs.data(), outs.size()), opts,
-                                       &done);
+                                       &done, TraceCtx{rt, fetch_node});
+            if (rt != nullptr) {
+                const std::uint32_t batch_node = rt->complete(
+                    fetch_node, "disk.batch", rt_issue_us, obs::forensic_now_us() - rt_issue_us,
+                    {obs::RequestTrace::IntAttr{"disk", queue.disk},
+                     {"elements", static_cast<std::int64_t>(queue.fetch_indices.size())},
+                     {"done", static_cast<std::int64_t>(done)},
+                     {"bytes", static_cast<std::int64_t>(done) * element_bytes_}});
+                if (!status.ok()) rt->attr(batch_node, "error", status.error().message);
+            }
             {
                 std::lock_guard<std::mutex> lock(state_mu);
                 for (std::size_t j = 0; j < done; ++j) {
@@ -276,6 +332,11 @@ Result<PlanExecutor::FetchResult> PlanExecutor::fetch(const Replanner& replan,
                 }
                 lock.unlock();
                 for (DiskId d : excluded) avoid[static_cast<std::size_t>(d)] = 1;
+                if (rt != nullptr) {
+                    rt->complete(fetch_node, "hedge.trigger", obs::forensic_now_us(), 0.0,
+                                 {{"stragglers", std::to_string(stragglers.size())},
+                                  {"deadline_ms", std::to_string(opts.hedge_ms)}});
+                }
                 for (std::size_t a : stragglers) {
                     for (std::size_t i : queues[a].fetch_indices) {
                         const Key key = key_of(fetches[i].coord);
@@ -284,10 +345,20 @@ Result<PlanExecutor::FetchResult> PlanExecutor::fetch(const Replanner& replan,
                             if (succeeded.count(key) != 0) continue;
                         }
                         if (m.hedged_reads != nullptr) m.hedged_reads->add(1);
+                        if (rt != nullptr) rt->count_hedge();
                         AlignedBuffer target(static_cast<std::size_t>(element_bytes_));
-                        if (side_decode(fetches[i].coord, avoid, target)) {
-                            hedged.emplace(key, std::move(target));
+                        const double hedge_t0 = rt != nullptr ? obs::forensic_now_us() : 0.0;
+                        const bool decoded = side_decode(fetches[i].coord, avoid, target);
+                        if (rt != nullptr) {
+                            rt->complete(fetch_node, "hedge.decode", hedge_t0,
+                                         obs::forensic_now_us() - hedge_t0,
+                                         {{"disk", std::to_string(queues[a].disk)},
+                                          {"stripe", std::to_string(fetches[i].coord.stripe)},
+                                          {"group", std::to_string(fetches[i].coord.group)},
+                                          {"position", std::to_string(fetches[i].coord.position)},
+                                          {"decoded", decoded ? "true" : "false"}});
                         }
+                        if (decoded) hedged.emplace(key, std::move(target));
                     }
                 }
                 lock.lock();
@@ -317,12 +388,49 @@ Result<PlanExecutor::FetchResult> PlanExecutor::fetch(const Replanner& replan,
         return outcome;
     };
 
-    // Replan loop: fetch, and when a disk misbehaves mid-flight, exclude
-    // it and re-plan the remaining elements around it — reusing every
-    // element already in hand.
+    // Replan loop: plan, fetch, and when a disk misbehaves mid-flight,
+    // exclude it and re-plan the remaining elements around it — reusing
+    // every element already in hand. Each round's plan/fetch pair lands
+    // as contiguous phase spans directly under the request root, so the
+    // per-phase durations tile the request end to end.
     std::optional<Error> last_error;
     for (int round = 0;; ++round) {
-        FetchOutcome outcome = fetch_round(*plan);
+        const std::uint32_t plan_node =
+            rt != nullptr ? rt->begin_phase("plan",
+                                            {{"round", round},
+                                             {"excluded", static_cast<std::int64_t>(
+                                                              excluded.size())}})
+                          : 0;
+        auto planned = replan(excluded);
+        if (rt != nullptr) {
+            if (planned.ok()) {
+                rt->end_with(plan_node,
+                             {{"fetches", planned.value().total_fetched()},
+                              {"decodes",
+                               static_cast<std::int64_t>(planned.value().decodes().size())}});
+            } else {
+                rt->attr(plan_node, "error", planned.error().message);
+                rt->end(plan_node);
+            }
+        }
+        if (!planned.ok()) return planned.error();
+        if (round > 0) {
+            if (m.replans != nullptr) m.replans->add(1);
+            if (rt != nullptr) rt->count_replan();
+        }
+        plan.emplace(std::move(planned).take());
+
+        const std::uint32_t fetch_node =
+            rt != nullptr ? rt->begin_phase("fetch", {{"round", round}}) : 0;
+        FetchOutcome outcome = fetch_round(*plan, fetch_node);
+        if (rt != nullptr) {
+            if (!outcome.bad_disks.empty()) {
+                rt->end_with(fetch_node, {{"bad_disks", static_cast<std::int64_t>(
+                                                            outcome.bad_disks.size())}});
+            } else {
+                rt->end(fetch_node);
+            }
+        }
         if (outcome.last_error.has_value()) last_error = outcome.last_error;
         if (outcome.complete) break;
         bool grew = false;
@@ -336,19 +444,17 @@ Result<PlanExecutor::FetchResult> PlanExecutor::fetch(const Replanner& replan,
             if (last_error.has_value()) return *last_error;
             return Error::io("element fetch failed during plan execution");
         }
-        auto next = replan(excluded);
-        if (!next.ok()) return next.error();
-        if (m.replans != nullptr) m.replans->add(1);
-        plan.emplace(std::move(next).take());
     }
 
     return FetchResult{std::move(*plan), std::move(fetched), std::move(excluded)};
 }
 
-Status PlanExecutor::decode(const AccessPlan& plan, ElementMap& elements) const {
+Status PlanExecutor::decode(const AccessPlan& plan, ElementMap& elements, TraceCtx tc) const {
     const ExecutorMetrics& m = metrics();
     if (m.decodes != nullptr) m.decodes->add(static_cast<std::int64_t>(plan.decodes().size()));
+    if (tc.rt != nullptr) tc.rt->add_decodes(static_cast<std::int64_t>(plan.decodes().size()));
     for (const auto& decode : plan.decodes()) {
+        const double decode_t0 = tc.rt != nullptr ? obs::forensic_now_us() : 0.0;
         AlignedBuffer target(static_cast<std::size_t>(element_bytes_));
         std::vector<ByteSpan> buffers(static_cast<std::size_t>(scheme_->code().n()));
         for (const auto& term : decode.repair.terms) {
@@ -362,6 +468,14 @@ Status PlanExecutor::decode(const AccessPlan& plan, ElementMap& elements) const 
         codes::ErasureCode::apply_plan(one, buffers, pool_);
         elements.emplace(Key{decode.stripe, decode.group, decode.repair.target_position},
                          std::move(target));
+        if (tc.rt != nullptr) {
+            tc.rt->complete(tc.parent, "decode.element", decode_t0,
+                            obs::forensic_now_us() - decode_t0,
+                            {obs::RequestTrace::IntAttr{"stripe", decode.stripe},
+                             {"group", decode.group},
+                             {"position", decode.repair.target_position},
+                             {"sources", static_cast<std::int64_t>(decode.repair.terms.size())}});
+        }
     }
     return Status::success();
 }

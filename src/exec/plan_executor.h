@@ -38,6 +38,7 @@
 #include "core/access_plan.h"
 #include "core/scheme.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "obs/trace.h"
 #include "store/block_device.h"
 
@@ -77,6 +78,15 @@ struct ExecutorMetrics {
     obs::Counter* replans = nullptr;
     obs::Counter* hedged_reads = nullptr;
     obs::Counter* decodes = nullptr;
+};
+
+/// Request-trace context threaded down the execution pipeline: the
+/// per-request span tree (null = untraced, every use is a branch) and
+/// the span id to parent recovery detail under. Passed by value — it is
+/// two words.
+struct TraceCtx {
+    obs::RequestTrace* rt = nullptr;
+    std::uint32_t parent = 0;
 };
 
 class PlanExecutor {
@@ -137,11 +147,20 @@ class PlanExecutor {
     /// retry/hedge per policy, and replan around disks that misbehave
     /// mid-flight — reusing every element already in hand. Fails with the
     /// last typed device error when recovery is exhausted.
-    Result<FetchResult> fetch(const Replanner& replan, std::vector<DiskId> excluded) const;
+    ///
+    /// When `rt` is given, the pipeline appends its causal tree to the
+    /// request: contiguous `plan`/`fetch` phase spans per round directly
+    /// under the root (so phase durations tile the request), with
+    /// per-disk batches, retries, backoff waits, timeouts and hedge
+    /// decodes as children of the round's fetch span. Safe across pool
+    /// and hedge threads.
+    Result<FetchResult> fetch(const Replanner& replan, std::vector<DiskId> excluded,
+                              obs::RequestTrace* rt = nullptr) const;
 
     /// Run the plan's decode recipes, materialising each missing element
-    /// into `elements` from sources already present there.
-    Status decode(const core::AccessPlan& plan, ElementMap& elements) const;
+    /// into `elements` from sources already present there. `tc` hangs a
+    /// `decode.element` span per recipe under the caller's span.
+    Status decode(const core::AccessPlan& plan, ElementMap& elements, TraceCtx tc = {}) const;
 
     /// Rebuild one element into `target` from group sources living on
     /// disks not marked in `avoid` (indexed by DiskId), using policy
@@ -167,14 +186,14 @@ class PlanExecutor {
     const ExecutorMetrics& metrics() const { return *metrics_.load(std::memory_order_acquire); }
     obs::Tracer* tracer() const { return tracer_.load(std::memory_order_acquire); }
 
-    Status read_with_policy(DiskId disk, RowId row, ByteSpan out,
-                            const RecoveryOptions& opts) const;
+    Status read_with_policy(DiskId disk, RowId row, ByteSpan out, const RecoveryOptions& opts,
+                            TraceCtx tc = {}) const;
 
     /// Issue one per-disk submission queue: rows/outs already row-sorted,
     /// chunked to opts.batch_elements per read_batch call. `*done` counts
     /// elements that landed (also on failure).
     Status submit_queue(DiskId disk, std::span<const RowId> rows, std::span<const ByteSpan> outs,
-                        const RecoveryOptions& opts, std::size_t* done) const;
+                        const RecoveryOptions& opts, std::size_t* done, TraceCtx tc = {}) const;
 
     /// Hedge path: decode one element directly from alive source disks
     /// into `target`, bypassing the queue machinery. `avoid` marks disks

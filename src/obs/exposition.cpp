@@ -6,7 +6,10 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+
+#include "obs/request_trace.h"
 
 namespace ecfrm::obs {
 
@@ -75,6 +78,19 @@ void Snapshotter::capture(double now_seconds) {
         next.samples.push_back(std::move(s));
     }
     std::lock_guard lk(mu_);
+    if (captures_ > 0 && next.at_seconds <= latest_.at_seconds) {
+        // The clock did not advance past the newest capture (coarse
+        // clock, or a test stepping a simulated clock in place): fold
+        // the fresh totals into the current window instead of rotating,
+        // which would leave previous_ == latest_ in time and destroy the
+        // established rate window (dt == 0 -> no rates at all). Keep the
+        // window's right edge where it was — an earlier timestamp must
+        // not shrink the interval and inflate the rates.
+        next.at_seconds = latest_.at_seconds;
+        latest_ = std::move(next);
+        ++captures_;
+        return;
+    }
     previous_ = std::move(latest_);
     latest_ = std::move(next);
     ++captures_;
@@ -109,8 +125,9 @@ std::int64_t Snapshotter::captures() const {
 
 // ----------------------------------------------------------- ExpositionServer
 
-ExpositionServer::ExpositionServer(MetricRegistry* registry, Snapshotter* snapshotter)
-    : registry_(registry), snapshotter_(snapshotter) {}
+ExpositionServer::ExpositionServer(MetricRegistry* registry, Snapshotter* snapshotter,
+                                   RequestForensics* forensics)
+    : registry_(registry), snapshotter_(snapshotter), forensics_(forensics) {}
 
 ExpositionServer::~ExpositionServer() { stop(); }
 
@@ -283,6 +300,28 @@ std::string ExpositionServer::respond(const std::string& path) {
         }
         body += "]}\n";
         content_type = "application/json";
+    } else if (path == "/slo" && forensics_ != nullptr) {
+        body = forensics_->slo_json();
+        content_type = "application/json";
+    } else if (path == "/slow" && forensics_ != nullptr) {
+        body = forensics_->slow_json();
+        content_type = "application/json";
+    } else if (path == "/slowlog" && forensics_ != nullptr) {
+        body = forensics_->slowlog_ndjson();
+        content_type = "application/x-ndjson";
+    } else if (path.rfind("/requests/", 0) == 0 && forensics_ != nullptr) {
+        const std::string id_text = path.substr(std::string("/requests/").size());
+        char* endp = nullptr;
+        const std::uint64_t id = std::strtoull(id_text.c_str(), &endp, 10);
+        std::shared_ptr<const RequestTrace> trace;
+        if (endp != nullptr && *endp == '\0' && !id_text.empty()) trace = forensics_->find(id);
+        if (trace != nullptr) {
+            body = trace->chrome_json();
+            content_type = "application/json";
+        } else {
+            status = "404 Not Found";
+            body = "request " + id_text + " not captured (or already evicted)\n";
+        }
     } else if (path == "/healthz") {
         body = "ok\n";
     } else if (path == "/quitquitquit") {

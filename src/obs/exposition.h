@@ -11,8 +11,15 @@
 // Routes:
 //   GET /metrics        Prometheus text exposition (to_prometheus)
 //   GET /metrics.json   registry snapshot + snapshotter rates, one document
+//   GET /slo            windowed SLO per request class (ecfrm.slo.v1)
+//   GET /slow           captured slow-request summaries (ecfrm.slow.v1)
+//   GET /slowlog        captured slow requests as NDJSON, full span trees
+//   GET /requests/<id>  one captured request as chrome://tracing JSON
 //   GET /healthz        "ok"
 //   GET /quitquitquit   releases wait_for_quit() — remote shutdown hook
+//
+// The /slo, /slow, /slowlog and /requests routes answer 404 until a
+// RequestForensics is attached.
 #pragma once
 
 #include <atomic>
@@ -27,6 +34,8 @@
 #include "obs/metrics.h"
 
 namespace ecfrm::obs {
+
+class RequestForensics;
 
 /// Per-metric rate between the two most recent captures.
 struct MetricRate {
@@ -63,9 +72,12 @@ class Snapshotter {
     void capture(double now_seconds);
 
     /// Rates computed from the last two captures, in registration order.
-    /// Empty until two captures exist or when no time elapsed between
-    /// them. New metrics (present in the newest capture only) are
-    /// reported as if they started from zero at the previous capture.
+    /// Empty until two time-distinct captures exist. A capture whose
+    /// clock did not advance past the newest one folds into the current
+    /// window (its totals replace the latest sample) rather than
+    /// truncating the window to zero width. New metrics (present in the
+    /// newest capture only) are reported as if they started from zero at
+    /// the previous capture.
     std::vector<MetricRate> rates() const;
 
     /// Captures taken so far.
@@ -102,7 +114,8 @@ class Snapshotter {
 /// counted as ecfrm_obs_http_requests_total{path=...}.
 class ExpositionServer {
   public:
-    explicit ExpositionServer(MetricRegistry* registry, Snapshotter* snapshotter = nullptr);
+    explicit ExpositionServer(MetricRegistry* registry, Snapshotter* snapshotter = nullptr,
+                              RequestForensics* forensics = nullptr);
     ~ExpositionServer();
 
     ExpositionServer(const ExpositionServer&) = delete;
@@ -133,6 +146,7 @@ class ExpositionServer {
 
     MetricRegistry* registry_;
     Snapshotter* snapshotter_;
+    RequestForensics* forensics_;
 
     int listen_fd_ = -1;
     int port_ = 0;

@@ -20,6 +20,7 @@ double Tracer::now_us() const {
 void Tracer::push(TraceEvent event) {
     event.tid = std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffff;
     std::lock_guard lk(mu_);
+    event.seq = total_;
     if (ring_.size() < capacity_) {
         ring_.push_back(std::move(event));
     } else {
@@ -116,6 +117,7 @@ std::string Tracer::to_chrome_json() const {
         out += ",\"ph\":\"";
         out += e.phase;
         out += "\",\"pid\":0,\"tid\":" + std::to_string(e.tid);
+        out += ",\"seq\":" + std::to_string(e.seq);
         out += ",\"ts\":" + format_us(e.ts_us);
         if (e.phase == 'X') out += ",\"dur\":" + format_us(e.dur_us);
         if (e.phase == 'i') out += ",\"s\":\"t\"";

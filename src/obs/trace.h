@@ -28,6 +28,11 @@ struct TraceEvent {
     double ts_us = 0.0;
     double dur_us = 0.0;
     std::uint64_t tid = 0;
+    /// Global append order across all threads (0-based, assigned under
+    /// the ring lock). Spans from hedge/pool threads interleave in the
+    /// ring and can share identical timestamps; (tid, seq) makes them
+    /// orderable and attributable after the fact.
+    std::uint64_t seq = 0;
     std::vector<std::pair<std::string, std::string>> args;
 };
 

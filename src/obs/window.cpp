@@ -1,0 +1,224 @@
+#include "obs/window.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ecfrm::obs {
+
+// ---------------------------------------------------------- WindowedHistogram
+
+WindowedHistogram::WindowedHistogram(double window_seconds, int sub_windows) {
+    const int subs = std::max(1, sub_windows);
+    const double window = window_seconds > 0.0 ? window_seconds : 60.0;
+    sub_seconds_ = window / static_cast<double>(subs);
+    subs_.resize(static_cast<std::size_t>(subs));
+    for (Sub& s : subs_) s.buckets.assign(static_cast<std::size_t>(Histogram::kBuckets), 0);
+}
+
+std::int64_t WindowedHistogram::epoch_of(double now_seconds) const {
+    return static_cast<std::int64_t>(std::floor(now_seconds / sub_seconds_));
+}
+
+void WindowedHistogram::advance(std::int64_t epoch) const {
+    // A slice is live while its epoch is within the last `subs` epochs;
+    // anything older has slid out of the window and resets in place (the
+    // ring slot is about to be reused for a newer epoch anyway).
+    const std::int64_t oldest = epoch - static_cast<std::int64_t>(subs_.size()) + 1;
+    for (Sub& s : subs_) {
+        if (s.epoch >= oldest && s.epoch <= epoch) continue;
+        if (s.epoch == -1) continue;
+        s.epoch = -1;
+        std::fill(s.buckets.begin(), s.buckets.end(), 0u);
+        s.count = 0;
+        s.sum = 0.0;
+        s.min = 0.0;
+        s.max = 0.0;
+    }
+}
+
+void WindowedHistogram::record(double value, double now_seconds) {
+    const std::int64_t epoch = epoch_of(now_seconds);
+    std::lock_guard lk(mu_);
+    advance(epoch);
+    Sub& s = subs_[static_cast<std::size_t>(((epoch % static_cast<std::int64_t>(subs_.size())) +
+                                             static_cast<std::int64_t>(subs_.size())) %
+                                            static_cast<std::int64_t>(subs_.size()))];
+    if (s.epoch != epoch) {
+        // The slot held an expired epoch (cleared above) or is fresh.
+        s.epoch = epoch;
+    }
+    ++s.buckets[static_cast<std::size_t>(Histogram::bucket_index(value))];
+    if (s.count == 0) {
+        s.min = value;
+        s.max = value;
+    } else {
+        s.min = std::min(s.min, value);
+        s.max = std::max(s.max, value);
+    }
+    ++s.count;
+    s.sum += value;
+}
+
+std::int64_t WindowedHistogram::count(double now_seconds) const {
+    const std::int64_t epoch = epoch_of(now_seconds);
+    std::lock_guard lk(mu_);
+    advance(epoch);
+    std::int64_t total = 0;
+    for (const Sub& s : subs_) {
+        if (s.epoch != -1) total += s.count;
+    }
+    return total;
+}
+
+double WindowedHistogram::sum(double now_seconds) const {
+    const std::int64_t epoch = epoch_of(now_seconds);
+    std::lock_guard lk(mu_);
+    advance(epoch);
+    double total = 0.0;
+    for (const Sub& s : subs_) {
+        if (s.epoch != -1) total += s.sum;
+    }
+    return total;
+}
+
+double WindowedHistogram::mean(double now_seconds) const {
+    const std::int64_t epoch = epoch_of(now_seconds);
+    std::lock_guard lk(mu_);
+    advance(epoch);
+    std::int64_t n = 0;
+    double total = 0.0;
+    for (const Sub& s : subs_) {
+        if (s.epoch == -1) continue;
+        n += s.count;
+        total += s.sum;
+    }
+    return n == 0 ? 0.0 : total / static_cast<double>(n);
+}
+
+double WindowedHistogram::percentile(double q, double now_seconds) const {
+    const std::int64_t epoch = epoch_of(now_seconds);
+    std::lock_guard lk(mu_);
+    advance(epoch);
+
+    std::int64_t total = 0;
+    double lo = 0.0;
+    double hi = 0.0;
+    bool any = false;
+    for (const Sub& s : subs_) {
+        if (s.epoch == -1 || s.count == 0) continue;
+        total += s.count;
+        lo = any ? std::min(lo, s.min) : s.min;
+        hi = any ? std::max(hi, s.max) : s.max;
+        any = true;
+    }
+    if (total == 0) return 0.0;
+    const double clamped_q = std::clamp(q, 0.0, 1.0);
+    // Nearest rank over the merged bucket counts, mirroring
+    // Histogram::percentile: midpoint of the target bucket, clamped into
+    // the observed [min, max] so edge quantiles stay exact.
+    const auto rank = static_cast<std::int64_t>(
+        std::ceil(clamped_q * static_cast<double>(total)));
+    const std::int64_t target = std::max<std::int64_t>(1, rank);
+    std::int64_t seen = 0;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+        std::int64_t here = 0;
+        for (const Sub& s : subs_) {
+            if (s.epoch != -1) here += s.buckets[static_cast<std::size_t>(b)];
+        }
+        if (here == 0) continue;
+        seen += here;
+        if (seen >= target) {
+            const double mid = 0.5 * (Histogram::bucket_lower(b) + Histogram::bucket_upper(b));
+            return std::clamp(mid, lo, hi);
+        }
+    }
+    return hi;
+}
+
+// ----------------------------------------------------------------- SloTracker
+
+SloTracker::SloTracker(Options options) : options_(options) {
+    const int subs = std::max(1, options_.sub_windows);
+    const double window = options_.window_seconds > 0.0 ? options_.window_seconds : 60.0;
+    options_.sub_windows = subs;
+    options_.window_seconds = window;
+    sub_seconds_ = window / static_cast<double>(subs);
+    subs_.resize(static_cast<std::size_t>(subs));
+}
+
+std::int64_t SloTracker::epoch_of(double now_seconds) const {
+    return static_cast<std::int64_t>(std::floor(now_seconds / sub_seconds_));
+}
+
+void SloTracker::advance(std::int64_t epoch) const {
+    const std::int64_t oldest = epoch - static_cast<std::int64_t>(subs_.size()) + 1;
+    for (Sub& s : subs_) {
+        if (s.epoch >= oldest && s.epoch <= epoch) continue;
+        s.epoch = -1;
+        s.good = 0;
+        s.bad = 0;
+    }
+}
+
+void SloTracker::record(double latency_us, bool ok, double now_seconds) {
+    const std::int64_t epoch = epoch_of(now_seconds);
+    const bool breach = !ok || latency_us > options_.target_latency_us;
+    std::lock_guard lk(mu_);
+    advance(epoch);
+    Sub& s = subs_[static_cast<std::size_t>(((epoch % static_cast<std::int64_t>(subs_.size())) +
+                                             static_cast<std::int64_t>(subs_.size())) %
+                                            static_cast<std::int64_t>(subs_.size()))];
+    if (s.epoch != epoch) {
+        s.epoch = epoch;
+        s.good = 0;
+        s.bad = 0;
+    }
+    if (breach) {
+        ++s.bad;
+    } else {
+        ++s.good;
+    }
+}
+
+SloTracker::Snapshot SloTracker::snapshot(double now_seconds) const {
+    const std::int64_t epoch = epoch_of(now_seconds);
+    std::lock_guard lk(mu_);
+    advance(epoch);
+
+    Snapshot snap;
+    std::int64_t fast_total = 0;
+    std::int64_t fast_bad = 0;
+    for (const Sub& s : subs_) {
+        if (s.epoch == -1) continue;
+        snap.total += s.good + s.bad;
+        snap.breaches += s.bad;
+        if (s.epoch == epoch) {
+            fast_total = s.good + s.bad;
+            fast_bad = s.bad;
+        }
+    }
+    const double budget = 1.0 - options_.objective;  // allowed bad fraction
+    if (snap.total > 0) {
+        snap.compliance = 1.0 - static_cast<double>(snap.breaches) /
+                                    static_cast<double>(snap.total);
+        if (budget > 0.0) {
+            snap.slow_burn = (static_cast<double>(snap.breaches) /
+                              static_cast<double>(snap.total)) /
+                             budget;
+        } else {
+            snap.slow_burn = snap.breaches > 0 ? 1e9 : 0.0;
+        }
+    }
+    if (fast_total > 0) {
+        if (budget > 0.0) {
+            snap.fast_burn =
+                (static_cast<double>(fast_bad) / static_cast<double>(fast_total)) / budget;
+        } else {
+            snap.fast_burn = fast_bad > 0 ? 1e9 : 0.0;
+        }
+    }
+    snap.budget_remaining = std::max(0.0, 1.0 - snap.slow_burn);
+    return snap;
+}
+
+}  // namespace ecfrm::obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
+#include <string>
 
 #include "common/stats.h"
 
@@ -28,7 +30,8 @@ double ClusterStats::throughput_mb_s() const {
 }
 
 ClusterStats run_cluster(std::vector<ClusterRequest> requests, const DiskModel& model, int disks,
-                         Rng& rng, obs::MetricRegistry* metrics) {
+                         Rng& rng, obs::MetricRegistry* metrics,
+                         obs::RequestForensics* forensics) {
     EventQueue queue;
     // Per-disk FIFO: the time at which the disk becomes free.
     std::vector<double> disk_free(static_cast<std::size_t>(disks), 0.0);
@@ -73,21 +76,51 @@ ClusterStats run_cluster(std::vector<ClusterRequest> requests, const DiskModel& 
         stats.results[i].requested_bytes = requests[i].plan.requested() * model.element_bytes();
     }
 
+    // Per-request forensic traces on the simulated clock. Traces outlive
+    // their arrival event (finish fires from the completion event), so
+    // they live here, parallel to `pending`.
+    std::vector<std::shared_ptr<obs::RequestTrace>> traces;
+    std::vector<std::uint32_t> fetch_nodes;
+    if (forensics != nullptr) {
+        traces.resize(requests.size());
+        fetch_nodes.assign(requests.size(), 0);
+    }
+
     // Arrival events: enqueue each disk batch on its disk. FIFO order is
     // arrival order (EventQueue breaks ties by insertion).
     for (std::size_t i = 0; i < requests.size(); ++i) {
         queue.schedule_at(requests[i].arrival_seconds, [&, i] {
             auto& p = pending[i];
+            obs::RequestTrace* rt = nullptr;
+            std::uint32_t fetch_node = 0;
+            if (forensics != nullptr) {
+                const double arrival_us = queue.now() * 1e6;
+                const bool degraded = !requests[i].plan.decodes().empty();
+                traces[i] = forensics->start_at(
+                    degraded ? obs::RequestClass::degraded : obs::RequestClass::normal, arrival_us);
+                rt = traces[i].get();
+                rt->attr(obs::RequestTrace::kRoot, "batches",
+                         static_cast<std::int64_t>(p.batches.size()));
+                rt->attr(obs::RequestTrace::kRoot, "elements", requests[i].plan.requested());
+                rt->add_decodes(static_cast<std::int64_t>(requests[i].plan.decodes().size()));
+                fetch_node = rt->begin(obs::RequestTrace::kRoot, "fetch", arrival_us);
+                fetch_nodes[i] = fetch_node;
+            }
             if (p.outstanding == 0) {
                 // Degenerate empty plan: completes instantly on arrival.
                 stats.results[i].completion_seconds = queue.now();
                 if (request_latency != nullptr) {
                     request_latency->record(stats.results[i].latency_seconds());
                 }
+                if (rt != nullptr) {
+                    rt->end(fetch_node, queue.now() * 1e6);
+                    forensics->finish_at(traces[i], true, queue.now() * 1e6);
+                }
                 return;
             }
             for (auto& batch : p.batches) {
                 const int d = batch.disk;
+                const std::size_t batch_elements = batch.rows.size();
                 const double start = std::max(queue.now(), disk_free[static_cast<std::size_t>(d)]);
                 const double service = model.service_seconds(std::move(batch.rows), rng);
                 const double done = start + service;
@@ -96,6 +129,19 @@ ClusterStats run_cluster(std::vector<ClusterRequest> requests, const DiskModel& 
                     disk_metrics[static_cast<std::size_t>(d)].service->record(service);
                     disk_metrics[static_cast<std::size_t>(d)].queue_depth->record(
                         disk_outstanding[static_cast<std::size_t>(d)]);
+                }
+                if (rt != nullptr) {
+                    // Queue wait shows up as its own span so a trace makes
+                    // the FIFO delay visible, not just the service time.
+                    if (start > queue.now()) {
+                        rt->complete(fetch_node, "queue.wait", queue.now() * 1e6,
+                                     (start - queue.now()) * 1e6, {{"disk", std::to_string(d)}});
+                    }
+                    rt->complete(
+                        fetch_node, "disk.batch", start * 1e6, service * 1e6,
+                        {{"disk", std::to_string(d)},
+                         {"elements", std::to_string(batch_elements)},
+                         {"depth", std::to_string(disk_outstanding[static_cast<std::size_t>(d)])}});
                 }
                 ++disk_outstanding[static_cast<std::size_t>(d)];
                 queue.schedule_at(done, [&, i, d] {
@@ -106,6 +152,10 @@ ClusterStats run_cluster(std::vector<ClusterRequest> requests, const DiskModel& 
                         stats.results[i].completion_seconds = queue.now();
                         if (request_latency != nullptr) {
                             request_latency->record(stats.results[i].latency_seconds());
+                        }
+                        if (forensics != nullptr && traces[i] != nullptr) {
+                            traces[i]->end(fetch_nodes[i], queue.now() * 1e6);
+                            forensics->finish_at(traces[i], true, queue.now() * 1e6);
                         }
                     }
                 });

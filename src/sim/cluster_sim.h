@@ -13,6 +13,7 @@
 #include "common/rng.h"
 #include "core/access_plan.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "sim/disk_model.h"
 #include "sim/event_queue.h"
 
@@ -48,7 +49,14 @@ struct ClusterStats {
 /// it found on arrival (batches already queued or in service) into
 /// ecfrm_sim_disk_queue_depth{disk=i}; whole-request latency goes to
 /// ecfrm_sim_request_latency_seconds — all on the simulated clock.
+///
+/// With a `forensics` attached, every simulated request also records a
+/// span tree on the simulated clock (root -> fetch phase -> per-disk
+/// batch and queue-wait spans) and feeds the per-class SLO windows —
+/// plans that decode count as degraded — so tail forensics work the same
+/// against the simulator as against a real store.
 ClusterStats run_cluster(std::vector<ClusterRequest> requests, const DiskModel& model, int disks,
-                         Rng& rng, obs::MetricRegistry* metrics = nullptr);
+                         Rng& rng, obs::MetricRegistry* metrics = nullptr,
+                         obs::RequestForensics* forensics = nullptr);
 
 }  // namespace ecfrm::sim

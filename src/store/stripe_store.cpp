@@ -49,10 +49,12 @@ void StripeStore::bind_executor() {
     executor_.bind(std::move(devices));
 }
 
-void StripeStore::attach_observability(obs::MetricRegistry* metrics, obs::Tracer* tracer) {
+void StripeStore::attach_observability(obs::MetricRegistry* metrics, obs::Tracer* tracer,
+                                       obs::RequestForensics* forensics) {
     StoreObs fresh;
     exec::ExecutorMetrics exec_metrics;
     fresh.tracer = tracer;
+    fresh.forensics = forensics;
     if (metrics == nullptr) {
         for (auto& disk : disks_) disk->attach_io_stats({});
     } else {
@@ -365,6 +367,38 @@ Status StripeStore::execute_read(ElementId start, std::int64_t count, ByteSpan o
                                  std::vector<DiskId> excluded) {
     const StoreObs& o = store_obs();
 
+    // Request forensics: give the read a traced identity. The executor
+    // appends contiguous plan/fetch phase spans per round; decode and
+    // assemble are added below, so the root's direct children tile the
+    // request end to end and phase attribution sums to its latency.
+    std::shared_ptr<obs::RequestTrace> rt;
+    if (o.forensics != nullptr) {
+        rt = o.forensics->start(excluded.empty() ? obs::RequestClass::normal
+                                                 : obs::RequestClass::degraded);
+        rt->attr_all(obs::RequestTrace::kRoot, {{"start", start}, {"count", count}});
+        if (!excluded.empty()) {
+            rt->attr(obs::RequestTrace::kRoot, "excluded",
+                     static_cast<std::int64_t>(excluded.size()));
+        }
+    }
+    auto status = execute_read_traced(start, count, out, std::move(excluded), rt.get());
+    if (rt != nullptr) {
+        if (!status.ok()) rt->attr(obs::RequestTrace::kRoot, "error", status.error().message);
+        if (status.ok()) {
+            // Close the root on the last phase's boundary so the phase
+            // durations sum exactly to the request's end-to-end latency.
+            o.forensics->finish_at(rt, true, rt->phase_cursor_us());
+        } else {
+            o.forensics->finish(rt, false);
+        }
+    }
+    return status;
+}
+
+Status StripeStore::execute_read_traced(ElementId start, std::int64_t count, ByteSpan out,
+                                        std::vector<DiskId> excluded, obs::RequestTrace* rt) {
+    const StoreObs& o = store_obs();
+
     // Plan against the current exclusion set; a pattern the code cannot
     // decode is the read path's terminal "beyond tolerance" diagnosis.
     // Load-shape histograms and the plan span describe the intended plan
@@ -402,26 +436,47 @@ Status StripeStore::execute_read(ElementId start, std::int64_t count, ByteSpan o
         return planned;
     };
 
-    auto fetched = executor_.fetch(replanner, std::move(excluded));
+    auto fetched = executor_.fetch(replanner, std::move(excluded), rt);
     if (!fetched.ok()) return fetched.error();
     exec::PlanExecutor::FetchResult& result = fetched.value();
 
-    // Run the decode recipes to materialise failed elements.
+    // A read that grew its exclusion set mid-flight (or started with
+    // one) is a degraded read, whatever class it started as.
+    if (rt != nullptr && (!result.excluded.empty() || rt->replans() > 0)) {
+        rt->set_class(obs::RequestClass::degraded);
+    }
+
+    // Run the decode recipes to materialise failed elements. Phase spans
+    // (decode, assemble) chain off the previous phase's end via
+    // begin_phase, so attribution tiles the request even when the thread
+    // is preempted between two spans.
     {
         obs::Span decode_span(o.tracer, "store.decode", "store");
         decode_span.arg("decodes", static_cast<std::int64_t>(result.plan.decodes().size()));
-        auto status = executor_.decode(result.plan, result.elements);
+        const std::uint32_t decode_node = rt != nullptr ? rt->begin_phase("decode") : 0;
+        auto status = executor_.decode(result.plan, result.elements, {rt, decode_node});
+        if (rt != nullptr) {
+            rt->end_with(decode_node,
+                         {{"decodes", static_cast<std::int64_t>(result.plan.decodes().size())}});
+        }
         if (!status.ok()) return status;
     }
 
     // Assemble the user range in logical order.
     obs::Span assemble_span(o.tracer, "store.assemble", "store");
+    const std::uint32_t assemble_node = rt != nullptr ? rt->begin_phase("assemble") : 0;
     for (std::int64_t i = 0; i < count; ++i) {
         const GroupCoord coord = scheme_.layout().coord_of_data(start + i);
         auto it = result.elements.find(exec::PlanExecutor::key_of(coord));
-        if (it == result.elements.end()) return Error::internal("requested element missing after decode");
+        if (it == result.elements.end()) {
+            if (rt != nullptr) rt->end(assemble_node);
+            return Error::internal("requested element missing after decode");
+        }
         std::memcpy(out.data() + static_cast<std::size_t>(i * element_bytes_), it->second.data(),
                     static_cast<std::size_t>(element_bytes_));
+    }
+    if (rt != nullptr) {
+        rt->end_with(assemble_node, {{"elements", count}});
     }
     return Status::success();
 }
@@ -534,6 +589,36 @@ bool group_consistent(const codes::ErasureCode& code, const std::vector<AlignedB
 Result<ScrubReport> StripeStore::scrub() {
     std::unique_lock lk(mu_);
     if (!failed_disks_locked().empty()) return Error::disk_failed("scrub requires all disks online");
+
+    // A scrub pass is one scrub-class request: the whole scan is its
+    // single phase, with a span per inconsistent group under it.
+    const StoreObs& o = store_obs();
+    std::shared_ptr<obs::RequestTrace> rt;
+    std::uint32_t scan_node = 0;
+    if (o.forensics != nullptr) {
+        rt = o.forensics->start(obs::RequestClass::scrub);
+        scan_node = rt->begin_phase("scan");
+    }
+    auto result = scrub_locked(rt.get(), scan_node);
+    if (rt != nullptr) {
+        if (result.ok()) {
+            rt->attr(scan_node, "groups", result.value().groups_scanned);
+            rt->attr(scan_node, "inconsistent", result.value().groups_inconsistent);
+            rt->attr(scan_node, "repaired", result.value().elements_repaired);
+        } else {
+            rt->attr(obs::RequestTrace::kRoot, "error", result.error().message);
+        }
+        rt->end(scan_node);
+        if (result.ok()) {
+            o.forensics->finish_at(rt, true, rt->phase_cursor_us());
+        } else {
+            o.forensics->finish(rt, false);
+        }
+    }
+    return result;
+}
+
+Result<ScrubReport> StripeStore::scrub_locked(obs::RequestTrace* rt, std::uint32_t scan_node) {
     const auto& code = scheme_.code();
     ScrubReport report;
 
@@ -552,6 +637,7 @@ Result<ScrubReport> StripeStore::scrub() {
             if (!status.ok()) return status.error();
             if (group_consistent(code, bufs, element_bytes_)) continue;
             ++report.groups_inconsistent;
+            const double repair_t0 = rt != nullptr ? obs::forensic_now_us() : 0.0;
 
             // Hypothesis test: rebuild each position from the other n-1
             // and accept the unique hypothesis that restores consistency.
@@ -584,6 +670,13 @@ Result<ScrubReport> StripeStore::scrub() {
                 repaired = true;
             }
             if (!repaired) ++report.unrecoverable_groups;
+            if (rt != nullptr) {
+                rt->complete(scan_node, "scrub.repair", repair_t0,
+                             obs::forensic_now_us() - repair_t0,
+                             {{"stripe", std::to_string(s)},
+                              {"group", std::to_string(g)},
+                              {"repaired", repaired ? "true" : "false"}});
+            }
         }
     }
     return report;

@@ -29,6 +29,7 @@
 #include "core/scheme.h"
 #include "exec/plan_executor.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "obs/trace.h"
 #include "store/block_device.h"
 #include "store/disk.h"
@@ -144,11 +145,15 @@ class StripeStore {
     /// Attach (or detach, with nulls) observability: per-disk I/O
     /// accounting under ecfrm_disk_*{disk=i}, store-level counters under
     /// ecfrm_store_*, and request-scoped read-path spans (plan ->
-    /// per-disk batch -> decode -> assemble) on `tracer`. Race-free
-    /// against in-flight operations: sinks are published as atomically
-    /// swapped bundles, so attaching mid-traffic is safe; detached paths
-    /// cost an atomic load and a null check.
-    void attach_observability(obs::MetricRegistry* metrics, obs::Tracer* tracer = nullptr);
+    /// per-disk batch -> decode -> assemble) on `tracer`. With a
+    /// `forensics`, every read (and scrub pass) additionally gets a
+    /// per-request causal span tree, feeds the per-class SLO windows,
+    /// and is captured when slow or recovery-active. Race-free against
+    /// in-flight operations: sinks are published as atomically swapped
+    /// bundles, so attaching mid-traffic is safe; detached paths cost an
+    /// atomic load and a null check.
+    void attach_observability(obs::MetricRegistry* metrics, obs::Tracer* tracer = nullptr,
+                              obs::RequestForensics* forensics = nullptr);
 
     /// Scrub pass: audit every group's parity equations and repair
     /// single-element silent corruptions. A corrupt element is identified
@@ -164,6 +169,7 @@ class StripeStore {
     /// devices hold their own bundles).
     struct StoreObs {
         obs::Tracer* tracer = nullptr;
+        obs::RequestForensics* forensics = nullptr;
         obs::Counter* reads_total = nullptr;
         obs::Counter* degraded_reads_total = nullptr;
         obs::Counter* read_elements_total = nullptr;
@@ -186,6 +192,9 @@ class StripeStore {
     Status read_elements_locked(ElementId start, std::int64_t count, ByteSpan out);
     Status execute_read(ElementId start, std::int64_t count, ByteSpan out,
                         std::vector<DiskId> excluded);
+    Status execute_read_traced(ElementId start, std::int64_t count, ByteSpan out,
+                               std::vector<DiskId> excluded, obs::RequestTrace* rt);
+    Result<ScrubReport> scrub_locked(obs::RequestTrace* rt, std::uint32_t scan_node);
     std::vector<DiskId> failed_disks_locked() const;
     std::int64_t committed_bytes_locked() const {
         return extents_.empty() ? 0 : extents_.back().logical_start + extents_.back().bytes;

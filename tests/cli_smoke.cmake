@@ -147,5 +147,76 @@ foreach(want "ecfrm.servebench.v1" "\"degraded\":true" "\"io_failures\":0" "\"ve
   endif()
 endforeach()
 
+# Tail forensics over HTTP: boot a held server on a read, fetch /slo and
+# /slow while it holds, and release it via /quitquitquit. The server picks
+# an ephemeral port and announces it on stdout.
+execute_process(COMMAND bash -c "${CLI} get ${ARCH} 0 1000 ${WORK}/served.bin --serve 0 --serve-hold 30 > ${WORK}/serve.log 2>&1 &"
+                RESULT_VARIABLE rc_bg)
+if(NOT rc_bg EQUAL 0)
+  message(FATAL_ERROR "could not launch held server")
+endif()
+
+set(PORT "")
+foreach(attempt RANGE 100)
+  if(EXISTS ${WORK}/serve.log)
+    file(READ ${WORK}/serve.log SERVE_LOG)
+    if(SERVE_LOG MATCHES "http://127\\.0\\.0\\.1:([0-9]+)/metrics" )
+      set(PORT ${CMAKE_MATCH_1})
+      if(SERVE_LOG MATCHES "holding for")
+        break()
+      endif()
+    endif()
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+endforeach()
+if(PORT STREQUAL "")
+  file(READ ${WORK}/serve.log SERVE_LOG)
+  message(FATAL_ERROR "held server never announced its port:\n${SERVE_LOG}")
+endif()
+
+file(DOWNLOAD http://127.0.0.1:${PORT}/slo ${WORK}/slo.json TIMEOUT 10 STATUS slo_status)
+list(GET slo_status 0 slo_rc)
+if(NOT slo_rc EQUAL 0)
+  message(FATAL_ERROR "GET /slo failed: ${slo_status}")
+endif()
+check_balanced(${WORK}/slo.json "{" "}")
+file(READ ${WORK}/slo.json SLO)
+foreach(want "ecfrm.slo.v1" "\"classes\"" "\"class\":\"normal\"" "\"p99_us\"" "\"fast_burn\""
+        "\"slow_burn\"" "\"budget_remaining\"")
+  if(NOT SLO MATCHES "${want}")
+    message(FATAL_ERROR "/slo output missing '${want}':\n${SLO}")
+  endif()
+endforeach()
+
+file(DOWNLOAD http://127.0.0.1:${PORT}/slow ${WORK}/slow.json TIMEOUT 10 STATUS slow_status)
+list(GET slow_status 0 slow_rc)
+if(NOT slow_rc EQUAL 0)
+  message(FATAL_ERROR "GET /slow failed: ${slow_status}")
+endif()
+check_balanced(${WORK}/slow.json "{" "}")
+file(READ ${WORK}/slow.json SLOW)
+if(NOT SLOW MATCHES "ecfrm.slow.v1")
+  message(FATAL_ERROR "/slow output missing schema tag:\n${SLOW}")
+endif()
+
+file(DOWNLOAD http://127.0.0.1:${PORT}/quitquitquit ${WORK}/quit.txt TIMEOUT 10)
+
+# Slow-request forensics offline: the slowlog subcommand replays a seeded
+# workload and dumps every request's span tree as NDJSON plus the slowest
+# one as a standalone chrome://tracing document.
+run(${CLI} slowlog ${ARCH} --requests 16 --seed 5
+    --out ${WORK}/slow.ndjson --chrome-out ${WORK}/slowreq.json)
+file(READ ${WORK}/slow.ndjson SLOWLOG)
+foreach(want "\"tree\"" "\"phase_us\"" "\"class\"")
+  if(NOT SLOWLOG MATCHES "${want}")
+    message(FATAL_ERROR "slowlog NDJSON missing '${want}':\n${SLOWLOG}")
+  endif()
+endforeach()
+check_balanced(${WORK}/slowreq.json "\\[" "\\]")
+file(READ ${WORK}/slowreq.json SLOWREQ)
+if(NOT SLOWREQ MATCHES "\"ph\":\"X\"")
+  message(FATAL_ERROR "slowlog chrome export has no complete events:\n${SLOWREQ}")
+endif()
+
 file(REMOVE_RECURSE ${WORK})
 message(STATUS "cli smoke test passed")

@@ -21,21 +21,24 @@ endif()
 
 file(READ ${WORK}/faultcamp.json ARTIFACT)
 foreach(want "ecfrm.faultcamp.v1" "ecfrm.faultplan.v1" "\"pass\":true" "beyond_tolerance"
-        "straggler_hedge" "\"counters\"" "\"cell_seed\"")
+        "straggler_hedge" "\"counters\"" "\"cell_seed\"" "\"phase_us\"" "\"captured\"")
   if(NOT ARTIFACT MATCHES "${want}")
     message(FATAL_ERROR "faultcamp artifact missing '${want}'")
   endif()
 endforeach()
 
-# Determinism: the same seed must reproduce the artifact byte for byte.
+# Determinism: the same seed must reproduce the artifact byte for byte —
+# except the per-cell phase attribution, which is measured in real
+# wall-clock microseconds and varies run to run by design.
 execute_process(COMMAND ${CLI} faultcamp --seed 20260805 --out ${WORK}/faultcamp2.json
                 RESULT_VARIABLE rc2 OUTPUT_QUIET ERROR_QUIET)
 if(NOT rc2 EQUAL 0)
   message(FATAL_ERROR "faultcamp replay failed (${rc2})")
 endif()
-execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
-                ${WORK}/faultcamp.json ${WORK}/faultcamp2.json RESULT_VARIABLE cmp)
-if(NOT cmp EQUAL 0)
+file(READ ${WORK}/faultcamp2.json ARTIFACT2)
+string(REGEX REPLACE "\"phase_us\":{[^}]*}" "\"phase_us\":{}" STABLE1 "${ARTIFACT}")
+string(REGEX REPLACE "\"phase_us\":{[^}]*}" "\"phase_us\":{}" STABLE2 "${ARTIFACT2}")
+if(NOT STABLE1 STREQUAL STABLE2)
   message(FATAL_ERROR "faultcamp artifact is not deterministic for a fixed seed")
 endif()
 

@@ -17,6 +17,7 @@
 #include "obs/exposition.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 
 namespace ecfrm::obs {
 namespace {
@@ -143,6 +144,38 @@ TEST(Snapshotter, NewMetricsRateFromZero) {
     EXPECT_DOUBLE_EQ(rates[0].per_second, 1.0);
 }
 
+TEST(Snapshotter, NonAdvancingCaptureFoldsIntoCurrentWindow) {
+    // A capture whose clock did not move past the newest one (coarse
+    // clocks, clock steps) must fold into the current window — replacing
+    // the latest totals over the same interval — instead of collapsing
+    // the window to zero width and blowing up or zeroing the rates.
+    MetricRegistry reg("t");
+    Counter& c = reg.counter("ops_total");
+    Snapshotter snap(&reg);
+    c.add(10);
+    snap.capture(0.0);
+    c.add(20);
+    snap.capture(2.0);
+    ASSERT_EQ(snap.rates().size(), 1u);
+    EXPECT_DOUBLE_EQ(snap.rates()[0].per_second, 10.0);  // 20 over [0, 2]
+
+    c.add(20);
+    snap.capture(2.0);  // same timestamp: fold, keep the [0, 2] window
+    ASSERT_EQ(snap.rates().size(), 1u);
+    EXPECT_DOUBLE_EQ(snap.rates()[0].per_second, 20.0);  // 40 over [0, 2]
+
+    c.add(4);
+    snap.capture(1.5);  // clock stepped backwards: same treatment
+    ASSERT_EQ(snap.rates().size(), 1u);
+    EXPECT_DOUBLE_EQ(snap.rates()[0].per_second, 22.0);  // 44 over [0, 2]
+
+    // Once the clock advances again the window moves on normally.
+    c.add(8);
+    snap.capture(4.0);
+    ASSERT_EQ(snap.rates().size(), 1u);
+    EXPECT_DOUBLE_EQ(snap.rates()[0].per_second, 4.0);  // 8 over [2, 4]
+}
+
 // ------------------------------------------------------------- HTTP scrape
 
 /// Minimal test client: one GET, read until close, return the full
@@ -227,6 +260,67 @@ TEST(ExpositionServer, ServesAllRoutesInProcess) {
     EXPECT_TRUE(server.wait_for_quit(5.0));
     server.stop();
     EXPECT_FALSE(server.running());
+}
+
+TEST(ExpositionServer, ServesForensicsRoutes) {
+    MetricRegistry reg("f");
+    ForensicsOptions opts;
+    opts.slow_threshold_us = 1000.0;
+    RequestForensics forensics(opts);
+    auto fast = forensics.start_at(RequestClass::normal, 0.0);
+    forensics.finish_at(fast, true, 300.0);
+    auto slow = forensics.start_at(RequestClass::degraded, 0.0);
+    slow->count_replan();
+    forensics.finish_at(slow, true, 4000.0);
+
+    ExpositionServer server(&reg, nullptr, &forensics);
+    ASSERT_TRUE(server.start(0).ok());
+
+    const std::string slo = http_get(server.port(), "/slo");
+    EXPECT_NE(slo.find("200 OK"), std::string::npos);
+    EXPECT_NE(slo.find("application/json"), std::string::npos);
+    auto slo_doc = json::parse(body_of(slo));
+    ASSERT_TRUE(slo_doc.ok()) << body_of(slo);
+    EXPECT_EQ(slo_doc->string_or("schema", ""), "ecfrm.slo.v1");
+    const json::Value* classes = slo_doc->find("classes");
+    ASSERT_NE(classes, nullptr);
+    ASSERT_EQ(classes->items().size(), 3u);  // normal / degraded / scrub
+    bool saw_degraded = false;
+    for (const json::Value& cls : classes->items()) {
+        if (cls.string_or("class", "") != "degraded") continue;
+        saw_degraded = true;
+        EXPECT_DOUBLE_EQ(cls.number_or("finished_total", 0.0), 1.0);
+        EXPECT_GT(cls.number_or("p99_us", 0.0), 0.0);
+    }
+    EXPECT_TRUE(saw_degraded);
+
+    const std::string slow_resp = http_get(server.port(), "/slow");
+    auto slow_doc = json::parse(body_of(slow_resp));
+    ASSERT_TRUE(slow_doc.ok()) << body_of(slow_resp);
+    EXPECT_EQ(slow_doc->string_or("schema", ""), "ecfrm.slow.v1");
+
+    const std::string ndjson = body_of(http_get(server.port(), "/slowlog"));
+    EXPECT_NE(ndjson.find("\"tree\""), std::string::npos);
+
+    // A captured request serves its chrome://tracing document; unknown
+    // and uncaptured (fast, clean) ids answer 404.
+    const std::string chrome =
+        http_get(server.port(), "/requests/" + std::to_string(slow->id()));
+    EXPECT_NE(chrome.find("200 OK"), std::string::npos);
+    auto chrome_doc = json::parse(body_of(chrome));
+    ASSERT_TRUE(chrome_doc.ok()) << body_of(chrome);
+    EXPECT_TRUE(chrome_doc->is_array());
+    EXPECT_NE(http_get(server.port(), "/requests/999999").find("404"), std::string::npos);
+    EXPECT_NE(http_get(server.port(), "/requests/" + std::to_string(fast->id())).find("404"),
+              std::string::npos);
+    server.stop();
+
+    // Without forensics attached the routes simply do not exist.
+    ExpositionServer bare(&reg);
+    ASSERT_TRUE(bare.start(0).ok());
+    EXPECT_NE(http_get(bare.port(), "/slo").find("404"), std::string::npos);
+    EXPECT_NE(http_get(bare.port(), "/slow").find("404"), std::string::npos);
+    bare.stop();
 }
 
 TEST(ExpositionServer, RestartsAndRefusesDoubleStart) {

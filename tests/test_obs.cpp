@@ -2,17 +2,22 @@
 // registry identity, exporters, the trace ring buffer, and the per-device
 // IoStats hook — including a threaded stress run that doubles as the
 // sanitizer target (build with -DECFRM_SANITIZE=address or =undefined).
+// Also the tail-forensics layer: sliding-window histograms, the SLO
+// tracker, per-request span trees and the slow-request exemplar store.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 #include "store/disk.h"
 
 namespace ecfrm::obs {
@@ -434,6 +439,359 @@ TEST(ThreadedStress, SharedMetricsStayExact) {
     EXPECT_EQ(lat.count(), static_cast<std::int64_t>(kTasks) * kPerTask);
     EXPECT_NEAR(lat.max(), 7e-3, 7e-3 * 0.04);
     EXPECT_GE(tracer.recorded(), static_cast<std::size_t>(kTasks));
+}
+
+TEST(TracerSeq, MonotonicAcrossRingWrap) {
+    // seq is the global append order; after the ring wraps, the retained
+    // events must still carry strictly consecutive seq values so
+    // post-hoc ordering survives the overwrites.
+    Tracer tracer(8);
+    for (int i = 0; i < 20; ++i) {
+        tracer.complete("op", "test", static_cast<double>(i), 1.0);
+    }
+    const auto events = tracer.events();
+    ASSERT_EQ(events.size(), 8u);
+    EXPECT_EQ(events.front().seq, 12u);
+    for (std::size_t i = 1; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+    }
+    EXPECT_NE(tracer.to_chrome_json().find("\"seq\":"), std::string::npos);
+}
+
+TEST(WindowedHistogramTest, ExpiresOldSubWindows) {
+    WindowedHistogram win(60.0, 6);  // 10 s sub-windows
+    EXPECT_DOUBLE_EQ(win.window_seconds(), 60.0);
+    win.record(100.0, 5.0);
+    win.record(200.0, 55.0);
+    EXPECT_EQ(win.count(55.0), 2);
+    EXPECT_DOUBLE_EQ(win.sum(55.0), 300.0);
+    // now = 61 s -> live epochs [1, 6]; the t = 5 s sample (epoch 0) is out.
+    EXPECT_EQ(win.count(61.0), 1);
+    EXPECT_DOUBLE_EQ(win.sum(61.0), 200.0);
+    // A long stall decays the window to empty.
+    EXPECT_EQ(win.count(500.0), 0);
+    EXPECT_DOUBLE_EQ(win.percentile(0.99, 500.0), 0.0);
+}
+
+TEST(WindowedHistogramTest, MatchesCumulativeHistogramGeometry) {
+    // Same bucket geometry and midpoint/clamp convention as Histogram:
+    // with every sample inside the window the two must agree exactly.
+    WindowedHistogram win(60.0, 6);
+    Histogram hist;
+    Rng rng(7);
+    for (int i = 0; i < 2000; ++i) {
+        const double v = 10.0 + static_cast<double>(rng.next_below(1000));
+        win.record(v, 30.0);
+        hist.record(v);
+    }
+    for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+        EXPECT_DOUBLE_EQ(win.percentile(q, 30.0), hist.percentile(q)) << "q=" << q;
+    }
+    EXPECT_EQ(win.count(30.0), hist.count());
+    EXPECT_DOUBLE_EQ(win.mean(30.0), hist.mean());
+}
+
+TEST(SloTrackerTest, BurnRatesAndBudget) {
+    SloTracker::Options opts;
+    opts.target_latency_us = 1000.0;
+    opts.objective = 0.9;  // 10% error budget
+    opts.window_seconds = 60.0;
+    opts.sub_windows = 6;
+    SloTracker slo(opts);
+
+    // Idle tracker reports full compliance and no burn.
+    auto idle = slo.snapshot(0.0);
+    EXPECT_EQ(idle.total, 0);
+    EXPECT_DOUBLE_EQ(idle.compliance, 1.0);
+    EXPECT_DOUBLE_EQ(idle.fast_burn, 0.0);
+
+    // 8 good + 1 over-target + 1 failed at t = 5 s: bad fraction 0.2
+    // against a 0.1 budget -> burn rate 2.0 in both windows (the only
+    // live sub-window is also the newest).
+    for (int i = 0; i < 8; ++i) slo.record(500.0, true, 5.0);
+    slo.record(2000.0, true, 5.0);   // breach: over target
+    slo.record(500.0, false, 5.0);   // breach: failed outright
+    auto burst = slo.snapshot(5.0);
+    EXPECT_EQ(burst.total, 10);
+    EXPECT_EQ(burst.breaches, 2);
+    EXPECT_DOUBLE_EQ(burst.compliance, 0.8);
+    EXPECT_DOUBLE_EQ(burst.fast_burn, 2.0);
+    EXPECT_DOUBLE_EQ(burst.slow_burn, 2.0);
+    EXPECT_DOUBLE_EQ(burst.budget_remaining, 0.0);
+
+    // A clean next sub-window: the fast burn pages off immediately while
+    // the slow burn still remembers the burst.
+    for (int i = 0; i < 10; ++i) slo.record(500.0, true, 15.0);
+    auto calm = slo.snapshot(15.0);
+    EXPECT_EQ(calm.total, 20);
+    EXPECT_EQ(calm.breaches, 2);
+    EXPECT_DOUBLE_EQ(calm.fast_burn, 0.0);
+    EXPECT_DOUBLE_EQ(calm.slow_burn, 1.0);
+    EXPECT_DOUBLE_EQ(calm.budget_remaining, 0.0);
+
+    // Once the burst sub-window expires, the budget recovers fully.
+    for (int i = 0; i < 10; ++i) slo.record(500.0, true, 65.0);
+    auto healed = slo.snapshot(65.0);
+    EXPECT_EQ(healed.breaches, 0);
+    EXPECT_DOUBLE_EQ(healed.slow_burn, 0.0);
+    EXPECT_DOUBLE_EQ(healed.budget_remaining, 1.0);
+}
+
+TEST(WindowedHistogramTest, P99ConvergesAndDetectsLatencyStep) {
+    // Property: under a stationary workload the windowed p99 converges
+    // to the cumulative estimate, yet a latency step shows up within one
+    // sub-window — the whole point of forgetting.
+    WindowedHistogram win(60.0, 6);
+    Histogram cumulative;
+    SampleSet exact;
+    Rng rng(42);
+    auto base_sample = [&] { return 50.0 + static_cast<double>(rng.next_below(100)); };
+
+    // 60 s of stationary load at 100 req/s.
+    for (int i = 0; i < 6000; ++i) {
+        const double t = static_cast<double>(i) * 0.01;
+        const double v = base_sample();
+        win.record(v, t);
+        cumulative.record(v);
+        exact.add(v);
+    }
+    const double windowed_p99 = win.percentile(0.99, 59.99);
+    EXPECT_NEAR(windowed_p99, cumulative.percentile(0.99), 0.08 * cumulative.percentile(0.99));
+    EXPECT_NEAR(windowed_p99, exact.percentile(0.99), 0.08 * exact.percentile(0.99));
+
+    // Step: latency jumps 10x at t = 60 s. One sub-window of slow
+    // samples is enough to drag the windowed p99 into the new regime,
+    // while the cumulative estimate barely moves.
+    for (int i = 0; i < 1000; ++i) {
+        const double t = 60.0 + static_cast<double>(i) * 0.01;
+        const double v = 10.0 * base_sample();
+        win.record(v, t);
+        cumulative.record(v);
+    }
+    const double stepped_p99 = win.percentile(0.99, 69.99);
+    EXPECT_GE(stepped_p99, 5.0 * windowed_p99);
+
+    // Recovery: once the step sub-window slides out, the windowed p99
+    // returns to the stationary value; the cumulative one stays stuck in
+    // the slow regime forever (the step is 1/7 of its denominator).
+    for (int i = 0; i < 7000; ++i) {
+        const double t = 70.0 + static_cast<double>(i) * 0.01;
+        const double v = base_sample();
+        win.record(v, t);
+        cumulative.record(v);
+    }
+    const double healed_p99 = win.percentile(0.99, 139.99);
+    EXPECT_NEAR(healed_p99, windowed_p99, 0.08 * windowed_p99);
+    EXPECT_GE(cumulative.percentile(0.99), 5.0 * windowed_p99);
+}
+
+TEST(RequestTraceTest, TreeAttrsAndPhaseTotals) {
+    RequestTrace rt(7, RequestClass::normal, 1000.0);
+    EXPECT_EQ(rt.id(), 7u);
+    EXPECT_DOUBLE_EQ(rt.start_us(), 1000.0);
+    rt.complete(RequestTrace::kRoot, "plan", 1000.0, 10.0);
+    rt.complete(RequestTrace::kRoot, "plan", 1010.0, 5.0);
+    const std::uint32_t fetch = rt.begin(RequestTrace::kRoot, "fetch", 1015.0);
+    rt.attr(fetch, "batches", static_cast<std::int64_t>(3));
+    const std::uint32_t batch = rt.begin(fetch, "disk.batch", 1016.0);
+    rt.attr(batch, "disk", std::string("2"));
+    rt.end(batch, 1018.0);
+    rt.end(fetch, 1035.0);
+
+    const auto nodes = rt.nodes();
+    ASSERT_EQ(nodes.size(), 5u);
+    EXPECT_EQ(nodes[0].id, RequestTrace::kRoot);
+    EXPECT_EQ(nodes[0].parent, 0u);
+    EXPECT_EQ(nodes[0].name, "request");
+    EXPECT_EQ(nodes[0].seq, 0u);
+    for (std::size_t i = 1; i < nodes.size(); ++i) {
+        EXPECT_EQ(nodes[i].seq, static_cast<std::uint64_t>(i));
+        EXPECT_NE(nodes[i].tid, 0u);
+    }
+    EXPECT_EQ(nodes[3].parent, RequestTrace::kRoot);  // fetch
+    EXPECT_EQ(nodes[4].parent, fetch);                // disk.batch
+    ASSERT_EQ(nodes[4].attrs.size(), 1u);
+    EXPECT_EQ(nodes[4].attrs[0].first, "disk");
+
+    // Root children merged by name, first-appearance order.
+    const auto phases = rt.phase_totals();
+    ASSERT_EQ(phases.size(), 2u);
+    EXPECT_EQ(phases[0].first, "plan");
+    EXPECT_DOUBLE_EQ(phases[0].second, 15.0);
+    EXPECT_EQ(phases[1].first, "fetch");
+    EXPECT_DOUBLE_EQ(phases[1].second, 20.0);
+
+    rt.finish(true, 1040.0);
+    EXPECT_TRUE(rt.finished());
+    EXPECT_TRUE(rt.ok());
+    EXPECT_DOUBLE_EQ(rt.dur_us(), 40.0);
+}
+
+TEST(RequestTraceTest, BeginPhaseTilesTheRequestExactly) {
+    // Phases chain off phase_cursor_us, so their durations sum to the
+    // end-to-end latency by construction — no wall-clock double-sampling
+    // gap, however the scheduler interleaves the recording thread.
+    RequestTrace rt(1, RequestClass::normal, 100.0);
+    EXPECT_DOUBLE_EQ(rt.phase_cursor_us(), 100.0);
+    const std::uint32_t plan = rt.begin_phase("plan");
+    rt.end(plan, 110.0);
+    const std::uint32_t fetch = rt.begin_phase("fetch");
+    rt.end(fetch, 135.0);
+    rt.complete(RequestTrace::kRoot, "decode", 135.0, 15.0);
+    const std::uint32_t assemble = rt.begin_phase("assemble");
+    rt.end(assemble, 160.0);
+    EXPECT_DOUBLE_EQ(rt.phase_cursor_us(), 160.0);
+
+    const auto nodes = rt.nodes();
+    ASSERT_EQ(nodes.size(), 5u);
+    EXPECT_DOUBLE_EQ(nodes[1].ts_us, 100.0);  // first phase pinned to trace start
+    EXPECT_DOUBLE_EQ(nodes[2].ts_us, 110.0);  // each next phase at the prior end
+    EXPECT_DOUBLE_EQ(nodes[4].ts_us, 150.0);
+
+    rt.finish(true, rt.phase_cursor_us());
+    double phase_sum = 0.0;
+    for (const auto& [name, us] : rt.phase_totals()) phase_sum += us;
+    EXPECT_DOUBLE_EQ(phase_sum, rt.dur_us());
+    EXPECT_DOUBLE_EQ(rt.dur_us(), 60.0);
+}
+
+TEST(RequestTraceTest, NodeBudgetDropsAndCounts) {
+    RequestTrace rt(1, RequestClass::normal, 0.0, /*max_nodes=*/3);
+    const std::uint32_t a = rt.begin(RequestTrace::kRoot, "a", 1.0);
+    const std::uint32_t b = rt.begin(RequestTrace::kRoot, "b", 2.0);
+    EXPECT_NE(a, 0u);
+    EXPECT_NE(b, 0u);
+    EXPECT_EQ(rt.begin(RequestTrace::kRoot, "over", 3.0), 0u);
+    EXPECT_EQ(rt.complete(RequestTrace::kRoot, "over2", 4.0, 1.0), 0u);
+    EXPECT_EQ(rt.dropped(), 2u);
+    EXPECT_EQ(rt.node_count(), 3u);
+    // Operations on the sentinel id 0 are harmless no-ops.
+    rt.attr(0, "k", std::string("v"));
+    rt.end(0, 9.0);
+    EXPECT_EQ(rt.node_count(), 3u);
+}
+
+TEST(RequestTraceTest, FinishIsIdempotentAndClosesOpenSpans) {
+    RequestTrace rt(1, RequestClass::scrub, 0.0);
+    const std::uint32_t open = rt.begin(RequestTrace::kRoot, "scan", 10.0);
+    rt.finish(true, 50.0);
+    const auto nodes = rt.nodes();
+    ASSERT_EQ(nodes.size(), 2u);
+    EXPECT_DOUBLE_EQ(nodes[1].dur_us, 40.0);  // closed at the request end
+    EXPECT_DOUBLE_EQ(rt.dur_us(), 50.0);
+    // A second finish must not change the verdict or the timing.
+    rt.finish(false, 70.0);
+    EXPECT_TRUE(rt.ok());
+    EXPECT_DOUBLE_EQ(rt.dur_us(), 50.0);
+    rt.end(open, 90.0);  // late end after finish is ignored too
+    EXPECT_DOUBLE_EQ(rt.nodes()[1].dur_us, 40.0);
+}
+
+TEST(RequestTraceTest, ThreadedAppendsKeepSeqConsecutive) {
+    // Hedge/pool threads append concurrently; every span must land with
+    // a unique consecutive seq under the per-trace mutex.
+    RequestTrace rt(1, RequestClass::degraded, 0.0, /*max_nodes=*/512);
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 100;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&rt, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                const double ts = static_cast<double>(t * kPerThread + i);
+                rt.complete(RequestTrace::kRoot, "op", ts, 0.5,
+                            {{"thread", std::to_string(t)}});
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    const auto nodes = rt.nodes();
+    ASSERT_EQ(nodes.size(), 1u + kThreads * kPerThread);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        EXPECT_EQ(nodes[i].seq, static_cast<std::uint64_t>(i));
+        EXPECT_EQ(nodes[i].id, static_cast<std::uint32_t>(i + 1));
+    }
+    EXPECT_EQ(rt.dropped(), 0u);
+}
+
+TEST(RequestForensicsTest, CapturePolicyAndEviction) {
+    ForensicsOptions opts;
+    opts.slow_threshold_us = 1000.0;
+    opts.max_exemplars = 2;
+    RequestForensics forensics(opts);
+
+    // Fast, clean, cold ladder: not an exemplar.
+    auto fast = forensics.start_at(RequestClass::normal, 0.0);
+    forensics.finish_at(fast, true, 500.0);
+    EXPECT_EQ(forensics.captured(), 0u);
+
+    // Over the latency threshold: captured even though the ladder is cold.
+    auto slow = forensics.start_at(RequestClass::normal, 0.0);
+    forensics.finish_at(slow, true, 5000.0);
+    EXPECT_EQ(forensics.captured(), 1u);
+    EXPECT_NE(forensics.find(slow->id()), nullptr);
+
+    // Fast but recovery-active: captured.
+    auto hedged = forensics.start_at(RequestClass::normal, 0.0);
+    hedged->count_timeout();
+    forensics.finish_at(hedged, true, 200.0);
+    EXPECT_EQ(forensics.captured(), 2u);
+
+    // Failed outright: captured, evicting the oldest exemplar (FIFO).
+    auto failed = forensics.start_at(RequestClass::normal, 0.0);
+    forensics.finish_at(failed, false, 100.0);
+    EXPECT_EQ(forensics.captured(), 2u);
+    EXPECT_EQ(forensics.evicted(), 1u);
+    EXPECT_EQ(forensics.find(slow->id()), nullptr);
+    EXPECT_NE(forensics.find(failed->id()), nullptr);
+
+    const auto exemplars = forensics.exemplars();
+    ASSERT_EQ(exemplars.size(), 2u);
+    EXPECT_EQ(exemplars[0]->id(), hedged->id());  // oldest first
+    EXPECT_EQ(exemplars[1]->id(), failed->id());
+
+    EXPECT_EQ(forensics.finished_total(RequestClass::normal), 4);
+    EXPECT_EQ(forensics.finished_total(RequestClass::degraded), 0);
+    // All four requests ended inside the window; the quantile sees them.
+    EXPECT_GT(forensics.windowed_percentile(RequestClass::normal, 0.99, 5000.0), 0.0);
+    // Double-finish folds nothing in twice.
+    forensics.finish_at(fast, true, 900.0);
+    EXPECT_EQ(forensics.finished_total(RequestClass::normal), 4);
+}
+
+TEST(RequestForensicsTest, SloAndSlowExports) {
+    ForensicsOptions opts;
+    opts.slow_threshold_us = 1000.0;
+    opts.slo_target_us = 1000.0;
+    RequestForensics forensics(opts);
+    auto ok = forensics.start_at(RequestClass::normal, 0.0);
+    forensics.finish_at(ok, true, 400.0);
+    auto slow = forensics.start_at(RequestClass::degraded, 0.0);
+    slow->count_replan();
+    slow->add_decodes(3);
+    forensics.finish_at(slow, true, 2500.0);
+
+    const std::string slo = forensics.slo_json(3000.0);
+    EXPECT_NE(slo.find("\"ecfrm.slo.v1\""), std::string::npos);
+    for (const char* cls : {"normal", "degraded", "scrub"}) {
+        EXPECT_NE(slo.find(cls), std::string::npos) << cls;
+    }
+    EXPECT_NE(slo.find("burn"), std::string::npos);
+
+    const std::string summaries = forensics.slow_json();
+    EXPECT_NE(summaries.find("\"ecfrm.slow.v1\""), std::string::npos);
+    EXPECT_EQ(summaries.find("\"tree\""), std::string::npos);  // summaries only
+
+    const std::string ndjson = forensics.slowlog_ndjson();
+    EXPECT_NE(ndjson.find("\"tree\""), std::string::npos);
+    EXPECT_NE(ndjson.find("\"replans\":1"), std::string::npos);
+
+    const auto captured = forensics.find(slow->id());
+    ASSERT_NE(captured, nullptr);
+    const std::string chrome = captured->chrome_json();
+    ASSERT_FALSE(chrome.empty());
+    EXPECT_EQ(chrome.front(), '[');
+    EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(chrome.find("\"seq\":"), std::string::npos);
 }
 
 }  // namespace

@@ -2,9 +2,12 @@
 // behaviour.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "codes/factory.h"
 #include "core/read_planner.h"
 #include "sim/array_sim.h"
+#include "obs/request_trace.h"
 #include "sim/cluster_sim.h"
 #include "sim/disk_model.h"
 #include "sim/event_queue.h"
@@ -190,6 +193,71 @@ TEST(ClusterSim, DisjointDisksProceedInParallel) {
     const double one = 4.1e-3 + model.transfer_seconds();
     EXPECT_NEAR(stats.results[0].latency_seconds(), one, 1e-9);
     EXPECT_NEAR(stats.results[1].latency_seconds(), one, 1e-9);
+}
+
+TEST(ClusterSim, ForensicsRecordSimTimeSpanTrees) {
+    // With a RequestForensics attached, every simulated request gets a
+    // span tree on the virtual clock: root -> fetch phase -> per-disk
+    // batch (and queue-wait) spans, with degraded classification for
+    // plans that decode and latencies matching the DES results exactly.
+    auto code = codes::make_rs(6, 3);
+    ASSERT_TRUE(code.ok());
+    core::Scheme scheme(code.value(), LayoutKind::standard);
+    DiskModel model(no_jitter_profile(), 1 << 20);
+
+    // Two same-disk requests (the second queues) plus one degraded read.
+    auto broken = core::plan_degraded_read(scheme, 0, 1, 0);
+    ASSERT_TRUE(broken.ok());
+    std::vector<ClusterRequest> reqs;
+    reqs.push_back({0.0, core::plan_normal_read(scheme, 0, 1)});
+    reqs.push_back({0.0, core::plan_normal_read(scheme, 0, 1)});
+    reqs.push_back({0.1, std::move(broken).take()});
+    Rng rng(1);
+    obs::ForensicsOptions fopts;
+    fopts.slow_threshold_us = 0.0;  // capture every request
+    obs::RequestForensics forensics(fopts);
+    const auto stats = run_cluster(std::move(reqs), model, scheme.disks(), rng,
+                                   nullptr, &forensics);
+    ASSERT_EQ(stats.results.size(), 3u);
+    EXPECT_EQ(forensics.finished_total(obs::RequestClass::normal), 2);
+    EXPECT_EQ(forensics.finished_total(obs::RequestClass::degraded), 1);
+
+    // The degraded request's sim-time root duration matches the DES
+    // latency (seconds -> microseconds) exactly.
+    const auto exemplars = forensics.exemplars();
+    ASSERT_EQ(exemplars.size(), 3u);
+    const auto degraded_it =
+        std::find_if(exemplars.begin(), exemplars.end(), [](const auto& e) {
+            return e->cls() == obs::RequestClass::degraded;
+        });
+    ASSERT_NE(degraded_it, exemplars.end());
+    const auto& rt = **degraded_it;
+    EXPECT_EQ(rt.cls(), obs::RequestClass::degraded);
+    EXPECT_TRUE(rt.ok());
+    EXPECT_NEAR(rt.dur_us(), stats.results[2].latency_seconds() * 1e6, 1e-3);
+    EXPECT_GT(rt.decodes(), 0);
+
+    // Tree shape: a fetch phase under the root, disk.batch spans under
+    // the fetch (6 sources for the RS(6,3) repair), queue waits only
+    // where the disk was busy.
+    bool saw_fetch = false;
+    int disk_batches = 0;
+    for (const auto& node : rt.nodes()) {
+        if (node.name == "fetch") {
+            saw_fetch = true;
+            EXPECT_EQ(node.parent, obs::RequestTrace::kRoot);
+        }
+        if (node.name == "disk.batch") ++disk_batches;
+    }
+    EXPECT_TRUE(saw_fetch);
+    EXPECT_EQ(disk_batches, 6);
+
+    // The windowed percentile lives on the same virtual clock: query at
+    // the makespan and the slowest normal request is visible.
+    const double now_us = stats.makespan_seconds * 1e6;
+    EXPECT_NEAR(forensics.windowed_percentile(obs::RequestClass::normal, 1.0, now_us),
+                stats.results[1].latency_seconds() * 1e6,
+                0.05 * stats.results[1].latency_seconds() * 1e6);
 }
 
 TEST(ClusterSim, StatsAggregations) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "store/fault_device.h"
 #include "store/stripe_store.h"
 
@@ -464,6 +466,62 @@ TEST(StoreRecovery, HedgedReadDecodesAroundStraggler) {
     ASSERT_TRUE(out.ok()) << out.error().message;
     EXPECT_EQ(out.value(), f.data);
     EXPECT_GE(f.counter("ecfrm_store_hedged_reads_total"), 1);
+}
+
+TEST(StoreRecovery, ForensicsCaptureReplannedReadWithTiledPhases) {
+    // A detected-corruption read must leave a captured span tree behind:
+    // recovery-active, reclassified degraded, and with per-phase
+    // durations that tile the end-to-end latency.
+    FaultPlan plan;
+    FaultRule flip;
+    flip.kind = FaultKind::bit_flip;
+    flip.disk = 1;
+    flip.first_op = 0;
+    flip.count = 1;
+    flip.detected = true;
+    plan.rules = {flip};
+    FaultyFixture f("rs:6,3", plan, RecoveryOptions{});
+
+    obs::ForensicsOptions fopts;
+    fopts.slow_threshold_us = -1.0;  // recovery is the only capture trigger
+    obs::RequestForensics forensics(fopts);
+    f.store->attach_observability(&f.metrics, nullptr, &forensics);
+
+    auto out = f.store->read_bytes(0, static_cast<std::int64_t>(f.data.size()));
+    ASSERT_TRUE(out.ok()) << out.error().message;
+    EXPECT_EQ(out.value(), f.data);
+
+    ASSERT_EQ(forensics.captured(), 1u);
+    const auto exemplars = forensics.exemplars();
+    ASSERT_EQ(exemplars.size(), 1u);
+    const auto& rt = *exemplars[0];
+    EXPECT_TRUE(rt.finished());
+    EXPECT_TRUE(rt.ok());
+    EXPECT_TRUE(rt.recovery_active());
+    EXPECT_GE(rt.replans(), 1);
+    EXPECT_GT(rt.decodes(), 0);
+    EXPECT_EQ(rt.cls(), obs::RequestClass::degraded);  // reclassified mid-flight
+    EXPECT_EQ(forensics.finished_total(obs::RequestClass::degraded), 1);
+    EXPECT_EQ(forensics.finished_total(obs::RequestClass::normal), 0);
+
+    // Phase attribution accounts for the whole request (same tolerance
+    // the faultcamp audit enforces across all 42 cells).
+    double phase_sum = 0.0;
+    for (const auto& [name, us] : rt.phase_totals()) phase_sum += us;
+    EXPECT_GT(rt.dur_us(), 0.0);
+    EXPECT_LE(std::fabs(rt.dur_us() - phase_sum), std::max(0.05 * rt.dur_us(), 10.0))
+        << "phases sum to " << phase_sum << " us of " << rt.dur_us() << " us";
+
+    // The flip is persistent (the device EDC keeps reporting the row
+    // corrupt), so a second read heals through the same ladder and is
+    // captured as another degraded exemplar.
+    auto again = f.store->read_bytes(0, static_cast<std::int64_t>(f.data.size()));
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again.value(), f.data);
+    EXPECT_EQ(forensics.captured(), 2u);
+    EXPECT_EQ(forensics.finished_total(obs::RequestClass::degraded), 2);
+    EXPECT_EQ(forensics.finished_total(obs::RequestClass::normal), 0);
+    f.store->attach_observability(nullptr);
 }
 
 TEST(StoreRecovery, CorruptionEverywhereSurfacesBeyondTolerance) {

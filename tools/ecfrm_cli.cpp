@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <functional>
 #include <cstdlib>
@@ -40,6 +41,7 @@
 #include "layout/layout.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "obs/trace.h"
 #include "store/disk.h"
 #include "store/fault_device.h"
@@ -69,6 +71,8 @@ int usage() {
                  "  ecfrm_cli status <dir>\n"
                  "  ecfrm_cli explain <code_spec> <layout> <start> <count>"
                  " [--failed d0,d1] [--policy local|balance]\n"
+                 "  ecfrm_cli slowlog <dir> [--requests N] [--read-elems N] [--threshold-us T]\n"
+                 "      [--seed S] [--out slow.ndjson] [--chrome-out trace.json]\n"
                  "  ecfrm_cli faultcamp [--seed S] [--elem BYTES] [--out artifact.json]\n"
                  "  ecfrm_cli simd [--out artifact.json]\n"
                  "  ecfrm_cli serve-bench <code_spec> <layout> [--threads N] [--requests N]"
@@ -78,7 +82,8 @@ int usage() {
                  "  --metrics-out <file>   dump metrics as newline-delimited JSON\n"
                  "  --metrics-prom <file>  dump metrics in Prometheus text format\n"
                  "  --trace-out <file>     dump spans as chrome://tracing JSON\n"
-                 "  --serve <port>         serve /metrics, /metrics.json, /healthz on 127.0.0.1\n"
+                 "  --serve <port>         serve /metrics, /metrics.json, /slo, /slow,\n"
+                 "                         /requests/<id> and /healthz on 127.0.0.1\n"
                  "  --serve-hold <secs>    keep serving after the command (GET /quitquitquit ends)\n");
     return 2;
 }
@@ -92,6 +97,7 @@ struct ObsOutputs {
     double serve_hold = 0.0;   // seconds to keep serving after the command
     std::unique_ptr<obs::MetricRegistry> metrics;
     std::unique_ptr<obs::Tracer> tracer;
+    std::unique_ptr<obs::RequestForensics> forensics;
     std::unique_ptr<obs::Snapshotter> snapshotter;
     std::unique_ptr<obs::ExpositionServer> server;
 
@@ -103,10 +109,17 @@ struct ObsOutputs {
         }
         if (!trace_path.empty()) tracer = std::make_unique<obs::Tracer>(1 << 14);
         if (tracer != nullptr && metrics != nullptr) tracer->attach_metrics(metrics.get());
+        // Request forensics ride along with any observability sink: store
+        // commands feed /slo and /slow whenever --serve (or a metrics
+        // dump) is active.
+        if (metrics != nullptr || tracer != nullptr) {
+            forensics = std::make_unique<obs::RequestForensics>();
+        }
         if (serve_port >= 0) {
             snapshotter = std::make_unique<obs::Snapshotter>(metrics.get(), 1.0);
             snapshotter->start();
-            server = std::make_unique<obs::ExpositionServer>(metrics.get(), snapshotter.get());
+            server = std::make_unique<obs::ExpositionServer>(metrics.get(), snapshotter.get(),
+                                                             forensics.get());
             auto status = server->start(serve_port);
             if (!status.ok()) {
                 std::fprintf(stderr, "error: %s\n", status.error().message.c_str());
@@ -182,7 +195,8 @@ Result<Archive> open_archive(const std::string& dir) {
     if (!st.ok()) return st.error();
     auto restored = st.value()->restore(manifest->extents, manifest->stripes);
     if (!restored.ok()) return restored.error();
-    st.value()->attach_observability(g_obs.metrics.get(), g_obs.tracer.get());
+    st.value()->attach_observability(g_obs.metrics.get(), g_obs.tracer.get(),
+                                     g_obs.forensics.get());
     return Archive{std::move(manifest).take(), std::move(st).take()};
 }
 
@@ -444,6 +458,115 @@ int cmd_explain(const std::vector<std::string>& args) {
 }
 
 // ---------------------------------------------------------------------------
+// slowlog: replay a seeded read workload against an archive with request
+// forensics attached, then dump the captured exemplars as NDJSON (one
+// request per line, full span tree). --threshold-us 0 captures every
+// request, which makes this double as a per-phase latency profiler for an
+// archive on real file-backed disks; --chrome-out exports the slowest
+// captured request as a standalone chrome://tracing document.
+
+int cmd_slowlog(const std::vector<std::string>& args) {
+    if (args.size() < 3) return usage();
+    const std::string& dir = args[2];
+    int requests = 64;
+    long long read_elems = 8;
+    double threshold_us = 0.0;
+    unsigned long long seed = 1;
+    std::string out_path;
+    std::string chrome_path;
+    for (std::size_t i = 3; i < args.size(); ++i) {
+        if (args[i] == "--requests" && i + 1 < args.size()) {
+            requests = std::atoi(args[++i].c_str());
+        } else if (args[i] == "--read-elems" && i + 1 < args.size()) {
+            read_elems = std::atoll(args[++i].c_str());
+        } else if (args[i] == "--threshold-us" && i + 1 < args.size()) {
+            threshold_us = std::atof(args[++i].c_str());
+        } else if (args[i] == "--seed" && i + 1 < args.size()) {
+            seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+        } else if (args[i] == "--out" && i + 1 < args.size()) {
+            out_path = args[++i];
+        } else if (args[i] == "--chrome-out" && i + 1 < args.size()) {
+            chrome_path = args[++i];
+        } else {
+            return usage();
+        }
+    }
+    if (requests <= 0 || read_elems <= 0) {
+        std::fprintf(stderr, "error: --requests and --read-elems must be positive\n");
+        return 1;
+    }
+
+    auto archive = open_archive(dir);
+    if (!archive.ok()) return fail_with(archive.error());
+    const std::int64_t committed = archive->store->committed_bytes();
+    if (committed <= 0) {
+        std::fprintf(stderr, "error: archive holds no committed bytes\n");
+        return 1;
+    }
+
+    obs::ForensicsOptions opts;
+    opts.slow_threshold_us = threshold_us;
+    opts.max_exemplars = static_cast<std::size_t>(requests);
+    obs::RequestForensics forensics(opts);
+    archive->store->attach_observability(g_obs.metrics.get(), g_obs.tracer.get(), &forensics);
+
+    const std::int64_t element_bytes = archive->manifest.element_bytes;
+    const std::int64_t max_len = std::min<std::int64_t>(read_elems * element_bytes, committed);
+    Rng rng(seed);
+    int failures = 0;
+    for (int r = 0; r < requests; ++r) {
+        const std::int64_t length =
+            1 + static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(max_len)));
+        const std::int64_t offset = static_cast<std::int64_t>(
+            rng.next_below(static_cast<std::uint64_t>(committed - length + 1)));
+        auto read = archive->store->read_bytes(offset, length);
+        if (!read.ok()) ++failures;
+    }
+    archive->store->attach_observability(g_obs.metrics.get(), g_obs.tracer.get(),
+                                         g_obs.forensics.get());
+
+    const auto exemplars = forensics.exemplars();
+    std::printf("slowlog: %d requests, %zu captured (threshold %.1f us), %d failed\n", requests,
+                exemplars.size(), threshold_us, failures);
+    std::printf("%-6s %-9s %12s %6s %6s %7s %6s  %s\n", "id", "class", "dur_us", "retry",
+                "hedge", "replan", "spans", "phases");
+    for (const auto& trace : exemplars) {
+        std::string phases;
+        for (const auto& [name, us] : trace->phase_totals()) {
+            char buf[96];
+            std::snprintf(buf, sizeof(buf), "%s%s=%.0f", phases.empty() ? "" : " ", name.c_str(),
+                          us);
+            phases += buf;
+        }
+        std::printf("%-6llu %-9s %12.1f %6d %6d %7d %6zu  %s\n",
+                    static_cast<unsigned long long>(trace->id()),
+                    obs::request_class_name(trace->cls()), trace->dur_us(), trace->retries(),
+                    trace->hedges(), trace->replans(), trace->node_count(), phases.c_str());
+    }
+
+    const std::string ndjson = forensics.slowlog_ndjson();
+    if (!out_path.empty()) {
+        if (!ObsOutputs::write_file(out_path, ndjson)) return 1;
+    } else {
+        std::fputs(ndjson.c_str(), stdout);
+    }
+    if (!chrome_path.empty()) {
+        std::shared_ptr<const obs::RequestTrace> slowest;
+        for (const auto& trace : exemplars) {
+            if (slowest == nullptr || trace->dur_us() > slowest->dur_us()) slowest = trace;
+        }
+        if (slowest == nullptr) {
+            std::fprintf(stderr, "error: no captured request to export\n");
+            return 1;
+        }
+        if (!ObsOutputs::write_file(chrome_path, slowest->chrome_json())) return 1;
+        std::printf("chrome trace of request %llu -> %s\n",
+                    static_cast<unsigned long long>(slowest->id()), chrome_path.c_str());
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
 // faultcamp: a seeded fault-injection campaign over the scheme x layout x
 // fault-mix matrix. Each cell writes a deterministic payload through an array
 // of FaultDevices, reads it back through the self-healing read path, and
@@ -549,6 +672,15 @@ struct FaultCell {
     std::int64_t retries = 0, timeouts = 0, replans = 0, hedged = 0;
     std::int64_t degraded = 0, decodes = 0;
     std::int64_t injected_faults = 0;
+    /// Per-phase latency attribution (microseconds, summed over every
+    /// request of the cell, all classes merged).
+    std::vector<std::pair<std::string, double>> phase_us;
+    /// Requests captured by the forensics layer (recovery-active or
+    /// failed ones; the latency trigger is disabled for the campaign).
+    std::int64_t captured = 0;
+    /// False when a captured recovery-active request's phase durations do
+    /// not tile its end-to-end latency.
+    bool phase_ok = true;
     bool pass = false;
     std::string detail;
 };
@@ -587,7 +719,13 @@ FaultCell run_fault_cell(const std::string& spec, layout::LayoutKind kind, const
         return cell;
     }
     st.value()->set_recovery(cfg.recovery);
-    st.value()->attach_observability(&metrics);
+    // Capture every recovery-active request's span tree (latency trigger
+    // off: within-tolerance cells finish in microseconds and would all
+    // trip a wall-clock threshold on a loaded machine).
+    obs::ForensicsOptions fopts;
+    fopts.slow_threshold_us = -1.0;
+    obs::RequestForensics forensics(fopts);
+    st.value()->attach_observability(&metrics, nullptr, &forensics);
 
     const std::int64_t data_elems = 4 * st.value()->scheme().layout().data_per_stripe();
     std::vector<std::uint8_t> payload(static_cast<std::size_t>(data_elems * elem_bytes));
@@ -635,18 +773,61 @@ FaultCell run_fault_cell(const std::string& spec, layout::LayoutKind kind, const
     for (const store::FaultDevice* device : devices) {
         cell.injected_faults += static_cast<std::int64_t>(device->events().size());
     }
+
+    // Per-phase latency attribution, all request classes merged so every
+    // cell reports where its (degraded-)read time went.
+    for (int c = 0; c < obs::kRequestClasses; ++c) {
+        for (const auto& [name, us] : forensics.phase_totals(static_cast<obs::RequestClass>(c))) {
+            auto it = std::find_if(cell.phase_us.begin(), cell.phase_us.end(),
+                                   [&](const auto& p) { return p.first == name; });
+            if (it == cell.phase_us.end()) {
+                cell.phase_us.emplace_back(name, us);
+            } else {
+                it->second += us;
+            }
+        }
+    }
+    cell.captured = static_cast<std::int64_t>(forensics.captured());
+    // Audit the captured trees: a recovery-active request's phase spans
+    // are recorded contiguously, so their durations must tile the
+    // request's end-to-end latency (5% tolerance, plus a 10 us floor for
+    // clock granularity on microsecond-scale requests).
+    for (const auto& trace : forensics.exemplars()) {
+        if (!trace->ok() || !trace->recovery_active()) continue;
+        double phase_sum = 0.0;
+        for (const auto& [name, us] : trace->phase_totals()) phase_sum += us;
+        const double dur = trace->dur_us();
+        if (std::fabs(dur - phase_sum) > std::max(0.05 * dur, 10.0)) {
+            cell.phase_ok = false;
+            char buf[160];
+            std::snprintf(buf, sizeof(buf),
+                          "request %llu: phases sum to %.1f us of %.1f us end-to-end",
+                          static_cast<unsigned long long>(trace->id()), phase_sum, dur);
+            if (cell.detail.empty()) cell.detail = buf;
+        }
+    }
+    // Every cell whose counters show read-path recovery engaged must have
+    // captured at least one exemplar for it. Retries are excluded from
+    // the predicate: they also count write-path retries (torn writes),
+    // which run outside any traced read request.
+    const bool recovered = cell.timeouts + cell.replans + cell.hedged > 0;
+    if (recovered && cell.captured == 0) {
+        cell.phase_ok = false;
+        if (cell.detail.empty()) cell.detail = "recovery engaged but no request was captured";
+    }
     st.value()->attach_observability(nullptr);
 
     if (cfg.expect_beyond_tolerance) {
         cell.pass = cell.read_errors == cell.reads && cell.mismatched_bytes == 0 &&
                     cell.errors_by_code.size() == 1 &&
-                    cell.errors_by_code.count("beyond_tolerance") == 1;
+                    cell.errors_by_code.count("beyond_tolerance") == 1 && cell.phase_ok;
         if (!cell.pass && cell.detail.empty()) {
             cell.detail = "expected every read to fail with beyond_tolerance";
         }
         return cell;
     }
-    cell.pass = cell.read_errors == 0 && cell.mismatched_bytes == 0 && cell.detail.empty();
+    cell.pass = cell.read_errors == 0 && cell.mismatched_bytes == 0 && cell.phase_ok &&
+                cell.detail.empty();
     if (!cell.pass && cell.detail.empty()) {
         cell.detail = "read errors or byte mismatches under a within-tolerance mix";
     }
@@ -717,7 +898,17 @@ std::string faultcamp_json(std::uint64_t seed, std::int64_t elem_bytes,
         out += ",\"hedged_reads\":" + std::to_string(cell.hedged);
         out += ",\"degraded_reads\":" + std::to_string(cell.degraded);
         out += ",\"decodes\":" + std::to_string(cell.decodes);
+        out += "},\"phase_us\":{";
+        first = true;
+        for (const auto& [phase, us] : cell.phase_us) {
+            if (!first) out += ",";
+            first = false;
+            char buf[96];
+            std::snprintf(buf, sizeof(buf), "\"%s\":%.1f", phase.c_str(), us);
+            out += buf;
+        }
         out += "}";
+        out += ",\"captured\":" + std::to_string(cell.captured);
         out += std::string(",\"pass\":") + (cell.pass ? "true" : "false");
         out += ",\"detail\":\"" + json_escape(cell.detail) + "\"";
         out += ",\"fault_plan\":" + cell.fault_plan_json;
@@ -975,7 +1166,7 @@ int cmd_serve_bench(const std::vector<std::string>& args) {
         auto status = st.fail_disk(0);
         if (!status.ok()) return fail_with(status.error());
     }
-    st.attach_observability(g_obs.metrics.get(), g_obs.tracer.get());
+    st.attach_observability(g_obs.metrics.get(), g_obs.tracer.get(), g_obs.forensics.get());
 
     const std::int64_t committed = st.committed_bytes();
     const std::int64_t max_len = std::min<std::int64_t>(read_elems * element_bytes, committed);
@@ -1081,6 +1272,7 @@ int dispatch(const std::vector<std::string>& args) {
     if (argc < 3) return usage();
     const std::string& cmd = args[1];
     if (cmd == "explain") return cmd_explain(args);
+    if (cmd == "slowlog") return cmd_slowlog(args);
     const std::string& dir = args[2];
     if (cmd == "create" && argc == 6) return cmd_create(dir, args[3], args[4], args[5]);
     if (cmd == "put" && argc == 4) return cmd_put(dir, args[3], "");

@@ -76,6 +76,10 @@ bool load_input(const std::string& path, Input& out, std::string& error) {
         const Value* series = doc->find("series");
         if (series != nullptr && series->is_array()) {
             for (const Value& s : series->items()) {
+                // Baselines from other versions of the tools may carry
+                // entries or fields this build does not know; skip what is
+                // not a series object, ignore unknown fields below.
+                if (!s.is_object()) continue;
                 Series row;
                 row.name = s.string_or("name", "?");
                 row.unit = s.string_or("unit", "");
