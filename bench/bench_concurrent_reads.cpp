@@ -11,10 +11,15 @@
 //   <spec>/<layout>/t<N>/throughput_mb_s   higher_is_better
 //   <spec>/<layout>/t<N>/read_latency_us   lower_is_better (p99 gated)
 //   <spec>/<layout>/t<N>/phase_<p>_us      info (mean per-request phase time)
-// Request forensics stay attached while the workers run, so the gated
-// latency series price the span-tree bookkeeping and the phase_* series
-// attribute where each request's time went (plan/fetch/decode/assemble).
-// ECFRM_BENCH_TRIALS caps per-thread requests for CI smoke runs.
+//   <spec>/<layout>/t<N>/heat_*            info (live balance scoreboard)
+// Request forensics AND the disk heat model stay attached while the
+// workers run, so the gated latency series price the span-tree and heat
+// bookkeeping, the phase_* series attribute where each request's time
+// went (plan/fetch/decode/assemble), and the heat_* series put the
+// measured per-disk balance next to the closed-form prediction
+// (heat_measured_max_load vs closed_form_max_load_e* for the largest
+// request size). ECFRM_BENCH_TRIALS caps per-thread requests for CI
+// smoke runs.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -30,7 +35,9 @@
 #include "codes/factory.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "core/analysis.h"
 #include "core/scheme.h"
+#include "obs/heat.h"
 #include "obs/request_trace.h"
 #include "store/stripe_store.h"
 
@@ -61,6 +68,12 @@ struct CaseResult {
     /// (classes merged), plus the request count to normalise them.
     std::vector<std::pair<std::string, double>> phase_us;
     std::int64_t phase_requests = 0;
+    /// Live balance scoreboard at case end (heat model attached for the
+    /// whole timed region).
+    obs::ClusterHeatSnapshot heat;
+    /// Closed-form max load at the largest request size (the predicted
+    /// anchor the measured figure is compared against).
+    int closed_form_e_max = 0;
 };
 
 CaseResult run_case(const std::string& spec, layout::LayoutKind kind, int threads,
@@ -102,7 +115,8 @@ CaseResult run_case(const std::string& spec, layout::LayoutKind kind, int thread
     fopts.slow_threshold_us = -1.0;
     fopts.max_exemplars = 8;
     obs::RequestForensics forensics(fopts);
-    st.attach_observability(nullptr, nullptr, &forensics);
+    obs::DiskHeatModel heat(st.scheme().disks());
+    st.attach_observability(nullptr, nullptr, &forensics, &heat);
 
     const std::int64_t committed = st.committed_bytes();
     const std::int64_t max_len = kMaxReadElements * kElementBytes;
@@ -162,6 +176,10 @@ CaseResult run_case(const std::string& spec, layout::LayoutKind kind, int thread
             }
         }
     }
+    result.heat = heat.snapshot(obs::DiskHeatModel::now_seconds());
+    result.closed_form_e_max =
+        core::closed_form_max_load(kind, st.scheme().disks(), st.scheme().code().k(),
+                                   kMaxReadElements);
     st.attach_observability(nullptr);
     return result;
 }
@@ -208,6 +226,24 @@ int main() {
                                           us / static_cast<double>(result.phase_requests),
                                           result.phase_requests);
                     }
+                    // Live balance scoreboard next to its closed-form
+                    // anchor: random request sizes mean the measured mean
+                    // max load sits below the fixed-size prediction at
+                    // kMaxReadElements, but both ride in the artifact for
+                    // cross-layout comparison.
+                    writer.add_scalar(series + "/heat_measured_max_load", "elements",
+                                      bench::Direction::none, result.heat.measured_max_load,
+                                      result.heat.requests);
+                    writer.add_scalar(series + "/heat_load_factor", "ratio",
+                                      bench::Direction::none, result.heat.load_factor,
+                                      result.heat.requests);
+                    writer.add_scalar(series + "/heat_skew_cov", "ratio",
+                                      bench::Direction::none, result.heat.skew_cov,
+                                      result.heat.requests);
+                    writer.add_scalar(series + "/closed_form_max_load_e" +
+                                          std::to_string(kMaxReadElements),
+                                      "elements", bench::Direction::none,
+                                      static_cast<double>(result.closed_form_e_max), 1);
                 }
             }
         }

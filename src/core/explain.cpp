@@ -98,6 +98,7 @@ Result<std::string> explain_read_json(const Scheme& scheme, ElementId start, std
         const DiskBatch& b = batches[i];
         if (i != 0) out += ",";
         out += "{\"disk\":" + std::to_string(b.disk);
+        out += ",\"depth\":" + std::to_string(b.rows.size());
         out += ",\"rows\":[";
         for (std::size_t r = 0; r < b.rows.size(); ++r) {
             if (r != 0) out += ",";

@@ -50,7 +50,8 @@ Key key_of(const GroupCoord& c) { return {c.stripe, c.group, c.position}; }
 
 /// Bookkeeping shared by both planners.
 struct PlanBuilder {
-    explicit PlanBuilder(const Scheme& scheme) : scheme(scheme), plan(scheme.disks()) {}
+    explicit PlanBuilder(const Scheme& scheme, const std::vector<char>* stragglers = nullptr)
+        : scheme(scheme), plan(scheme.disks()), stragglers(stragglers) {}
 
     /// Fetch the element at `coord` once; later duplicate fetches are
     /// no-ops. All requested fetches happen before any repair fetch, so a
@@ -68,13 +69,23 @@ struct PlanBuilder {
 
     int disk_load(DiskId d) const { return plan.per_disk_loads()[static_cast<std::size_t>(d)]; }
 
+    bool straggler(DiskId d) const {
+        return stragglers != nullptr && d >= 0 &&
+               static_cast<std::size_t>(d) < stragglers->size() &&
+               (*stragglers)[static_cast<std::size_t>(d)] != 0;
+    }
+
     const Scheme& scheme;
     AccessPlan plan;
     std::set<Key> seen;
+    const std::vector<char>* stragglers = nullptr;
 };
 
 /// Survivor positions of the target's group, greedy-ordered: free riders
-/// (already being fetched) first, then least-loaded disks.
+/// (already being fetched) first, then healthy disks before flagged
+/// stragglers, then least-loaded disks. (A free rider on a straggler
+/// stays first: that disk is already on the critical path and the extra
+/// source costs nothing.)
 std::vector<int> greedy_order(PlanBuilder& b, const GroupCoord& target, const std::vector<int>& survivors) {
     const auto& layout = b.scheme.layout();
     std::vector<int> order = survivors;
@@ -84,7 +95,12 @@ std::vector<int> greedy_order(PlanBuilder& b, const GroupCoord& target, const st
         const bool fa = b.fetched(ca);
         const bool fc = b.fetched(cc);
         if (fa != fc) return fa;
-        return b.disk_load(layout.locate(ca).disk) < b.disk_load(layout.locate(cc).disk);
+        const DiskId da = layout.locate(ca).disk;
+        const DiskId dc = layout.locate(cc).disk;
+        const bool sa = b.straggler(da);
+        const bool sc = b.straggler(dc);
+        if (sa != sc) return sc;
+        return b.disk_load(da) < b.disk_load(dc);
     });
     return order;
 }
@@ -106,23 +122,39 @@ Result<codes::ElementRepair> greedy_repair(PlanBuilder& b, const GroupCoord& tar
     return last;
 }
 
-/// Max per-disk load the plan would have after adding this repair's
-/// missing fetches; used to compare candidate repairs under the balance
-/// policy. Secondary component: number of new fetches.
-std::pair<int, int> projected_cost(PlanBuilder& b, const GroupCoord& target,
-                                   const codes::ElementRepair& repair) {
+/// Cost of a candidate repair, in comparison order: max per-disk load
+/// the plan would have after adding the repair's missing fetches, then
+/// the number of those new fetches landing on flagged straggler disks
+/// (the health tie-break), then the total new-fetch count.
+std::tuple<int, int, int> projected_cost(PlanBuilder& b, const GroupCoord& target,
+                                         const codes::ElementRepair& repair) {
     const auto& layout = b.scheme.layout();
     std::vector<int> loads = b.plan.per_disk_loads();
     int new_fetches = 0;
+    int straggler_fetches = 0;
     for (const auto& term : repair.terms) {
         const GroupCoord c{target.stripe, target.group, term.source_position};
         if (b.fetched(c)) continue;
-        ++loads[static_cast<std::size_t>(layout.locate(c).disk)];
+        const DiskId d = layout.locate(c).disk;
+        ++loads[static_cast<std::size_t>(d)];
         ++new_fetches;
+        if (b.straggler(d)) ++straggler_fetches;
     }
     int max = 0;
     for (int v : loads) max = std::max(max, v);
-    return {max, new_fetches};
+    return {max, straggler_fetches, new_fetches};
+}
+
+/// Does this repair add a fetch on a flagged straggler disk?
+bool touches_straggler(PlanBuilder& b, const GroupCoord& target,
+                       const codes::ElementRepair& repair) {
+    const auto& layout = b.scheme.layout();
+    for (const auto& term : repair.terms) {
+        const GroupCoord c{target.stripe, target.group, term.source_position};
+        if (b.fetched(c)) continue;
+        if (b.straggler(layout.locate(c).disk)) return true;
+    }
+    return false;
 }
 
 /// Shared repair-source policy: structured set first (when fully alive),
@@ -157,7 +189,14 @@ Result<codes::ElementRepair> choose_repair(PlanBuilder& b, const GroupCoord& tar
         if (intact) structured = code.solve_repair(target.position, spec.preferred);
     }
 
-    if (policy == DegradedPolicy::local_first && structured.ok()) return structured;
+    // local_first keeps the structured set unless health says otherwise:
+    // a structured repair that would drag a flagged straggler into the
+    // read competes against the greedy alternative instead of winning
+    // outright.
+    if (policy == DegradedPolicy::local_first && structured.ok() &&
+        !touches_straggler(b, target, structured.value())) {
+        return structured;
+    }
 
     auto greedy = greedy_repair(b, target, survivors);
     if (!structured.ok()) return greedy;
@@ -202,9 +241,10 @@ Result<AccessPlan> plan_degraded_read(const Scheme& scheme, ElementId start, std
 }
 
 Result<AccessPlan> plan_degraded_read(const Scheme& scheme, ElementId start, std::int64_t count,
-                                      const std::vector<DiskId>& failed_disks, DegradedPolicy policy) {
+                                      const std::vector<DiskId>& failed_disks, DegradedPolicy policy,
+                                      const std::vector<char>* stragglers) {
     const auto& layout = scheme.layout();
-    PlanBuilder b(scheme);
+    PlanBuilder b(scheme, stragglers);
 
     std::vector<bool> disk_failed(static_cast<std::size_t>(scheme.disks()), false);
     for (DiskId d : failed_disks) {

@@ -50,9 +50,18 @@ Result<AccessPlan> plan_degraded_read(const Scheme& scheme, ElementId start, std
 /// (LRC local sets) are used when fully alive; otherwise the planner falls
 /// back to MDS any-k selection or the full survivor set. Fails with
 /// Error::undecodable when a required element cannot be rebuilt.
+///
+/// `stragglers` (optional, indexed by DiskId, 1 = flagged — typically
+/// obs::DiskHeatModel::straggler_mask) adds a health-aware tie-break:
+/// repair sources avoid flagged disks when an equally-balanced healthy
+/// choice exists, and an intact structured set that would touch a
+/// straggler competes against the greedy alternative instead of winning
+/// outright. Flagged disks are still *eligible* — health never makes a
+/// plan infeasible, it only reorders preferences.
 Result<AccessPlan> plan_degraded_read(const Scheme& scheme, ElementId start, std::int64_t count,
                                       const std::vector<DiskId>& failed_disks,
-                                      DegradedPolicy policy = DegradedPolicy::local_first);
+                                      DegradedPolicy policy = DegradedPolicy::local_first,
+                                      const std::vector<char>* stragglers = nullptr);
 
 /// Plan the offline reconstruction of every element of `failed_disk` over
 /// `stripes` stored stripes: one decode per lost element, repair sources

@@ -51,6 +51,7 @@ struct FetchOutcome {
 Status PlanExecutor::read_with_policy(DiskId disk, RowId row, ByteSpan out,
                                       const RecoveryOptions& opts, TraceCtx tc) const {
     const ExecutorMetrics& m = metrics();
+    obs::DiskHeatModel* const heat = this->heat();
     const bool timed = opts.op_timeout_ms > 0.0;
     for (int attempt = 0;; ++attempt) {
         const double trace_t0 = tc.rt != nullptr ? obs::forensic_now_us() : 0.0;
@@ -65,6 +66,7 @@ Status PlanExecutor::read_with_policy(DiskId disk, RowId row, ByteSpan out,
                 // Too slow to trust: discard the payload and route around
                 // the device rather than retrying into the same stall.
                 if (m.timeouts != nullptr) m.timeouts->add(1);
+                if (heat != nullptr) heat->on_timeout(disk, obs::DiskHeatModel::now_seconds());
                 if (tc.rt != nullptr) {
                     tc.rt->count_timeout();
                     tc.rt->complete(tc.parent, "op.timeout", trace_t0,
@@ -89,6 +91,7 @@ Status PlanExecutor::read_with_policy(DiskId disk, RowId row, ByteSpan out,
             return status;
         }
         if (m.retries != nullptr) m.retries->add(1);
+        if (heat != nullptr) heat->on_retry(disk, obs::DiskHeatModel::now_seconds());
         if (tc.rt != nullptr) {
             tc.rt->count_retry();
             tc.rt->complete(tc.parent, "retry", trace_t0, obs::forensic_now_us() - trace_t0,
@@ -134,6 +137,7 @@ Status PlanExecutor::submit_queue(DiskId disk, std::span<const RowId> rows,
         return Status::success();
     }
     const ExecutorMetrics& m = metrics();
+    obs::DiskHeatModel* const heat = this->heat();
     const std::size_t depth =
         opts.batch_elements > 0 ? static_cast<std::size_t>(opts.batch_elements) : rows.size();
     std::size_t offset = 0;
@@ -154,6 +158,7 @@ Status PlanExecutor::submit_queue(DiskId disk, std::span<const RowId> rows,
         Status retried = status;
         for (int attempt = 1; attempt <= opts.max_retries; ++attempt) {
             if (m.retries != nullptr) m.retries->add(1);
+            if (heat != nullptr) heat->on_retry(disk, obs::DiskHeatModel::now_seconds());
             if (tc.rt != nullptr) {
                 tc.rt->count_retry();
                 tc.rt->complete(tc.parent, "retry", obs::forensic_now_us(), 0.0,
@@ -204,17 +209,46 @@ bool PlanExecutor::side_decode(const GroupCoord& coord, const std::vector<char>&
     return true;
 }
 
+void PlanExecutor::run_hedged_queue(HedgeState& state, std::size_t a) const {
+    // Runs on the pool, possibly after the requesting frame returned: it
+    // may touch only `state` (co-owned), the devices, and the executor's
+    // attached sinks (kept alive by the orphan drain protocol). No
+    // RequestTrace — that dies with the request.
+    HedgeState::Queue& q = state.queues[a];
+    obs::DiskHeatModel* const heat = this->heat();
+    q.issue_us = obs::forensic_now_us();
+    const auto t0 = std::chrono::steady_clock::now();
+    if (heat != nullptr) heat->on_issue(q.disk);
+    std::vector<ByteSpan> outs;
+    outs.reserve(q.bufs.size());
+    for (AlignedBuffer& buf : q.bufs) outs.push_back(buf.span());
+    q.status = submit_queue(q.disk, q.rows, std::span<const ByteSpan>(outs.data(), outs.size()),
+                            state.opts, &q.done_ops, TraceCtx{});
+    q.dur_us =
+        std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0).count();
+    if (heat != nullptr) {
+        const double now_s = obs::DiskHeatModel::now_seconds();
+        heat->on_complete(q.disk, static_cast<std::int64_t>(q.done_ops),
+                          static_cast<std::int64_t>(q.done_ops) * element_bytes_, q.dur_us, now_s);
+        if (!q.status.ok() && q.status.error().code != Error::Code::timeout) {
+            heat->on_error(q.disk, now_s);
+        }
+    }
+}
+
 Result<PlanExecutor::FetchResult> PlanExecutor::fetch(const Replanner& replan,
                                                       std::vector<DiskId> excluded,
                                                       obs::RequestTrace* rt) const {
     const RecoveryOptions opts = recovery();
     const ExecutorMetrics& m = metrics();
     obs::Tracer* const tracer = this->tracer();
+    obs::DiskHeatModel* const heat = this->heat();
 
     // Elements fetched (or hedge-decoded) so far, kept across replan
     // rounds so recovery never re-reads what it already holds.
     ElementMap fetched;
     std::optional<AccessPlan> plan;
+    bool request_load_recorded = false;  // heat records max load once per request
 
     // Issue everything the plan wants that we don't already hold, one
     // submission queue per disk — in parallel across disks when a thread
@@ -227,9 +261,28 @@ Result<PlanExecutor::FetchResult> PlanExecutor::fetch(const Replanner& replan,
         FetchOutcome outcome;
         const auto& fetches = p.fetches();
 
+        // Effective hedge deadline for this round: static hedge_ms, or —
+        // under auto_hedge with a warm heat window — derived from the
+        // participating disks' live windowed p99 (median * factor), so
+        // the deadline tracks the fleet's actual speed instead of a
+        // constant tuned for hardware that may no longer exist.
+        double hedge_deadline_ms = opts.hedge_ms;
+        if (opts.auto_hedge && heat != nullptr && pool_ != nullptr) {
+            std::vector<int> participating;
+            for (const core::DiskBatch& b : p.batches()) participating.push_back(b.disk);
+            const double derived =
+                heat->hedge_deadline_ms(participating, opts.auto_hedge_factor,
+                                        opts.auto_hedge_min_ms,
+                                        obs::DiskHeatModel::now_seconds());
+            if (derived > 0.0) hedge_deadline_ms = derived;
+        }
+        const bool hedge_mode = pool_ != nullptr && hedge_deadline_ms > 0.0;
+
         // Per-element buffers for this round; each belongs to exactly one
         // queue, so queue workers never share a buffer (the map itself is
-        // built before dispatch and only looked up afterwards).
+        // built before dispatch and only looked up afterwards). Hedged
+        // rounds skip it: their queue tasks own their buffers outright so
+        // a straggling queue can outlive this frame.
         ElementMap round;
         std::vector<core::DiskBatch> queues;
         for (core::DiskBatch& batch : p.batches()) {
@@ -241,11 +294,26 @@ Result<PlanExecutor::FetchResult> PlanExecutor::fetch(const Replanner& replan,
                 if (fetched.find(key) != fetched.end()) continue;
                 pending.fetch_indices.push_back(i);
                 pending.rows.push_back(batch.rows[j]);
-                round.try_emplace(key, AlignedBuffer(static_cast<std::size_t>(element_bytes_)));
+                if (!hedge_mode) {
+                    round.try_emplace(key,
+                                      AlignedBuffer(static_cast<std::size_t>(element_bytes_)));
+                }
             }
             if (!pending.fetch_indices.empty()) queues.push_back(std::move(pending));
         }
         if (queues.empty()) return outcome;
+
+        if (heat != nullptr && !request_load_recorded) {
+            // First round's deepest queue is the request's max per-disk
+            // load — the measured twin of closed_form_max_load.
+            request_load_recorded = true;
+            std::size_t max_load = 0;
+            for (const core::DiskBatch& q : queues) {
+                max_load = std::max(max_load, q.fetch_indices.size());
+            }
+            heat->on_request(static_cast<std::int64_t>(max_load),
+                             obs::DiskHeatModel::now_seconds());
+        }
 
         std::mutex state_mu;
         std::set<Key> succeeded;          // guarded by state_mu
@@ -256,6 +324,9 @@ Result<PlanExecutor::FetchResult> PlanExecutor::fetch(const Replanner& replan,
             const core::DiskBatch& queue = queues[a];
             const double issue_us = tracer != nullptr ? tracer->now_us() : 0.0;
             const double rt_issue_us = rt != nullptr ? obs::forensic_now_us() : 0.0;
+            const auto heat_t0 = heat != nullptr ? std::chrono::steady_clock::now()
+                                                 : std::chrono::steady_clock::time_point{};
+            if (heat != nullptr) heat->on_issue(queue.disk);
             std::vector<ByteSpan> outs;
             outs.reserve(queue.fetch_indices.size());
             for (std::size_t i : queue.fetch_indices) {
@@ -265,6 +336,18 @@ Result<PlanExecutor::FetchResult> PlanExecutor::fetch(const Replanner& replan,
             auto status = submit_queue(queue.disk, queue.rows,
                                        std::span<const ByteSpan>(outs.data(), outs.size()), opts,
                                        &done, TraceCtx{rt, fetch_node});
+            if (heat != nullptr) {
+                const double queue_us = std::chrono::duration<double, std::micro>(
+                                            std::chrono::steady_clock::now() - heat_t0)
+                                            .count();
+                const double now_s = obs::DiskHeatModel::now_seconds();
+                heat->on_complete(queue.disk, static_cast<std::int64_t>(done),
+                                  static_cast<std::int64_t>(done) * element_bytes_, queue_us,
+                                  now_s);
+                if (!status.ok() && status.error().code != Error::Code::timeout) {
+                    heat->on_error(queue.disk, now_s);
+                }
+            }
             if (rt != nullptr) {
                 const std::uint32_t batch_node = rt->complete(
                     fetch_node, "disk.batch", rt_issue_us, obs::forensic_now_us() - rt_issue_us,
@@ -295,37 +378,56 @@ Result<PlanExecutor::FetchResult> PlanExecutor::fetch(const Replanner& replan,
         };
 
         ElementMap hedged;
-        if (pool_ != nullptr && opts.hedge_ms > 0.0) {
-            // Hedged execution: dispatch the queues, and when the slowest
-            // one is still running past the hedge deadline, decode its
-            // elements from the other disks instead of waiting on it. All
-            // queues are still joined before returning (their buffers are
-            // referenced from this frame).
-            std::mutex done_mu;
-            std::condition_variable done_cv;
-            std::size_t done = 0;
-            std::vector<char> queue_done(queues.size(), 0);
+        if (hedge_mode) {
+            // Hedged execution: every queue is a self-contained task that
+            // owns its buffers and co-owns the shared round state. When
+            // the slowest queue is still running past the hedge deadline,
+            // its elements are decoded from the other disks and the round
+            // returns WITHOUT joining it — the orphaned queue finishes on
+            // the pool (tracked by the executor's orphan counter so sinks
+            // and devices outlive it), keeps feeding the heat model with
+            // its true stall latency, and its late payload is dropped
+            // with the last shared reference to the state.
+            auto state = std::make_shared<HedgeState>();
+            state->opts = opts;
+            state->queue_done.assign(queues.size(), 0);
+            state->queues.resize(queues.size());
             for (std::size_t a = 0; a < queues.size(); ++a) {
-                pool_->submit([&, a] {
-                    run_queue(a);
-                    // Notify under the mutex: the waiter may destroy the cv
-                    // the moment its predicate holds, so the notify must not
-                    // touch the cv after releasing the lock.
-                    std::lock_guard<std::mutex> lock(done_mu);
-                    queue_done[a] = 1;
-                    ++done;
-                    done_cv.notify_all();
+                HedgeState::Queue& hq = state->queues[a];
+                hq.disk = queues[a].disk;
+                hq.rows = queues[a].rows;
+                hq.keys.reserve(queues[a].fetch_indices.size());
+                hq.bufs.reserve(queues[a].fetch_indices.size());
+                for (std::size_t i : queues[a].fetch_indices) {
+                    hq.keys.push_back(key_of(fetches[i].coord));
+                    hq.bufs.emplace_back(static_cast<std::size_t>(element_bytes_));
+                }
+            }
+            for (std::size_t a = 0; a < queues.size(); ++a) {
+                orphan_started();
+                pool_->submit([this, state, a] {
+                    run_hedged_queue(*state, a);
+                    {
+                        // Notify under the mutex: the waiter may drop its
+                        // state reference the moment the predicate holds.
+                        std::lock_guard<std::mutex> lock(state->mu);
+                        state->queue_done[a] = 1;
+                        ++state->done;
+                        state->cv.notify_all();
+                    }
+                    orphan_finished();
                 });
             }
-            std::unique_lock<std::mutex> lock(done_mu);
+            std::unique_lock<std::mutex> lock(state->mu);
             const bool all_done =
-                done_cv.wait_for(lock, std::chrono::duration<double, std::milli>(opts.hedge_ms),
-                                 [&] { return done == queues.size(); });
+                state->cv.wait_for(lock,
+                                   std::chrono::duration<double, std::milli>(hedge_deadline_ms),
+                                   [&] { return state->done == state->queues.size(); });
             if (!all_done) {
                 std::vector<char> avoid(devices_.size(), 0);
                 std::vector<std::size_t> stragglers;
                 for (std::size_t a = 0; a < queues.size(); ++a) {
-                    if (!queue_done[a]) {
+                    if (!state->queue_done[a]) {
                         avoid[static_cast<std::size_t>(queues[a].disk)] = 1;
                         stragglers.push_back(a);
                     }
@@ -335,15 +437,12 @@ Result<PlanExecutor::FetchResult> PlanExecutor::fetch(const Replanner& replan,
                 if (rt != nullptr) {
                     rt->complete(fetch_node, "hedge.trigger", obs::forensic_now_us(), 0.0,
                                  {{"stragglers", std::to_string(stragglers.size())},
-                                  {"deadline_ms", std::to_string(opts.hedge_ms)}});
+                                  {"deadline_ms", std::to_string(hedge_deadline_ms)},
+                                  {"auto", opts.auto_hedge ? "true" : "false"}});
                 }
                 for (std::size_t a : stragglers) {
                     for (std::size_t i : queues[a].fetch_indices) {
                         const Key key = key_of(fetches[i].coord);
-                        {
-                            std::lock_guard<std::mutex> state_lock(state_mu);
-                            if (succeeded.count(key) != 0) continue;
-                        }
                         if (m.hedged_reads != nullptr) m.hedged_reads->add(1);
                         if (rt != nullptr) rt->count_hedge();
                         AlignedBuffer target(static_cast<std::size_t>(element_bytes_));
@@ -362,7 +461,51 @@ Result<PlanExecutor::FetchResult> PlanExecutor::fetch(const Replanner& replan,
                     }
                 }
                 lock.lock();
-                done_cv.wait(lock, [&] { return done == queues.size(); });
+                // A straggler whose elements could not all be hedge-decoded
+                // must be joined after all — correctness beats the
+                // deadline. (Typical cause: every queue missed the deadline
+                // at once, e.g. a saturated pool, so `avoid` left no disks
+                // to decode from. A genuinely slow minority decodes fully
+                // and this wait returns immediately.)
+                state->cv.wait(lock, [&] {
+                    for (std::size_t a : stragglers) {
+                        if (state->queue_done[a] != 0) continue;
+                        for (const Key& key : state->queues[a].keys) {
+                            if (hedged.find(key) == hedged.end()) return false;
+                        }
+                    }
+                    return true;
+                });
+            }
+            // Harvest every queue that has finished by now — the decode
+            // window above may have let a near-miss complete. Stragglers
+            // stay orphaned; their elements were hedge-decoded instead.
+            const std::vector<char> finished = state->queue_done;
+            lock.unlock();
+            for (std::size_t a = 0; a < state->queues.size(); ++a) {
+                if (finished[a] == 0) continue;
+                HedgeState::Queue& hq = state->queues[a];
+                if (rt != nullptr) {
+                    const std::uint32_t batch_node = rt->complete(
+                        fetch_node, "disk.batch", hq.issue_us, hq.dur_us,
+                        {obs::RequestTrace::IntAttr{"disk", hq.disk},
+                         {"elements", static_cast<std::int64_t>(hq.keys.size())},
+                         {"done", static_cast<std::int64_t>(hq.done_ops)},
+                         {"bytes", static_cast<std::int64_t>(hq.done_ops) * element_bytes_}});
+                    if (!hq.status.ok()) rt->attr(batch_node, "error", hq.status.error().message);
+                }
+                if (tracer != nullptr) {
+                    tracer->complete("disk.batch", "io", tracer->now_us() - hq.dur_us, hq.dur_us,
+                                     {{"disk", std::to_string(hq.disk)},
+                                      {"elements", std::to_string(hq.keys.size())}});
+                }
+                if (!hq.status.ok()) {
+                    bad.push_back(hq.disk);
+                    last_error = hq.status.error();
+                }
+                for (std::size_t j = 0; j < hq.done_ops; ++j) {
+                    fetched.emplace(hq.keys[j], std::move(hq.bufs[j]));
+                }
             }
         } else if (pool_ != nullptr && queues.size() > 1) {
             parallel_for(*pool_, queues.size(), run_queue);

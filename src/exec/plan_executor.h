@@ -21,6 +21,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -37,6 +38,7 @@
 #include "common/types.h"
 #include "core/access_plan.h"
 #include "core/scheme.h"
+#include "obs/heat.h"
 #include "obs/metrics.h"
 #include "obs/request_trace.h"
 #include "obs/trace.h"
@@ -61,6 +63,15 @@ struct RecoveryOptions {
     /// outstanding after this deadline, hedge its elements by decoding
     /// them from the other disks instead of waiting.
     double hedge_ms = 0.0;
+    /// Adaptive hedging (needs a thread pool and an attached
+    /// DiskHeatModel): derive the hedge deadline per fetch round from the
+    /// participating disks' live windowed p99 latency —
+    /// auto_hedge_factor * median(p99), floored at auto_hedge_min_ms —
+    /// instead of the static hedge_ms. Until the heat window has enough
+    /// samples the static hedge_ms (possibly 0 = no hedging) applies.
+    bool auto_hedge = false;
+    double auto_hedge_factor = 3.0;
+    double auto_hedge_min_ms = 0.5;
     /// Degraded-read replans allowed per read as newly-misbehaving disks
     /// are discovered mid-flight.
     int max_replans = 2;
@@ -104,6 +115,19 @@ class PlanExecutor {
     PlanExecutor(const core::Scheme* scheme, std::int64_t element_bytes, ThreadPool* pool)
         : scheme_(scheme), element_bytes_(element_bytes), pool_(pool) {}
 
+    ~PlanExecutor() { drain_orphans(); }
+
+    /// Block until every orphaned hedge queue (a straggling per-disk fetch
+    /// abandoned at its hedge deadline, still finishing on the pool) has
+    /// completed. Owners of anything those queues touch — the devices, an
+    /// attached heat model or metric registry — must call this before
+    /// tearing that dependency down; attach() and the destructor do so
+    /// automatically.
+    void drain_orphans() const {
+        std::unique_lock<std::mutex> lock(orphan_mu_);
+        orphan_cv_.wait(lock, [&] { return orphans_ == 0; });
+    }
+
     /// (Re)bind the devices the executor issues I/O against, indexed by
     /// DiskId. Pointers must stay valid until the next bind.
     void bind(std::vector<store::BlockDevice*> devices) { devices_ = std::move(devices); }
@@ -119,8 +143,12 @@ class PlanExecutor {
 
     /// Swap the observability sinks; race-free against in-flight requests
     /// (atomic bundle publication, retired bundles live until the executor
-    /// is destroyed).
-    void attach(const ExecutorMetrics& metrics, obs::Tracer* tracer) {
+    /// is destroyed). `heat`, when given, is fed per-queue issue/complete
+    /// samples and per-request max batch loads, and powers auto_hedge.
+    /// Blocks until orphaned hedge queues still holding the previous sinks
+    /// have drained, so the caller may free those sinks on return.
+    void attach(const ExecutorMetrics& metrics, obs::Tracer* tracer,
+                obs::DiskHeatModel* heat = nullptr) {
         auto bundle = std::make_unique<const ExecutorMetrics>(metrics);
         const ExecutorMetrics* fresh = bundle.get();
         {
@@ -129,6 +157,8 @@ class PlanExecutor {
         }
         metrics_.store(fresh, std::memory_order_release);
         tracer_.store(tracer, std::memory_order_release);
+        heat_.store(heat, std::memory_order_release);
+        drain_orphans();
     }
 
     static Key key_of(const layout::GroupCoord& c) { return {c.stripe, c.group, c.position}; }
@@ -185,6 +215,7 @@ class PlanExecutor {
   private:
     const ExecutorMetrics& metrics() const { return *metrics_.load(std::memory_order_acquire); }
     obs::Tracer* tracer() const { return tracer_.load(std::memory_order_acquire); }
+    obs::DiskHeatModel* heat() const { return heat_.load(std::memory_order_acquire); }
 
     Status read_with_policy(DiskId disk, RowId row, ByteSpan out, const RecoveryOptions& opts,
                             TraceCtx tc = {}) const;
@@ -200,6 +231,44 @@ class PlanExecutor {
     /// that must not be touched (stragglers and excluded disks).
     bool side_decode(const layout::GroupCoord& coord, const std::vector<char>& avoid,
                      AlignedBuffer& target) const;
+
+    /// Shared state of one hedged fetch round. Heap-allocated and co-owned
+    /// by every queue task, so the requesting frame can return at the
+    /// hedge deadline without joining a straggling queue: the orphaned
+    /// task finishes on the pool against this state, and its late result
+    /// dies with the last shared reference.
+    struct HedgeState {
+        struct Queue {
+            DiskId disk = -1;
+            std::vector<RowId> rows;
+            std::vector<Key> keys;            // keys[j] identifies rows[j]
+            std::vector<AlignedBuffer> bufs;  // bufs[j] receives rows[j]
+            Status status = Status::success();
+            std::size_t done_ops = 0;
+            double issue_us = 0.0;  // forensic clock, for frame-side spans
+            double dur_us = 0.0;
+        };
+        RecoveryOptions opts;
+        std::mutex mu;
+        std::condition_variable cv;
+        std::size_t done = 0;             // guarded by mu
+        std::vector<char> queue_done;     // guarded by mu
+        std::vector<Queue> queues;        // queues[a] owned by task a until done
+    };
+
+    /// Task body of one hedged queue: self-contained device I/O + heat
+    /// feed, no access to the requesting frame (which may have returned).
+    void run_hedged_queue(HedgeState& state, std::size_t a) const;
+
+    void orphan_started() const {
+        std::lock_guard<std::mutex> lock(orphan_mu_);
+        ++orphans_;
+    }
+    void orphan_finished() const {
+        std::lock_guard<std::mutex> lock(orphan_mu_);
+        --orphans_;
+        orphan_cv_.notify_all();
+    }
 
     static const ExecutorMetrics* empty_metrics() {
         static const ExecutorMetrics none;
@@ -218,6 +287,11 @@ class PlanExecutor {
     std::mutex metrics_mu_;  // guards retired_
     std::vector<std::unique_ptr<const ExecutorMetrics>> retired_;
     std::atomic<obs::Tracer*> tracer_{nullptr};
+    std::atomic<obs::DiskHeatModel*> heat_{nullptr};
+
+    mutable std::mutex orphan_mu_;
+    mutable std::condition_variable orphan_cv_;
+    mutable std::int64_t orphans_ = 0;  // dispatched hedge queues not yet finished
 };
 
 }  // namespace ecfrm::exec

@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/heat.h"
 #include "obs/request_trace.h"
 
 namespace ecfrm::obs {
@@ -126,8 +127,8 @@ std::int64_t Snapshotter::captures() const {
 // ----------------------------------------------------------- ExpositionServer
 
 ExpositionServer::ExpositionServer(MetricRegistry* registry, Snapshotter* snapshotter,
-                                   RequestForensics* forensics)
-    : registry_(registry), snapshotter_(snapshotter), forensics_(forensics) {}
+                                   RequestForensics* forensics, DiskHeatModel* heat)
+    : registry_(registry), snapshotter_(snapshotter), forensics_(forensics), heat_(heat) {}
 
 ExpositionServer::~ExpositionServer() { stop(); }
 
@@ -261,7 +262,37 @@ std::string ExpositionServer::respond(const std::string& path) {
     std::string body;
     std::string content_type = "text/plain; charset=utf-8";
     std::string status = "200 OK";
-    if (path == "/metrics") {
+    if (path == "/" || path == "/index") {
+        // Discoverability: one line per route. Routes gated on an
+        // unattached sink are listed but marked unavailable.
+        const bool f = forensics_ != nullptr;
+        const bool h = heat_.load(std::memory_order_acquire) != nullptr;
+        body += "ecfrm exposition server (" + registry_->name() + ")\n\n";
+        body += "/               this index\n";
+        body += "/metrics        Prometheus text exposition of every registered metric\n";
+        body += "/metrics.json   registry snapshot + per-second rates, one JSON document\n";
+        body += std::string("/slo            windowed SLO burn rates per request class") +
+                (f ? "\n" : "  [unavailable: no forensics attached]\n");
+        body += std::string("/slow           captured slow-request summaries") +
+                (f ? "\n" : "  [unavailable: no forensics attached]\n");
+        body += std::string("/slowlog        captured slow requests as NDJSON span trees") +
+                (f ? "\n" : "  [unavailable: no forensics attached]\n");
+        body += std::string("/requests/<id>  one captured request as chrome://tracing JSON") +
+                (f ? "\n" : "  [unavailable: no forensics attached]\n");
+        body += std::string("/disks          live per-disk heat snapshots (ecfrm.disks.v1)") +
+                (h ? "\n" : "  [unavailable: no heat model attached]\n");
+        body += std::string("/heat           cluster balance + straggler view (ecfrm.heat.v1)") +
+                (h ? "\n" : "  [unavailable: no heat model attached]\n");
+        body += "/healthz        liveness probe\n";
+        body += "/quitquitquit   release a held run (remote shutdown hook)\n";
+    } else if (DiskHeatModel* heat = heat_.load(std::memory_order_acquire);
+               path == "/disks" && heat != nullptr) {
+        body = heat->disks_json(DiskHeatModel::now_seconds());
+        content_type = "application/json";
+    } else if (path == "/heat" && heat != nullptr) {
+        body = heat->heat_json(DiskHeatModel::now_seconds());
+        content_type = "application/json";
+    } else if (path == "/metrics") {
         body = registry_->to_prometheus();
         content_type = "text/plain; version=0.0.4; charset=utf-8";
     } else if (path == "/metrics.json") {

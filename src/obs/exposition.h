@@ -9,17 +9,21 @@
 // survive the open internet: it binds loopback only.
 //
 // Routes:
+//   GET /               index: every route with a one-line description
 //   GET /metrics        Prometheus text exposition (to_prometheus)
 //   GET /metrics.json   registry snapshot + snapshotter rates, one document
 //   GET /slo            windowed SLO per request class (ecfrm.slo.v1)
 //   GET /slow           captured slow-request summaries (ecfrm.slow.v1)
 //   GET /slowlog        captured slow requests as NDJSON, full span trees
 //   GET /requests/<id>  one captured request as chrome://tracing JSON
+//   GET /disks          live per-disk heat snapshots (ecfrm.disks.v1)
+//   GET /heat           cluster balance + straggler view (ecfrm.heat.v1)
 //   GET /healthz        "ok"
 //   GET /quitquitquit   releases wait_for_quit() — remote shutdown hook
 //
 // The /slo, /slow, /slowlog and /requests routes answer 404 until a
-// RequestForensics is attached.
+// RequestForensics is attached; /disks and /heat answer 404 until a
+// DiskHeatModel is attached.
 #pragma once
 
 #include <atomic>
@@ -36,6 +40,7 @@
 namespace ecfrm::obs {
 
 class RequestForensics;
+class DiskHeatModel;
 
 /// Per-metric rate between the two most recent captures.
 struct MetricRate {
@@ -115,7 +120,8 @@ class Snapshotter {
 class ExpositionServer {
   public:
     explicit ExpositionServer(MetricRegistry* registry, Snapshotter* snapshotter = nullptr,
-                              RequestForensics* forensics = nullptr);
+                              RequestForensics* forensics = nullptr,
+                              DiskHeatModel* heat = nullptr);
     ~ExpositionServer();
 
     ExpositionServer(const ExpositionServer&) = delete;
@@ -134,6 +140,11 @@ class ExpositionServer {
     /// Bound port (valid after a successful start()).
     int port() const { return port_; }
 
+    /// Attach (or swap) the heat model serving /disks and /heat. Safe
+    /// while running: callers that only learn the device count after the
+    /// server is up (the CLI opens its archive post-bind) attach late.
+    void attach_heat(DiskHeatModel* heat) { heat_.store(heat, std::memory_order_release); }
+
     /// Block until GET /quitquitquit arrives or `timeout_seconds`
     /// passes. Returns true when quit was requested. Lets a CLI hold a
     /// finished run open for scraping with a remote release valve.
@@ -147,6 +158,7 @@ class ExpositionServer {
     MetricRegistry* registry_;
     Snapshotter* snapshotter_;
     RequestForensics* forensics_;
+    std::atomic<DiskHeatModel*> heat_;
 
     int listen_fd_ = -1;
     int port_ = 0;

@@ -131,6 +131,10 @@ struct IoStats {
     Counter* read_error_bytes = nullptr;
     Counter* write_errors = nullptr;
     Counter* write_error_bytes = nullptr;
+    // Live per-device queue depth: ops issued but not yet completed
+    // (ecfrm_disk_in_flight_ops). Incremented at issue, decremented at
+    // completion whether the op succeeded or failed.
+    Gauge* in_flight = nullptr;
 
     void on_read(std::int64_t bytes, double seconds) const {
         if (read_ops != nullptr) read_ops->add(1);
@@ -149,6 +153,12 @@ struct IoStats {
     void on_write_error(std::int64_t bytes) const {
         if (write_errors != nullptr) write_errors->add(1);
         if (write_error_bytes != nullptr) write_error_bytes->add(bytes);
+    }
+    void on_issue(std::int64_t ops = 1) const {
+        if (in_flight != nullptr) in_flight->add(static_cast<double>(ops));
+    }
+    void on_settled(std::int64_t ops = 1) const {
+        if (in_flight != nullptr) in_flight->add(-static_cast<double>(ops));
     }
     bool reads_timed() const { return read_seconds != nullptr; }
     bool writes_timed() const { return write_seconds != nullptr; }

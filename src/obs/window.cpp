@@ -135,6 +135,58 @@ double WindowedHistogram::percentile(double q, double now_seconds) const {
     return hi;
 }
 
+// ------------------------------------------------------------ WindowedCounter
+
+WindowedCounter::WindowedCounter(double window_seconds, int sub_windows) {
+    const int subs = std::max(1, sub_windows);
+    const double window = window_seconds > 0.0 ? window_seconds : 60.0;
+    sub_seconds_ = window / static_cast<double>(subs);
+    subs_.resize(static_cast<std::size_t>(subs));
+}
+
+std::int64_t WindowedCounter::epoch_of(double now_seconds) const {
+    return static_cast<std::int64_t>(std::floor(now_seconds / sub_seconds_));
+}
+
+void WindowedCounter::advance(std::int64_t epoch) const {
+    const std::int64_t oldest = epoch - static_cast<std::int64_t>(subs_.size()) + 1;
+    for (Sub& s : subs_) {
+        if (s.epoch >= oldest && s.epoch <= epoch) continue;
+        s.epoch = -1;
+        s.value = 0;
+    }
+}
+
+void WindowedCounter::add(std::int64_t delta, double now_seconds) {
+    const std::int64_t epoch = epoch_of(now_seconds);
+    std::lock_guard lk(mu_);
+    advance(epoch);
+    Sub& s = subs_[static_cast<std::size_t>(((epoch % static_cast<std::int64_t>(subs_.size())) +
+                                             static_cast<std::int64_t>(subs_.size())) %
+                                            static_cast<std::int64_t>(subs_.size()))];
+    if (s.epoch != epoch) {
+        s.epoch = epoch;
+        s.value = 0;
+    }
+    s.value += delta;
+}
+
+std::int64_t WindowedCounter::total(double now_seconds) const {
+    const std::int64_t epoch = epoch_of(now_seconds);
+    std::lock_guard lk(mu_);
+    advance(epoch);
+    std::int64_t total = 0;
+    for (const Sub& s : subs_) {
+        if (s.epoch != -1) total += s.value;
+    }
+    return total;
+}
+
+double WindowedCounter::rate(double now_seconds) const {
+    const double window = window_seconds();
+    return window > 0.0 ? static_cast<double>(total(now_seconds)) / window : 0.0;
+}
+
 // ----------------------------------------------------------------- SloTracker
 
 SloTracker::SloTracker(Options options) : options_(options) {

@@ -72,6 +72,41 @@ class WindowedHistogram {
     mutable std::vector<Sub> subs_;
 };
 
+/// Sliding-window counter: add() deltas land in the current sub-window
+/// and total() sums only the live ring, so "ops in the last W seconds"
+/// decays to zero when traffic stops. Same clock contract as
+/// WindowedHistogram. rate() divides by the window span, yielding a
+/// per-second figure that smooths over the sub-window granularity.
+class WindowedCounter {
+  public:
+    explicit WindowedCounter(double window_seconds = 60.0, int sub_windows = 6);
+
+    WindowedCounter(const WindowedCounter&) = delete;
+    WindowedCounter& operator=(const WindowedCounter&) = delete;
+
+    double window_seconds() const { return sub_seconds_ * static_cast<double>(subs_.size()); }
+
+    void add(std::int64_t delta, double now_seconds);
+
+    /// Sum of deltas inside the live window.
+    std::int64_t total(double now_seconds) const;
+    /// total / window_seconds (a smoothed per-second rate).
+    double rate(double now_seconds) const;
+
+  private:
+    struct Sub {
+        std::int64_t epoch = -1;
+        std::int64_t value = 0;
+    };
+
+    std::int64_t epoch_of(double now_seconds) const;
+    void advance(std::int64_t epoch) const;
+
+    double sub_seconds_;
+    mutable std::mutex mu_;
+    mutable std::vector<Sub> subs_;
+};
+
 /// Windowed service-level objective: "`objective` of requests complete
 /// under `target_latency_us`". Each finished request is good or bad
 /// (bad: over target, or failed outright); the tracker keeps good/bad

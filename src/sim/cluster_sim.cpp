@@ -31,7 +31,7 @@ double ClusterStats::throughput_mb_s() const {
 
 ClusterStats run_cluster(std::vector<ClusterRequest> requests, const DiskModel& model, int disks,
                          Rng& rng, obs::MetricRegistry* metrics,
-                         obs::RequestForensics* forensics) {
+                         obs::RequestForensics* forensics, obs::DiskHeatModel* heat) {
     EventQueue queue;
     // Per-disk FIFO: the time at which the disk becomes free.
     std::vector<double> disk_free(static_cast<std::size_t>(disks), 0.0);
@@ -106,6 +106,13 @@ ClusterStats run_cluster(std::vector<ClusterRequest> requests, const DiskModel& 
                 fetch_node = rt->begin(obs::RequestTrace::kRoot, "fetch", arrival_us);
                 fetch_nodes[i] = fetch_node;
             }
+            if (heat != nullptr && !p.batches.empty()) {
+                std::size_t max_load = 0;
+                for (const auto& batch : p.batches) {
+                    max_load = std::max(max_load, batch.rows.size());
+                }
+                heat->on_request(static_cast<std::int64_t>(max_load), queue.now());
+            }
             if (p.outstanding == 0) {
                 // Degenerate empty plan: completes instantly on arrival.
                 stats.results[i].completion_seconds = queue.now();
@@ -144,7 +151,15 @@ ClusterStats run_cluster(std::vector<ClusterRequest> requests, const DiskModel& 
                          {"depth", std::to_string(disk_outstanding[static_cast<std::size_t>(d)])}});
                 }
                 ++disk_outstanding[static_cast<std::size_t>(d)];
-                queue.schedule_at(done, [&, i, d] {
+                const double submitted = queue.now();
+                if (heat != nullptr) heat->on_issue(d);
+                queue.schedule_at(done, [&, i, d, submitted, batch_elements] {
+                    if (heat != nullptr) {
+                        heat->on_complete(d, static_cast<std::int64_t>(batch_elements),
+                                          static_cast<std::int64_t>(batch_elements) *
+                                              model.element_bytes(),
+                                          (queue.now() - submitted) * 1e6, queue.now());
+                    }
                     --disk_outstanding[static_cast<std::size_t>(d)];
                     auto& pi = pending[i];
                     assert(pi.outstanding > 0);

@@ -12,6 +12,7 @@
 
 #include "common/rng.h"
 #include "core/access_plan.h"
+#include "obs/heat.h"
 #include "obs/metrics.h"
 #include "obs/request_trace.h"
 #include "sim/disk_model.h"
@@ -55,8 +56,15 @@ struct ClusterStats {
 /// batch and queue-wait spans) and feeds the per-class SLO windows —
 /// plans that decode count as degraded — so tail forensics work the same
 /// against the simulator as against a real store.
+///
+/// With a `heat` model, every simulated batch feeds the live disk-heat
+/// scoreboard on the *simulated* clock (issue at batch start, complete
+/// with the batch's service time, plus each request's max batch load),
+/// so balance/straggler queries read identically against sim output —
+/// construct the model with the same clock domain in mind.
 ClusterStats run_cluster(std::vector<ClusterRequest> requests, const DiskModel& model, int disks,
                          Rng& rng, obs::MetricRegistry* metrics = nullptr,
-                         obs::RequestForensics* forensics = nullptr);
+                         obs::RequestForensics* forensics = nullptr,
+                         obs::DiskHeatModel* heat = nullptr);
 
 }  // namespace ecfrm::sim

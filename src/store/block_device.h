@@ -111,10 +111,12 @@ class BlockDevice {
         IoTimer(const obs::IoStats& io, bool is_read, std::int64_t bytes)
             : io_(io), is_read_(is_read), bytes_(bytes),
               timed_(is_read ? io.reads_timed() : io.writes_timed()) {
+            io.on_issue(1);
             if (timed_) start_ = std::chrono::steady_clock::now();
         }
 
         void done(const Status& status) {
+            io_.on_settled(1);
             if (!status.ok()) {
                 if (is_read_) {
                     io_.on_read_error(bytes_);
@@ -146,14 +148,17 @@ class BlockDevice {
     /// meaningful when implementations hold one lock per batch.
     class BatchIoTimer {
       public:
-        BatchIoTimer(const obs::IoStats& io, bool is_read, std::int64_t bytes_per_op)
-            : io_(io), is_read_(is_read), bytes_per_op_(bytes_per_op),
+        BatchIoTimer(const obs::IoStats& io, bool is_read, std::int64_t bytes_per_op,
+                     std::size_t ops)
+            : io_(io), is_read_(is_read), bytes_per_op_(bytes_per_op), ops_(ops),
               timed_(is_read ? io.reads_timed() : io.writes_timed()) {
+            io.on_issue(static_cast<std::int64_t>(ops));
             if (timed_) start_ = std::chrono::steady_clock::now();
         }
 
         /// `ok_ops` ops succeeded; `failed` marks one trailing failed op.
         void done(std::size_t ok_ops, bool failed) {
+            io_.on_settled(static_cast<std::int64_t>(ops_));
             const double seconds =
                 timed_ ? std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count()
                        : 0.0;
@@ -178,6 +183,7 @@ class BlockDevice {
         const obs::IoStats& io_;
         bool is_read_;
         std::int64_t bytes_per_op_;
+        std::size_t ops_;
         bool timed_;
         std::chrono::steady_clock::time_point start_{};
     };

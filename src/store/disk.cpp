@@ -56,7 +56,7 @@ Status Disk::read_batch(std::span<const RowId> rows, std::span<const ByteSpan> o
             return Error::invalid("element size mismatch on read");
         }
     }
-    BatchIoTimer timer(io_stats(), /*is_read=*/true, element_bytes_);
+    BatchIoTimer timer(io_stats(), /*is_read=*/true, element_bytes_, rows.size());
     std::size_t done = 0;
     auto status = [&]() -> Status {
         std::lock_guard lk(mu_);
@@ -84,7 +84,7 @@ Status Disk::write_batch(std::span<const RowId> rows, std::span<const ConstByteS
             return Error::invalid("element size mismatch on write");
         }
     }
-    BatchIoTimer timer(io_stats(), /*is_read=*/false, element_bytes_);
+    BatchIoTimer timer(io_stats(), /*is_read=*/false, element_bytes_, rows.size());
     std::size_t done = 0;
     auto status = [&]() -> Status {
         std::lock_guard lk(mu_);

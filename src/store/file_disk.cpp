@@ -152,7 +152,7 @@ Status FileDisk::read_batch(std::span<const RowId> rows, std::span<const ByteSpa
             return Error::invalid("element size mismatch on read");
         }
     }
-    BatchIoTimer timer(io_stats(), /*is_read=*/true, element_bytes_);
+    BatchIoTimer timer(io_stats(), /*is_read=*/true, element_bytes_, rows.size());
     std::size_t done = 0;
     auto status = [&]() -> Status {
         std::lock_guard lk(mu_);
@@ -191,7 +191,7 @@ Status FileDisk::write_batch(std::span<const RowId> rows, std::span<const ConstB
             return Error::invalid("element size mismatch on write");
         }
     }
-    BatchIoTimer timer(io_stats(), /*is_read=*/false, element_bytes_);
+    BatchIoTimer timer(io_stats(), /*is_read=*/false, element_bytes_, rows.size());
     std::size_t done = 0;
     auto status = [&]() -> Status {
         std::lock_guard lk(mu_);

@@ -50,11 +50,13 @@ void StripeStore::bind_executor() {
 }
 
 void StripeStore::attach_observability(obs::MetricRegistry* metrics, obs::Tracer* tracer,
-                                       obs::RequestForensics* forensics) {
+                                       obs::RequestForensics* forensics,
+                                       obs::DiskHeatModel* heat) {
     StoreObs fresh;
     exec::ExecutorMetrics exec_metrics;
     fresh.tracer = tracer;
     fresh.forensics = forensics;
+    fresh.heat = heat;
     if (metrics == nullptr) {
         for (auto& disk : disks_) disk->attach_io_stats({});
     } else {
@@ -72,7 +74,7 @@ void StripeStore::attach_observability(obs::MetricRegistry* metrics, obs::Tracer
         exec_metrics.replans = &metrics->counter("ecfrm_store_replans_total");
         exec_metrics.hedged_reads = &metrics->counter("ecfrm_store_hedged_reads_total");
     }
-    executor_.attach(exec_metrics, tracer);
+    executor_.attach(exec_metrics, tracer, heat);
     auto bundle = std::make_unique<const StoreObs>(fresh);
     const StoreObs* published = bundle.get();
     {
@@ -411,7 +413,16 @@ Status StripeStore::execute_read_traced(ElementId start, std::int64_t count, Byt
         auto planned = [&]() -> Result<AccessPlan> {
             if (excl.empty()) return core::plan_normal_read(scheme_, start, count);
             if (o.degraded_reads_total != nullptr) o.degraded_reads_total->add(1);
-            auto degraded = core::plan_degraded_read(scheme_, start, count, excl);
+            // Health-aware planning: flagged stragglers lose repair-source
+            // ties, so degraded reads drift off slow disks as the heat
+            // window observes them.
+            std::vector<char> straggler_mask;
+            if (o.heat != nullptr) {
+                straggler_mask = o.heat->straggler_mask(obs::DiskHeatModel::now_seconds());
+            }
+            auto degraded = core::plan_degraded_read(
+                scheme_, start, count, excl, core::DegradedPolicy::local_first,
+                straggler_mask.empty() ? nullptr : &straggler_mask);
             if (!degraded.ok()) {
                 if (degraded.error().code == Error::Code::undecodable) {
                     return Error::beyond_tolerance(

@@ -65,6 +65,11 @@ class StripeStore {
     /// provided, encode, reconstruction and fetch queues parallelise.
     StripeStore(core::Scheme scheme, std::int64_t element_bytes, ThreadPool* pool = nullptr);
 
+    /// Orphaned hedge queues (straggling fetches abandoned at their hedge
+    /// deadline) still reference the devices; drain them before the
+    /// devices are destroyed.
+    ~StripeStore() { executor_.drain_orphans(); }
+
     /// Store over caller-provided devices. Fails if any device cannot be
     /// built or reports the wrong element size.
     static Result<std::unique_ptr<StripeStore>> open(core::Scheme scheme, std::int64_t element_bytes,
@@ -148,12 +153,16 @@ class StripeStore {
     /// per-disk batch -> decode -> assemble) on `tracer`. With a
     /// `forensics`, every read (and scrub pass) additionally gets a
     /// per-request causal span tree, feeds the per-class SLO windows,
-    /// and is captured when slow or recovery-active. Race-free against
-    /// in-flight operations: sinks are published as atomically swapped
-    /// bundles, so attaching mid-traffic is safe; detached paths cost an
-    /// atomic load and a null check.
+    /// and is captured when slow or recovery-active. With a `heat`
+    /// model, every fetch queue feeds the live per-disk scoreboard, the
+    /// degraded planner's health tie-break consumes its straggler mask,
+    /// and the executor's auto_hedge policy derives deadlines from its
+    /// windowed p99s. Race-free against in-flight operations: sinks are
+    /// published as atomically swapped bundles, so attaching mid-traffic
+    /// is safe; detached paths cost an atomic load and a null check.
     void attach_observability(obs::MetricRegistry* metrics, obs::Tracer* tracer = nullptr,
-                              obs::RequestForensics* forensics = nullptr);
+                              obs::RequestForensics* forensics = nullptr,
+                              obs::DiskHeatModel* heat = nullptr);
 
     /// Scrub pass: audit every group's parity equations and repair
     /// single-element silent corruptions. A corrupt element is identified
@@ -170,6 +179,7 @@ class StripeStore {
     struct StoreObs {
         obs::Tracer* tracer = nullptr;
         obs::RequestForensics* forensics = nullptr;
+        obs::DiskHeatModel* heat = nullptr;
         obs::Counter* reads_total = nullptr;
         obs::Counter* degraded_reads_total = nullptr;
         obs::Counter* read_elements_total = nullptr;

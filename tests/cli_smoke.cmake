@@ -199,6 +199,48 @@ if(NOT SLOW MATCHES "ecfrm.slow.v1")
   message(FATAL_ERROR "/slow output missing schema tag:\n${SLOW}")
 endif()
 
+# The index route lists every endpoint; /disks and /heat serve the live
+# heat scoreboard the held read just fed.
+file(DOWNLOAD http://127.0.0.1:${PORT}/ ${WORK}/index.txt TIMEOUT 10 STATUS idx_status)
+list(GET idx_status 0 idx_rc)
+if(NOT idx_rc EQUAL 0)
+  message(FATAL_ERROR "GET / failed: ${idx_status}")
+endif()
+file(READ ${WORK}/index.txt INDEX)
+foreach(want "/metrics" "/slo" "/slow" "/disks" "/heat" "/quitquitquit")
+  if(NOT INDEX MATCHES "${want}")
+    message(FATAL_ERROR "index route missing '${want}':\n${INDEX}")
+  endif()
+endforeach()
+
+file(DOWNLOAD http://127.0.0.1:${PORT}/disks ${WORK}/disks.json TIMEOUT 10 STATUS disks_status)
+list(GET disks_status 0 disks_rc)
+if(NOT disks_rc EQUAL 0)
+  message(FATAL_ERROR "GET /disks failed: ${disks_status}")
+endif()
+check_balanced(${WORK}/disks.json "{" "}")
+file(READ ${WORK}/disks.json DISKS)
+foreach(want "ecfrm.disks.v1" "\"in_flight\"" "\"ewma_latency_us\"" "\"p99_latency_us\""
+        "\"straggler\"")
+  if(NOT DISKS MATCHES "${want}")
+    message(FATAL_ERROR "/disks output missing '${want}':\n${DISKS}")
+  endif()
+endforeach()
+
+file(DOWNLOAD http://127.0.0.1:${PORT}/heat ${WORK}/heat_route.json TIMEOUT 10 STATUS heat_status)
+list(GET heat_status 0 heat_rc)
+if(NOT heat_rc EQUAL 0)
+  message(FATAL_ERROR "GET /heat failed: ${heat_status}")
+endif()
+check_balanced(${WORK}/heat_route.json "{" "}")
+file(READ ${WORK}/heat_route.json HEATR)
+foreach(want "ecfrm.heat.v1" "\"measured_max_load\"" "\"load_factor\"" "\"skew_cov\""
+        "\"stragglers\"")
+  if(NOT HEATR MATCHES "${want}")
+    message(FATAL_ERROR "/heat output missing '${want}':\n${HEATR}")
+  endif()
+endforeach()
+
 file(DOWNLOAD http://127.0.0.1:${PORT}/quitquitquit ${WORK}/quit.txt TIMEOUT 10)
 
 # Slow-request forensics offline: the slowlog subcommand replays a seeded
@@ -216,6 +258,39 @@ check_balanced(${WORK}/slowreq.json "\\[" "\\]")
 file(READ ${WORK}/slowreq.json SLOWREQ)
 if(NOT SLOWREQ MATCHES "\"ph\":\"X\"")
   message(FATAL_ERROR "slowlog chrome export has no complete events:\n${SLOWREQ}")
+endif()
+
+# Live heat offline: the heat subcommand replays a seeded workload with the
+# disk scoreboard attached and dumps the same ecfrm.heat.v1 document the
+# /heat route serves, plus per-disk NDJSON for log pipelines.
+execute_process(COMMAND ${CLI} heat ${ARCH} --requests 24 --seed 7
+                        --out ${WORK}/heat.json --ndjson ${WORK}/disks.ndjson
+                RESULT_VARIABLE rc_heat OUTPUT_VARIABLE heat_table ERROR_VARIABLE heat_err)
+if(NOT rc_heat EQUAL 0)
+  message(FATAL_ERROR "heat failed (${rc_heat}): ${heat_err}")
+endif()
+foreach(want "heat: 24 requests" "ewma_us" "p99_us" "cluster: requests=24"
+        "measured_max_load" "load_factor")
+  if(NOT heat_table MATCHES "${want}")
+    message(FATAL_ERROR "heat table missing '${want}':\n${heat_table}")
+  endif()
+endforeach()
+check_balanced(${WORK}/heat.json "{" "}")
+file(READ ${WORK}/heat.json HEAT)
+foreach(want "ecfrm.heat.v1" "\"measured_max_load\"" "\"load_factor\"" "\"skew_cov\""
+        "\"hottest_disk\"" "\"stragglers\"" "\"disks\"")
+  if(NOT HEAT MATCHES "${want}")
+    message(FATAL_ERROR "heat.json missing '${want}':\n${HEAT}")
+  endif()
+endforeach()
+file(READ ${WORK}/disks.ndjson NDJSON)
+string(REGEX MATCHALL "\"disk\":[0-9]+" ndjson_disks "${NDJSON}")
+list(LENGTH ndjson_disks n_disks)
+if(NOT n_disks EQUAL 10)
+  message(FATAL_ERROR "disks.ndjson should hold 10 per-disk lines, got ${n_disks}:\n${NDJSON}")
+endif()
+if(NOT NDJSON MATCHES "\"ewma_latency_us\"")
+  message(FATAL_ERROR "disks.ndjson missing latency fields:\n${NDJSON}")
 endif()
 
 file(REMOVE_RECURSE ${WORK})

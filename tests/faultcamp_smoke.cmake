@@ -28,16 +28,27 @@ foreach(want "ecfrm.faultcamp.v1" "ecfrm.faultplan.v1" "\"pass\":true" "beyond_t
 endforeach()
 
 # Determinism: the same seed must reproduce the artifact byte for byte —
-# except the per-cell phase attribution, which is measured in real
-# wall-clock microseconds and varies run to run by design.
+# except wall-clock-dependent recovery intensity: per-cell phase
+# attribution, hedge counts, forensics capture counts, and the straggler
+# lab's measured latencies all ride on real deadlines racing real I/O
+# and vary run to run by design. Whether each cell PASSES is still
+# deterministic (both invocations must exit 0).
 execute_process(COMMAND ${CLI} faultcamp --seed 20260805 --out ${WORK}/faultcamp2.json
                 RESULT_VARIABLE rc2 OUTPUT_QUIET ERROR_QUIET)
 if(NOT rc2 EQUAL 0)
   message(FATAL_ERROR "faultcamp replay failed (${rc2})")
 endif()
 file(READ ${WORK}/faultcamp2.json ARTIFACT2)
-string(REGEX REPLACE "\"phase_us\":{[^}]*}" "\"phase_us\":{}" STABLE1 "${ARTIFACT}")
-string(REGEX REPLACE "\"phase_us\":{[^}]*}" "\"phase_us\":{}" STABLE2 "${ARTIFACT2}")
+set(ARTIFACT1 "${ARTIFACT}")
+foreach(doc 1 2)
+  set(stable "${ARTIFACT${doc}}")
+  string(REGEX REPLACE "\"phase_us\":{[^}]*}" "\"phase_us\":{}" stable "${stable}")
+  string(REGEX REPLACE "\"p99_us\":[0-9.]+" "\"p99_us\":0" stable "${stable}")
+  string(REGEX REPLACE "\"hedged\":[0-9]+" "\"hedged\":0" stable "${stable}")
+  string(REGEX REPLACE "\"hedged_reads\":[0-9]+" "\"hedged_reads\":0" stable "${stable}")
+  string(REGEX REPLACE "\"captured\":[0-9]+" "\"captured\":0" stable "${stable}")
+  set(STABLE${doc} "${stable}")
+endforeach()
 if(NOT STABLE1 STREQUAL STABLE2)
   message(FATAL_ERROR "faultcamp artifact is not deterministic for a fixed seed")
 endif()

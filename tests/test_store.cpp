@@ -384,6 +384,12 @@ struct FaultyFixture {
         store->attach_observability(&metrics);  // after writes: count only reads
     }
 
+    ~FaultyFixture() {
+        // Detach before `metrics` dies: the swap drains any orphaned hedge
+        // queue still feeding the registry's per-disk IoStats.
+        if (store != nullptr) store->attach_observability(nullptr);
+    }
+
     std::int64_t counter(const char* name) { return metrics.counter(name).value(); }
 };
 

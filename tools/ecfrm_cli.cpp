@@ -40,6 +40,7 @@
 #include "core/scheme.h"
 #include "layout/layout.h"
 #include "obs/exposition.h"
+#include "obs/heat.h"
 #include "obs/metrics.h"
 #include "obs/request_trace.h"
 #include "obs/trace.h"
@@ -73,6 +74,8 @@ int usage() {
                  " [--failed d0,d1] [--policy local|balance]\n"
                  "  ecfrm_cli slowlog <dir> [--requests N] [--read-elems N] [--threshold-us T]\n"
                  "      [--seed S] [--out slow.ndjson] [--chrome-out trace.json]\n"
+                 "  ecfrm_cli heat <dir> [--requests N] [--read-elems N] [--seed S]\n"
+                 "      [--out heat.json] [--ndjson disks.ndjson]\n"
                  "  ecfrm_cli faultcamp [--seed S] [--elem BYTES] [--out artifact.json]\n"
                  "  ecfrm_cli simd [--out artifact.json]\n"
                  "  ecfrm_cli serve-bench <code_spec> <layout> [--threads N] [--requests N]"
@@ -83,7 +86,8 @@ int usage() {
                  "  --metrics-prom <file>  dump metrics in Prometheus text format\n"
                  "  --trace-out <file>     dump spans as chrome://tracing JSON\n"
                  "  --serve <port>         serve /metrics, /metrics.json, /slo, /slow,\n"
-                 "                         /requests/<id> and /healthz on 127.0.0.1\n"
+                 "                         /requests/<id>, /disks, /heat and /healthz on\n"
+                 "                         127.0.0.1 (GET / lists every route)\n"
                  "  --serve-hold <secs>    keep serving after the command (GET /quitquitquit ends)\n");
     return 2;
 }
@@ -98,8 +102,20 @@ struct ObsOutputs {
     std::unique_ptr<obs::MetricRegistry> metrics;
     std::unique_ptr<obs::Tracer> tracer;
     std::unique_ptr<obs::RequestForensics> forensics;
+    std::unique_ptr<obs::DiskHeatModel> heat;  // sized lazily at archive open
     std::unique_ptr<obs::Snapshotter> snapshotter;
     std::unique_ptr<obs::ExpositionServer> server;
+
+    /// The heat model needs the device count, which is only known once an
+    /// archive's manifest is read — after enable() has already started the
+    /// server. Store commands call this as they open, and the server picks
+    /// the model up mid-flight.
+    void attach_heat_for(int disks) {
+        if (metrics == nullptr && tracer == nullptr) return;
+        if (heat != nullptr && heat->disks() == disks) return;
+        heat = std::make_unique<obs::DiskHeatModel>(disks);
+        if (server != nullptr) server->attach_heat(heat.get());
+    }
 
     void enable() {
         if (!metrics_path.empty() || !prometheus_path.empty() || serve_port >= 0) {
@@ -195,8 +211,9 @@ Result<Archive> open_archive(const std::string& dir) {
     if (!st.ok()) return st.error();
     auto restored = st.value()->restore(manifest->extents, manifest->stripes);
     if (!restored.ok()) return restored.error();
+    g_obs.attach_heat_for(st.value()->scheme().disks());
     st.value()->attach_observability(g_obs.metrics.get(), g_obs.tracer.get(),
-                                     g_obs.forensics.get());
+                                     g_obs.forensics.get(), g_obs.heat.get());
     return Archive{std::move(manifest).take(), std::move(st).take()};
 }
 
@@ -508,7 +525,8 @@ int cmd_slowlog(const std::vector<std::string>& args) {
     opts.slow_threshold_us = threshold_us;
     opts.max_exemplars = static_cast<std::size_t>(requests);
     obs::RequestForensics forensics(opts);
-    archive->store->attach_observability(g_obs.metrics.get(), g_obs.tracer.get(), &forensics);
+    archive->store->attach_observability(g_obs.metrics.get(), g_obs.tracer.get(), &forensics,
+                                         g_obs.heat.get());
 
     const std::int64_t element_bytes = archive->manifest.element_bytes;
     const std::int64_t max_len = std::min<std::int64_t>(read_elems * element_bytes, committed);
@@ -523,7 +541,7 @@ int cmd_slowlog(const std::vector<std::string>& args) {
         if (!read.ok()) ++failures;
     }
     archive->store->attach_observability(g_obs.metrics.get(), g_obs.tracer.get(),
-                                         g_obs.forensics.get());
+                                         g_obs.forensics.get(), g_obs.heat.get());
 
     const auto exemplars = forensics.exemplars();
     std::printf("slowlog: %d requests, %zu captured (threshold %.1f us), %d failed\n", requests,
@@ -562,6 +580,107 @@ int cmd_slowlog(const std::vector<std::string>& args) {
         if (!ObsOutputs::write_file(chrome_path, slowest->chrome_json())) return 1;
         std::printf("chrome trace of request %llu -> %s\n",
                     static_cast<unsigned long long>(slowest->id()), chrome_path.c_str());
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// heat: replay a seeded read workload against an archive with the live
+// disk-heat scoreboard attached, then print the per-device health table and
+// the cluster balance summary. --out dumps the full ecfrm.heat.v1 snapshot
+// (the same document the /heat route serves); --ndjson dumps one JSON
+// object per disk per line for log-pipeline ingestion. Without --out the
+// snapshot goes to stdout after the table.
+
+int cmd_heat(const std::vector<std::string>& args) {
+    if (args.size() < 3) return usage();
+    const std::string& dir = args[2];
+    int requests = 64;
+    long long read_elems = 8;
+    unsigned long long seed = 1;
+    std::string out_path;
+    std::string ndjson_path;
+    for (std::size_t i = 3; i < args.size(); ++i) {
+        if (args[i] == "--requests" && i + 1 < args.size()) {
+            requests = std::atoi(args[++i].c_str());
+        } else if (args[i] == "--read-elems" && i + 1 < args.size()) {
+            read_elems = std::atoll(args[++i].c_str());
+        } else if (args[i] == "--seed" && i + 1 < args.size()) {
+            seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+        } else if (args[i] == "--out" && i + 1 < args.size()) {
+            out_path = args[++i];
+        } else if (args[i] == "--ndjson" && i + 1 < args.size()) {
+            ndjson_path = args[++i];
+        } else {
+            return usage();
+        }
+    }
+    if (requests <= 0 || read_elems <= 0) {
+        std::fprintf(stderr, "error: --requests and --read-elems must be positive\n");
+        return 1;
+    }
+
+    auto archive = open_archive(dir);
+    if (!archive.ok()) return fail_with(archive.error());
+    const std::int64_t committed = archive->store->committed_bytes();
+    if (committed <= 0) {
+        std::fprintf(stderr, "error: archive holds no committed bytes\n");
+        return 1;
+    }
+
+    obs::DiskHeatModel heat(archive->store->scheme().disks());
+    archive->store->attach_observability(g_obs.metrics.get(), g_obs.tracer.get(),
+                                         g_obs.forensics.get(), &heat);
+
+    const std::int64_t element_bytes = archive->manifest.element_bytes;
+    const std::int64_t max_len = std::min<std::int64_t>(read_elems * element_bytes, committed);
+    Rng rng(seed);
+    int failures = 0;
+    for (int r = 0; r < requests; ++r) {
+        const std::int64_t length =
+            1 + static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(max_len)));
+        const std::int64_t offset = static_cast<std::int64_t>(
+            rng.next_below(static_cast<std::uint64_t>(committed - length + 1)));
+        auto read = archive->store->read_bytes(offset, length);
+        if (!read.ok()) ++failures;
+    }
+    archive->store->attach_observability(g_obs.metrics.get(), g_obs.tracer.get(),
+                                         g_obs.forensics.get(), g_obs.heat.get());
+
+    const double now = obs::DiskHeatModel::now_seconds();
+    const obs::ClusterHeatSnapshot cluster = heat.snapshot(now);
+    std::printf("heat: %d requests (%d failed), %ds window\n", requests, failures,
+                static_cast<int>(cluster.window_seconds));
+    std::printf("%-5s %6s %8s %10s %9s %9s %9s %4s %4s %4s %7s\n", "disk", "infl", "ops",
+                "bytes", "ewma_us", "mean_us", "p99_us", "err", "tmo", "rty", "score");
+    for (int d = 0; d < heat.disks(); ++d) {
+        const obs::DiskHeatSnapshot s = heat.disk_snapshot(d, now);
+        std::printf("%-5d %6lld %8lld %10lld %9.1f %9.1f %9.1f %4lld %4lld %4lld %6.2f%s\n",
+                    s.disk, static_cast<long long>(s.in_flight), static_cast<long long>(s.ops),
+                    static_cast<long long>(s.bytes), s.ewma_latency_us, s.mean_latency_us,
+                    s.p99_latency_us, static_cast<long long>(s.errors),
+                    static_cast<long long>(s.timeouts), static_cast<long long>(s.retries),
+                    s.straggler_score, s.straggler ? " STRAGGLER" : "");
+    }
+    std::string stragglers;
+    for (int d : cluster.stragglers) {
+        if (!stragglers.empty()) stragglers += ",";
+        stragglers += std::to_string(d);
+    }
+    std::printf(
+        "cluster: requests=%lld measured_max_load=%.3f load_factor=%.3f skew_cov=%.3f "
+        "hottest=%d stragglers=[%s]\n",
+        static_cast<long long>(cluster.requests), cluster.measured_max_load,
+        cluster.load_factor, cluster.skew_cov, cluster.hottest_disk, stragglers.c_str());
+
+    const std::string snapshot_json = heat.heat_json(now);
+    if (!out_path.empty()) {
+        if (!ObsOutputs::write_file(out_path, snapshot_json)) return 1;
+    } else {
+        std::fputs(snapshot_json.c_str(), stdout);
+    }
+    if (!ndjson_path.empty() && !ObsOutputs::write_file(ndjson_path, heat.disks_ndjson(now))) {
+        return 1;
     }
     return failures == 0 ? 0 : 1;
 }
@@ -852,6 +971,167 @@ FaultCell run_fault_cell(const std::string& spec, layout::LayoutKind kind, const
     return cell;
 }
 
+// ---------------------------------------------------------------------------
+// The straggler lab: one persistently slow device, three hedge policies.
+// A static hedge deadline is only useful if someone tuned it to the
+// straggler's stall; the lab runs the same workload with no hedging, with
+// a mistuned static deadline (longer than the stall, so it never fires),
+// and with auto_hedge deriving its deadline from the fleet's live windowed
+// p99 — and requires the adaptive run to win on p99 with the straggler
+// flagged on the heat scoreboard.
+
+struct StragglerRun {
+    std::string policy;
+    double p99_us = 0.0;
+    std::int64_t hedged = 0;
+    int read_errors = 0;
+    std::int64_t mismatched_bytes = 0;
+    bool straggler_flagged = false;  // disk 0 flagged in the final snapshot
+};
+
+struct StragglerLab {
+    double stall_ms = 0.0;
+    double static_hedge_ms = 0.0;
+    std::vector<StragglerRun> runs;
+    bool pass = false;
+    std::string detail;
+};
+
+StragglerRun run_straggler_config(const char* policy, double hedge_ms, bool auto_hedge,
+                                  double stall_ms, std::uint64_t seed, std::int64_t elem_bytes) {
+    StragglerRun run;
+    run.policy = policy;
+
+    store::FaultPlan plan;
+    plan.seed = seed;
+    store::FaultRule rule;
+    rule.kind = store::FaultKind::latency;
+    rule.disk = 0;
+    rule.op = store::FaultOp::read;
+    rule.count = kAllOps;
+    rule.latency_ms = stall_ms;
+    plan.rules.push_back(rule);
+
+    auto code = codes::make_code("rs:6,3");
+    if (!code.ok()) {
+        run.read_errors = 1;
+        return run;
+    }
+    // Enough threads that the straggler's sleeping fetches cannot starve
+    // the fast disks' queues while hedges overlap in-flight stalls.
+    ThreadPool pool(8);
+    auto st = store::StripeStore::open(core::Scheme(code.value(), layout::LayoutKind::ecfrm),
+                                       elem_bytes, store::faulty_memory_factory(elem_bytes, plan),
+                                       &pool);
+    if (!st.ok()) {
+        run.read_errors = 1;
+        return run;
+    }
+    store::RecoveryOptions recovery;
+    recovery.hedge_ms = hedge_ms;
+    recovery.auto_hedge = auto_hedge;
+    recovery.auto_hedge_min_ms = 0.5;
+    st.value()->set_recovery(recovery);
+
+    obs::DiskHeatModel heat(st.value()->scheme().disks());
+    obs::MetricRegistry metrics("ecfrm_straggler");
+    st.value()->attach_observability(&metrics, nullptr, nullptr, &heat);
+
+    const std::int64_t data_elems = 4 * st.value()->scheme().layout().data_per_stripe();
+    std::vector<std::uint8_t> payload(static_cast<std::size_t>(data_elems * elem_bytes));
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+        payload[i] = static_cast<std::uint8_t>((i * 167 + 5) & 0xff);
+    }
+    auto written = st.value()->append(ConstByteSpan(payload.data(), payload.size()));
+    if (written.ok()) written = st.value()->flush();
+    if (!written.ok()) {
+        run.read_errors = 1;
+        return run;
+    }
+
+    // Full-payload reads touch every disk, so each request feeds one
+    // completion per device. The warmup gives the heat window its
+    // min_ops samples per disk (the adaptive deadline refuses to fire
+    // before that); warmup reads are not timed.
+    const int warmup = static_cast<int>(heat.options().min_ops) + 2;
+    const int measured = 24;
+    std::vector<std::uint8_t> got(payload.size());
+    std::vector<double> lat_us;
+    lat_us.reserve(static_cast<std::size_t>(measured));
+    for (int r = 0; r < warmup + measured; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        auto status = st.value()->read_elements(0, data_elems, ByteSpan(got.data(), got.size()));
+        const auto t1 = std::chrono::steady_clock::now();
+        if (!status.ok()) {
+            ++run.read_errors;
+            continue;
+        }
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            if (got[i] != payload[i]) ++run.mismatched_bytes;
+        }
+        if (r >= warmup) {
+            lat_us.push_back(std::chrono::duration<double, std::micro>(t1 - t0).count());
+            // Pace the closed loop: a hedged request returns while the
+            // straggler's abandoned queue is still burning a pool thread
+            // for the rest of its stall. The gap must roughly cover one
+            // orphaned stall, or back-to-back issue piles those sleeps
+            // onto the pool and turns thread starvation into the measured
+            // latency.
+            std::this_thread::sleep_for(std::chrono::milliseconds(36));
+        }
+    }
+    run.p99_us = percentile(std::move(lat_us), 0.99);
+    run.hedged = metrics.counter("ecfrm_store_hedged_reads_total").value();
+    const auto cluster = heat.snapshot(obs::DiskHeatModel::now_seconds());
+    for (int d : cluster.stragglers) {
+        if (d == 0) run.straggler_flagged = true;
+    }
+    st.value()->attach_observability(nullptr);
+    return run;
+}
+
+StragglerLab run_straggler_lab(std::uint64_t seed, std::int64_t elem_bytes) {
+    StragglerLab lab;
+    // The latency fault fires per element op, so a full-payload read pays
+    // roughly (rows on disk 0) * stall_ms before the slow queue drains —
+    // tens of milliseconds end to end. The static deadline sits above
+    // that whole accumulated stall: mistuned for this fleet, it never
+    // fires, while the adaptive deadline tracks the healthy disks' live
+    // p99 and triggers within a few milliseconds.
+    lab.stall_ms = 8.0;
+    lab.static_hedge_ms = 100.0;
+    lab.runs.push_back(
+        run_straggler_config("none", 0.0, false, lab.stall_ms, seed, elem_bytes));
+    lab.runs.push_back(run_straggler_config("static_mistuned", lab.static_hedge_ms, false,
+                                            lab.stall_ms, seed ^ 0x9e37, elem_bytes));
+    lab.runs.push_back(
+        run_straggler_config("auto", 0.0, true, lab.stall_ms, seed ^ 0x79b9, elem_bytes));
+
+    const StragglerRun& none = lab.runs[0];
+    const StragglerRun& fixed = lab.runs[1];
+    const StragglerRun& adaptive = lab.runs[2];
+    for (const StragglerRun& run : lab.runs) {
+        if (run.read_errors != 0 || run.mismatched_bytes != 0) {
+            lab.detail = "policy " + run.policy + ": read errors or byte mismatches";
+            return lab;
+        }
+    }
+    // The adaptive run must beat BOTH baselines decisively (well outside
+    // the noise of the accumulated stall), must actually have hedged, and
+    // must have the slow device flagged on its scoreboard.
+    const double bar = 0.8 * std::min(none.p99_us, fixed.p99_us);
+    if (adaptive.p99_us >= bar) {
+        lab.detail = "auto_hedge p99 did not beat the baselines";
+    } else if (adaptive.hedged < 1) {
+        lab.detail = "auto_hedge never triggered a hedge";
+    } else if (!adaptive.straggler_flagged) {
+        lab.detail = "slow disk 0 was not flagged as a straggler";
+    } else {
+        lab.pass = true;
+    }
+    return lab;
+}
+
 std::string json_escape(const std::string& text) {
     std::string out;
     out.reserve(text.size());
@@ -866,8 +1146,34 @@ std::string json_escape(const std::string& text) {
     return out;
 }
 
+std::string straggler_lab_json(const StragglerLab& lab) {
+    std::string out = "{\"scheme\":\"rs:6,3\",\"layout\":\"ecfrm\"";
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), ",\"stall_ms\":%.1f,\"static_hedge_ms\":%.1f", lab.stall_ms,
+                  lab.static_hedge_ms);
+    out += buf;
+    out += ",\"runs\":[";
+    for (std::size_t i = 0; i < lab.runs.size(); ++i) {
+        const StragglerRun& run = lab.runs[i];
+        if (i > 0) out += ",";
+        out += "{\"policy\":\"" + run.policy + "\"";
+        std::snprintf(buf, sizeof(buf), ",\"p99_us\":%.1f", run.p99_us);
+        out += buf;
+        out += ",\"hedged\":" + std::to_string(run.hedged);
+        out += ",\"read_errors\":" + std::to_string(run.read_errors);
+        out += ",\"mismatched_bytes\":" + std::to_string(run.mismatched_bytes);
+        out += std::string(",\"straggler_flagged\":") +
+               (run.straggler_flagged ? "true" : "false") + "}";
+    }
+    out += "]";
+    out += std::string(",\"pass\":") + (lab.pass ? "true" : "false");
+    out += ",\"detail\":\"" + json_escape(lab.detail) + "\"}";
+    return out;
+}
+
 std::string faultcamp_json(std::uint64_t seed, std::int64_t elem_bytes,
-                           const std::vector<FaultCell>& cells, bool all_pass) {
+                           const std::vector<FaultCell>& cells, const StragglerLab& lab,
+                           bool all_pass) {
     std::string out = "{\"schema\":\"ecfrm.faultcamp.v1\",";
     out += "\"seed\":\"" + std::to_string(seed) + "\",";
     out += "\"element_bytes\":" + std::to_string(elem_bytes) + ",";
@@ -914,7 +1220,7 @@ std::string faultcamp_json(std::uint64_t seed, std::int64_t elem_bytes,
         out += ",\"fault_plan\":" + cell.fault_plan_json;
         out += "}";
     }
-    out += "]}\n";
+    out += "],\"straggler_lab\":" + straggler_lab_json(lab) + "}\n";
     return out;
 }
 
@@ -975,10 +1281,24 @@ int cmd_faultcamp(const std::vector<std::string>& args) {
         }
     }
 
-    const std::string artifact = faultcamp_json(seed, elem_bytes, cells, all_pass);
+    // The straggler lab runs after the matrix: same artifact, its own
+    // pass/fail line per hedge policy.
+    const StragglerLab lab = run_straggler_lab(seed, elem_bytes);
+    std::printf("straggler lab: rs:6,3/ecfrm, disk 0 stalls %.0fms per element read\n",
+                lab.stall_ms);
+    for (const StragglerRun& run : lab.runs) {
+        std::printf("  %-16s p99=%9.1fus hedged=%-4lld straggler_flagged=%s\n",
+                    run.policy.c_str(), run.p99_us, static_cast<long long>(run.hedged),
+                    run.straggler_flagged ? "yes" : "no");
+    }
+    std::printf("  verdict: %s%s%s\n", lab.pass ? "ok" : "FAIL", lab.detail.empty() ? "" : ": ",
+                lab.detail.c_str());
+    all_pass = all_pass && lab.pass;
+
+    const std::string artifact = faultcamp_json(seed, elem_bytes, cells, lab, all_pass);
     if (!out_path.empty() && !ObsOutputs::write_file(out_path, artifact)) return 1;
-    std::printf("faultcamp: %s (%zu cells%s%s)\n", all_pass ? "PASS" : "FAIL", cells.size(),
-                out_path.empty() ? "" : ", artifact: ", out_path.c_str());
+    std::printf("faultcamp: %s (%zu cells + straggler lab%s%s)\n", all_pass ? "PASS" : "FAIL",
+                cells.size(), out_path.empty() ? "" : ", artifact: ", out_path.c_str());
     return all_pass ? 0 : 1;
 }
 
@@ -1273,6 +1593,7 @@ int dispatch(const std::vector<std::string>& args) {
     const std::string& cmd = args[1];
     if (cmd == "explain") return cmd_explain(args);
     if (cmd == "slowlog") return cmd_slowlog(args);
+    if (cmd == "heat") return cmd_heat(args);
     const std::string& dir = args[2];
     if (cmd == "create" && argc == 6) return cmd_create(dir, args[3], args[4], args[5]);
     if (cmd == "put" && argc == 4) return cmd_put(dir, args[3], "");
