@@ -177,9 +177,7 @@ CaseResult run_case(const std::string& spec, layout::LayoutKind kind, int thread
         }
     }
     result.heat = heat.snapshot(obs::DiskHeatModel::now_seconds());
-    result.closed_form_e_max =
-        core::closed_form_max_load(kind, st.scheme().disks(), st.scheme().code().k(),
-                                   kMaxReadElements);
+    result.closed_form_e_max = core::closed_form_max_load(st.scheme(), kMaxReadElements);
     st.attach_observability(nullptr);
     return result;
 }

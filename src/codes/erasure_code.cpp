@@ -1,6 +1,8 @@
 #include "codes/erasure_code.h"
 
+#include <algorithm>
 #include <cassert>
+#include <set>
 
 #include "gf/gf256.h"
 #include "gf/kernels.h"
@@ -10,6 +12,46 @@ namespace ecfrm::codes {
 
 using gf::Gf256;
 using matrix::Matrix;
+
+int ErasureCode::node_of(int position) const {
+    assert(position >= 0 && position < n());
+    if (position < k()) return position % data_nodes();
+    return data_nodes() + (position - k()) % parity_nodes();
+}
+
+int ErasureCode::substripe_of(int position) const {
+    assert(position >= 0 && position < n());
+    if (position < k()) return position / data_nodes();
+    return (position - k()) / parity_nodes();
+}
+
+int ErasureCode::position_of(int node, int substripe) const {
+    assert(node >= 0 && node < nodes());
+    assert(substripe >= 0 && substripe < sub_packetization());
+    if (node < data_nodes()) return substripe * data_nodes() + node;
+    return k() + substripe * parity_nodes() + (node - data_nodes());
+}
+
+std::int64_t ErasureCode::repair_elements_bound(int node) const {
+    assert(node >= 0 && node < nodes());
+    std::set<int> reads;
+    bool generic = false;
+    for (int s = 0; s < sub_packetization(); ++s) {
+        const int p = position_of(node, s);
+        const RepairSpec spec = repair_spec(p);
+        if (spec.preferred.empty()) {
+            generic = true;
+            continue;
+        }
+        for (int src : spec.preferred) {
+            if (node_of(src) != node) reads.insert(src);
+        }
+    }
+    // A position without a structured set falls back to a k-survivor read;
+    // the structured fetches can ride along for free (plan dedup).
+    if (generic) return std::max<std::int64_t>(k(), static_cast<std::int64_t>(reads.size()));
+    return static_cast<std::int64_t>(reads.size());
+}
 
 RepairSpec ErasureCode::repair_spec(int position) const {
     (void)position;

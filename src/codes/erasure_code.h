@@ -62,9 +62,39 @@ class ErasureCode {
 
     virtual std::string name() const = 0;
 
-    /// Number of arbitrary concurrent element (disk) failures the code is
-    /// guaranteed to survive.
+    /// Number of arbitrary concurrent node (disk) failures the code is
+    /// guaranteed to survive. For sub-packetized codes a node failure
+    /// erases all sub_packetization() elements of that node at once.
     virtual int fault_tolerance() const = 0;
+
+    /// Sub-packetization w: how many stripe sub-rows (substripes) one
+    /// code instance spreads each node over. Classic horizontal codes are
+    /// w = 1 (element == node); piggybacked/elastic codes set w > 1 and
+    /// their n()/k() then count ELEMENTS, not disks.
+    virtual int sub_packetization() const { return 1; }
+
+    /// Storage nodes (disk columns) of one code instance.
+    int nodes() const { return n() / sub_packetization(); }
+    int data_nodes() const { return k() / sub_packetization(); }
+    int parity_nodes() const { return nodes() - data_nodes(); }
+
+    /// Substripe-major position convention shared by every sub-packetized
+    /// code (and trivially by w = 1 codes): data position p lives on node
+    /// p % data_nodes() in substripe p / data_nodes(); parity position p
+    /// lives on node data_nodes() + (p - k()) % parity_nodes() in
+    /// substripe (p - k()) / parity_nodes(). Consecutive data positions
+    /// therefore land on distinct nodes, which is what keeps the paper's
+    /// ceil-shaped max-load arguments intact under sub-packetization.
+    int node_of(int position) const;
+    int substripe_of(int position) const;
+    int position_of(int node, int substripe) const;
+
+    /// Declared single-node repair download, in elements read per group
+    /// (the code's theoretical bound; the conformance suite asserts the
+    /// planner never exceeds it). Default: the union of the node's
+    /// per-position preferred repair sets, or a generic k-survivor read
+    /// when a position has no structured repair.
+    virtual std::int64_t repair_elements_bound(int node) const;
 
     /// Systematic n x k generator: row i gives element i as a combination
     /// of the k data elements; rows 0..k-1 form the identity.

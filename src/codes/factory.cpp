@@ -3,8 +3,11 @@
 #include <cstdlib>
 #include <vector>
 
+#include "codes/hhxor.h"
+#include "codes/htec.h"
 #include "codes/lrc.h"
 #include "codes/rs.h"
+#include "codes/xor_code.h"
 
 namespace ecfrm::codes {
 
@@ -37,6 +40,9 @@ Result<std::shared_ptr<ErasureCode>> make_code(const std::string& spec) {
     const std::vector<int> params = parse_ints(spec.substr(colon + 1));
     if (kind == "rs" && params.size() == 2) return make_rs(params[0], params[1]);
     if (kind == "lrc" && params.size() == 3) return make_lrc(params[0], params[1], params[2]);
+    if (kind == "xor" && params.size() == 1) return make_xor(params[0]);
+    if (kind == "hhxor" && params.size() == 2) return make_hhxor(params[0], params[1]);
+    if (kind == "htec" && params.size() == 3) return make_htec(params[0], params[1], params[2]);
     return Error::invalid("unknown code spec: " + spec);
 }
 
@@ -50,6 +56,31 @@ Result<std::shared_ptr<ErasureCode>> make_lrc(int k, int l, int m) {
     auto code = LrcCode::make(k, l, m);
     if (!code.ok()) return code.error();
     return std::shared_ptr<ErasureCode>(std::move(code).take());
+}
+
+Result<std::shared_ptr<ErasureCode>> make_xor(int k) {
+    auto code = XorCode::make(k);
+    if (!code.ok()) return code.error();
+    return std::shared_ptr<ErasureCode>(std::move(code).take());
+}
+
+Result<std::shared_ptr<ErasureCode>> make_hhxor(int k, int m) {
+    auto code = HhxorCode::make(k, m);
+    if (!code.ok()) return code.error();
+    return std::shared_ptr<ErasureCode>(std::move(code).take());
+}
+
+Result<std::shared_ptr<ErasureCode>> make_htec(int n, int k, int w) {
+    auto code = HtecCode::make(n, k, w);
+    if (!code.ok()) return code.error();
+    return std::shared_ptr<ErasureCode>(std::move(code).take());
+}
+
+const std::vector<std::string>& conformance_specs() {
+    static const std::vector<std::string> specs{
+        "rs:6,3", "lrc:6,2,2", "xor:5", "hhxor:6,4", "htec:9,6,3",
+    };
+    return specs;
 }
 
 }  // namespace ecfrm::codes

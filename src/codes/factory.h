@@ -1,19 +1,30 @@
 // String-spec factory for candidate codes, used by benches, examples and
-// the CLI-ish harnesses: "rs:6,3" / "lrc:6,2,2".
+// the CLI-ish harnesses: "rs:6,3" / "lrc:6,2,2" / "xor:5" / "hhxor:6,4" /
+// "htec:9,6,3".
 #pragma once
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "codes/erasure_code.h"
 
 namespace ecfrm::codes {
 
-/// Parse "rs:k,m" or "lrc:k,l,m" into a code instance.
+/// Parse "rs:k,m", "lrc:k,l,m", "xor:k", "hhxor:k,m" or "htec:n,k,w"
+/// into a code instance.
 Result<std::shared_ptr<ErasureCode>> make_code(const std::string& spec);
 
 /// Convenience overloads.
 Result<std::shared_ptr<ErasureCode>> make_rs(int k, int m);
 Result<std::shared_ptr<ErasureCode>> make_lrc(int k, int l, int m);
+Result<std::shared_ptr<ErasureCode>> make_xor(int k);
+Result<std::shared_ptr<ErasureCode>> make_hhxor(int k, int m);
+Result<std::shared_ptr<ErasureCode>> make_htec(int n, int k, int w);
+
+/// One canonical spec per registered code family. The codec conformance
+/// suite instantiates its full battery over this list, so registering a
+/// new family here buys it complete coverage with no further test code.
+const std::vector<std::string>& conformance_specs();
 
 }  // namespace ecfrm::codes

@@ -1,0 +1,124 @@
+#include "codes/hhxor.h"
+
+#include <cassert>
+
+#include "codes/validate.h"
+#include "matrix/builders.h"
+
+namespace ecfrm::codes {
+
+using matrix::Matrix;
+
+namespace {
+
+/// Balanced contiguous partition of [0, k) into `groups` blocks: the
+/// first k % groups blocks get one extra member.
+int block_of(int j, int k, int groups) {
+    const int base = k / groups;
+    const int extra = k % groups;
+    const int fat = (base + 1) * extra;  // members held by the fat blocks
+    if (j < fat) return j / (base + 1);
+    return extra + (j - fat) / base;
+}
+
+/// Substripe-major generator, column c = data position c (substripe
+/// c / k, node c % k). See hhxor.h for the row recipe.
+Matrix build_generator(int k, int m, const Matrix& cauchy) {
+    const int kk = 2 * k;
+    const int nn = 2 * (k + m);
+    Matrix gen(nn, kk);
+    for (int i = 0; i < kk; ++i) gen.at(i, i) = 1;
+    for (int s = 0; s < 2; ++s) {
+        for (int q = 0; q < m; ++q) {
+            const int row = kk + s * m + q;
+            // f_q over this substripe's data block.
+            for (int j = 0; j < k; ++j) gen.at(row, s * k + j) = cauchy.at(q, j);
+            // XOR piggyback of substripe-a data onto b-parities q >= 1.
+            if (s == 1 && q >= 1) {
+                for (int j = 0; j < k; ++j) {
+                    if (block_of(j, k, m - 1) == q - 1) gen.at(row, j) ^= 1;
+                }
+            }
+        }
+    }
+    return gen;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HhxorCode>> HhxorCode::make(int k, int m) {
+    if (k < 1 || m < 2) return Error::invalid("HHXOR requires k >= 1 and m >= 2");
+    if (k + m > 256) return Error::invalid("HHXOR over GF(2^8) requires k + m <= 256");
+
+    auto cauchy = matrix::cauchy_parity_block(k, m);
+    if (!cauchy.ok()) return cauchy.error();
+    Matrix gen = build_generator(k, m, cauchy.value());
+
+    // Prove node-level MDS: every way to lose m whole nodes must decode.
+    std::unique_ptr<HhxorCode> code(new HhxorCode(std::move(gen)));
+    const bool mds = for_each_subset(code->nodes(), m, [&](const std::vector<int>& failed) {
+        std::vector<int> erased;
+        erased.reserve(failed.size() * 2);
+        for (int node : failed) {
+            erased.push_back(code->position_of(node, 0));
+            erased.push_back(code->position_of(node, 1));
+        }
+        return survives(code->generator(), erased);
+    });
+    if (!mds) return Error::undecodable("HHXOR generator failed the node-MDS exhaustion");
+    return code;
+}
+
+std::string HhxorCode::name() const {
+    return "HHXOR(" + std::to_string(data_nodes()) + "," + std::to_string(parity_nodes()) + ")";
+}
+
+int HhxorCode::piggyback_group(int data_node) const {
+    assert(data_node >= 0 && data_node < data_nodes());
+    return 1 + block_of(data_node, data_nodes(), parity_nodes() - 1);
+}
+
+std::vector<int> HhxorCode::group_members(int q) const {
+    assert(q >= 1 && q < parity_nodes());
+    std::vector<int> members;
+    for (int j = 0; j < data_nodes(); ++j) {
+        if (piggyback_group(j) == q) members.push_back(j);
+    }
+    return members;
+}
+
+RepairSpec HhxorCode::repair_spec(int position) const {
+    const int kd = data_nodes();
+    const int node = node_of(position);
+    const int sub = substripe_of(position);
+    RepairSpec spec;
+
+    if (node < kd) {
+        // The b-side read shared by both substripes: every other data b
+        // plus the clean parity-0 b recovers the full b vector.
+        for (int i = 0; i < kd; ++i) {
+            if (i != node) spec.preferred.push_back(position_of(i, 1));
+        }
+        spec.preferred.push_back(position_of(kd, 1));
+        if (sub == 0) {
+            // a_j additionally needs the piggybacked parity (which, with b
+            // known, exposes XOR over G_q) and the a-side group peers.
+            const int q = piggyback_group(node);
+            spec.preferred.push_back(position_of(kd + q, 1));
+            for (int i : group_members(q)) {
+                if (i != node) spec.preferred.push_back(position_of(i, 0));
+            }
+        }
+        return spec;
+    }
+
+    // Parity node q: regenerate from the data it covers.
+    const int q = node - kd;
+    for (int i = 0; i < kd; ++i) spec.preferred.push_back(position_of(i, sub));
+    if (sub == 1 && q >= 1) {
+        for (int i : group_members(q)) spec.preferred.push_back(position_of(i, 0));
+    }
+    return spec;
+}
+
+}  // namespace ecfrm::codes

@@ -1,0 +1,142 @@
+#include "codes/htec.h"
+
+#include <cassert>
+
+#include "codes/validate.h"
+#include "matrix/builders.h"
+
+namespace ecfrm::codes {
+
+using matrix::Matrix;
+
+namespace {
+
+/// Balanced contiguous partition of [0, k) into `groups` blocks (the
+/// first k % groups blocks get one extra member).
+int block_of(int j, int k, int groups) {
+    const int base = k / groups;
+    const int extra = k % groups;
+    const int fat = (base + 1) * extra;
+    if (j < fat) return j / (base + 1);
+    return extra + (j - fat) / base;
+}
+
+/// Elastic pairing: pair p groups node j by its rotated index.
+int group_of(int pair, int j, int k, int m) {
+    return 1 + block_of((j + pair) % k, k, m - 1);
+}
+
+/// Substripe-major generator, column c = data position c (substripe
+/// c / k, node c % k). See htec.h for the row recipe.
+Matrix build_generator(int n, int k, int w, const Matrix& cauchy) {
+    const int m = n - k;
+    const int kk = w * k;
+    Matrix gen(w * n, kk);
+    for (int i = 0; i < kk; ++i) gen.at(i, i) = 1;
+    for (int s = 0; s < w; ++s) {
+        for (int q = 0; q < m; ++q) {
+            const int row = kk + s * m + q;
+            for (int j = 0; j < k; ++j) gen.at(row, s * k + j) = cauchy.at(q, j);
+            // Odd substripes of a pair piggyback their pair-a data.
+            if (s % 2 == 1 && q >= 1) {
+                const int pair = s / 2;
+                for (int j = 0; j < k; ++j) {
+                    if (group_of(pair, j, k, m) == q) gen.at(row, (s - 1) * k + j) ^= 1;
+                }
+            }
+        }
+    }
+    return gen;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HtecCode>> HtecCode::make(int n, int k, int w) {
+    if (k < 1 || n <= k) return Error::invalid("HTEC requires n > k >= 1");
+    if (n - k < 2) return Error::invalid("HTEC requires m = n - k >= 2");
+    if (w < 2) return Error::invalid("HTEC requires sub-packetization w >= 2");
+    if (n > 256) return Error::invalid("HTEC over GF(2^8) requires n <= 256");
+
+    auto cauchy = matrix::cauchy_parity_block(k, n - k);
+    if (!cauchy.ok()) return cauchy.error();
+    Matrix gen = build_generator(n, k, w, cauchy.value());
+
+    // Prove node-level MDS: every way to lose m whole nodes must decode.
+    std::unique_ptr<HtecCode> code(new HtecCode(std::move(gen), w));
+    const bool mds = for_each_subset(code->nodes(), n - k, [&](const std::vector<int>& failed) {
+        std::vector<int> erased;
+        erased.reserve(failed.size() * static_cast<std::size_t>(w));
+        for (int node : failed) {
+            for (int s = 0; s < w; ++s) erased.push_back(code->position_of(node, s));
+        }
+        return survives(code->generator(), erased);
+    });
+    if (!mds) return Error::undecodable("HTEC generator failed the node-MDS exhaustion");
+    return code;
+}
+
+std::string HtecCode::name() const {
+    return "HTEC(" + std::to_string(nodes()) + "," + std::to_string(data_nodes()) + "," +
+           std::to_string(w_) + ")";
+}
+
+int HtecCode::piggyback_group(int pair, int data_node) const {
+    assert(pair >= 0 && pair < pairs());
+    assert(data_node >= 0 && data_node < data_nodes());
+    return group_of(pair, data_node, data_nodes(), parity_nodes());
+}
+
+std::vector<int> HtecCode::group_members(int pair, int q) const {
+    assert(q >= 1 && q < parity_nodes());
+    std::vector<int> members;
+    for (int j = 0; j < data_nodes(); ++j) {
+        if (piggyback_group(pair, j) == q) members.push_back(j);
+    }
+    return members;
+}
+
+RepairSpec HtecCode::repair_spec(int position) const {
+    const int kd = data_nodes();
+    const int node = node_of(position);
+    const int sub = substripe_of(position);
+    const bool trailing = (w_ % 2 == 1) && sub == w_ - 1;
+    RepairSpec spec;
+
+    if (node < kd) {
+        if (trailing || sub % 2 == 1) {
+            // Plain substripe-RS read: the other data elements of this
+            // substripe plus its clean parity 0.
+            for (int i = 0; i < kd; ++i) {
+                if (i != node) spec.preferred.push_back(position_of(i, sub));
+            }
+            spec.preferred.push_back(position_of(kd, sub));
+            return spec;
+        }
+        // Pair-a element: the b-side read of its pair plus the piggybacked
+        // parity and the a-side group peers (the HHXOR repair).
+        const int pair = sub / 2;
+        const int b = sub + 1;
+        const int q = piggyback_group(pair, node);
+        for (int i = 0; i < kd; ++i) {
+            if (i != node) spec.preferred.push_back(position_of(i, b));
+        }
+        spec.preferred.push_back(position_of(kd, b));
+        spec.preferred.push_back(position_of(kd + q, b));
+        for (int i : group_members(pair, q)) {
+            if (i != node) spec.preferred.push_back(position_of(i, sub));
+        }
+        return spec;
+    }
+
+    // Parity node: regenerate from the data it covers.
+    const int q = node - kd;
+    for (int i = 0; i < kd; ++i) spec.preferred.push_back(position_of(i, sub));
+    if (!trailing && sub % 2 == 1 && q >= 1) {
+        for (int i : group_members(sub / 2, q)) {
+            spec.preferred.push_back(position_of(i, sub - 1));
+        }
+    }
+    return spec;
+}
+
+}  // namespace ecfrm::codes

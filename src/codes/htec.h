@@ -1,0 +1,58 @@
+// HTEC-style elastic transformation of RS (n, k, w): parameterized
+// sub-packetization with repair-bandwidth-reducing pairing, after the
+// elastic-transformation idea behind HashTag erasure codes.
+//
+// Geometry: w substripes over n = k + m nodes. Substripes are taken in
+// PAIRS (0,1), (2,3), ...; each pair is an independent Hitchhiker-XOR
+// instance (pair substripe a = even, b = odd; b-parity 0 clean, b-parity
+// q >= 1 piggybacks XOR of pair-a data over group G_q). A trailing odd
+// substripe stays plain RS. The pairing is ELASTIC: pair p assigns node j
+// to the group of rotated index (j + p) mod k, so across pairs a node's
+// repair cost is spread over differently-sized groups instead of always
+// drawing the fat one.
+//
+// Single data-node repair downloads sum over pairs of (k + |G|) plus k
+// for the trailing substripe — strictly under RS's w*k whenever m >= 3.
+// HTEC(9,6,3) reads 15 vs RS's 18 per group. Any m node failures decode
+// (each pair is node-MDS exactly like HHXOR, the trailing substripe is
+// RS); verified exhaustively at construction.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codes/erasure_code.h"
+
+namespace ecfrm::codes {
+
+class HtecCode final : public ErasureCode {
+  public:
+    /// Factory; requires n > k >= 1, m = n - k >= 2, w >= 2, and
+    /// n <= 256 for the Cauchy block.
+    static Result<std::unique_ptr<HtecCode>> make(int n, int k, int w);
+
+    std::string name() const override;
+    int fault_tolerance() const override { return parity_nodes(); }
+    int sub_packetization() const override { return w_; }
+    const matrix::Matrix& generator() const override { return generator_; }
+    RepairSpec repair_spec(int position) const override;
+
+    /// Number of hitchhiker pairs (w / 2); substripe w-1 is the plain-RS
+    /// trailing substripe when w is odd.
+    int pairs() const { return w_ / 2; }
+
+    /// Piggyback group (index q in [1, m)) of data node j within pair p.
+    int piggyback_group(int pair, int data_node) const;
+
+    /// Data nodes of piggyback group q within pair p.
+    std::vector<int> group_members(int pair, int q) const;
+
+  private:
+    HtecCode(matrix::Matrix generator, int w) : generator_(std::move(generator)), w_(w) {}
+
+    matrix::Matrix generator_;
+    int w_;
+};
+
+}  // namespace ecfrm::codes

@@ -1,8 +1,8 @@
 #include "codes/lrc.h"
 
 #include <cassert>
-#include <functional>
 
+#include "codes/validate.h"
 #include "gf/gf256.h"
 #include "matrix/matrix.h"
 
@@ -12,34 +12,6 @@ using gf::Gf256;
 using matrix::Matrix;
 
 namespace {
-
-/// Enumerate all size-`count` subsets of [0, n), invoking fn(subset);
-/// fn returns false to abort the walk (and the walk reports false).
-bool for_each_subset(int n, int count, const std::function<bool(const std::vector<int>&)>& fn) {
-    std::vector<int> idx(static_cast<std::size_t>(count));
-    for (int i = 0; i < count; ++i) idx[static_cast<std::size_t>(i)] = i;
-    if (count == 0) return fn(idx);
-    for (;;) {
-        if (!fn(idx)) return false;
-        int i = count - 1;
-        while (i >= 0 && idx[static_cast<std::size_t>(i)] == n - count + i) --i;
-        if (i < 0) return true;
-        ++idx[static_cast<std::size_t>(i)];
-        for (int j = i + 1; j < count; ++j) idx[static_cast<std::size_t>(j)] = idx[static_cast<std::size_t>(j - 1)] + 1;
-    }
-}
-
-/// True when erasing `erased` still leaves the data recoverable.
-bool survives(const Matrix& gen, const std::vector<int>& erased) {
-    std::vector<bool> gone(static_cast<std::size_t>(gen.rows()), false);
-    for (int e : erased) gone[static_cast<std::size_t>(e)] = true;
-    std::vector<int> alive;
-    alive.reserve(static_cast<std::size_t>(gen.rows()));
-    for (int i = 0; i < gen.rows(); ++i) {
-        if (!gone[static_cast<std::size_t>(i)]) alive.push_back(i);
-    }
-    return gen.select_rows(alive).rank() == gen.cols();
-}
 
 Matrix build_generator(int k, int l, int m, unsigned offset) {
     const int n = k + l + m;

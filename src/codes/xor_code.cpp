@@ -1,0 +1,26 @@
+#include "codes/xor_code.h"
+
+namespace ecfrm::codes {
+
+using matrix::Matrix;
+
+Result<std::unique_ptr<XorCode>> XorCode::make(int k) {
+    if (k < 2) return Error::invalid("XOR requires k >= 2");
+    Matrix gen(k + 1, k);
+    for (int i = 0; i < k; ++i) gen.at(i, i) = 1;
+    for (int j = 0; j < k; ++j) gen.at(k, j) = 1;
+    return std::unique_ptr<XorCode>(new XorCode(std::move(gen)));
+}
+
+std::string XorCode::name() const { return "XOR(" + std::to_string(k()) + ")"; }
+
+RepairSpec XorCode::repair_spec(int position) const {
+    RepairSpec spec;
+    spec.any_k = true;
+    for (int p = 0; p < n(); ++p) {
+        if (p != position) spec.preferred.push_back(p);
+    }
+    return spec;
+}
+
+}  // namespace ecfrm::codes

@@ -1,0 +1,33 @@
+// XOR(k): single-parity code (RAID-5 style), the simplest candidate in
+// the zoo. One parity element equal to the XOR of the k data elements;
+// tolerates any single erasure, and every repair is the XOR of the other
+// k survivors. Distinct from codes/xor_codec.h, which is an EXECUTION
+// technique (bitmatrix XOR schedules) for arbitrary codes.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "codes/erasure_code.h"
+
+namespace ecfrm::codes {
+
+class XorCode final : public ErasureCode {
+  public:
+    /// Factory; requires k >= 2 (k = 1 would be plain replication).
+    static Result<std::unique_ptr<XorCode>> make(int k);
+
+    std::string name() const override;
+    int fault_tolerance() const override { return 1; }
+    const matrix::Matrix& generator() const override { return generator_; }
+
+    /// Any k of the k + 1 elements rebuild anything (trivially MDS).
+    RepairSpec repair_spec(int position) const override;
+
+  private:
+    explicit XorCode(matrix::Matrix generator) : generator_(std::move(generator)) {}
+
+    matrix::Matrix generator_;
+};
+
+}  // namespace ecfrm::codes

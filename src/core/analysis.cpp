@@ -73,6 +73,11 @@ int closed_form_max_load(layout::LayoutKind kind, int n, int k, std::int64_t req
     return -1;
 }
 
+int closed_form_max_load(const Scheme& scheme, std::int64_t request_elements) {
+    return closed_form_max_load(scheme.kind(), scheme.disks(), scheme.data_disks(),
+                                request_elements);
+}
+
 double predicted_transfer_bound_speedup(const Scheme& standard, const Scheme& ecfrm, int max_size) {
     const LoadAnalysis std_loads = analyze_normal_reads(standard, max_size);
     const LoadAnalysis frm_loads = analyze_normal_reads(ecfrm, max_size);

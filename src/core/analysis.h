@@ -42,8 +42,17 @@ DegradedAnalysis analyze_degraded_reads(const Scheme& scheme, int max_size,
 ///   standard layout: ceil(E / k)        (only the k data disks serve)
 ///   ecfrm layout:    ceil(E / n)        (data is n-disk sequential)
 /// Exact for every start offset; returns -1 for layouts without a simple
-/// closed form (rotated).
+/// closed form (rotated). `n` and `k` are DISK counts: for w = 1 codes
+/// those equal the code's n and k, but sub-packetized codes store w
+/// elements per disk per group, so callers must pass node counts (use the
+/// Scheme overload below, which can't get this wrong).
 int closed_form_max_load(layout::LayoutKind kind, int n, int k, std::int64_t request_elements);
+
+/// Geometry-aware form: reads the disk counts off the scheme, so the
+/// formulas stay exact for sub-packetized codes (the seed version of the
+/// planner assumed one element per disk per group and over-predicted
+/// parallelism for w > 1 by a factor of w).
+int closed_form_max_load(const Scheme& scheme, std::int64_t request_elements);
 
 /// The paper's headline ratio: predicted EC-FRM speedup over the standard
 /// layout in the transfer-bound regime = E[max load std] / E[max load frm].

@@ -106,12 +106,14 @@ std::vector<int> greedy_order(PlanBuilder& b, const GroupCoord& target, const st
 }
 
 /// Smallest greedy prefix of the survivors that spans the target (k for
-/// MDS codes; possibly more for LRC when the local set is broken).
+/// MDS codes; possibly more for LRC when the local set is broken, fewer
+/// for sub-packetized codes whose substripes decode independently).
 Result<codes::ElementRepair> greedy_repair(PlanBuilder& b, const GroupCoord& target,
                                            const std::vector<int>& survivors) {
     const auto& code = b.scheme.code();
     const std::vector<int> order = greedy_order(b, target, survivors);
-    const std::size_t min_count = std::min<std::size_t>(static_cast<std::size_t>(code.k()), order.size());
+    const std::size_t min_count =
+        std::min<std::size_t>(static_cast<std::size_t>(code.data_nodes()), order.size());
     Result<codes::ElementRepair> last = Error::undecodable("no survivors");
     for (std::size_t count = min_count; count <= order.size(); ++count) {
         std::vector<int> sources(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(count));
@@ -265,8 +267,10 @@ Result<AccessPlan> plan_degraded_read(const Scheme& scheme, ElementId start, std
     }
 
     // Pass 2: plan repair traffic for each failed requested element.
-    // Within a group every position maps to a distinct disk, so f failed
-    // disks erase at most f elements per group.
+    // A disk holds sub_packetization() elements of each group (one per
+    // substripe; exactly one for classic w = 1 codes), so f failed disks
+    // erase up to f * w elements per group — each gets its own repair,
+    // with the dedup in fetch() sharing sources across them.
     for (const GroupCoord& target : failed_elements) {
         auto repair = choose_repair(b, target, disk_failed, policy);
         if (!repair.ok()) return repair.error();

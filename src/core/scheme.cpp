@@ -2,12 +2,26 @@
 
 #include <cassert>
 
+#include "layout/sub_packetized.h"
+
 namespace ecfrm::core {
 
+namespace {
+
+/// w = 1 codes get the layout directly over (n, k); sub-packetized codes
+/// get it over the NODE counts, wrapped in the adapter that spreads each
+/// node over w rows (see layout/sub_packetized.h).
+std::unique_ptr<layout::Layout> layout_for(layout::LayoutKind kind, const codes::ErasureCode& code) {
+    const int w = code.sub_packetization();
+    if (w == 1) return layout::make_layout(kind, code.n(), code.k());
+    return std::make_unique<layout::SubPacketizedLayout>(
+        layout::make_layout(kind, code.nodes(), code.data_nodes()), w);
+}
+
+}  // namespace
+
 Scheme::Scheme(std::shared_ptr<const codes::ErasureCode> code, layout::LayoutKind kind)
-    : code_(std::move(code)),
-      layout_(layout::make_layout(kind, code_->n(), code_->k())),
-      kind_(kind) {
+    : code_(std::move(code)), layout_(layout_for(kind, *code_)), kind_(kind) {
     assert(layout_ != nullptr);
 }
 

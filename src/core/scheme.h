@@ -29,6 +29,12 @@ class Scheme {
 
     int disks() const { return layout_->disks(); }
 
+    /// Disks that hold data elements (the code's data-node count; equals
+    /// code().k() for w = 1 codes). The standard layout's max-load closed
+    /// form is ceil(E / data_disks()), NOT ceil(E / k): a sub-packetized
+    /// code stores w elements per data disk per group.
+    int data_disks() const { return code_->data_nodes(); }
+
     /// Physical locations of every position (0..n-1) of one group.
     std::vector<Location> group_locations(StripeId stripe, int group) const;
 

@@ -41,8 +41,10 @@ class Layout {
 
     virtual std::string name() const = 0;
 
-    /// Number of disks (columns) — equals the candidate code's n.
-    int disks() const { return n_; }
+    /// Number of disks (columns) — the candidate code's n for w = 1
+    /// codes; sub-packetized layouts override (n elements spread over
+    /// n / w node columns).
+    virtual int disks() const { return n_; }
     /// Data positions per group — the candidate code's k.
     int data_per_group() const { return k_; }
 

@@ -1,0 +1,80 @@
+// Sub-packetized layout adapter: places a w-substripe code (Hitchhiker /
+// HTEC style, n = w * n_nodes elements per group on n_nodes disks) by
+// delegating to an ordinary inner layout built over the NODE counts
+// (n_nodes, k_nodes).
+//
+// Each substripe of an outer group becomes one inner group, in order, so
+// the global data-element -> disk map is IDENTICAL to the inner layout's
+// over (n_nodes, k_nodes): outer flattened data index
+//   f = group * (w * k_nodes) + substripe * k_nodes + node
+// equals the inner flattened index (group * w + substripe) * k_nodes +
+// node. Every max-load property of the inner layout (the paper's
+// ceil(E/k)- and ceil(E/n)-shaped closed forms, Lemma 1 invariance)
+// therefore carries over with k -> k_nodes, n -> n_nodes, untouched by
+// sub-packetization. One outer stripe spans w inner stripes.
+#pragma once
+
+#include <memory>
+
+#include "layout/layout.h"
+
+namespace ecfrm::layout {
+
+class SubPacketizedLayout final : public Layout {
+  public:
+    /// `inner` must be built over the node counts (n_nodes, k_nodes).
+    SubPacketizedLayout(std::unique_ptr<Layout> inner, int w)
+        : Layout(inner->disks() * w, inner->data_per_group() * w),
+          inner_(std::move(inner)),
+          w_(w),
+          k_nodes_(inner_->data_per_group()),
+          m_nodes_(inner_->disks() - inner_->data_per_group()),
+          inner_groups_(inner_->groups_per_stripe()) {}
+
+    std::string name() const override { return inner_->name(); }
+    int disks() const override { return inner_->disks(); }
+    int rows_per_stripe() const override { return w_ * inner_->rows_per_stripe(); }
+    int groups_per_stripe() const override { return inner_groups_; }
+    int data_rows_per_stripe() const override { return w_ * inner_->data_rows_per_stripe(); }
+
+    int sub_packetization() const { return w_; }
+
+    Location locate(const GroupCoord& c) const override {
+        int inner_position;
+        int sub;
+        if (c.position < k_) {
+            inner_position = c.position % k_nodes_;
+            sub = c.position / k_nodes_;
+        } else {
+            inner_position = k_nodes_ + (c.position - k_) % m_nodes_;
+            sub = (c.position - k_) / m_nodes_;
+        }
+        const std::int64_t gg =
+            (c.stripe * inner_groups_ + c.group) * w_ + sub;  // global inner group
+        return inner_->locate({static_cast<StripeId>(gg / inner_groups_),
+                               static_cast<int>(gg % inner_groups_), inner_position});
+    }
+
+    GroupCoord coord_at(Location loc) const override {
+        const GroupCoord ic = inner_->coord_at(loc);
+        const std::int64_t gg = ic.stripe * inner_groups_ + ic.group;
+        const std::int64_t per_stripe = static_cast<std::int64_t>(inner_groups_) * w_;
+        const StripeId stripe = gg / per_stripe;
+        const std::int64_t rem = gg % per_stripe;
+        const int group = static_cast<int>(rem / w_);
+        const int sub = static_cast<int>(rem % w_);
+        const int position = ic.position < k_nodes_
+                                 ? sub * k_nodes_ + ic.position
+                                 : k_ + sub * m_nodes_ + (ic.position - k_nodes_);
+        return {stripe, group, position};
+    }
+
+  private:
+    std::unique_ptr<Layout> inner_;
+    int w_;
+    int k_nodes_;
+    int m_nodes_;
+    int inner_groups_;
+};
+
+}  // namespace ecfrm::layout

@@ -1,0 +1,35 @@
+// Instantiates the codec conformance battery (codec_conformance.h) for
+// every code family registered in the factory. Adding a zoo entry to
+// codes::conformance_specs() is the single registration line that buys a
+// new code the whole suite.
+#include "codec_conformance.h"
+
+#include <gtest/gtest.h>
+
+namespace ecfrm::conformance {
+namespace {
+
+std::string pretty(const ::testing::TestParamInfo<std::string>& info) {
+    std::string name = info.param;
+    for (char& ch : name) {
+        if (ch == ':' || ch == ',') ch = '_';
+    }
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Factory, CodecConformance,
+                         ::testing::ValuesIn(codes::conformance_specs()), pretty);
+
+/// The factory list itself is part of the contract: every shipped family
+/// must appear, so a new code can't dodge the battery.
+TEST(ConformanceRegistry, CoversEveryFactoryFamily) {
+    std::set<std::string> families;
+    for (const auto& spec : codes::conformance_specs()) {
+        families.insert(spec.substr(0, spec.find(':')));
+    }
+    const std::set<std::string> expected{"rs", "lrc", "xor", "hhxor", "htec"};
+    EXPECT_EQ(families, expected);
+}
+
+}  // namespace
+}  // namespace ecfrm::conformance

@@ -89,8 +89,7 @@ TEST(Explain, NormalReadsMatchClosedFormAndAnalysisGrid) {
                 const Value doc = explain(scheme, start, size);
                 const Value* plan = check_plan_invariants(doc, size);
                 EXPECT_EQ(static_cast<int>(plan->number_or("max_load", -1.0)),
-                          core::closed_form_max_load(kind, scheme.disks(),
-                                                     scheme.layout().data_per_group(), size))
+                          core::closed_form_max_load(scheme, size))
                     << "start=" << start << " size=" << size;
                 // Normal reads fetch exactly the requested elements.
                 EXPECT_DOUBLE_EQ(plan->number_or("cost", -1.0), 1.0);

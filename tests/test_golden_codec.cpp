@@ -137,7 +137,23 @@ INSTANTIATE_TEST_SUITE_P(
                      "495c1c224a9e69132d8140f81611c834"}},
         GoldenParam{"lrc:6,2,2",
                     {"1e696c777a0508131661a4afb2bd404b", "bf424d505b9ee9ecf7fa85889396e124",
-                     "217a1fed30d3eacb05c9a2e38dbb9ac3", "591aa4d58b05e5ee18a800ca2fe443f7"}}));
+                     "217a1fed30d3eacb05c9a2e38dbb9ac3", "591aa4d58b05e5ee18a800ca2fe443f7"}},
+        // Hitchhiker-XOR (6 data nodes, 4 parity nodes, w = 2): positions
+        // 12..15 are substripe-a parities (pure Cauchy), 16 the clean
+        // substripe-b parity, 17..19 the piggybacked b-parities.
+        GoldenParam{"hhxor:6,4",
+                    {"127eb5a56ffa1909909005dcdf764c8c", "45836063ba0796601fc4d01a0a32e545",
+                     "495c1c224a9e69132d8140f81611c834", "584def01b97d8519c17ab3dbe551125e",
+                     "d6302b3bca13933a3843127eb5a56ffa", "7896df793eb27b41d09564a041445be4",
+                     "cafdc761a3d92e379e15687b3d012bf1", "a68a3453500606b0b6fb796ece2e989e"}},
+        // HTEC (9 nodes, 6 data, w = 3): substripes 0/1 form a hitchhiker
+        // pair, substripe 2 is the plain-RS trailing substripe.
+        GoldenParam{"htec:9,6,3",
+                    {"127eb5a56ffa1909909005dcdf764c8c", "45836063ba0796601fc4d01a0a32e545",
+                     "495c1c224a9e69132d8140f81611c834", "d6302b3bca13933a3843127eb5a56ffa",
+                     "47d0922d65d01231a7ebe12cd2defa4c", "149cab16d9a42624880cccd48fb4abba",
+                     "5cf5b35307b17a448e15d6302b3bca13", "d5ed46c6d24cafd801f859b9fe5a1fd5",
+                     "0d0afa749d9edef69e6dabdee646823a"}}));
 
 }  // namespace
 }  // namespace ecfrm::codes

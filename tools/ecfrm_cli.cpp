@@ -762,9 +762,11 @@ MixConfig make_mix(const std::string& mix, std::uint64_t seed, int n, int k) {
         cfg.recovery.hedge_ms = 8.0;
         cfg.use_pool = true;
     } else if (mix == "beyond_tolerance") {
-        // More fail-stops than the code has parity equations; every device
-        // trips on its first (write) op, so reads find n-k+1 dead disks and
-        // must surface the typed error — never wrong bytes, never a hang.
+        // More fail-stops than the code has parity NODES (n and k here are
+        // disk counts, so sub-packetized codes fail whole nodes, not
+        // elements); every device trips on its first (write) op, so reads
+        // find n-k+1 dead disks and must surface the typed error — never
+        // wrong bytes, never a hang.
         for (DiskId d = 0; d <= static_cast<DiskId>(n - k); ++d) {
             store::FaultRule rule;
             rule.kind = store::FaultKind::fail_stop;
@@ -817,7 +819,8 @@ FaultCell run_fault_cell(const std::string& spec, layout::LayoutKind kind, const
         cell.detail = code.error().message;
         return cell;
     }
-    const MixConfig cfg = make_mix(mix, cell_seed, code.value()->n(), code.value()->k());
+    const MixConfig cfg =
+        make_mix(mix, cell_seed, code.value()->nodes(), code.value()->data_nodes());
     cell.fault_plan_json = cfg.plan.to_json();
 
     std::vector<store::FaultDevice*> devices;
@@ -1244,7 +1247,7 @@ int cmd_faultcamp(const std::vector<std::string>& args) {
         return 1;
     }
 
-    const std::vector<std::string> specs{"rs:6,3", "lrc:6,2,2"};
+    const std::vector<std::string> specs{"rs:6,3", "lrc:6,2,2", "hhxor:6,4", "htec:9,6,3"};
     const std::vector<layout::LayoutKind> kinds{
         layout::LayoutKind::standard, layout::LayoutKind::rotated, layout::LayoutKind::ecfrm};
     const std::vector<std::string> mixes{"transient",        "torn_write", "latency_timeout",
