@@ -180,7 +180,7 @@ Status PlanExecutor::submit_queue(DiskId disk, std::span<const RowId> rows,
 }
 
 bool PlanExecutor::side_decode(const GroupCoord& coord, const std::vector<char>& avoid,
-                               AlignedBuffer& target) const {
+                               ByteSpan target) const {
     const auto& code = scheme_->code();
     std::vector<int> sources;
     for (int p = 0; p < code.n(); ++p) {
@@ -202,7 +202,7 @@ bool PlanExecutor::side_decode(const GroupCoord& coord, const std::vector<char>&
         }
         buffers[static_cast<std::size_t>(term.source_position)] = srcs.back().span();
     }
-    buffers[static_cast<std::size_t>(coord.position)] = target.span();
+    buffers[static_cast<std::size_t>(coord.position)] = target;
     codes::DecodePlan one;
     one.repairs.push_back(repair.value());
     codes::ErasureCode::apply_plan(one, buffers);
@@ -221,7 +221,7 @@ void PlanExecutor::run_hedged_queue(HedgeState& state, std::size_t a) const {
     if (heat != nullptr) heat->on_issue(q.disk);
     std::vector<ByteSpan> outs;
     outs.reserve(q.bufs.size());
-    for (AlignedBuffer& buf : q.bufs) outs.push_back(buf.span());
+    for (ElementBuf& buf : q.bufs) outs.push_back(buf.span());
     q.status = submit_queue(q.disk, q.rows, std::span<const ByteSpan>(outs.data(), outs.size()),
                             state.opts, &q.done_ops, TraceCtx{});
     q.dur_us =
@@ -238,7 +238,8 @@ void PlanExecutor::run_hedged_queue(HedgeState& state, std::size_t a) const {
 
 Result<PlanExecutor::FetchResult> PlanExecutor::fetch(const Replanner& replan,
                                                       std::vector<DiskId> excluded,
-                                                      obs::RequestTrace* rt) const {
+                                                      obs::RequestTrace* rt,
+                                                      const Sink& sink) const {
     const RecoveryOptions opts = recovery();
     const ExecutorMetrics& m = metrics();
     obs::Tracer* const tracer = this->tracer();
@@ -295,8 +296,7 @@ Result<PlanExecutor::FetchResult> PlanExecutor::fetch(const Replanner& replan,
                 pending.fetch_indices.push_back(i);
                 pending.rows.push_back(batch.rows[j]);
                 if (!hedge_mode) {
-                    round.try_emplace(key,
-                                      AlignedBuffer(static_cast<std::size_t>(element_bytes_)));
+                    round.try_emplace(key, make_element(key, sink));
                 }
             }
             if (!pending.fetch_indices.empty()) queues.push_back(std::move(pending));
@@ -377,6 +377,25 @@ Result<PlanExecutor::FetchResult> PlanExecutor::fetch(const Replanner& replan,
             }
         };
 
+        // Serial overlapped execution: without a pool, per-disk queues
+        // would otherwise run strictly one after another even though the
+        // devices can overlap (io_uring keeps a batch in flight per disk).
+        // When every participating device reports async_reads(), submit
+        // all queues first, then await them in submission order — the
+        // disks seek/read concurrently while this thread blocks on the
+        // first — and run decode recipes eagerly as each disk's elements
+        // land, so decode overlaps the remaining in-flight reads.
+        // Per-op timeouts need per-op timing, which async batches don't
+        // give; that policy keeps the submit_queue path.
+        bool async_overlap =
+            !hedge_mode && pool_ == nullptr && opts.op_timeout_ms <= 0.0 && queues.size() > 1;
+        if (async_overlap) {
+            for (const core::DiskBatch& q : queues) {
+                async_overlap =
+                    async_overlap && devices_[static_cast<std::size_t>(q.disk)]->async_reads();
+            }
+        }
+
         ElementMap hedged;
         if (hedge_mode) {
             // Hedged execution: every queue is a self-contained task that
@@ -400,7 +419,8 @@ Result<PlanExecutor::FetchResult> PlanExecutor::fetch(const Replanner& replan,
                 hq.bufs.reserve(queues[a].fetch_indices.size());
                 for (std::size_t i : queues[a].fetch_indices) {
                     hq.keys.push_back(key_of(fetches[i].coord));
-                    hq.bufs.emplace_back(static_cast<std::size_t>(element_bytes_));
+                    hq.bufs.push_back(
+                        ElementBuf::alloc(static_cast<std::size_t>(element_bytes_), buffer_pool_));
                 }
             }
             for (std::size_t a = 0; a < queues.size(); ++a) {
@@ -445,9 +465,11 @@ Result<PlanExecutor::FetchResult> PlanExecutor::fetch(const Replanner& replan,
                         const Key key = key_of(fetches[i].coord);
                         if (m.hedged_reads != nullptr) m.hedged_reads->add(1);
                         if (rt != nullptr) rt->count_hedge();
-                        AlignedBuffer target(static_cast<std::size_t>(element_bytes_));
+                        ElementBuf target =
+                            ElementBuf::alloc(static_cast<std::size_t>(element_bytes_),
+                                              buffer_pool_);
                         const double hedge_t0 = rt != nullptr ? obs::forensic_now_us() : 0.0;
-                        const bool decoded = side_decode(fetches[i].coord, avoid, target);
+                        const bool decoded = side_decode(fetches[i].coord, avoid, target.span());
                         if (rt != nullptr) {
                             rt->complete(fetch_node, "hedge.decode", hedge_t0,
                                          obs::forensic_now_us() - hedge_t0,
@@ -506,6 +528,96 @@ Result<PlanExecutor::FetchResult> PlanExecutor::fetch(const Replanner& replan,
                 for (std::size_t j = 0; j < hq.done_ops; ++j) {
                     fetched.emplace(hq.keys[j], std::move(hq.bufs[j]));
                 }
+            }
+        } else if (async_overlap) {
+            struct Flight {
+                std::vector<ByteSpan> outs;
+                std::unique_ptr<store::BlockDevice::AsyncBatch> batch;
+                double issue_us = 0.0;     // tracer clock
+                double rt_issue_us = 0.0;  // forensic clock
+                std::chrono::steady_clock::time_point heat_t0;
+            };
+            std::vector<Flight> flights(queues.size());
+            for (std::size_t a = 0; a < queues.size(); ++a) {
+                const core::DiskBatch& queue = queues[a];
+                Flight& f = flights[a];
+                f.issue_us = tracer != nullptr ? tracer->now_us() : 0.0;
+                f.rt_issue_us = rt != nullptr ? obs::forensic_now_us() : 0.0;
+                f.heat_t0 = std::chrono::steady_clock::now();
+                if (heat != nullptr) heat->on_issue(queue.disk);
+                f.outs.reserve(queue.fetch_indices.size());
+                for (std::size_t i : queue.fetch_indices) {
+                    f.outs.push_back(round.find(key_of(fetches[i].coord))->second.span());
+                }
+                f.batch = devices_[static_cast<std::size_t>(queue.disk)]->submit_read_batch(
+                    queue.rows, std::span<const ByteSpan>(f.outs.data(), f.outs.size()));
+            }
+            for (std::size_t a = 0; a < queues.size(); ++a) {
+                const core::DiskBatch& queue = queues[a];
+                Flight& f = flights[a];
+                std::size_t done = 0;
+                Status status = f.batch->await(&done);
+                f.batch.reset();
+                if (!status.ok() && status.error().code == Error::Code::io_error &&
+                    opts.max_retries > 0 && done < queue.rows.size()) {
+                    // Recover the suffix through the policy path: the
+                    // failed op and everything behind it get the retry /
+                    // backoff machinery, re-reading over whatever the
+                    // abandoned async ops may have scribbled.
+                    std::size_t more = 0;
+                    const std::span<const RowId> rows(queue.rows);
+                    const std::span<const ByteSpan> outs(f.outs.data(), f.outs.size());
+                    status = submit_queue(queue.disk, rows.subspan(done), outs.subspan(done),
+                                          opts, &more, TraceCtx{rt, fetch_node});
+                    done += more;
+                }
+                if (heat != nullptr) {
+                    const double queue_us = std::chrono::duration<double, std::micro>(
+                                                std::chrono::steady_clock::now() - f.heat_t0)
+                                                .count();
+                    const double now_s = obs::DiskHeatModel::now_seconds();
+                    heat->on_complete(queue.disk, static_cast<std::int64_t>(done),
+                                      static_cast<std::int64_t>(done) * element_bytes_, queue_us,
+                                      now_s);
+                    if (!status.ok() && status.error().code != Error::Code::timeout) {
+                        heat->on_error(queue.disk, now_s);
+                    }
+                }
+                if (rt != nullptr) {
+                    const std::uint32_t batch_node = rt->complete(
+                        fetch_node, "disk.batch", f.rt_issue_us,
+                        obs::forensic_now_us() - f.rt_issue_us,
+                        {obs::RequestTrace::IntAttr{"disk", queue.disk},
+                         {"elements", static_cast<std::int64_t>(queue.fetch_indices.size())},
+                         {"done", static_cast<std::int64_t>(done)},
+                         {"bytes", static_cast<std::int64_t>(done) * element_bytes_}});
+                    if (!status.ok()) rt->attr(batch_node, "error", status.error().message);
+                }
+                if (tracer != nullptr && status.ok()) {
+                    tracer->complete("disk.batch", "io", f.issue_us,
+                                     tracer->now_us() - f.issue_us,
+                                     {{"disk", std::to_string(queue.disk)},
+                                      {"elements", std::to_string(queue.fetch_indices.size())}});
+                }
+                // Single-threaded: harvest straight into `fetched` (the
+                // shared `succeeded` set is for the pooled paths) and let
+                // any recipe whose sources just completed decode now,
+                // overlapping the disks still in flight.
+                for (std::size_t j = 0; j < done; ++j) {
+                    const Key key = key_of(fetches[queue.fetch_indices[j]].coord);
+                    auto it = round.find(key);
+                    fetched.emplace(key, std::move(it->second));
+                }
+                if (!status.ok()) {
+                    bad.push_back(queue.disk);
+                    last_error = status.error();
+                    continue;
+                }
+                // Partial mode cannot fail: recipes missing sources are
+                // skipped and re-tried by the final decode stage.
+                Status eager = try_decode(p, fetched, /*partial=*/true,
+                                          TraceCtx{rt, fetch_node}, sink);
+                (void)eager;
             }
         } else if (pool_ != nullptr && queues.size() > 1) {
             parallel_for(*pool_, queues.size(), run_queue);
@@ -592,26 +704,44 @@ Result<PlanExecutor::FetchResult> PlanExecutor::fetch(const Replanner& replan,
     return FetchResult{std::move(*plan), std::move(fetched), std::move(excluded)};
 }
 
-Status PlanExecutor::decode(const AccessPlan& plan, ElementMap& elements, TraceCtx tc) const {
+Status PlanExecutor::decode(const AccessPlan& plan, ElementMap& elements, TraceCtx tc,
+                            const Sink& sink) const {
+    return try_decode(plan, elements, /*partial=*/false, tc, sink);
+}
+
+Status PlanExecutor::try_decode(const AccessPlan& plan, ElementMap& elements, bool partial,
+                                TraceCtx tc, const Sink& sink) const {
     const ExecutorMetrics& m = metrics();
-    if (m.decodes != nullptr) m.decodes->add(static_cast<std::int64_t>(plan.decodes().size()));
-    if (tc.rt != nullptr) tc.rt->add_decodes(static_cast<std::int64_t>(plan.decodes().size()));
     for (const auto& decode : plan.decodes()) {
+        const Key target_key{decode.stripe, decode.group, decode.repair.target_position};
+        // Recipes run in plan order (later recipes may chain on earlier
+        // targets); ones already satisfied by an eager pass are skipped,
+        // so each recipe is decoded and counted exactly once per fetch.
+        if (elements.find(target_key) != elements.end()) continue;
         const double decode_t0 = tc.rt != nullptr ? obs::forensic_now_us() : 0.0;
-        AlignedBuffer target(static_cast<std::size_t>(element_bytes_));
         std::vector<ByteSpan> buffers(static_cast<std::size_t>(scheme_->code().n()));
+        bool ready = true;
         for (const auto& term : decode.repair.terms) {
             auto it = elements.find({decode.stripe, decode.group, term.source_position});
-            if (it == elements.end()) return Error::internal("decode source missing from plan");
+            if (it == elements.end()) {
+                if (partial) {
+                    ready = false;
+                    break;
+                }
+                return Error::internal("decode source missing from plan");
+            }
             buffers[static_cast<std::size_t>(term.source_position)] = it->second.span();
         }
+        if (!ready) continue;
+        ElementBuf target = make_element(target_key, sink);
         buffers[static_cast<std::size_t>(decode.repair.target_position)] = target.span();
         codes::DecodePlan one;
         one.repairs.push_back(decode.repair);
         codes::ErasureCode::apply_plan(one, buffers, pool_);
-        elements.emplace(Key{decode.stripe, decode.group, decode.repair.target_position},
-                         std::move(target));
+        elements.emplace(target_key, std::move(target));
+        if (m.decodes != nullptr) m.decodes->add(1);
         if (tc.rt != nullptr) {
+            tc.rt->add_decodes(1);
             tc.rt->complete(tc.parent, "decode.element", decode_t0,
                             obs::forensic_now_us() - decode_t0,
                             {obs::RequestTrace::IntAttr{"stripe", decode.stripe},

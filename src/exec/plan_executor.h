@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/aligned_buffer.h"
+#include "common/buffer_pool.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "common/types.h"
@@ -104,8 +105,20 @@ class PlanExecutor {
   public:
     /// Identity of one stored element in candidate-code coordinates.
     using Key = std::tuple<StripeId, int, int>;
-    /// Elements held by a request (fetched, hedged or decoded).
-    using ElementMap = std::map<Key, AlignedBuffer>;
+    /// Elements held by a request (fetched, hedged or decoded). ElementBuf
+    /// is either pool/heap-owned staging or an external view of caller
+    /// memory (the zero-copy path).
+    using ElementMap = std::map<Key, ElementBuf>;
+    /// Zero-copy destination oracle: given an element key, return the
+    /// caller buffer it should land in, or an empty span to use executor
+    /// staging. Healthy-path data elements resolve to the user's output
+    /// buffer, so fetch and decode write them in place and assembly skips
+    /// its copy. Hedged rounds ignore the sink (a straggling queue task
+    /// must own buffers that can outlive the requesting frame); a
+    /// timed-out or failed op may have scribbled on its sink span, which
+    /// is safe because the element is not marked fetched and recovery
+    /// overwrites the span.
+    using Sink = std::function<ByteSpan(const Key&)>;
     /// Produces the plan for the current exclusion set. Called once up
     /// front and once per replan round; planning failures abort the fetch.
     using Replanner = std::function<Result<core::AccessPlan>(const std::vector<DiskId>&)>;
@@ -131,6 +144,14 @@ class PlanExecutor {
     /// (Re)bind the devices the executor issues I/O against, indexed by
     /// DiskId. Pointers must stay valid until the next bind.
     void bind(std::vector<store::BlockDevice*> devices) { devices_ = std::move(devices); }
+
+    /// Pooled arena for element staging buffers (null: plain heap). Must
+    /// outlive every request, including orphaned hedge queues — pass a
+    /// process-lifetime pool (store::element_arena) or drain_orphans()
+    /// before freeing it. When the devices are uring-backed and the same
+    /// pool is registered with their rings, staging reads become
+    /// registered-buffer fixed reads.
+    void set_buffer_pool(BufferPool* pool) { buffer_pool_ = pool; }
 
     void set_recovery(const RecoveryOptions& options) {
         std::lock_guard<std::mutex> lock(opts_mu_);
@@ -184,13 +205,22 @@ class PlanExecutor {
     /// per-disk batches, retries, backoff waits, timeouts and hedge
     /// decodes as children of the round's fetch span. Safe across pool
     /// and hedge threads.
+    /// `sink`, when given, routes elements straight into caller memory
+    /// (see Sink). On devices whose async_reads() is true and with no
+    /// thread pool attached, the serial path submits every disk's batch
+    /// before awaiting any (cross-disk overlap from one thread) and runs
+    /// decode recipes eagerly as their sources land.
     Result<FetchResult> fetch(const Replanner& replan, std::vector<DiskId> excluded,
-                              obs::RequestTrace* rt = nullptr) const;
+                              obs::RequestTrace* rt = nullptr, const Sink& sink = {}) const;
 
     /// Run the plan's decode recipes, materialising each missing element
     /// into `elements` from sources already present there. `tc` hangs a
     /// `decode.element` span per recipe under the caller's span.
-    Status decode(const core::AccessPlan& plan, ElementMap& elements, TraceCtx tc = {}) const;
+    /// Recipes whose target is already present (e.g. decoded eagerly
+    /// during fetch) are skipped; `sink` routes freshly decoded targets
+    /// into caller memory.
+    Status decode(const core::AccessPlan& plan, ElementMap& elements, TraceCtx tc = {},
+                  const Sink& sink = {}) const;
 
     /// Rebuild one element into `target` from group sources living on
     /// disks not marked in `avoid` (indexed by DiskId), using policy
@@ -230,7 +260,24 @@ class PlanExecutor {
     /// into `target`, bypassing the queue machinery. `avoid` marks disks
     /// that must not be touched (stragglers and excluded disks).
     bool side_decode(const layout::GroupCoord& coord, const std::vector<char>& avoid,
-                     AlignedBuffer& target) const;
+                     ByteSpan target) const;
+
+    /// Decode engine behind decode(): with `partial`, recipes whose
+    /// sources are not all present are skipped instead of failing (the
+    /// eager pass as per-disk completions arrive).
+    Status try_decode(const core::AccessPlan& plan, ElementMap& elements, bool partial,
+                      TraceCtx tc, const Sink& sink) const;
+
+    /// Staging or zero-copy storage for `key` per the sink contract.
+    ElementBuf make_element(const Key& key, const Sink& sink) const {
+        if (sink) {
+            const ByteSpan dest = sink(key);
+            if (dest.size() == static_cast<std::size_t>(element_bytes_)) {
+                return ElementBuf::external(dest);
+            }
+        }
+        return ElementBuf::alloc(static_cast<std::size_t>(element_bytes_), buffer_pool_);
+    }
 
     /// Shared state of one hedged fetch round. Heap-allocated and co-owned
     /// by every queue task, so the requesting frame can return at the
@@ -242,7 +289,7 @@ class PlanExecutor {
             DiskId disk = -1;
             std::vector<RowId> rows;
             std::vector<Key> keys;            // keys[j] identifies rows[j]
-            std::vector<AlignedBuffer> bufs;  // bufs[j] receives rows[j]
+            std::vector<ElementBuf> bufs;     // bufs[j] receives rows[j]
             Status status = Status::success();
             std::size_t done_ops = 0;
             double issue_us = 0.0;  // forensic clock, for frame-side spans
@@ -279,6 +326,7 @@ class PlanExecutor {
     std::int64_t element_bytes_;
     ThreadPool* pool_;
     std::vector<store::BlockDevice*> devices_;
+    BufferPool* buffer_pool_ = nullptr;
 
     mutable std::mutex opts_mu_;  // guards recovery_
     RecoveryOptions recovery_;

@@ -118,8 +118,12 @@ IoStats MetricRegistry::disk_io_stats(int disk) {
     describe("ecfrm_store_io_errors_total", "Device ops that returned an error, by op type");
     describe("ecfrm_store_io_error_bytes_total", "Payload bytes of failed device ops, by op type");
     describe("ecfrm_disk_in_flight_ops", "Device ops issued but not yet completed (live queue depth)");
+    describe("ecfrm_disk_flushes_total", "Durability flushes (fflush/fsync) the device issued");
+    describe("ecfrm_disk_batch_depth", "I/O ops one vectored submission put in flight at once");
     IoStats io;
     io.in_flight = &gauge("ecfrm_disk_in_flight_ops", labels);
+    io.flushes = &counter("ecfrm_disk_flushes_total", labels);
+    io.batch_depth = &histogram("ecfrm_disk_batch_depth", labels);
     io.read_ops = &counter("ecfrm_disk_read_ops_total", labels);
     io.read_bytes = &counter("ecfrm_disk_read_bytes_total", labels);
     io.read_seconds = &histogram("ecfrm_disk_read_seconds", labels);

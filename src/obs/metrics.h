@@ -135,6 +135,14 @@ struct IoStats {
     // (ecfrm_disk_in_flight_ops). Incremented at issue, decremented at
     // completion whether the op succeeded or failed.
     Gauge* in_flight = nullptr;
+    // Durability flushes the device actually issued (fflush/fsync). The
+    // batched write path flushes once per batch, not once per element —
+    // this counter is how tests pin that down (ecfrm_disk_flushes_total).
+    Counter* flushes = nullptr;
+    // Submitted batch depth: how many I/O ops (SQEs / coalesced runs) one
+    // vectored submission put in flight at once — the in-kernel queue
+    // depth the async backends achieve (ecfrm_disk_batch_depth).
+    Histogram* batch_depth = nullptr;
 
     void on_read(std::int64_t bytes, double seconds) const {
         if (read_ops != nullptr) read_ops->add(1);
@@ -153,6 +161,12 @@ struct IoStats {
     void on_write_error(std::int64_t bytes) const {
         if (write_errors != nullptr) write_errors->add(1);
         if (write_error_bytes != nullptr) write_error_bytes->add(bytes);
+    }
+    void on_flush(std::int64_t count = 1) const {
+        if (flushes != nullptr) flushes->add(count);
+    }
+    void on_batch_depth(std::int64_t depth) const {
+        if (batch_depth != nullptr) batch_depth->record(static_cast<double>(depth));
     }
     void on_issue(std::int64_t ops = 1) const {
         if (in_flight != nullptr) in_flight->add(static_cast<double>(ops));

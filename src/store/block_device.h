@@ -72,6 +72,51 @@ class BlockDevice {
         return Status::success();
     }
 
+    /// One in-flight asynchronous batch read. Obtained from
+    /// submit_read_batch(); await() blocks until every op has settled and
+    /// returns the batch's status. Call await() exactly once — the
+    /// destructor of an un-awaited batch blocks until the I/O is safe to
+    /// abandon (buffers may be written up to that point). `*completed`
+    /// follows the read_batch prefix contract, with one async relaxation:
+    /// on error, ops past the prefix MAY have been attempted (the kernel
+    /// ran them concurrently); their buffer contents are unspecified.
+    class AsyncBatch {
+      public:
+        virtual ~AsyncBatch() = default;
+        virtual Status await(std::size_t* completed = nullptr) = 0;
+    };
+
+    /// Submit a batch read without waiting for it. The default adapter
+    /// simply runs the synchronous read_batch() at submit time and hands
+    /// back its result, so every existing device (Disk, FaultDevice,
+    /// decorators) gets the async interface for free with unchanged
+    /// semantics; truly asynchronous backends (UringDisk) override it to
+    /// put the whole batch in flight and complete it in await(). `rows`
+    /// and `outs` must stay valid until await() returns.
+    virtual std::unique_ptr<AsyncBatch> submit_read_batch(
+        std::span<const RowId> rows, std::span<const ByteSpan> outs) const {
+        class SyncBatch final : public AsyncBatch {
+          public:
+            SyncBatch(Status status, std::size_t done) : status_(std::move(status)), done_(done) {}
+            Status await(std::size_t* completed) override {
+                if (completed != nullptr) *completed = done_;
+                return status_;
+            }
+
+          private:
+            Status status_;
+            std::size_t done_;
+        };
+        std::size_t done = 0;
+        Status status = read_batch(rows, outs, &done);
+        return std::make_unique<SyncBatch>(std::move(status), done);
+    }
+
+    /// True when submit_read_batch genuinely overlaps I/O (submission
+    /// returns before completion). The executor uses this to decide
+    /// whether submitting every disk's batch up front buys overlap.
+    virtual bool async_reads() const { return false; }
+
     /// Vectored batch write: write payloads[i] to rows[i], in order,
     /// stopping at the first failure. Same `*completed` contract as
     /// read_batch.

@@ -1,12 +1,35 @@
 #include "store/file_disk.h"
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 
 namespace ecfrm::store {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/// 64-bit file offset of `row` — off_t arithmetic throughout, so >2 GiB
+/// device files work even where `long` is 32-bit.
+off_t element_offset(RowId row, std::int64_t element_bytes) {
+    return static_cast<off_t>(row) * static_cast<off_t>(element_bytes);
+}
+
+/// ECFRM_FSYNC=1 upgrades the per-batch fflush to a real fsync (opt-in
+/// durability knob; read once per process).
+bool fsync_enabled() {
+    static const bool enabled = []() {
+        const char* v = std::getenv("ECFRM_FSYNC");
+        return v != nullptr && v[0] != '\0' && v[0] != '0';
+    }();
+    return enabled;
+}
+
+}  // namespace
 
 FileDisk::FileDisk(std::string data_path, std::string map_path, std::string failed_path,
                    std::int64_t element_bytes)
@@ -79,10 +102,27 @@ Status FileDisk::load_map() {
 }
 
 Status FileDisk::persist_map_bit(RowId row, bool value) {
-    if (std::fseek(map_, static_cast<long>(row), SEEK_SET) != 0) return Error::io("seek failed on map file");
+    // No flush here: callers batch one flush_files() per write (batch).
+    if (fseeko(map_, static_cast<off_t>(row), SEEK_SET) != 0) return Error::io("seek failed on map file");
     const char byte = value ? 1 : 0;
     if (std::fwrite(&byte, 1, 1, map_) != 1) return Error::io("write failed on map file");
-    std::fflush(map_);
+    return Status::success();
+}
+
+Status FileDisk::flush_files() {
+    // One durability point per write (batch): stdio buffers of both files
+    // are flushed together, upgraded to fsync under ECFRM_FSYNC=1. Counted
+    // so tests can pin "one flush per batch, not per element".
+    if (std::fflush(data_) != 0 || std::fflush(map_) != 0) {
+        return Error::io("flush failed on device files");
+    }
+    io_stats().on_flush(2);
+    if (fsync_enabled()) {
+        if (::fsync(fileno(data_)) != 0 || ::fsync(fileno(map_)) != 0) {
+            return Error::io("fsync failed on device files");
+        }
+        io_stats().on_flush(2);
+    }
     return Status::success();
 }
 
@@ -95,13 +135,12 @@ Status FileDisk::write(RowId row, ConstByteSpan data) {
     auto status = [&]() -> Status {
         std::lock_guard lk(mu_);
         if (failed_) return Error::disk_failed("write to failed disk");
-        if (std::fseek(data_, static_cast<long>(row * element_bytes_), SEEK_SET) != 0) {
+        if (fseeko(data_, element_offset(row, element_bytes_), SEEK_SET) != 0) {
             return Error::io("seek failed on data file");
         }
         if (std::fwrite(data.data(), 1, data.size(), data_) != data.size()) {
             return Error::io("write failed on data file");
         }
-        std::fflush(data_);
         // The map file may need zero padding for skipped rows.
         if (static_cast<std::size_t>(row) >= written_.size()) {
             const RowId old = static_cast<RowId>(written_.size());
@@ -112,7 +151,9 @@ Status FileDisk::write(RowId row, ConstByteSpan data) {
             }
         }
         written_[static_cast<std::size_t>(row)] = true;
-        return persist_map_bit(row, true);
+        auto status = persist_map_bit(row, true);
+        if (!status.ok()) return status;
+        return flush_files();
     }();
     timer.done(status);
     return status;
@@ -130,7 +171,7 @@ Status FileDisk::read(RowId row, ByteSpan out) const {
         if (static_cast<std::size_t>(row) >= written_.size() || !written_[static_cast<std::size_t>(row)]) {
             return Error::range("row never written");
         }
-        if (std::fseek(data_, static_cast<long>(row * element_bytes_), SEEK_SET) != 0) {
+        if (fseeko(data_, element_offset(row, element_bytes_), SEEK_SET) != 0) {
             return Error::io("seek failed on data file");
         }
         if (std::fread(out.data(), 1, out.size(), data_) != out.size()) {
@@ -161,11 +202,13 @@ Status FileDisk::read_batch(std::span<const RowId> rows, std::span<const ByteSpa
             const auto row = static_cast<std::size_t>(rows[i]);
             if (row >= written_.size() || !written_[row]) return Error::range("row never written");
         }
+        std::int64_t runs = 0;
         for (std::size_t i = 0; i < rows.size(); ++i) {
             // Seek only at the start of each run of consecutive rows; the
             // stream position is already correct inside a run.
             if (i == 0 || rows[i] != rows[i - 1] + 1) {
-                if (std::fseek(data_, static_cast<long>(rows[i] * element_bytes_), SEEK_SET) != 0) {
+                ++runs;
+                if (fseeko(data_, element_offset(rows[i], element_bytes_), SEEK_SET) != 0) {
                     return Error::io("seek failed on data file");
                 }
             }
@@ -174,6 +217,9 @@ Status FileDisk::read_batch(std::span<const RowId> rows, std::span<const ByteSpa
             }
             done = i + 1;
         }
+        // Serial backend: the "queue depth" is the coalesced run count —
+        // each run is still one blocking transfer at a time.
+        io_stats().on_batch_depth(runs);
         return Status::success();
     }();
     timer.done(done, !status.ok());
@@ -198,7 +244,7 @@ Status FileDisk::write_batch(std::span<const RowId> rows, std::span<const ConstB
         if (failed_) return Error::disk_failed("write to failed disk");
         for (std::size_t i = 0; i < rows.size(); ++i) {
             if (i == 0 || rows[i] != rows[i - 1] + 1) {
-                if (std::fseek(data_, static_cast<long>(rows[i] * element_bytes_), SEEK_SET) != 0) {
+                if (fseeko(data_, element_offset(rows[i], element_bytes_), SEEK_SET) != 0) {
                     return Error::io("seek failed on data file");
                 }
             }
@@ -219,8 +265,7 @@ Status FileDisk::write_batch(std::span<const RowId> rows, std::span<const ConstB
             if (!bit.ok()) return bit;
             done = i + 1;
         }
-        std::fflush(data_);
-        return Status::success();
+        return flush_files();
     }();
     timer.done(done, !status.ok());
     if (completed != nullptr) *completed = done;
@@ -268,13 +313,13 @@ Status FileDisk::corrupt_byte(RowId row, std::size_t offset) {
         return Error::range("row never written");
     }
     if (offset >= static_cast<std::size_t>(element_bytes_)) return Error::range("offset beyond element");
-    const long pos = static_cast<long>(row * element_bytes_ + static_cast<std::int64_t>(offset));
+    const off_t pos = element_offset(row, element_bytes_) + static_cast<off_t>(offset);
     unsigned char byte = 0;
-    if (std::fseek(data_, pos, SEEK_SET) != 0 || std::fread(&byte, 1, 1, data_) != 1) {
+    if (fseeko(data_, pos, SEEK_SET) != 0 || std::fread(&byte, 1, 1, data_) != 1) {
         return Error::io("read failed during corruption");
     }
     byte ^= 0xff;
-    if (std::fseek(data_, pos, SEEK_SET) != 0 || std::fwrite(&byte, 1, 1, data_) != 1) {
+    if (fseeko(data_, pos, SEEK_SET) != 0 || std::fwrite(&byte, 1, 1, data_) != 1) {
         return Error::io("write failed during corruption");
     }
     std::fflush(data_);

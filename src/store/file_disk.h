@@ -54,6 +54,9 @@ class FileDisk final : public BlockDevice {
     /// Reload the written-row map from disk (after open/replace).
     Status load_map();
     Status persist_map_bit(RowId row, bool value);
+    /// One durability point per write (batch): fflush both files, fsync
+    /// under ECFRM_FSYNC=1, counted in IoStats::flushes.
+    Status flush_files();
 
     mutable std::mutex mu_;
     std::string data_path_;

@@ -1,0 +1,54 @@
+// I/O backend selection for file-backed devices.
+//
+// Three interchangeable backends share one on-disk format:
+//   stdio — FileDisk (buffered streams, one mutex per disk; the portable
+//           baseline and the pre-io_uring behaviour)
+//   pread — UringDisk in positional-syscall mode (concurrent readers,
+//           coalesced preadv batches; portable fallback)
+//   uring — UringDisk driving io_uring (batched SQE submission, fixed
+//           files, registered buffers); degrades to pread when the kernel
+//           or build lacks io_uring
+//
+// The default is uring-when-available, else pread. ECFRM_IO_BACKEND
+// overrides it ("uring" | "pread" | "stdio") — one knob flips every
+// file-backed archive, which is how the differential tests and the
+// bench compare backends on identical data.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/buffer_pool.h"
+#include "store/block_device.h"
+
+namespace ecfrm::store {
+
+enum class IoBackend {
+    stdio,
+    pread,
+    uring,
+};
+
+const char* to_string(IoBackend backend);
+
+/// Parse a backend name; nullopt for unknown names.
+std::optional<IoBackend> parse_io_backend(const std::string& name);
+
+/// The process-wide backend: ECFRM_IO_BACKEND when set to a valid name,
+/// else uring when the kernel provides it, else pread. Read once.
+IoBackend default_io_backend();
+
+/// The shared element arena registered with every uring-backed device:
+/// one BufferPool per element size, process-lifetime, so executor staging
+/// buffers come from registered memory (READ_FIXED-eligible). Never
+/// null; sized for a few concurrent stripes' worth of elements.
+BufferPool* element_arena(std::int64_t element_bytes);
+
+/// Open disk `index` under `dir` with the given backend (process default
+/// when omitted). All backends read and write the same files.
+Result<std::unique_ptr<BlockDevice>> open_file_device(
+    const std::string& dir, int index, std::int64_t element_bytes,
+    std::optional<IoBackend> backend = std::nullopt);
+
+}  // namespace ecfrm::store

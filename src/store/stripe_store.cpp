@@ -8,6 +8,7 @@
 #include "common/aligned_buffer.h"
 #include "gf/kernels.h"
 #include "gf/region.h"
+#include "store/io_backend.h"
 
 namespace ecfrm::store {
 
@@ -47,6 +48,11 @@ void StripeStore::bind_executor() {
     devices.reserve(disks_.size());
     for (auto& disk : disks_) devices.push_back(disk.get());
     executor_.bind(std::move(devices));
+    // Staging buffers come from the process-lifetime element arena: when
+    // the devices are uring-backed the same arena is registered with
+    // their rings, so staged reads are READ_FIXED-eligible, and orphaned
+    // hedge queues can hold arena buffers past this store's lifetime.
+    executor_.set_buffer_pool(element_arena(element_bytes_));
 }
 
 void StripeStore::attach_observability(obs::MetricRegistry* metrics, obs::Tracer* tracer,
@@ -447,7 +453,23 @@ Status StripeStore::execute_read_traced(ElementId start, std::int64_t count, Byt
         return planned;
     };
 
-    auto fetched = executor_.fetch(replanner, std::move(excluded), rt);
+    // Zero-copy sink: a requested data element lands directly in the
+    // caller's output slice — fetched there by the device, or decoded
+    // there — so the healthy path's assemble stage has nothing to copy.
+    // Repair sources, parities and hedge-owned buffers stay in executor
+    // staging (the sink returns an empty span for them).
+    std::map<exec::PlanExecutor::Key, std::int64_t> dest;
+    for (std::int64_t i = 0; i < count; ++i) {
+        dest.emplace(exec::PlanExecutor::key_of(scheme_.layout().coord_of_data(start + i)), i);
+    }
+    auto sink = [&](const exec::PlanExecutor::Key& key) -> ByteSpan {
+        auto it = dest.find(key);
+        if (it == dest.end()) return {};
+        return out.subspan(static_cast<std::size_t>(it->second * element_bytes_),
+                           static_cast<std::size_t>(element_bytes_));
+    };
+
+    auto fetched = executor_.fetch(replanner, std::move(excluded), rt, sink);
     if (!fetched.ok()) return fetched.error();
     exec::PlanExecutor::FetchResult& result = fetched.value();
 
@@ -465,7 +487,7 @@ Status StripeStore::execute_read_traced(ElementId start, std::int64_t count, Byt
         obs::Span decode_span(o.tracer, "store.decode", "store");
         decode_span.arg("decodes", static_cast<std::int64_t>(result.plan.decodes().size()));
         const std::uint32_t decode_node = rt != nullptr ? rt->begin_phase("decode") : 0;
-        auto status = executor_.decode(result.plan, result.elements, {rt, decode_node});
+        auto status = executor_.decode(result.plan, result.elements, {rt, decode_node}, sink);
         if (rt != nullptr) {
             rt->end_with(decode_node,
                          {{"decodes", static_cast<std::int64_t>(result.plan.decodes().size())}});
@@ -473,9 +495,12 @@ Status StripeStore::execute_read_traced(ElementId start, std::int64_t count, Byt
         if (!status.ok()) return status;
     }
 
-    // Assemble the user range in logical order.
+    // Assemble the user range in logical order. Elements routed through
+    // the sink already sit in place; only staged elements (hedged reads,
+    // elements a recovery round landed in executor buffers) still copy.
     obs::Span assemble_span(o.tracer, "store.assemble", "store");
     const std::uint32_t assemble_node = rt != nullptr ? rt->begin_phase("assemble") : 0;
+    std::int64_t copies = 0;
     for (std::int64_t i = 0; i < count; ++i) {
         const GroupCoord coord = scheme_.layout().coord_of_data(start + i);
         auto it = result.elements.find(exec::PlanExecutor::key_of(coord));
@@ -483,11 +508,15 @@ Status StripeStore::execute_read_traced(ElementId start, std::int64_t count, Byt
             if (rt != nullptr) rt->end(assemble_node);
             return Error::internal("requested element missing after decode");
         }
-        std::memcpy(out.data() + static_cast<std::size_t>(i * element_bytes_), it->second.data(),
-                    static_cast<std::size_t>(element_bytes_));
+        std::uint8_t* const dst = out.data() + static_cast<std::size_t>(i * element_bytes_);
+        if (it->second.data() != dst) {
+            std::memcpy(dst, it->second.data(), static_cast<std::size_t>(element_bytes_));
+            ++copies;
+        }
     }
+    if (copies > 0) assemble_copies_.fetch_add(copies, std::memory_order_relaxed);
     if (rt != nullptr) {
-        rt->end_with(assemble_node, {{"elements", count}});
+        rt->end_with(assemble_node, {{"elements", count}, {"staging_copies", copies}});
     }
     return Status::success();
 }

@@ -141,6 +141,15 @@ class StripeStore {
     /// (disk, row) without any error signal from the device.
     Status corrupt_element(DiskId disk, RowId row, std::size_t byte_offset);
 
+    /// Lifetime count of elements the assemble stage had to copy out of
+    /// executor staging. Zero-copy reads (the healthy path, and degraded
+    /// paths whose decode targets the caller buffer) leave it untouched;
+    /// hedged or recovery-staged elements increment it. Test/diagnostic
+    /// hook for the zero-staging-copy guarantee.
+    std::int64_t assemble_staging_copies() const {
+        return assemble_copies_.load(std::memory_order_relaxed);
+    }
+
     /// Configure the self-healing I/O behaviour (retries, timeouts,
     /// hedging, replans, queue depth). Takes effect for subsequent
     /// operations; safe to call while requests are in flight.
@@ -227,6 +236,8 @@ class StripeStore {
     /// their own internal locking, so holding the shared lock across
     /// device I/O is safe and keeps plans consistent with extents.
     mutable std::shared_mutex mu_;
+
+    std::atomic<std::int64_t> assemble_copies_{0};
 
     std::vector<std::unique_ptr<BlockDevice>> disks_;
     std::vector<std::uint8_t> pending_;  // buffered tail, < one stripe of data

@@ -14,14 +14,17 @@
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "codes/factory.h"
 #include "common/rng.h"
 #include "store/fault_device.h"
+#include "store/io_backend.h"
 #include "store/stripe_store.h"
 
 namespace ecfrm::store {
@@ -59,14 +62,26 @@ FaultPlan fuzz_fault_plan(std::uint64_t seed) {
     return plan;
 }
 
-void run_fuzz(const char* spec, LayoutKind kind, std::uint64_t seed, bool with_faults) {
+void run_fuzz(const char* spec, LayoutKind kind, std::uint64_t seed, bool with_faults,
+              const StripeStore::DeviceFactory* factory = nullptr) {
     auto code = codes::make_code(spec);
     ASSERT_TRUE(code.ok());
     const int tolerance = code.value()->fault_tolerance();
 
     const std::int64_t elem = 32;
     std::unique_ptr<StripeStore> store;
-    if (with_faults) {
+    if (factory != nullptr) {
+        // Caller-supplied devices (the backend-differential cells): same
+        // op stream, different I/O stack underneath.
+        auto opened = StripeStore::open(core::Scheme(code.value(), kind), elem, *factory);
+        ASSERT_TRUE(opened.ok()) << opened.error().message;
+        store = std::move(opened).take();
+        if (with_faults) {
+            RecoveryOptions recovery;
+            recovery.max_retries = 3;
+            store->set_recovery(recovery);
+        }
+    } else if (with_faults) {
         const FaultPlan plan = fuzz_fault_plan(seed);
         SCOPED_TRACE("replay: seed=" + std::to_string(seed) + " fault_plan=" + plan.to_json());
         auto opened = StripeStore::open(core::Scheme(code.value(), kind), elem,
@@ -341,6 +356,52 @@ INSTANTIATE_TEST_SUITE_P(
                       ConcurrentFuzzParam{"lrc:6,2,2", LayoutKind::rotated, 204},
                       ConcurrentFuzzParam{"hhxor:6,4", LayoutKind::ecfrm, 205},
                       ConcurrentFuzzParam{"htec:9,6,3", LayoutKind::standard, 206}));
+
+/// Backend-differential cells: the identical deterministic op stream
+/// (append / flush / read / fail / reconstruct / corrupt+scrub, fixed
+/// seed) runs over file-backed stores once per I/O backend. Every run is
+/// verified byte-for-byte against the same in-memory reference model, so
+/// stdio, pread and uring are pinned byte-identical to each other — in
+/// clean mode and with FaultDevice-injected torn writes and transient
+/// EIOs layered on top of the real file I/O.
+struct BackendDiffParam {
+    const char* spec;
+    std::uint64_t seed;
+    bool with_faults;
+};
+
+class BackendDifferentialFuzzTest : public ::testing::TestWithParam<BackendDiffParam> {};
+
+TEST_P(BackendDifferentialFuzzTest, BackendsByteIdenticalUnderSameStream) {
+    const auto [spec, seed, with_faults] = GetParam();
+    for (const IoBackend backend : {IoBackend::stdio, IoBackend::pread, IoBackend::uring}) {
+        SCOPED_TRACE(std::string("backend=") + to_string(backend));
+        const std::filesystem::path dir =
+            std::filesystem::temp_directory_path() /
+            ("ecfrm_fuzz_" + std::string(to_string(backend)) + "_" + std::to_string(seed) +
+             (with_faults ? "_faulty" : "_clean") + "_" + std::to_string(::getpid()));
+        std::filesystem::create_directories(dir);
+        const std::int64_t elem = 32;
+        const FaultPlan plan = fuzz_fault_plan(seed);
+        const StripeStore::DeviceFactory factory =
+            [&](int index) -> Result<std::unique_ptr<BlockDevice>> {
+            auto dev = open_file_device(dir.string(), index, elem, backend);
+            if (!dev.ok()) return dev.error();
+            if (!with_faults) return std::move(dev).take();
+            return std::unique_ptr<BlockDevice>(
+                std::make_unique<FaultDevice>(std::move(dev).take(), plan, index));
+        };
+        run_fuzz(spec, LayoutKind::ecfrm, seed, with_faults, &factory);
+        std::filesystem::remove_all(dir);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BackendMatrix, BackendDifferentialFuzzTest,
+    ::testing::Values(BackendDiffParam{"rs:6,3", 301, false},
+                      BackendDiffParam{"lrc:6,2,2", 302, false},
+                      BackendDiffParam{"rs:6,3", 303, true},
+                      BackendDiffParam{"lrc:6,2,2", 304, true}));
 
 // CI replay hook: ECFRM_FUZZ_SEED (decimal) drives one extra faulty run
 // per scheme on the EC-FRM layout. The seed is printed so any failure in a
