@@ -64,6 +64,13 @@ class ArtifactWriter {
         return artifact_enabled() || !metrics_path_.empty() ? &registry_ : nullptr;
     }
 
+    /// Override the artifact name (default: binary name minus "bench_").
+    /// For benches whose artifact is named after what they measure rather
+    /// than the binary. Call before exit, ideally first thing in main.
+    void set_bench_name(std::string name) {
+        if (!name.empty()) bench_name_ = std::move(name);
+    }
+
     /// Record one run parameter (code spec, element size, trial count...).
     /// Later calls with the same key overwrite.
     void set_param(const std::string& key, std::string value) {

@@ -179,6 +179,129 @@ Status PlanExecutor::submit_queue(DiskId disk, std::span<const RowId> rows,
     return Status::success();
 }
 
+Status PlanExecutor::submit_write_queue(DiskId disk, std::span<const RowId> rows,
+                                        std::span<const ConstByteSpan> data,
+                                        const RecoveryOptions& opts, std::size_t* done,
+                                        TraceCtx tc) const {
+    *done = 0;
+    store::BlockDevice& device = *devices_[static_cast<std::size_t>(disk)];
+    const ExecutorMetrics& m = metrics();
+    obs::DiskHeatModel* const heat = this->heat();
+    const std::size_t depth =
+        opts.batch_elements > 0 ? static_cast<std::size_t>(opts.batch_elements) : rows.size();
+    std::size_t offset = 0;
+    while (offset < rows.size()) {
+        const std::size_t n = std::min(depth, rows.size() - offset);
+        std::size_t completed = 0;
+        auto status =
+            device.write_batch(rows.subspan(offset, n), data.subspan(offset, n), &completed);
+        *done += completed;
+        if (status.ok()) {
+            offset += n;
+            continue;
+        }
+        // The op at `offset + completed` failed and the rest of the chunk
+        // was never attempted. Retry just that op under the policy — a
+        // retry rewrites the full payload, healing a torn write.
+        if (status.error().code != Error::Code::io_error || opts.max_retries < 1) return status;
+        const std::size_t j = offset + completed;
+        Status retried = status;
+        for (int attempt = 1; attempt <= opts.max_retries; ++attempt) {
+            if (m.retries != nullptr) m.retries->add(1);
+            if (heat != nullptr) heat->on_retry(disk, obs::DiskHeatModel::now_seconds());
+            if (tc.rt != nullptr) {
+                tc.rt->count_retry();
+                tc.rt->complete(tc.parent, "retry", obs::forensic_now_us(), 0.0,
+                                {{"disk", std::to_string(disk)},
+                                 {"row", std::to_string(rows[j])},
+                                 {"attempt", std::to_string(attempt)},
+                                 {"error", retried.error().message}});
+            }
+            traced_backoff(opts, attempt - 1, disk, tc);
+            retried = device.write(rows[j], data[j]);
+            if (retried.ok()) break;
+            if (retried.error().code != Error::Code::io_error) return retried;
+        }
+        if (!retried.ok()) return retried;
+        *done += 1;
+        offset = j + 1;
+    }
+    return Status::success();
+}
+
+Result<PlanExecutor::WriteReport> PlanExecutor::write(const core::WritePlan& plan,
+                                                      std::span<const ConstByteSpan> payloads,
+                                                      TraceCtx tc, bool allow_degraded) const {
+    const RecoveryOptions opts = recovery();
+    const ExecutorMetrics& m = metrics();
+    obs::DiskHeatModel* const heat = this->heat();
+    const auto& writes = plan.writes();
+    for (const core::WriteAccess& w : writes) {
+        if (w.payload >= payloads.size()) return Error::invalid("write plan payload out of range");
+        if (payloads[w.payload].size() != static_cast<std::size_t>(element_bytes_)) {
+            return Error::invalid("write plan payload has wrong element size");
+        }
+    }
+
+    std::vector<core::WriteBatch> queues = plan.batches();
+    std::atomic<std::int64_t> written{0};
+    std::atomic<std::int64_t> skipped{0};
+    std::mutex state_mu;
+    std::optional<Error> first_error;  // guarded by state_mu
+
+    auto run_queue = [&](std::size_t a) {
+        const core::WriteBatch& queue = queues[a];
+        std::vector<ConstByteSpan> data;
+        data.reserve(queue.write_indices.size());
+        for (std::size_t i : queue.write_indices) data.push_back(payloads[writes[i].payload]);
+        const double rt_issue_us = tc.rt != nullptr ? obs::forensic_now_us() : 0.0;
+        if (heat != nullptr) heat->on_issue(queue.disk);
+        std::size_t done = 0;
+        auto status = submit_write_queue(queue.disk, queue.rows,
+                                         std::span<const ConstByteSpan>(data.data(), data.size()),
+                                         opts, &done, tc);
+        if (heat != nullptr) {
+            const double now_s = obs::DiskHeatModel::now_seconds();
+            heat->on_write_complete(queue.disk, static_cast<std::int64_t>(done),
+                                    static_cast<std::int64_t>(done) * element_bytes_, now_s);
+            if (!status.ok() && status.error().code != Error::Code::disk_failed) {
+                heat->on_error(queue.disk, now_s);
+            }
+        }
+        if (tc.rt != nullptr) {
+            const std::uint32_t batch_node = tc.rt->complete(
+                tc.parent, "disk.write_batch", rt_issue_us, obs::forensic_now_us() - rt_issue_us,
+                {obs::RequestTrace::IntAttr{"disk", queue.disk},
+                 {"elements", static_cast<std::int64_t>(queue.write_indices.size())},
+                 {"done", static_cast<std::int64_t>(done)},
+                 {"bytes", static_cast<std::int64_t>(done) * element_bytes_}});
+            if (!status.ok()) tc.rt->attr(batch_node, "error", status.error().message);
+        }
+        written.fetch_add(static_cast<std::int64_t>(done));
+        if (!status.ok()) {
+            if (status.error().code == Error::Code::disk_failed && allow_degraded) {
+                // Degraded write: whatever of this queue did not land
+                // stays recoverable through the group parities.
+                skipped.fetch_add(static_cast<std::int64_t>(queue.rows.size() - done));
+                return;
+            }
+            std::lock_guard<std::mutex> lock(state_mu);
+            if (!first_error.has_value()) first_error = status.error();
+        }
+    };
+
+    if (pool_ != nullptr && queues.size() > 1) {
+        parallel_for(*pool_, queues.size(), run_queue);
+    } else {
+        for (std::size_t a = 0; a < queues.size(); ++a) run_queue(a);
+    }
+
+    if (first_error.has_value()) return *first_error;
+    if (m.writes != nullptr) m.writes->add(written.load());
+    if (m.degraded_writes != nullptr && skipped.load() > 0) m.degraded_writes->add(skipped.load());
+    return WriteReport{written.load(), skipped.load()};
+}
+
 bool PlanExecutor::side_decode(const GroupCoord& coord, const std::vector<char>& avoid,
                                ByteSpan target) const {
     const auto& code = scheme_->code();

@@ -39,6 +39,7 @@
 #include "common/types.h"
 #include "core/access_plan.h"
 #include "core/scheme.h"
+#include "core/write_plan.h"
 #include "obs/heat.h"
 #include "obs/metrics.h"
 #include "obs/request_trace.h"
@@ -90,6 +91,8 @@ struct ExecutorMetrics {
     obs::Counter* replans = nullptr;
     obs::Counter* hedged_reads = nullptr;
     obs::Counter* decodes = nullptr;
+    obs::Counter* writes = nullptr;           // elements written via write()
+    obs::Counter* degraded_writes = nullptr;  // elements skipped on failed devices
 };
 
 /// Request-trace context threaded down the execution pipeline: the
@@ -234,6 +237,30 @@ class PlanExecutor {
     /// answer.
     Status read_group(StripeId stripe, int group, std::span<const ByteSpan> bufs) const;
 
+    /// Outcome of one executed write plan.
+    struct WriteReport {
+        std::int64_t elements_written = 0;
+        /// Degraded writes: placements whose device is failed are skipped —
+        /// the element stays recoverable through its group's parity, and
+        /// reconstruction restores it onto the replacement device.
+        std::int64_t elements_skipped = 0;
+    };
+
+    /// Execute a write plan: one submission queue per disk, each issued as
+    /// chunked vectored write_batch calls (RecoveryOptions::batch_elements
+    /// deep), in parallel across disks when a thread pool is attached.
+    /// `payloads[w.payload]` supplies the bytes of each placement `w`, so
+    /// one payload may back many placements (replication) and payload
+    /// order is independent of submission order. Transient errors retry
+    /// with backoff under the same policy as reads (a retry rewrites the
+    /// full payload, healing torn writes). With `allow_degraded`, a failed
+    /// device's remaining placements are skipped and counted instead of
+    /// failing the plan. `tc` hangs per-disk `disk.write_batch` spans (and
+    /// retry/backoff detail) under the caller's span.
+    Result<WriteReport> write(const core::WritePlan& plan,
+                              std::span<const ConstByteSpan> payloads, TraceCtx tc = {},
+                              bool allow_degraded = true) const;
+
     /// Device read with per-op timeout detection and bounded retries on
     /// transient errors. On timeout the payload is discarded and
     /// Error::timeout is returned (the caller routes around the device).
@@ -255,6 +282,12 @@ class PlanExecutor {
     /// elements that landed (also on failure).
     Status submit_queue(DiskId disk, std::span<const RowId> rows, std::span<const ByteSpan> outs,
                         const RecoveryOptions& opts, std::size_t* done, TraceCtx tc = {}) const;
+
+    /// Write-side twin of submit_queue: chunked write_batch calls with
+    /// suffix retry of the failing op.
+    Status submit_write_queue(DiskId disk, std::span<const RowId> rows,
+                              std::span<const ConstByteSpan> data, const RecoveryOptions& opts,
+                              std::size_t* done, TraceCtx tc = {}) const;
 
     /// Hedge path: decode one element directly from alive source disks
     /// into `target`, bypassing the queue machinery. `avoid` marks disks

@@ -256,6 +256,11 @@ void ExpositionServer::handle_connection(int fd) {
     }
 }
 
+void ExpositionServer::set_pipeline_source(std::function<std::string()> source) {
+    std::lock_guard<std::mutex> lock(pipeline_mu_);
+    pipeline_source_ = std::move(source);
+}
+
 std::string ExpositionServer::respond(const std::string& path) {
     registry_->counter("ecfrm_obs_http_requests_total", {{"path", path}}).add(1);
 
@@ -283,6 +288,14 @@ std::string ExpositionServer::respond(const std::string& path) {
                 (h ? "\n" : "  [unavailable: no heat model attached]\n");
         body += std::string("/heat           cluster balance + straggler view (ecfrm.heat.v1)") +
                 (h ? "\n" : "  [unavailable: no heat model attached]\n");
+        bool p;
+        {
+            std::lock_guard<std::mutex> lock(pipeline_mu_);
+            p = static_cast<bool>(pipeline_source_);
+        }
+        body +=
+            std::string("/pipeline       online write/repair pipeline state (ecfrm.pipeline.v1)") +
+            (p ? "\n" : "  [unavailable: no pipeline attached]\n");
         body += "/healthz        liveness probe\n";
         body += "/quitquitquit   release a held run (remote shutdown hook)\n";
     } else if (DiskHeatModel* heat = heat_.load(std::memory_order_acquire);
@@ -352,6 +365,19 @@ std::string ExpositionServer::respond(const std::string& path) {
         } else {
             status = "404 Not Found";
             body = "request " + id_text + " not captured (or already evicted)\n";
+        }
+    } else if (path == "/pipeline") {
+        std::function<std::string()> source;
+        {
+            std::lock_guard<std::mutex> lock(pipeline_mu_);
+            source = pipeline_source_;
+        }
+        if (source) {
+            body = source();
+            content_type = "application/json";
+        } else {
+            status = "404 Not Found";
+            body = "no pipeline attached\n";
         }
     } else if (path == "/healthz") {
         body = "ok\n";

@@ -18,17 +18,20 @@
 //   GET /requests/<id>  one captured request as chrome://tracing JSON
 //   GET /disks          live per-disk heat snapshots (ecfrm.disks.v1)
 //   GET /heat           cluster balance + straggler view (ecfrm.heat.v1)
+//   GET /pipeline       online write/repair pipeline state (ecfrm.pipeline.v1)
 //   GET /healthz        "ok"
 //   GET /quitquitquit   releases wait_for_quit() — remote shutdown hook
 //
 // The /slo, /slow, /slowlog and /requests routes answer 404 until a
 // RequestForensics is attached; /disks and /heat answer 404 until a
-// DiskHeatModel is attached.
+// DiskHeatModel is attached; /pipeline answers 404 until a source is set
+// via set_pipeline_source.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -145,6 +148,12 @@ class ExpositionServer {
     /// server is up (the CLI opens its archive post-bind) attach late.
     void attach_heat(DiskHeatModel* heat) { heat_.store(heat, std::memory_order_release); }
 
+    /// Attach the /pipeline route's JSON producer (typically
+    /// EcPipeline::to_json bound to a live pipeline). An empty function
+    /// detaches; the route answers 404 until one is set. Safe while
+    /// running.
+    void set_pipeline_source(std::function<std::string()> source);
+
     /// Block until GET /quitquitquit arrives or `timeout_seconds`
     /// passes. Returns true when quit was requested. Lets a CLI hold a
     /// finished run open for scraping with a remote release valve.
@@ -159,6 +168,8 @@ class ExpositionServer {
     Snapshotter* snapshotter_;
     RequestForensics* forensics_;
     std::atomic<DiskHeatModel*> heat_;
+    mutable std::mutex pipeline_mu_;              // guards pipeline_source_
+    std::function<std::string()> pipeline_source_;
 
     int listen_fd_ = -1;
     int port_ = 0;

@@ -96,6 +96,20 @@ void DiskHeatModel::on_complete(int disk, std::int64_t ops, std::int64_t bytes, 
     }
 }
 
+void DiskHeatModel::on_write_complete(int disk, std::int64_t ops, std::int64_t bytes,
+                                      double now_seconds) {
+    if (!valid(disk)) return;
+    PerDisk& pd = *per_disk_[static_cast<std::size_t>(disk)];
+    pd.in_flight.fetch_sub(1, std::memory_order_relaxed);
+    pd.total_ops.fetch_add(ops, std::memory_order_relaxed);
+    pd.total_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    pd.ops.add(ops, now_seconds);
+    pd.bytes.add(bytes, now_seconds);
+    // Deliberately no latency_us.record / EWMA update: write-queue
+    // durations must not steer the read hedge deadline or straggler
+    // flagging (see the header).
+}
+
 void DiskHeatModel::on_error(int disk, double now_seconds) {
     if (!valid(disk)) return;
     per_disk_[static_cast<std::size_t>(disk)]->errors.add(1, now_seconds);

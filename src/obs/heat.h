@@ -113,6 +113,14 @@ class DiskHeatModel {
     /// whole queue taking `latency_us`. Decrements in-flight.
     void on_complete(int disk, std::int64_t ops, std::int64_t bytes, double latency_us,
                      double now_seconds);
+    /// A WRITE queue completed: accounted into the load side of the
+    /// scoreboard (in-flight, ops, bytes) but kept out of the latency
+    /// window and EWMA — those drive the READ hedge deadline and
+    /// straggler flagging, and batched write-queue durations have a
+    /// different shape that would poison both (a fill phase of fast
+    /// write samples collapses the derived deadline below a healthy
+    /// read queue's latency, hedging everything).
+    void on_write_complete(int disk, std::int64_t ops, std::int64_t bytes, double now_seconds);
     void on_error(int disk, double now_seconds);
     void on_timeout(int disk, double now_seconds);
     void on_retry(int disk, double now_seconds);

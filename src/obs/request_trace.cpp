@@ -55,6 +55,7 @@ const char* request_class_name(RequestClass cls) {
         case RequestClass::normal: return "normal";
         case RequestClass::degraded: return "degraded";
         case RequestClass::scrub: return "scrub";
+        case RequestClass::write: return "write";
     }
     return "?";
 }

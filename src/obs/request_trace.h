@@ -40,8 +40,8 @@ namespace ecfrm::obs {
 /// timestamps are mutually comparable.
 double forensic_now_us();
 
-enum class RequestClass { normal = 0, degraded = 1, scrub = 2 };
-inline constexpr int kRequestClasses = 3;
+enum class RequestClass { normal = 0, degraded = 1, scrub = 2, write = 3 };
+inline constexpr int kRequestClasses = 4;
 
 const char* request_class_name(RequestClass cls);
 

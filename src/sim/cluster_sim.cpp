@@ -61,19 +61,34 @@ ClusterStats run_cluster(std::vector<ClusterRequest> requests, const DiskModel& 
     stats.results.resize(requests.size());
 
     // Pre-compute per-request submission batches through the plan's own
-    // schedule model — the same AccessPlan::batches() the real executor
-    // issues, so simulated and real execution cannot drift.
+    // schedule model — AccessPlan::batches() for reads,
+    // WritePlan::batches() for writes and repairs: the exact units the
+    // real executor issues, so simulated and real execution cannot drift.
+    struct SimBatch {
+        int disk = -1;
+        std::vector<RowId> rows;
+    };
     struct Pending {
-        std::vector<core::DiskBatch> batches;
+        std::vector<SimBatch> batches;
         int outstanding = 0;
     };
     std::vector<Pending> pending(requests.size());
     for (std::size_t i = 0; i < requests.size(); ++i) {
         auto& p = pending[i];
-        p.batches = requests[i].plan.batches();
+        if (requests[i].kind == SimJobKind::read) {
+            for (core::DiskBatch& b : requests[i].plan.batches()) {
+                p.batches.push_back(SimBatch{b.disk, std::move(b.rows)});
+            }
+            stats.results[i].requested_bytes = requests[i].plan.requested() * model.element_bytes();
+        } else {
+            for (core::WriteBatch& b : requests[i].write.batches()) {
+                p.batches.push_back(SimBatch{b.disk, std::move(b.rows)});
+            }
+            stats.results[i].requested_bytes =
+                requests[i].write.total_writes() * model.element_bytes();
+        }
         p.outstanding = static_cast<int>(p.batches.size());
         stats.results[i].arrival_seconds = requests[i].arrival_seconds;
-        stats.results[i].requested_bytes = requests[i].plan.requested() * model.element_bytes();
     }
 
     // Per-request forensic traces on the simulated clock. Traces outlive
@@ -91,22 +106,43 @@ ClusterStats run_cluster(std::vector<ClusterRequest> requests, const DiskModel& 
     for (std::size_t i = 0; i < requests.size(); ++i) {
         queue.schedule_at(requests[i].arrival_seconds, [&, i] {
             auto& p = pending[i];
+            const SimJobKind kind = requests[i].kind;
             obs::RequestTrace* rt = nullptr;
             std::uint32_t fetch_node = 0;
             if (forensics != nullptr) {
                 const double arrival_us = queue.now() * 1e6;
-                const bool degraded = !requests[i].plan.decodes().empty();
-                traces[i] = forensics->start_at(
-                    degraded ? obs::RequestClass::degraded : obs::RequestClass::normal, arrival_us);
+                obs::RequestClass cls = obs::RequestClass::normal;
+                const char* phase = "fetch";
+                std::int64_t elements = 0;
+                if (kind == SimJobKind::read) {
+                    if (!requests[i].plan.decodes().empty()) cls = obs::RequestClass::degraded;
+                    elements = requests[i].plan.requested();
+                } else if (kind == SimJobKind::write) {
+                    cls = obs::RequestClass::write;
+                    phase = "write";
+                    elements = requests[i].write.total_writes();
+                } else {
+                    // Repair traffic burns the scrub class's budget, not
+                    // the foreground read classes it competes with.
+                    cls = obs::RequestClass::scrub;
+                    phase = "rebuild";
+                    elements = requests[i].write.total_writes();
+                }
+                traces[i] = forensics->start_at(cls, arrival_us);
                 rt = traces[i].get();
                 rt->attr(obs::RequestTrace::kRoot, "batches",
                          static_cast<std::int64_t>(p.batches.size()));
-                rt->attr(obs::RequestTrace::kRoot, "elements", requests[i].plan.requested());
-                rt->add_decodes(static_cast<std::int64_t>(requests[i].plan.decodes().size()));
-                fetch_node = rt->begin(obs::RequestTrace::kRoot, "fetch", arrival_us);
+                rt->attr(obs::RequestTrace::kRoot, "elements", elements);
+                if (kind == SimJobKind::read) {
+                    rt->add_decodes(static_cast<std::int64_t>(requests[i].plan.decodes().size()));
+                }
+                fetch_node = rt->begin(obs::RequestTrace::kRoot, phase, arrival_us);
                 fetch_nodes[i] = fetch_node;
             }
-            if (heat != nullptr && !p.batches.empty()) {
+            if (heat != nullptr && kind == SimJobKind::read && !p.batches.empty()) {
+                // Only read requests feed measured_max_load: it is the
+                // measured counterpart of the read-side closed-form
+                // analysis, and the real store feeds it per fetch only.
                 std::size_t max_load = 0;
                 for (const auto& batch : p.batches) {
                     max_load = std::max(max_load, batch.rows.size());
@@ -153,12 +189,21 @@ ClusterStats run_cluster(std::vector<ClusterRequest> requests, const DiskModel& 
                 ++disk_outstanding[static_cast<std::size_t>(d)];
                 const double submitted = queue.now();
                 if (heat != nullptr) heat->on_issue(d);
-                queue.schedule_at(done, [&, i, d, submitted, batch_elements] {
+                queue.schedule_at(done, [&, i, d, kind, submitted, batch_elements] {
                     if (heat != nullptr) {
-                        heat->on_complete(d, static_cast<std::int64_t>(batch_elements),
-                                          static_cast<std::int64_t>(batch_elements) *
-                                              model.element_bytes(),
-                                          (queue.now() - submitted) * 1e6, queue.now());
+                        if (kind == SimJobKind::read) {
+                            heat->on_complete(d, static_cast<std::int64_t>(batch_elements),
+                                              static_cast<std::int64_t>(batch_elements) *
+                                                  model.element_bytes(),
+                                              (queue.now() - submitted) * 1e6, queue.now());
+                        } else {
+                            // Same split as the real executor: write-side
+                            // completions count load, never read latency.
+                            heat->on_write_complete(d, static_cast<std::int64_t>(batch_elements),
+                                                    static_cast<std::int64_t>(batch_elements) *
+                                                        model.element_bytes(),
+                                                    queue.now());
+                        }
                     }
                     --disk_outstanding[static_cast<std::size_t>(d)];
                     auto& pi = pending[i];

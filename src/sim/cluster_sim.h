@@ -12,6 +12,7 @@
 
 #include "common/rng.h"
 #include "core/access_plan.h"
+#include "core/write_plan.h"
 #include "obs/heat.h"
 #include "obs/metrics.h"
 #include "obs/request_trace.h"
@@ -20,9 +21,27 @@
 
 namespace ecfrm::sim {
 
+/// What a simulated job is doing. All kinds contend in the same per-disk
+/// FIFO queues — a repair batch queues behind (and delays) foreground
+/// read batches exactly as a real rebuild's writes share the devices —
+/// but they are accounted to different forensic request classes
+/// (read -> normal/degraded, write -> write, repair -> scrub).
+enum class SimJobKind { read, write, repair };
+
 struct ClusterRequest {
     double arrival_seconds = 0.0;
-    core::AccessPlan plan;
+    core::AccessPlan plan{0};   // read jobs: the executor's fetch schedule
+    SimJobKind kind = SimJobKind::read;
+    core::WritePlan write{0};   // write/repair jobs: the executor's write schedule
+
+    /// Factories for the mutation-side kinds (reads keep the historical
+    /// `{arrival, plan}` aggregate shape).
+    static ClusterRequest write_job(double arrival, core::WritePlan plan) {
+        return ClusterRequest{arrival, core::AccessPlan{0}, SimJobKind::write, std::move(plan)};
+    }
+    static ClusterRequest repair_job(double arrival, core::WritePlan plan) {
+        return ClusterRequest{arrival, core::AccessPlan{0}, SimJobKind::repair, std::move(plan)};
+    }
 };
 
 struct RequestResult {
@@ -45,7 +64,9 @@ struct ClusterStats {
 
 /// Run all requests through per-disk FIFO servers. Each request's disk
 /// batch is serviced as one job; the request completes when its last batch
-/// does. Deterministic given the RNG seed. With a registry attached, each
+/// does. Read jobs price AccessPlan::batches(), write and repair jobs
+/// price WritePlan::batches() — the exact submission units the real
+/// executor issues on both paths. Deterministic given the RNG seed. With a registry attached, each
 /// batch feeds ecfrm_sim_disk_service_seconds{disk=i} and the queue depth
 /// it found on arrival (batches already queued or in service) into
 /// ecfrm_sim_disk_queue_depth{disk=i}; whole-request latency goes to

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstring>
 #include <optional>
+#include <utility>
 
 #include "common/aligned_buffer.h"
 #include "gf/kernels.h"
@@ -13,6 +14,7 @@
 namespace ecfrm::store {
 
 using core::AccessPlan;
+using core::WritePlan;
 using layout::GroupCoord;
 
 StripeStore::StripeStore(core::Scheme scheme, std::int64_t element_bytes, ThreadPool* pool)
@@ -24,6 +26,7 @@ StripeStore::StripeStore(core::Scheme scheme, std::int64_t element_bytes, Thread
     for (int d = 0; d < scheme_.disks(); ++d) {
         disks_.push_back(std::make_unique<Disk>(element_bytes_));
     }
+    rebuilding_.assign(static_cast<std::size_t>(scheme_.disks()), 0);
     bind_executor();
 }
 
@@ -72,13 +75,18 @@ void StripeStore::attach_observability(obs::MetricRegistry* metrics, obs::Tracer
         fresh.reads_total = &metrics->counter("ecfrm_store_reads_total");
         fresh.degraded_reads_total = &metrics->counter("ecfrm_store_degraded_reads_total");
         fresh.read_elements_total = &metrics->counter("ecfrm_store_read_elements_total");
+        fresh.writes_total = &metrics->counter("ecfrm_store_writes_total");
+        fresh.overwrites_total = &metrics->counter("ecfrm_store_overwrites_total");
         fresh.read_fanout = &metrics->histogram("ecfrm_store_read_fanout_disks");
         fresh.read_max_load = &metrics->histogram("ecfrm_store_read_max_disk_load");
+        fresh.write_max_load = &metrics->histogram("ecfrm_store_write_max_disk_load");
         exec_metrics.decodes = &metrics->counter("ecfrm_store_decodes_total");
         exec_metrics.retries = &metrics->counter("ecfrm_store_retries_total");
         exec_metrics.timeouts = &metrics->counter("ecfrm_store_timeouts_total");
         exec_metrics.replans = &metrics->counter("ecfrm_store_replans_total");
         exec_metrics.hedged_reads = &metrics->counter("ecfrm_store_hedged_reads_total");
+        exec_metrics.writes = &metrics->counter("ecfrm_store_write_elements_total");
+        exec_metrics.degraded_writes = &metrics->counter("ecfrm_store_degraded_write_elements_total");
     }
     executor_.attach(exec_metrics, tracer, heat);
     auto bundle = std::make_unique<const StoreObs>(fresh);
@@ -90,14 +98,41 @@ void StripeStore::attach_observability(obs::MetricRegistry* metrics, obs::Tracer
     obs_.store(published, std::memory_order_release);
 }
 
+std::shared_lock<std::shared_mutex> StripeStore::reader_lock() const {
+    // Hold back only while an exclusive acquirer is announced: the gate
+    // turns the pthread rwlock's reader preference into bounded-wait
+    // writer preference without touching the common (uncontended) path.
+    if (writers_waiting_.load(std::memory_order_acquire) > 0) {
+        std::unique_lock<std::mutex> gate(gate_mu_);
+        gate_cv_.wait(gate, [this] {
+            return writers_waiting_.load(std::memory_order_acquire) == 0;
+        });
+    }
+    return std::shared_lock<std::shared_mutex>(mu_);
+}
+
+std::unique_lock<std::shared_mutex> StripeStore::exclusive_lock() const {
+    writers_waiting_.fetch_add(1, std::memory_order_acq_rel);
+    std::unique_lock<std::shared_mutex> lk(mu_);
+    // Lift the gate as soon as the lock is held: late readers queue on
+    // mu_ itself and flow the moment this window closes.
+    if (writers_waiting_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> gate(gate_mu_);
+        gate_cv_.notify_all();
+    }
+    return lk;
+}
+
 Status StripeStore::restore(std::vector<Extent> extents, StripeId stripes) {
-    std::unique_lock lk(mu_);
+    std::lock_guard<std::mutex> wl(writer_mu_);
+    auto lk = exclusive_lock();
     return restore_locked(std::move(extents), stripes);
 }
 
 Status StripeStore::restore_locked(std::vector<Extent> extents, StripeId stripes) {
     if (stripes < 0) return Error::invalid("negative stripe count");
     if (!pending_.empty()) return Error::invalid("restore on a store with buffered writes");
+    if (!unencoded_.empty()) return Error::invalid("restore on a store with pending parity");
     const std::int64_t capacity_elems = stripes * scheme_.layout().data_per_stripe();
 
     std::int64_t logical = 0;
@@ -123,135 +158,329 @@ Status StripeStore::restore(std::int64_t logical_bytes, StripeId stripes) {
     if (logical_bytes < 0) return Error::invalid("negative restore state");
     std::vector<Extent> extents;
     if (logical_bytes > 0) extents.push_back({0, 0, logical_bytes});
-    std::unique_lock lk(mu_);
+    std::lock_guard<std::mutex> wl(writer_mu_);
+    auto lk = exclusive_lock();
     return restore_locked(std::move(extents), stripes);
 }
 
 std::int64_t StripeStore::logical_bytes() const {
-    std::shared_lock lk(mu_);
+    auto lk = reader_lock();
     return logical_bytes_;
 }
 
 std::int64_t StripeStore::committed_bytes() const {
-    std::shared_lock lk(mu_);
+    auto lk = reader_lock();
     return committed_bytes_locked();
 }
 
 std::int64_t StripeStore::stored_data_elements() const {
-    std::shared_lock lk(mu_);
+    auto lk = reader_lock();
     return stored_data_elements_locked();
 }
 
+std::int64_t StripeStore::unencoded_stripes() const {
+    auto lk = reader_lock();
+    return static_cast<std::int64_t>(unencoded_.size());
+}
+
 Status StripeStore::append(ConstByteSpan data) {
-    std::unique_lock lk(mu_);
-    const std::int64_t stripe_bytes = scheme_.layout().data_per_stripe() * element_bytes_;
+    std::lock_guard<std::mutex> wl(writer_mu_);
+    const std::int64_t stripe_bytes = stripe_data_bytes();
     pending_.insert(pending_.end(), data.begin(), data.end());
-    logical_bytes_ += static_cast<std::int64_t>(data.size());
+    {
+        auto lk = exclusive_lock();
+        logical_bytes_ += static_cast<std::int64_t>(data.size());
+    }
     while (static_cast<std::int64_t>(pending_.size()) >= stripe_bytes) {
-        auto status = commit_stripe(ConstByteSpan(pending_.data(), static_cast<std::size_t>(stripe_bytes)),
-                                    stripe_bytes);
-        if (!status.ok()) return status;
+        auto committed = commit_stripe(
+            ConstByteSpan(pending_.data(), static_cast<std::size_t>(stripe_bytes)), stripe_bytes,
+            /*with_parity=*/true);
+        if (!committed.ok()) return committed.error();
         pending_.erase(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(stripe_bytes));
     }
     return Status::success();
 }
 
 Status StripeStore::flush() {
-    std::unique_lock lk(mu_);
+    std::lock_guard<std::mutex> wl(writer_mu_);
     if (pending_.empty()) return Status::success();
-    const std::int64_t stripe_bytes = scheme_.layout().data_per_stripe() * element_bytes_;
+    const std::int64_t stripe_bytes = stripe_data_bytes();
     const auto user_bytes = static_cast<std::int64_t>(pending_.size());
     pending_.resize(static_cast<std::size_t>(stripe_bytes), 0);
-    auto status = commit_stripe(ConstByteSpan(pending_.data(), static_cast<std::size_t>(stripe_bytes)),
-                                user_bytes);
-    if (!status.ok()) return status;
+    auto committed = commit_stripe(
+        ConstByteSpan(pending_.data(), static_cast<std::size_t>(stripe_bytes)), user_bytes,
+        /*with_parity=*/true);
+    if (!committed.ok()) return committed.error();
     pending_.clear();
     return Status::success();
 }
 
-Status StripeStore::commit_stripe(ConstByteSpan stripe_data, std::int64_t user_bytes) {
-    auto status = encode_stripe(stripes_, stripe_data);
-    if (!status.ok()) return status;
-    const ElementId first = stripes_ * scheme_.layout().data_per_stripe();
-    // Extend the previous extent when it ends exactly on this stripe's
-    // first element (no padding gap in between).
-    bool extended = false;
-    if (!extents_.empty()) {
-        Extent& last = extents_.back();
-        if (last.bytes % element_bytes_ == 0 &&
-            last.element_start + last.bytes / element_bytes_ == first) {
-            last.bytes += user_bytes;
-            extended = true;
-        }
+Result<StripeId> StripeStore::commit_data_stripe(ConstByteSpan stripe_data, std::int64_t user_bytes) {
+    if (static_cast<std::int64_t>(stripe_data.size()) != stripe_data_bytes()) {
+        return Error::invalid("commit_data_stripe needs exactly one stripe of data");
     }
-    if (!extended) extents_.push_back({committed_bytes_locked(), first, user_bytes});
-    ++stripes_;
-    return Status::success();
+    if (user_bytes < 0 || user_bytes > stripe_data_bytes()) {
+        return Error::invalid("user byte count out of range for one stripe");
+    }
+    std::lock_guard<std::mutex> wl(writer_mu_);
+    if (!pending_.empty()) {
+        return Error::invalid("commit_data_stripe on a store with a buffered tail");
+    }
+    {
+        auto lk = exclusive_lock();
+        logical_bytes_ += user_bytes;
+    }
+    auto committed = commit_stripe(stripe_data, user_bytes, /*with_parity=*/false);
+    if (!committed.ok()) {
+        auto lk = exclusive_lock();
+        logical_bytes_ -= user_bytes;
+    }
+    return committed;
 }
 
-Status StripeStore::encode_stripe(StripeId stripe, ConstByteSpan stripe_data) {
+Status StripeStore::compute_stripe_parity(ConstByteSpan stripe_data,
+                                          std::vector<AlignedBuffer>& parity_bufs) const {
+    const auto& code = scheme_.code();
     const int groups = scheme_.layout().groups_per_stripe();
+    const int k = code.k();
+    const int m = code.m();
+    parity_bufs.clear();
+    parity_bufs.reserve(static_cast<std::size_t>(groups) * static_cast<std::size_t>(m));
+    for (int i = 0; i < groups * m; ++i) {
+        parity_bufs.emplace_back(static_cast<std::size_t>(element_bytes_));
+    }
+    auto encode_group = [&](std::size_t g) {
+        std::vector<ConstByteSpan> data(static_cast<std::size_t>(k));
+        for (int t = 0; t < k; ++t) {
+            const std::int64_t idx = static_cast<std::int64_t>(g) * k + t;
+            data[static_cast<std::size_t>(t)] =
+                stripe_data.subspan(static_cast<std::size_t>(idx * element_bytes_),
+                                    static_cast<std::size_t>(element_bytes_));
+        }
+        std::vector<ByteSpan> parity(static_cast<std::size_t>(m));
+        for (int p = 0; p < m; ++p) {
+            parity[static_cast<std::size_t>(p)] = parity_bufs[g * static_cast<std::size_t>(m) +
+                                                              static_cast<std::size_t>(p)]
+                                                      .span();
+        }
+        code.encode(data, parity, pool_);
+    };
     if (pool_ != nullptr && groups > 1) {
-        std::atomic<bool> failed{false};
-        parallel_for(*pool_, static_cast<std::size_t>(groups), [&](std::size_t g) {
-            if (!encode_group(stripe, static_cast<int>(g), stripe_data).ok()) failed.store(true);
-        });
-        if (failed.load()) return Error::io("group encode failed");
+        parallel_for(*pool_, static_cast<std::size_t>(groups), encode_group);
         return Status::success();
     }
-    for (int g = 0; g < groups; ++g) {
-        auto status = encode_group(stripe, g, stripe_data);
-        if (!status.ok()) return status;
-    }
+    for (int g = 0; g < groups; ++g) encode_group(static_cast<std::size_t>(g));
     return Status::success();
 }
 
-Status StripeStore::encode_group(StripeId stripe, int group, ConstByteSpan stripe_data) {
+Result<StripeId> StripeStore::commit_stripe(ConstByteSpan stripe_data, std::int64_t user_bytes,
+                                            bool with_parity) {
+    // Caller holds writer_mu_ and NOT mu_. Only writers advance stripes_,
+    // and they are serialised on writer_mu_, so reading it lock-free here
+    // is race-free; readers never observe the stripe until the manifest
+    // window below publishes it under the exclusive lock.
+    const StripeId stripe = stripes_;
     const auto& code = scheme_.code();
+    const int groups = scheme_.layout().groups_per_stripe();
     const int k = code.k();
     const int m = code.m();
 
-    // A write to a failed device is skipped (degraded write): the element
-    // stays recoverable through the group's parity, and reconstruction
-    // restores it onto the replacement device.
-    auto write_slot = [&](const Location& loc, ConstByteSpan payload) -> Status {
-        auto status = executor_.device_write(loc.disk, loc.row, payload);
-        if (!status.ok() && status.error().code == Error::Code::disk_failed) return Status::success();
-        return status;
+    const StoreObs& o = store_obs();
+    if (o.writes_total != nullptr) o.writes_total->add(1);
+    obs::Span span(o.tracer, "store.commit_stripe", "store");
+    span.arg("stripe", stripe);
+    span.arg("user_bytes", user_bytes);
+
+    std::shared_ptr<obs::RequestTrace> rt;
+    if (o.forensics != nullptr) {
+        rt = o.forensics->start(obs::RequestClass::write);
+        rt->attr_all(obs::RequestTrace::kRoot,
+                     {{"stripe", stripe}, {"user_bytes", user_bytes}});
+        if (!with_parity) rt->attr(obs::RequestTrace::kRoot, "parity", "pending");
+    }
+
+    auto run = [&]() -> Status {
+        std::vector<AlignedBuffer> parity_bufs;
+        if (with_parity) {
+            const std::uint32_t encode_node = rt != nullptr ? rt->begin_phase("encode") : 0;
+            auto status = compute_stripe_parity(stripe_data, parity_bufs);
+            if (rt != nullptr) {
+                rt->end_with(encode_node, {{"groups", static_cast<std::int64_t>(groups)}});
+            }
+            if (!status.ok()) return status;
+        }
+
+        // One batched plan for the whole stripe: every data placement, and
+        // (when encoding inline) every parity placement, grouped per disk
+        // by the executor's submission queues.
+        WritePlan plan(scheme_.disks());
+        std::vector<ConstByteSpan> payloads;
+        payloads.reserve(static_cast<std::size_t>(groups) *
+                         static_cast<std::size_t>(with_parity ? k + m : k));
+        for (int g = 0; g < groups; ++g) {
+            for (int t = 0; t < k; ++t) {
+                const GroupCoord coord{stripe, g, t};
+                const std::int64_t idx = static_cast<std::int64_t>(g) * k + t;
+                plan.add_write({scheme_.layout().locate(coord), coord, payloads.size(), false});
+                payloads.push_back(stripe_data.subspan(static_cast<std::size_t>(idx * element_bytes_),
+                                                       static_cast<std::size_t>(element_bytes_)));
+            }
+        }
+        if (with_parity) {
+            for (int g = 0; g < groups; ++g) {
+                for (int p = 0; p < m; ++p) {
+                    const GroupCoord coord{stripe, g, k + p};
+                    plan.add_write({scheme_.layout().locate(coord), coord, payloads.size(), true});
+                    payloads.push_back(parity_bufs[static_cast<std::size_t>(g) *
+                                                       static_cast<std::size_t>(m) +
+                                                   static_cast<std::size_t>(p)]
+                                           .span());
+                }
+            }
+        }
+        if (o.write_max_load != nullptr) o.write_max_load->record(plan.max_load());
+
+        const std::uint32_t write_node = rt != nullptr ? rt->begin_phase("write") : 0;
+        auto wrote = executor_.write(plan, payloads, {rt.get(), write_node},
+                                     /*allow_degraded=*/true);
+        if (rt != nullptr) {
+            rt->end_with(write_node,
+                         {{"elements", wrote.ok() ? wrote.value().elements_written : 0},
+                          {"skipped", wrote.ok() ? wrote.value().elements_skipped : 0}});
+        }
+        if (!wrote.ok()) return wrote.error();
+
+        // Manifest window: the only slice of a commit that excludes
+        // readers.
+        const std::uint32_t commit_node = rt != nullptr ? rt->begin_phase("commit") : 0;
+        {
+            auto lk = exclusive_lock();
+            const ElementId first = stripe * scheme_.layout().data_per_stripe();
+            // Extend the previous extent when it ends exactly on this
+            // stripe's first element (no padding gap in between).
+            bool extended = false;
+            if (!extents_.empty()) {
+                Extent& last = extents_.back();
+                if (last.bytes % element_bytes_ == 0 &&
+                    last.element_start + last.bytes / element_bytes_ == first) {
+                    last.bytes += user_bytes;
+                    extended = true;
+                }
+            }
+            if (!extended) extents_.push_back({committed_bytes_locked(), first, user_bytes});
+            ++stripes_;
+            if (!with_parity) unencoded_.insert(stripe);
+        }
+        if (rt != nullptr) rt->end(commit_node);
+        return Status::success();
     };
 
-    // Gather the group's k data elements from the stripe buffer and write
-    // them to their home slots.
-    std::vector<ConstByteSpan> data(static_cast<std::size_t>(k));
-    for (int t = 0; t < k; ++t) {
-        const std::int64_t idx = static_cast<std::int64_t>(group) * k + t;
-        data[static_cast<std::size_t>(t)] =
-            stripe_data.subspan(static_cast<std::size_t>(idx * element_bytes_),
-                                static_cast<std::size_t>(element_bytes_));
-        const Location loc = scheme_.layout().locate({stripe, group, t});
-        auto status = write_slot(loc, data[static_cast<std::size_t>(t)]);
-        if (!status.ok()) return status;
+    auto status = run();
+    if (rt != nullptr) {
+        if (!status.ok()) {
+            rt->attr(obs::RequestTrace::kRoot, "error", status.error().message);
+            o.forensics->finish(rt, false);
+        } else {
+            o.forensics->finish_at(rt, true, rt->phase_cursor_us());
+        }
+    }
+    if (!status.ok()) return status.error();
+    return stripe;
+}
+
+Status StripeStore::encode_stripe_parity(StripeId stripe, ConstByteSpan stripe_data) {
+    if (static_cast<std::int64_t>(stripe_data.size()) != stripe_data_bytes()) {
+        return Error::invalid("encode_stripe_parity needs exactly one stripe of data");
+    }
+    {
+        auto lk = reader_lock();
+        if (stripe < 0 || stripe >= stripes_) return Error::range("no such stripe");
+        if (unencoded_.count(stripe) == 0) {
+            return Error::invalid("stripe " + std::to_string(stripe) + " parity is not pending");
+        }
+    }
+    const auto& code = scheme_.code();
+    const int groups = scheme_.layout().groups_per_stripe();
+    const int k = code.k();
+    const int m = code.m();
+
+    const StoreObs& o = store_obs();
+    if (o.writes_total != nullptr) o.writes_total->add(1);
+    obs::Span span(o.tracer, "store.encode_parity", "store");
+    span.arg("stripe", stripe);
+
+    std::shared_ptr<obs::RequestTrace> rt;
+    if (o.forensics != nullptr) {
+        rt = o.forensics->start(obs::RequestClass::write);
+        rt->attr(obs::RequestTrace::kRoot, "stripe", stripe);
+        rt->attr(obs::RequestTrace::kRoot, "parity", "flush");
     }
 
-    // Compute and place the parities.
-    std::vector<AlignedBuffer> parity_bufs;
-    parity_bufs.reserve(static_cast<std::size_t>(m));
-    std::vector<ByteSpan> parity(static_cast<std::size_t>(m));
-    for (int p = 0; p < m; ++p) {
-        parity_bufs.emplace_back(static_cast<std::size_t>(element_bytes_));
-        parity[static_cast<std::size_t>(p)] = parity_bufs.back().span();
+    auto run = [&]() -> Status {
+        std::vector<AlignedBuffer> parity_bufs;
+        {
+            const std::uint32_t encode_node = rt != nullptr ? rt->begin_phase("encode") : 0;
+            auto status = compute_stripe_parity(stripe_data, parity_bufs);
+            if (rt != nullptr) {
+                rt->end_with(encode_node, {{"groups", static_cast<std::int64_t>(groups)}});
+            }
+            if (!status.ok()) return status;
+        }
+
+        // Parity rows of a pending stripe are unreachable by every read
+        // plan (degraded reads needing them fail typed at the guard), so
+        // this write needs no reader exclusion at all.
+        WritePlan plan(scheme_.disks());
+        std::vector<ConstByteSpan> payloads;
+        payloads.reserve(static_cast<std::size_t>(groups) * static_cast<std::size_t>(m));
+        for (int g = 0; g < groups; ++g) {
+            for (int p = 0; p < m; ++p) {
+                const GroupCoord coord{stripe, g, k + p};
+                plan.add_write({scheme_.layout().locate(coord), coord, payloads.size(), true});
+                payloads.push_back(parity_bufs[static_cast<std::size_t>(g) *
+                                                   static_cast<std::size_t>(m) +
+                                               static_cast<std::size_t>(p)]
+                                       .span());
+            }
+        }
+        if (o.write_max_load != nullptr) o.write_max_load->record(plan.max_load());
+
+        const std::uint32_t write_node = rt != nullptr ? rt->begin_phase("write") : 0;
+        auto wrote = executor_.write(plan, payloads, {rt.get(), write_node},
+                                     /*allow_degraded=*/true);
+        if (rt != nullptr) {
+            rt->end_with(write_node,
+                         {{"elements", wrote.ok() ? wrote.value().elements_written : 0},
+                          {"skipped", wrote.ok() ? wrote.value().elements_skipped : 0}});
+        }
+        if (!wrote.ok()) return wrote.error();
+
+        const std::uint32_t commit_node = rt != nullptr ? rt->begin_phase("commit") : 0;
+        {
+            auto lk = exclusive_lock();
+            unencoded_.erase(stripe);
+        }
+        if (rt != nullptr) rt->end(commit_node);
+        return Status::success();
+    };
+
+    auto status = run();
+    if (rt != nullptr) {
+        if (!status.ok()) {
+            rt->attr(obs::RequestTrace::kRoot, "error", status.error().message);
+            o.forensics->finish(rt, false);
+        } else {
+            o.forensics->finish_at(rt, true, rt->phase_cursor_us());
+        }
     }
-    code.encode(data, parity, pool_);
-    for (int p = 0; p < m; ++p) {
-        const Location loc = scheme_.layout().locate({stripe, group, code.k() + p});
-        auto status = write_slot(loc, parity[static_cast<std::size_t>(p)]);
-        if (!status.ok()) return status;
-    }
-    return Status::success();
+    return status;
 }
 
 Status StripeStore::overwrite(std::int64_t offset, ConstByteSpan data) {
-    std::unique_lock lk(mu_);
+    // Overwrite mutates committed rows and their parities in place, so it
+    // is the one write that excludes readers end to end.
+    std::lock_guard<std::mutex> wl(writer_mu_);
+    auto lk = exclusive_lock();
     const auto length = static_cast<std::int64_t>(data.size());
     if (offset < 0) return Error::range("negative offset");
     if (offset + length > committed_bytes_locked()) {
@@ -260,7 +489,20 @@ Status StripeStore::overwrite(std::int64_t offset, ConstByteSpan data) {
     if (length == 0) return Status::success();
     const auto& code = scheme_.code();
     const auto& gen = code.generator();
+    const int k = code.k();
+    const int n = code.n();
 
+    // Walk the committed extents and collect every touched element. Each
+    // element appears at most once: extents are element-disjoint and the
+    // walk advances a full chunk per step.
+    struct Touch {
+        GroupCoord coord;
+        Location loc;
+        std::int64_t in_elem = 0;  // first dirty byte within the element
+        std::int64_t chunk = 0;    // dirty byte count
+        std::int64_t src = 0;      // offset into `data`
+    };
+    std::vector<Touch> touches;
     std::int64_t consumed = 0;
     for (const Extent& e : extents_) {
         const std::int64_t e_end = e.logical_start + e.bytes;
@@ -273,45 +515,203 @@ Status StripeStore::overwrite(std::int64_t offset, ConstByteSpan data) {
             const ElementId elem = e.element_start + pos / element_bytes_;
             const std::int64_t in_elem = pos % element_bytes_;
             const std::int64_t chunk = std::min(element_bytes_ - in_elem, hi - pos);
-
             const GroupCoord coord = scheme_.layout().coord_of_data(elem);
-            const Location loc = scheme_.layout().locate(coord);
-
-            // Read-modify-write the data element.
-            AlignedBuffer old_payload(static_cast<std::size_t>(element_bytes_));
-            auto status = executor_.device_read(loc.disk, loc.row, old_payload.span());
-            if (!status.ok()) return status;
-            AlignedBuffer new_payload = old_payload;
-            std::memcpy(new_payload.data() + in_elem, data.data() + consumed,
-                        static_cast<std::size_t>(chunk));
-            status = executor_.device_write(loc.disk, loc.row, new_payload.span());
-            if (!status.ok()) return status;
-
-            // delta = old ^ new; every parity folds in coeff * delta.
-            AlignedBuffer delta = std::move(old_payload);
-            gf::xor_region(delta.span(), new_payload.span());
-            for (int p = code.k(); p < code.n(); ++p) {
-                const std::uint8_t coeff = gen.at(p, coord.position);
-                if (coeff == 0) continue;
-                const Location ploc = scheme_.layout().locate({coord.stripe, coord.group, p});
-                AlignedBuffer parity(static_cast<std::size_t>(element_bytes_));
-                status = executor_.device_read(ploc.disk, ploc.row, parity.span());
-                if (!status.ok()) return status;
-                gf::addmul_region(parity.span(), delta.span(), coeff);
-                status = executor_.device_write(ploc.disk, ploc.row, parity.span());
-                if (!status.ok()) return status;
-            }
-
+            touches.push_back({coord, scheme_.layout().locate(coord), in_elem, chunk, consumed});
             pos += chunk;
             consumed += chunk;
         }
     }
     if (consumed != length) return Error::internal("overwrite extent walk consumed wrong byte count");
-    return Status::success();
+    if (touches.empty()) return Status::success();
+
+    // The parity set per touched group: every parity position with a
+    // nonzero generator coefficient over some touched data position.
+    std::map<std::pair<StripeId, int>, std::set<int>> group_parities;
+    for (const Touch& t : touches) {
+        auto& used = group_parities[{t.coord.stripe, t.coord.group}];
+        for (int p = k; p < n; ++p) {
+            if (gen.at(p, t.coord.position) != 0) used.insert(p);
+        }
+    }
+
+    // RMW folds deltas into live parity, so the touched stripes' parity
+    // must exist, and every participating disk must be writable.
+    for (const Touch& t : touches) {
+        if (unencoded_.count(t.coord.stripe) != 0) {
+            return Error::invalid("overwrite requires encoded parity; stripe " +
+                                  std::to_string(t.coord.stripe) +
+                                  " is parity-pending (online encode backlog)");
+        }
+    }
+    std::vector<char> unavailable(static_cast<std::size_t>(scheme_.disks()), 0);
+    for (DiskId d : unavailable_disks_locked()) unavailable[static_cast<std::size_t>(d)] = 1;
+    auto writable = [&](const Location& loc) { return unavailable[static_cast<std::size_t>(loc.disk)] == 0; };
+    for (const Touch& t : touches) {
+        if (!writable(t.loc)) {
+            return Error::disk_failed("overwrite touches unavailable disk " +
+                                      std::to_string(t.loc.disk));
+        }
+    }
+    for (const auto& [sg, positions] : group_parities) {
+        for (int p : positions) {
+            const Location ploc = scheme_.layout().locate({sg.first, sg.second, p});
+            if (!writable(ploc)) {
+                return Error::disk_failed("overwrite parity lives on unavailable disk " +
+                                          std::to_string(ploc.disk));
+            }
+        }
+    }
+
+    const StoreObs& o = store_obs();
+    if (o.overwrites_total != nullptr) o.overwrites_total->add(1);
+    obs::Span span(o.tracer, "store.overwrite", "store");
+    span.arg("offset", offset);
+    span.arg("bytes", length);
+
+    std::shared_ptr<obs::RequestTrace> rt;
+    if (o.forensics != nullptr) {
+        rt = o.forensics->start(obs::RequestClass::write);
+        rt->attr_all(obs::RequestTrace::kRoot,
+                     {{"offset", offset},
+                      {"bytes", length},
+                      {"elements", static_cast<std::int64_t>(touches.size())}});
+    }
+
+    auto run = [&]() -> Status {
+        // FETCH: old data and touched parities, one batched plan. The
+        // fixed replanner refuses recovery rounds — a disk dying
+        // mid-overwrite aborts the RMW rather than folding into a moved
+        // parity set.
+        AccessPlan rplan(scheme_.disks());
+        for (const Touch& t : touches) rplan.add_fetch({t.loc, t.coord, true});
+        for (const auto& [sg, positions] : group_parities) {
+            for (int p : positions) {
+                const GroupCoord coord{sg.first, sg.second, p};
+                rplan.add_fetch({scheme_.layout().locate(coord), coord, false});
+            }
+        }
+        rplan.set_requested(static_cast<std::int64_t>(touches.size()));
+        auto replanner = [&](const std::vector<DiskId>& excl) -> Result<AccessPlan> {
+            if (!excl.empty()) {
+                return Error::disk_failed("disk failed mid-overwrite; read-modify-write aborted");
+            }
+            return rplan;
+        };
+        auto fetched = executor_.fetch(replanner, {}, rt.get(), {});
+        if (!fetched.ok()) return fetched.error();
+        exec::PlanExecutor::ElementMap& elements = fetched.value().elements;
+        auto element_of = [&](const GroupCoord& coord) -> ElementBuf* {
+            auto it = elements.find(exec::PlanExecutor::key_of(coord));
+            return it == elements.end() ? nullptr : &it->second;
+        };
+
+        // FOLD: new_data = old patched with the dirty bytes; per group,
+        // delta_j = old_j ^ new_j and parity_p ^= sum_j coeff_pj * delta_j
+        // via one fused multi-source pass into scratch, XORed into the
+        // fetched parity in place.
+        const std::uint32_t fold_node = rt != nullptr ? rt->begin_phase("fold") : 0;
+        std::vector<AlignedBuffer> new_data;
+        new_data.reserve(touches.size());
+        for (const Touch& t : touches) {
+            ElementBuf* old_elem = element_of(t.coord);
+            if (old_elem == nullptr) return Error::internal("overwrite fetch missing data element");
+            AlignedBuffer nd(static_cast<std::size_t>(element_bytes_));
+            std::memcpy(nd.data(), old_elem->data(), static_cast<std::size_t>(element_bytes_));
+            std::memcpy(nd.data() + t.in_elem, data.data() + t.src,
+                        static_cast<std::size_t>(t.chunk));
+            new_data.push_back(std::move(nd));
+        }
+        std::int64_t parity_folds = 0;
+        for (const auto& [sg, positions] : group_parities) {
+            std::vector<std::size_t> tidx;
+            for (std::size_t i = 0; i < touches.size(); ++i) {
+                if (touches[i].coord.stripe == sg.first && touches[i].coord.group == sg.second) {
+                    tidx.push_back(i);
+                }
+            }
+            std::vector<AlignedBuffer> deltas;
+            std::vector<ConstByteSpan> delta_spans;
+            deltas.reserve(tidx.size());
+            delta_spans.reserve(tidx.size());
+            for (std::size_t i : tidx) {
+                ElementBuf* old_elem = element_of(touches[i].coord);
+                AlignedBuffer d(static_cast<std::size_t>(element_bytes_));
+                std::memcpy(d.data(), old_elem->data(), static_cast<std::size_t>(element_bytes_));
+                gf::xor_region(d.span(), new_data[i].span());
+                deltas.push_back(std::move(d));
+            }
+            for (const AlignedBuffer& d : deltas) delta_spans.push_back(d.span());
+            std::vector<std::uint8_t> coeffs;
+            coeffs.reserve(positions.size() * tidx.size());
+            for (int p : positions) {
+                for (std::size_t i : tidx) coeffs.push_back(gen.at(p, touches[i].coord.position));
+            }
+            std::vector<AlignedBuffer> scratch;
+            std::vector<ByteSpan> scratch_spans;
+            scratch.reserve(positions.size());
+            for (std::size_t p = 0; p < positions.size(); ++p) {
+                scratch.emplace_back(static_cast<std::size_t>(element_bytes_));
+            }
+            for (AlignedBuffer& s : scratch) scratch_spans.push_back(s.span());
+            gf::encode_regions(delta_spans, scratch_spans, coeffs.data(), pool_);
+            std::size_t pi = 0;
+            for (int p : positions) {
+                ElementBuf* parity = element_of({sg.first, sg.second, p});
+                if (parity == nullptr) return Error::internal("overwrite fetch missing parity element");
+                gf::xor_region(parity->span(), scratch[pi].span());
+                ++pi;
+                ++parity_folds;
+            }
+        }
+        if (rt != nullptr) {
+            rt->end_with(fold_node, {{"elements", static_cast<std::int64_t>(touches.size())},
+                                     {"parities", parity_folds}});
+        }
+
+        // WRITE: new data and folded parities, one batched plan. No
+        // degraded skips: availability was proven above, and a failure
+        // now must surface (a silently skipped parity write would leave
+        // the group inconsistent).
+        WritePlan wplan(scheme_.disks());
+        std::vector<ConstByteSpan> payloads;
+        for (std::size_t i = 0; i < touches.size(); ++i) {
+            wplan.add_write({touches[i].loc, touches[i].coord, payloads.size(), false});
+            payloads.push_back(new_data[i].span());
+        }
+        for (const auto& [sg, positions] : group_parities) {
+            for (int p : positions) {
+                const GroupCoord coord{sg.first, sg.second, p};
+                ElementBuf* parity = element_of(coord);
+                wplan.add_write({scheme_.layout().locate(coord), coord, payloads.size(), true});
+                payloads.push_back(parity->span());
+            }
+        }
+        if (o.write_max_load != nullptr) o.write_max_load->record(wplan.max_load());
+        const std::uint32_t write_node = rt != nullptr ? rt->begin_phase("write") : 0;
+        auto wrote = executor_.write(wplan, payloads, {rt.get(), write_node},
+                                     /*allow_degraded=*/false);
+        if (rt != nullptr) {
+            rt->end_with(write_node,
+                         {{"elements", wrote.ok() ? wrote.value().elements_written : 0}});
+        }
+        if (!wrote.ok()) return wrote.error();
+        return Status::success();
+    };
+
+    auto status = run();
+    if (rt != nullptr) {
+        if (!status.ok()) {
+            rt->attr(obs::RequestTrace::kRoot, "error", status.error().message);
+            o.forensics->finish(rt, false);
+        } else {
+            o.forensics->finish_at(rt, true, rt->phase_cursor_us());
+        }
+    }
+    return status;
 }
 
 Result<std::vector<std::uint8_t>> StripeStore::read_bytes(std::int64_t offset, std::int64_t length) {
-    std::shared_lock lk(mu_);
+    auto lk = reader_lock();
     if (offset < 0 || length < 0) return Error::range("negative read range");
     if (offset + length > committed_bytes_locked()) {
         if (offset + length <= logical_bytes_) {
@@ -348,7 +748,7 @@ Result<std::vector<std::uint8_t>> StripeStore::read_bytes(std::int64_t offset, s
 }
 
 Status StripeStore::read_elements(ElementId start, std::int64_t count, ByteSpan out) {
-    std::shared_lock lk(mu_);
+    auto lk = reader_lock();
     return read_elements_locked(start, count, out);
 }
 
@@ -368,7 +768,7 @@ Status StripeStore::read_elements_locked(ElementId start, std::int64_t count, By
     if (o.reads_total != nullptr) o.reads_total->add(1);
     if (o.read_elements_total != nullptr) o.read_elements_total->add(count);
 
-    return execute_read(start, count, out, failed_disks_locked());
+    return execute_read(start, count, out, unavailable_disks_locked());
 }
 
 Status StripeStore::execute_read(ElementId start, std::int64_t count, ByteSpan out,
@@ -407,6 +807,29 @@ Status StripeStore::execute_read_traced(ElementId start, std::int64_t count, Byt
                                         std::vector<DiskId> excluded, obs::RequestTrace* rt) {
     const StoreObs& o = store_obs();
 
+    // A degraded read of an element whose stripe is still parity-pending
+    // cannot be decoded — there is no parity yet. Fail typed before
+    // planning (and re-check whenever the exclusion set grows mid-flight;
+    // unencoded_ cannot change under us, its mutations take mu_
+    // exclusively and reads hold it shared).
+    auto pending_guard = [&](const std::vector<DiskId>& excl) -> Status {
+        if (excl.empty() || unencoded_.empty()) return Status::success();
+        std::vector<char> mask(static_cast<std::size_t>(scheme_.disks()), 0);
+        for (DiskId d : excl) mask[static_cast<std::size_t>(d)] = 1;
+        for (std::int64_t i = 0; i < count; ++i) {
+            const GroupCoord coord = scheme_.layout().coord_of_data(start + i);
+            if (unencoded_.count(coord.stripe) == 0) continue;
+            const Location loc = scheme_.layout().locate(coord);
+            if (mask[static_cast<std::size_t>(loc.disk)] != 0) {
+                return Error::beyond_tolerance(
+                    "element on unavailable disk " + std::to_string(loc.disk) +
+                    " cannot be decoded: stripe " + std::to_string(coord.stripe) +
+                    " parity is pending (online encode backlog)");
+            }
+        }
+        return Status::success();
+    };
+
     // Plan against the current exclusion set; a pattern the code cannot
     // decode is the read path's terminal "beyond tolerance" diagnosis.
     // Load-shape histograms and the plan span describe the intended plan
@@ -414,6 +837,8 @@ Status StripeStore::execute_read_traced(ElementId start, std::int64_t count, Byt
     // retry/replan counters.
     bool first_plan = true;
     auto replanner = [&](const std::vector<DiskId>& excl) -> Result<AccessPlan> {
+        auto guarded = pending_guard(excl);
+        if (!guarded.ok()) return guarded.error();
         std::optional<obs::Span> plan_span;
         if (first_plan) plan_span.emplace(o.tracer, "store.plan", "store");
         auto planned = [&]() -> Result<AccessPlan> {
@@ -523,13 +948,13 @@ Status StripeStore::execute_read_traced(ElementId start, std::int64_t count, Byt
 
 Status StripeStore::fail_disk(DiskId disk) {
     if (disk < 0 || disk >= scheme_.disks()) return Error::range("no such disk");
-    std::unique_lock lk(mu_);
+    auto lk = exclusive_lock();
     disks_[static_cast<std::size_t>(disk)]->fail();
     return Status::success();
 }
 
 std::vector<DiskId> StripeStore::failed_disks() const {
-    std::shared_lock lk(mu_);
+    auto lk = reader_lock();
     return failed_disks_locked();
 }
 
@@ -541,61 +966,177 @@ std::vector<DiskId> StripeStore::failed_disks_locked() const {
     return failed;
 }
 
-Result<ReconstructStats> StripeStore::reconstruct_disk(DiskId disk) {
+std::vector<DiskId> StripeStore::unavailable_disks_locked() const {
+    std::vector<DiskId> out;
+    for (int d = 0; d < scheme_.disks(); ++d) {
+        if (disks_[static_cast<std::size_t>(d)]->failed() || rebuilding_[static_cast<std::size_t>(d)] != 0) {
+            out.push_back(d);
+        }
+    }
+    return out;
+}
+
+std::vector<DiskId> StripeStore::rebuilding_disks() const {
+    auto lk = reader_lock();
+    std::vector<DiskId> out;
+    for (int d = 0; d < scheme_.disks(); ++d) {
+        if (rebuilding_[static_cast<std::size_t>(d)] != 0) out.push_back(d);
+    }
+    return out;
+}
+
+Status StripeStore::begin_rebuild(DiskId disk) {
     if (disk < 0 || disk >= scheme_.disks()) return Error::range("no such disk");
-    std::unique_lock lk(mu_);
+    // Serialising with writers means no stripe commit is mid-I/O while
+    // the replacement swaps in: stripes committed after this window write
+    // to the replacement directly, stripes committed before are fully
+    // inside the row snapshot.
+    std::lock_guard<std::mutex> wl(writer_mu_);
+    auto lk = exclusive_lock();
     if (!disks_[static_cast<std::size_t>(disk)]->failed()) {
         return Error::invalid("disk is not failed; nothing to reconstruct");
     }
-
-    const StoreObs& o = store_obs();
-    obs::Span span(o.tracer, "store.reconstruct", "store");
-    span.arg("disk", static_cast<std::int64_t>(disk));
-
-    // Snapshot the failure set before bringing the replacement online:
-    // sources must avoid every disk that is down right now, including the
-    // one being rebuilt.
-    std::vector<char> avoid(static_cast<std::size_t>(scheme_.disks()), 0);
-    for (DiskId d : failed_disks_locked()) avoid[static_cast<std::size_t>(d)] = 1;
-
+    if (rebuilds_.count(disk) != 0) {
+        return Error::invalid("rebuild already in flight for disk " + std::to_string(disk));
+    }
+    if (!unencoded_.empty()) {
+        return Error::invalid("begin_rebuild with parity-pending stripes; drain the encode backlog first");
+    }
+    RebuildState st;
+    st.avoid.assign(static_cast<std::size_t>(scheme_.disks()), 0);
+    for (DiskId d : failed_disks_locked()) st.avoid[static_cast<std::size_t>(d)] = 1;
+    for (int d = 0; d < scheme_.disks(); ++d) {
+        if (rebuilding_[static_cast<std::size_t>(d)] != 0) st.avoid[static_cast<std::size_t>(d)] = 1;
+    }
     disks_[static_cast<std::size_t>(disk)]->replace();
-    const RowId rows = scheme_.rows_for(stripes_);
+    rebuilding_[static_cast<std::size_t>(disk)] = 1;
+    st.target_rows = scheme_.rows_for(stripes_);
+    rebuilds_[disk] = std::move(st);
+    return Status::success();
+}
 
-    std::atomic<std::int64_t> rebuilt{0};
+Result<RowId> StripeStore::rebuild_target_rows(DiskId disk) const {
+    auto lk = reader_lock();
+    auto it = rebuilds_.find(disk);
+    if (it == rebuilds_.end()) {
+        return Error::invalid("no rebuild in flight for disk " + std::to_string(disk));
+    }
+    return it->second.target_rows;
+}
+
+Result<ReconstructStats> StripeStore::rebuild_rows(DiskId disk, RowId first, RowId count) {
+    if (disk < 0 || disk >= scheme_.disks()) return Error::range("no such disk");
+    if (first < 0 || count < 0) return Error::range("negative row range");
+    auto lk = reader_lock();
+    auto it = rebuilds_.find(disk);
+    if (it == rebuilds_.end()) {
+        return Error::invalid("no rebuild in flight for disk " + std::to_string(disk));
+    }
+    const RebuildState& st = it->second;
+    const RowId lo = std::min(first, st.target_rows);
+    const RowId hi = std::min(first + count, st.target_rows);
+    const auto nrows = static_cast<std::size_t>(hi > lo ? hi - lo : 0);
+    if (nrows == 0) return ReconstructStats{0, 0};
+
+    const int k = scheme_.code().k();
+    std::vector<AlignedBuffer> targets;
+    targets.reserve(nrows);
+    for (std::size_t i = 0; i < nrows; ++i) targets.emplace_back(static_cast<std::size_t>(element_bytes_));
+
     std::atomic<std::int64_t> reads{0};
     std::atomic<bool> error_flag{false};
-
-    auto rebuild_row = [&](RowId row) {
+    auto rebuild_one = [&](std::size_t i) {
         if (error_flag.load()) return;
-        const GroupCoord coord = scheme_.layout().coord_at({disk, row});
-        AlignedBuffer target(static_cast<std::size_t>(element_bytes_));
-        auto sources = executor_.rebuild_element(coord, avoid, target.span());
+        const GroupCoord coord = scheme_.layout().coord_at({disk, lo + static_cast<RowId>(i)});
+        auto sources = executor_.rebuild_element(coord, st.avoid, targets[i].span());
         if (!sources.ok()) {
             error_flag.store(true);
             return;
         }
         reads.fetch_add(sources.value());
-        if (!executor_.device_write(disk, row, target.span()).ok()) {
-            error_flag.store(true);
-            return;
-        }
-        rebuilt.fetch_add(1);
     };
-
-    if (pool_ != nullptr && rows > 1) {
-        parallel_for(*pool_, static_cast<std::size_t>(rows),
-                     [&](std::size_t r) { rebuild_row(static_cast<RowId>(r)); });
+    if (pool_ != nullptr && nrows > 1) {
+        parallel_for(*pool_, nrows, rebuild_one);
     } else {
-        for (RowId r = 0; r < rows; ++r) rebuild_row(r);
+        for (std::size_t i = 0; i < nrows; ++i) rebuild_one(i);
+    }
+    if (error_flag.load()) {
+        return Error::undecodable("reconstruction failed (too many concurrent failures?)");
     }
 
-    if (error_flag.load()) return Error::undecodable("reconstruction failed (too many concurrent failures?)");
-    return ReconstructStats{rebuilt.load(), reads.load()};
+    // Flush the rebuilt chunk onto the replacement as one batched plan
+    // (a single queue: all rows live on one disk). The replacement dying
+    // here must surface — no degraded skip.
+    WritePlan plan(scheme_.disks());
+    std::vector<ConstByteSpan> payloads;
+    payloads.reserve(nrows);
+    for (std::size_t i = 0; i < nrows; ++i) {
+        const RowId row = lo + static_cast<RowId>(i);
+        const GroupCoord coord = scheme_.layout().coord_at({disk, row});
+        plan.add_write({{disk, row}, coord, payloads.size(), coord.position >= k});
+        payloads.push_back(targets[i].span());
+    }
+    auto wrote = executor_.write(plan, payloads, {}, /*allow_degraded=*/false);
+    if (!wrote.ok()) return wrote.error();
+    return ReconstructStats{static_cast<std::int64_t>(nrows), reads.load()};
+}
+
+Status StripeStore::finish_rebuild(DiskId disk) {
+    if (disk < 0 || disk >= scheme_.disks()) return Error::range("no such disk");
+    std::lock_guard<std::mutex> wl(writer_mu_);
+    auto lk = exclusive_lock();
+    auto it = rebuilds_.find(disk);
+    if (it == rebuilds_.end()) {
+        return Error::invalid("no rebuild in flight for disk " + std::to_string(disk));
+    }
+    if (disks_[static_cast<std::size_t>(disk)]->failed()) {
+        return Error::disk_failed("replacement disk failed mid-rebuild; abort_rebuild and retry");
+    }
+    rebuilding_[static_cast<std::size_t>(disk)] = 0;
+    rebuilds_.erase(it);
+    return Status::success();
+}
+
+Status StripeStore::abort_rebuild(DiskId disk) {
+    if (disk < 0 || disk >= scheme_.disks()) return Error::range("no such disk");
+    std::lock_guard<std::mutex> wl(writer_mu_);
+    auto lk = exclusive_lock();
+    auto it = rebuilds_.find(disk);
+    if (it == rebuilds_.end()) {
+        return Error::invalid("no rebuild in flight for disk " + std::to_string(disk));
+    }
+    disks_[static_cast<std::size_t>(disk)]->fail();
+    rebuilding_[static_cast<std::size_t>(disk)] = 0;
+    rebuilds_.erase(it);
+    return Status::success();
+}
+
+Result<ReconstructStats> StripeStore::reconstruct_disk(DiskId disk) {
+    auto began = begin_rebuild(disk);
+    if (!began.ok()) return began.error();
+
+    const StoreObs& o = store_obs();
+    obs::Span span(o.tracer, "store.reconstruct", "store");
+    span.arg("disk", static_cast<std::int64_t>(disk));
+
+    auto rows = rebuild_target_rows(disk);
+    if (!rows.ok()) {
+        (void)abort_rebuild(disk);
+        return rows.error();
+    }
+    auto stats = rebuild_rows(disk, 0, rows.value());
+    if (!stats.ok()) {
+        (void)abort_rebuild(disk);
+        return stats.error();
+    }
+    auto finished = finish_rebuild(disk);
+    if (!finished.ok()) return finished.error();
+    return stats;
 }
 
 Status StripeStore::corrupt_element(DiskId disk, RowId row, std::size_t byte_offset) {
     if (disk < 0 || disk >= scheme_.disks()) return Error::range("no such disk");
-    std::unique_lock lk(mu_);
+    auto lk = exclusive_lock();
     return disks_[static_cast<std::size_t>(disk)]->corrupt_byte(row, byte_offset);
 }
 
@@ -627,8 +1168,10 @@ bool group_consistent(const codes::ErasureCode& code, const std::vector<AlignedB
 }  // namespace
 
 Result<ScrubReport> StripeStore::scrub() {
-    std::unique_lock lk(mu_);
+    std::lock_guard<std::mutex> wl(writer_mu_);
+    auto lk = exclusive_lock();
     if (!failed_disks_locked().empty()) return Error::disk_failed("scrub requires all disks online");
+    if (!rebuilds_.empty()) return Error::invalid("scrub requires no rebuild in flight");
 
     // A scrub pass is one scrub-class request: the whole scan is its
     // single phase, with a span per inconsistent group under it.
@@ -663,6 +1206,7 @@ Result<ScrubReport> StripeStore::scrub_locked(obs::RequestTrace* rt, std::uint32
     ScrubReport report;
 
     for (StripeId s = 0; s < stripes_; ++s) {
+        if (unencoded_.count(s) != 0) continue;  // parity-pending: nothing to audit yet
         for (int g = 0; g < scheme_.layout().groups_per_stripe(); ++g) {
             ++report.groups_scanned;
 
@@ -701,11 +1245,14 @@ Result<ScrubReport> StripeStore::scrub_locked(obs::RequestTrace* rt, std::uint32
 
                 if (!group_consistent(code, trial, element_bytes_)) continue;
 
-                // Hypothesis accepted: persist the corrected element.
-                const Location loc = scheme_.layout().locate({s, g, z});
-                auto write_status = executor_.device_write(
-                    loc.disk, loc.row, trial[static_cast<std::size_t>(z)].span());
-                if (!write_status.ok()) return write_status.error();
+                // Hypothesis accepted: persist the corrected element
+                // through the executor's write path.
+                const GroupCoord coord{s, g, z};
+                WritePlan plan(scheme_.disks());
+                plan.add_write({scheme_.layout().locate(coord), coord, 0, z >= code.k()});
+                const ConstByteSpan payload[] = {trial[static_cast<std::size_t>(z)].span()};
+                auto wrote = executor_.write(plan, payload, {}, /*allow_degraded=*/false);
+                if (!wrote.ok()) return wrote.error();
                 ++report.elements_repaired;
                 repaired = true;
             }
@@ -723,9 +1270,10 @@ Result<ScrubReport> StripeStore::scrub_locked(obs::RequestTrace* rt, std::uint32
 }
 
 Status StripeStore::verify_parity() {
-    std::shared_lock lk(mu_);
+    auto lk = reader_lock();
     const auto& code = scheme_.code();
     for (StripeId s = 0; s < stripes_; ++s) {
+        if (unencoded_.count(s) != 0) continue;  // parity-pending: nothing to verify yet
         for (int g = 0; g < scheme_.layout().groups_per_stripe(); ++g) {
             std::vector<AlignedBuffer> bufs;
             std::vector<ByteSpan> spans(static_cast<std::size_t>(code.n()));

@@ -4,22 +4,32 @@
 //
 // Write model matches the paper's cloud-storage assumption: append-only,
 // buffered until a full stripe is available, then erasure-coded as a full
-// stripe write (Section I). Reads are planned by the core planners and the
-// resulting plan is executed by exec::PlanExecutor against the disks — the
-// store itself is a thin façade (plan -> execute -> decode -> assemble) —
-// so every experiment's access plan is also validated by actually decoding
-// real data in tests.
+// stripe write (Section I). Both directions of device I/O flow through
+// exec::PlanExecutor: reads execute an AccessPlan, writes execute a
+// WritePlan — so stripe commits, parity flushes, overwrites, rebuild and
+// scrub repairs all get batched submission, the retry/backoff policy and
+// request-trace spans from one engine.
 //
-// Concurrency: read paths take a shared lock, mutating paths an exclusive
-// one, so N threads can read (normal or degraded) concurrently while
-// writes, failures and reconstruction serialise against them.
+// Concurrency: mutators serialise on a writer mutex, but hold the
+// reader/writer lock exclusively only for the manifest/commit window —
+// encode compute and device I/O of a stripe commit run with readers
+// admitted, because writers only touch rows no committed plan can reach.
+// Overwrite is the exception (it mutates committed rows and their
+// parities in place) and excludes readers for its whole, now batched,
+// read-modify-write. Online rebuild is chunked: begin_rebuild swaps in
+// the replacement and keeps the disk out of read planning, rebuild_rows
+// restores row ranges under the shared lock (readers proceed, planning
+// around the mid-rebuild disk), finish_rebuild re-admits it.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <shared_mutex>
 #include <vector>
 
@@ -27,6 +37,7 @@
 #include "common/thread_pool.h"
 #include "core/read_planner.h"
 #include "core/scheme.h"
+#include "core/write_plan.h"
 #include "exec/plan_executor.h"
 #include "obs/metrics.h"
 #include "obs/request_trace.h"
@@ -87,20 +98,46 @@ class StripeStore {
 
     const core::Scheme& scheme() const { return scheme_; }
     std::int64_t element_bytes() const { return element_bytes_; }
+    /// User-data bytes per full stripe.
+    std::int64_t stripe_data_bytes() const {
+        return scheme_.layout().data_per_stripe() * element_bytes_;
+    }
 
     /// Append user bytes. Full stripes are encoded and written eagerly;
-    /// the tail is buffered until flush().
+    /// the tail is buffered until flush(). Readers are only excluded
+    /// during each committed stripe's manifest window, not its encode or
+    /// device I/O.
     Status append(ConstByteSpan data);
 
     /// Zero-pad the buffered tail to a stripe boundary and encode it.
     Status flush();
 
+    /// Commit one full stripe of user data WITHOUT its parity: the data
+    /// elements are written through the executor and the manifest
+    /// extended, with the stripe marked parity-pending. Healthy-path
+    /// reads serve it immediately; degraded reads that would need its
+    /// parity fail typed (beyond_tolerance) until encode_stripe_parity
+    /// lands. Building block of the EcPipeline online-encode stage.
+    Result<StripeId> commit_data_stripe(ConstByteSpan stripe_data, std::int64_t user_bytes);
+
+    /// Encode and flush the parity of a parity-pending stripe from the
+    /// caller-retained stripe buffer, then clear its pending mark. Safe
+    /// concurrently with appends and reads (parity rows of a pending
+    /// stripe are unreachable by any read plan).
+    Status encode_stripe_parity(StripeId stripe, ConstByteSpan stripe_data);
+
+    /// Stripes committed data-only whose parity flush is still pending.
+    std::int64_t unencoded_stripes() const;
+
     /// Overwrite committed bytes in place with read-modify-write parity
-    /// updates: for each touched data element the store reads the old
-    /// payload, writes the new one, and folds the delta into every parity
-    /// of the element's group (parity_p ^= coeff_p * delta) — no full
-    /// stripe re-encode. Requires every touched element's home disk and
-    /// all its group parities to be online.
+    /// updates: old data and touched parities are fetched as one batched
+    /// executor plan, parity deltas are folded with the fused GF kernels
+    /// (parity_p ^= sum_j coeff_pj * delta_j per group, one cache-blocked
+    /// pass), and new data + updated parities go back out as one batched
+    /// WritePlan — no full stripe re-encode and no per-element serial
+    /// I/O. Requires every touched element's home disk and all its group
+    /// parities to be online and not mid-rebuild, and the touched
+    /// stripes' parity to be encoded.
     Status overwrite(std::int64_t offset, ConstByteSpan data);
 
     /// User bytes appended so far (committed + buffered tail).
@@ -129,12 +166,32 @@ class StripeStore {
     Status fail_disk(DiskId disk);
 
     /// Rebuild every element of a failed disk onto a replacement device.
+    /// Composition of the chunked online API below; readers proceed
+    /// concurrently, planning around the mid-rebuild disk.
     Result<ReconstructStats> reconstruct_disk(DiskId disk);
 
+    /// Online rebuild, chunked. begin_rebuild swaps in an empty
+    /// replacement but keeps the disk excluded from read planning;
+    /// rebuild_rows (callable repeatedly, any order, pool-parallel
+    /// inside) restores `[first, first + count)` clamped to the row
+    /// count snapshotted at begin; finish_rebuild re-admits the disk.
+    /// Stripes committed while a rebuild runs write to the replacement
+    /// directly, so only the snapshot rows ever need rebuilding.
+    /// abort_rebuild re-fails the disk and discards rebuild state (the
+    /// recovery path when the replacement itself dies mid-rebuild).
+    Status begin_rebuild(DiskId disk);
+    Result<RowId> rebuild_target_rows(DiskId disk) const;
+    Result<ReconstructStats> rebuild_rows(DiskId disk, RowId first, RowId count);
+    Status finish_rebuild(DiskId disk);
+    Status abort_rebuild(DiskId disk);
+
     std::vector<DiskId> failed_disks() const;
+    /// Disks online but mid-rebuild (excluded from read planning).
+    std::vector<DiskId> rebuilding_disks() const;
 
     /// Recompute every parity element from data and compare with what is
-    /// stored. Fails on the first mismatch. (Test/diagnostic hook.)
+    /// stored. Fails on the first mismatch; parity-pending stripes are
+    /// skipped. (Test/diagnostic hook.)
     Status verify_parity();
 
     /// Silent-corruption injection hook: flip a byte of the element at
@@ -162,13 +219,15 @@ class StripeStore {
     /// per-disk batch -> decode -> assemble) on `tracer`. With a
     /// `forensics`, every read (and scrub pass) additionally gets a
     /// per-request causal span tree, feeds the per-class SLO windows,
-    /// and is captured when slow or recovery-active. With a `heat`
-    /// model, every fetch queue feeds the live per-disk scoreboard, the
-    /// degraded planner's health tie-break consumes its straggler mask,
-    /// and the executor's auto_hedge policy derives deadlines from its
-    /// windowed p99s. Race-free against in-flight operations: sinks are
-    /// published as atomically swapped bundles, so attaching mid-traffic
-    /// is safe; detached paths cost an atomic load and a null check.
+    /// and is captured when slow or recovery-active; stripe commits and
+    /// overwrites record write-class requests with encode/write/commit
+    /// phase spans. With a `heat` model, every fetch and write queue
+    /// feeds the live per-disk scoreboard, the degraded planner's health
+    /// tie-break consumes its straggler mask, and the executor's
+    /// auto_hedge policy derives deadlines from its windowed p99s.
+    /// Race-free against in-flight operations: sinks are published as
+    /// atomically swapped bundles, so attaching mid-traffic is safe;
+    /// detached paths cost an atomic load and a null check.
     void attach_observability(obs::MetricRegistry* metrics, obs::Tracer* tracer = nullptr,
                               obs::RequestForensics* forensics = nullptr,
                               obs::DiskHeatModel* heat = nullptr);
@@ -178,7 +237,8 @@ class StripeStore {
     /// by hypothesis testing — rebuild each candidate position from the
     /// others and accept the unique hypothesis that restores full
     /// consistency. Groups with more damage than the code can pin down are
-    /// counted unrecoverable and left untouched. Requires all disks alive.
+    /// counted unrecoverable and left untouched. Parity-pending stripes
+    /// are skipped. Requires all disks alive and no rebuild in flight.
     Result<ScrubReport> scrub();
 
   private:
@@ -192,8 +252,17 @@ class StripeStore {
         obs::Counter* reads_total = nullptr;
         obs::Counter* degraded_reads_total = nullptr;
         obs::Counter* read_elements_total = nullptr;
+        obs::Counter* writes_total = nullptr;
+        obs::Counter* overwrites_total = nullptr;
         obs::Histogram* read_fanout = nullptr;
         obs::Histogram* read_max_load = nullptr;
+        obs::Histogram* write_max_load = nullptr;
+    };
+
+    /// Per-disk state of one in-flight chunked rebuild (guarded by mu_).
+    struct RebuildState {
+        RowId target_rows = 0;
+        std::vector<char> avoid;  // failure snapshot at begin_rebuild
     };
 
     const StoreObs& store_obs() const { return *obs_.load(std::memory_order_acquire); }
@@ -205,9 +274,16 @@ class StripeStore {
     void bind_executor();
 
     Status restore_locked(std::vector<Extent> extents, StripeId stripes);
-    Status encode_stripe(StripeId stripe, ConstByteSpan stripe_data);
-    Status encode_group(StripeId stripe, int group, ConstByteSpan stripe_data);
-    Status commit_stripe(ConstByteSpan stripe_data, std::int64_t user_bytes);
+    /// Compute every group's parity of one stripe (groups * m buffers,
+    /// group-major), pool-parallel across groups.
+    Status compute_stripe_parity(ConstByteSpan stripe_data,
+                                 std::vector<AlignedBuffer>& parity_bufs) const;
+    /// Encode (optionally) + write + commit one stripe. Caller holds
+    /// writer_mu_ and NOT mu_; only the manifest update takes mu_
+    /// exclusively. with_parity=false commits data-only and marks the
+    /// stripe parity-pending.
+    Result<StripeId> commit_stripe(ConstByteSpan stripe_data, std::int64_t user_bytes,
+                                   bool with_parity);
     Status read_elements_locked(ElementId start, std::int64_t count, ByteSpan out);
     Status execute_read(ElementId start, std::int64_t count, ByteSpan out,
                         std::vector<DiskId> excluded);
@@ -215,6 +291,8 @@ class StripeStore {
                                std::vector<DiskId> excluded, obs::RequestTrace* rt);
     Result<ScrubReport> scrub_locked(obs::RequestTrace* rt, std::uint32_t scan_node);
     std::vector<DiskId> failed_disks_locked() const;
+    /// Disks a read plan must route around: failed plus mid-rebuild.
+    std::vector<DiskId> unavailable_disks_locked() const;
     std::int64_t committed_bytes_locked() const {
         return extents_.empty() ? 0 : extents_.back().logical_start + extents_.back().bytes;
     }
@@ -231,19 +309,50 @@ class StripeStore {
     std::mutex obs_mu_;  // guards retired_obs_
     std::vector<std::unique_ptr<const StoreObs>> retired_obs_;
 
+    /// Serialises mutators (append/flush/overwrite/restore and the
+    /// rebuild lifecycle) against each other. Held across a whole stripe
+    /// commit — including encode and device I/O — WITHOUT excluding
+    /// readers: a committing writer only touches rows beyond every
+    /// committed plan's reach, so readers keep flowing until the
+    /// manifest window below.
+    std::mutex writer_mu_;
+
     /// Readers (read_bytes/read_elements and the const accessors) hold
-    /// this shared; every mutator holds it exclusive. Device objects have
-    /// their own internal locking, so holding the shared lock across
-    /// device I/O is safe and keeps plans consistent with extents.
+    /// this shared; held exclusively only for windows that change what
+    /// readers may observe: the manifest/commit update, overwrite's RMW,
+    /// restore, failure/rebuild transitions and scrub. Device objects
+    /// have their own internal locking, so holding the shared lock
+    /// across device I/O is safe and keeps plans consistent with
+    /// extents.
     mutable std::shared_mutex mu_;
+
+    /// Writer-preference gate over mu_. The pthread-backed shared_mutex
+    /// keeps admitting new readers while an exclusive acquirer waits, so
+    /// a steady stream of overlapping readers (eight threads re-reading
+    /// the committed prefix back to back) can starve the manifest window
+    /// forever. Exclusive acquirers announce themselves here before
+    /// blocking on mu_; incoming readers hold back until no writer is
+    /// waiting, while readers already inside drain naturally — the
+    /// writer's wait is then bounded by the in-flight reads.
+    mutable std::atomic<int> writers_waiting_{0};
+    mutable std::mutex gate_mu_;
+    mutable std::condition_variable gate_cv_;
+
+    /// Gated shared acquisition of mu_ (readers + const accessors).
+    std::shared_lock<std::shared_mutex> reader_lock() const;
+    /// Announced exclusive acquisition of mu_ (manifest windows).
+    std::unique_lock<std::shared_mutex> exclusive_lock() const;
 
     std::atomic<std::int64_t> assemble_copies_{0};
 
     std::vector<std::unique_ptr<BlockDevice>> disks_;
-    std::vector<std::uint8_t> pending_;  // buffered tail, < one stripe of data
+    std::vector<std::uint8_t> pending_;  // buffered tail; writers only (writer_mu_)
     std::vector<Extent> extents_;        // committed user-byte runs
     StripeId stripes_ = 0;
     std::int64_t logical_bytes_ = 0;
+    std::set<StripeId> unencoded_;            // committed data-only, parity pending
+    std::vector<char> rebuilding_;            // online but mid-rebuild, by DiskId
+    std::map<DiskId, RebuildState> rebuilds_;  // active chunked rebuilds
 };
 
 }  // namespace ecfrm::store

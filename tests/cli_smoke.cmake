@@ -116,6 +116,27 @@ foreach(want "ecfrm.simd.v1" "\"features\"" "\"active_tier\"" "\"tiers\""
   endif()
 endforeach()
 
+# Online write/repair pipeline: ingest through the online-encode stage,
+# repair a failed disk under the threshold scheduler, and emit the
+# byte-verified ecfrm.pipeline.v1 state document.
+execute_process(COMMAND ${CLI} pipeline --spec rs:4,2 --layout ecfrm --elem 512 --stripes 6
+                        --policy threshold --repair-disk 1 --out ${WORK}/pipeline.json
+                RESULT_VARIABLE rc_pl OUTPUT_VARIABLE pl_table ERROR_VARIABLE pl_err)
+if(NOT rc_pl EQUAL 0)
+  message(FATAL_ERROR "pipeline failed (${rc_pl}): ${pl_table}\n${pl_err}")
+endif()
+file(READ ${WORK}/pipeline.json PIPELINE)
+foreach(want "ecfrm.pipeline.v1" "\"policy\":\"threshold\"" "\"pending_stripes\":0"
+        "\"max_pending_stripes\"" "\"encoded_stripes\"" "\"sync_encodes\"" "\"repair\":{"
+        "\"done\":1" "\"failed\":0" "\"tokens\"" "\"rows_done\"" "\"yields\"")
+  if(NOT PIPELINE MATCHES "${want}")
+    message(FATAL_ERROR "pipeline output missing '${want}':\n${PIPELINE}")
+  endif()
+endforeach()
+if(NOT pl_table MATCHES "disk 1 repaired")
+  message(FATAL_ERROR "pipeline table missing repair line:\n${pl_table}")
+endif()
+
 # Concurrent-read server bench: schema-tagged JSON, every read verified
 # byte-exactly against the deterministic fill pattern, in both the healthy
 # and the degraded (one disk down) configurations.

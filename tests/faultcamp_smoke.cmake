@@ -1,5 +1,6 @@
 # End-to-end smoke test of the fault-injection surface, run under ctest:
-#   ecfrm_cli faultcamp  -> all 42 cells pass, ecfrm.faultcamp.v1 artifact
+#   ecfrm_cli faultcamp  -> every matrix + write-path cell passes,
+#                           ecfrm.faultcamp.v1 artifact
 #   ecfrm_sim --faults   -> replays a handwritten FaultPlan against a real
 #                           store, both within and beyond tolerance.
 # Invoked as:
@@ -21,7 +22,8 @@ endif()
 
 file(READ ${WORK}/faultcamp.json ARTIFACT)
 foreach(want "ecfrm.faultcamp.v1" "ecfrm.faultplan.v1" "\"pass\":true" "beyond_tolerance"
-        "straggler_hedge" "\"counters\"" "\"cell_seed\"" "\"phase_us\"" "\"captured\"")
+        "straggler_hedge" "\"counters\"" "\"cell_seed\"" "\"phase_us\"" "\"captured\""
+        "torn_write_midstripe" "parity_flush_failstop" "manifest_replay")
   if(NOT ARTIFACT MATCHES "${want}")
     message(FATAL_ERROR "faultcamp artifact missing '${want}'")
   endif()

@@ -275,7 +275,9 @@ TEST(FaultDeviceBatch, BatchedOpsReplayTheSerialFaultSchedule) {
     EXPECT_EQ(serial_ok, batch_ok);
     EXPECT_EQ(serial_device->read_ops(), batch_device->read_ops());
     for (std::size_t i = 0; i < rows.size(); ++i) {
-        if (serial_ok[i]) EXPECT_EQ(serial_bytes[i], batch_bytes[i]) << "op " << i;
+        if (serial_ok[i]) {
+            EXPECT_EQ(serial_bytes[i], batch_bytes[i]) << "op " << i;
+        }
     }
     // The injected-fault logs agree op for op.
     const auto serial_events = serial_device->events();
@@ -400,6 +402,123 @@ TEST(PlanExecutorPolicy, SlowOpsSurfaceAsTimeout) {
     const auto status = executor.device_read(0, 0, ByteSpan(out.data(), out.size()));
     ASSERT_FALSE(status.ok());
     EXPECT_EQ(status.error().code, Error::Code::timeout);
+}
+
+// ------------------------------------------------- executor write contract --
+
+TEST(PlanExecutorWrite, BatchedWritePlanLandsEveryPayloadByteExact) {
+    // One WritePlan fanned across several disks, one payload backing two
+    // placements (replication): every placement must land byte-exact and
+    // the report must count each element once.
+    const std::int64_t elem = 32;
+    const core::Scheme scheme = make_scheme("rs:6,3", LayoutKind::standard);
+    std::vector<std::unique_ptr<store::Disk>> devices;
+    std::vector<store::BlockDevice*> raw;
+    for (int d = 0; d < scheme.disks(); ++d) {
+        devices.push_back(std::make_unique<store::Disk>(elem));
+        raw.push_back(devices.back().get());
+    }
+    PlanExecutor executor(&scheme, elem, nullptr);
+    executor.bind(raw);
+
+    std::vector<std::vector<std::uint8_t>> bufs;
+    for (int p = 0; p < 4; ++p) bufs.push_back(element_pattern(elem, p + 1));
+    std::vector<ConstByteSpan> payloads;
+    for (const auto& b : bufs) payloads.emplace_back(b.data(), b.size());
+
+    core::WritePlan plan(scheme.disks());
+    // Payload 0 is replicated onto two disks; the rest place once each,
+    // two of them on the same disk so batches() emits a multi-row batch.
+    const std::vector<std::pair<Location, std::size_t>> placements = {
+        {{0, 0}, 0}, {{3, 5}, 0}, {{1, 2}, 1}, {{1, 7}, 2}, {{4, 1}, 3}};
+    for (const auto& [loc, payload] : placements) {
+        plan.add_write(core::WriteAccess{loc, {}, payload, false});
+    }
+
+    auto report = executor.write(plan, payloads);
+    ASSERT_TRUE(report.ok()) << report.error().message;
+    EXPECT_EQ(report->elements_written, static_cast<std::int64_t>(placements.size()));
+    EXPECT_EQ(report->elements_skipped, 0);
+
+    std::vector<std::uint8_t> out(static_cast<std::size_t>(elem));
+    for (const auto& [loc, payload] : placements) {
+        ASSERT_TRUE(executor.device_read(loc.disk, loc.row, ByteSpan(out.data(), out.size())).ok());
+        EXPECT_EQ(std::memcmp(out.data(), bufs[payload].data(), out.size()), 0)
+            << "disk " << loc.disk << " row " << loc.row;
+    }
+}
+
+TEST(PlanExecutorWrite, RetriesRewriteFullPayloadOnTransientErrors) {
+    const std::int64_t elem = 32;
+    const core::Scheme scheme = make_scheme("rs:6,3", LayoutKind::standard);
+
+    store::FaultPlan fault;
+    fault.seed = 7;
+    store::FaultRule eio;
+    eio.kind = store::FaultKind::transient;
+    eio.op = store::FaultOp::write;
+    eio.first_op = 0;
+    eio.count = 2;
+    fault.rules = {eio};
+
+    const auto data = element_pattern(elem, 9);
+    const std::vector<ConstByteSpan> payloads{ConstByteSpan(data.data(), data.size())};
+    auto run = [&](int max_retries) {
+        store::FaultDevice device(std::make_unique<store::Disk>(elem), fault, 0);
+        PlanExecutor executor(&scheme, elem, nullptr);
+        executor.bind({&device});
+        RecoveryOptions recovery;
+        recovery.max_retries = max_retries;
+        executor.set_recovery(recovery);
+        core::WritePlan plan(scheme.disks());
+        plan.add_write(core::WriteAccess{{0, 4}, {}, 0, false});
+        auto report = executor.write(plan, payloads, {}, /*allow_degraded=*/false);
+        if (!report.ok()) return false;
+        std::vector<std::uint8_t> out(static_cast<std::size_t>(elem));
+        EXPECT_TRUE(executor.device_read(0, 4, ByteSpan(out.data(), out.size())).ok());
+        EXPECT_EQ(std::memcmp(out.data(), data.data(), out.size()), 0);
+        return true;
+    };
+
+    EXPECT_FALSE(run(/*max_retries=*/1));  // attempts 0,1 both EIO
+    EXPECT_TRUE(run(/*max_retries=*/2));   // third rewrite lands whole
+}
+
+TEST(PlanExecutorWrite, DegradedWriteSkipsFailedDeviceAndCountsIt) {
+    const std::int64_t elem = 32;
+    const core::Scheme scheme = make_scheme("rs:6,3", LayoutKind::standard);
+    std::vector<std::unique_ptr<store::Disk>> devices;
+    std::vector<store::BlockDevice*> raw;
+    for (int d = 0; d < scheme.disks(); ++d) {
+        devices.push_back(std::make_unique<store::Disk>(elem));
+        raw.push_back(devices.back().get());
+    }
+    devices[2]->fail();
+    PlanExecutor executor(&scheme, elem, nullptr);
+    executor.bind(raw);
+
+    const auto data = element_pattern(elem, 3);
+    const std::vector<ConstByteSpan> payloads{ConstByteSpan(data.data(), data.size())};
+    auto make_plan = [&] {
+        core::WritePlan plan(scheme.disks());
+        plan.add_write(core::WriteAccess{{1, 0}, {}, 0, false});
+        plan.add_write(core::WriteAccess{{2, 0}, {}, 0, false});
+        plan.add_write(core::WriteAccess{{3, 0}, {}, 0, false});
+        return plan;
+    };
+
+    auto degraded = executor.write(make_plan(), payloads);
+    ASSERT_TRUE(degraded.ok()) << degraded.error().message;
+    EXPECT_EQ(degraded->elements_written, 2);
+    EXPECT_EQ(degraded->elements_skipped, 1);
+    std::vector<std::uint8_t> out(static_cast<std::size_t>(elem));
+    for (DiskId d : {1, 3}) {
+        ASSERT_TRUE(executor.device_read(d, 0, ByteSpan(out.data(), out.size())).ok());
+        EXPECT_EQ(std::memcmp(out.data(), data.data(), out.size()), 0);
+    }
+
+    auto strict = executor.write(make_plan(), payloads, {}, /*allow_degraded=*/false);
+    EXPECT_FALSE(strict.ok());
 }
 
 // ------------------------------------------------- concurrent multi-reader --

@@ -1,8 +1,8 @@
 // Randomized differential test: a StripeStore under a random operation
-// stream (append / flush / read / fail / reconstruct / corrupt+scrub) must
-// always agree byte-for-byte with a plain in-memory reference model, for
-// every scheme and layout, as long as concurrent failures stay within the
-// code's tolerance.
+// stream (append / overwrite / flush / read / fail / reconstruct /
+// corrupt+scrub) must always agree byte-for-byte with a plain in-memory
+// reference model, for every scheme and layout, as long as concurrent
+// failures stay within the code's tolerance.
 //
 // The faulty variants run the same op stream over FaultDevice-wrapped
 // disks injecting probabilistic torn writes and transient EIOs; the
@@ -11,6 +11,7 @@
 // printed seed alone: it determines the op stream AND the fault schedule.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
@@ -101,7 +102,7 @@ void run_fuzz(const char* spec, LayoutKind kind, std::uint64_t seed, bool with_f
 
     const int kOps = 300;
     for (int op = 0; op < kOps; ++op) {
-        switch (rng.next_below(10)) {
+        switch (rng.next_below(11)) {
             case 0:
             case 1:
             case 2: {  // append a random chunk
@@ -171,6 +172,28 @@ void run_fuzz(const char* spec, LayoutKind kind, std::uint64_t seed, bool with_f
                 auto report = store->scrub();
                 ASSERT_TRUE(report.ok());
                 ASSERT_EQ(report->unrecoverable_groups, 0);
+                break;
+            }
+            case 10: {  // in-place overwrite of a committed range (RMW)
+                // The executor's batched RMW path: read the touched
+                // elements, fold GF deltas into every live parity that
+                // covers them, write back. Requires encoded parity (the
+                // append path encodes inline, so the whole committed
+                // prefix qualifies) and every participating disk online.
+                const std::int64_t committed = store->committed_bytes();
+                if (committed == 0 || !failed.empty()) break;
+                const std::int64_t offset = static_cast<std::int64_t>(rng.next_below(
+                    static_cast<std::uint64_t>(committed)));
+                const std::int64_t max_len =
+                    std::min<std::int64_t>(committed - offset, 3 * elem);
+                const std::int64_t length = 1 + static_cast<std::int64_t>(rng.next_below(
+                    static_cast<std::uint64_t>(max_len)));
+                std::vector<std::uint8_t> chunk(static_cast<std::size_t>(length));
+                for (auto& b : chunk) b = static_cast<std::uint8_t>(rng.next_below(256));
+                auto status = store->overwrite(offset, ConstByteSpan(chunk.data(), chunk.size()));
+                ASSERT_TRUE(status.ok()) << "op " << op << ": " << status.error().message;
+                std::copy(chunk.begin(), chunk.end(),
+                          reference.begin() + static_cast<std::ptrdiff_t>(offset));
                 break;
             }
         }

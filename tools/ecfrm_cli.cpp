@@ -45,6 +45,7 @@
 #include "obs/request_trace.h"
 #include "obs/trace.h"
 #include "store/disk.h"
+#include "store/ec_pipeline.h"
 #include "store/fault_device.h"
 #include "store/file_disk.h"
 #include "store/io_backend.h"
@@ -78,6 +79,9 @@ int usage() {
                  "  ecfrm_cli heat <dir> [--requests N] [--read-elems N] [--seed S]\n"
                  "      [--out heat.json] [--ndjson disks.ndjson]\n"
                  "  ecfrm_cli faultcamp [--seed S] [--elem BYTES] [--out artifact.json]\n"
+                 "  ecfrm_cli pipeline [--spec S] [--layout L] [--elem BYTES] [--stripes N]\n"
+                 "      [--policy immediate|delayed|threshold] [--max-pending N] [--rate ROWS_S]\n"
+                 "      [--burst ROWS] [--chunk ROWS] [--repair-disk D] [--out state.json]\n"
                  "  ecfrm_cli simd [--out artifact.json]\n"
                  "  ecfrm_cli serve-bench <code_spec> <layout> [--threads N] [--requests N]"
                  " [--elem BYTES] [--read-elems N] [--stripes N] [--degraded] [--seed S]"
@@ -977,6 +981,336 @@ FaultCell run_fault_cell(const std::string& spec, layout::LayoutKind kind, const
 }
 
 // ---------------------------------------------------------------------------
+// Write-path cells: the matrix above aims faults at reads; these three aim
+// them at the write pipeline itself — a scripted torn write inside a stripe
+// commit, a device dying during a parity flush (repaired by the EcPipeline
+// scheduler), and a crash that a manifest replay must make invisible. One
+// scheme each, fully deterministic, same FaultCell evidence format.
+
+std::vector<std::uint8_t> write_cell_payload(std::int64_t bytes, std::int64_t elem_bytes) {
+    std::vector<std::uint8_t> payload(static_cast<std::size_t>(bytes));
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+        const std::int64_t elem = static_cast<std::int64_t>(i) / elem_bytes;
+        const std::int64_t byte = static_cast<std::int64_t>(i) % elem_bytes;
+        payload[i] = static_cast<std::uint8_t>((elem * 131 + byte * 7 + 1) & 0xff);
+    }
+    return payload;
+}
+
+/// Read the whole payload back and count mismatches into the cell.
+void write_cell_verify(FaultCell& cell, store::StripeStore& st,
+                       const std::vector<std::uint8_t>& payload) {
+    ++cell.reads;
+    auto got = st.read_bytes(0, static_cast<std::int64_t>(payload.size()));
+    if (!got.ok()) {
+        ++cell.read_errors;
+        ++cell.errors_by_code[Error::code_name(got.error().code)];
+        return;
+    }
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+        if (got.value()[i] != payload[i]) ++cell.mismatched_bytes;
+    }
+}
+
+FaultCell run_torn_midstripe_cell(std::uint64_t seed, std::int64_t elem_bytes) {
+    FaultCell cell;
+    cell.spec = "rs:6,3";
+    cell.layout = "ecfrm";
+    cell.mix = "torn_write_midstripe";
+    cell.seed = seed;
+
+    // Scripted, not probabilistic: write ops 1 and 2 of disk 2 tear —
+    // mid-way through the first stripe commit's batch to that device. The
+    // executor's retry rewrites the full payload, healing the torn rows.
+    store::FaultPlan plan;
+    plan.seed = seed;
+    store::FaultRule torn;
+    torn.kind = store::FaultKind::torn_write;
+    torn.op = store::FaultOp::write;
+    torn.disk = 2;
+    torn.first_op = 1;
+    torn.count = 2;
+    torn.torn_fraction = 0.5;
+    plan.rules = {torn};
+    cell.fault_plan_json = plan.to_json();
+
+    auto code = codes::make_code(cell.spec);
+    if (!code.ok()) {
+        cell.detail = code.error().message;
+        return cell;
+    }
+    std::vector<store::FaultDevice*> devices;
+    auto factory = [&](int index) -> Result<std::unique_ptr<store::BlockDevice>> {
+        auto device = std::make_unique<store::FaultDevice>(
+            std::make_unique<store::Disk>(elem_bytes), plan, static_cast<DiskId>(index));
+        devices.push_back(device.get());
+        return std::unique_ptr<store::BlockDevice>(std::move(device));
+    };
+    obs::MetricRegistry metrics("ecfrm_faultcamp");
+    auto st = store::StripeStore::open(core::Scheme(code.value(), layout::LayoutKind::ecfrm),
+                                       elem_bytes, factory);
+    if (!st.ok()) {
+        cell.detail = st.error().message;
+        return cell;
+    }
+    store::RecoveryOptions recovery;
+    recovery.max_retries = 4;
+    st.value()->set_recovery(recovery);
+    st.value()->attach_observability(&metrics);
+
+    const auto payload = write_cell_payload(4 * st.value()->stripe_data_bytes(), elem_bytes);
+    store::EcPipeline pipeline(*st.value(), nullptr);
+    auto wrote = pipeline.append(ConstByteSpan(payload.data(), payload.size()));
+    if (wrote.ok()) wrote = pipeline.flush();
+    if (!wrote.ok()) {
+        cell.detail = "write phase: " + wrote.error().message;
+        return cell;
+    }
+    write_cell_verify(cell, *st.value(), payload);
+    auto parity = st.value()->verify_parity();
+    if (!parity.ok()) cell.detail = "parity audit: " + parity.error().message;
+
+    cell.retries = metrics.counter("ecfrm_store_retries_total").value();
+    for (const store::FaultDevice* device : devices) {
+        cell.injected_faults += static_cast<std::int64_t>(device->events().size());
+    }
+    st.value()->attach_observability(nullptr);
+    cell.pass = cell.read_errors == 0 && cell.mismatched_bytes == 0 && cell.retries >= 1 &&
+                cell.injected_faults >= 1 && cell.detail.empty();
+    if (!cell.pass && cell.detail.empty()) {
+        cell.detail = "torn mid-stripe write was not healed by the retry layer";
+    }
+    return cell;
+}
+
+FaultCell run_parity_flush_failstop_cell(std::uint64_t seed, std::int64_t elem_bytes) {
+    FaultCell cell;
+    cell.spec = "rs:6,3";
+    cell.layout = "ecfrm";
+    cell.mix = "parity_flush_failstop";
+    cell.seed = seed;
+
+    auto code = codes::make_code(cell.spec);
+    if (!code.ok()) {
+        cell.detail = code.error().message;
+        return cell;
+    }
+    const DiskId victim = 4;
+    const int kStripes = 4;
+
+    // Dry run on clean devices: count the data-phase write ops the victim
+    // absorbs, so the scripted fail_stop fires on its FIRST parity-flush
+    // write — the disk dies exactly between data commit and parity flush.
+    std::int64_t data_ops = 0;
+    {
+        obs::MetricRegistry probe("ecfrm_faultcamp");
+        store::StripeStore twin(core::Scheme(code.value(), layout::LayoutKind::ecfrm), elem_bytes);
+        twin.attach_observability(&probe);
+        const auto payload = write_cell_payload(kStripes * twin.stripe_data_bytes(), elem_bytes);
+        const std::int64_t stripe_bytes = twin.stripe_data_bytes();
+        for (int s = 0; s < kStripes; ++s) {
+            auto committed = twin.commit_data_stripe(
+                ConstByteSpan(payload.data() + s * stripe_bytes, stripe_bytes), stripe_bytes);
+            if (!committed.ok()) {
+                cell.detail = "probe phase: " + committed.error().message;
+                return cell;
+            }
+        }
+        data_ops = probe.counter("ecfrm_disk_write_ops_total",
+                                 {{"disk", std::to_string(victim)}})
+                       .value();
+        twin.attach_observability(nullptr);
+    }
+
+    store::FaultPlan plan;
+    plan.seed = seed;
+    store::FaultRule dead;
+    dead.kind = store::FaultKind::fail_stop;
+    dead.op = store::FaultOp::write;
+    dead.disk = victim;
+    dead.first_op = data_ops;
+    plan.rules = {dead};
+    cell.fault_plan_json = plan.to_json();
+
+    std::vector<store::FaultDevice*> devices;
+    auto factory = [&](int index) -> Result<std::unique_ptr<store::BlockDevice>> {
+        auto device = std::make_unique<store::FaultDevice>(
+            std::make_unique<store::Disk>(elem_bytes), plan, static_cast<DiskId>(index));
+        devices.push_back(device.get());
+        return std::unique_ptr<store::BlockDevice>(std::move(device));
+    };
+    obs::MetricRegistry metrics("ecfrm_faultcamp");
+    auto st = store::StripeStore::open(core::Scheme(code.value(), layout::LayoutKind::ecfrm),
+                                       elem_bytes, factory);
+    if (!st.ok()) {
+        cell.detail = st.error().message;
+        return cell;
+    }
+    st.value()->attach_observability(&metrics);
+
+    const auto payload = write_cell_payload(kStripes * st.value()->stripe_data_bytes(), elem_bytes);
+    const std::int64_t stripe_bytes = st.value()->stripe_data_bytes();
+    std::vector<StripeId> stripes;
+    for (int s = 0; s < kStripes; ++s) {
+        auto committed = st.value()->commit_data_stripe(
+            ConstByteSpan(payload.data() + s * stripe_bytes, stripe_bytes), stripe_bytes);
+        if (!committed.ok()) {
+            cell.detail = "data phase: " + committed.error().message;
+            return cell;
+        }
+        stripes.push_back(committed.value());
+    }
+    // Parity flush: the victim trips on its first parity write; degraded
+    // writes skip its placements and every other parity lands.
+    for (int s = 0; s < kStripes; ++s) {
+        auto encoded = st.value()->encode_stripe_parity(
+            stripes[static_cast<std::size_t>(s)],
+            ConstByteSpan(payload.data() + s * stripe_bytes, stripe_bytes));
+        if (!encoded.ok()) {
+            cell.detail = "parity flush: " + encoded.error().message;
+            return cell;
+        }
+    }
+    if (st.value()->failed_disks() != std::vector<DiskId>{victim}) {
+        cell.detail = "fail_stop did not trip during the parity flush";
+        return cell;
+    }
+
+    // Foreground reads decode around the dead disk, byte-exact.
+    write_cell_verify(cell, *st.value(), payload);
+
+    // The pipeline's repair scheduler restores full redundancy.
+    store::EcPipeline pipeline(*st.value(), nullptr);
+    auto requested = pipeline.request_repair(victim);
+    if (requested.ok()) requested = pipeline.wait_repairs();
+    if (!requested.ok()) {
+        cell.detail = "repair phase: " + requested.error().message;
+    } else {
+        auto parity = st.value()->verify_parity();
+        if (!parity.ok()) cell.detail = "post-repair parity audit: " + parity.error().message;
+        write_cell_verify(cell, *st.value(), payload);
+    }
+
+    cell.degraded = metrics.counter("ecfrm_store_degraded_reads_total").value();
+    cell.decodes = metrics.counter("ecfrm_store_decodes_total").value();
+    for (const store::FaultDevice* device : devices) {
+        cell.injected_faults += static_cast<std::int64_t>(device->events().size());
+    }
+    st.value()->attach_observability(nullptr);
+    cell.pass = cell.read_errors == 0 && cell.mismatched_bytes == 0 && cell.degraded >= 1 &&
+                cell.injected_faults >= 1 && cell.detail.empty();
+    if (!cell.pass && cell.detail.empty()) {
+        cell.detail = "expected degraded reads around the mid-flush failure, then clean repair";
+    }
+    return cell;
+}
+
+FaultCell run_manifest_replay_cell(std::uint64_t seed, std::int64_t elem_bytes) {
+    FaultCell cell;
+    cell.spec = "rs:6,3";
+    cell.layout = "ecfrm";
+    cell.mix = "manifest_replay";
+    cell.seed = seed;
+
+    auto code = codes::make_code(cell.spec);
+    if (!code.ok()) {
+        cell.detail = code.error().message;
+        return cell;
+    }
+    namespace fs = std::filesystem;
+    const std::string dir =
+        (fs::temp_directory_path() / ("ecfrm_faultcamp_replay_" + std::to_string(::getpid())))
+            .string();
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    fs::create_directories(dir);
+    auto factory = [&](int index) -> Result<std::unique_ptr<store::BlockDevice>> {
+        return store::open_file_device(dir, index, elem_bytes);
+    };
+
+    store::Manifest manifest;
+    manifest.code_spec = cell.spec;
+    manifest.kind = layout::LayoutKind::ecfrm;
+    manifest.element_bytes = elem_bytes;
+
+    std::vector<std::uint8_t> durable;
+    {
+        auto st = store::StripeStore::open(core::Scheme(code.value(), layout::LayoutKind::ecfrm),
+                                           elem_bytes, factory);
+        if (!st.ok()) {
+            cell.detail = st.error().message;
+            fs::remove_all(dir, ec);
+            return cell;
+        }
+        store::EcPipeline pipeline(*st.value(), nullptr);
+        durable = write_cell_payload(3 * st.value()->stripe_data_bytes(), elem_bytes);
+        auto wrote = pipeline.append(ConstByteSpan(durable.data(), durable.size()));
+        if (wrote.ok()) wrote = pipeline.flush();
+        if (!wrote.ok()) {
+            cell.detail = "durable phase: " + wrote.error().message;
+            fs::remove_all(dir, ec);
+            return cell;
+        }
+        // The manifest save is the durability point: everything it covers
+        // has data AND parity on the devices (flush drained the encodes).
+        manifest.logical_bytes = st.value()->committed_bytes();
+        manifest.stripes = st.value()->stored_data_elements() /
+                           st.value()->scheme().layout().data_per_stripe();
+        manifest.extents = st.value()->extents();
+        auto saved = manifest.save(dir);
+        if (!saved.ok()) {
+            cell.detail = "manifest save: " + saved.error().message;
+            fs::remove_all(dir, ec);
+            return cell;
+        }
+        // Crash mid-ingest: two more stripes land on the devices and a
+        // tail is buffered, none of it recorded in the manifest. The
+        // store object is simply dropped — no save, no flush.
+        const auto torn =
+            write_cell_payload(2 * st.value()->stripe_data_bytes() + elem_bytes / 2, elem_bytes);
+        (void)pipeline.append(ConstByteSpan(torn.data(), torn.size()));
+        (void)pipeline.quiesce();
+    }
+
+    // Replay: reopen from the manifest alone. The covered prefix must be
+    // byte-exact and parity-consistent; the torn ingest is invisible.
+    auto loaded = store::Manifest::load(dir);
+    if (!loaded.ok()) {
+        cell.detail = "manifest load: " + loaded.error().message;
+        fs::remove_all(dir, ec);
+        return cell;
+    }
+    auto reopened = store::StripeStore::open(core::Scheme(code.value(), loaded->kind),
+                                             loaded->element_bytes, factory);
+    if (!reopened.ok()) {
+        cell.detail = reopened.error().message;
+        fs::remove_all(dir, ec);
+        return cell;
+    }
+    auto restored = reopened.value()->restore(loaded->extents, loaded->stripes);
+    if (!restored.ok()) {
+        cell.detail = "restore: " + restored.error().message;
+        fs::remove_all(dir, ec);
+        return cell;
+    }
+    if (reopened.value()->committed_bytes() != static_cast<std::int64_t>(durable.size())) {
+        cell.detail = "replay exposed bytes beyond the manifest's durability point";
+        fs::remove_all(dir, ec);
+        return cell;
+    }
+    write_cell_verify(cell, *reopened.value(), durable);
+    auto parity = reopened.value()->verify_parity();
+    if (!parity.ok()) cell.detail = "replayed parity audit: " + parity.error().message;
+    fs::remove_all(dir, ec);
+
+    cell.pass = cell.read_errors == 0 && cell.mismatched_bytes == 0 && cell.detail.empty();
+    if (!cell.pass && cell.detail.empty()) {
+        cell.detail = "manifest replay did not reproduce the durable prefix";
+    }
+    return cell;
+}
+
+// ---------------------------------------------------------------------------
 // The straggler lab: one persistently slow device, three hedge policies.
 // A static hedge deadline is only useful if someone tuned it to the
 // straggler's stall; the lab runs the same workload with no hedging, with
@@ -1286,6 +1620,26 @@ int cmd_faultcamp(const std::vector<std::string>& args) {
         }
     }
 
+    // Write-path cells after the read matrix: one deterministic scenario
+    // each, aimed at the commit/flush/replay machinery instead of reads.
+    using WriteCellFn = FaultCell (*)(std::uint64_t, std::int64_t);
+    const WriteCellFn write_cells[] = {run_torn_midstripe_cell, run_parity_flush_failstop_cell,
+                                       run_manifest_replay_cell};
+    for (WriteCellFn fn : write_cells) {
+        ++index;
+        cells.push_back(fn(seed ^ (0x9e3779b97f4a7c15ULL * index), elem_bytes));
+        const FaultCell& cell = cells.back();
+        all_pass = all_pass && cell.pass;
+        std::printf("%-10s %-9s %-17s %6lld %5lld %5lld %6lld %5lld %5lld %6d  %s%s%s\n",
+                    cell.spec.c_str(), cell.layout.c_str(), cell.mix.c_str(),
+                    static_cast<long long>(cell.injected_faults),
+                    static_cast<long long>(cell.retries), static_cast<long long>(cell.timeouts),
+                    static_cast<long long>(cell.replans), static_cast<long long>(cell.hedged),
+                    static_cast<long long>(cell.degraded), cell.read_errors,
+                    cell.pass ? "ok" : "FAIL", cell.detail.empty() ? "" : ": ",
+                    cell.detail.c_str());
+    }
+
     // The straggler lab runs after the matrix: same artifact, its own
     // pass/fail line per hedge policy.
     const StragglerLab lab = run_straggler_lab(seed, elem_bytes);
@@ -1589,9 +1943,122 @@ int cmd_serve_bench(const std::vector<std::string>& args) {
     return 0;
 }
 
+// ---------------------------------------------------------------------------
+// pipeline: run the online write/repair pipeline end to end on an in-memory
+// store and emit its ecfrm.pipeline.v1 state — queue depth, repair policy,
+// token bucket, encode backlog. With --repair-disk the named disk is failed
+// after ingest and repaired by the scheduler before the state is emitted,
+// so the repair counters carry real evidence.
+
+int cmd_pipeline(const std::vector<std::string>& args) {
+    std::string spec = "rs:4,2";
+    std::string layout_name = "ecfrm";
+    std::int64_t elem_bytes = 1024;
+    std::int64_t stripes = 8;
+    std::string out_path;
+    int repair_disk = -1;
+    store::PipelineOptions opts;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+        if (args[i] == "--spec" && i + 1 < args.size()) {
+            spec = args[++i];
+        } else if (args[i] == "--layout" && i + 1 < args.size()) {
+            layout_name = args[++i];
+        } else if (args[i] == "--elem" && i + 1 < args.size()) {
+            elem_bytes = std::atoll(args[++i].c_str());
+        } else if (args[i] == "--stripes" && i + 1 < args.size()) {
+            stripes = std::atoll(args[++i].c_str());
+        } else if (args[i] == "--policy" && i + 1 < args.size()) {
+            auto policy = store::parse_repair_policy(args[++i]);
+            if (!policy.ok()) return fail_with(policy.error());
+            opts.repair_policy = policy.value();
+        } else if (args[i] == "--max-pending" && i + 1 < args.size()) {
+            opts.max_pending_stripes = static_cast<std::size_t>(std::atoll(args[++i].c_str()));
+        } else if (args[i] == "--rate" && i + 1 < args.size()) {
+            opts.repair_rows_per_second = std::atof(args[++i].c_str());
+        } else if (args[i] == "--burst" && i + 1 < args.size()) {
+            opts.repair_burst_rows = std::atof(args[++i].c_str());
+        } else if (args[i] == "--chunk" && i + 1 < args.size()) {
+            opts.repair_chunk_rows = std::atoll(args[++i].c_str());
+        } else if (args[i] == "--repair-disk" && i + 1 < args.size()) {
+            repair_disk = std::atoi(args[++i].c_str());
+        } else if (args[i] == "--out" && i + 1 < args.size()) {
+            out_path = args[++i];
+        } else {
+            return usage();
+        }
+    }
+    if (elem_bytes <= 0 || elem_bytes % 8 != 0) {
+        std::fprintf(stderr, "error: --elem must be a positive multiple of 8\n");
+        return 1;
+    }
+    if (stripes <= 0) {
+        std::fprintf(stderr, "error: --stripes must be positive\n");
+        return 1;
+    }
+    auto code = codes::make_code(spec);
+    if (!code.ok()) return fail_with(code.error());
+    auto kind = store::parse_layout_kind(layout_name);
+    if (!kind.ok()) return fail_with(kind.error());
+
+    ThreadPool pool(4);
+    store::StripeStore st(core::Scheme(code.value(), kind.value()), elem_bytes, &pool);
+    if (repair_disk >= 0 && repair_disk >= st.scheme().disks()) {
+        std::fprintf(stderr, "error: --repair-disk %d out of range (%d disks)\n", repair_disk,
+                     st.scheme().disks());
+        return 1;
+    }
+    st.attach_observability(g_obs.metrics.get(), g_obs.tracer.get(), g_obs.forensics.get());
+    store::EcPipeline pipeline(st, &pool, opts);
+    pipeline.attach_observability(g_obs.metrics.get(), g_obs.forensics.get());
+
+    // Deterministic ingest through the online-encode stage.
+    std::vector<std::uint8_t> payload(static_cast<std::size_t>(stripes * st.stripe_data_bytes()));
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+        payload[i] = static_cast<std::uint8_t>((i * 131 + 7) & 0xff);
+    }
+    auto wrote = pipeline.append(ConstByteSpan(payload.data(), payload.size()));
+    if (wrote.ok()) wrote = pipeline.flush();
+    if (!wrote.ok()) return fail_with(wrote.error());
+
+    if (repair_disk >= 0) {
+        auto failed = st.fail_disk(repair_disk);
+        if (!failed.ok()) return fail_with(failed.error());
+        auto requested = pipeline.request_repair(repair_disk);
+        if (requested.ok()) requested = pipeline.wait_repairs();
+        if (!requested.ok()) return fail_with(requested.error());
+    }
+
+    // Byte-verify the whole stream before reporting anything.
+    auto got = st.read_bytes(0, static_cast<std::int64_t>(payload.size()));
+    if (!got.ok()) return fail_with(got.error());
+    if (got.value() != payload) {
+        std::fprintf(stderr, "error: read-back mismatch after pipeline ingest\n");
+        return 1;
+    }
+
+    const auto s = pipeline.snapshot();
+    std::printf("pipeline %s %s: %lld stripes ingested, policy=%s, %lld async + %lld sync encodes",
+                st.scheme().name().c_str(), layout::to_string(st.scheme().kind()),
+                static_cast<long long>(stripes), store::repair_policy_name(s.policy),
+                static_cast<long long>(s.encoded_stripes), static_cast<long long>(s.sync_encodes));
+    if (repair_disk >= 0) {
+        std::printf(", disk %d repaired (%lld rows)", repair_disk,
+                    static_cast<long long>(s.repair_rows_done));
+    }
+    std::printf("\n");
+    const std::string json = pipeline.to_json() + "\n";
+    if (!out_path.empty()) {
+        if (!ObsOutputs::write_file(out_path, json)) return 1;
+    } else {
+        std::fputs(json.c_str(), stdout);
+    }
+    return 0;
+}
+
 int dispatch(const std::vector<std::string>& args) {
     const int argc = static_cast<int>(args.size());
     if (argc >= 2 && args[1] == "faultcamp") return cmd_faultcamp(args);
+    if (argc >= 2 && args[1] == "pipeline") return cmd_pipeline(args);
     if (argc >= 2 && args[1] == "simd") return cmd_simd(args);
     if (argc >= 2 && args[1] == "serve-bench") return cmd_serve_bench(args);
     if (argc < 3) return usage();
